@@ -1,0 +1,141 @@
+//! Criterion micro-benchmarks of every substrate the reproduction is built
+//! on: statevector simulation, noisy trajectory execution, transpilation,
+//! Clifford synthesis, stabilizer simulation, convex-hull geometry, and
+//! feature extraction.
+//!
+//! Run with `cargo bench -p supermarq-bench`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use supermarq::benchmarks::{GhzBenchmark, MerminBellBenchmark, QaoaVanillaBenchmark};
+use supermarq::Benchmark;
+use supermarq::FeatureVector;
+use supermarq_circuit::Circuit;
+use supermarq_clifford::{diagonalize, StabilizerSimulator};
+use supermarq_device::Device;
+use supermarq_geometry::{monte_carlo_volume, ConvexHull};
+use supermarq_pauli::{mermin_operator, tfim_hamiltonian};
+use supermarq_sim::{krylov, Executor, NoiseModel, StateVector};
+use supermarq_transpile::Transpiler;
+
+fn ghz_circuit(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    c.h(0);
+    for q in 0..n - 1 {
+        c.cx(q, q + 1);
+    }
+    c.measure_all();
+    c
+}
+
+fn bench_statevector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector_ghz");
+    for n in [10usize, 14, 18] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let circuit = ghz_circuit(n);
+            b.iter(|| black_box(Executor::final_state(&circuit)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_trajectory_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noisy_trajectories_ghz6");
+    let circuit = ghz_circuit(6);
+    for shots in [100usize, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(shots), &shots, |b, &shots| {
+            let exec = Executor::new(NoiseModel::uniform_depolarizing(0.01));
+            b.iter(|| black_box(exec.run(&circuit, shots, 7)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_transpiler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transpile");
+    let vanilla = QaoaVanillaBenchmark::new(6, 1).circuits().remove(0);
+    for device in [Device::ibm_montreal(), Device::ionq()] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(device.name().to_string()),
+            &device,
+            |b, device| {
+                let t = Transpiler::for_device(device);
+                b.iter(|| black_box(t.run(&vanilla).unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_clifford(c: &mut Criterion) {
+    c.bench_function("mermin_diagonalize_n8", |b| {
+        let m = mermin_operator(8);
+        let strings: Vec<_> = m.iter().map(|(_, p)| p.clone()).collect();
+        b.iter(|| black_box(diagonalize(&strings).unwrap()));
+    });
+    c.bench_function("chp_ghz_200q", |b| {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        b.iter(|| {
+            let mut sim = StabilizerSimulator::new(200);
+            sim.h(0);
+            for q in 0..199 {
+                sim.cx(q, q + 1);
+            }
+            let mut rng = StdRng::seed_from_u64(1);
+            // measure_all is mask-limited to 64 qubits; measure per qubit.
+            let mut parity = false;
+            for q in 0..200 {
+                parity ^= sim.measure(q, &mut rng);
+            }
+            black_box(parity)
+        });
+    });
+}
+
+fn bench_geometry(c: &mut Criterion) {
+    let suite = supermarq_suites::supermarq_suite();
+    let points: Vec<Vec<f64>> =
+        suite.iter().map(|circ| FeatureVector::of(circ).to_vec()).collect();
+    c.bench_function("hull_volume_6d_52pts", |b| {
+        b.iter(|| black_box(ConvexHull::new(&points).unwrap().volume()));
+    });
+    c.bench_function("monte_carlo_volume_3d", |b| {
+        let pts: Vec<Vec<f64>> = (0..8)
+            .map(|m| (0..3).map(|i| if m >> i & 1 == 1 { 1.0 } else { 0.0 }).collect())
+            .collect();
+        b.iter(|| black_box(monte_carlo_volume(&pts, 200, 3)));
+    });
+}
+
+fn bench_features(c: &mut Criterion) {
+    c.bench_function("features_ghz_1000q", |b| {
+        let circuit = GhzBenchmark::new(1000).circuits().remove(0);
+        b.iter(|| black_box(FeatureVector::of(&circuit)));
+    });
+    c.bench_function("features_mermin_6q", |b| {
+        let circuit = MerminBellBenchmark::new(6).circuits().remove(0);
+        b.iter(|| black_box(FeatureVector::of(&circuit)));
+    });
+}
+
+fn bench_krylov(c: &mut Criterion) {
+    c.bench_function("krylov_tfim_evolution_10q", |b| {
+        let h = tfim_hamiltonian(10, 1.0, 1.0);
+        let psi = StateVector::zero_state(10);
+        b.iter(|| black_box(krylov::evolve(&h, &psi, 0.5, 20, 2)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_statevector,
+    bench_trajectory_execution,
+    bench_transpiler,
+    bench_clifford,
+    bench_geometry,
+    bench_features,
+    bench_krylov
+);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Ablation: placement strategy and optimization passes.
+//!
+//! Quantifies the Discussion-section claim that "even systems with superior
+//! gate fidelities can be severely hampered by sub-optimal compilation":
+//! the same benchmark is compiled with (a) greedy noise-aware placement +
+//! peephole optimization (the default Closed-Division pipeline), (b)
+//! trivial placement, and (c) optimization disabled, and the resulting SWAP
+//! counts, two-qubit gate counts and scores are compared.
+
+use supermarq::benchmarks::{GhzBenchmark, MerminBellBenchmark, QaoaVanillaBenchmark};
+use supermarq::runner::{run_on_device, RunConfig};
+use supermarq::Benchmark;
+use supermarq_bench::render_table;
+use supermarq_device::Device;
+use supermarq_transpile::PlacementStrategy;
+
+fn main() {
+    println!("== Ablation: placement strategy and optimization ==\n");
+    let benches: Vec<Box<dyn Benchmark>> = vec![
+        Box::new(GhzBenchmark::new(5)),
+        Box::new(MerminBellBenchmark::new(4)),
+        Box::new(QaoaVanillaBenchmark::new(5, 1)),
+    ];
+    // Calibration scatter (2x spread) makes placement quality matter: this
+    // is the regime where the paper's cited noise-aware mapping works
+    // (Murali et al.; Tannu & Qureshi, "not all qubits are created equal").
+    let device = Device::ibm_guadalupe().with_error_variation(3, 2.0);
+    println!("device: {} (with calibration scatter)\n", device.name());
+    let variants: Vec<(&str, PlacementStrategy, bool)> = vec![
+        ("noise-aware + optimize", PlacementStrategy::NoiseAware, true),
+        ("greedy + optimize", PlacementStrategy::Greedy, true),
+        ("trivial + optimize", PlacementStrategy::Trivial, true),
+        ("greedy, no optimize", PlacementStrategy::Greedy, false),
+    ];
+    let headers: Vec<String> =
+        ["Benchmark", "Variant", "Swaps", "2Q gates", "Score", "StdDev"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    let mut rows = Vec::new();
+    for b in &benches {
+        for (label, placement, optimize) in &variants {
+            let config = RunConfig {
+                shots: 2000,
+                repetitions: 3,
+                seed: 21,
+                placement: *placement,
+                optimize: *optimize,
+            };
+            match run_on_device(b.as_ref(), &device, &config) {
+                Ok(r) => rows.push(vec![
+                    b.name(),
+                    label.to_string(),
+                    r.swap_count.to_string(),
+                    r.two_qubit_gates.to_string(),
+                    format!("{:.3}", r.mean_score()),
+                    format!("{:.3}", r.std_dev()),
+                ]),
+                Err(e) => rows.push(vec![b.name(), label.to_string(), e.to_string(), "".into(), "".into(), "".into()]),
+            }
+        }
+    }
+    println!("{}", render_table(&headers, &rows));
+    println!("Expected: greedy placement needs fewer SWAPs than trivial on the");
+    println!("sparse-circuit benchmarks; optimization trims native 2q gates; and");
+    println!("with calibration scatter present, noise-aware placement finds");
+    println!("lower-error couplers (fewer effective 2q errors at equal swaps).");
+}

@@ -1,0 +1,25 @@
+//! Regenerates **Fig. 1**: the feature map (six-axis radar values) of every
+//! benchmark at several sizes.
+
+use supermarq::features::FEATURE_NAMES;
+use supermarq_bench::{figure2_grid, render_table};
+
+fn main() {
+    println!("== Fig. 1: application feature maps ==\n");
+    let mut headers: Vec<String> = vec!["Benchmark".into()];
+    headers.extend(FEATURE_NAMES.iter().map(|s| s.to_string()));
+    for (panel, instances, _) in figure2_grid() {
+        println!("--- {panel} ---");
+        let mut rows = Vec::new();
+        for b in &instances {
+            let f = b.features().as_array();
+            let mut row = vec![b.name()];
+            row.extend(f.iter().map(|v| format!("{v:.3}")));
+            rows.push(row);
+        }
+        println!("{}", render_table(&headers, &rows));
+    }
+    println!("Expected shape (paper Fig. 1): Mermin-Bell and Vanilla QAOA max out");
+    println!("Program Communication; bit/phase codes are the only applications with");
+    println!("nonzero Measurement; GHZ is fully serial (Critical Depth = 1).");
+}

@@ -1,0 +1,53 @@
+//! Regenerates **Fig. 2**: benchmark scores across the modeled devices,
+//! with error bars over repetitions and X's where a benchmark exceeds a
+//! device's qubit count.
+//!
+//! Shot counts follow the paper: 2000 on IBM devices, 1024 on AQT, 35 on
+//! IonQ ("selected to maintain a reasonable cost budget").
+
+use supermarq::runner::{run_on_device, RunConfig};
+use supermarq_bench::{figure2_grid, render_table, score_cell};
+use supermarq_device::Device;
+
+fn shots_for(device: &Device) -> usize {
+    match device.name() {
+        "IonQ" => 35,
+        "AQT" => 1024,
+        _ => 2000,
+    }
+}
+
+fn main() {
+    let devices = Device::all_paper_devices();
+    println!("== Fig. 2: benchmark scores across devices ==\n");
+    let mut headers: Vec<String> = vec!["Benchmark".into()];
+    headers.extend(devices.iter().map(|d| d.name().to_string()));
+    for (panel, instances, _) in figure2_grid() {
+        println!("--- {panel} ---");
+        let mut rows = Vec::new();
+        for b in &instances {
+            let mut row = vec![b.name()];
+            for device in &devices {
+                let config = RunConfig {
+                    shots: shots_for(device),
+                    repetitions: 3,
+                    seed: 1,
+                    ..RunConfig::default()
+                };
+                let cell = match run_on_device(b.as_ref(), device, &config) {
+                    Ok(result) => score_cell(Some((result.mean_score(), result.std_dev()))),
+                    Err(_) => score_cell(None),
+                };
+                row.push(cell);
+            }
+            rows.push(row);
+        }
+        println!("{}", render_table(&headers, &rows));
+    }
+    println!("Expected shape (paper Sec. VI): scores fall as instances grow; IonQ");
+    println!("wins communication-heavy benchmarks (Mermin-Bell, Vanilla QAOA) via");
+    println!("all-to-all connectivity despite worse 2q fidelity; superconducting");
+    println!("devices are competitive when program connectivity matches the lattice");
+    println!("(VQE, HamSim, ZZ-SWAP QAOA); EC benchmarks score lowest on");
+    println!("superconducting devices (costly RESET/readout vs T1).");
+}

@@ -1,0 +1,63 @@
+//! Regenerates **Fig. 3**: R^2 heatmaps correlating application features
+//! (plus conventional metrics) with device performance — (a) over all
+//! benchmarks, (b) excluding the error-correction proxies.
+
+use supermarq::correlation::{correlation_table, ScoreRecord, REGRESSOR_NAMES};
+use supermarq::runner::{run_on_device, RunConfig};
+use supermarq_bench::{figure2_grid, render_table};
+use supermarq_device::Device;
+
+fn collect_records() -> Vec<ScoreRecord> {
+    let devices = Device::all_paper_devices();
+    let mut records = Vec::new();
+    for (_, instances, is_ec) in figure2_grid() {
+        for b in &instances {
+            let circuit = &b.circuits()[0];
+            for device in &devices {
+                let config =
+                    RunConfig { shots: 1000, repetitions: 2, seed: 7, ..RunConfig::default() };
+                if let Ok(result) = run_on_device(b.as_ref(), device, &config) {
+                    records.push(ScoreRecord::from_circuit(
+                        device.name(),
+                        b.name(),
+                        circuit,
+                        result.mean_score(),
+                        is_ec,
+                    ));
+                }
+            }
+        }
+    }
+    records
+}
+
+fn print_heatmap(title: &str, records: &[ScoreRecord], exclude_ec: bool) {
+    let table = correlation_table(records, exclude_ec);
+    println!("--- {title} ---");
+    let mut headers: Vec<String> = vec!["Feature".into()];
+    headers.extend(table.devices.iter().cloned());
+    let mut rows = Vec::new();
+    for (i, name) in REGRESSOR_NAMES.iter().enumerate() {
+        let mut row = vec![name.to_string()];
+        for cell in &table.r_squared[i] {
+            row.push(match cell {
+                Some(v) => format!("{v:.2}"),
+                None => "-".into(),
+            });
+        }
+        rows.push(row);
+    }
+    println!("{}", render_table(&headers, &rows));
+}
+
+fn main() {
+    println!("== Fig. 3: feature-performance correlation (R^2) ==\n");
+    let records = collect_records();
+    println!("collected {} (benchmark, device) records\n", records.len());
+    print_heatmap("(a) all benchmarks", &records, false);
+    print_heatmap("(b) excluding error-correction benchmarks", &records, true);
+    println!("Expected shape (paper Sec. VI): with EC included, the Measurement");
+    println!("feature dominates on superconducting devices and barely registers on");
+    println!("IonQ; excluding EC boosts the Entanglement-Ratio and #2Q-gates");
+    println!("correlations across devices.");
+}

@@ -1,0 +1,68 @@
+//! Regenerates **Fig. 4**: the example linear regression of benchmark score
+//! against the Entanglement-Ratio feature on one device, with and without
+//! the error-correction benchmarks.
+
+use supermarq::correlation::ScoreRecord;
+use supermarq::runner::{run_on_device, RunConfig};
+use supermarq_bench::{figure2_grid, render_table};
+use supermarq_classical::stats::linear_regression;
+use supermarq_device::Device;
+
+fn main() {
+    let device = Device::ibm_guadalupe();
+    println!("== Fig. 4: entanglement-ratio regression example on {} ==\n", device.name());
+    let mut records: Vec<ScoreRecord> = Vec::new();
+    for (_, instances, is_ec) in figure2_grid() {
+        for b in &instances {
+            let config = RunConfig { shots: 1000, repetitions: 2, seed: 11, ..RunConfig::default() };
+            if let Ok(result) = run_on_device(b.as_ref(), &device, &config) {
+                records.push(ScoreRecord::from_circuit(
+                    device.name(),
+                    b.name(),
+                    &b.circuits()[0],
+                    result.mean_score(),
+                    is_ec,
+                ));
+            }
+        }
+    }
+    // Scatter data.
+    let mut rows = Vec::new();
+    for r in &records {
+        rows.push(vec![
+            r.benchmark.clone(),
+            format!("{:.3}", r.features.entanglement_ratio),
+            format!("{:.3}", r.score),
+            if r.is_error_correction { "EC".into() } else { "".into() },
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["Benchmark".into(), "Ent-Ratio".into(), "Score".into(), "Class".into()],
+            &rows
+        )
+    );
+    for (label, exclude_ec) in [("all benchmarks", false), ("excluding EC", true)] {
+        let xs: Vec<f64> = records
+            .iter()
+            .filter(|r| !(exclude_ec && r.is_error_correction))
+            .map(|r| r.features.entanglement_ratio)
+            .collect();
+        let ys: Vec<f64> = records
+            .iter()
+            .filter(|r| !(exclude_ec && r.is_error_correction))
+            .map(|r| r.score)
+            .collect();
+        match linear_regression(&xs, &ys) {
+            Some(fit) => println!(
+                "fit ({label}): score = {:.3} * ent_ratio + {:.3},  R^2 = {:.3}",
+                fit.slope, fit.intercept, fit.r_squared
+            ),
+            None => println!("fit ({label}): degenerate"),
+        }
+    }
+    println!("\nExpected shape (paper Fig. 4): the EC benchmarks sit far below the");
+    println!("trend line (RESET damage not captured by entanglement ratio);");
+    println!("excluding them improves R^2 markedly.");
+}

@@ -1,0 +1,45 @@
+//! Extension experiment: *Open Division* (readout-mitigated) scores vs the
+//! paper's Closed Division — the future-work item of paper Sec. V, realized
+//! with inverse-confusion readout mitigation.
+
+use supermarq::benchmarks::{BitCodeBenchmark, GhzBenchmark, MerminBellBenchmark, VqeBenchmark};
+use supermarq::runner::{run_on_device, run_on_device_open, RunConfig};
+use supermarq::Benchmark;
+use supermarq_bench::render_table;
+use supermarq_device::Device;
+
+fn main() {
+    println!("== Open Division: readout-mitigated scores vs Closed Division ==\n");
+    let benches: Vec<Box<dyn Benchmark>> = vec![
+        Box::new(GhzBenchmark::new(5)),
+        Box::new(MerminBellBenchmark::new(4)),
+        Box::new(BitCodeBenchmark::new(3, 2, &[true, false, true])),
+        Box::new(VqeBenchmark::new(4, 1)),
+    ];
+    let devices = [Device::ibm_guadalupe(), Device::ibm_toronto(), Device::ionq()];
+    let headers: Vec<String> =
+        ["Benchmark", "Device", "Closed", "Open", "Gain"].iter().map(|s| s.to_string()).collect();
+    let mut rows = Vec::new();
+    for b in &benches {
+        for device in &devices {
+            let config = RunConfig { shots: 2000, repetitions: 3, seed: 17, ..RunConfig::default() };
+            let closed = run_on_device(b.as_ref(), device, &config);
+            let open = run_on_device_open(b.as_ref(), device, &config);
+            match (closed, open) {
+                (Ok(c), Ok(o)) => rows.push(vec![
+                    b.name(),
+                    device.name().to_string(),
+                    format!("{:.3}", c.mean_score()),
+                    format!("{:.3}", o.mean_score()),
+                    format!("{:+.3}", o.mean_score() - c.mean_score()),
+                ]),
+                _ => rows.push(vec![b.name(), device.name().to_string(), "X".into(), "X".into(), "".into()]),
+            }
+        }
+    }
+    println!("{}", render_table(&headers, &rows));
+    println!("Expected: mitigation recovers the readout-error component of every");
+    println!("score — largest gains on the superconducting devices (2-3% readout");
+    println!("error) for measurement-heavy benchmarks (GHZ, bit code); gate and");
+    println!("decoherence errors remain, so scores stay below the noiseless 1.0.");
+}

@@ -1,0 +1,64 @@
+//! Regenerates **Table I**: feature-space coverage (convex-hull volume) of
+//! six benchmark suites.
+//!
+//! Paper values for reference: SupermarQ 9.0e-03 (52 circuits), QASMBench
+//! 4.0e-03 (62), Synthetic 1.4e-03 (6), CBG2021 1.6e-08 (10476), TriQ
+//! 4.1e-14 (12), PPL+2020 1.0e-15 (9). The tiny TriQ/PPL volumes are qhull
+//! joggle artifacts of degenerate point sets; we report both the exact
+//! volume (0 when degenerate) and a joggled volume mirroring qhull `QJ`.
+
+use supermarq::coverage::{coverage_of_features, synthetic_suite_features};
+use supermarq::FeatureVector;
+use supermarq_bench::render_table;
+use supermarq_circuit::Circuit;
+use supermarq_geometry::hull_volume_joggled;
+use supermarq_suites::{cbg2021_suite, ppl2020_suite, qasmbench_suite, supermarq_suite, triq_suite};
+
+fn features_of(circuits: &[Circuit]) -> Vec<FeatureVector> {
+    circuits.iter().map(FeatureVector::of).collect()
+}
+
+fn main() {
+    println!("== Table I: coverage comparison of benchmark suites ==\n");
+    let suites: Vec<(&str, Vec<FeatureVector>, &str)> = vec![
+        ("SupermarQ (this work)", features_of(&supermarq_suite()), "9.0e-03"),
+        ("QASMBench", features_of(&qasmbench_suite()), "4.0e-03"),
+        ("Synthetic", synthetic_suite_features(), "1.4e-03"),
+        ("CBG2021", features_of(&cbg2021_suite()), "1.6e-08"),
+        ("TriQ", features_of(&triq_suite()), "4.1e-14"),
+        ("PPL+2020", features_of(&ppl2020_suite()), "1.0e-15"),
+    ];
+    let mut rows = Vec::new();
+    for (name, features, paper) in &suites {
+        let points: Vec<Vec<f64>> = features.iter().map(FeatureVector::to_vec).collect();
+        let exact = coverage_of_features(features);
+        let joggled = hull_volume_joggled(&points, 1e-3, 2022);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1e}", exact),
+            format!("{:.1e}", joggled),
+            format!("{}", features.len()),
+            paper.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Suite".into(),
+                "Volume (exact)".into(),
+                "Volume (joggled)".into(),
+                "Circuits".into(),
+                "Paper volume".into()
+            ],
+            &rows
+        )
+    );
+    println!("Expected shape: SupermarQ > QASMBench (paper ratio 2.25) and both");
+    println!("dwarf CBG2021/TriQ/PPL+2020, which are degenerate up to joggle.");
+    println!("Known deviation: the Synthetic simplex (exactly 1/6! = 1.39e-3, as");
+    println!("in the paper) is not strictly beaten here because its unit-vector");
+    println!("corners are unphysical (e.g. Parallelism=1 requires Liveness=1)");
+    println!("under this repo's conservative feature definitions; see");
+    println!("EXPERIMENTS.md for the discussion.");
+}

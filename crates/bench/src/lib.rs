@@ -1,0 +1,168 @@
+//! Shared helpers for the evaluation harness binaries.
+//!
+//! Each table and figure of the paper's evaluation section has a dedicated
+//! binary in this crate (see `src/bin/`); this library holds the pieces
+//! they share: the Fig. 2 benchmark grid, result records, and plain-text
+//! table rendering.
+
+use supermarq::benchmarks::{
+    BitCodeBenchmark, GhzBenchmark, HamiltonianSimBenchmark, MerminBellBenchmark,
+    PhaseCodeBenchmark, QaoaSwapBenchmark, QaoaVanillaBenchmark, VqeBenchmark,
+};
+use supermarq::Benchmark;
+
+/// The Fig. 2 benchmark grid: for each of the eight applications, the
+/// instance sizes the paper swept (kept within statevector reach).
+///
+/// Returns `(panel_label, instances, is_error_correction)` triples in the
+/// paper's panel order.
+pub fn figure2_grid() -> Vec<(&'static str, Vec<Box<dyn Benchmark>>, bool)> {
+    vec![
+        (
+            "a) GHZ",
+            vec![
+                Box::new(GhzBenchmark::new(3)) as Box<dyn Benchmark>,
+                Box::new(GhzBenchmark::new(4)),
+                Box::new(GhzBenchmark::new(5)),
+                Box::new(GhzBenchmark::new(6)),
+            ],
+            false,
+        ),
+        (
+            "b) Mermin-Bell",
+            vec![
+                Box::new(MerminBellBenchmark::new(3)) as Box<dyn Benchmark>,
+                Box::new(MerminBellBenchmark::new(4)),
+                Box::new(MerminBellBenchmark::new(5)),
+            ],
+            false,
+        ),
+        (
+            "c) Phase Code",
+            vec![
+                Box::new(PhaseCodeBenchmark::new(3, 1, &[true, false, true])) as Box<dyn Benchmark>,
+                Box::new(PhaseCodeBenchmark::new(3, 3, &[true, false, true])),
+                Box::new(PhaseCodeBenchmark::new(4, 2, &[true, false, true, false])),
+            ],
+            true,
+        ),
+        (
+            "d) Bit Code",
+            vec![
+                Box::new(BitCodeBenchmark::new(3, 1, &[true, false, true])) as Box<dyn Benchmark>,
+                Box::new(BitCodeBenchmark::new(3, 3, &[true, false, true])),
+                Box::new(BitCodeBenchmark::new(4, 2, &[true, false, true, false])),
+            ],
+            true,
+        ),
+        (
+            "e) VQE",
+            vec![
+                Box::new(VqeBenchmark::new(3, 1)) as Box<dyn Benchmark>,
+                Box::new(VqeBenchmark::new(4, 1)),
+                Box::new(VqeBenchmark::new(5, 1)),
+            ],
+            false,
+        ),
+        (
+            "f) Hamiltonian Simulation",
+            vec![
+                Box::new(HamiltonianSimBenchmark::new(3, 3)) as Box<dyn Benchmark>,
+                Box::new(HamiltonianSimBenchmark::new(4, 4)),
+                Box::new(HamiltonianSimBenchmark::new(5, 5)),
+            ],
+            false,
+        ),
+        (
+            "g) ZZ-SWAP QAOA",
+            vec![
+                Box::new(QaoaSwapBenchmark::new(4, 1)) as Box<dyn Benchmark>,
+                Box::new(QaoaSwapBenchmark::new(5, 1)),
+                Box::new(QaoaSwapBenchmark::new(6, 1)),
+            ],
+            false,
+        ),
+        (
+            "h) Vanilla QAOA",
+            vec![
+                Box::new(QaoaVanillaBenchmark::new(4, 1)) as Box<dyn Benchmark>,
+                Box::new(QaoaVanillaBenchmark::new(5, 1)),
+                Box::new(QaoaVanillaBenchmark::new(6, 1)),
+            ],
+            false,
+        ),
+    ]
+}
+
+/// Renders a plain-text table with a header row.
+pub fn render_table(headers: &[String], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+            .trim_end()
+            .to_string()
+    };
+    let mut out = String::new();
+    out.push_str(&fmt_row(headers, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * cols.saturating_sub(1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats an optional score cell (`None` renders the paper's black X for
+/// benchmarks that exceed a device's qubit count).
+pub fn score_cell(score: Option<(f64, f64)>) -> String {
+    match score {
+        Some((mean, sd)) => format!("{mean:.3}±{sd:.3}"),
+        None => "X".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_all_eight_applications() {
+        let grid = figure2_grid();
+        assert_eq!(grid.len(), 8);
+        let ec_panels = grid.iter().filter(|(_, _, ec)| *ec).count();
+        assert_eq!(ec_panels, 2);
+        for (label, instances, _) in &grid {
+            assert!(!instances.is_empty(), "{label}");
+        }
+    }
+
+    #[test]
+    fn table_rendering_aligns_columns() {
+        let t = render_table(
+            &["a".into(), "bb".into()],
+            &[vec!["xxx".into(), "y".into()], vec!["z".into(), "wwww".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a"));
+    }
+
+    #[test]
+    fn score_cells() {
+        assert_eq!(score_cell(None), "X");
+        assert_eq!(score_cell(Some((0.5, 0.01))), "0.500±0.010");
+    }
+}

@@ -1,0 +1,320 @@
+//! CLI subcommand implementations.
+
+use supermarq::benchmarks::{
+    BitCodeBenchmark, GhzBenchmark, HamiltonianSimBenchmark, MerminBellBenchmark,
+    PhaseCodeBenchmark, QaoaSwapBenchmark, QaoaVanillaBenchmark, VqeBenchmark,
+};
+use supermarq::coverage::coverage_of_features;
+use supermarq::runner::{run_on_device, run_on_device_open, RunConfig};
+use supermarq::{Benchmark, FeatureVector};
+use supermarq_circuit::Circuit;
+use supermarq_device::Device;
+
+use crate::args::Args;
+
+/// Usage text shown on errors.
+pub const USAGE: &str = "usage:
+  supermarq devices
+  supermarq generate <benchmark> [--size N] [--rounds R] [--seed S] [--steps K] [--layers L]
+  supermarq show <benchmark> [--size N] [...]
+  supermarq features <file.qasm>
+  supermarq run <benchmark> --device <name> [--size N] [--shots N] [--reps R] [--seed S] [--open]
+  supermarq coverage
+  supermarq export --dir <path>
+
+benchmarks: ghz, mermin-bell, bit-code, phase-code, qaoa-vanilla, qaoa-swap, vqe, hamsim";
+
+/// Dispatches a parsed command line, returning printable output.
+pub fn dispatch(argv: &[String]) -> Result<String, String> {
+    let args = Args::parse(argv)?;
+    match args.positional(0) {
+        Some("devices") => cmd_devices(),
+        Some("generate") => cmd_generate(&args),
+        Some("show") => cmd_show(&args),
+        Some("export") => cmd_export(&args),
+        Some("features") => cmd_features(&args),
+        Some("run") => cmd_run(&args),
+        Some("coverage") => cmd_coverage(),
+        Some(other) => Err(format!("unknown command '{other}'")),
+        None => Err("missing command".into()),
+    }
+}
+
+/// Builds a benchmark from CLI arguments.
+fn build_benchmark(args: &Args) -> Result<Box<dyn Benchmark>, String> {
+    let name = args.positional(1).ok_or("missing benchmark name")?;
+    let size: usize = args.option_parse("size", 4)?;
+    let rounds: usize = args.option_parse("rounds", 2)?;
+    let seed: u64 = args.option_parse("seed", 1)?;
+    let steps: usize = args.option_parse("steps", 4)?;
+    let layers: usize = args.option_parse("layers", 1)?;
+    let bench: Box<dyn Benchmark> = match name {
+        "ghz" => Box::new(GhzBenchmark::new(size.max(2))),
+        "mermin-bell" => Box::new(MerminBellBenchmark::new(size.clamp(2, 16))),
+        "bit-code" => {
+            let init: Vec<bool> = (0..size.max(2)).map(|i| i % 2 == 0).collect();
+            Box::new(BitCodeBenchmark::new(size.max(2), rounds.max(1), &init))
+        }
+        "phase-code" => {
+            let init: Vec<bool> = (0..size.max(2)).map(|i| i % 2 == 0).collect();
+            Box::new(PhaseCodeBenchmark::new(size.max(2), rounds.max(1), &init))
+        }
+        "qaoa-vanilla" => Box::new(QaoaVanillaBenchmark::new(size.max(2), seed)),
+        "qaoa-swap" => Box::new(QaoaSwapBenchmark::new(size.max(2), seed)),
+        "vqe" => Box::new(VqeBenchmark::new(size.clamp(2, 12), layers.max(1))),
+        "hamsim" => Box::new(HamiltonianSimBenchmark::new(size.max(2), steps.max(1))),
+        other => return Err(format!("unknown benchmark '{other}'")),
+    };
+    Ok(bench)
+}
+
+fn cmd_devices() -> Result<String, String> {
+    let mut out = String::from("name             qubits  topology          T1(us)    2q-err\n");
+    for d in Device::all_paper_devices() {
+        out.push_str(&format!(
+            "{:<16} {:>6}  {:<16} {:>8.5e} {:>8.4}\n",
+            d.name(),
+            d.num_qubits(),
+            d.topology().name(),
+            d.calibration().t1_us,
+            d.calibration().err_2q,
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_generate(args: &Args) -> Result<String, String> {
+    let bench = build_benchmark(args)?;
+    let circuits = bench.circuits();
+    let mut out = String::new();
+    for (i, c) in circuits.iter().enumerate() {
+        if circuits.len() > 1 {
+            out.push_str(&format!("// circuit {} of {}\n", i + 1, circuits.len()));
+        }
+        out.push_str(&c.to_qasm());
+    }
+    Ok(out)
+}
+
+fn cmd_show(args: &Args) -> Result<String, String> {
+    let bench = build_benchmark(args)?;
+    let circuits = bench.circuits();
+    let mut out = format!("{}  ({})\n", bench.name(), bench.features());
+    for (i, c) in circuits.iter().enumerate() {
+        if circuits.len() > 1 {
+            out.push_str(&format!("-- circuit {} of {} --\n", i + 1, circuits.len()));
+        }
+        out.push_str(&c.to_diagram());
+    }
+    Ok(out)
+}
+
+/// Writes the full 52-circuit Table I SupermarQ corpus as OpenQASM files —
+/// the paper's "benchmarks specified at the level of OpenQASM" deliverable.
+fn cmd_export(args: &Args) -> Result<String, String> {
+    let dir = args.option("dir").ok_or("missing --dir")?;
+    let dir = std::path::Path::new(dir);
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let suite = supermarq_suites::supermarq_suite();
+    let mut written = 0usize;
+    for (i, circuit) in suite.iter().enumerate() {
+        let path = dir.join(format!("supermarq_{:02}_{}q.qasm", i, circuit.num_qubits()));
+        std::fs::write(&path, circuit.to_qasm())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        written += 1;
+    }
+    Ok(format!("wrote {written} OpenQASM files to {}", dir.display()))
+}
+
+fn cmd_features(args: &Args) -> Result<String, String> {
+    let path = args.positional(1).ok_or("missing qasm file path")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let circuit = Circuit::from_qasm(&text).map_err(|e| e.to_string())?;
+    let f = FeatureVector::of(&circuit);
+    Ok(format!(
+        "qubits: {}\ndepth: {}\n2q gates: {}\nfeatures: {}",
+        circuit.num_qubits(),
+        circuit.depth(),
+        circuit.two_qubit_gate_count(),
+        f
+    ))
+}
+
+fn cmd_run(args: &Args) -> Result<String, String> {
+    let bench = build_benchmark(args)?;
+    let device_name = args.option("device").ok_or("missing --device")?;
+    let device = Device::all_paper_devices()
+        .into_iter()
+        .find(|d| d.name().eq_ignore_ascii_case(device_name))
+        .ok_or_else(|| format!("unknown device '{device_name}' (try `supermarq devices`)"))?;
+    let config = RunConfig {
+        shots: args.option_parse("shots", 2000usize)?,
+        repetitions: args.option_parse("reps", 3usize)?,
+        seed: args.option_parse("seed", 1u64)?,
+        ..RunConfig::default()
+    };
+    let result = if args.flag("open") {
+        run_on_device_open(bench.as_ref(), &device, &config)
+    } else {
+        run_on_device(bench.as_ref(), &device, &config)
+    }
+    .map_err(|e| e.to_string())?;
+    Ok(format!(
+        "benchmark: {}\ndevice: {}\ndivision: {}\nscore: {:.4} ± {:.4}\nswaps: {}\n2q gates: {}\nfeatures: {}",
+        result.benchmark,
+        result.device,
+        if args.flag("open") { "open (readout-mitigated)" } else { "closed" },
+        result.mean_score(),
+        result.std_dev(),
+        result.swap_count,
+        result.two_qubit_gates,
+        bench.features(),
+    ))
+}
+
+fn cmd_coverage() -> Result<String, String> {
+    // The standard small suite's coverage plus the synthetic reference.
+    let suite = supermarq::benchmarks::standard_suite();
+    let features: Vec<FeatureVector> = suite.iter().map(|b| b.features()).collect();
+    let volume = coverage_of_features(&features);
+    let synthetic =
+        coverage_of_features(&supermarq::coverage::synthetic_suite_features());
+    let mut out = String::from("benchmark                      features\n");
+    for (b, f) in suite.iter().zip(&features) {
+        out.push_str(&format!("{:<30} {}\n", b.name(), f));
+    }
+    out.push_str(&format!("\nstandard-suite hull volume: {volume:.3e}\n"));
+    out.push_str(&format!("synthetic unit-vector reference: {synthetic:.3e}"));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(tokens: &[&str]) -> Result<String, String> {
+        dispatch(&tokens.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn devices_lists_all_machines() {
+        let out = run(&["devices"]).unwrap();
+        for name in ["IBM-Casablanca", "IBM-Montreal", "IonQ", "AQT"] {
+            assert!(out.contains(name), "{out}");
+        }
+    }
+
+    #[test]
+    fn generate_emits_parseable_qasm() {
+        let out = run(&["generate", "ghz", "--size", "4"]).unwrap();
+        let c = Circuit::from_qasm(&out).unwrap();
+        assert_eq!(c.num_qubits(), 4);
+        assert_eq!(c.two_qubit_gate_count(), 3);
+    }
+
+    #[test]
+    fn generate_supports_every_benchmark() {
+        for b in [
+            "ghz",
+            "mermin-bell",
+            "bit-code",
+            "phase-code",
+            "qaoa-vanilla",
+            "qaoa-swap",
+            "vqe",
+            "hamsim",
+        ] {
+            let out = run(&["generate", b, "--size", "3"]).unwrap();
+            assert!(out.contains("OPENQASM 2.0;"), "{b}");
+        }
+    }
+
+    #[test]
+    fn run_scores_a_small_benchmark() {
+        let out = run(&[
+            "run",
+            "ghz",
+            "--size",
+            "3",
+            "--device",
+            "ionq",
+            "--shots",
+            "200",
+            "--reps",
+            "1",
+        ])
+        .unwrap();
+        assert!(out.contains("score:"), "{out}");
+        assert!(out.contains("division: closed"));
+    }
+
+    #[test]
+    fn run_open_division_flag() {
+        let out = run(&[
+            "run", "ghz", "--size", "3", "--device", "aqt", "--shots", "200", "--reps", "1",
+            "--open",
+        ])
+        .unwrap();
+        assert!(out.contains("open (readout-mitigated)"), "{out}");
+    }
+
+    #[test]
+    fn features_command_round_trips_through_a_file() {
+        let dir = std::env::temp_dir().join("supermarq_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ghz.qasm");
+        let qasm = run(&["generate", "ghz", "--size", "5"]).unwrap();
+        std::fs::write(&path, qasm).unwrap();
+        let out = run(&["features", path.to_str().unwrap()]).unwrap();
+        assert!(out.contains("qubits: 5"), "{out}");
+        assert!(out.contains("CD=1.000"), "{out}");
+    }
+
+    #[test]
+    fn show_renders_a_diagram() {
+        let out = run(&["show", "ghz", "--size", "3"]).unwrap();
+        assert!(out.contains("q0:"), "{out}");
+        assert!(out.contains("[M]"));
+        assert!(out.contains("GHZ-3"));
+    }
+
+    #[test]
+    fn export_writes_parseable_qasm_corpus() {
+        let dir = std::env::temp_dir().join("supermarq_export_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = run(&["export", "--dir", dir.to_str().unwrap()]).unwrap();
+        assert!(out.contains("wrote 52"), "{out}");
+        // Every exported file parses back.
+        let mut count = 0;
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            let text = std::fs::read_to_string(&path).unwrap();
+            Circuit::from_qasm(&text).unwrap_or_else(|e| panic!("{path:?}: {e}"));
+            count += 1;
+        }
+        assert_eq!(count, 52);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_inputs_error_cleanly() {
+        assert!(run(&[]).is_err());
+        assert!(run(&["frobnicate"]).is_err());
+        assert!(run(&["generate", "not-a-benchmark"]).is_err());
+        assert!(run(&["run", "ghz", "--device", "not-a-device"]).is_err());
+        assert!(run(&["features", "/nonexistent/file.qasm"]).is_err());
+    }
+
+    #[test]
+    fn oversized_run_reports_too_many_qubits() {
+        let err = run(&["run", "ghz", "--size", "6", "--device", "aqt"]).unwrap_err();
+        assert!(err.contains("qubits"), "{err}");
+    }
+
+    #[test]
+    fn coverage_reports_volumes() {
+        let out = run(&["coverage"]).unwrap();
+        assert!(out.contains("hull volume"));
+        assert!(out.contains("1.389e-3"));
+    }
+}

@@ -1,0 +1,30 @@
+//! `supermarq` — command-line interface for the SupermarQ reproduction.
+//!
+//! ```text
+//! supermarq devices
+//! supermarq generate ghz --size 5
+//! supermarq features circuit.qasm
+//! supermarq run ghz --size 5 --device IBM-Montreal --shots 2000 [--open]
+//! supermarq coverage
+//! ```
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

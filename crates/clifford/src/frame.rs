@@ -1,0 +1,341 @@
+//! Phase-tracked Pauli strings under Clifford conjugation.
+
+use supermarq_circuit::{Gate, Instruction};
+use supermarq_pauli::PauliString;
+
+/// A Pauli string together with a sign, `(-1)^minus * P`, that can be
+/// conjugated by Clifford gates: applying gate `G` maps the operator to
+/// `G P G^\dagger`.
+///
+/// Clifford conjugation of a Hermitian Pauli keeps it a Hermitian Pauli, so
+/// a single sign bit suffices (no `i` phases appear).
+///
+/// # Example
+///
+/// ```
+/// use supermarq_clifford::SignedPauli;
+/// use supermarq_circuit::Gate;
+///
+/// let mut p = SignedPauli::from_string(&"X".parse().unwrap());
+/// p.conjugate(&Gate::H, &[0]); // H X H = Z
+/// assert_eq!(p.to_pauli_string().to_string(), "Z");
+/// assert!(!p.is_negative());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignedPauli {
+    x: Vec<bool>,
+    z: Vec<bool>,
+    minus: bool,
+}
+
+impl SignedPauli {
+    /// Wraps a plain Pauli string with a positive sign.
+    pub fn from_string(p: &PauliString) -> Self {
+        let (x, z) = p.to_xz_bits();
+        SignedPauli { x, z, minus: false }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.x.len()
+    }
+
+    /// `true` if the sign is negative.
+    pub fn is_negative(&self) -> bool {
+        self.minus
+    }
+
+    /// The sign as `+1.0` or `-1.0`.
+    pub fn sign(&self) -> f64 {
+        if self.minus {
+            -1.0
+        } else {
+            1.0
+        }
+    }
+
+    /// The underlying (unsigned) Pauli string.
+    pub fn to_pauli_string(&self) -> PauliString {
+        PauliString::from_xz_bits(&self.x, &self.z)
+    }
+
+    /// `true` if no site carries an X component (the operator is diagonal in
+    /// the computational basis).
+    pub fn is_diagonal(&self) -> bool {
+        self.x.iter().all(|&b| !b)
+    }
+
+    /// The Z-support bit mask (valid once diagonal): bit `q` set when site
+    /// `q` carries Z.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operator is not diagonal or has more than 64 qubits.
+    pub fn z_mask(&self) -> u64 {
+        assert!(self.is_diagonal(), "operator is not diagonal");
+        assert!(self.num_qubits() <= 64, "mask limited to 64 qubits");
+        let mut mask = 0u64;
+        for (q, &zq) in self.z.iter().enumerate() {
+            if zq {
+                mask |= 1 << q;
+            }
+        }
+        mask
+    }
+
+    /// The X bit at `qubit`.
+    pub fn x_bit(&self, qubit: usize) -> bool {
+        self.x[qubit]
+    }
+
+    /// The Z bit at `qubit`.
+    pub fn z_bit(&self, qubit: usize) -> bool {
+        self.z[qubit]
+    }
+
+    /// Conjugates the operator by a Clifford gate: `P -> G P G^\dagger`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate is not in the supported Clifford set
+    /// (`H, S, Sdg, X, Y, Z, Cx, Cz, Swap`) or operands are malformed.
+    pub fn conjugate(&mut self, gate: &Gate, qubits: &[usize]) {
+        match gate {
+            Gate::H => {
+                let q = qubits[0];
+                self.minus ^= self.x[q] & self.z[q];
+                self.x.swap_with_slice_one(q, &mut self.z);
+            }
+            Gate::S => {
+                // X -> Y, Y -> -X, Z -> Z.
+                let q = qubits[0];
+                self.minus ^= self.x[q] & self.z[q];
+                self.z[q] ^= self.x[q];
+            }
+            Gate::Sdg => {
+                // X -> -Y, Y -> X, Z -> Z.
+                let q = qubits[0];
+                self.minus ^= self.x[q] & !self.z[q];
+                self.z[q] ^= self.x[q];
+            }
+            Gate::X => {
+                let q = qubits[0];
+                self.minus ^= self.z[q];
+            }
+            Gate::Y => {
+                let q = qubits[0];
+                self.minus ^= self.x[q] ^ self.z[q];
+            }
+            Gate::Z => {
+                let q = qubits[0];
+                self.minus ^= self.x[q];
+            }
+            Gate::Cx => {
+                let (c, t) = (qubits[0], qubits[1]);
+                // Aaronson–Gottesman sign rule, pre-update values.
+                self.minus ^= self.x[c] & self.z[t] & (self.x[t] == self.z[c]);
+                self.x[t] ^= self.x[c];
+                self.z[c] ^= self.z[t];
+            }
+            Gate::Cz => {
+                // CZ = H(t) CX(c,t) H(t).
+                let (c, t) = (qubits[0], qubits[1]);
+                self.conjugate(&Gate::H, &[t]);
+                self.conjugate(&Gate::Cx, &[c, t]);
+                self.conjugate(&Gate::H, &[t]);
+            }
+            Gate::Swap => {
+                let (a, b) = (qubits[0], qubits[1]);
+                self.x.swap(a, b);
+                self.z.swap(a, b);
+            }
+            other => panic!("{other:?} is not a supported Clifford gate"),
+        }
+    }
+
+    /// Conjugates through every instruction of a circuit, in program order,
+    /// yielding `C P C^\dagger` for the whole circuit `C`.
+    ///
+    /// Barriers and measurements are skipped (measurement is not a
+    /// conjugation; callers apply this before the readout layer).
+    pub fn conjugate_circuit(&mut self, instructions: &[Instruction]) {
+        for instr in instructions {
+            match instr.gate {
+                Gate::Barrier | Gate::Measure => {}
+                ref g => self.conjugate(g, &instr.qubits),
+            }
+        }
+    }
+}
+
+/// Tiny helper trait: swap one element between two vectors.
+trait SwapOne {
+    fn swap_with_slice_one(&mut self, idx: usize, other: &mut Self);
+}
+
+impl SwapOne for Vec<bool> {
+    fn swap_with_slice_one(&mut self, idx: usize, other: &mut Self) {
+        std::mem::swap(&mut self[idx], &mut other[idx]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supermarq_circuit::Circuit;
+    use supermarq_pauli::Pauli;
+    use supermarq_sim::StateVector;
+
+    fn sp(s: &str) -> SignedPauli {
+        SignedPauli::from_string(&s.parse().unwrap())
+    }
+
+    #[test]
+    fn hadamard_exchanges_x_and_z() {
+        let mut p = sp("X");
+        p.conjugate(&Gate::H, &[0]);
+        assert_eq!(p.to_pauli_string().to_string(), "Z");
+        assert!(!p.is_negative());
+        let mut p = sp("Y");
+        p.conjugate(&Gate::H, &[0]);
+        assert_eq!(p.to_pauli_string().to_string(), "Y");
+        assert!(p.is_negative()); // H Y H = -Y
+    }
+
+    #[test]
+    fn s_gate_rotation() {
+        let mut p = sp("X");
+        p.conjugate(&Gate::S, &[0]);
+        assert_eq!(p.to_pauli_string().to_string(), "Y");
+        assert!(!p.is_negative());
+        let mut p = sp("Y");
+        p.conjugate(&Gate::S, &[0]);
+        assert_eq!(p.to_pauli_string().to_string(), "X");
+        assert!(p.is_negative()); // S Y Sdg = -X
+        let mut p = sp("X");
+        p.conjugate(&Gate::Sdg, &[0]);
+        assert_eq!(p.to_pauli_string().to_string(), "Y");
+        assert!(p.is_negative()); // Sdg X S = -Y
+    }
+
+    #[test]
+    fn pauli_gates_flip_signs() {
+        let mut p = sp("Z");
+        p.conjugate(&Gate::X, &[0]);
+        assert!(p.is_negative());
+        let mut p = sp("X");
+        p.conjugate(&Gate::Z, &[0]);
+        assert!(p.is_negative());
+        let mut p = sp("Y");
+        p.conjugate(&Gate::Y, &[0]);
+        assert!(!p.is_negative());
+    }
+
+    #[test]
+    fn cx_propagation_rules() {
+        // X_c -> X_c X_t.
+        let mut p = sp("XI");
+        p.conjugate(&Gate::Cx, &[0, 1]);
+        assert_eq!(p.to_pauli_string().to_string(), "XX");
+        // Z_t -> Z_c Z_t.
+        let mut p = sp("IZ");
+        p.conjugate(&Gate::Cx, &[0, 1]);
+        assert_eq!(p.to_pauli_string().to_string(), "ZZ");
+        // Z_c and X_t unchanged.
+        let mut p = sp("ZI");
+        p.conjugate(&Gate::Cx, &[0, 1]);
+        assert_eq!(p.to_pauli_string().to_string(), "ZI");
+        let mut p = sp("IX");
+        p.conjugate(&Gate::Cx, &[0, 1]);
+        assert_eq!(p.to_pauli_string().to_string(), "IX");
+    }
+
+    #[test]
+    fn swap_exchanges_sites() {
+        let mut p = sp("XZ");
+        p.conjugate(&Gate::Swap, &[0, 1]);
+        assert_eq!(p.to_pauli_string().to_string(), "ZX");
+    }
+
+    #[test]
+    fn z_mask_of_diagonal() {
+        let p = sp("ZIZ");
+        assert!(p.is_diagonal());
+        assert_eq!(p.z_mask(), 0b101);
+        assert!(!sp("XI").is_diagonal());
+    }
+
+    /// Cross-validates the conjugation engine against exact statevector
+    /// algebra: for random Clifford circuits `C` and Paulis `P`, check that
+    /// `C P C^\dagger` computed symbolically equals the matrix product.
+    #[test]
+    fn conjugation_matches_statevector_algebra() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(2024);
+        let n = 3;
+        for _trial in 0..40 {
+            // Random Clifford circuit.
+            let mut circuit = Circuit::new(n);
+            for _ in 0..8 {
+                match rng.gen_range(0..5) {
+                    0 => {
+                        circuit.h(rng.gen_range(0..n));
+                    }
+                    1 => {
+                        circuit.s(rng.gen_range(0..n));
+                    }
+                    2 => {
+                        circuit.sdg(rng.gen_range(0..n));
+                    }
+                    3 => {
+                        let a = rng.gen_range(0..n);
+                        let b = (a + rng.gen_range(1..n)) % n;
+                        circuit.cx(a, b);
+                    }
+                    _ => {
+                        let a = rng.gen_range(0..n);
+                        let b = (a + rng.gen_range(1..n)) % n;
+                        circuit.cz(a, b);
+                    }
+                }
+            }
+            // Random Pauli string (not all-identity).
+            let paulis: Vec<Pauli> = (0..n)
+                .map(|_| [Pauli::I, Pauli::X, Pauli::Y, Pauli::Z][rng.gen_range(0..4)])
+                .collect();
+            let p = PauliString::new(paulis);
+            if p.is_identity() {
+                continue;
+            }
+            // Symbolic conjugation.
+            let mut signed = SignedPauli::from_string(&p);
+            signed.conjugate_circuit(circuit.instructions());
+            // Statevector check: for random |psi>, <psi| C P C^dag |psi>
+            // must equal sign * <psi| Q |psi> where Q is the symbolic
+            // result. Build |psi> = C |basis-ish random state>.
+            let mut psi = StateVector::zero_state(n);
+            for q in 0..n {
+                psi.apply_gate(&Gate::Ry(rng.gen_range(0.0..3.0)), &[q]);
+                psi.apply_gate(&Gate::Rz(rng.gen_range(0.0..3.0)), &[q]);
+            }
+            psi.apply_gate(&Gate::Cx, &[0, 1]);
+            // LHS: <psi| C P C^dag |psi> = <C^dag psi | P | C^dag psi>.
+            let adj = circuit.adjoint().expect("clifford circuits are unitary");
+            let mut phi = psi.clone();
+            for instr in adj.iter() {
+                phi.apply_instruction(instr);
+            }
+            let lhs = phi.expectation_pauli(&p);
+            let rhs = signed.sign() * psi.expectation_pauli(&signed.to_pauli_string());
+            assert!((lhs - rhs).abs() < 1e-9, "lhs={lhs} rhs={rhs} p={p}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a supported Clifford gate")]
+    fn non_clifford_gate_rejected() {
+        let mut p = sp("X");
+        p.conjugate(&Gate::T, &[0]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Device calibration records (the columns of the paper's Table II).
+
+/// Average calibration data for one machine: coherence times, operation
+/// durations and error rates. Times are microseconds; errors are
+/// probabilities (Table II lists percentages — converted here).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Calibration {
+    /// Energy-relaxation time constant T1 (us).
+    pub t1_us: f64,
+    /// Dephasing time constant T2 (us).
+    pub t2_us: f64,
+    /// One-qubit gate duration (us).
+    pub time_1q_us: f64,
+    /// Two-qubit gate duration (us).
+    pub time_2q_us: f64,
+    /// Measurement (readout) duration (us).
+    pub time_meas_us: f64,
+    /// One-qubit gate error probability.
+    pub err_1q: f64,
+    /// Two-qubit gate error probability.
+    pub err_2q: f64,
+    /// Measurement (readout) error probability.
+    pub err_meas: f64,
+}
+
+impl Calibration {
+    /// Builds a calibration record from Table II-style values with errors
+    /// given in percent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any duration or time constant is non-positive, or any
+    /// error percentage is outside `[0, 100]`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_table_row(
+        t1_us: f64,
+        t2_us: f64,
+        time_1q_us: f64,
+        time_2q_us: f64,
+        time_meas_us: f64,
+        err_1q_pct: f64,
+        err_2q_pct: f64,
+        err_meas_pct: f64,
+    ) -> Self {
+        assert!(t1_us > 0.0 && t2_us > 0.0, "coherence times must be positive");
+        assert!(
+            time_1q_us > 0.0 && time_2q_us > 0.0 && time_meas_us > 0.0,
+            "durations must be positive"
+        );
+        for e in [err_1q_pct, err_2q_pct, err_meas_pct] {
+            assert!((0.0..=100.0).contains(&e), "error percentage {e} out of range");
+        }
+        Calibration {
+            t1_us,
+            t2_us,
+            time_1q_us,
+            time_2q_us,
+            time_meas_us,
+            err_1q: err_1q_pct / 100.0,
+            err_2q: err_2q_pct / 100.0,
+            err_meas: err_meas_pct / 100.0,
+        }
+    }
+
+    /// The ratio of measurement duration to T1 — the quantity behind the
+    /// paper's error-correction result: superconducting devices have
+    /// `time_meas / T1` of a few percent (data qubits decay during ancilla
+    /// readout), trapped ions have essentially zero.
+    pub fn readout_to_t1_ratio(&self) -> f64 {
+        self.time_meas_us / self.t1_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn casablanca() -> Calibration {
+        Calibration::from_table_row(91.21, 125.23, 0.035, 0.443, 5.9, 0.028, 0.83, 2.09)
+    }
+
+    #[test]
+    fn percent_conversion() {
+        let c = casablanca();
+        assert!((c.err_1q - 0.00028).abs() < 1e-12);
+        assert!((c.err_2q - 0.0083).abs() < 1e-12);
+        assert!((c.err_meas - 0.0209).abs() < 1e-12);
+    }
+
+    #[test]
+    fn readout_ratio_distinguishes_architectures() {
+        let sc = casablanca();
+        let ion = Calibration::from_table_row(1e7, 2e5, 10.0, 210.0, 100.0, 0.28, 3.04, 0.39);
+        assert!(sc.readout_to_t1_ratio() > 0.05);
+        assert!(ion.readout_to_t1_ratio() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "error percentage")]
+    fn rejects_out_of_range_error() {
+        Calibration::from_table_row(100.0, 100.0, 0.1, 0.4, 5.0, 0.1, 150.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_nonpositive_duration() {
+        Calibration::from_table_row(100.0, 100.0, 0.0, 0.4, 5.0, 0.1, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Monte-Carlo convex-hull volume estimation (cross-check for the exact
+//! hull computation).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::simplex::in_convex_hull;
+
+/// Estimates the volume of the convex hull of `points` by rejection
+/// sampling inside the bounding box, classifying samples with the LP-based
+/// membership test.
+///
+/// The estimator is unbiased with standard error `box_vol *
+/// sqrt(p(1-p)/samples)`. It exists to cross-check
+/// [`crate::ConvexHull::volume`]; the exact hull is what the Table I
+/// harness uses.
+///
+/// # Panics
+///
+/// Panics if `points` is empty or `samples == 0`.
+pub fn monte_carlo_volume(points: &[Vec<f64>], samples: usize, seed: u64) -> f64 {
+    assert!(!points.is_empty(), "need at least one point");
+    assert!(samples > 0, "need at least one sample");
+    let d = points[0].len();
+    let mut lo = vec![f64::INFINITY; d];
+    let mut hi = vec![f64::NEG_INFINITY; d];
+    for p in points {
+        for i in 0..d {
+            lo[i] = lo[i].min(p[i]);
+            hi[i] = hi[i].max(p[i]);
+        }
+    }
+    let box_vol: f64 = lo.iter().zip(&hi).map(|(a, b)| b - a).product();
+    if box_vol <= 0.0 {
+        return 0.0;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut inside = 0usize;
+    for _ in 0..samples {
+        let sample: Vec<f64> =
+            lo.iter().zip(&hi).map(|(&a, &b)| rng.gen_range(a..=b)).collect();
+        if in_convex_hull(points, &sample) {
+            inside += 1;
+        }
+    }
+    box_vol * inside as f64 / samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimates_cube_volume() {
+        let pts: Vec<Vec<f64>> = (0..8)
+            .map(|m| (0..3).map(|i| if m >> i & 1 == 1 { 1.0 } else { 0.0 }).collect())
+            .collect();
+        let v = monte_carlo_volume(&pts, 400, 1);
+        assert!((v - 1.0).abs() < 1e-9, "v={v}"); // box == hull: every sample inside
+    }
+
+    #[test]
+    fn estimates_simplex_volume() {
+        // 3-D unit simplex: exact volume 1/6 ~ 0.1667, box volume 1.
+        let pts = vec![
+            vec![0.0, 0.0, 0.0],
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ];
+        let v = monte_carlo_volume(&pts, 3000, 7);
+        assert!((v - 1.0 / 6.0).abs() < 0.03, "v={v}");
+    }
+
+    #[test]
+    fn agrees_with_exact_hull_on_random_set() {
+        use crate::hull::ConvexHull;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let pts: Vec<Vec<f64>> =
+            (0..12).map(|_| (0..3).map(|_| rng.gen_range(0.0..1.0)).collect()).collect();
+        let exact = ConvexHull::new(&pts).unwrap().volume();
+        let approx = monte_carlo_volume(&pts, 4000, 11);
+        assert!(
+            (exact - approx).abs() < 0.05 * exact.max(0.05),
+            "exact={exact} approx={approx}"
+        );
+    }
+
+    #[test]
+    fn flat_set_estimates_zero() {
+        let pts = vec![vec![0.0, 0.5], vec![1.0, 0.5], vec![0.3, 0.5]];
+        assert_eq!(monte_carlo_volume(&pts, 100, 2), 0.0);
+    }
+}

@@ -1,0 +1,286 @@
+//! Weighted sums of Pauli strings (observables / Hamiltonians).
+
+use crate::string::PauliString;
+use std::collections::BTreeMap;
+
+/// A real-weighted sum of Pauli strings, `H = sum_k c_k P_k`.
+///
+/// All operators the SupermarQ benchmarks measure — the Mermin operator, the
+/// SK cost Hamiltonian `sum_{ij} w_ij Z_i Z_j`, the TFIM energy, the average
+/// magnetization `m_z` — are Hermitian with real coefficients in the Pauli
+/// basis, so real weights suffice.
+///
+/// Terms are kept in a canonical sorted map keyed by string, so equal
+/// operators built in different orders compare equal.
+///
+/// # Example
+///
+/// ```
+/// use supermarq_pauli::{PauliString, PauliSum};
+///
+/// let mut h = PauliSum::zero(2);
+/// h.add_term(0.5, "ZZ".parse().unwrap());
+/// h.add_term(0.5, "ZZ".parse().unwrap());
+/// h.add_term(1.0, "XI".parse().unwrap());
+/// assert_eq!(h.num_terms(), 2);
+/// assert_eq!(h.coefficient(&"ZZ".parse::<PauliString>().unwrap()), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PauliSum {
+    num_qubits: usize,
+    terms: BTreeMap<PauliString, f64>,
+}
+
+impl PauliSum {
+    /// The zero operator on `n` qubits.
+    pub fn zero(num_qubits: usize) -> Self {
+        PauliSum { num_qubits, terms: BTreeMap::new() }
+    }
+
+    /// Builds a sum from `(coefficient, string)` pairs, collecting duplicate
+    /// strings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any string length differs from `num_qubits`.
+    pub fn from_terms(
+        num_qubits: usize,
+        terms: impl IntoIterator<Item = (f64, PauliString)>,
+    ) -> Self {
+        let mut sum = PauliSum::zero(num_qubits);
+        for (c, p) in terms {
+            sum.add_term(c, p);
+        }
+        sum
+    }
+
+    /// Number of qubits the operator acts on.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of distinct Pauli strings with non-zero coefficient.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// `true` if the operator is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Adds `c * P` to the operator, dropping the term if the collected
+    /// coefficient cancels to (near) zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p.num_qubits() != self.num_qubits()`.
+    pub fn add_term(&mut self, c: f64, p: PauliString) {
+        assert_eq!(
+            p.num_qubits(),
+            self.num_qubits,
+            "term length {} does not match operator size {}",
+            p.num_qubits(),
+            self.num_qubits
+        );
+        let entry = self.terms.entry(p).or_insert(0.0);
+        *entry += c;
+        if entry.abs() < 1e-14 {
+            let key = self
+                .terms
+                .iter()
+                .find(|(_, &v)| v.abs() < 1e-14)
+                .map(|(k, _)| k.clone());
+            if let Some(k) = key {
+                self.terms.remove(&k);
+            }
+        }
+    }
+
+    /// Coefficient of a string (0 if absent).
+    pub fn coefficient(&self, p: &PauliString) -> f64 {
+        self.terms.get(p).copied().unwrap_or(0.0)
+    }
+
+    /// Iterates over `(coefficient, string)` pairs in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, &PauliString)> + '_ {
+        self.terms.iter().map(|(p, &c)| (c, p))
+    }
+
+    /// `true` if every pair of terms commutes, i.e. the whole sum can be
+    /// measured simultaneously in one shared eigenbasis.
+    pub fn is_mutually_commuting(&self) -> bool {
+        let strings: Vec<&PauliString> = self.terms.keys().collect();
+        for (i, a) in strings.iter().enumerate() {
+            for b in &strings[i + 1..] {
+                if !a.commutes_with(b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Scales every coefficient by `s`.
+    pub fn scale(&mut self, s: f64) {
+        if s == 0.0 {
+            self.terms.clear();
+            return;
+        }
+        for c in self.terms.values_mut() {
+            *c *= s;
+        }
+    }
+
+    /// Adds another operator term-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operators act on different register sizes.
+    pub fn add(&mut self, other: &PauliSum) {
+        assert_eq!(self.num_qubits, other.num_qubits, "size mismatch");
+        for (c, p) in other.iter() {
+            self.add_term(c, p.clone());
+        }
+    }
+
+    /// Sum of `|c_k|` — an easy upper bound on the operator norm.
+    pub fn one_norm(&self) -> f64 {
+        self.terms.values().map(|c| c.abs()).sum()
+    }
+
+    /// The maximum weight (non-identity support size) across terms.
+    pub fn max_weight(&self) -> usize {
+        self.terms.keys().map(PauliString::weight).max().unwrap_or(0)
+    }
+
+    /// Partitions the terms into greedily-built groups of mutually
+    /// commuting strings (first-fit). Each group can be measured with a
+    /// single circuit; the VQE benchmark uses this to measure the TFIM
+    /// energy in two bases.
+    pub fn commuting_groups(&self) -> Vec<PauliSum> {
+        let mut groups: Vec<PauliSum> = Vec::new();
+        for (c, p) in self.iter() {
+            let mut placed = false;
+            for g in groups.iter_mut() {
+                if g.terms.keys().all(|q| q.commutes_with(p)) {
+                    g.add_term(c, p.clone());
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                let mut g = PauliSum::zero(self.num_qubits);
+                g.add_term(c, p.clone());
+                groups.push(g);
+            }
+        }
+        groups
+    }
+}
+
+impl std::fmt::Display for PauliSum {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        let parts: Vec<String> =
+            self.iter().map(|(c, p)| format!("{c:+.6}*{p}")).collect();
+        write!(f, "{}", parts.join(" "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::string::Pauli;
+
+    fn ps(s: &str) -> PauliString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn duplicate_terms_collect() {
+        let h = PauliSum::from_terms(2, [(0.5, ps("ZZ")), (0.25, ps("ZZ")), (1.0, ps("XI"))]);
+        assert_eq!(h.num_terms(), 2);
+        assert!((h.coefficient(&ps("ZZ")) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cancelling_terms_drop_out() {
+        let mut h = PauliSum::zero(1);
+        h.add_term(1.0, ps("X"));
+        h.add_term(-1.0, ps("X"));
+        assert!(h.is_zero());
+        assert_eq!(h.num_terms(), 0);
+    }
+
+    #[test]
+    fn order_independence() {
+        let a = PauliSum::from_terms(2, [(1.0, ps("XX")), (2.0, ps("ZZ"))]);
+        let b = PauliSum::from_terms(2, [(2.0, ps("ZZ")), (1.0, ps("XX"))]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mutual_commutation_detection() {
+        let commuting = PauliSum::from_terms(2, [(1.0, ps("XX")), (1.0, ps("YY")), (1.0, ps("ZZ"))]);
+        assert!(commuting.is_mutually_commuting());
+        let anti = PauliSum::from_terms(2, [(1.0, ps("XI")), (1.0, ps("ZI"))]);
+        assert!(!anti.is_mutually_commuting());
+    }
+
+    #[test]
+    fn scale_and_add() {
+        let mut h = PauliSum::from_terms(1, [(2.0, ps("Z"))]);
+        h.scale(0.5);
+        assert!((h.coefficient(&ps("Z")) - 1.0).abs() < 1e-12);
+        let g = PauliSum::from_terms(1, [(1.0, ps("Z")), (3.0, ps("X"))]);
+        h.add(&g);
+        assert!((h.coefficient(&ps("Z")) - 2.0).abs() < 1e-12);
+        assert!((h.coefficient(&ps("X")) - 3.0).abs() < 1e-12);
+        h.scale(0.0);
+        assert!(h.is_zero());
+    }
+
+    #[test]
+    fn norms_and_weight() {
+        let h = PauliSum::from_terms(3, [(1.0, ps("XYZ")), (-2.0, ps("IIZ"))]);
+        assert!((h.one_norm() - 3.0).abs() < 1e-12);
+        assert_eq!(h.max_weight(), 3);
+        assert_eq!(PauliSum::zero(2).max_weight(), 0);
+    }
+
+    #[test]
+    fn commuting_groups_cover_all_terms() {
+        // TFIM-style: ZZ terms commute with each other, X terms commute with
+        // each other, but ZZ and X overlap-anticommute.
+        let mut h = PauliSum::zero(3);
+        h.add_term(1.0, PauliString::two(3, 0, Pauli::Z, 1, Pauli::Z));
+        h.add_term(1.0, PauliString::two(3, 1, Pauli::Z, 2, Pauli::Z));
+        for q in 0..3 {
+            h.add_term(0.5, PauliString::single(3, q, Pauli::X));
+        }
+        let groups = h.commuting_groups();
+        assert_eq!(groups.len(), 2);
+        let total: usize = groups.iter().map(PauliSum::num_terms).sum();
+        assert_eq!(total, h.num_terms());
+        for g in &groups {
+            assert!(g.is_mutually_commuting());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match operator size")]
+    fn add_term_rejects_wrong_length() {
+        let mut h = PauliSum::zero(2);
+        h.add_term(1.0, ps("XXX"));
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let h = PauliSum::from_terms(1, [(1.5, ps("Z"))]);
+        assert!(h.to_string().contains("Z"));
+        assert_eq!(PauliSum::zero(1).to_string(), "0");
+    }
+}

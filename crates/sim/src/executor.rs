@@ -1,0 +1,331 @@
+//! Shot-based circuit execution.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::counts::Counts;
+use crate::noise::NoiseModel;
+use crate::state::StateVector;
+use supermarq_circuit::{Circuit, CircuitLayers, GateKind};
+
+/// Executes circuits for a number of shots under a [`NoiseModel`].
+///
+/// When the model is ideal and the circuit contains no mid-circuit
+/// measurement or reset, the final state is computed once and sampled
+/// `shots` times; otherwise each shot is an independent quantum trajectory.
+///
+/// # Example
+///
+/// ```
+/// use supermarq_circuit::Circuit;
+/// use supermarq_sim::Executor;
+///
+/// let mut c = Circuit::new(1);
+/// c.h(0).measure(0);
+/// let counts = Executor::noiseless().run(&c, 2000, 42);
+/// assert_eq!(counts.total(), 2000);
+/// let p0 = counts.probability(0);
+/// assert!((p0 - 0.5).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Executor {
+    noise: NoiseModel,
+}
+
+impl Executor {
+    /// An executor with the given noise model.
+    pub fn new(noise: NoiseModel) -> Self {
+        Executor { noise }
+    }
+
+    /// A noiseless executor.
+    pub fn noiseless() -> Self {
+        Executor { noise: NoiseModel::ideal() }
+    }
+
+    /// The executor's noise model.
+    pub fn noise(&self) -> &NoiseModel {
+        &self.noise
+    }
+
+    /// Runs `circuit` for `shots` shots with a deterministic RNG seed and
+    /// returns the histogram of classical-register values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit exceeds the simulator's qubit limit.
+    pub fn run(&self, circuit: &Circuit, shots: usize, seed: u64) -> Counts {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = circuit.num_qubits();
+        let mut counts = Counts::new(n);
+        let needs_trajectories = !self.noise.is_ideal() || has_nonfinal_collapse(circuit);
+        if !needs_trajectories {
+            // Single pass: apply unitaries, sample measured qubits from the
+            // final state.
+            let mut state = StateVector::zero_state(n);
+            let mut measured_mask = 0u64;
+            for instr in circuit.iter() {
+                match instr.gate.kind() {
+                    GateKind::OneQubitUnitary | GateKind::TwoQubitUnitary => {
+                        state.apply_instruction(instr);
+                    }
+                    GateKind::Measurement => measured_mask |= 1 << instr.qubits[0],
+                    GateKind::Reset => unreachable!("reset forces trajectory mode"),
+                    GateKind::Barrier => {}
+                }
+            }
+            for _ in 0..shots {
+                let bits = state.sample(&mut rng);
+                counts.record(bits & measured_mask);
+            }
+            return counts;
+        }
+        for _ in 0..shots {
+            let bits = self.run_trajectory(circuit, &mut rng);
+            counts.record(bits);
+        }
+        counts
+    }
+
+    /// Runs a single noisy trajectory and returns the classical register.
+    fn run_trajectory(&self, circuit: &Circuit, rng: &mut StdRng) -> u64 {
+        let n = circuit.num_qubits();
+        let mut state = StateVector::zero_state(n);
+        let mut classical = 0u64;
+        let layers = CircuitLayers::of(circuit);
+        let instrs = circuit.instructions();
+        let track_relaxation = self.noise.t1.is_finite() || self.noise.t2.is_finite();
+        for layer in layers.layers() {
+            // Count simultaneous 2q gates for the crosstalk penalty and find
+            // the layer duration.
+            let mut two_q_gates = 0usize;
+            let mut layer_duration = 0.0f64;
+            for &i in layer {
+                let instr = &instrs[i];
+                if instr.is_two_qubit() {
+                    two_q_gates += 1;
+                }
+                layer_duration = layer_duration.max(self.noise.duration_of(&instr.gate));
+            }
+            let mut busy_time = vec![0.0f64; n];
+            for &i in layer {
+                let instr = &instrs[i];
+                let duration = self.noise.duration_of(&instr.gate);
+                for &q in &instr.qubits {
+                    busy_time[q] = busy_time[q].max(duration);
+                }
+                match instr.gate.kind() {
+                    GateKind::OneQubitUnitary => {
+                        state.apply_instruction(instr);
+                        self.noise.apply_depolarizing_1q(&mut state, instr.qubits[0], rng);
+                    }
+                    GateKind::TwoQubitUnitary => {
+                        state.apply_instruction(instr);
+                        self.noise.apply_depolarizing_2q(
+                            &mut state,
+                            [instr.qubits[0], instr.qubits[1]],
+                            two_q_gates,
+                            rng,
+                        );
+                    }
+                    GateKind::Measurement => {
+                        let q = instr.qubits[0];
+                        let bit = state.measure_qubit(q, rng);
+                        let recorded = self.noise.flip_readout(q, bit, rng);
+                        if recorded {
+                            classical |= 1 << q;
+                        } else {
+                            classical &= !(1 << q);
+                        }
+                    }
+                    GateKind::Reset => {
+                        let q = instr.qubits[0];
+                        state.reset_qubit(q, rng);
+                        self.noise.apply_reset_error(&mut state, q, rng);
+                    }
+                    GateKind::Barrier => {}
+                }
+            }
+            // Idle decoherence: every qubit decays for the part of the layer
+            // it spent waiting.
+            if track_relaxation && layer_duration > 0.0 {
+                for (q, &busy) in busy_time.iter().enumerate() {
+                    let idle = layer_duration - busy;
+                    if idle > 0.0 {
+                        self.noise.apply_relaxation(&mut state, q, idle, rng);
+                    }
+                }
+            }
+        }
+        classical
+    }
+
+    /// Computes the exact final state of the unitary part of `circuit`
+    /// (ignores measurements; panics on reset), for noiseless reference
+    /// values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit contains a reset.
+    pub fn final_state(circuit: &Circuit) -> StateVector {
+        let mut state = StateVector::zero_state(circuit.num_qubits());
+        for instr in circuit.iter() {
+            match instr.gate.kind() {
+                GateKind::OneQubitUnitary | GateKind::TwoQubitUnitary => {
+                    state.apply_instruction(instr);
+                }
+                GateKind::Measurement | GateKind::Barrier => {}
+                GateKind::Reset => panic!("final_state does not support reset"),
+            }
+        }
+        state
+    }
+}
+
+/// `true` if a measurement or reset is followed by later non-measurement
+/// activity on any qubit (which forces per-shot trajectory simulation).
+fn has_nonfinal_collapse(circuit: &Circuit) -> bool {
+    let mut seen_collapse = false;
+    for instr in circuit.iter() {
+        match instr.gate.kind() {
+            GateKind::Reset => return true,
+            GateKind::Measurement => seen_collapse = true,
+            GateKind::Barrier => {}
+            _ => {
+                if seen_collapse {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noiseless_bell_state_counts() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).measure_all();
+        let counts = Executor::noiseless().run(&c, 4000, 11);
+        assert_eq!(counts.total(), 4000);
+        assert_eq!(counts.count(0b01) + counts.count(0b10), 0);
+        let p00 = counts.probability(0b00);
+        assert!((p00 - 0.5).abs() < 0.05, "p00={p00}");
+    }
+
+    #[test]
+    fn unmeasured_qubits_report_zero() {
+        let mut c = Circuit::new(2);
+        c.x(0).x(1).measure(0); // only qubit 0 measured
+        let counts = Executor::noiseless().run(&c, 10, 1);
+        assert_eq!(counts.count(0b01), 10);
+    }
+
+    #[test]
+    fn mid_circuit_measurement_forces_trajectories() {
+        // Measure |+> then CNOT conditioned on the *quantum* state: the
+        // post-measurement state is classical, so qubit 1 copies qubit 0.
+        let mut c = Circuit::new(2);
+        c.h(0).measure(0).cx(0, 1).measure(1);
+        let counts = Executor::noiseless().run(&c, 2000, 5);
+        for (bits, _) in counts.iter() {
+            let b0 = bits & 1;
+            let b1 = (bits >> 1) & 1;
+            assert_eq!(b0, b1, "bits={bits:02b}");
+        }
+    }
+
+    #[test]
+    fn reset_clears_qubit() {
+        let mut c = Circuit::new(1);
+        c.x(0).reset(0).measure(0);
+        let counts = Executor::noiseless().run(&c, 100, 9);
+        assert_eq!(counts.count(0), 100);
+    }
+
+    #[test]
+    fn depolarizing_noise_degrades_ghz_fidelity() {
+        let n = 4;
+        let mut c = Circuit::new(n);
+        c.h(0);
+        for q in 0..n - 1 {
+            c.cx(q, q + 1);
+        }
+        c.measure_all();
+        let ideal = Executor::noiseless().run(&c, 2000, 3);
+        let noisy = Executor::new(NoiseModel::uniform_depolarizing(0.05)).run(&c, 2000, 3);
+        let good = |counts: &Counts| {
+            (counts.count(0) + counts.count((1 << n) - 1)) as f64 / counts.total() as f64
+        };
+        assert!(good(&ideal) > 0.99);
+        assert!(good(&noisy) < 0.95);
+        assert!(good(&noisy) > 0.3);
+    }
+
+    #[test]
+    fn readout_error_flips_deterministic_outcome() {
+        let mut c = Circuit::new(1);
+        c.x(0).measure(0);
+        let noise = NoiseModel { readout_error: 0.2, ..NoiseModel::ideal() };
+        let counts = Executor::new(noise).run(&c, 5000, 13);
+        let flip_rate = counts.probability(0);
+        assert!((flip_rate - 0.2).abs() < 0.03, "flip_rate={flip_rate}");
+    }
+
+    #[test]
+    fn relaxation_during_long_measurement_damages_idle_qubit() {
+        let make_noise = || {
+            let mut nm = NoiseModel::ideal();
+            nm.t1 = 5.0;
+            nm.durations.measurement = 5.0;
+            nm.durations.one_qubit = 0.0;
+            nm
+        };
+        // Parallel measurement: barrier puts both measures in one layer, so
+        // qubit 1 never idles next to a long readout and survives in |1>.
+        let mut parallel = Circuit::new(2);
+        parallel.x(1).barrier_all().measure(0).measure(1);
+        let counts_parallel = Executor::new(make_noise()).run(&parallel, 4000, 17);
+        // Serialized: qubit 1 idles for the 5 us of qubit 0's readout, which
+        // equals T1, so it decays with probability 1 - exp(-1) ~ 0.63.
+        let mut serial = Circuit::new(2);
+        serial.x(1).measure(0).barrier_all().measure(1);
+        let counts_serial = Executor::new(make_noise()).run(&serial, 4000, 17);
+        let survival_parallel = counts_parallel.marginal(&[1]).probability(1);
+        let survival_serial = counts_serial.marginal(&[1]).probability(1);
+        assert!(survival_parallel > 0.95, "parallel survival {survival_parallel}");
+        assert!(
+            (survival_serial - (-1.0f64).exp()).abs() < 0.05,
+            "serial survival {survival_serial}"
+        );
+    }
+
+    #[test]
+    fn final_state_ignores_measurements() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).measure_all();
+        let psi = Executor::final_state(&c);
+        assert!((psi.probability(0b00) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support reset")]
+    fn final_state_rejects_reset() {
+        let mut c = Circuit::new(1);
+        c.reset(0);
+        Executor::final_state(&c);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2).measure_all();
+        let noise = NoiseModel::uniform_depolarizing(0.02);
+        let a = Executor::new(noise.clone()).run(&c, 500, 99);
+        let b = Executor::new(noise).run(&c, 500, 99);
+        assert_eq!(a, b);
+    }
+}

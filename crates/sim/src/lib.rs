@@ -1,0 +1,45 @@
+//! Statevector simulation with trajectory-based noise for the SupermarQ
+//! reproduction.
+//!
+//! The paper's artifact replaces real quantum hardware with noisy circuit
+//! simulation; this crate is that substrate. It provides:
+//!
+//! * [`StateVector`] — an exact `2^n` statevector with gate application,
+//!   projective measurement, reset, sampling and Pauli expectations;
+//! * [`NoiseModel`] — stochastic (quantum-trajectory) error channels:
+//!   depolarizing noise after each gate, thermal relaxation (amplitude
+//!   damping + dephasing) on idle qubits derived from `T1`/`T2` and gate
+//!   durations, readout error, reset error, and a crosstalk penalty for
+//!   simultaneous two-qubit gates;
+//! * [`Executor`] — runs a circuit for a number of shots and returns
+//!   [`Counts`], re-simulating per shot when noise or mid-circuit
+//!   measurement makes trajectories differ;
+//! * [`krylov`] — Lanczos/Krylov `exp(-iHt)|psi>` reference evolution used
+//!   to score the Hamiltonian-simulation benchmark against exact dynamics.
+//!
+//! # Example
+//!
+//! ```
+//! use supermarq_circuit::Circuit;
+//! use supermarq_sim::{Executor, NoiseModel};
+//!
+//! let mut bell = Circuit::new(2);
+//! bell.h(0).cx(0, 1).measure_all();
+//! let counts = Executor::noiseless().run(&bell, 1000, 7);
+//! // Only |00> and |11> appear for a noiseless Bell state.
+//! assert!(counts.iter().all(|(k, _)| k == 0b00 || k == 0b11));
+//! let _noisy = Executor::new(NoiseModel::uniform_depolarizing(0.01)).run(&bell, 100, 7);
+//! ```
+
+pub mod counts;
+pub mod density;
+pub mod executor;
+pub mod krylov;
+pub mod noise;
+pub mod state;
+
+pub use counts::Counts;
+pub use density::DensityMatrix;
+pub use executor::Executor;
+pub use noise::NoiseModel;
+pub use state::StateVector;

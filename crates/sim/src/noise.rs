@@ -1,0 +1,481 @@
+//! Stochastic (quantum-trajectory) noise channels.
+//!
+//! The noise model mirrors what the paper's Table II calibration data
+//! describes: per-gate depolarizing error, readout error, and thermal
+//! relaxation (`T1` amplitude damping plus `T2` dephasing) accumulated while
+//! qubits idle. Gate and measurement durations determine how long idle
+//! qubits decohere, which is exactly the mechanism behind the paper's
+//! headline error-correction result: superconducting measurement + reset is
+//! long relative to `T1`/`T2`, so the data qubits of the bit/phase-code
+//! benchmarks decay while ancillas are read out, while trapped-ion qubits
+//! idle essentially for free.
+
+use std::collections::BTreeMap;
+
+use rand::Rng;
+
+use crate::state::StateVector;
+use supermarq_circuit::{C64, Gate};
+
+/// Durations (in microseconds) of the primitive operations, used to compute
+/// how long idle qubits decohere each layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateDurations {
+    /// One-qubit gate time.
+    pub one_qubit: f64,
+    /// Two-qubit gate time.
+    pub two_qubit: f64,
+    /// Measurement (readout) time.
+    pub measurement: f64,
+    /// Reset time.
+    pub reset: f64,
+}
+
+impl Default for GateDurations {
+    /// Typical superconducting-scale durations (microseconds).
+    fn default() -> Self {
+        GateDurations { one_qubit: 0.035, two_qubit: 0.43, measurement: 5.0, reset: 5.0 }
+    }
+}
+
+/// A trajectory noise model applied during circuit execution.
+///
+/// All probabilities are per-application; set any field to zero to disable
+/// that channel. `t1`/`t2` of `f64::INFINITY` disable relaxation.
+///
+/// # Example
+///
+/// ```
+/// use supermarq_sim::NoiseModel;
+///
+/// let ideal = NoiseModel::ideal();
+/// assert!(ideal.is_ideal());
+/// let noisy = NoiseModel::uniform_depolarizing(0.01);
+/// assert!(!noisy.is_ideal());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseModel {
+    /// Depolarizing probability after each one-qubit gate.
+    pub depolarizing_1q: f64,
+    /// Depolarizing probability after each two-qubit gate (applied to the
+    /// pair: a uniformly random non-identity two-qubit Pauli).
+    pub depolarizing_2q: f64,
+    /// Probability that a measurement records the flipped bit.
+    pub readout_error: f64,
+    /// Probability that a reset leaves the qubit in `|1>`.
+    pub reset_error: f64,
+    /// Energy-relaxation time constant (microseconds).
+    pub t1: f64,
+    /// Dephasing time constant (microseconds). Physical devices satisfy
+    /// `t2 <= 2 t1`; values above that bound are clamped when deriving the
+    /// pure-dephasing rate.
+    pub t2: f64,
+    /// Operation durations used to convert idle time into decay.
+    pub durations: GateDurations,
+    /// Extra multiplicative depolarizing strength per *additional*
+    /// simultaneous two-qubit gate in the same layer (cross-talk, paper
+    /// Sec. III-B-4). Effective 2q error for a layer with `k` two-qubit
+    /// gates: `depolarizing_2q * (1 + crosstalk * (k - 1))`, clamped to 1.
+    pub crosstalk: f64,
+    /// Optional per-coupler two-qubit error rates (key `(min, max)`),
+    /// overriding `depolarizing_2q` on listed edges. Real devices have
+    /// large coupler-to-coupler variation — this is what noise-aware
+    /// placement exploits.
+    pub edge_depolarizing: Option<BTreeMap<(usize, usize), f64>>,
+    /// Optional per-qubit readout error rates, overriding `readout_error`
+    /// on listed qubits.
+    pub qubit_readout: Option<Vec<f64>>,
+}
+
+impl NoiseModel {
+    /// The noiseless model.
+    pub fn ideal() -> Self {
+        NoiseModel {
+            depolarizing_1q: 0.0,
+            depolarizing_2q: 0.0,
+            readout_error: 0.0,
+            reset_error: 0.0,
+            t1: f64::INFINITY,
+            t2: f64::INFINITY,
+            durations: GateDurations::default(),
+            crosstalk: 0.0,
+            edge_depolarizing: None,
+            qubit_readout: None,
+        }
+    }
+
+    /// A simple model with the same depolarizing probability after every
+    /// gate and no other channels — handy for quick experiments and tests.
+    pub fn uniform_depolarizing(p: f64) -> Self {
+        NoiseModel { depolarizing_1q: p, depolarizing_2q: p, ..NoiseModel::ideal() }
+    }
+
+    /// `true` if every channel is disabled.
+    pub fn is_ideal(&self) -> bool {
+        self.depolarizing_1q == 0.0
+            && self.depolarizing_2q == 0.0
+            && self.readout_error == 0.0
+            && self.reset_error == 0.0
+            && self.t1.is_infinite()
+            && self.t2.is_infinite()
+            && self.edge_depolarizing.as_ref().map_or(true, |m| m.values().all(|&p| p == 0.0))
+            && self.qubit_readout.as_ref().map_or(true, |v| v.iter().all(|&p| p == 0.0))
+    }
+
+    /// Duration of a primitive operation under this model.
+    pub fn duration_of(&self, gate: &Gate) -> f64 {
+        use supermarq_circuit::GateKind::*;
+        match gate.kind() {
+            OneQubitUnitary => self.durations.one_qubit,
+            TwoQubitUnitary => self.durations.two_qubit,
+            Measurement => self.durations.measurement,
+            Reset => self.durations.reset,
+            Barrier => 0.0,
+        }
+    }
+
+    /// Applies one-qubit depolarizing noise: with probability `p`, a
+    /// uniformly random Pauli from {X, Y, Z}.
+    pub fn apply_depolarizing_1q<R: Rng + ?Sized>(
+        &self,
+        state: &mut StateVector,
+        qubit: usize,
+        rng: &mut R,
+    ) {
+        apply_random_pauli(state, &[qubit], self.depolarizing_1q, rng);
+    }
+
+    /// The base two-qubit error rate for a specific coupler, honoring
+    /// per-edge calibration data when present.
+    pub fn depolarizing_2q_for(&self, a: usize, b: usize) -> f64 {
+        let key = (a.min(b), a.max(b));
+        self.edge_depolarizing
+            .as_ref()
+            .and_then(|m| m.get(&key).copied())
+            .unwrap_or(self.depolarizing_2q)
+    }
+
+    /// The readout error for a specific qubit, honoring per-qubit
+    /// calibration data when present.
+    pub fn readout_error_for(&self, q: usize) -> f64 {
+        self.qubit_readout
+            .as_ref()
+            .and_then(|v| v.get(q).copied())
+            .unwrap_or(self.readout_error)
+    }
+
+    /// Applies two-qubit depolarizing noise with a cross-talk multiplier for
+    /// `simultaneous_2q` total two-qubit gates in the current layer.
+    pub fn apply_depolarizing_2q<R: Rng + ?Sized>(
+        &self,
+        state: &mut StateVector,
+        qubits: [usize; 2],
+        simultaneous_2q: usize,
+        rng: &mut R,
+    ) {
+        let extra = self.crosstalk * simultaneous_2q.saturating_sub(1) as f64;
+        let base = self.depolarizing_2q_for(qubits[0], qubits[1]);
+        let p = (base * (1.0 + extra)).min(1.0);
+        apply_random_pauli(state, &qubits, p, rng);
+    }
+
+    /// Applies thermal relaxation to `qubit` for `duration` microseconds:
+    /// amplitude damping with `gamma = 1 - exp(-t/T1)` followed by a phase
+    /// flip with the pure-dephasing probability derived from `T2`.
+    pub fn apply_relaxation<R: Rng + ?Sized>(
+        &self,
+        state: &mut StateVector,
+        qubit: usize,
+        duration: f64,
+        rng: &mut R,
+    ) {
+        if duration <= 0.0 {
+            return;
+        }
+        if self.t1.is_finite() && self.t1 > 0.0 {
+            let gamma = 1.0 - (-duration / self.t1).exp();
+            apply_amplitude_damping(state, qubit, gamma, rng);
+        }
+        // Pure dephasing rate: 1/Tphi = 1/T2 - 1/(2 T1).
+        if self.t2.is_finite() && self.t2 > 0.0 {
+            let rate_t1 = if self.t1.is_finite() { 1.0 / (2.0 * self.t1) } else { 0.0 };
+            let rate_phi = (1.0 / self.t2 - rate_t1).max(0.0);
+            if rate_phi > 0.0 {
+                let p_z = 0.5 * (1.0 - (-duration * rate_phi).exp());
+                if rng.gen::<f64>() < p_z {
+                    let m = Gate::Z.matrix1().expect("Z matrix");
+                    state.apply_matrix1(&m, qubit);
+                }
+            }
+        }
+    }
+
+    /// Possibly flips a recorded measurement bit (readout error), honoring
+    /// per-qubit rates when present.
+    pub fn flip_readout<R: Rng + ?Sized>(&self, qubit: usize, bit: bool, rng: &mut R) -> bool {
+        let p = self.readout_error_for(qubit);
+        if p > 0.0 && rng.gen::<f64>() < p {
+            !bit
+        } else {
+            bit
+        }
+    }
+
+    /// Applies reset error: with probability `reset_error` the qubit is left
+    /// in `|1>` after a reset.
+    pub fn apply_reset_error<R: Rng + ?Sized>(
+        &self,
+        state: &mut StateVector,
+        qubit: usize,
+        rng: &mut R,
+    ) {
+        if self.reset_error > 0.0 && rng.gen::<f64>() < self.reset_error {
+            let m = Gate::X.matrix1().expect("X matrix");
+            state.apply_matrix1(&m, qubit);
+        }
+    }
+}
+
+/// With probability `p`, applies a uniformly random non-identity Pauli over
+/// `qubits` (3 choices for one qubit, 15 for two).
+fn apply_random_pauli<R: Rng + ?Sized>(
+    state: &mut StateVector,
+    qubits: &[usize],
+    p: f64,
+    rng: &mut R,
+) {
+    if p <= 0.0 || rng.gen::<f64>() >= p {
+        return;
+    }
+    let options = 4usize.pow(qubits.len() as u32) - 1;
+    let mut choice = rng.gen_range(1..=options);
+    for &q in qubits {
+        let pauli = choice % 4;
+        choice /= 4;
+        let gate = match pauli {
+            0 => continue,
+            1 => Gate::X,
+            2 => Gate::Y,
+            _ => Gate::Z,
+        };
+        let m = gate.matrix1().expect("pauli matrix");
+        state.apply_matrix1(&m, q);
+    }
+}
+
+/// Trajectory sampling of the amplitude-damping channel with Kraus operators
+/// `K0 = diag(1, sqrt(1-gamma))`, `K1 = sqrt(gamma) |0><1|`.
+fn apply_amplitude_damping<R: Rng + ?Sized>(
+    state: &mut StateVector,
+    qubit: usize,
+    gamma: f64,
+    rng: &mut R,
+) {
+    if gamma <= 0.0 {
+        return;
+    }
+    let p1 = state.probability_of_one(qubit);
+    let p_jump = gamma * p1;
+    if rng.gen::<f64>() < p_jump {
+        // Jump: project onto |1> then flip to |0>.
+        state.project_qubit(qubit, true);
+        let m = Gate::X.matrix1().expect("X matrix");
+        state.apply_matrix1(&m, qubit);
+    } else {
+        // No-jump evolution: scale the |1> amplitudes and renormalize.
+        let k0 = [
+            [C64::ONE, C64::ZERO],
+            [C64::ZERO, C64::real((1.0 - gamma).sqrt())],
+        ];
+        state.apply_matrix1(&k0, qubit);
+        state.renormalize();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn ideal_model_is_ideal() {
+        assert!(NoiseModel::ideal().is_ideal());
+        assert!(!NoiseModel::uniform_depolarizing(0.1).is_ideal());
+    }
+
+    #[test]
+    fn zero_probability_depolarizing_is_identity() {
+        let model = NoiseModel::ideal();
+        let mut psi = StateVector::zero_state(1);
+        psi.apply_gate(&Gate::H, &[0]);
+        let before = psi.clone();
+        let mut r = rng(1);
+        for _ in 0..100 {
+            model.apply_depolarizing_1q(&mut psi, 0, &mut r);
+        }
+        assert!(psi.fidelity(&before) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn full_depolarizing_randomizes_z_expectation() {
+        // p = 1 applies a random Pauli every time; averaged over many
+        // trajectories <Z> of |0> becomes approximately (1/3)(-1 -1 +1) = -1/3.
+        let model = NoiseModel::uniform_depolarizing(1.0);
+        let mut r = rng(2);
+        let trials = 6000;
+        let mut total = 0.0;
+        for _ in 0..trials {
+            let mut psi = StateVector::zero_state(1);
+            model.apply_depolarizing_1q(&mut psi, 0, &mut r);
+            total += psi.expectation_pauli(&"Z".parse().unwrap());
+        }
+        let avg = total / trials as f64;
+        assert!((avg + 1.0 / 3.0).abs() < 0.05, "avg={avg}");
+    }
+
+    #[test]
+    fn amplitude_damping_decays_excited_state() {
+        // gamma = 1 - exp(-t/T1); for t = T1, survival of |1> should be
+        // exp(-1) ~ 0.368 averaged over trajectories.
+        let model = NoiseModel { t1: 100.0, t2: f64::INFINITY, ..NoiseModel::ideal() };
+        let mut r = rng(3);
+        let trials = 4000;
+        let mut ones = 0usize;
+        for _ in 0..trials {
+            let mut psi = StateVector::zero_state(1);
+            psi.apply_gate(&Gate::X, &[0]);
+            model.apply_relaxation(&mut psi, 0, 100.0, &mut r);
+            if psi.probability_of_one(0) > 0.5 {
+                ones += 1;
+            }
+        }
+        let survival = ones as f64 / trials as f64;
+        assert!((survival - (-1.0f64).exp()).abs() < 0.03, "survival={survival}");
+    }
+
+    #[test]
+    fn dephasing_destroys_plus_state_coherence() {
+        // Long pure dephasing turns |+> into a Z-mixed state: averaged <X> ~ 0.
+        let model = NoiseModel { t1: f64::INFINITY, t2: 10.0, ..NoiseModel::ideal() };
+        let mut r = rng(4);
+        let trials = 4000;
+        let mut total_x = 0.0;
+        for _ in 0..trials {
+            let mut psi = StateVector::zero_state(1);
+            psi.apply_gate(&Gate::H, &[0]);
+            model.apply_relaxation(&mut psi, 0, 1000.0, &mut r);
+            total_x += psi.expectation_pauli(&"X".parse().unwrap());
+        }
+        let avg = total_x / trials as f64;
+        assert!(avg.abs() < 0.05, "avg={avg}");
+    }
+
+    #[test]
+    fn relaxation_preserves_ground_state() {
+        let model = NoiseModel { t1: 1.0, t2: 1.0, ..NoiseModel::ideal() };
+        let mut psi = StateVector::zero_state(1);
+        let mut r = rng(5);
+        model.apply_relaxation(&mut psi, 0, 1000.0, &mut r);
+        assert!((psi.probability(0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn readout_flip_statistics() {
+        let model = NoiseModel { readout_error: 0.25, ..NoiseModel::ideal() };
+        let mut r = rng(6);
+        let trials = 20000;
+        let flips = (0..trials).filter(|_| model.flip_readout(0, false, &mut r)).count();
+        let rate = flips as f64 / trials as f64;
+        assert!((rate - 0.25).abs() < 0.02, "rate={rate}");
+    }
+
+    #[test]
+    fn reset_error_excites_with_given_probability() {
+        let model = NoiseModel { reset_error: 0.3, ..NoiseModel::ideal() };
+        let mut r = rng(7);
+        let trials = 5000;
+        let mut excited = 0;
+        for _ in 0..trials {
+            let mut psi = StateVector::zero_state(1);
+            model.apply_reset_error(&mut psi, 0, &mut r);
+            if psi.probability_of_one(0) > 0.5 {
+                excited += 1;
+            }
+        }
+        let rate = excited as f64 / trials as f64;
+        assert!((rate - 0.3).abs() < 0.03, "rate={rate}");
+    }
+
+    #[test]
+    fn crosstalk_scales_two_qubit_error() {
+        // With crosstalk = 1 and 3 simultaneous gates, effective p = 3 * base.
+        // Verify indirectly: base p = 0.2, k = 3 -> error rate ~ 0.6.
+        let model = NoiseModel {
+            depolarizing_2q: 0.2,
+            crosstalk: 1.0,
+            ..NoiseModel::ideal()
+        };
+        let mut r = rng(8);
+        let trials = 5000;
+        let mut errored = 0;
+        for _ in 0..trials {
+            let mut psi = StateVector::zero_state(2);
+            model.apply_depolarizing_2q(&mut psi, [0, 1], 3, &mut r);
+            // Any applied Pauli perturbs the all-zero state unless it was ZZ-type.
+            let z0 = psi.expectation_pauli(&"ZI".parse().unwrap());
+            let z1 = psi.expectation_pauli(&"IZ".parse().unwrap());
+            // X/Y components flip a qubit; Z-only errors are invisible on |00>.
+            if z0 < 0.5 || z1 < 0.5 {
+                errored += 1;
+            }
+        }
+        // 12 of the 15 non-identity 2q Paulis contain an X or Y on at least
+        // one site -> visible error rate = 0.6 * 12/15 = 0.48.
+        let rate = errored as f64 / trials as f64;
+        assert!((rate - 0.48).abs() < 0.04, "rate={rate}");
+    }
+
+    #[test]
+    fn per_edge_rates_override_global() {
+        let mut model = NoiseModel::ideal();
+        model.depolarizing_2q = 0.01;
+        let mut edges = BTreeMap::new();
+        edges.insert((0usize, 1usize), 0.2);
+        model.edge_depolarizing = Some(edges);
+        assert!((model.depolarizing_2q_for(1, 0) - 0.2).abs() < 1e-12);
+        assert!((model.depolarizing_2q_for(1, 2) - 0.01).abs() < 1e-12);
+        assert!(!model.is_ideal());
+    }
+
+    #[test]
+    fn per_qubit_readout_rates_override_global() {
+        let mut model = NoiseModel::ideal();
+        model.readout_error = 0.02;
+        model.qubit_readout = Some(vec![0.0, 0.3]);
+        assert_eq!(model.readout_error_for(0), 0.0);
+        assert!((model.readout_error_for(1) - 0.3).abs() < 1e-12);
+        // Out-of-range falls back to the average.
+        assert!((model.readout_error_for(5) - 0.02).abs() < 1e-12);
+        let mut r = rng(20);
+        let trials = 10000;
+        let flips = (0..trials).filter(|_| model.flip_readout(1, false, &mut r)).count();
+        let rate = flips as f64 / trials as f64;
+        assert!((rate - 0.3).abs() < 0.02, "rate={rate}");
+        assert!((0..trials).all(|_| !model.flip_readout(0, false, &mut r)));
+    }
+
+    #[test]
+    fn durations_map_to_gate_kinds() {
+        let model = NoiseModel::ideal();
+        assert_eq!(model.duration_of(&Gate::H), model.durations.one_qubit);
+        assert_eq!(model.duration_of(&Gate::Cx), model.durations.two_qubit);
+        assert_eq!(model.duration_of(&Gate::Measure), model.durations.measurement);
+        assert_eq!(model.duration_of(&Gate::Reset), model.durations.reset);
+        assert_eq!(model.duration_of(&Gate::Barrier), 0.0);
+    }
+}

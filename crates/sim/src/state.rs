@@ -1,0 +1,475 @@
+//! Exact statevector representation and gate application.
+
+use rand::Rng;
+use supermarq_circuit::{C64, Gate, Instruction};
+use supermarq_pauli::{Pauli, PauliString, PauliSum};
+
+/// Maximum register size the simulator accepts (memory guard: a 26-qubit
+/// state is already 1 GiB of amplitudes).
+pub const MAX_QUBITS: usize = 26;
+
+/// An exact `2^n`-amplitude quantum state.
+///
+/// Qubit `q` corresponds to bit `q` of the amplitude index (little-endian:
+/// qubit 0 is the least-significant bit).
+///
+/// # Example
+///
+/// ```
+/// use supermarq_sim::StateVector;
+/// use supermarq_circuit::Gate;
+///
+/// let mut psi = StateVector::zero_state(2);
+/// psi.apply_gate(&Gate::H, &[0]);
+/// psi.apply_gate(&Gate::Cx, &[0, 1]);
+/// assert!((psi.probability(0b00) - 0.5).abs() < 1e-12);
+/// assert!((psi.probability(0b11) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    num_qubits: usize,
+    amps: Vec<C64>,
+}
+
+impl StateVector {
+    /// The computational-basis state `|00...0>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits > MAX_QUBITS`.
+    pub fn zero_state(num_qubits: usize) -> Self {
+        assert!(num_qubits <= MAX_QUBITS, "register too large: {num_qubits} > {MAX_QUBITS}");
+        let mut amps = vec![C64::ZERO; 1usize << num_qubits];
+        amps[0] = C64::ONE;
+        StateVector { num_qubits, amps }
+    }
+
+    /// The computational-basis state `|bits>` (bit `q` of `bits` = qubit `q`).
+    pub fn basis_state(num_qubits: usize, bits: u64) -> Self {
+        assert!(num_qubits <= MAX_QUBITS, "register too large");
+        assert!(num_qubits == 64 || bits < (1u64 << num_qubits), "basis index out of range");
+        let mut amps = vec![C64::ZERO; 1usize << num_qubits];
+        amps[bits as usize] = C64::ONE;
+        StateVector { num_qubits, amps }
+    }
+
+    /// Builds a state from raw amplitudes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a power of two or the norm differs from 1
+    /// by more than `1e-6`.
+    pub fn from_amplitudes(amps: Vec<C64>) -> Self {
+        let len = amps.len();
+        assert!(len.is_power_of_two() && len > 0, "amplitude count must be a power of two");
+        let num_qubits = len.trailing_zeros() as usize;
+        let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
+        assert!((norm - 1.0).abs() < 1e-6, "state is not normalized (norm^2 = {norm})");
+        StateVector { num_qubits, amps }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The amplitude vector.
+    pub fn amplitudes(&self) -> &[C64] {
+        &self.amps
+    }
+
+    /// Probability of observing basis state `bits` on full measurement.
+    pub fn probability(&self, bits: u64) -> f64 {
+        self.amps[bits as usize].norm_sqr()
+    }
+
+    /// `<self|other>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on size mismatch.
+    pub fn inner_product(&self, other: &StateVector) -> C64 {
+        assert_eq!(self.num_qubits, other.num_qubits, "size mismatch");
+        self.amps.iter().zip(&other.amps).map(|(a, b)| a.conj() * *b).sum()
+    }
+
+    /// State fidelity `|<self|other>|^2`.
+    pub fn fidelity(&self, other: &StateVector) -> f64 {
+        self.inner_product(other).norm_sqr()
+    }
+
+    /// Squared norm (should be 1 up to numerical error).
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Renormalizes the state to unit norm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is (numerically) zero.
+    pub fn renormalize(&mut self) {
+        let n = self.norm_sqr().sqrt();
+        assert!(n > 1e-12, "cannot renormalize zero state");
+        let inv = 1.0 / n;
+        for a in &mut self.amps {
+            *a = a.scale(inv);
+        }
+    }
+
+    /// Applies a 2x2 unitary to `qubit`.
+    pub fn apply_matrix1(&mut self, m: &[[C64; 2]; 2], qubit: usize) {
+        assert!(qubit < self.num_qubits, "qubit out of range");
+        let stride = 1usize << qubit;
+        let len = self.amps.len();
+        let mut base = 0;
+        while base < len {
+            for offset in base..base + stride {
+                let i0 = offset;
+                let i1 = offset | stride;
+                let a0 = self.amps[i0];
+                let a1 = self.amps[i1];
+                self.amps[i0] = m[0][0] * a0 + m[0][1] * a1;
+                self.amps[i1] = m[1][0] * a0 + m[1][1] * a1;
+            }
+            base += stride << 1;
+        }
+    }
+
+    /// Applies a 4x4 unitary to the ordered pair `(q0, q1)`; the matrix uses
+    /// basis order `|q0 q1>` with `q0` as the most-significant bit, matching
+    /// [`Gate::matrix2`].
+    pub fn apply_matrix2(&mut self, m: &[[C64; 4]; 4], q0: usize, q1: usize) {
+        assert!(q0 < self.num_qubits && q1 < self.num_qubits && q0 != q1, "bad qubit pair");
+        let b0 = 1usize << q0;
+        let b1 = 1usize << q1;
+        let len = self.amps.len();
+        for idx in 0..len {
+            // Visit each 4-tuple once: only from its lowest member.
+            if idx & b0 != 0 || idx & b1 != 0 {
+                continue;
+            }
+            let i00 = idx;
+            let i01 = idx | b1; // q1 = 1
+            let i10 = idx | b0; // q0 = 1
+            let i11 = idx | b0 | b1;
+            let a = [self.amps[i00], self.amps[i01], self.amps[i10], self.amps[i11]];
+            for (row, &target) in [i00, i01, i10, i11].iter().enumerate() {
+                let mut v = C64::ZERO;
+                for col in 0..4 {
+                    v += m[row][col] * a[col];
+                }
+                self.amps[target] = v;
+            }
+        }
+    }
+
+    /// Applies a unitary gate to the given operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate is not unitary (use measurement/reset methods for
+    /// those) or the operand count mismatches.
+    pub fn apply_gate(&mut self, gate: &Gate, qubits: &[usize]) {
+        if let Some(m) = gate.matrix1() {
+            assert_eq!(qubits.len(), 1, "one-qubit gate takes one operand");
+            self.apply_matrix1(&m, qubits[0]);
+        } else if let Some(m) = gate.matrix2() {
+            assert_eq!(qubits.len(), 2, "two-qubit gate takes two operands");
+            self.apply_matrix2(&m, qubits[0], qubits[1]);
+        } else {
+            panic!("apply_gate called with non-unitary gate {gate:?}");
+        }
+    }
+
+    /// Applies a unitary instruction.
+    pub fn apply_instruction(&mut self, instr: &Instruction) {
+        self.apply_gate(&instr.gate, &instr.qubits);
+    }
+
+    /// Probability that measuring `qubit` yields 1.
+    pub fn probability_of_one(&self, qubit: usize) -> f64 {
+        assert!(qubit < self.num_qubits, "qubit out of range");
+        let bit = 1usize << qubit;
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & bit != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// Projectively measures `qubit`, collapsing the state, and returns the
+    /// observed bit.
+    pub fn measure_qubit<R: Rng + ?Sized>(&mut self, qubit: usize, rng: &mut R) -> bool {
+        let p1 = self.probability_of_one(qubit);
+        let outcome = rng.gen::<f64>() < p1;
+        self.project_qubit(qubit, outcome);
+        outcome
+    }
+
+    /// Projects `qubit` onto `value` and renormalizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the projection has zero probability.
+    pub fn project_qubit(&mut self, qubit: usize, value: bool) {
+        let bit = 1usize << qubit;
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            if ((i & bit) != 0) != value {
+                *a = C64::ZERO;
+            }
+        }
+        self.renormalize();
+    }
+
+    /// Resets `qubit` to `|0>`: measures it and applies X if the result was 1.
+    pub fn reset_qubit<R: Rng + ?Sized>(&mut self, qubit: usize, rng: &mut R) {
+        if self.measure_qubit(qubit, rng) {
+            let m = Gate::X.matrix1().expect("X has a matrix");
+            self.apply_matrix1(&m, qubit);
+        }
+    }
+
+    /// Samples a full computational-basis measurement without collapsing the
+    /// state (valid when no further evolution uses the state).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let r: f64 = rng.gen();
+        let mut acc = 0.0;
+        for (i, a) in self.amps.iter().enumerate() {
+            acc += a.norm_sqr();
+            if r < acc {
+                return i as u64;
+            }
+        }
+        (self.amps.len() - 1) as u64
+    }
+
+    /// Applies a Pauli string as a unitary (used by stochastic noise).
+    pub fn apply_pauli_string(&mut self, p: &PauliString) {
+        assert_eq!(p.num_qubits(), self.num_qubits, "size mismatch");
+        for (q, &pauli) in p.paulis().iter().enumerate() {
+            let gate = match pauli {
+                Pauli::I => continue,
+                Pauli::X => Gate::X,
+                Pauli::Y => Gate::Y,
+                Pauli::Z => Gate::Z,
+            };
+            let m = gate.matrix1().expect("pauli has a matrix");
+            self.apply_matrix1(&m, q);
+        }
+    }
+
+    /// Returns `P|self>` for a Pauli string (without phase ambiguity: Y
+    /// carries its usual `[[0,-i],[i,0]]` matrix).
+    fn pauli_applied(&self, p: &PauliString) -> StateVector {
+        let mut out = self.clone();
+        out.apply_pauli_string(p);
+        out
+    }
+
+    /// Expectation value `<self| P |self>` of a Pauli string. Always real
+    /// for Hermitian `P`; the real part is returned.
+    pub fn expectation_pauli(&self, p: &PauliString) -> f64 {
+        let applied = self.pauli_applied(p);
+        self.inner_product(&applied).re
+    }
+
+    /// Expectation value of a weighted Pauli sum.
+    pub fn expectation(&self, h: &PauliSum) -> f64 {
+        h.iter().map(|(c, p)| c * self.expectation_pauli(p)).sum()
+    }
+
+    /// The full probability distribution over basis states.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(12345)
+    }
+
+    #[test]
+    fn zero_state_has_unit_amplitude_at_origin() {
+        let psi = StateVector::zero_state(3);
+        assert_eq!(psi.num_qubits(), 3);
+        assert!((psi.probability(0) - 1.0).abs() < 1e-12);
+        assert!((psi.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn x_gate_flips_bit() {
+        let mut psi = StateVector::zero_state(2);
+        psi.apply_gate(&Gate::X, &[1]);
+        assert!((psi.probability(0b10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bell_state_probabilities() {
+        let mut psi = StateVector::zero_state(2);
+        psi.apply_gate(&Gate::H, &[0]);
+        psi.apply_gate(&Gate::Cx, &[0, 1]);
+        assert!((psi.probability(0b00) - 0.5).abs() < 1e-12);
+        assert!((psi.probability(0b11) - 0.5).abs() < 1e-12);
+        assert!(psi.probability(0b01) < 1e-12);
+    }
+
+    #[test]
+    fn cx_respects_operand_order() {
+        // Control = qubit 1, target = qubit 0.
+        let mut psi = StateVector::basis_state(2, 0b10);
+        psi.apply_gate(&Gate::Cx, &[1, 0]);
+        assert!((psi.probability(0b11) - 1.0).abs() < 1e-12);
+        // Control = qubit 0 in |0>: nothing happens.
+        let mut psi = StateVector::basis_state(2, 0b10);
+        psi.apply_gate(&Gate::Cx, &[0, 1]);
+        assert!((psi.probability(0b10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swap_exchanges_bits() {
+        let mut psi = StateVector::basis_state(3, 0b001);
+        psi.apply_gate(&Gate::Swap, &[0, 2]);
+        assert!((psi.probability(0b100) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ghz_state_on_five_qubits() {
+        let n = 5;
+        let mut psi = StateVector::zero_state(n);
+        psi.apply_gate(&Gate::H, &[0]);
+        for q in 0..n - 1 {
+            psi.apply_gate(&Gate::Cx, &[q, q + 1]);
+        }
+        assert!((psi.probability(0) - 0.5).abs() < 1e-12);
+        assert!((psi.probability((1 << n) - 1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rz_phases_do_not_change_populations() {
+        let mut psi = StateVector::zero_state(1);
+        psi.apply_gate(&Gate::H, &[0]);
+        let p_before = psi.probabilities();
+        psi.apply_gate(&Gate::Rz(1.234), &[0]);
+        let p_after = psi.probabilities();
+        for (a, b) in p_before.iter().zip(&p_after) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn measurement_collapses_state() {
+        let mut psi = StateVector::zero_state(2);
+        psi.apply_gate(&Gate::H, &[0]);
+        psi.apply_gate(&Gate::Cx, &[0, 1]);
+        let mut r = rng();
+        let outcome = psi.measure_qubit(0, &mut r);
+        // After measuring one half of a Bell pair the other is determined.
+        let expected = if outcome { 0b11 } else { 0b00 };
+        assert!((psi.probability(expected) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_returns_qubit_to_zero() {
+        let mut psi = StateVector::zero_state(1);
+        psi.apply_gate(&Gate::X, &[0]);
+        let mut r = rng();
+        psi.reset_qubit(0, &mut r);
+        assert!((psi.probability(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let mut psi = StateVector::zero_state(1);
+        psi.apply_gate(&Gate::Ry(2.0 * (0.3f64.sqrt()).asin()), &[0]);
+        // P(1) = 0.3.
+        let mut r = rng();
+        let shots = 20000;
+        let ones: usize = (0..shots).filter(|_| psi.sample(&mut r) == 1).count();
+        let freq = ones as f64 / shots as f64;
+        assert!((freq - 0.3).abs() < 0.02, "freq={freq}");
+    }
+
+    #[test]
+    fn expectation_of_z_on_zero_is_one() {
+        let psi = StateVector::zero_state(1);
+        let z: PauliString = "Z".parse().unwrap();
+        assert!((psi.expectation_pauli(&z) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expectation_of_mermin_on_ghz_i_state() {
+        use supermarq_pauli::mermin_operator;
+        // |phi> = (|000> + i|111>)/sqrt(2) should give <M> = 2^{n-1} = 4.
+        let n = 3;
+        let mut amps = vec![C64::ZERO; 8];
+        amps[0] = C64::real(1.0 / 2f64.sqrt());
+        amps[7] = C64::new(0.0, 1.0 / 2f64.sqrt());
+        let psi = StateVector::from_amplitudes(amps);
+        let m = mermin_operator(n);
+        assert!((psi.expectation(&m) - 4.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn tfim_expectation_on_all_plus_state() {
+        use supermarq_pauli::tfim_hamiltonian;
+        // |+++>: <ZZ> = 0, <X> = 1 per site, so <H> = -h_x * n.
+        let n = 3;
+        let mut psi = StateVector::zero_state(n);
+        for q in 0..n {
+            psi.apply_gate(&Gate::H, &[q]);
+        }
+        let h = tfim_hamiltonian(n, 1.0, 0.5);
+        assert!((psi.expectation(&h) + 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inner_product_and_fidelity() {
+        let a = StateVector::zero_state(2);
+        let mut b = StateVector::zero_state(2);
+        assert!((a.fidelity(&b) - 1.0).abs() < 1e-12);
+        b.apply_gate(&Gate::X, &[0]);
+        assert!(a.fidelity(&b) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "not normalized")]
+    fn from_amplitudes_rejects_unnormalized() {
+        StateVector::from_amplitudes(vec![C64::ONE, C64::ONE]);
+    }
+
+    #[test]
+    #[should_panic(expected = "register too large")]
+    fn rejects_oversized_register() {
+        StateVector::zero_state(MAX_QUBITS + 1);
+    }
+
+    #[test]
+    fn two_qubit_gate_on_noncontiguous_qubits() {
+        // rzz on qubits (0, 2) of a 3-qubit register.
+        let mut psi = StateVector::zero_state(3);
+        for q in 0..3 {
+            psi.apply_gate(&Gate::H, &[q]);
+        }
+        psi.apply_gate(&Gate::Rzz(std::f64::consts::PI), &[0, 2]);
+        // <Z0 Z2> after rzz(pi) on |+++>: rzz(pi) = -i Z0 Z2 up to phase,
+        // state populations unchanged.
+        let p = psi.probabilities();
+        for v in p {
+            assert!((v - 0.125).abs() < 1e-12);
+        }
+        // But X expectation on qubit 1 unchanged = 1.
+        let x1: PauliString = "IXI".parse().unwrap();
+        assert!((psi.expectation_pauli(&x1) - 1.0).abs() < 1e-12);
+        // Rzz(pi) = -i Z0 Z2 up to phase, so qubit 0 is now in |->: <X0> = -1.
+        let x0: PauliString = "XII".parse().unwrap();
+        assert!((psi.expectation_pauli(&x0) + 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,472 @@
+//! A library of standard quantum circuits used by the comparison suites.
+
+use std::f64::consts::PI;
+
+use supermarq_circuit::Circuit;
+
+/// The quantum Fourier transform on `n` qubits (with final swaps).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn qft(n: usize) -> Circuit {
+    assert!(n > 0, "QFT needs at least one qubit");
+    let mut c = Circuit::new(n);
+    for target in 0..n {
+        c.h(target);
+        for control in target + 1..n {
+            let k = (control - target) as i32;
+            // pi / 2^k, computed in floats so 1000-qubit instances do not
+            // overflow an integer shift (angles underflow to 0 harmlessly).
+            c.cp(PI * 0.5f64.powi(k), control, target);
+        }
+    }
+    for q in 0..n / 2 {
+        c.swap(q, n - 1 - q);
+    }
+    c
+}
+
+/// Bernstein–Vazirani with the given hidden string (bit `i` of `secret`
+/// couples data qubit `i` to the phase ancilla, which is qubit `n`).
+pub fn bernstein_vazirani(n: usize, secret: u64) -> Circuit {
+    assert!(n > 0 && n <= 63, "1..=63 data qubits");
+    let mut c = Circuit::new(n + 1);
+    c.x(n).h(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    for q in 0..n {
+        if secret >> q & 1 == 1 {
+            c.cx(q, n);
+        }
+    }
+    for q in 0..n {
+        c.h(q);
+        c.measure(q);
+    }
+    c
+}
+
+/// A ripple-carry adder skeleton on `2n + 1` qubits (two `n`-bit registers
+/// plus carry): the MAJ/UMA structure of Cuccaro's adder, used as a
+/// QASMBench-style arithmetic workload.
+pub fn ripple_adder(n: usize) -> Circuit {
+    assert!(n >= 1, "need at least one bit");
+    // Layout: a_0..a_{n-1}, b_0..b_{n-1}, carry.
+    let total = 2 * n + 1;
+    let mut c = Circuit::new(total);
+    let a = |i: usize| i;
+    let b = |i: usize| n + i;
+    let carry = 2 * n;
+    // MAJ cascade (with Toffoli replaced by its 2q+1q standard realization
+    // to stay within the IR's 2-qubit gate set).
+    let toffoli = |c: &mut Circuit, x: usize, y: usize, z: usize| {
+        c.h(z)
+            .cx(y, z)
+            .tdg(z)
+            .cx(x, z)
+            .t(z)
+            .cx(y, z)
+            .tdg(z)
+            .cx(x, z)
+            .t(y)
+            .t(z)
+            .h(z)
+            .cx(x, y)
+            .t(x)
+            .tdg(y)
+            .cx(x, y);
+    };
+    for i in 0..n {
+        let prev = if i == 0 { carry } else { a(i - 1) };
+        c.cx(a(i), b(i));
+        c.cx(a(i), prev);
+        toffoli(&mut c, prev, b(i), a(i));
+    }
+    // Sum extraction (UMA, simplified skeleton).
+    for i in (0..n).rev() {
+        let prev = if i == 0 { carry } else { a(i - 1) };
+        toffoli(&mut c, prev, b(i), a(i));
+        c.cx(a(i), prev);
+        c.cx(prev, b(i));
+    }
+    c.measure_all();
+    c
+}
+
+/// Applies an exact multi-controlled Z over `qubits` (phase -1 on the
+/// all-ones subspace) using the parity-network decomposition: the product
+/// `b_0 b_1 ... b_{k-1}` expands over subset parities, each realized with a
+/// CX chain and a phase gate. Uses `2^k - 1` phase rotations — exact at any
+/// size, practical for the small registers the comparison suites use.
+///
+/// # Panics
+///
+/// Panics if fewer than 1 or more than 16 qubits are given.
+pub fn multi_controlled_z(c: &mut Circuit, qubits: &[usize]) {
+    let k = qubits.len();
+    assert!((1..=16).contains(&k), "1..=16 qubits");
+    if k == 1 {
+        c.z(qubits[0]);
+        return;
+    }
+    if k == 2 {
+        c.cz(qubits[0], qubits[1]);
+        return;
+    }
+    let base = PI / (1u64 << (k - 1)) as f64;
+    for subset in 1u32..(1 << k) {
+        let members: Vec<usize> =
+            (0..k).filter(|&i| subset >> i & 1 == 1).map(|i| qubits[i]).collect();
+        let sign = if members.len() % 2 == 1 { 1.0 } else { -1.0 };
+        let target = *members.last().expect("non-empty subset");
+        for w in members.windows(2) {
+            c.cx(w[0], w[1]);
+        }
+        c.p(sign * base, target);
+        for w in members.windows(2).rev() {
+            c.cx(w[0], w[1]);
+        }
+    }
+}
+
+/// Grover search with a single marked element on `n` data qubits, one
+/// iteration: phase oracle + diffusion, both built on the exact
+/// [`multi_controlled_z`].
+pub fn grover(n: usize, marked: u64) -> Circuit {
+    assert!(n >= 2 && n <= 12, "2..=12 qubits");
+    let mut c = Circuit::new(n);
+    let all: Vec<usize> = (0..n).collect();
+    for q in 0..n {
+        c.h(q);
+    }
+    // Oracle: flip phase of |marked>.
+    for q in 0..n {
+        if marked >> q & 1 == 0 {
+            c.x(q);
+        }
+    }
+    multi_controlled_z(&mut c, &all);
+    for q in 0..n {
+        if marked >> q & 1 == 0 {
+            c.x(q);
+        }
+    }
+    // Diffusion.
+    for q in 0..n {
+        c.h(q);
+        c.x(q);
+    }
+    multi_controlled_z(&mut c, &all);
+    for q in 0..n {
+        c.x(q);
+        c.h(q);
+    }
+    c.measure_all();
+    c
+}
+
+/// Quantum teleportation of one qubit (3 qubits, with mid-circuit
+/// measurement + classically-controlled corrections modeled as controlled
+/// gates, the deferred-measurement form).
+pub fn teleportation() -> Circuit {
+    let mut c = Circuit::new(3);
+    c.ry(0.9, 0); // state to teleport
+    c.h(1).cx(1, 2); // Bell pair
+    c.cx(0, 1).h(0);
+    // Deferred corrections.
+    c.cx(1, 2);
+    c.cz(0, 2);
+    c.measure_all();
+    c
+}
+
+/// A random hardware-efficient layered circuit (QAOA-like brickwork) used
+/// by CBG2021-style synthetic entries.
+pub fn brickwork(n: usize, layers: usize, seed: u64) -> Circuit {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    assert!(n >= 2, "need at least two qubits");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    for layer in 0..layers {
+        for q in 0..n {
+            c.ry(rng.gen_range(-PI..PI), q);
+            c.rz(rng.gen_range(-PI..PI), q);
+        }
+        let start = layer % 2;
+        let mut i = start;
+        while i + 1 < n {
+            c.cz(i, i + 1);
+            i += 2;
+        }
+    }
+    c.measure_all();
+    c
+}
+
+/// W-state preparation on `n` qubits (TriQ-style small application).
+pub fn w_state(n: usize) -> Circuit {
+    assert!(n >= 2, "need at least two qubits");
+    let mut c = Circuit::new(n);
+    // Cascade of controlled rotations distributing a single excitation.
+    c.x(0);
+    for k in 1..n {
+        // Move amplitude sqrt((n-k)/(n-k+1)) of the remaining excitation
+        // onto qubit k.
+        let theta = 2.0 * (((n - k) as f64 / (n - k + 1) as f64).sqrt()).asin();
+        // Controlled-Ry(theta) from k-1 to k, realized with ry/cx.
+        c.ry(theta / 2.0, k);
+        c.cx(k - 1, k);
+        c.ry(-theta / 2.0, k);
+        c.cx(k - 1, k);
+        c.cx(k, k - 1);
+    }
+    c.measure_all();
+    c
+}
+
+/// Quantum phase estimation of the eigenphase of `P(2 pi phase)` on the
+/// `|1>` eigenstate, with `bits` counting qubits. The eigenstate qubit is
+/// the last register position.
+///
+/// # Panics
+///
+/// Panics if `bits` is 0 or above 16.
+pub fn phase_estimation(bits: usize, phase: f64) -> Circuit {
+    assert!((1..=16).contains(&bits), "1..=16 counting qubits");
+    let n = bits + 1;
+    let target = bits;
+    let mut c = Circuit::new(n);
+    c.x(target); // eigenstate |1> of the phase gate
+    for q in 0..bits {
+        c.h(q);
+    }
+    // Controlled powers: counting qubit q applies P(2 pi phase * 2^q).
+    for q in 0..bits {
+        let angle = 2.0 * PI * phase * (1u64 << q) as f64;
+        c.cp(angle, q, target);
+    }
+    // Inverse QFT on the counting register.
+    for q in (0..bits).rev() {
+        for later in (q + 1..bits).rev() {
+            let k = (later - q) as i32;
+            c.cp(-PI * 0.5f64.powi(k), later, q);
+        }
+        c.h(q);
+    }
+    for q in 0..bits {
+        c.measure(q);
+    }
+    c
+}
+
+/// Deutsch–Jozsa on `n` data qubits with a balanced oracle defined by the
+/// mask (`f(x) = parity(x & mask)`), or the constant-zero oracle when
+/// `mask == 0`.
+pub fn deutsch_jozsa(n: usize, mask: u64) -> Circuit {
+    assert!(n >= 1 && n <= 60, "1..=60 data qubits");
+    let mut c = Circuit::new(n + 1);
+    c.x(n).h(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    for q in 0..n {
+        if mask >> q & 1 == 1 {
+            c.cx(q, n);
+        }
+    }
+    for q in 0..n {
+        c.h(q);
+        c.measure(q);
+    }
+    c
+}
+
+/// Variational chemistry-style ansatz (PPL+2020 VQE-like entry).
+pub fn uccsd_like(n: usize, seed: u64) -> Circuit {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    assert!(n >= 2, "need at least two qubits");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.rx(rng.gen_range(-1.0..1.0), q);
+    }
+    // Pauli-evolution blocks: CX ladders with a middle RZ.
+    for _ in 0..2 {
+        for q in 0..n - 1 {
+            c.cx(q, q + 1);
+        }
+        c.rz(rng.gen_range(-1.0..1.0), n - 1);
+        for q in (0..n - 1).rev() {
+            c.cx(q, q + 1);
+        }
+    }
+    c.measure_all();
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supermarq_sim::Executor;
+
+    #[test]
+    fn qft_structure_and_unitarity() {
+        let c = qft(4);
+        assert_eq!(c.num_qubits(), 4);
+        // n H's + n(n-1)/2 controlled-phases + n/2 swaps.
+        assert_eq!(c.gate_count(), 4 + 6 + 2);
+        // QFT of |0000> is the uniform superposition.
+        let psi = Executor::final_state(&c);
+        for p in psi.probabilities() {
+            assert!((p - 1.0 / 16.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn qft_maps_basis_state_to_fourier_phases() {
+        // QFT|1> on 2 qubits: amplitudes (1, i, -1, -i)/2 for input |01>...
+        // verify via probability flatness + inverse round trip.
+        let c = qft(3);
+        let adj = c.adjoint().unwrap();
+        let mut full = Circuit::new(3);
+        full.x(0);
+        full.extend_from(&c);
+        full.extend_from(&adj);
+        let psi = Executor::final_state(&full);
+        assert!((psi.probability(0b001) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bernstein_vazirani_recovers_secret() {
+        for secret in [0b101u64, 0b110, 0b011, 0b000] {
+            let c = bernstein_vazirani(3, secret);
+            let counts = Executor::noiseless().run(&c, 200, 1);
+            // Data qubits (bits 0..3) must read the secret deterministically.
+            for (bits, _) in counts.iter() {
+                assert_eq!(bits & 0b111, secret, "secret={secret:03b} bits={bits:04b}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_controlled_z_flips_only_all_ones() {
+        for n in [2usize, 3, 4, 5] {
+            let mut plus = Circuit::new(n);
+            for q in 0..n {
+                plus.h(q);
+            }
+            let before = Executor::final_state(&plus);
+            let qubits: Vec<usize> = (0..n).collect();
+            multi_controlled_z(&mut plus, &qubits);
+            let after = Executor::final_state(&plus);
+            let dim = 1usize << n;
+            for i in 0..dim {
+                let a = before.amplitudes()[i];
+                let b = after.amplitudes()[i];
+                if i == dim - 1 {
+                    assert!((a + b).norm() < 1e-9, "n={n} i={i}: expected sign flip");
+                } else {
+                    assert!((a - b).norm() < 1e-9, "n={n} i={i}: expected unchanged");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grover_amplifies_marked_element() {
+        let n = 3;
+        let marked = 0b101;
+        let c = grover(n, marked);
+        let counts = Executor::noiseless().run(&c, 4000, 5);
+        let p_marked = counts.probability(marked);
+        // One Grover iteration on 8 elements: ~78% success.
+        assert!(p_marked > 0.5, "p={p_marked}");
+    }
+
+    #[test]
+    fn teleportation_transfers_state() {
+        // Compare qubit-2 marginal against direct preparation.
+        let c = teleportation();
+        let counts = Executor::noiseless().run(&c, 20000, 9).marginal(&[2]);
+        let p1 = counts.probability(1);
+        let expected = (0.45f64).sin().powi(2); // Ry(0.9) on |0>
+        assert!((p1 - expected).abs() < 0.02, "p1={p1} expected={expected}");
+    }
+
+    #[test]
+    fn w_state_has_single_excitation() {
+        let n = 4;
+        let c = w_state(n);
+        let counts = Executor::noiseless().run(&c, 8000, 13);
+        for (bits, count) in counts.iter() {
+            assert_eq!(bits.count_ones(), 1, "bits={bits:04b} x{count}");
+        }
+        // Roughly uniform over the n one-hot outcomes.
+        for q in 0..n {
+            let p = counts.probability(1 << q);
+            assert!((p - 1.0 / n as f64).abs() < 0.05, "q={q} p={p}");
+        }
+    }
+
+    #[test]
+    fn phase_estimation_recovers_dyadic_phase() {
+        // phase = 3/8 is exactly representable with 3 counting bits: the
+        // counting register must read 3 (big-endian weight 2^q per qubit q
+        // in our convention: estimate = sum bits_q 2^q / 2^bits... verify
+        // the dominant outcome decodes back to 3/8).
+        let bits = 3;
+        let c = phase_estimation(bits, 3.0 / 8.0);
+        let counts = Executor::noiseless().run(&c, 2000, 3);
+        let (top, _) = counts.most_common().unwrap();
+        // Decode: counting qubit q carries weight 2^q; estimate = top / 2^bits
+        // after bit-reversal of the inverse-QFT output ordering.
+        let estimate = (top & 0b111) as f64 / 8.0;
+        let alt = {
+            // bit-reversed reading
+            let mut v = 0u64;
+            for q in 0..bits {
+                if top >> q & 1 == 1 {
+                    v |= 1 << (bits - 1 - q);
+                }
+            }
+            v as f64 / 8.0
+        };
+        assert!(
+            (estimate - 0.375).abs() < 1e-9 || (alt - 0.375).abs() < 1e-9,
+            "top={top:03b} estimate={estimate} alt={alt}"
+        );
+        // The dominant outcome should be (near-)deterministic.
+        assert!(counts.probability(top) > 0.9);
+    }
+
+    #[test]
+    fn deutsch_jozsa_separates_constant_from_balanced() {
+        // Constant oracle: all-zero data register, always.
+        let c = deutsch_jozsa(4, 0);
+        let counts = Executor::noiseless().run(&c, 500, 5);
+        assert_eq!(counts.count(0), 500);
+        // Balanced oracle: all-zero outcome never appears.
+        let b = deutsch_jozsa(4, 0b1011);
+        let counts = Executor::noiseless().run(&b, 500, 5);
+        assert_eq!(counts.count(0), 0);
+    }
+
+    #[test]
+    fn ripple_adder_is_well_formed() {
+        let c = ripple_adder(2);
+        assert_eq!(c.num_qubits(), 5);
+        assert!(c.two_qubit_gate_count() > 10);
+        assert_eq!(c.measurement_count(), 5);
+    }
+
+    #[test]
+    fn brickwork_and_uccsd_are_deterministic_per_seed() {
+        assert_eq!(brickwork(4, 3, 7), brickwork(4, 3, 7));
+        assert_ne!(brickwork(4, 3, 7), brickwork(4, 3, 8));
+        assert_eq!(uccsd_like(4, 1), uccsd_like(4, 1));
+    }
+}

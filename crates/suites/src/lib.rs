@@ -1,0 +1,14 @@
+//! Comparison benchmark suites for the Table I coverage study.
+//!
+//! The paper compares SupermarQ's feature-space coverage against five other
+//! suites: QASMBench, the synthetic single-feature suite, CBG2021, TriQ and
+//! PPL+2020. Those suites' circuit corpora are regenerated here from
+//! structural descriptions (QFT, Bernstein–Vazirani, adders, Grover,
+//! teleportation, ...) at the sizes each suite used — Table I only needs
+//! their *feature vectors*, so structurally equivalent circuits preserve
+//! the comparison.
+
+pub mod catalog;
+pub mod circuits;
+
+pub use catalog::{cbg2021_suite, ppl2020_suite, qasmbench_suite, supermarq_suite, triq_suite};

@@ -1,0 +1,86 @@
+//! The scalable benchmark abstraction.
+
+use supermarq_circuit::Circuit;
+use supermarq_sim::Counts;
+
+use crate::features::FeatureVector;
+
+/// A SupermarQ benchmark: a parameterized circuit generator plus an
+/// application-level score function that can be evaluated *without*
+/// exponential-cost classical simulation (paper principle 1, Scalability).
+///
+/// A benchmark may comprise several circuits (the VQE benchmark measures
+/// its Hamiltonian in two bases); [`Benchmark::score`] receives one
+/// [`Counts`] histogram per generated circuit, in the same order, with bits
+/// already relabeled to program-qubit order.
+///
+/// Scores lie in `[0, 1]`, higher is better, and a perfect noiseless
+/// execution scores (approximately) 1.
+pub trait Benchmark {
+    /// Display name, e.g. `"GHZ-5"`.
+    fn name(&self) -> String;
+
+    /// Width of the benchmark's circuits.
+    fn num_qubits(&self) -> usize;
+
+    /// Generates the benchmark circuit(s).
+    fn circuits(&self) -> Vec<Circuit>;
+
+    /// Computes the benchmark score from per-circuit measurement counts.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `counts.len()` does not match the
+    /// number of generated circuits.
+    fn score(&self, counts: &[Counts]) -> f64;
+
+    /// The application feature vector (computed from the first circuit by
+    /// default).
+    fn features(&self) -> FeatureVector {
+        let circuits = self.circuits();
+        FeatureVector::of(circuits.first().expect("benchmark generates at least one circuit"))
+    }
+}
+
+/// Clamps a raw score into the `[0, 1]` reporting range.
+pub(crate) fn clamp_score(raw: f64) -> f64 {
+    raw.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy;
+
+    impl Benchmark for Dummy {
+        fn name(&self) -> String {
+            "dummy".into()
+        }
+        fn num_qubits(&self) -> usize {
+            1
+        }
+        fn circuits(&self) -> Vec<Circuit> {
+            let mut c = Circuit::new(1);
+            c.h(0).measure(0);
+            vec![c]
+        }
+        fn score(&self, counts: &[Counts]) -> f64 {
+            clamp_score(counts[0].probability(0))
+        }
+    }
+
+    #[test]
+    fn default_features_use_first_circuit() {
+        let d = Dummy;
+        let f = d.features();
+        assert_eq!(f.entanglement_ratio, 0.0);
+    }
+
+    #[test]
+    fn clamp_bounds() {
+        assert_eq!(clamp_score(1.7), 1.0);
+        assert_eq!(clamp_score(-0.2), 0.0);
+        assert_eq!(clamp_score(0.4), 0.4);
+    }
+}

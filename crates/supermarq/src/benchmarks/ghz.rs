@@ -1,0 +1,130 @@
+//! The GHZ entanglement benchmark (paper Sec. IV-A).
+
+use std::collections::BTreeMap;
+
+use supermarq_circuit::Circuit;
+use supermarq_classical::stats::hellinger_fidelity_maps;
+use supermarq_sim::Counts;
+
+use crate::benchmark::{clamp_score, Benchmark};
+
+/// Prepares the `n`-qubit GHZ state with a Hadamard plus a CNOT ladder and
+/// scores the Hellinger fidelity against the ideal 50/50 distribution over
+/// `|0...0>` and `|1...1>`.
+///
+/// # Example
+///
+/// ```
+/// use supermarq::benchmarks::GhzBenchmark;
+/// use supermarq::Benchmark;
+/// use supermarq_sim::Executor;
+///
+/// let b = GhzBenchmark::new(4);
+/// let counts = Executor::noiseless().run(&b.circuits()[0], 2000, 1);
+/// assert!(b.score(&[counts]) > 0.99);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GhzBenchmark {
+    n: usize,
+}
+
+impl GhzBenchmark {
+    /// Creates the benchmark for `n` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "GHZ needs at least two qubits");
+        GhzBenchmark { n }
+    }
+
+    /// The ideal output distribution.
+    fn ideal_distribution(&self) -> BTreeMap<u64, f64> {
+        BTreeMap::from([(0u64, 0.5), (((1u128 << self.n) - 1) as u64, 0.5)])
+    }
+}
+
+impl Benchmark for GhzBenchmark {
+    fn name(&self) -> String {
+        format!("GHZ-{}", self.n)
+    }
+
+    fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    fn circuits(&self) -> Vec<Circuit> {
+        let mut c = Circuit::new(self.n);
+        c.h(0);
+        for q in 0..self.n - 1 {
+            c.cx(q, q + 1);
+        }
+        c.measure_all();
+        vec![c]
+    }
+
+    fn score(&self, counts: &[Counts]) -> f64 {
+        assert_eq!(counts.len(), 1, "GHZ expects one histogram");
+        let measured = counts[0].to_probabilities();
+        clamp_score(hellinger_fidelity_maps(&measured, &self.ideal_distribution()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supermarq_sim::{Executor, NoiseModel};
+
+    #[test]
+    fn noiseless_score_is_one() {
+        for n in 2..=6 {
+            let b = GhzBenchmark::new(n);
+            let counts = Executor::noiseless().run(&b.circuits()[0], 4000, 3);
+            let s = b.score(&[counts]);
+            assert!(s > 0.995, "n={n} score={s}");
+        }
+    }
+
+    #[test]
+    fn noise_decreases_score() {
+        let b = GhzBenchmark::new(4);
+        let circuit = &b.circuits()[0];
+        let clean = b.score(&[Executor::noiseless().run(circuit, 4000, 7)]);
+        let mild = b.score(&[
+            Executor::new(NoiseModel::uniform_depolarizing(0.02)).run(circuit, 4000, 7)
+        ]);
+        let heavy = b.score(&[
+            Executor::new(NoiseModel::uniform_depolarizing(0.15)).run(circuit, 4000, 7)
+        ]);
+        assert!(clean > mild, "clean={clean} mild={mild}");
+        assert!(mild > heavy, "mild={mild} heavy={heavy}");
+    }
+
+    #[test]
+    fn larger_instances_score_lower_under_fixed_noise() {
+        let noise = NoiseModel::uniform_depolarizing(0.03);
+        let small = GhzBenchmark::new(3);
+        let large = GhzBenchmark::new(7);
+        let s_small =
+            small.score(&[Executor::new(noise.clone()).run(&small.circuits()[0], 3000, 5)]);
+        let s_large =
+            large.score(&[Executor::new(noise).run(&large.circuits()[0], 3000, 5)]);
+        assert!(s_small > s_large, "small={s_small} large={s_large}");
+    }
+
+    #[test]
+    fn circuit_structure() {
+        let b = GhzBenchmark::new(5);
+        let c = &b.circuits()[0];
+        assert_eq!(c.two_qubit_gate_count(), 4);
+        assert_eq!(c.measurement_count(), 5);
+        assert_eq!(b.name(), "GHZ-5");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_qubit() {
+        GhzBenchmark::new(1);
+    }
+}

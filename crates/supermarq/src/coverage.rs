@@ -1,0 +1,116 @@
+//! Feature-space coverage (the Table I metric).
+//!
+//! A suite's coverage is "the volume of the convex hull defined by their
+//! feature vectors" in the 6-D feature space (paper Sec. IV-G).
+
+use supermarq_geometry::hull_volume;
+
+use crate::benchmark::Benchmark;
+use crate::features::FeatureVector;
+
+/// Convex-hull volume of a set of feature vectors in the 6-D feature
+/// space. Degenerate sets (fewer than 7 affinely independent points) have
+/// zero volume.
+pub fn coverage_of_features(features: &[FeatureVector]) -> f64 {
+    let points: Vec<Vec<f64>> = features.iter().map(FeatureVector::to_vec).collect();
+    hull_volume(&points)
+}
+
+/// Coverage of a suite of benchmarks (feature vector of each benchmark's
+/// first circuit).
+pub fn suite_coverage(suite: &[Box<dyn Benchmark>]) -> f64 {
+    let features: Vec<FeatureVector> = suite.iter().map(|b| b.features()).collect();
+    coverage_of_features(&features)
+}
+
+/// The synthetic suite of paper Table I: one hypothetical proxy-benchmark
+/// maximizing each single feature (the six unit vectors) plus the trivial
+/// all-zero program. Its hull is the standard 6-simplex with volume
+/// `1/6! = 1.4e-3`, exactly the paper's Table I entry.
+pub fn synthetic_suite_features() -> Vec<FeatureVector> {
+    let mut features = vec![FeatureVector {
+        program_communication: 0.0,
+        critical_depth: 0.0,
+        entanglement_ratio: 0.0,
+        parallelism: 0.0,
+        liveness: 0.0,
+        measurement: 0.0,
+    }];
+    for axis in 0..6 {
+        let mut arr = [0.0; 6];
+        arr[axis] = 1.0;
+        features.push(FeatureVector {
+            program_communication: arr[0],
+            critical_depth: arr[1],
+            entanglement_ratio: arr[2],
+            parallelism: arr[3],
+            liveness: arr[4],
+            measurement: arr[5],
+        });
+    }
+    features
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_suite_volume_is_one_over_720() {
+        // The paper's Table I "Synthetic" row: 1.4e-3 = 1/6!.
+        let v = coverage_of_features(&synthetic_suite_features());
+        assert!((v - 1.0 / 720.0).abs() < 1e-9, "v={v}");
+    }
+
+    #[test]
+    fn degenerate_suites_have_zero_coverage() {
+        // Two identical benchmarks span nothing.
+        let f = synthetic_suite_features()[1];
+        assert_eq!(coverage_of_features(&[f, f, f]), 0.0);
+    }
+
+    #[test]
+    fn standard_suite_coverage_is_positive_with_size_spread() {
+        use crate::benchmarks::*;
+        // Instances across sizes, mirroring the paper's 3-to-1000-qubit
+        // sweep (kept small here for test speed).
+        let mut features = Vec::new();
+        for n in [3, 5, 8, 12] {
+            features.push(GhzBenchmark::new(n).features());
+        }
+        for n in [3, 4, 5] {
+            features.push(MerminBellBenchmark::new(n).features());
+        }
+        for (d, r) in [(3, 1), (3, 3), (4, 2)] {
+            features.push(BitCodeBenchmark::new(d, r, &vec![false; d]).features());
+            features.push(PhaseCodeBenchmark::new(d, r, &vec![true; d]).features());
+        }
+        for n in [4, 6] {
+            features.push(QaoaVanillaBenchmark::new(n, 1).features());
+            features.push(QaoaSwapBenchmark::new(n, 1).features());
+        }
+        features.push(VqeBenchmark::new(4, 1).features());
+        features.push(HamiltonianSimBenchmark::new(4, 3).features());
+        features.push(HamiltonianSimBenchmark::new(8, 6).features());
+        let v = coverage_of_features(&features);
+        assert!(v > 1e-5, "coverage={v}");
+        // Order of magnitude sanity: well below the full unit cube.
+        assert!(v < 0.2);
+    }
+
+    #[test]
+    fn adding_an_extreme_point_grows_coverage() {
+        let mut base = synthetic_suite_features();
+        let v0 = coverage_of_features(&base);
+        base.push(FeatureVector {
+            program_communication: 1.0,
+            critical_depth: 1.0,
+            entanglement_ratio: 1.0,
+            parallelism: 1.0,
+            liveness: 1.0,
+            measurement: 1.0,
+        });
+        let v1 = coverage_of_features(&base);
+        assert!(v1 > v0, "v0={v0} v1={v1}");
+    }
+}

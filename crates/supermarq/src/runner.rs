@@ -1,0 +1,318 @@
+//! The full-system evaluation harness behind the paper's Fig. 2.
+//!
+//! For each (benchmark, device) pair: transpile under the Closed Division,
+//! execute the physical circuits under the device's derived noise model,
+//! relabel outcomes back to program-qubit order, and score. Benchmarks that
+//! exceed a device's qubit count report
+//! [`supermarq_transpile::TranspileError::TooManyQubits`] — the black X's
+//! of Fig. 2.
+
+use supermarq_classical::stats::{mean, std_dev};
+use supermarq_device::Device;
+use supermarq_sim::{Counts, Executor};
+use supermarq_transpile::{PlacementStrategy, TranspileError, Transpiler};
+
+use crate::benchmark::Benchmark;
+
+/// Execution configuration for a benchmark run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunConfig {
+    /// Shots per circuit per repetition (the paper used 2000 on IBM, 1024
+    /// on AQT, 35 on IonQ).
+    pub shots: usize,
+    /// Base RNG seed; repetition `r` uses `seed + r`.
+    pub seed: u64,
+    /// Number of independent repetitions (for the Fig. 2 error bars).
+    pub repetitions: usize,
+    /// Placement strategy for the transpiler.
+    pub placement: PlacementStrategy,
+    /// Whether fusion/cancellation run (ablation hook).
+    pub optimize: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            shots: 2000,
+            seed: 0,
+            repetitions: 3,
+            placement: PlacementStrategy::Greedy,
+            optimize: true,
+        }
+    }
+}
+
+/// Result of evaluating one benchmark on one device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkResult {
+    /// Benchmark display name.
+    pub benchmark: String,
+    /// Device display name.
+    pub device: String,
+    /// Per-repetition scores.
+    pub scores: Vec<f64>,
+    /// SWAPs the router inserted.
+    pub swap_count: usize,
+    /// Native two-qubit gates in the executed circuit(s).
+    pub two_qubit_gates: usize,
+}
+
+impl BenchmarkResult {
+    /// Mean score across repetitions.
+    pub fn mean_score(&self) -> f64 {
+        mean(&self.scores)
+    }
+
+    /// Standard deviation across repetitions (the Fig. 2 error bars).
+    pub fn std_dev(&self) -> f64 {
+        std_dev(&self.scores)
+    }
+}
+
+/// Runs `benchmark` on `device`.
+///
+/// # Errors
+///
+/// Returns [`TranspileError::TooManyQubits`] when the benchmark does not
+/// fit the device.
+pub fn run_on_device(
+    benchmark: &dyn Benchmark,
+    device: &Device,
+    config: &RunConfig,
+) -> Result<BenchmarkResult, TranspileError> {
+    let transpiler = Transpiler::for_device(device)
+        .with_placement(config.placement)
+        .with_optimization(config.optimize);
+    let circuits = benchmark.circuits();
+    let mut transpiled = Vec::with_capacity(circuits.len());
+    for c in &circuits {
+        transpiled.push(transpiler.run(c)?);
+    }
+    let executor = Executor::new(device.noise_model());
+    // Simulate only the physical qubits each circuit touches: a small
+    // benchmark placed on a 27-qubit lattice occupies a handful of qubits.
+    let prepared: Vec<_> = transpiled
+        .iter()
+        .map(|t| {
+            let (compact, phys_to_dense) = t.circuit.compacted();
+            let measured_dense: Vec<Option<usize>> = t
+                .measured_on
+                .iter()
+                .map(|m| m.map(|p| phys_to_dense[p].expect("measured qubit is used")))
+                .collect();
+            (compact, measured_dense)
+        })
+        .collect();
+    let mut scores = Vec::with_capacity(config.repetitions);
+    for rep in 0..config.repetitions {
+        let mut counts: Vec<Counts> = Vec::with_capacity(prepared.len());
+        for (i, (compact, measured_dense)) in prepared.iter().enumerate() {
+            let seed = config
+                .seed
+                .wrapping_add(rep as u64)
+                .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1));
+            let raw = executor.run(compact, config.shots, seed);
+            counts.push(relabel(&raw, measured_dense));
+        }
+        scores.push(benchmark.score(&counts));
+    }
+    Ok(BenchmarkResult {
+        benchmark: benchmark.name(),
+        device: device.name().to_string(),
+        scores,
+        swap_count: transpiled.iter().map(|t| t.swap_count).sum(),
+        two_qubit_gates: transpiled.iter().map(|t| t.two_qubit_gates).sum(),
+    })
+}
+
+/// Runs `benchmark` on `device` in the *Open Division*: identical pipeline
+/// to [`run_on_device`] plus readout-error mitigation (inverse confusion
+/// transform built from the device's calibrated measurement error) before
+/// scoring — the post-processing step the Closed Division forbids and the
+/// paper defers to future work (Sec. V).
+///
+/// # Errors
+///
+/// Returns [`TranspileError::TooManyQubits`] when the benchmark does not
+/// fit the device.
+pub fn run_on_device_open(
+    benchmark: &dyn Benchmark,
+    device: &Device,
+    config: &RunConfig,
+) -> Result<BenchmarkResult, TranspileError> {
+    use crate::mitigation::ReadoutMitigator;
+    let transpiler = Transpiler::for_device(device)
+        .with_placement(config.placement)
+        .with_optimization(config.optimize);
+    let circuits = benchmark.circuits();
+    let mut prepared = Vec::with_capacity(circuits.len());
+    let mut swap_count = 0;
+    let mut two_qubit_gates = 0;
+    for c in &circuits {
+        let t = transpiler.run(c)?;
+        swap_count += t.swap_count;
+        two_qubit_gates += t.two_qubit_gates;
+        let (compact, phys_to_dense) = t.circuit.compacted();
+        let measured_dense: Vec<Option<usize>> = t
+            .measured_on
+            .iter()
+            .map(|m| m.map(|p| phys_to_dense[p].expect("measured qubit is used")))
+            .collect();
+        prepared.push((compact, measured_dense));
+    }
+    let executor = Executor::new(device.noise_model());
+    let mitigator =
+        ReadoutMitigator::uniform(benchmark.num_qubits(), device.calibration().err_meas);
+    let mut scores = Vec::with_capacity(config.repetitions);
+    for rep in 0..config.repetitions {
+        let mut counts: Vec<Counts> = Vec::with_capacity(prepared.len());
+        for (i, (compact, measured_dense)) in prepared.iter().enumerate() {
+            let seed = config
+                .seed
+                .wrapping_add(rep as u64)
+                .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1));
+            let raw = executor.run(compact, config.shots, seed);
+            counts.push(mitigator.mitigate(&relabel(&raw, measured_dense)));
+        }
+        scores.push(benchmark.score(&counts));
+    }
+    Ok(BenchmarkResult {
+        benchmark: benchmark.name(),
+        device: device.name().to_string(),
+        scores,
+        swap_count,
+        two_qubit_gates,
+    })
+}
+
+/// Relabels a dense-register histogram into program-qubit order using the
+/// per-program-qubit measurement locations.
+fn relabel(raw: &Counts, measured_dense: &[Option<usize>]) -> Counts {
+    let mut out = Counts::new(measured_dense.len());
+    for (bits, count) in raw.iter() {
+        let mut relabeled = 0u64;
+        for (prog, &dense) in measured_dense.iter().enumerate() {
+            if let Some(d) = dense {
+                if bits >> d & 1 == 1 {
+                    relabeled |= 1 << prog;
+                }
+            }
+        }
+        for _ in 0..count {
+            out.record(relabeled);
+        }
+    }
+    out
+}
+
+/// Runs `benchmark` noiselessly end-to-end through the same transpilation
+/// pipeline — the sanity reference: scores should be ~1.
+///
+/// # Errors
+///
+/// Returns [`TranspileError::TooManyQubits`] when the benchmark does not
+/// fit the device.
+pub fn run_noiseless(
+    benchmark: &dyn Benchmark,
+    device: &Device,
+    shots: usize,
+    seed: u64,
+) -> Result<f64, TranspileError> {
+    let transpiler = Transpiler::for_device(device);
+    let executor = Executor::noiseless();
+    let mut counts = Vec::new();
+    for (i, c) in benchmark.circuits().iter().enumerate() {
+        let t = transpiler.run(c)?;
+        let (compact, phys_to_dense) = t.circuit.compacted();
+        let measured_dense: Vec<Option<usize>> = t
+            .measured_on
+            .iter()
+            .map(|m| m.map(|p| phys_to_dense[p].expect("measured qubit is used")))
+            .collect();
+        let raw = executor.run(&compact, shots, seed + i as u64 * 7919);
+        counts.push(relabel(&raw, &measured_dense));
+    }
+    Ok(benchmark.score(&counts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks::{BitCodeBenchmark, GhzBenchmark, MerminBellBenchmark};
+
+    #[test]
+    fn ghz_runs_on_every_fitting_device() {
+        let b = GhzBenchmark::new(4);
+        let config = RunConfig { shots: 500, repetitions: 2, ..RunConfig::default() };
+        for device in Device::all_paper_devices() {
+            let result = run_on_device(&b, &device, &config).unwrap();
+            assert_eq!(result.scores.len(), 2);
+            let m = result.mean_score();
+            assert!(m > 0.2 && m <= 1.0, "{}: mean={m}", device.name());
+        }
+    }
+
+    #[test]
+    fn oversized_benchmark_reports_too_many_qubits() {
+        let b = GhzBenchmark::new(6);
+        let err = run_on_device(&b, &Device::aqt(), &RunConfig::default()).unwrap_err();
+        assert!(matches!(err, TranspileError::TooManyQubits { .. }));
+    }
+
+    #[test]
+    fn noiseless_pipeline_scores_near_one() {
+        let ghz = GhzBenchmark::new(4);
+        let bit = BitCodeBenchmark::new(2, 1, &[true, false]);
+        for device in [Device::ibm_casablanca(), Device::ionq()] {
+            let s = run_noiseless(&ghz, &device, 3000, 5).unwrap();
+            assert!(s > 0.98, "{} ghz: {s}", device.name());
+            let s = run_noiseless(&bit, &device, 1000, 5).unwrap();
+            assert!(s > 0.98, "{} bit: {s}", device.name());
+        }
+    }
+
+    #[test]
+    fn mermin_on_ionq_beats_sparse_superconducting() {
+        // Fig. 2b story: all-to-all connectivity wins the communication-
+        // heavy benchmark despite worse 2q fidelity.
+        let b = MerminBellBenchmark::new(4);
+        let config = RunConfig { shots: 2000, repetitions: 3, ..RunConfig::default() };
+        let ion = run_on_device(&b, &Device::ionq(), &config).unwrap();
+        let ibm = run_on_device(&b, &Device::ibm_toronto(), &config).unwrap();
+        assert!(ion.swap_count < ibm.swap_count + 1);
+        assert!(
+            ion.mean_score() > ibm.mean_score() - 0.05,
+            "ion={} toronto={}",
+            ion.mean_score(),
+            ibm.mean_score()
+        );
+    }
+
+    #[test]
+    fn open_division_beats_closed_on_readout_limited_benchmarks() {
+        // GHZ's Hellinger score is readout-limited on superconducting
+        // devices; mitigation should recover a solid chunk of it.
+        let b = GhzBenchmark::new(4);
+        let device = Device::ibm_guadalupe();
+        let config = RunConfig { shots: 4000, repetitions: 2, seed: 3, ..RunConfig::default() };
+        let closed = run_on_device(&b, &device, &config).unwrap();
+        let open = super::run_on_device_open(&b, &device, &config).unwrap();
+        assert!(
+            open.mean_score() > closed.mean_score(),
+            "open {} vs closed {}",
+            open.mean_score(),
+            closed.mean_score()
+        );
+    }
+
+    #[test]
+    fn repetition_scores_vary_with_seed() {
+        let b = GhzBenchmark::new(4);
+        let config = RunConfig { shots: 300, repetitions: 4, ..RunConfig::default() };
+        let result = run_on_device(&b, &Device::ibm_toronto(), &config).unwrap();
+        // Not all identical (noise realizations differ).
+        let first = result.scores[0];
+        assert!(result.scores.iter().any(|&s| (s - first).abs() > 1e-6));
+        assert!(result.std_dev() > 0.0);
+    }
+}

@@ -1,0 +1,337 @@
+//! Adjacent-gate cancellation and commuting-gate reordering.
+//!
+//! Implements the two Closed-Division peepholes beyond single-qubit fusion:
+//! removal of adjacent mutually-inverse gate pairs (`cx cx`, `h h`,
+//! `swap swap`, ...), merging of same-axis rotations (`rz(a) rz(b)` ->
+//! `rz(a+b)`), and a commutation rule set that lets cancellations reach
+//! through gates they commute with (diagonal gates slide past a CX control;
+//! X-axis gates slide past a CX target).
+
+use supermarq_circuit::{Circuit, Gate, GateKind, Instruction};
+
+/// `true` if `g` is diagonal in the computational basis.
+fn is_diagonal(g: &Gate) -> bool {
+    matches!(
+        g,
+        Gate::Z | Gate::S | Gate::Sdg | Gate::T | Gate::Tdg | Gate::Rz(_) | Gate::P(_)
+            | Gate::Cz
+            | Gate::Cp(_)
+            | Gate::Rzz(_)
+    )
+}
+
+/// `true` if `g` is an X-axis gate (commutes with being a CX target).
+fn is_x_axis(g: &Gate) -> bool {
+    matches!(g, Gate::X | Gate::Sx | Gate::Sxdg | Gate::Rx(_) | Gate::Rxx(_))
+}
+
+/// Decides whether instruction `a` commutes with instruction `b` *with
+/// respect to their shared qubits* under the implemented rule set
+/// (conservative: unknown cases return `false`).
+fn commutes(a: &Instruction, b: &Instruction) -> bool {
+    let shared: Vec<usize> =
+        a.qubits.iter().copied().filter(|q| b.qubits.contains(q)).collect();
+    if shared.is_empty() {
+        return true;
+    }
+    // Both diagonal: always commute.
+    if is_diagonal(&a.gate) && is_diagonal(&b.gate) {
+        return true;
+    }
+    // Both X-axis: commute.
+    if is_x_axis(&a.gate) && is_x_axis(&b.gate) {
+        return true;
+    }
+    // Diagonal gate through a CX control.
+    for (first, second) in [(a, b), (b, a)] {
+        if second.gate == Gate::Cx {
+            let control = second.qubits[0];
+            let target = second.qubits[1];
+            if is_diagonal(&first.gate) && shared.iter().all(|&q| q == control) {
+                return true;
+            }
+            if is_x_axis(&first.gate) && shared.iter().all(|&q| q == target) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Attempts to merge two same-shape rotations; returns the merged gate
+/// (`None` result angle ~ 0 means the pair annihilates).
+fn merge_rotations(a: &Gate, b: &Gate) -> Option<Option<Gate>> {
+    use Gate::*;
+    let merged = match (*a, *b) {
+        (Rx(x), Rx(y)) => Rx(x + y),
+        (Ry(x), Ry(y)) => Ry(x + y),
+        (Rz(x), Rz(y)) => Rz(x + y),
+        (P(x), P(y)) => P(x + y),
+        (Cp(x), Cp(y)) => Cp(x + y),
+        (Rxx(x), Rxx(y)) => Rxx(x + y),
+        (Ryy(x), Ryy(y)) => Ryy(x + y),
+        (Rzz(x), Rzz(y)) => Rzz(x + y),
+        _ => return None,
+    };
+    let angle = merged.params()[0];
+    let wrapped = angle.rem_euclid(4.0 * std::f64::consts::PI);
+    if wrapped.abs() < 1e-12 || (wrapped - 4.0 * std::f64::consts::PI).abs() < 1e-12 {
+        Some(None)
+    } else {
+        Some(Some(merged))
+    }
+}
+
+/// `true` if applying `b` right after `a` on identical operand lists yields
+/// the identity.
+fn annihilates(a: &Instruction, b: &Instruction) -> bool {
+    if a.qubits != b.qubits {
+        // Symmetric gates cancel regardless of operand order.
+        let symmetric = matches!(
+            a.gate,
+            Gate::Cz | Gate::Swap | Gate::Rxx(_) | Gate::Ryy(_) | Gate::Rzz(_) | Gate::Cp(_)
+        );
+        let same_set = a.qubits.len() == b.qubits.len()
+            && a.qubits.iter().all(|q| b.qubits.contains(q));
+        if !(symmetric && same_set) {
+            return false;
+        }
+    }
+    match a.gate.inverse() {
+        Some(inv) => match (&inv, &b.gate) {
+            // Exact parameter match for rotations.
+            (x, y) => {
+                if x == y {
+                    return true;
+                }
+                false
+            }
+        },
+        None => false,
+    }
+}
+
+/// Runs cancellation/merging to a fixpoint and returns the optimized
+/// circuit. Barriers are optimization fences.
+pub fn cancel_adjacent_gates(input: &Circuit) -> Circuit {
+    let mut instrs: Vec<Option<Instruction>> = input.iter().cloned().map(Some).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        'outer: for i in 0..instrs.len() {
+            let Some(a) = instrs[i].clone() else { continue };
+            if a.gate.kind() == GateKind::Barrier || !a.gate.is_unitary() {
+                continue;
+            }
+            // Search forward for the next gate we can interact with.
+            for j in i + 1..instrs.len() {
+                let Some(b) = instrs[j].clone() else { continue };
+                if b.gate.kind() == GateKind::Barrier {
+                    if b.qubits.iter().any(|q| a.qubits.contains(q)) {
+                        continue 'outer;
+                    }
+                    continue;
+                }
+                let overlaps = b.qubits.iter().any(|q| a.qubits.contains(q));
+                if !overlaps {
+                    continue;
+                }
+                // Interaction candidate.
+                if annihilates(&a, &b) {
+                    instrs[i] = None;
+                    instrs[j] = None;
+                    changed = true;
+                    continue 'outer;
+                }
+                if a.qubits == b.qubits {
+                    if let Some(merged) = merge_rotations(&a.gate, &b.gate) {
+                        instrs[i] = None;
+                        instrs[j] = merged.map(|g| Instruction::new(g, b.qubits.clone()));
+                        changed = true;
+                        continue 'outer;
+                    }
+                }
+                // Can we slide past b and keep searching?
+                if commutes(&a, &b) && b.gate.is_unitary() {
+                    continue;
+                }
+                continue 'outer;
+            }
+        }
+    }
+    let mut out = Circuit::new(input.num_qubits());
+    for instr in instrs.into_iter().flatten() {
+        out.append(instr.gate, &instr.qubits);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supermarq_sim::Executor;
+
+    fn equivalent(a: &Circuit, b: &Circuit) -> bool {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let n = a.num_qubits();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..5 {
+            let mut prep = Circuit::new(n);
+            for q in 0..n {
+                prep.ry(rng.gen_range(0.0..3.0), q).rz(rng.gen_range(0.0..3.0), q);
+            }
+            let mut pa = Executor::final_state(&prep);
+            let mut pb = pa.clone();
+            for i in a.iter().filter(|i| i.gate != Gate::Barrier) {
+                pa.apply_instruction(i);
+            }
+            for i in b.iter().filter(|i| i.gate != Gate::Barrier) {
+                pb.apply_instruction(i);
+            }
+            if pa.fidelity(&pb) < 1.0 - 1e-9 {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn double_cx_cancels() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).cx(0, 1);
+        assert_eq!(cancel_adjacent_gates(&c).gate_count(), 0);
+    }
+
+    #[test]
+    fn double_h_cancels() {
+        let mut c = Circuit::new(1);
+        c.h(0).h(0);
+        assert_eq!(cancel_adjacent_gates(&c).gate_count(), 0);
+    }
+
+    #[test]
+    fn s_sdg_pair_cancels() {
+        let mut c = Circuit::new(1);
+        c.s(0).sdg(0);
+        assert_eq!(cancel_adjacent_gates(&c).gate_count(), 0);
+    }
+
+    #[test]
+    fn rotations_merge_and_annihilate() {
+        let mut c = Circuit::new(1);
+        c.rz(0.5, 0).rz(-0.5, 0);
+        assert_eq!(cancel_adjacent_gates(&c).gate_count(), 0);
+        let mut c2 = Circuit::new(1);
+        c2.rz(0.3, 0).rz(0.4, 0);
+        let out = cancel_adjacent_gates(&c2);
+        assert_eq!(out.gate_count(), 1);
+        assert_eq!(out.instructions()[0].gate, Gate::Rz(0.7));
+    }
+
+    #[test]
+    fn rz_slides_through_cx_control_to_cancel() {
+        // rz on the control commutes with cx, so rz(a) cx rz(-a) -> cx.
+        let mut c = Circuit::new(2);
+        c.rz(0.9, 0).cx(0, 1).rz(-0.9, 0);
+        let out = cancel_adjacent_gates(&c);
+        assert_eq!(out.gate_count(), 1);
+        assert_eq!(out.instructions()[0].gate, Gate::Cx);
+        assert!(equivalent(&c, &out));
+    }
+
+    #[test]
+    fn rx_slides_through_cx_target_to_cancel() {
+        let mut c = Circuit::new(2);
+        c.rx(0.4, 1).cx(0, 1).rx(-0.4, 1);
+        let out = cancel_adjacent_gates(&c);
+        assert_eq!(out.gate_count(), 1);
+        assert!(equivalent(&c, &out));
+    }
+
+    #[test]
+    fn rz_does_not_slide_through_cx_target() {
+        let mut c = Circuit::new(2);
+        c.rz(0.4, 1).cx(0, 1).rz(-0.4, 1);
+        let out = cancel_adjacent_gates(&c);
+        assert_eq!(out.gate_count(), 3); // nothing cancels
+        assert!(equivalent(&c, &out));
+    }
+
+    #[test]
+    fn symmetric_gate_cancels_with_swapped_operands() {
+        let mut c = Circuit::new(2);
+        c.cz(0, 1).cz(1, 0);
+        assert_eq!(cancel_adjacent_gates(&c).gate_count(), 0);
+        let mut c2 = Circuit::new(2);
+        c2.rzz(0.7, 0, 1).rzz(-0.7, 1, 0);
+        assert_eq!(cancel_adjacent_gates(&c2).gate_count(), 0);
+    }
+
+    #[test]
+    fn cx_with_swapped_operands_does_not_cancel() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).cx(1, 0);
+        let out = cancel_adjacent_gates(&c);
+        assert_eq!(out.gate_count(), 2);
+    }
+
+    #[test]
+    fn barrier_blocks_cancellation() {
+        let mut c = Circuit::new(1);
+        c.h(0).barrier_all().h(0);
+        let out = cancel_adjacent_gates(&c);
+        assert_eq!(out.gate_count(), 2);
+    }
+
+    #[test]
+    fn measurement_blocks_cancellation() {
+        let mut c = Circuit::new(1);
+        c.x(0).measure(0).x(0);
+        let out = cancel_adjacent_gates(&c);
+        assert_eq!(out.gate_count(), 3);
+    }
+
+    #[test]
+    fn chain_of_cancellations_reaches_fixpoint() {
+        // h x x h -> h h -> empty.
+        let mut c = Circuit::new(1);
+        c.h(0).x(0).x(0).h(0);
+        assert_eq!(cancel_adjacent_gates(&c).gate_count(), 0);
+    }
+
+    #[test]
+    fn random_circuit_optimization_preserves_semantics() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        for trial in 0..10 {
+            let n = 3;
+            let mut c = Circuit::new(n);
+            for _ in 0..25 {
+                match rng.gen_range(0..6) {
+                    0 => {
+                        c.h(rng.gen_range(0..n));
+                    }
+                    1 => {
+                        c.rz(rng.gen_range(-3.0..3.0), rng.gen_range(0..n));
+                    }
+                    2 => {
+                        c.rx(rng.gen_range(-3.0..3.0), rng.gen_range(0..n));
+                    }
+                    3 => {
+                        c.s(rng.gen_range(0..n));
+                    }
+                    _ => {
+                        let a = rng.gen_range(0..n);
+                        let b = (a + 1) % n;
+                        c.cx(a, b);
+                    }
+                }
+            }
+            let out = cancel_adjacent_gates(&c);
+            assert!(equivalent(&c, &out), "trial {trial}");
+            assert!(out.gate_count() <= c.gate_count());
+        }
+    }
+}

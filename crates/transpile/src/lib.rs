@@ -1,0 +1,44 @@
+//! The Closed-Division compiler of the SupermarQ reproduction.
+//!
+//! The paper evaluates benchmarks under a *Closed Division* (Sec. V) that
+//! permits exactly the optimizations cloud platforms apply automatically:
+//!
+//! * transpilation of OpenQASM to native gates — [`decompose`],
+//! * noise-aware qubit mapping — [`placement`],
+//! * SWAP insertions — [`routing`],
+//! * reordering of commuting gates and cancellation of adjacent gates —
+//!   [`cancel`] and single-qubit fusion in [`fuse`].
+//!
+//! Pulse-level optimization and error mitigation are out of scope, matching
+//! the Closed Division rules. The [`Transpiler`] orchestrates the pipeline
+//! and reports swap overhead — the quantity that drives the paper's
+//! connectivity-vs-fidelity findings (Sec. VI: "the additional swap
+//! operations that must be inserted to match the program connectivity
+//! quickly deteriorate performance").
+//!
+//! # Example
+//!
+//! ```
+//! use supermarq_circuit::Circuit;
+//! use supermarq_device::Device;
+//! use supermarq_transpile::Transpiler;
+//!
+//! let mut ghz = Circuit::new(4);
+//! ghz.h(0).cx(0, 1).cx(1, 2).cx(2, 3).measure_all();
+//! let result = Transpiler::for_device(&Device::ibm_casablanca()).run(&ghz).unwrap();
+//! // Every two-qubit gate acts on coupled physical qubits.
+//! let topo = Device::ibm_casablanca();
+//! for instr in result.circuit.iter().filter(|i| i.is_two_qubit()) {
+//!     assert!(topo.topology().are_adjacent(instr.qubits[0], instr.qubits[1]));
+//! }
+//! ```
+
+pub mod cancel;
+pub mod decompose;
+pub mod fuse;
+pub mod placement;
+pub mod routing;
+pub mod transpiler;
+
+pub use placement::PlacementStrategy;
+pub use transpiler::{RoutingStrategy, TranspileError, TranspileResult, Transpiler};

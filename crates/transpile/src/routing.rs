@@ -1,0 +1,447 @@
+//! SWAP-insertion routing.
+//!
+//! Maps a logical circuit onto a hardware topology, inserting SWAP chains
+//! along shortest coupler paths whenever a two-qubit gate's operands are not
+//! adjacent. This is the compiler step whose cost the paper's evaluation
+//! repeatedly surfaces: the Vanilla QAOA benchmark's all-to-all ansatz
+//! shreds on sparse superconducting lattices while the IonQ device routes
+//! for free.
+
+use supermarq_circuit::{Circuit, GateKind};
+use supermarq_device::Topology;
+
+/// The output of routing: a physical circuit plus bookkeeping.
+#[derive(Debug, Clone)]
+pub struct RoutedCircuit {
+    /// The circuit over physical qubits (width = device size).
+    pub circuit: Circuit,
+    /// Mapping program qubit -> physical qubit *at circuit start*.
+    pub initial_mapping: Vec<usize>,
+    /// Mapping program qubit -> physical qubit *after all gates*.
+    pub final_mapping: Vec<usize>,
+    /// Number of SWAP gates inserted.
+    pub swap_count: usize,
+    /// For each program qubit, the physical qubit its (last) measurement
+    /// landed on, if it was measured.
+    pub measured_on: Vec<Option<usize>>,
+}
+
+impl RoutedCircuit {
+    /// Relabels a physical-qubit outcome mask into program-qubit order
+    /// using the recorded measurement locations.
+    pub fn relabel_bits(&self, physical_bits: u64) -> u64 {
+        let mut out = 0u64;
+        for (prog, &phys) in self.measured_on.iter().enumerate() {
+            if let Some(p) = phys {
+                if physical_bits >> p & 1 == 1 {
+                    out |= 1 << prog;
+                }
+            }
+        }
+        out
+    }
+
+    /// Relabels a whole histogram of physical outcomes into program-qubit
+    /// order.
+    pub fn relabel_counts(&self, counts: &supermarq_sim::Counts) -> supermarq_sim::Counts {
+        let mut out = supermarq_sim::Counts::new(self.measured_on.len());
+        for (bits, count) in counts.iter() {
+            for _ in 0..count {
+                out.record(self.relabel_bits(bits));
+            }
+        }
+        out
+    }
+}
+
+/// Routes `circuit` onto `topology` starting from `initial_mapping`
+/// (program qubit -> physical qubit, injective).
+///
+/// # Panics
+///
+/// Panics if the mapping is malformed or the topology is disconnected along
+/// a required path.
+pub fn route(circuit: &Circuit, topology: &Topology, initial_mapping: &[usize]) -> RoutedCircuit {
+    let n_prog = circuit.num_qubits();
+    let n_phys = topology.num_qubits();
+    assert_eq!(initial_mapping.len(), n_prog, "mapping length mismatch");
+    {
+        let set: std::collections::BTreeSet<usize> = initial_mapping.iter().copied().collect();
+        assert_eq!(set.len(), n_prog, "mapping must be injective");
+        assert!(initial_mapping.iter().all(|&p| p < n_phys), "mapping out of range");
+    }
+    let mut phys_of: Vec<usize> = initial_mapping.to_vec();
+    // Inverse map: physical -> program (usize::MAX = unused).
+    let mut prog_of: Vec<usize> = vec![usize::MAX; n_phys];
+    for (prog, &phys) in phys_of.iter().enumerate() {
+        prog_of[phys] = prog;
+    }
+    let mut out = Circuit::new(n_phys);
+    let mut swap_count = 0usize;
+    let mut measured_on: Vec<Option<usize>> = vec![None; n_prog];
+
+    for instr in circuit.iter() {
+        match instr.gate.kind() {
+            GateKind::TwoQubitUnitary => {
+                let (a, b) = (instr.qubits[0], instr.qubits[1]);
+                let (mut pa, pb) = (phys_of[a], phys_of[b]);
+                if !topology.are_adjacent(pa, pb) {
+                    let path = topology
+                        .shortest_path(pa, pb)
+                        .expect("topology must be connected between mapped qubits");
+                    // Swap a's qubit along the path until adjacent to b.
+                    for hop in 1..path.len() - 1 {
+                        let next = path[hop];
+                        out.swap(pa, next);
+                        swap_count += 1;
+                        // Update maps: whatever lived at `next` moves to `pa`.
+                        let moved_prog = prog_of[next];
+                        prog_of[next] = prog_of[pa];
+                        prog_of[pa] = moved_prog;
+                        if moved_prog != usize::MAX {
+                            phys_of[moved_prog] = pa;
+                        }
+                        phys_of[a] = next;
+                        pa = next;
+                    }
+                }
+                out.append(instr.gate, &[phys_of[a], phys_of[b]]);
+            }
+            GateKind::Measurement => {
+                let q = instr.qubits[0];
+                measured_on[q] = Some(phys_of[q]);
+                out.measure(phys_of[q]);
+            }
+            GateKind::Barrier => {
+                let qubits: Vec<usize> = instr.qubits.iter().map(|&q| phys_of[q]).collect();
+                out.barrier(&qubits);
+            }
+            _ => {
+                out.append(instr.gate, &[phys_of[instr.qubits[0]]]);
+            }
+        }
+    }
+    RoutedCircuit {
+        circuit: out,
+        initial_mapping: initial_mapping.to_vec(),
+        final_mapping: phys_of,
+        swap_count,
+        measured_on,
+    }
+}
+
+/// Routes with a SABRE-style lookahead: instead of always walking the
+/// first blocked gate's qubits together along a shortest path, candidate
+/// SWAPs on the "front" of blocked gates are scored by the distance they
+/// save for the front plus a discounted window of upcoming two-qubit
+/// gates. Falls back to making progress on the front gate so termination
+/// is guaranteed.
+///
+/// # Panics
+///
+/// Panics on malformed mappings (same contract as [`route`]).
+pub fn route_with_lookahead(
+    circuit: &Circuit,
+    topology: &Topology,
+    initial_mapping: &[usize],
+    window: usize,
+) -> RoutedCircuit {
+    let n_prog = circuit.num_qubits();
+    let n_phys = topology.num_qubits();
+    assert_eq!(initial_mapping.len(), n_prog, "mapping length mismatch");
+    {
+        let set: std::collections::BTreeSet<usize> = initial_mapping.iter().copied().collect();
+        assert_eq!(set.len(), n_prog, "mapping must be injective");
+        assert!(initial_mapping.iter().all(|&p| p < n_phys), "mapping out of range");
+    }
+    let mut phys_of: Vec<usize> = initial_mapping.to_vec();
+    let mut prog_of: Vec<usize> = vec![usize::MAX; n_phys];
+    for (prog, &phys) in phys_of.iter().enumerate() {
+        prog_of[phys] = prog;
+    }
+    // Pre-extract the sequence of two-qubit gate operand pairs for the
+    // lookahead score.
+    let two_q_sequence: Vec<(usize, usize)> = circuit
+        .iter()
+        .filter(|i| i.is_two_qubit())
+        .map(|i| (i.qubits[0], i.qubits[1]))
+        .collect();
+    let mut two_q_index = 0usize;
+
+    let mut out = Circuit::new(n_phys);
+    let mut swap_count = 0usize;
+    let mut measured_on: Vec<Option<usize>> = vec![None; n_prog];
+
+    for instr in circuit.iter() {
+        match instr.gate.kind() {
+            GateKind::TwoQubitUnitary => {
+                let (a, b) = (instr.qubits[0], instr.qubits[1]);
+                // Score = distance(front) + 0.5 * sum of discounted
+                // distances over the lookahead window.
+                let score = |phys_of: &[usize]| -> f64 {
+                    let mut total =
+                        topology.distance(phys_of[a], phys_of[b]).unwrap_or(n_phys) as f64;
+                    let mut discount = 0.5;
+                    for &(u, v) in two_q_sequence
+                        .iter()
+                        .skip(two_q_index + 1)
+                        .take(window)
+                    {
+                        total += discount
+                            * topology.distance(phys_of[u], phys_of[v]).unwrap_or(n_phys) as f64;
+                        discount *= 0.8;
+                    }
+                    total
+                };
+                let mut guard = 0usize;
+                while !topology.are_adjacent(phys_of[a], phys_of[b]) {
+                    guard += 1;
+                    assert!(guard <= 4 * n_phys * n_phys, "router failed to converge");
+                    // Candidate swaps: edges touching a's or b's current
+                    // location.
+                    let mut best: Option<((usize, usize), f64)> = None;
+                    let front_dist =
+                        topology.distance(phys_of[a], phys_of[b]).unwrap_or(n_phys);
+                    for &center in &[phys_of[a], phys_of[b]] {
+                        for other in 0..n_phys {
+                            if !topology.are_adjacent(center, other) {
+                                continue;
+                            }
+                            // Trial-apply the swap.
+                            let mut trial = phys_of.clone();
+                            for t in trial.iter_mut() {
+                                if *t == center {
+                                    *t = other;
+                                } else if *t == other {
+                                    *t = center;
+                                }
+                            }
+                            // Require progress on the front gate to
+                            // guarantee termination.
+                            let trial_front =
+                                topology.distance(trial[a], trial[b]).unwrap_or(n_phys);
+                            if trial_front >= front_dist {
+                                continue;
+                            }
+                            let sc = score(&trial);
+                            if best.map_or(true, |(_, s)| sc < s) {
+                                best = Some(((center, other), sc));
+                            }
+                        }
+                    }
+                    let ((p1, p2), _) = best.expect("a front-progress swap always exists");
+                    out.swap(p1, p2);
+                    swap_count += 1;
+                    let (g1, g2) = (prog_of[p1], prog_of[p2]);
+                    prog_of[p1] = g2;
+                    prog_of[p2] = g1;
+                    if g1 != usize::MAX {
+                        phys_of[g1] = p2;
+                    }
+                    if g2 != usize::MAX {
+                        phys_of[g2] = p1;
+                    }
+                }
+                out.append(instr.gate, &[phys_of[a], phys_of[b]]);
+                two_q_index += 1;
+            }
+            GateKind::Measurement => {
+                let q = instr.qubits[0];
+                measured_on[q] = Some(phys_of[q]);
+                out.measure(phys_of[q]);
+            }
+            GateKind::Barrier => {
+                let qubits: Vec<usize> = instr.qubits.iter().map(|&q| phys_of[q]).collect();
+                out.barrier(&qubits);
+            }
+            _ => {
+                out.append(instr.gate, &[phys_of[instr.qubits[0]]]);
+            }
+        }
+    }
+    RoutedCircuit {
+        circuit: out,
+        initial_mapping: initial_mapping.to_vec(),
+        final_mapping: phys_of,
+        swap_count,
+        measured_on,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supermarq_sim::Executor;
+
+    fn all_two_qubit_gates_adjacent(c: &Circuit, t: &Topology) -> bool {
+        c.iter()
+            .filter(|i| i.is_two_qubit())
+            .all(|i| t.are_adjacent(i.qubits[0], i.qubits[1]))
+    }
+
+    #[test]
+    fn adjacent_gates_route_without_swaps() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2).measure_all();
+        let topo = Topology::line(3);
+        let routed = route(&c, &topo, &[0, 1, 2]);
+        assert_eq!(routed.swap_count, 0);
+        assert!(all_two_qubit_gates_adjacent(&routed.circuit, &topo));
+    }
+
+    #[test]
+    fn distant_gate_inserts_swaps() {
+        let mut c = Circuit::new(4);
+        c.cx(0, 3);
+        let topo = Topology::line(4);
+        let routed = route(&c, &topo, &[0, 1, 2, 3]);
+        assert_eq!(routed.swap_count, 2); // distance 3 -> 2 swaps
+        assert!(all_two_qubit_gates_adjacent(&routed.circuit, &topo));
+    }
+
+    #[test]
+    fn routed_circuit_preserves_semantics() {
+        // GHZ with long-range gates on a line, then measurement; counts
+        // (after relabeling) must match the unrouted circuit.
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 3).cx(3, 1).cx(1, 2).measure_all();
+        let topo = Topology::line(4);
+        let routed = route(&c, &topo, &[0, 1, 2, 3]);
+        assert!(all_two_qubit_gates_adjacent(&routed.circuit, &topo));
+        let ideal = Executor::noiseless().run(&c, 2000, 9);
+        let phys = Executor::noiseless().run(&routed.circuit, 2000, 9);
+        let relabeled = routed.relabel_counts(&phys);
+        // GHZ: only all-zeros and all-ones.
+        assert_eq!(relabeled.count(0b0110), 0);
+        let p_ideal = ideal.probability(0b1111);
+        let p_routed = relabeled.probability(0b1111);
+        assert!((p_ideal - p_routed).abs() < 0.05);
+        assert!(
+            relabeled.count(0) + relabeled.count(0b1111) == 2000,
+            "unexpected outcomes: {relabeled}"
+        );
+    }
+
+    #[test]
+    fn final_mapping_tracks_swaps() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 2);
+        let topo = Topology::line(3);
+        let routed = route(&c, &topo, &[0, 1, 2]);
+        assert_eq!(routed.swap_count, 1);
+        // Program qubit 0 moved to physical 1.
+        assert_eq!(routed.final_mapping[0], 1);
+        assert_eq!(routed.final_mapping[1], 0);
+        assert_eq!(routed.final_mapping[2], 2);
+    }
+
+    #[test]
+    fn measurement_positions_recorded_after_movement() {
+        let mut c = Circuit::new(3);
+        c.x(0).cx(0, 2).measure(0);
+        let topo = Topology::line(3);
+        let routed = route(&c, &topo, &[0, 1, 2]);
+        // Program qubit 0 was swapped to physical 1 before measurement.
+        assert_eq!(routed.measured_on[0], Some(1));
+        assert_eq!(routed.measured_on[1], None);
+        // Relabeling: physical bit 1 becomes program bit 0.
+        assert_eq!(routed.relabel_bits(0b010), 0b001);
+    }
+
+    #[test]
+    fn non_trivial_initial_mapping() {
+        let mut c = Circuit::new(2);
+        c.x(0).measure_all();
+        let topo = Topology::line(4);
+        let routed = route(&c, &topo, &[3, 1]);
+        let counts = Executor::noiseless().run(&routed.circuit, 10, 1);
+        let relabeled = routed.relabel_counts(&counts);
+        assert_eq!(relabeled.count(0b01), 10);
+    }
+
+    #[test]
+    fn all_to_all_topology_never_swaps() {
+        let mut c = Circuit::new(5);
+        for a in 0..5 {
+            for b in a + 1..5 {
+                c.cz(a, b);
+            }
+        }
+        let routed = route(&c, &Topology::all_to_all(5), &[0, 1, 2, 3, 4]);
+        assert_eq!(routed.swap_count, 0);
+    }
+
+    #[test]
+    fn lookahead_router_preserves_semantics() {
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 3).cx(3, 1).cx(1, 2).measure_all();
+        let topo = Topology::line(4);
+        let routed = route_with_lookahead(&c, &topo, &[0, 1, 2, 3], 4);
+        assert!(all_two_qubit_gates_adjacent(&routed.circuit, &topo));
+        let ideal = Executor::noiseless().run(&c, 2000, 9);
+        let phys = Executor::noiseless().run(&routed.circuit, 2000, 9);
+        let relabeled = routed.relabel_counts(&phys);
+        assert_eq!(relabeled.count(0) + relabeled.count(0b1111), 2000);
+        assert!((ideal.probability(0) - relabeled.probability(0)).abs() < 0.05);
+    }
+
+    #[test]
+    fn lookahead_never_beats_baseline_by_being_wrong() {
+        // Both routers must produce adjacency-legal circuits on a batch of
+        // random programs, and lookahead should not use more swaps than
+        // twice the baseline (sanity envelope).
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31);
+        let topo = Topology::ibm_falcon_16q();
+        for trial in 0..6 {
+            let n = 6;
+            let mut c = Circuit::new(n);
+            for _ in 0..15 {
+                let a = rng.gen_range(0..n);
+                let b = (a + 1 + rng.gen_range(0..n - 1)) % n;
+                c.cz(a, b);
+            }
+            c.measure_all();
+            let mapping: Vec<usize> = (0..n).collect();
+            let base = route(&c, &topo, &mapping);
+            let look = route_with_lookahead(&c, &topo, &mapping, 6);
+            assert!(all_two_qubit_gates_adjacent(&look.circuit, &topo), "trial {trial}");
+            assert!(
+                look.swap_count <= base.swap_count * 2 + 2,
+                "trial {trial}: lookahead {} vs base {}",
+                look.swap_count,
+                base.swap_count
+            );
+        }
+    }
+
+    #[test]
+    fn lookahead_helps_on_alternating_pattern() {
+        // Pattern where pure shortest-path walking thrashes: alternating
+        // far pairs. The lookahead should use no more swaps than baseline.
+        let mut c = Circuit::new(4);
+        for _ in 0..3 {
+            c.cz(0, 3).cz(1, 2).cz(0, 3);
+        }
+        c.measure_all();
+        let topo = Topology::line(4);
+        let mapping = [0, 1, 2, 3];
+        let base = route(&c, &topo, &mapping);
+        let look = route_with_lookahead(&c, &topo, &mapping, 8);
+        assert!(
+            look.swap_count <= base.swap_count,
+            "lookahead {} vs base {}",
+            look.swap_count,
+            base.swap_count
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "injective")]
+    fn rejects_non_injective_mapping() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        route(&c, &Topology::line(3), &[1, 1]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Suite-coverage analysis: compute the 6-D feature-space convex-hull
+//! volume of a custom benchmark collection and see how each application
+//! contributes (the Table I methodology, applied incrementally).
+//!
+//! ```sh
+//! cargo run --release --example coverage_analysis
+//! ```
+
+use supermarq_repro::core::benchmarks::{
+    BitCodeBenchmark, GhzBenchmark, HamiltonianSimBenchmark, MerminBellBenchmark,
+    PhaseCodeBenchmark, QaoaSwapBenchmark, QaoaVanillaBenchmark, VqeBenchmark,
+};
+use supermarq_repro::core::coverage::coverage_of_features;
+use supermarq_repro::core::{Benchmark, FeatureVector};
+
+fn main() {
+    // Build the suite one application family at a time and watch coverage
+    // grow: this is how one selects a minimal suite with maximal coverage
+    // ("maximum coverage with as few applications as possible", Sec. VII).
+    let families: Vec<(&str, Vec<FeatureVector>)> = vec![
+        (
+            "GHZ",
+            [3, 6, 12, 50].iter().map(|&n| GhzBenchmark::new(n).features()).collect(),
+        ),
+        (
+            "Mermin-Bell",
+            [3, 4, 5].iter().map(|&n| MerminBellBenchmark::new(n).features()).collect(),
+        ),
+        (
+            "Bit code",
+            [(3usize, 1usize), (5, 3)]
+                .iter()
+                .map(|&(d, r)| BitCodeBenchmark::new(d, r, &vec![true; d]).features())
+                .collect(),
+        ),
+        (
+            "Phase code",
+            [(3usize, 2usize), (5, 1)]
+                .iter()
+                .map(|&(d, r)| PhaseCodeBenchmark::new(d, r, &vec![true; d]).features())
+                .collect(),
+        ),
+        (
+            "Vanilla QAOA",
+            [4, 8].iter().map(|&n| QaoaVanillaBenchmark::new(n, 1).features()).collect(),
+        ),
+        (
+            "ZZ-SWAP QAOA",
+            [4, 8].iter().map(|&n| QaoaSwapBenchmark::new(n, 1).features()).collect(),
+        ),
+        ("VQE", [4, 6].iter().map(|&n| VqeBenchmark::new(n, 1).features()).collect()),
+        (
+            "Hamiltonian simulation",
+            [(4usize, 4usize), (10, 6)]
+                .iter()
+                .map(|&(n, s)| HamiltonianSimBenchmark::new(n, s).features())
+                .collect(),
+        ),
+    ];
+
+    let mut accumulated: Vec<FeatureVector> = Vec::new();
+    println!("{:<24} {:>10} {:>14}", "after adding", "vectors", "hull volume");
+    for (name, features) in families {
+        accumulated.extend(features);
+        let volume = coverage_of_features(&accumulated);
+        println!("{:<24} {:>10} {:>14.3e}", name, accumulated.len(), volume);
+    }
+    println!();
+    println!("Coverage is zero until the vectors span all six dimensions, then");
+    println!("grows as each family contributes its distinctive stress profile —");
+    println!("the EC codes are what unlock the Measurement axis.");
+}

@@ -1,0 +1,54 @@
+//! Cross-platform comparison (the paper's central use-case): the same
+//! communication-heavy workload on a sparse superconducting lattice vs an
+//! all-to-all trapped-ion machine.
+//!
+//! Demonstrates the connectivity/fidelity trade-off of paper Sec. VI: IonQ
+//! has *worse* two-qubit gates than IBM, yet wins the Vanilla QAOA
+//! benchmark because it routes without SWAPs, while the hardware-friendly
+//! ZZ-SWAP ansatz closes the gap for the superconducting devices.
+//!
+//! ```sh
+//! cargo run --release --example cross_platform_comparison
+//! ```
+
+use supermarq_repro::core::benchmarks::{QaoaSwapBenchmark, QaoaVanillaBenchmark};
+use supermarq_repro::core::runner::{run_on_device, RunConfig};
+use supermarq_repro::core::Benchmark;
+use supermarq_repro::device::Device;
+
+fn main() {
+    let n = 5;
+    let seed = 3;
+    let vanilla = QaoaVanillaBenchmark::new(n, seed);
+    let zzswap = QaoaSwapBenchmark::new(n, seed);
+    println!("SK instance seed {seed}, n = {n}");
+    println!("optimal (gamma, beta) = {:?}", vanilla.parameters());
+    println!("classically exact <H> at optimum = {:.4}\n", vanilla.ideal_energy());
+
+    let devices =
+        [Device::ionq(), Device::ibm_casablanca(), Device::ibm_guadalupe(), Device::ibm_montreal()];
+    let config = RunConfig { shots: 2000, repetitions: 3, seed: 9, ..RunConfig::default() };
+
+    for (label, bench) in
+        [("Vanilla QAOA (all-to-all ansatz)", &vanilla as &dyn Benchmark), ("ZZ-SWAP QAOA (linear ansatz)", &zzswap)]
+    {
+        println!("== {label} ==");
+        println!("{:<16} {:>8} {:>8} {:>6}", "device", "score", "stddev", "swaps");
+        for device in &devices {
+            match run_on_device(bench, device, &config) {
+                Ok(r) => println!(
+                    "{:<16} {:>8.3} {:>8.3} {:>6}",
+                    r.device,
+                    r.mean_score(),
+                    r.std_dev(),
+                    r.swap_count
+                ),
+                Err(e) => println!("{:<16} {e}", device.name()),
+            }
+        }
+        println!();
+    }
+    println!("Watch the swap column: the vanilla ansatz forces SWAP chains on the");
+    println!("IBM lattices (score drops, variability rises), while IonQ runs it");
+    println!("natively. The ZZ-SWAP network equalizes the architectures.");
+}

@@ -1,0 +1,68 @@
+//! Noise-sensitivity sweep: how each benchmark's score degrades as the
+//! two-qubit error rate grows — the mechanism behind the paper's Fig. 2
+//! trends, isolated channel by channel.
+//!
+//! ```sh
+//! cargo run --release --example noise_sweep
+//! ```
+
+use supermarq_repro::core::benchmarks::{
+    BitCodeBenchmark, GhzBenchmark, HamiltonianSimBenchmark, QaoaSwapBenchmark,
+};
+use supermarq_repro::core::Benchmark;
+use supermarq_repro::sim::{Executor, NoiseModel};
+
+fn score_under(bench: &dyn Benchmark, noise: NoiseModel, shots: usize) -> f64 {
+    let executor = Executor::new(noise);
+    let counts: Vec<_> = bench
+        .circuits()
+        .iter()
+        .enumerate()
+        .map(|(i, c)| executor.run(c, shots, 17 + i as u64))
+        .collect();
+    bench.score(&counts)
+}
+
+fn main() {
+    let benches: Vec<Box<dyn Benchmark>> = vec![
+        Box::new(GhzBenchmark::new(5)),
+        Box::new(BitCodeBenchmark::new(3, 2, &[true, false, true])),
+        Box::new(QaoaSwapBenchmark::new(5, 1)),
+        Box::new(HamiltonianSimBenchmark::new(4, 4)),
+    ];
+    let levels = [0.0, 0.005, 0.01, 0.02, 0.05, 0.1];
+
+    println!("Two-qubit depolarizing sweep (scores):");
+    print!("{:<22}", "benchmark");
+    for p in levels {
+        print!(" {:>7}", format!("p={p}"));
+    }
+    println!();
+    for b in &benches {
+        print!("{:<22}", b.name());
+        for p in levels {
+            let noise = NoiseModel { depolarizing_2q: p, ..NoiseModel::ideal() };
+            print!(" {:>7.3}", score_under(b.as_ref(), noise, 1000));
+        }
+        println!();
+    }
+
+    println!("\nReadout-error sweep (scores):");
+    print!("{:<22}", "benchmark");
+    for p in levels {
+        print!(" {:>7}", format!("p={p}"));
+    }
+    println!();
+    for b in &benches {
+        print!("{:<22}", b.name());
+        for p in levels {
+            let noise = NoiseModel { readout_error: p, ..NoiseModel::ideal() };
+            print!(" {:>7.3}", score_under(b.as_ref(), noise, 1000));
+        }
+        println!();
+    }
+
+    println!("\nThe bit code is hit hardest by readout error (it is scored on an");
+    println!("exact bitstring and has the most measurements); QAOA's energy-ratio");
+    println!("score is the most robust to sparse bit flips.");
+}

@@ -1,0 +1,36 @@
+//! Quickstart: build a benchmark, inspect its features, run it on every
+//! modeled device from the paper's Table II.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use supermarq_repro::core::benchmarks::GhzBenchmark;
+use supermarq_repro::core::runner::{run_on_device, RunConfig};
+use supermarq_repro::core::Benchmark;
+use supermarq_repro::device::Device;
+
+fn main() {
+    let bench = GhzBenchmark::new(5);
+    println!("benchmark: {}", bench.name());
+    println!("features:  {}", bench.features());
+    println!();
+    println!("{:<16} {:>8} {:>8} {:>6} {:>6}", "device", "score", "stddev", "swaps", "2q");
+    let config = RunConfig { shots: 1000, repetitions: 3, seed: 42, ..RunConfig::default() };
+    for device in Device::all_paper_devices() {
+        match run_on_device(&bench, &device, &config) {
+            Ok(result) => println!(
+                "{:<16} {:>8.3} {:>8.3} {:>6} {:>6}",
+                result.device,
+                result.mean_score(),
+                result.std_dev(),
+                result.swap_count,
+                result.two_qubit_gates
+            ),
+            Err(e) => println!("{:<16} {e}", device.name()),
+        }
+    }
+    println!();
+    println!("OpenQASM of the logical circuit:");
+    println!("{}", bench.circuits()[0].to_qasm());
+}

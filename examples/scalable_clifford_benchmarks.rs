@@ -1,0 +1,98 @@
+//! Scalability demonstration (paper principle 1): the Clifford benchmarks
+//! of the suite — GHZ and the bit code — executed with *noisy stabilizer
+//! trajectories* at sizes where a statevector would need 2^60+ amplitudes.
+//! The application-level score functions need no exponential classical
+//! verification: the GHZ ideal is the two-outcome distribution, the bit
+//! code ideal is one known bitstring.
+//!
+//! ```sh
+//! cargo run --release --example scalable_clifford_benchmarks
+//! ```
+
+use std::collections::BTreeMap;
+
+use supermarq_repro::circuit::Circuit;
+use supermarq_repro::classical::stats::hellinger_fidelity_maps;
+use supermarq_repro::clifford::StabilizerExecutor;
+use supermarq_repro::sim::NoiseModel;
+
+fn ghz_circuit(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    c.h(0);
+    for q in 0..n - 1 {
+        c.cx(q, q + 1);
+    }
+    c.measure_all();
+    c
+}
+
+fn ghz_score(counts: &supermarq_repro::sim::Counts, n: usize) -> f64 {
+    let ones = ((1u128 << n) - 1) as u64;
+    let ideal = BTreeMap::from([(0u64, 0.5), (ones, 0.5)]);
+    hellinger_fidelity_maps(&counts.to_probabilities(), &ideal)
+}
+
+fn bit_code_circuit(data: usize, rounds: usize) -> Circuit {
+    let n = 2 * data - 1;
+    let mut c = Circuit::new(n);
+    for i in 0..data {
+        if i % 2 == 0 {
+            c.x(2 * i);
+        }
+    }
+    for _ in 0..rounds {
+        c.barrier_all();
+        for i in 0..data - 1 {
+            c.cx(2 * i, 2 * i + 1);
+            c.cx(2 * (i + 1), 2 * i + 1);
+        }
+        for i in 0..data - 1 {
+            c.measure(2 * i + 1);
+            c.reset(2 * i + 1);
+        }
+    }
+    c.barrier_all();
+    c.measure_all();
+    c
+}
+
+fn bit_code_score(counts: &supermarq_repro::sim::Counts, data: usize) -> f64 {
+    let mut expect = 0u64;
+    for i in 0..data {
+        if i % 2 == 0 {
+            expect |= 1 << (2 * i);
+        }
+    }
+    let ideal = BTreeMap::from([(expect, 1.0)]);
+    hellinger_fidelity_maps(&counts.to_probabilities(), &ideal)
+}
+
+fn main() {
+    // A future-generation noise level (0.1% 2q error, 0.3% readout).
+    let mut noise = NoiseModel::ideal();
+    noise.depolarizing_1q = 0.0002;
+    noise.depolarizing_2q = 0.001;
+    noise.readout_error = 0.003;
+    noise.reset_error = 0.003;
+    let exec = StabilizerExecutor::new(noise);
+
+    println!("GHZ at scale (stabilizer trajectories, 500 shots):");
+    println!("{:>8} {:>10}", "qubits", "score");
+    for n in [10usize, 20, 30, 40, 50, 60] {
+        let counts = exec.run(&ghz_circuit(n), 500, 5);
+        println!("{:>8} {:>10.3}", n, ghz_score(&counts, n));
+    }
+
+    println!("\nBit code at scale (data qubits, 2 rounds, 500 shots):");
+    println!("{:>8} {:>8} {:>10}", "data", "total", "score");
+    for data in [5usize, 11, 17, 23, 29] {
+        let total = 2 * data - 1;
+        let counts = exec.run(&bit_code_circuit(data, 2), 500, 9);
+        println!("{:>8} {:>8} {:>10.3}", data, total, bit_code_score(&counts, data));
+    }
+
+    println!();
+    println!("Scores decay smoothly with size, with per-shot cost polynomial in");
+    println!("qubit count — the scalable-benchmarking regime the paper targets,");
+    println!("unreachable for the statevector executor beyond ~25 qubits.");
+}

@@ -1,0 +1,82 @@
+//! Scalability integration tests (paper principle 1): the suite's
+//! machinery at sizes far beyond statevector reach.
+
+use supermarq_repro::circuit::Circuit;
+use supermarq_repro::clifford::StabilizerExecutor;
+use supermarq_repro::core::benchmarks::{BitCodeBenchmark, GhzBenchmark, HamiltonianSimBenchmark};
+use supermarq_repro::core::{Benchmark, FeatureVector};
+use supermarq_repro::sim::NoiseModel;
+
+/// Feature vectors are computable in milliseconds at 1000 qubits — the
+/// "3 to 1000 qubit" corpus of Table I depends on this.
+#[test]
+fn features_compute_at_a_thousand_qubits() {
+    let start = std::time::Instant::now();
+    let ghz = GhzBenchmark::new(1000).features();
+    let hamsim = HamiltonianSimBenchmark::new(1000, 1).features();
+    let code = BitCodeBenchmark::new(251, 1, &vec![true; 251]).features();
+    assert!(start.elapsed().as_secs() < 30, "feature computation too slow");
+    // Structural expectations at scale.
+    assert!(ghz.program_communication < 0.01);
+    assert!((ghz.critical_depth - 1.0).abs() < 1e-12);
+    assert!(hamsim.parallelism > 0.5);
+    assert!(code.measurement > 0.3);
+}
+
+/// The stabilizer executor scores a 50-qubit noisy GHZ — a 2^50-amplitude
+/// statevector would need petabytes.
+#[test]
+fn stabilizer_executor_scores_fifty_qubit_ghz() {
+    let n = 50;
+    let mut c = Circuit::new(n);
+    c.h(0);
+    for q in 0..n - 1 {
+        c.cx(q, q + 1);
+    }
+    c.measure_all();
+    let noise = NoiseModel::uniform_depolarizing(0.001);
+    let counts = StabilizerExecutor::new(noise).run(&c, 400, 3);
+    let ones = ((1u128 << n) - 1) as u64;
+    let good = (counts.count(0) + counts.count(ones)) as f64 / counts.total() as f64;
+    assert!(good > 0.7 && good < 1.0, "good={good}");
+    // Within the good mass, zeros and ones are balanced.
+    let p0 = counts.count(0) as f64 / (counts.count(0) + counts.count(ones)) as f64;
+    assert!((p0 - 0.5).abs() < 0.1, "p0={p0}");
+}
+
+/// Scores decrease monotonically (modulo shot noise) with GHZ width under
+/// fixed noise — the Fig. 2 size trend, extended to 48 qubits.
+#[test]
+fn ghz_score_trend_extends_beyond_statevector_reach() {
+    let noise = NoiseModel::uniform_depolarizing(0.004);
+    let exec = StabilizerExecutor::new(noise);
+    let mut goods = Vec::new();
+    for n in [8usize, 24, 48] {
+        let mut c = Circuit::new(n);
+        c.h(0);
+        for q in 0..n - 1 {
+            c.cx(q, q + 1);
+        }
+        c.measure_all();
+        let counts = exec.run(&c, 600, 11);
+        let ones = ((1u128 << n) - 1) as u64;
+        goods.push((counts.count(0) + counts.count(ones)) as f64 / counts.total() as f64);
+    }
+    assert!(goods[0] > goods[1] && goods[1] > goods[2], "{goods:?}");
+}
+
+/// QASM export round-trips at the 1000-qubit scale.
+#[test]
+fn qasm_round_trips_at_scale() {
+    let c = GhzBenchmark::new(1000).circuits().remove(0);
+    let qasm = c.to_qasm();
+    let back = Circuit::from_qasm(&qasm).expect("parse");
+    assert_eq!(back.num_qubits(), 1000);
+    assert_eq!(back.instructions().len(), c.instructions().len());
+    // Feature vectors agree between original and round-tripped circuits.
+    let f1 = FeatureVector::of(&c);
+    let f2 = FeatureVector::of(&back);
+    for (a, b) in f1.as_array().iter().zip(f2.as_array()) {
+        assert!((a - b).abs() < 1e-12);
+    }
+}
