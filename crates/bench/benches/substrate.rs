@@ -96,14 +96,20 @@ fn bench_clifford(c: &mut Criterion) {
 
 fn bench_geometry(c: &mut Criterion) {
     let suite = supermarq_suites::supermarq_suite();
-    let points: Vec<Vec<f64>> =
-        suite.iter().map(|circ| FeatureVector::of(circ).to_vec()).collect();
+    let points: Vec<Vec<f64>> = suite
+        .iter()
+        .map(|circ| FeatureVector::of(circ).to_vec())
+        .collect();
     c.bench_function("hull_volume_6d_52pts", |b| {
         b.iter(|| black_box(ConvexHull::new(&points).unwrap().volume()));
     });
     c.bench_function("monte_carlo_volume_3d", |b| {
         let pts: Vec<Vec<f64>> = (0..8)
-            .map(|m| (0..3).map(|i| if m >> i & 1 == 1 { 1.0 } else { 0.0 }).collect())
+            .map(|m| {
+                (0..3)
+                    .map(|i| if m >> i & 1 == 1 { 1.0 } else { 0.0 })
+                    .collect()
+            })
             .collect();
         b.iter(|| black_box(monte_carlo_volume(&pts, 200, 3)));
     });

@@ -11,7 +11,11 @@ use supermarq_geometry::{hull_volume, monte_carlo_volume};
 
 fn cube(d: usize) -> Vec<Vec<f64>> {
     (0..1usize << d)
-        .map(|m| (0..d).map(|i| if m >> i & 1 == 1 { 1.0 } else { 0.0 }).collect())
+        .map(|m| {
+            (0..d)
+                .map(|i| if m >> i & 1 == 1 { 1.0 } else { 0.0 })
+                .collect()
+        })
         .collect()
 }
 
@@ -28,9 +32,12 @@ fn simplex(d: usize) -> Vec<Vec<f64>> {
 fn main() {
     println!("== Ablation: exact hull volume vs Monte-Carlo estimate ==\n");
     let suite = supermarq_suites::supermarq_suite();
-    let feature_cloud: Vec<Vec<f64>> =
-        suite.iter().map(|c| FeatureVector::of(c).to_vec()).collect();
-    let shapes: Vec<(&str, Vec<Vec<f64>>, Option<f64>)> = vec![
+    let feature_cloud: Vec<Vec<f64>> = suite
+        .iter()
+        .map(|c| FeatureVector::of(c).to_vec())
+        .collect();
+    type Shape = (&'static str, Vec<Vec<f64>>, Option<f64>);
+    let shapes: Vec<Shape> = vec![
         ("cube-3d", cube(3), Some(1.0)),
         ("cube-4d", cube(4), Some(1.0)),
         ("simplex-4d", simplex(4), Some(1.0 / 24.0)),

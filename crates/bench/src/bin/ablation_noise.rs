@@ -50,14 +50,42 @@ fn main() {
     let full = device.noise_model();
     let variants: Vec<(&str, NoiseModel)> = vec![
         ("full model", full.clone()),
-        ("no readout error", NoiseModel { readout_error: 0.0, ..full.clone() }),
-        ("no reset error", NoiseModel { reset_error: 0.0, ..full.clone() }),
+        (
+            "no readout error",
+            NoiseModel {
+                readout_error: 0.0,
+                ..full.clone()
+            },
+        ),
+        (
+            "no reset error",
+            NoiseModel {
+                reset_error: 0.0,
+                ..full.clone()
+            },
+        ),
         (
             "no relaxation (T1=T2=inf)",
-            NoiseModel { t1: f64::INFINITY, t2: f64::INFINITY, ..full.clone() },
+            NoiseModel {
+                t1: f64::INFINITY,
+                t2: f64::INFINITY,
+                ..full.clone()
+            },
         ),
-        ("no 2q depolarizing", NoiseModel { depolarizing_2q: 0.0, ..full.clone() }),
-        ("no crosstalk", NoiseModel { crosstalk: 0.0, ..full.clone() }),
+        (
+            "no 2q depolarizing",
+            NoiseModel {
+                depolarizing_2q: 0.0,
+                ..full.clone()
+            },
+        ),
+        (
+            "no crosstalk",
+            NoiseModel {
+                crosstalk: 0.0,
+                ..full.clone()
+            },
+        ),
         ("ideal", NoiseModel::ideal()),
     ];
     let benches: Vec<Box<dyn Benchmark>> = vec![
@@ -71,7 +99,10 @@ fn main() {
     for (label, noise) in &variants {
         let mut row = vec![label.to_string()];
         for b in &benches {
-            row.push(format!("{:.3}", score_with(b.as_ref(), &device, noise.clone())));
+            row.push(format!(
+                "{:.3}",
+                score_with(b.as_ref(), &device, noise.clone())
+            ));
         }
         rows.push(row);
     }

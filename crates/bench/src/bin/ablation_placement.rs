@@ -27,16 +27,26 @@ fn main() {
     let device = Device::ibm_guadalupe().with_error_variation(3, 2.0);
     println!("device: {} (with calibration scatter)\n", device.name());
     let variants: Vec<(&str, PlacementStrategy, bool)> = vec![
-        ("noise-aware + optimize", PlacementStrategy::NoiseAware, true),
+        (
+            "noise-aware + optimize",
+            PlacementStrategy::NoiseAware,
+            true,
+        ),
         ("greedy + optimize", PlacementStrategy::Greedy, true),
         ("trivial + optimize", PlacementStrategy::Trivial, true),
         ("greedy, no optimize", PlacementStrategy::Greedy, false),
     ];
-    let headers: Vec<String> =
-        ["Benchmark", "Variant", "Swaps", "2Q gates", "Score", "StdDev"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+    let headers: Vec<String> = [
+        "Benchmark",
+        "Variant",
+        "Swaps",
+        "2Q gates",
+        "Score",
+        "StdDev",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut rows = Vec::new();
     for b in &benches {
         for (label, placement, optimize) in &variants {
@@ -46,6 +56,7 @@ fn main() {
                 seed: 21,
                 placement: *placement,
                 optimize: *optimize,
+                ..RunConfig::default()
             };
             match run_on_device(b.as_ref(), &device, &config) {
                 Ok(r) => rows.push(vec![
@@ -56,7 +67,14 @@ fn main() {
                     format!("{:.3}", r.mean_score()),
                     format!("{:.3}", r.std_dev()),
                 ]),
-                Err(e) => rows.push(vec![b.name(), label.to_string(), e.to_string(), "".into(), "".into(), "".into()]),
+                Err(e) => rows.push(vec![
+                    b.name(),
+                    label.to_string(),
+                    e.to_string(),
+                    "".into(),
+                    "".into(),
+                    "".into(),
+                ]),
             }
         }
     }

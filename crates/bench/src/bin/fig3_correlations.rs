@@ -14,8 +14,12 @@ fn collect_records() -> Vec<ScoreRecord> {
         for b in &instances {
             let circuit = &b.circuits()[0];
             for device in &devices {
-                let config =
-                    RunConfig { shots: 1000, repetitions: 2, seed: 7, ..RunConfig::default() };
+                let config = RunConfig {
+                    shots: 1000,
+                    repetitions: 2,
+                    seed: 7,
+                    ..RunConfig::default()
+                };
                 if let Ok(result) = run_on_device(b.as_ref(), device, &config) {
                     records.push(ScoreRecord::from_circuit(
                         device.name(),

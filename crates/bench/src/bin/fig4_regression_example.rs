@@ -10,11 +10,19 @@ use supermarq_device::Device;
 
 fn main() {
     let device = Device::ibm_guadalupe();
-    println!("== Fig. 4: entanglement-ratio regression example on {} ==\n", device.name());
+    println!(
+        "== Fig. 4: entanglement-ratio regression example on {} ==\n",
+        device.name()
+    );
     let mut records: Vec<ScoreRecord> = Vec::new();
     for (_, instances, is_ec) in figure2_grid() {
         for b in &instances {
-            let config = RunConfig { shots: 1000, repetitions: 2, seed: 11, ..RunConfig::default() };
+            let config = RunConfig {
+                shots: 1000,
+                repetitions: 2,
+                seed: 11,
+                ..RunConfig::default()
+            };
             if let Ok(result) = run_on_device(b.as_ref(), &device, &config) {
                 records.push(ScoreRecord::from_circuit(
                     device.name(),
@@ -33,13 +41,22 @@ fn main() {
             r.benchmark.clone(),
             format!("{:.3}", r.features.entanglement_ratio),
             format!("{:.3}", r.score),
-            if r.is_error_correction { "EC".into() } else { "".into() },
+            if r.is_error_correction {
+                "EC".into()
+            } else {
+                "".into()
+            },
         ]);
     }
     println!(
         "{}",
         render_table(
-            &["Benchmark".into(), "Ent-Ratio".into(), "Score".into(), "Class".into()],
+            &[
+                "Benchmark".into(),
+                "Ent-Ratio".into(),
+                "Score".into(),
+                "Class".into()
+            ],
             &rows
         )
     );

@@ -16,13 +16,24 @@ fn main() {
         Box::new(BitCodeBenchmark::new(3, 2, &[true, false, true])),
         Box::new(VqeBenchmark::new(4, 1)),
     ];
-    let devices = [Device::ibm_guadalupe(), Device::ibm_toronto(), Device::ionq()];
-    let headers: Vec<String> =
-        ["Benchmark", "Device", "Closed", "Open", "Gain"].iter().map(|s| s.to_string()).collect();
+    let devices = [
+        Device::ibm_guadalupe(),
+        Device::ibm_toronto(),
+        Device::ionq(),
+    ];
+    let headers: Vec<String> = ["Benchmark", "Device", "Closed", "Open", "Gain"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let mut rows = Vec::new();
     for b in &benches {
         for device in &devices {
-            let config = RunConfig { shots: 2000, repetitions: 3, seed: 17, ..RunConfig::default() };
+            let config = RunConfig {
+                shots: 2000,
+                repetitions: 3,
+                seed: 17,
+                ..RunConfig::default()
+            };
             let closed = run_on_device(b.as_ref(), device, &config);
             let open = run_on_device_open(b.as_ref(), device, &config);
             match (closed, open) {
@@ -33,7 +44,13 @@ fn main() {
                     format!("{:.3}", o.mean_score()),
                     format!("{:+.3}", o.mean_score() - c.mean_score()),
                 ]),
-                _ => rows.push(vec![b.name(), device.name().to_string(), "X".into(), "X".into(), "".into()]),
+                _ => rows.push(vec![
+                    b.name(),
+                    device.name().to_string(),
+                    "X".into(),
+                    "X".into(),
+                    "".into(),
+                ]),
             }
         }
     }

@@ -12,7 +12,9 @@ use supermarq::FeatureVector;
 use supermarq_bench::render_table;
 use supermarq_circuit::Circuit;
 use supermarq_geometry::hull_volume_joggled;
-use supermarq_suites::{cbg2021_suite, ppl2020_suite, qasmbench_suite, supermarq_suite, triq_suite};
+use supermarq_suites::{
+    cbg2021_suite, ppl2020_suite, qasmbench_suite, supermarq_suite, triq_suite,
+};
 
 fn features_of(circuits: &[Circuit]) -> Vec<FeatureVector> {
     circuits.iter().map(FeatureVector::of).collect()
@@ -21,7 +23,11 @@ fn features_of(circuits: &[Circuit]) -> Vec<FeatureVector> {
 fn main() {
     println!("== Table I: coverage comparison of benchmark suites ==\n");
     let suites: Vec<(&str, Vec<FeatureVector>, &str)> = vec![
-        ("SupermarQ (this work)", features_of(&supermarq_suite()), "9.0e-03"),
+        (
+            "SupermarQ (this work)",
+            features_of(&supermarq_suite()),
+            "9.0e-03",
+        ),
         ("QASMBench", features_of(&qasmbench_suite()), "4.0e-03"),
         ("Synthetic", synthetic_suite_features(), "1.4e-03"),
         ("CBG2021", features_of(&cbg2021_suite()), "1.6e-08"),

@@ -12,8 +12,16 @@ fn main() {
             d.name().to_string(),
             d.num_qubits().to_string(),
             format!("{:.5e}, {:.5e}", c.t1_us, c.t2_us),
-            format!("{:.3}, {:.3}, {:.2}", c.time_1q_us, c.time_2q_us, c.time_meas_us),
-            format!("{:.3}, {:.2}, {:.2}", c.err_1q * 100.0, c.err_2q * 100.0, c.err_meas * 100.0),
+            format!(
+                "{:.3}, {:.3}, {:.2}",
+                c.time_1q_us, c.time_2q_us, c.time_meas_us
+            ),
+            format!(
+                "{:.3}, {:.2}, {:.2}",
+                c.err_1q * 100.0,
+                c.err_2q * 100.0,
+                c.err_meas * 100.0
+            ),
             d.topology().name().to_string(),
             format!("{:.4}", c.readout_to_t1_ratio()),
         ]);

@@ -11,12 +11,13 @@ use supermarq::benchmarks::{
 };
 use supermarq::Benchmark;
 
+/// One Fig. 2 panel: `(panel_label, instances, is_error_correction)`.
+pub type Fig2Panel = (&'static str, Vec<Box<dyn Benchmark>>, bool);
+
 /// The Fig. 2 benchmark grid: for each of the eight applications, the
-/// instance sizes the paper swept (kept within statevector reach).
-///
-/// Returns `(panel_label, instances, is_error_correction)` triples in the
+/// instance sizes the paper swept (kept within statevector reach), in the
 /// paper's panel order.
-pub fn figure2_grid() -> Vec<(&'static str, Vec<Box<dyn Benchmark>>, bool)> {
+pub fn figure2_grid() -> Vec<Fig2Panel> {
     vec![
         (
             "a) GHZ",
@@ -153,7 +154,10 @@ mod tests {
     fn table_rendering_aligns_columns() {
         let t = render_table(
             &["a".into(), "bb".into()],
-            &[vec!["xxx".into(), "y".into()], vec!["z".into(), "wwww".into()]],
+            &[
+                vec!["xxx".into(), "y".into()],
+                vec!["z".into(), "wwww".into()],
+            ],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);
@@ -164,5 +168,38 @@ mod tests {
     fn score_cells() {
         assert_eq!(score_cell(None), "X");
         assert_eq!(score_cell(Some((0.5, 0.01))), "0.500±0.010");
+    }
+
+    /// Acceptance gate for the Closed-Division pipeline: the smallest
+    /// instance of each of the eight applications must transpile onto every
+    /// Table II device with zero error-level diagnostics at the strictest
+    /// verification level. Benchmarks that exceed a device's qubit count
+    /// are the legitimate black X's of Fig. 2 and are skipped.
+    #[test]
+    fn verifier_accepts_every_benchmark_on_every_device() {
+        use supermarq_device::Device;
+        use supermarq_transpile::{TranspileError, Transpiler, VerifyLevel};
+        use supermarq_verify::verify_on_device;
+        for (label, instances, _) in figure2_grid() {
+            let bench = &instances[0];
+            for device in Device::all_paper_devices() {
+                let transpiler = Transpiler::for_device(&device).with_verify(VerifyLevel::Stages);
+                for circuit in bench.circuits() {
+                    match transpiler.run(&circuit) {
+                        Ok(result) => {
+                            let report = verify_on_device(&result.circuit, &device);
+                            assert!(
+                                !report.has_errors(),
+                                "{label} on {}:\n{}",
+                                device.name(),
+                                report.render()
+                            );
+                        }
+                        Err(TranspileError::TooManyQubits { .. }) => {}
+                        Err(e) => panic!("{label} on {}: {e}", device.name()),
+                    }
+                }
+            }
+        }
     }
 }

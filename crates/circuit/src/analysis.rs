@@ -58,7 +58,10 @@ impl CircuitLayers {
                 frontier[q] = layer + 1;
             }
         }
-        CircuitLayers { layers, num_qubits: n }
+        CircuitLayers {
+            layers,
+            num_qubits: n,
+        }
     }
 
     /// The circuit depth `d`: the number of non-empty layers.
@@ -100,8 +103,10 @@ impl CircuitLayers {
             .iter()
             .filter(|layer| {
                 layer.iter().any(|&i| {
-                    matches!(instrs[i].gate.kind(), GateKind::Measurement | GateKind::Reset)
-                        && instrs[i].qubits.iter().any(|&q| last_op[q] > i)
+                    matches!(
+                        instrs[i].gate.kind(),
+                        GateKind::Measurement | GateKind::Reset
+                    ) && instrs[i].qubits.iter().any(|&q| last_op[q] > i)
                 })
             })
             .count()
@@ -178,7 +183,10 @@ impl LivenessMatrix {
 
     /// Sum over all entries of the matrix (`sum_ij A_ij` in Eq. 5).
     pub fn total_live(&self) -> usize {
-        self.live.iter().map(|row| row.iter().filter(|&&b| b).count()).sum()
+        self.live
+            .iter()
+            .map(|row| row.iter().filter(|&&b| b).count())
+            .sum()
     }
 
     /// The liveness fraction `L = sum_ij A_ij / (n d)`, or 0 for an empty
@@ -224,7 +232,12 @@ impl CriticalPathInfo {
         for instr in circuit.iter() {
             if instr.gate.kind() == GateKind::Barrier {
                 // Barrier synchronizes chain lengths without adding a node.
-                let len = instr.qubits.iter().map(|&q| frontier_len[q]).max().unwrap_or(0);
+                let len = instr
+                    .qubits
+                    .iter()
+                    .map(|&q| frontier_len[q])
+                    .max()
+                    .unwrap_or(0);
                 let two = instr
                     .qubits
                     .iter()
@@ -242,7 +255,12 @@ impl CriticalPathInfo {
             if is_two {
                 total_two += 1;
             }
-            let pred_len = instr.qubits.iter().map(|&q| frontier_len[q]).max().unwrap_or(0);
+            let pred_len = instr
+                .qubits
+                .iter()
+                .map(|&q| frontier_len[q])
+                .max()
+                .unwrap_or(0);
             let pred_two = instr
                 .qubits
                 .iter()

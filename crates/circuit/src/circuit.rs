@@ -50,7 +50,10 @@ pub struct Circuit {
 impl Circuit {
     /// Creates an empty circuit over `num_qubits` qubits.
     pub fn new(num_qubits: usize) -> Self {
-        Circuit { num_qubits, instructions: Vec::new() }
+        Circuit {
+            num_qubits,
+            instructions: Vec::new(),
+        }
     }
 
     /// Number of qubits in the circuit register.
@@ -70,22 +73,34 @@ impl Circuit {
 
     /// Total number of instructions excluding barriers.
     pub fn gate_count(&self) -> usize {
-        self.instructions.iter().filter(|i| i.gate.kind() != GateKind::Barrier).count()
+        self.instructions
+            .iter()
+            .filter(|i| i.gate.kind() != GateKind::Barrier)
+            .count()
     }
 
     /// Number of two-qubit unitary gates (`n_e` in the paper's notation).
     pub fn two_qubit_gate_count(&self) -> usize {
-        self.instructions.iter().filter(|i| i.is_two_qubit()).count()
+        self.instructions
+            .iter()
+            .filter(|i| i.is_two_qubit())
+            .count()
     }
 
     /// Number of measurement instructions.
     pub fn measurement_count(&self) -> usize {
-        self.instructions.iter().filter(|i| i.gate.kind() == GateKind::Measurement).count()
+        self.instructions
+            .iter()
+            .filter(|i| i.gate.kind() == GateKind::Measurement)
+            .count()
     }
 
     /// Number of reset instructions.
     pub fn reset_count(&self) -> usize {
-        self.instructions.iter().filter(|i| i.gate.kind() == GateKind::Reset).count()
+        self.instructions
+            .iter()
+            .filter(|i| i.gate.kind() == GateKind::Reset)
+            .count()
     }
 
     /// `true` if the circuit contains no instructions.
@@ -98,12 +113,24 @@ impl Circuit {
     /// # Errors
     ///
     /// Returns [`CircuitError::QubitOutOfRange`] if any operand is out of
-    /// range and [`CircuitError::DuplicateQubit`] if a multi-qubit gate
-    /// repeats an operand.
+    /// range, [`CircuitError::DuplicateQubit`] if a multi-qubit gate
+    /// repeats an operand, and [`CircuitError::ArityMismatch`] if the
+    /// operand count does not match the gate's arity (barriers are exempt:
+    /// their arity is variable).
     pub fn push(&mut self, gate: Gate, qubits: &[usize]) -> Result<&mut Self, CircuitError> {
+        if gate.kind() != GateKind::Barrier && qubits.len() != gate.arity() {
+            return Err(CircuitError::ArityMismatch {
+                gate: gate.qasm_name(),
+                expected: gate.arity(),
+                got: qubits.len(),
+            });
+        }
         for &q in qubits {
             if q >= self.num_qubits {
-                return Err(CircuitError::QubitOutOfRange { qubit: q, num_qubits: self.num_qubits });
+                return Err(CircuitError::QubitOutOfRange {
+                    qubit: q,
+                    num_qubits: self.num_qubits,
+                });
             }
         }
         for (i, &q) in qubits.iter().enumerate() {
@@ -111,18 +138,38 @@ impl Circuit {
                 return Err(CircuitError::DuplicateQubit { qubit: q });
             }
         }
-        self.instructions.push(Instruction::new(gate, qubits.to_vec()));
+        self.instructions
+            .push(Instruction::new(gate, qubits.to_vec()));
         Ok(self)
+    }
+
+    /// Appends an instruction without any operand validation.
+    ///
+    /// This is the deliberate escape hatch for constructing malformed
+    /// circuits — e.g. seeding mutations when testing the
+    /// `supermarq-verify` static analyses. Production code should use
+    /// [`Circuit::push`] (fallible) or [`Circuit::append`] (panicking)
+    /// so invalid operands cannot enter a circuit silently.
+    pub fn push_unchecked(&mut self, gate: Gate, qubits: &[usize]) -> &mut Self {
+        self.instructions
+            .push(Instruction::new(gate, qubits.to_vec()));
+        self
     }
 
     /// Appends an instruction, panicking on invalid operands.
     ///
+    /// This is the convenience wrapper the builder methods (`h`, `cx`, ...)
+    /// sit on; it performs exactly the validation of [`Circuit::push`].
+    ///
     /// # Panics
     ///
-    /// Panics if operands are out of range or duplicated; see
-    /// [`Circuit::push`] for a fallible alternative.
+    /// Panics with `"invalid instruction operands"` if operands are out of
+    /// range, duplicated, or mismatch the gate's arity; see
+    /// [`Circuit::push`] for the fallible alternative that reports which
+    /// rule was violated.
     pub fn append(&mut self, gate: Gate, qubits: &[usize]) -> &mut Self {
-        self.push(gate, qubits).expect("invalid instruction operands")
+        self.push(gate, qubits)
+            .expect("invalid instruction operands")
     }
 
     /// Appends every instruction of `other` to this circuit.
@@ -155,7 +202,8 @@ impl Circuit {
                 continue;
             }
             let inv = instr.gate.inverse()?;
-            out.instructions.push(Instruction::new(inv, instr.qubits.clone()));
+            out.instructions
+                .push(Instruction::new(inv, instr.qubits.clone()));
         }
         Some(out)
     }
@@ -288,7 +336,8 @@ impl Circuit {
     /// Inserts a barrier across all qubits.
     pub fn barrier_all(&mut self) -> &mut Self {
         let qubits: Vec<usize> = (0..self.num_qubits).collect();
-        self.instructions.push(Instruction::new(Gate::Barrier, qubits));
+        self.instructions
+            .push(Instruction::new(Gate::Barrier, qubits));
         self
     }
 
@@ -298,7 +347,8 @@ impl Circuit {
     ///
     /// Panics if any qubit is out of range or duplicated.
     pub fn barrier(&mut self, qubits: &[usize]) -> &mut Self {
-        self.push(Gate::Barrier, qubits).expect("invalid barrier operands")
+        self.push(Gate::Barrier, qubits)
+            .expect("invalid barrier operands")
     }
 
     /// Returns an equivalent circuit over only the qubits this circuit
@@ -328,11 +378,11 @@ impl Circuit {
         }
         let mut out = Circuit::new(next);
         for instr in &self.instructions {
-            let qubits: Vec<usize> =
-                instr.qubits.iter().filter_map(|&q| mapping[q]).collect();
+            let qubits: Vec<usize> = instr.qubits.iter().filter_map(|&q| mapping[q]).collect();
             if instr.gate.kind() == GateKind::Barrier {
                 if !qubits.is_empty() {
-                    out.instructions.push(Instruction::new(Gate::Barrier, qubits));
+                    out.instructions
+                        .push(Instruction::new(Gate::Barrier, qubits));
                 }
             } else {
                 out.instructions.push(Instruction::new(instr.gate, qubits));
@@ -354,7 +404,8 @@ impl<'a> IntoIterator for &'a Circuit {
 impl Extend<Instruction> for Circuit {
     fn extend<T: IntoIterator<Item = Instruction>>(&mut self, iter: T) {
         for instr in iter {
-            self.push(instr.gate, &instr.qubits).expect("invalid instruction operands");
+            self.push(instr.gate, &instr.qubits)
+                .expect("invalid instruction operands");
         }
     }
 }
@@ -386,7 +437,13 @@ mod tests {
     fn push_rejects_out_of_range() {
         let mut c = Circuit::new(2);
         let err = c.push(Gate::H, &[2]).unwrap_err();
-        assert_eq!(err, CircuitError::QubitOutOfRange { qubit: 2, num_qubits: 2 });
+        assert_eq!(
+            err,
+            CircuitError::QubitOutOfRange {
+                qubit: 2,
+                num_qubits: 2
+            }
+        );
     }
 
     #[test]
@@ -394,6 +451,40 @@ mod tests {
         let mut c = Circuit::new(2);
         let err = c.push(Gate::Cx, &[1, 1]).unwrap_err();
         assert_eq!(err, CircuitError::DuplicateQubit { qubit: 1 });
+    }
+
+    #[test]
+    fn push_rejects_arity_mismatch() {
+        let mut c = Circuit::new(3);
+        let err = c.push(Gate::Cx, &[0]).unwrap_err();
+        assert_eq!(
+            err,
+            CircuitError::ArityMismatch {
+                gate: "cx",
+                expected: 2,
+                got: 1
+            }
+        );
+        let err = c.push(Gate::H, &[0, 1]).unwrap_err();
+        assert_eq!(
+            err,
+            CircuitError::ArityMismatch {
+                gate: "h",
+                expected: 1,
+                got: 2
+            }
+        );
+        // Barriers take any number of operands.
+        assert!(c.push(Gate::Barrier, &[0, 1, 2]).is_ok());
+        assert!(c.push(Gate::Barrier, &[]).is_ok());
+    }
+
+    #[test]
+    fn push_unchecked_bypasses_validation() {
+        let mut c = Circuit::new(1);
+        c.push_unchecked(Gate::Cx, &[0, 7]);
+        assert_eq!(c.gate_count(), 1);
+        assert_eq!(c.instructions()[0].qubits, vec![0, 7]);
     }
 
     #[test]

@@ -126,7 +126,10 @@ impl Gate {
 
     /// `true` for unitary gates (excludes measure/reset/barrier).
     pub fn is_unitary(&self) -> bool {
-        matches!(self.kind(), GateKind::OneQubitUnitary | GateKind::TwoQubitUnitary)
+        matches!(
+            self.kind(),
+            GateKind::OneQubitUnitary | GateKind::TwoQubitUnitary
+        )
     }
 
     /// `true` for two-qubit unitary gates.
@@ -239,11 +242,17 @@ impl Gate {
             ],
             Rx(t) => {
                 let (c, sn) = ((t / 2.0).cos(), (t / 2.0).sin());
-                [[C64::real(c), C64::new(0.0, -sn)], [C64::new(0.0, -sn), C64::real(c)]]
+                [
+                    [C64::real(c), C64::new(0.0, -sn)],
+                    [C64::new(0.0, -sn), C64::real(c)],
+                ]
             }
             Ry(t) => {
                 let (c, sn) = ((t / 2.0).cos(), (t / 2.0).sin());
-                [[C64::real(c), C64::real(-sn)], [C64::real(sn), C64::real(c)]]
+                [
+                    [C64::real(c), C64::real(-sn)],
+                    [C64::real(sn), C64::real(c)],
+                ]
             }
             Rz(t) => [[C64::cis(-t / 2.0), z], [z, C64::cis(t / 2.0)]],
             P(t) => [[o, z], [z, C64::cis(t)]],
@@ -268,59 +277,29 @@ impl Gate {
         let z = C64::ZERO;
         let o = C64::ONE;
         Some(match *self {
-            Cx => [
-                [o, z, z, z],
-                [z, o, z, z],
-                [z, z, z, o],
-                [z, z, o, z],
-            ],
-            Cz => [
-                [o, z, z, z],
-                [z, o, z, z],
-                [z, z, o, z],
-                [z, z, z, -o],
-            ],
+            Cx => [[o, z, z, z], [z, o, z, z], [z, z, z, o], [z, z, o, z]],
+            Cz => [[o, z, z, z], [z, o, z, z], [z, z, o, z], [z, z, z, -o]],
             Cp(t) => [
                 [o, z, z, z],
                 [z, o, z, z],
                 [z, z, o, z],
                 [z, z, z, C64::cis(t)],
             ],
-            Swap => [
-                [o, z, z, z],
-                [z, z, o, z],
-                [z, o, z, z],
-                [z, z, z, o],
-            ],
+            Swap => [[o, z, z, z], [z, z, o, z], [z, o, z, z], [z, z, z, o]],
             Rxx(t) => {
                 let (c, sn) = ((t / 2.0).cos(), (t / 2.0).sin());
                 let (c, ms) = (C64::real(c), C64::new(0.0, -sn));
-                [
-                    [c, z, z, ms],
-                    [z, c, ms, z],
-                    [z, ms, c, z],
-                    [ms, z, z, c],
-                ]
+                [[c, z, z, ms], [z, c, ms, z], [z, ms, c, z], [ms, z, z, c]]
             }
             Ryy(t) => {
                 let (c, sn) = ((t / 2.0).cos(), (t / 2.0).sin());
                 let (c, ps, ms) = (C64::real(c), C64::new(0.0, sn), C64::new(0.0, -sn));
-                [
-                    [c, z, z, ps],
-                    [z, c, ms, z],
-                    [z, ms, c, z],
-                    [ps, z, z, c],
-                ]
+                [[c, z, z, ps], [z, c, ms, z], [z, ms, c, z], [ps, z, z, c]]
             }
             Rzz(t) => {
                 let e = C64::cis(-t / 2.0);
                 let f = C64::cis(t / 2.0);
-                [
-                    [e, z, z, z],
-                    [z, f, z, z],
-                    [z, z, f, z],
-                    [z, z, z, e],
-                ]
+                [[e, z, z, z], [z, f, z, z], [z, z, f, z], [z, z, z, e]]
             }
             _ => return None,
         })
@@ -348,8 +327,8 @@ mod tests {
         let mut prod = [[C64::ZERO; 2]; 2];
         for r in 0..2 {
             for c in 0..2 {
-                for k in 0..2 {
-                    prod[r][c] += m[r][k] * m[c][k].conj();
+                for (mrk, mck) in m[r].iter().zip(&m[c]) {
+                    prod[r][c] += *mrk * mck.conj();
                 }
             }
         }
@@ -364,8 +343,8 @@ mod tests {
         for r in 0..4 {
             for c in 0..4 {
                 let mut e = C64::ZERO;
-                for k in 0..4 {
-                    e += m[r][k] * m[c][k].conj();
+                for (mrk, mck) in m[r].iter().zip(&m[c]) {
+                    e += *mrk * mck.conj();
                 }
                 let expect = if r == c { C64::ONE } else { C64::ZERO };
                 ok &= e.approx_eq(expect, 1e-10);
@@ -467,7 +446,10 @@ mod tests {
         let href = Gate::H.matrix1().unwrap();
         for r in 0..2 {
             for c in 0..2 {
-                assert!(h[r][c].approx_eq(href[r][c], 1e-12), "H mismatch at {r},{c}");
+                assert!(
+                    h[r][c].approx_eq(href[r][c], 1e-12),
+                    "H mismatch at {r},{c}"
+                );
             }
         }
         // X = U(pi, 0, pi).

@@ -37,7 +37,10 @@ impl InteractionGraph {
                 edges.insert((a.min(b), a.max(b)));
             }
         }
-        InteractionGraph { num_qubits: circuit.num_qubits(), edges }
+        InteractionGraph {
+            num_qubits: circuit.num_qubits(),
+            edges,
+        }
     }
 
     /// Constructs a graph directly from an edge list (used in tests and by
@@ -45,7 +48,10 @@ impl InteractionGraph {
     pub fn from_edges(num_qubits: usize, edge_list: &[(usize, usize)]) -> Self {
         let mut edges = BTreeSet::new();
         for &(a, b) in edge_list {
-            assert!(a < num_qubits && b < num_qubits && a != b, "invalid edge ({a},{b})");
+            assert!(
+                a < num_qubits && b < num_qubits && a != b,
+                "invalid edge ({a},{b})"
+            );
             edges.insert((a.min(b), a.max(b)));
         }
         InteractionGraph { num_qubits, edges }
@@ -73,7 +79,10 @@ impl InteractionGraph {
 
     /// Degree of qubit `q`.
     pub fn degree(&self, q: usize) -> usize {
-        self.edges.iter().filter(|&&(a, b)| a == q || b == q).count()
+        self.edges
+            .iter()
+            .filter(|&&(a, b)| a == q || b == q)
+            .count()
     }
 
     /// Sum of all vertex degrees (twice the edge count).

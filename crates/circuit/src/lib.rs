@@ -45,16 +45,34 @@ pub enum CircuitError {
     QubitOutOfRange { qubit: usize, num_qubits: usize },
     /// A multi-qubit gate was applied to a repeated qubit.
     DuplicateQubit { qubit: usize },
+    /// A gate received the wrong number of operands (e.g. `cx` on one
+    /// qubit). `gate` is the OpenQASM mnemonic; barriers are exempt since
+    /// their arity is variable.
+    ArityMismatch {
+        gate: &'static str,
+        expected: usize,
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for CircuitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CircuitError::QubitOutOfRange { qubit, num_qubits } => {
-                write!(f, "qubit {qubit} out of range for {num_qubits}-qubit circuit")
+                write!(
+                    f,
+                    "qubit {qubit} out of range for {num_qubits}-qubit circuit"
+                )
             }
             CircuitError::DuplicateQubit { qubit } => {
                 write!(f, "duplicate qubit {qubit} in multi-qubit gate")
+            }
+            CircuitError::ArityMismatch {
+                gate,
+                expected,
+                got,
+            } => {
+                write!(f, "gate '{gate}' expects {expected} operand(s), got {got}")
             }
         }
     }

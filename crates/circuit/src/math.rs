@@ -51,13 +51,19 @@ impl C64 {
     /// Creates the unit-modulus number `e^{i theta}`.
     #[inline]
     pub fn cis(theta: f64) -> Self {
-        C64 { re: theta.cos(), im: theta.sin() }
+        C64 {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> Self {
-        C64 { re: self.re, im: -self.im }
+        C64 {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared modulus `|z|^2`.
@@ -81,7 +87,10 @@ impl C64 {
     /// Multiplies by a real scalar.
     #[inline]
     pub fn scale(self, s: f64) -> Self {
-        C64 { re: self.re * s, im: self.im * s }
+        C64 {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 
     /// Returns `true` if both parts are within `tol` of `other`.
@@ -111,7 +120,10 @@ impl Add for C64 {
     type Output = C64;
     #[inline]
     fn add(self, rhs: C64) -> C64 {
-        C64 { re: self.re + rhs.re, im: self.im + rhs.im }
+        C64 {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
@@ -127,7 +139,10 @@ impl Sub for C64 {
     type Output = C64;
     #[inline]
     fn sub(self, rhs: C64) -> C64 {
-        C64 { re: self.re - rhs.re, im: self.im - rhs.im }
+        C64 {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -189,7 +204,10 @@ impl Neg for C64 {
     type Output = C64;
     #[inline]
     fn neg(self) -> C64 {
-        C64 { re: -self.re, im: -self.im }
+        C64 {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 
@@ -232,8 +250,10 @@ mod tests {
             let theta = k as f64 * std::f64::consts::PI / 8.0;
             let z = C64::cis(theta);
             assert!((z.norm() - 1.0).abs() < 1e-12);
-            assert!((z.arg() - theta).rem_euclid(2.0 * std::f64::consts::PI) < 1e-9
-                || (theta - z.arg()).rem_euclid(2.0 * std::f64::consts::PI) < 1e-9);
+            assert!(
+                (z.arg() - theta).rem_euclid(2.0 * std::f64::consts::PI) < 1e-9
+                    || (theta - z.arg()).rem_euclid(2.0 * std::f64::consts::PI) < 1e-9
+            );
         }
     }
 

@@ -41,20 +41,17 @@ impl Circuit {
                     out.push_str(&format!("reset q[{}];\n", instr.qubits[0]));
                 }
                 Gate::Barrier => {
-                    let ops: Vec<String> =
-                        instr.qubits.iter().map(|q| format!("q[{q}]")).collect();
+                    let ops: Vec<String> = instr.qubits.iter().map(|q| format!("q[{q}]")).collect();
                     out.push_str(&format!("barrier {};\n", ops.join(",")));
                 }
                 gate => {
                     let params = gate.params();
                     let name = gate.qasm_name();
-                    let ops: Vec<String> =
-                        instr.qubits.iter().map(|q| format!("q[{q}]")).collect();
+                    let ops: Vec<String> = instr.qubits.iter().map(|q| format!("q[{q}]")).collect();
                     if params.is_empty() {
                         out.push_str(&format!("{} {};\n", name, ops.join(",")));
                     } else {
-                        let ps: Vec<String> =
-                            params.iter().map(|p| format!("{p:.15e}")).collect();
+                        let ps: Vec<String> = params.iter().map(|p| format!("{p:.15e}")).collect();
                         out.push_str(&format!("{}({}) {};\n", name, ps.join(","), ops.join(",")));
                     }
                 }
@@ -85,14 +82,21 @@ pub struct ParseQasmError {
 
 impl std::fmt::Display for ParseQasmError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "qasm parse error at statement {}: {}", self.statement, self.message)
+        write!(
+            f,
+            "qasm parse error at statement {}: {}",
+            self.statement, self.message
+        )
     }
 }
 
 impl std::error::Error for ParseQasmError {}
 
 fn err(statement: usize, message: impl Into<String>) -> ParseQasmError {
-    ParseQasmError { statement, message: message.into() }
+    ParseQasmError {
+        statement,
+        message: message.into(),
+    }
 }
 
 /// Strips `//` comments from a line.
@@ -110,7 +114,10 @@ fn eval_expr(s: &str, statement: usize) -> Result<f64, ParseQasmError> {
     let mut pos = 0;
     let v = parse_add(&tokens, &mut pos, statement)?;
     if pos != tokens.len() {
-        return Err(err(statement, format!("trailing tokens in expression '{s}'")));
+        return Err(err(
+            statement,
+            format!("trailing tokens in expression '{s}'"),
+        ));
     }
     Ok(v)
 }
@@ -231,7 +238,10 @@ fn parse_operand(text: &str, reg: &str, statement: usize) -> Result<usize, Parse
         .ok_or_else(|| err(statement, format!("missing ']' in '{text}'")))?;
     let name = &text[..open];
     if name != reg {
-        return Err(err(statement, format!("unknown register '{name}' (expected '{reg}')")));
+        return Err(err(
+            statement,
+            format!("unknown register '{name}' (expected '{reg}')"),
+        ));
     }
     text[open + 1..close]
         .trim()
@@ -241,7 +251,11 @@ fn parse_operand(text: &str, reg: &str, statement: usize) -> Result<usize, Parse
 
 fn parse_qasm(text: &str) -> Result<Circuit, ParseQasmError> {
     // Join lines, strip comments, split on ';'.
-    let joined: String = text.lines().map(strip_comment).collect::<Vec<_>>().join("\n");
+    let joined: String = text
+        .lines()
+        .map(strip_comment)
+        .collect::<Vec<_>>()
+        .join("\n");
     let statements: Vec<String> = joined
         .split(';')
         .map(|s| s.split_whitespace().collect::<Vec<_>>().join(" "))
@@ -293,18 +307,23 @@ fn parse_qasm(text: &str) -> Result<Circuit, ParseQasmError> {
             }
             let q = parse_operand(parts[0], &qreg_name, st)?;
             let _c = parse_operand(parts[1], &creg_name, st)?;
-            circ.push(Gate::Measure, &[q]).map_err(|e| err(st, e.to_string()))?;
+            circ.push(Gate::Measure, &[q])
+                .map_err(|e| err(st, e.to_string()))?;
             continue;
         }
         if let Some(rest) = stmt.strip_prefix("reset ") {
             let q = parse_operand(rest, &qreg_name, st)?;
-            circ.push(Gate::Reset, &[q]).map_err(|e| err(st, e.to_string()))?;
+            circ.push(Gate::Reset, &[q])
+                .map_err(|e| err(st, e.to_string()))?;
             continue;
         }
         if let Some(rest) = stmt.strip_prefix("barrier ") {
-            let qubits: Result<Vec<usize>, _> =
-                rest.split(',').map(|op| parse_operand(op, &qreg_name, st)).collect();
-            circ.push(Gate::Barrier, &qubits?).map_err(|e| err(st, e.to_string()))?;
+            let qubits: Result<Vec<usize>, _> = rest
+                .split(',')
+                .map(|op| parse_operand(op, &qreg_name, st))
+                .collect();
+            circ.push(Gate::Barrier, &qubits?)
+                .map_err(|e| err(st, e.to_string()))?;
             continue;
         }
 
@@ -330,8 +349,9 @@ fn parse_qasm(text: &str) -> Result<Circuit, ParseQasmError> {
         };
         let (name, params) = match head.find('(') {
             Some(open) => {
-                let close =
-                    head.rfind(')').ok_or_else(|| err(st, "missing ')' in gate params"))?;
+                let close = head
+                    .rfind(')')
+                    .ok_or_else(|| err(st, "missing ')' in gate params"))?;
                 let params: Result<Vec<f64>, _> = head[open + 1..close]
                     .split(',')
                     .map(|p| eval_expr(p, st))
@@ -345,9 +365,14 @@ fn parse_qasm(text: &str) -> Result<Circuit, ParseQasmError> {
             .map(|op| parse_operand(op, &qreg_name, st))
             .collect();
         let qubits = qubits?;
-        let gate = gate_from_name(name, &params)
-            .ok_or_else(|| err(st, format!("unsupported gate '{name}' with {} params", params.len())))?;
-        circ.push(gate, &qubits).map_err(|e| err(st, e.to_string()))?;
+        let gate = gate_from_name(name, &params).ok_or_else(|| {
+            err(
+                st,
+                format!("unsupported gate '{name}' with {} params", params.len()),
+            )
+        })?;
+        circ.push(gate, &qubits)
+            .map_err(|e| err(st, e.to_string()))?;
     }
 
     if !header_seen {

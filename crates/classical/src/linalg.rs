@@ -21,11 +21,11 @@ pub fn symmetric_eigenvalues(matrix: &[Vec<f64>]) -> Vec<f64> {
     }
     let mut a: Vec<Vec<f64>> = matrix.to_vec();
     // Symmetry check (cheap insurance against misuse).
-    for i in 0..n {
-        for j in i + 1..n {
-            let scale = a[i][j].abs().max(a[j][i].abs()).max(1.0);
+    for (i, row_i) in a.iter().enumerate() {
+        for (j, row_j) in a.iter().enumerate().skip(i + 1) {
+            let scale = row_i[j].abs().max(row_j[i].abs()).max(1.0);
             assert!(
-                (a[i][j] - a[j][i]).abs() <= 1e-8 * scale,
+                (row_i[j] - row_j[i]).abs() <= 1e-8 * scale,
                 "matrix is not symmetric at ({i},{j})"
             );
         }
@@ -52,17 +52,18 @@ pub fn symmetric_eigenvalues(matrix: &[Vec<f64>]) -> Vec<f64> {
                 let c = 1.0 / (1.0 + t * t).sqrt();
                 let s = t * c;
                 // Apply rotation G(p, q, theta) on both sides.
-                for k in 0..n {
-                    let akp = a[k][p];
-                    let akq = a[k][q];
-                    a[k][p] = c * akp - s * akq;
-                    a[k][q] = s * akp + c * akq;
+                for row in a.iter_mut() {
+                    let akp = row[p];
+                    let akq = row[q];
+                    row[p] = c * akp - s * akq;
+                    row[q] = s * akp + c * akq;
                 }
-                for k in 0..n {
-                    let apk = a[p][k];
-                    let aqk = a[q][k];
-                    a[p][k] = c * apk - s * aqk;
-                    a[q][k] = s * apk + c * aqk;
+                let (head, tail) = a.split_at_mut(q);
+                let (row_p, row_q) = (&mut head[p], &mut tail[0]);
+                for (apk, aqk) in row_p.iter_mut().zip(row_q.iter_mut()) {
+                    let (x, y) = (*apk, *aqk);
+                    *apk = c * x - s * y;
+                    *aqk = s * x + c * y;
                 }
             }
         }
@@ -79,7 +80,10 @@ pub fn symmetric_eigenvalues(matrix: &[Vec<f64>]) -> Vec<f64> {
 /// Panics on dimension mismatch.
 pub fn matmul(a: &[Vec<f64>], b: &[Vec<f64>]) -> Vec<Vec<f64>> {
     let n = a.len();
-    assert!(b.len() == n && a.iter().chain(b.iter()).all(|r| r.len() == n), "square matrices");
+    assert!(
+        b.len() == n && a.iter().chain(b.iter()).all(|r| r.len() == n),
+        "square matrices"
+    );
     let mut out = vec![vec![0.0; n]; n];
     for i in 0..n {
         for k in 0..n {

@@ -18,7 +18,11 @@ pub struct NelderMeadOptions {
 
 impl Default for NelderMeadOptions {
     fn default() -> Self {
-        NelderMeadOptions { max_evals: 2000, f_tol: 1e-10, initial_step: 0.5 }
+        NelderMeadOptions {
+            max_evals: 2000,
+            f_tol: 1e-10,
+            initial_step: 0.5,
+        }
     }
 }
 
@@ -87,7 +91,11 @@ pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
                 .collect();
             let f_expand = f(&expand);
             evals += 1;
-            simplex[n] = if f_expand < f_reflect { (expand, f_expand) } else { (reflect, f_reflect) };
+            simplex[n] = if f_expand < f_reflect {
+                (expand, f_expand)
+            } else {
+                (reflect, f_reflect)
+            };
             continue;
         }
         if f_reflect < simplex[n - 1].1 {
@@ -109,8 +117,11 @@ pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
         // Shrink toward the best vertex.
         let best = simplex[0].0.clone();
         for entry in simplex.iter_mut().skip(1) {
-            let x: Vec<f64> =
-                best.iter().zip(&entry.0).map(|(b, xi)| b + sigma * (xi - b)).collect();
+            let x: Vec<f64> = best
+                .iter()
+                .zip(&entry.0)
+                .map(|(b, xi)| b + sigma * (xi - b))
+                .collect();
             let fx = f(&x);
             evals += 1;
             *entry = (x, fx);
@@ -170,7 +181,11 @@ mod tests {
                 (1.0 - a).powi(2) + 100.0 * (b - a * a).powi(2)
             },
             &[-1.2, 1.0],
-            NelderMeadOptions { max_evals: 8000, f_tol: 1e-14, initial_step: 0.5 },
+            NelderMeadOptions {
+                max_evals: 8000,
+                f_tol: 1e-14,
+                initial_step: 0.5,
+            },
         );
         assert!((x[0] - 1.0).abs() < 1e-3, "x={x:?} f={fx}");
         assert!((x[1] - 1.0).abs() < 1e-3);
@@ -178,7 +193,11 @@ mod tests {
 
     #[test]
     fn one_dimensional_minimization() {
-        let (x, _) = nelder_mead(|v| (v[0] - 0.25).powi(2), &[5.0], NelderMeadOptions::default());
+        let (x, _) = nelder_mead(
+            |v| (v[0] - 0.25).powi(2),
+            &[5.0],
+            NelderMeadOptions::default(),
+        );
         assert!((x[0] - 0.25).abs() < 1e-4);
     }
 
@@ -192,7 +211,11 @@ mod tests {
                 v[0] * v[0]
             },
             &[10.0],
-            NelderMeadOptions { max_evals: budget, f_tol: 0.0, initial_step: 1.0 },
+            NelderMeadOptions {
+                max_evals: budget,
+                f_tol: 0.0,
+                initial_step: 1.0,
+            },
         );
         // A few extra evals can occur inside the final iteration.
         assert!(count <= budget + 4, "count={count}");

@@ -92,7 +92,11 @@ pub fn qaoa_p1_optimize(n: usize, weights: &[f64]) -> ((f64, f64), f64) {
     let (x, e) = nelder_mead(
         |v| qaoa_p1_energy(n, weights, v[0], v[1]),
         &[g0, b0],
-        NelderMeadOptions { max_evals: 4000, f_tol: 1e-12, initial_step: 0.05 },
+        NelderMeadOptions {
+            max_evals: 4000,
+            f_tol: 1e-12,
+            initial_step: 0.05,
+        },
     );
     ((x[0], x[1]), e)
 }
@@ -135,7 +139,10 @@ mod tests {
         for &(g, b) in &[(0.3, 0.2), (-0.7, 0.5), (1.1, -0.4), (0.0, 0.9), (0.6, 0.0)] {
             let exact = statevector_energy(n, &weights, g, b);
             let analytic = qaoa_p1_energy(n, &weights, g, b);
-            assert!((exact - analytic).abs() < 1e-9, "g={g} b={b}: {exact} vs {analytic}");
+            assert!(
+                (exact - analytic).abs() < 1e-9,
+                "g={g} b={b}: {exact} vs {analytic}"
+            );
         }
     }
 
@@ -145,12 +152,16 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let n = 5;
         let mut rng = StdRng::seed_from_u64(31);
-        let weights: Vec<f64> =
-            (0..n * (n - 1) / 2).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+        let weights: Vec<f64> = (0..n * (n - 1) / 2)
+            .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+            .collect();
         for &(g, b) in &[(0.25, 0.35), (-0.5, 0.15), (0.8, -0.6)] {
             let exact = statevector_energy(n, &weights, g, b);
             let analytic = qaoa_p1_energy(n, &weights, g, b);
-            assert!((exact - analytic).abs() < 1e-9, "g={g} b={b}: {exact} vs {analytic}");
+            assert!(
+                (exact - analytic).abs() < 1e-9,
+                "g={g} b={b}: {exact} vs {analytic}"
+            );
         }
     }
 

@@ -47,7 +47,11 @@ pub fn hellinger_fidelity_maps(p: &BTreeMap<u64, f64>, q: &BTreeMap<u64, f64>) -
 /// Panics if the lengths differ.
 pub fn hellinger_fidelity_dense(p: &[f64], q: &[f64]) -> f64 {
     assert_eq!(p.len(), q.len(), "distribution length mismatch");
-    let bc: f64 = p.iter().zip(q).map(|(&a, &b)| (a.max(0.0) * b.max(0.0)).sqrt()).sum();
+    let bc: f64 = p
+        .iter()
+        .zip(q)
+        .map(|(&a, &b)| (a.max(0.0) * b.max(0.0)).sqrt())
+        .sum();
     (bc * bc).min(1.0)
 }
 
@@ -96,8 +100,16 @@ pub fn linear_regression(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
             (y - pred) * (y - pred)
         })
         .sum();
-    let r_squared = if ss_tot < 1e-15 { 1.0 } else { (1.0 - ss_res / ss_tot).clamp(0.0, 1.0) };
-    Some(LinearFit { slope, intercept, r_squared })
+    let r_squared = if ss_tot < 1e-15 {
+        1.0
+    } else {
+        (1.0 - ss_res / ss_tot).clamp(0.0, 1.0)
+    };
+    Some(LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    })
 }
 
 /// Pearson correlation coefficient `r` between paired samples, or `None`
@@ -143,8 +155,9 @@ pub fn bootstrap_mean_ci(samples: &[f64], resamples: usize, alpha: f64, seed: u6
     let mut rng = StdRng::seed_from_u64(seed);
     let mut means: Vec<f64> = (0..resamples)
         .map(|_| {
-            let total: f64 =
-                (0..samples.len()).map(|_| samples[rng.gen_range(0..samples.len())]).sum();
+            let total: f64 = (0..samples.len())
+                .map(|_| samples[rng.gen_range(0..samples.len())])
+                .sum();
             total / samples.len() as f64
         })
         .collect();
@@ -193,10 +206,8 @@ mod tests {
     fn hellinger_dense_matches_map_version() {
         let p = [0.25, 0.25, 0.5, 0.0];
         let q = [0.1, 0.4, 0.4, 0.1];
-        let pm: BTreeMap<u64, f64> =
-            p.iter().enumerate().map(|(i, &v)| (i as u64, v)).collect();
-        let qm: BTreeMap<u64, f64> =
-            q.iter().enumerate().map(|(i, &v)| (i as u64, v)).collect();
+        let pm: BTreeMap<u64, f64> = p.iter().enumerate().map(|(i, &v)| (i as u64, v)).collect();
+        let qm: BTreeMap<u64, f64> = q.iter().enumerate().map(|(i, &v)| (i as u64, v)).collect();
         assert!(
             (hellinger_fidelity_dense(&p, &q) - hellinger_fidelity_maps(&pm, &qm)).abs() < 1e-12
         );
@@ -234,7 +245,12 @@ mod tests {
         let ys = [0.2, 1.1, 1.9, 3.2, 3.9];
         let r = pearson_correlation(&xs, &ys).unwrap();
         let fit = linear_regression(&xs, &ys).unwrap();
-        assert!((r * r - fit.r_squared).abs() < 1e-10, "r^2={} fit={}", r * r, fit.r_squared);
+        assert!(
+            (r * r - fit.r_squared).abs() < 1e-10,
+            "r^2={} fit={}",
+            r * r,
+            fit.r_squared
+        );
         // Anti-correlated data gives negative r.
         let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
         assert!(pearson_correlation(&xs, &neg).unwrap() < -0.99);
@@ -272,7 +288,7 @@ mod tests {
     fn regression_degenerate_inputs() {
         assert!(linear_regression(&[1.0], &[2.0]).is_none());
         assert!(linear_regression(&[1.0, 1.0], &[0.0, 5.0]).is_none()); // zero x-variance
-        // Zero y-variance: perfect horizontal fit.
+                                                                        // Zero y-variance: perfect horizontal fit.
         let fit = linear_regression(&[0.0, 1.0, 2.0], &[3.0, 3.0, 3.0]).unwrap();
         assert_eq!(fit.slope, 0.0);
         assert_eq!(fit.r_squared, 1.0);

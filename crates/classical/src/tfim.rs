@@ -83,7 +83,10 @@ mod tests {
     use super::*;
 
     /// Reference values computed by exact diagonalization (power iteration
-    /// on the dense Hamiltonian, independent implementation).
+    /// on the dense Hamiltonian, independent implementation). One entry
+    /// happens to coincide with -sqrt(2); it is a computed energy, not the
+    /// constant.
+    #[allow(clippy::approx_constant)]
     const REFERENCES: &[(usize, f64, f64, f64)] = &[
         (2, 1.0, 1.0, -2.2360679775),
         (2, 1.0, 0.5, -1.4142135624),
@@ -103,7 +106,10 @@ mod tests {
     fn matches_exact_diagonalization_references() {
         for &(n, j, h, e_ref) in REFERENCES {
             let e = tfim_ground_energy(n, j, h);
-            assert!((e - e_ref).abs() < 1e-8, "n={n} J={j} h={h}: {e} vs {e_ref}");
+            assert!(
+                (e - e_ref).abs() < 1e-8,
+                "n={n} J={j} h={h}: {e} vs {e_ref}"
+            );
         }
     }
 
@@ -139,7 +145,10 @@ mod tests {
         let per_site_200 = tfim_ground_energy(200, 1.0, 1.0) / 200.0;
         let bulk = tfim_ground_energy_per_site_thermodynamic(1.0, 1.0);
         // Boundary corrections are O(1/N).
-        assert!((per_site_200 - bulk).abs() < 0.01, "{per_site_200} vs {bulk}");
+        assert!(
+            (per_site_200 - bulk).abs() < 0.01,
+            "{per_site_200} vs {bulk}"
+        );
     }
 
     #[test]

@@ -24,7 +24,7 @@ impl Args {
                 if key.is_empty() {
                     return Err("empty option name '--'".into());
                 }
-                let next_is_value = argv.get(i + 1).map_or(false, |v| !v.starts_with("--"));
+                let next_is_value = argv.get(i + 1).is_some_and(|v| !v.starts_with("--"));
                 if next_is_value {
                     args.options.insert(key.to_string(), argv[i + 1].clone());
                     i += 2;

@@ -9,6 +9,7 @@ use supermarq::runner::{run_on_device, run_on_device_open, RunConfig};
 use supermarq::{Benchmark, FeatureVector};
 use supermarq_circuit::Circuit;
 use supermarq_device::Device;
+use supermarq_verify::{verify_circuit, verify_on_device, CheckId, Report, Severity};
 
 use crate::args::Args;
 
@@ -19,14 +20,44 @@ pub const USAGE: &str = "usage:
   supermarq show <benchmark> [--size N] [...]
   supermarq features <file.qasm>
   supermarq run <benchmark> --device <name> [--size N] [--shots N] [--reps R] [--seed S] [--open]
+  supermarq lint <benchmark>|<file.qasm> [--device <name>] [--size N] [...]
+  supermarq lint --list
   supermarq coverage
   supermarq export --dir <path>
 
 benchmarks: ghz, mermin-bell, bit-code, phase-code, qaoa-vanilla, qaoa-swap, vqe, hamsim";
 
+/// How a command failed: whether usage help would be useful.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// The invocation itself was malformed; `main` prints the usage text.
+    Usage(String),
+    /// The command ran and failed (lint findings, transpile error, bad
+    /// file); repeating the usage text would bury the real message.
+    Failure(String),
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> Self {
+        CliError::Usage(message.into())
+    }
+
+    fn failure(message: impl Into<String>) -> Self {
+        CliError::Failure(message.into())
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Failure(m) => f.write_str(m),
+        }
+    }
+}
+
 /// Dispatches a parsed command line, returning printable output.
-pub fn dispatch(argv: &[String]) -> Result<String, String> {
-    let args = Args::parse(argv)?;
+pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
+    let args = Args::parse(argv).map_err(CliError::Usage)?;
     match args.positional(0) {
         Some("devices") => cmd_devices(),
         Some("generate") => cmd_generate(&args),
@@ -34,20 +65,29 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
         Some("export") => cmd_export(&args),
         Some("features") => cmd_features(&args),
         Some("run") => cmd_run(&args),
+        Some("lint") => cmd_lint(&args),
         Some("coverage") => cmd_coverage(),
-        Some(other) => Err(format!("unknown command '{other}'")),
-        None => Err("missing command".into()),
+        Some(other) => Err(CliError::usage(format!("unknown command '{other}'"))),
+        None => Err(CliError::usage("missing command")),
     }
 }
 
 /// Builds a benchmark from CLI arguments.
-fn build_benchmark(args: &Args) -> Result<Box<dyn Benchmark>, String> {
-    let name = args.positional(1).ok_or("missing benchmark name")?;
-    let size: usize = args.option_parse("size", 4)?;
-    let rounds: usize = args.option_parse("rounds", 2)?;
-    let seed: u64 = args.option_parse("seed", 1)?;
-    let steps: usize = args.option_parse("steps", 4)?;
-    let layers: usize = args.option_parse("layers", 1)?;
+fn build_benchmark(args: &Args) -> Result<Box<dyn Benchmark>, CliError> {
+    let name = args
+        .positional(1)
+        .ok_or_else(|| CliError::usage("missing benchmark name"))?;
+    build_named_benchmark(name, args)
+}
+
+/// Builds a benchmark by name; `Err` is a usage error naming the unknown
+/// benchmark.
+fn build_named_benchmark(name: &str, args: &Args) -> Result<Box<dyn Benchmark>, CliError> {
+    let size: usize = args.option_parse("size", 4).map_err(CliError::Usage)?;
+    let rounds: usize = args.option_parse("rounds", 2).map_err(CliError::Usage)?;
+    let seed: u64 = args.option_parse("seed", 1).map_err(CliError::Usage)?;
+    let steps: usize = args.option_parse("steps", 4).map_err(CliError::Usage)?;
+    let layers: usize = args.option_parse("layers", 1).map_err(CliError::Usage)?;
     let bench: Box<dyn Benchmark> = match name {
         "ghz" => Box::new(GhzBenchmark::new(size.max(2))),
         "mermin-bell" => Box::new(MerminBellBenchmark::new(size.clamp(2, 16))),
@@ -63,12 +103,12 @@ fn build_benchmark(args: &Args) -> Result<Box<dyn Benchmark>, String> {
         "qaoa-swap" => Box::new(QaoaSwapBenchmark::new(size.max(2), seed)),
         "vqe" => Box::new(VqeBenchmark::new(size.clamp(2, 12), layers.max(1))),
         "hamsim" => Box::new(HamiltonianSimBenchmark::new(size.max(2), steps.max(1))),
-        other => return Err(format!("unknown benchmark '{other}'")),
+        other => return Err(CliError::usage(format!("unknown benchmark '{other}'"))),
     };
     Ok(bench)
 }
 
-fn cmd_devices() -> Result<String, String> {
+fn cmd_devices() -> Result<String, CliError> {
     let mut out = String::from("name             qubits  topology          T1(us)    2q-err\n");
     for d in Device::all_paper_devices() {
         out.push_str(&format!(
@@ -83,7 +123,7 @@ fn cmd_devices() -> Result<String, String> {
     Ok(out)
 }
 
-fn cmd_generate(args: &Args) -> Result<String, String> {
+fn cmd_generate(args: &Args) -> Result<String, CliError> {
     let bench = build_benchmark(args)?;
     let circuits = bench.circuits();
     let mut out = String::new();
@@ -96,7 +136,7 @@ fn cmd_generate(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
-fn cmd_show(args: &Args) -> Result<String, String> {
+fn cmd_show(args: &Args) -> Result<String, CliError> {
     let bench = build_benchmark(args)?;
     let circuits = bench.circuits();
     let mut out = format!("{}  ({})\n", bench.name(), bench.features());
@@ -111,25 +151,32 @@ fn cmd_show(args: &Args) -> Result<String, String> {
 
 /// Writes the full 52-circuit Table I SupermarQ corpus as OpenQASM files —
 /// the paper's "benchmarks specified at the level of OpenQASM" deliverable.
-fn cmd_export(args: &Args) -> Result<String, String> {
-    let dir = args.option("dir").ok_or("missing --dir")?;
+fn cmd_export(args: &Args) -> Result<String, CliError> {
+    let dir = args
+        .option("dir")
+        .ok_or_else(|| CliError::usage("missing --dir"))?;
     let dir = std::path::Path::new(dir);
-    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    std::fs::create_dir_all(dir)
+        .map_err(|e| CliError::failure(format!("cannot create {}: {e}", dir.display())))?;
     let suite = supermarq_suites::supermarq_suite();
     let mut written = 0usize;
     for (i, circuit) in suite.iter().enumerate() {
         let path = dir.join(format!("supermarq_{:02}_{}q.qasm", i, circuit.num_qubits()));
         std::fs::write(&path, circuit.to_qasm())
-            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            .map_err(|e| CliError::failure(format!("cannot write {}: {e}", path.display())))?;
         written += 1;
     }
-    Ok(format!("wrote {written} OpenQASM files to {}", dir.display()))
+    Ok(format!(
+        "wrote {written} OpenQASM files to {}",
+        dir.display()
+    ))
 }
 
-fn cmd_features(args: &Args) -> Result<String, String> {
-    let path = args.positional(1).ok_or("missing qasm file path")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let circuit = Circuit::from_qasm(&text).map_err(|e| e.to_string())?;
+fn cmd_features(args: &Args) -> Result<String, CliError> {
+    let path = args
+        .positional(1)
+        .ok_or_else(|| CliError::usage("missing qasm file path"))?;
+    let circuit = load_qasm_file(path)?;
     let f = FeatureVector::of(&circuit);
     Ok(format!(
         "qubits: {}\ndepth: {}\n2q gates: {}\nfeatures: {}",
@@ -140,17 +187,18 @@ fn cmd_features(args: &Args) -> Result<String, String> {
     ))
 }
 
-fn cmd_run(args: &Args) -> Result<String, String> {
+fn cmd_run(args: &Args) -> Result<String, CliError> {
     let bench = build_benchmark(args)?;
-    let device_name = args.option("device").ok_or("missing --device")?;
-    let device = Device::all_paper_devices()
-        .into_iter()
-        .find(|d| d.name().eq_ignore_ascii_case(device_name))
-        .ok_or_else(|| format!("unknown device '{device_name}' (try `supermarq devices`)"))?;
+    let device_name = args
+        .option("device")
+        .ok_or_else(|| CliError::usage("missing --device"))?;
+    let device = find_device(device_name)?;
     let config = RunConfig {
-        shots: args.option_parse("shots", 2000usize)?,
-        repetitions: args.option_parse("reps", 3usize)?,
-        seed: args.option_parse("seed", 1u64)?,
+        shots: args
+            .option_parse("shots", 2000usize)
+            .map_err(CliError::Usage)?,
+        repetitions: args.option_parse("reps", 3usize).map_err(CliError::Usage)?,
+        seed: args.option_parse("seed", 1u64).map_err(CliError::Usage)?,
         ..RunConfig::default()
     };
     let result = if args.flag("open") {
@@ -158,7 +206,7 @@ fn cmd_run(args: &Args) -> Result<String, String> {
     } else {
         run_on_device(bench.as_ref(), &device, &config)
     }
-    .map_err(|e| e.to_string())?;
+    .map_err(|e| CliError::failure(e.to_string()))?;
     Ok(format!(
         "benchmark: {}\ndevice: {}\ndivision: {}\nscore: {:.4} ± {:.4}\nswaps: {}\n2q gates: {}\nfeatures: {}",
         result.benchmark,
@@ -172,13 +220,97 @@ fn cmd_run(args: &Args) -> Result<String, String> {
     ))
 }
 
-fn cmd_coverage() -> Result<String, String> {
+/// Resolves a catalog device by case-insensitive name.
+fn find_device(name: &str) -> Result<Device, CliError> {
+    Device::all_paper_devices()
+        .into_iter()
+        .find(|d| d.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            CliError::failure(format!("unknown device '{name}' (try `supermarq devices`)"))
+        })
+}
+
+/// Reads and parses an OpenQASM file, mapping both I/O and parse
+/// failures into command errors (the verifier never panics on bad input).
+fn load_qasm_file(path: &str) -> Result<Circuit, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::failure(format!("cannot read {path}: {e}")))?;
+    Circuit::from_qasm(&text).map_err(|e| CliError::failure(format!("cannot parse {path}: {e}")))
+}
+
+/// `supermarq lint`: run the static verifier over a benchmark's circuits
+/// or a QASM file and print every diagnostic. Error-severity findings
+/// make the command fail so CI scripts get a non-zero exit.
+fn cmd_lint(args: &Args) -> Result<String, CliError> {
+    if args.flag("list") {
+        let mut out = String::from("available checks:\n");
+        for check in CheckId::ALL {
+            out.push_str(&format!(
+                "  {:<5} {:<24} {}\n",
+                check.code(),
+                check.name(),
+                check.description()
+            ));
+        }
+        return Ok(out.trim_end().to_string());
+    }
+    if args.positional_len() > 2 {
+        return Err(CliError::usage(
+            "lint takes a single benchmark name or .qasm file",
+        ));
+    }
+    let target = args
+        .positional(1)
+        .ok_or_else(|| CliError::usage("missing lint target (benchmark name or .qasm file)"))?;
+    let device = match args.option("device") {
+        Some(name) => Some(find_device(name)?),
+        None => None,
+    };
+    // A `.qasm` suffix means a file on disk; anything else is a benchmark.
+    let circuits: Vec<(String, Circuit)> = if target.ends_with(".qasm") {
+        vec![(target.to_string(), load_qasm_file(target)?)]
+    } else {
+        let bench = build_named_benchmark(target, args)?;
+        let name = bench.name();
+        bench
+            .circuits()
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| (format!("{name}[{i}]"), c))
+            .collect()
+    };
+    let mut out = String::new();
+    let (mut errors, mut warnings, mut lints) = (0usize, 0usize, 0usize);
+    for (label, circuit) in &circuits {
+        let report: Report = match &device {
+            Some(d) => verify_on_device(circuit, d),
+            None => verify_circuit(circuit),
+        };
+        errors += report.count(Severity::Error);
+        warnings += report.count(Severity::Warning);
+        lints += report.count(Severity::Lint);
+        if !report.is_clean() {
+            out.push_str(&format!("{label}:\n{}\n", report.render()));
+        }
+    }
+    let summary = format!(
+        "{} circuit(s) checked: {errors} error(s), {warnings} warning(s), {lints} lint(s)",
+        circuits.len()
+    );
+    out.push_str(&summary);
+    if errors > 0 {
+        Err(CliError::failure(out))
+    } else {
+        Ok(out)
+    }
+}
+
+fn cmd_coverage() -> Result<String, CliError> {
     // The standard small suite's coverage plus the synthetic reference.
     let suite = supermarq::benchmarks::standard_suite();
     let features: Vec<FeatureVector> = suite.iter().map(|b| b.features()).collect();
     let volume = coverage_of_features(&features);
-    let synthetic =
-        coverage_of_features(&supermarq::coverage::synthetic_suite_features());
+    let synthetic = coverage_of_features(&supermarq::coverage::synthetic_suite_features());
     let mut out = String::from("benchmark                      features\n");
     for (b, f) in suite.iter().zip(&features) {
         out.push_str(&format!("{:<30} {}\n", b.name(), f));
@@ -194,6 +326,7 @@ mod tests {
 
     fn run(tokens: &[&str]) -> Result<String, String> {
         dispatch(&tokens.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+            .map_err(|e| e.to_string())
     }
 
     #[test]
@@ -232,16 +365,7 @@ mod tests {
     #[test]
     fn run_scores_a_small_benchmark() {
         let out = run(&[
-            "run",
-            "ghz",
-            "--size",
-            "3",
-            "--device",
-            "ionq",
-            "--shots",
-            "200",
-            "--reps",
-            "1",
+            "run", "ghz", "--size", "3", "--device", "ionq", "--shots", "200", "--reps", "1",
         ])
         .unwrap();
         assert!(out.contains("score:"), "{out}");
@@ -309,6 +433,75 @@ mod tests {
     fn oversized_run_reports_too_many_qubits() {
         let err = run(&["run", "ghz", "--size", "6", "--device", "aqt"]).unwrap_err();
         assert!(err.contains("qubits"), "{err}");
+    }
+
+    #[test]
+    fn lint_list_names_every_check() {
+        let out = run(&["lint", "--list"]).unwrap();
+        for code in ["V001", "V002", "V003", "V004", "V005", "V006", "V007"] {
+            assert!(out.contains(code), "missing {code} in {out}");
+        }
+        assert!(out.contains("coupling-map"), "{out}");
+    }
+
+    #[test]
+    fn lint_clean_benchmark_succeeds() {
+        let out = run(&["lint", "ghz", "--size", "4"]).unwrap();
+        assert!(out.contains("0 error(s)"), "{out}");
+    }
+
+    #[test]
+    fn lint_against_device_flags_non_native_gates() {
+        // A logical GHZ circuit uses H, which no Table II machine offers
+        // natively, so device-level linting must fail with V004 findings.
+        let err = run(&["lint", "ghz", "--size", "3", "--device", "ibm-casablanca"]).unwrap_err();
+        assert!(err.contains("V004"), "{err}");
+        assert!(matches!(
+            dispatch(
+                &["lint", "ghz", "--device", "ibm-casablanca"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect::<Vec<_>>()
+            ),
+            Err(CliError::Failure(_))
+        ));
+    }
+
+    #[test]
+    fn lint_qasm_file_round_trip() {
+        let dir = std::env::temp_dir().join("supermarq_lint_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ghz.qasm");
+        let qasm = run(&["generate", "ghz", "--size", "4"]).unwrap();
+        std::fs::write(&path, qasm).unwrap();
+        let out = run(&["lint", path.to_str().unwrap()]).unwrap();
+        assert!(out.contains("0 error(s)"), "{out}");
+    }
+
+    #[test]
+    fn lint_bad_inputs_error_without_panicking() {
+        assert!(run(&["lint"]).is_err());
+        assert!(run(&["lint", "/nonexistent/file.qasm"]).is_err());
+        assert!(run(&["lint", "not-a-benchmark"]).is_err());
+        let dir = std::env::temp_dir().join("supermarq_lint_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("malformed.qasm");
+        std::fs::write(&path, "OPENQASM 2.0;\nqreg q[2];\ncx q[0], q[0];\n").unwrap();
+        let err = run(&["lint", path.to_str().unwrap()]).unwrap_err();
+        assert!(err.contains("cannot parse"), "{err}");
+    }
+
+    #[test]
+    fn usage_errors_are_distinguished_from_failures() {
+        let argv = |tokens: &[&str]| tokens.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert!(matches!(
+            dispatch(&argv(&["frobnicate"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            dispatch(&argv(&["features", "/nonexistent/file.qasm"])),
+            Err(CliError::Failure(_))
+        ));
     }
 
     #[test]

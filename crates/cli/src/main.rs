@@ -5,6 +5,7 @@
 //! supermarq generate ghz --size 5
 //! supermarq features circuit.qasm
 //! supermarq run ghz --size 5 --device IBM-Montreal --shots 2000 [--open]
+//! supermarq lint ghz --device IBM-Montreal
 //! supermarq coverage
 //! ```
 
@@ -20,10 +21,14 @@ fn main() -> ExitCode {
             println!("{output}");
             ExitCode::SUCCESS
         }
-        Err(message) => {
+        Err(commands::CliError::Usage(message)) => {
             eprintln!("error: {message}");
             eprintln!();
             eprintln!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+        Err(commands::CliError::Failure(message)) => {
+            eprintln!("error: {message}");
             ExitCode::FAILURE
         }
     }

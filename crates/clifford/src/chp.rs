@@ -50,7 +50,12 @@ impl StabilizerSimulator {
             x[i][i] = true; // destabilizer X_i
             z[n + i][i] = true; // stabilizer Z_i
         }
-        StabilizerSimulator { n, x, z, r: vec![false; rows] }
+        StabilizerSimulator {
+            n,
+            x,
+            z,
+            r: vec![false; rows],
+        }
     }
 
     /// Number of qubits.
@@ -62,9 +67,7 @@ impl StabilizerSimulator {
     pub fn h(&mut self, a: usize) {
         for i in 0..2 * self.n {
             self.r[i] ^= self.x[i][a] & self.z[i][a];
-            let tmp = self.x[i][a];
-            self.x[i][a] = self.z[i][a];
-            self.z[i][a] = tmp;
+            std::mem::swap(&mut self.x[i][a], &mut self.z[i][a]);
         }
     }
 

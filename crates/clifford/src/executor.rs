@@ -66,7 +66,10 @@ impl StabilizerExecutor {
     /// Panics if the circuit contains non-Clifford gates or more than 64
     /// qubits (the histogram key limit).
     pub fn run(&self, circuit: &Circuit, shots: usize, seed: u64) -> Counts {
-        assert!(circuit.num_qubits() <= 64, "histogram keys are limited to 64 qubits");
+        assert!(
+            circuit.num_qubits() <= 64,
+            "histogram keys are limited to 64 qubits"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut counts = Counts::new(circuit.num_qubits());
         for _ in 0..shots {
@@ -116,7 +119,11 @@ impl StabilizerExecutor {
                         let q = instr.qubits[0];
                         let bit = sim.measure(q, rng);
                         let p = self.noise.readout_error_for(q);
-                        let recorded = if p > 0.0 && rng.gen::<f64>() < p { !bit } else { bit };
+                        let recorded = if p > 0.0 && rng.gen::<f64>() < p {
+                            !bit
+                        } else {
+                            bit
+                        };
                         if recorded {
                             classical |= 1 << q;
                         } else {
@@ -126,8 +133,7 @@ impl StabilizerExecutor {
                     Gate::Reset => {
                         let q = instr.qubits[0];
                         sim.reset(q, rng);
-                        if self.noise.reset_error > 0.0
-                            && rng.gen::<f64>() < self.noise.reset_error
+                        if self.noise.reset_error > 0.0 && rng.gen::<f64>() < self.noise.reset_error
                         {
                             sim.x_gate(q);
                         }
@@ -138,21 +144,20 @@ impl StabilizerExecutor {
                 // Post-gate depolarizing noise.
                 match instr.gate.kind() {
                     GateKind::OneQubitUnitary => {
-                        self.random_pauli(&mut sim, &[instr.qubits[0]], self.noise.depolarizing_1q, rng);
+                        self.random_pauli(
+                            &mut sim,
+                            &[instr.qubits[0]],
+                            self.noise.depolarizing_1q,
+                            rng,
+                        );
                     }
                     GateKind::TwoQubitUnitary => {
-                        let extra =
-                            self.noise.crosstalk * two_q_gates.saturating_sub(1) as f64;
+                        let extra = self.noise.crosstalk * two_q_gates.saturating_sub(1) as f64;
                         let base = self
                             .noise
                             .depolarizing_2q_for(instr.qubits[0], instr.qubits[1]);
                         let p = (base * (1.0 + extra)).min(1.0);
-                        self.random_pauli(
-                            &mut sim,
-                            &[instr.qubits[0], instr.qubits[1]],
-                            p,
-                            rng,
-                        );
+                        self.random_pauli(&mut sim, &[instr.qubits[0], instr.qubits[1]], p, rng);
                     }
                     _ => {}
                 }
@@ -212,8 +217,11 @@ impl StabilizerExecutor {
             0.0
         };
         let p_phi = if self.noise.t2.is_finite() && self.noise.t2 > 0.0 {
-            let rate_t1 =
-                if self.noise.t1.is_finite() { 1.0 / (2.0 * self.noise.t1) } else { 0.0 };
+            let rate_t1 = if self.noise.t1.is_finite() {
+                1.0 / (2.0 * self.noise.t1)
+            } else {
+                0.0
+            };
             let rate_phi = (1.0 / self.noise.t2 - rate_t1).max(0.0);
             0.5 * (1.0 - (-duration * rate_phi).exp())
         } else {
@@ -251,8 +259,7 @@ mod tests {
 
     /// GHZ "good outcome" mass (all-zeros + all-ones fraction).
     fn ghz_mass(counts: &Counts, n: usize) -> f64 {
-        (counts.count(0) + counts.count(((1u128 << n) - 1) as u64)) as f64
-            / counts.total() as f64
+        (counts.count(0) + counts.count(((1u128 << n) - 1) as u64)) as f64 / counts.total() as f64
     }
 
     #[test]
@@ -281,7 +288,10 @@ mod tests {
     fn readout_error_statistics_match() {
         let mut c = Circuit::new(2);
         c.x(0).measure_all();
-        let noise = NoiseModel { readout_error: 0.1, ..NoiseModel::ideal() };
+        let noise = NoiseModel {
+            readout_error: 0.1,
+            ..NoiseModel::ideal()
+        };
         let chp = StabilizerExecutor::new(noise.clone()).run(&c, 20000, 9);
         let sv = Executor::new(noise).run(&c, 20000, 9);
         for k in 0..4u64 {

@@ -302,7 +302,7 @@ mod tests {
             }
             // Random Pauli string (not all-identity).
             let paulis: Vec<Pauli> = (0..n)
-                .map(|_| [Pauli::I, Pauli::X, Pauli::Y, Pauli::Z][rng.gen_range(0..4)])
+                .map(|_| [Pauli::I, Pauli::X, Pauli::Y, Pauli::Z][rng.gen_range(0..4usize)])
                 .collect();
             let p = PauliString::new(paulis);
             if p.is_identity() {

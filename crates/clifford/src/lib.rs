@@ -36,4 +36,4 @@ pub mod synth;
 pub use chp::StabilizerSimulator;
 pub use executor::StabilizerExecutor;
 pub use frame::SignedPauli;
-pub use synth::{diagonalize, DiagonalizeError, Diagonalization};
+pub use synth::{diagonalize, Diagonalization, DiagonalizeError};

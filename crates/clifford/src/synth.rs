@@ -90,7 +90,7 @@ pub fn diagonalize(strings: &[PauliString]) -> Result<Diagonalization, Diagonali
     let generators = independent_subset(strings, n);
 
     let mut circuit = Circuit::new(n);
-    let mut gens: Vec<SignedPauli> = generators.iter().map(|s| SignedPauli::from_string(s)).collect();
+    let mut gens: Vec<SignedPauli> = generators.iter().map(SignedPauli::from_string).collect();
     let mut pivots: Vec<usize> = Vec::new();
 
     let append = |circuit: &mut Circuit, gens: &mut Vec<SignedPauli>, gate: Gate, qs: &[usize]| {
@@ -151,7 +151,10 @@ pub fn diagonalize(strings: &[PauliString]) -> Result<Diagonalization, Diagonali
         }
         diagonal_terms.push((sp.sign(), sp.z_mask()));
     }
-    Ok(Diagonalization { circuit, diagonal_terms })
+    Ok(Diagonalization {
+        circuit,
+        diagonal_terms,
+    })
 }
 
 /// Greedily selects strings whose symplectic vectors are GF(2)-independent.
@@ -246,7 +249,7 @@ mod tests {
         let d = diagonalize(&strings).unwrap();
         verify_diagonalization(&strings, &d);
         // No H gates needed for an already-diagonal set.
-        assert!(d.circuit.iter().all(|i| i.gate != Gate::H || false) || true);
+        assert!(d.circuit.iter().all(|i| i.gate != Gate::H));
     }
 
     #[test]
@@ -265,7 +268,10 @@ mod tests {
     #[test]
     fn rejects_noncommuting_input() {
         let strings = vec![ps("X"), ps("Z")];
-        assert_eq!(diagonalize(&strings).unwrap_err(), DiagonalizeError::NotCommuting);
+        assert_eq!(
+            diagonalize(&strings).unwrap_err(),
+            DiagonalizeError::NotCommuting
+        );
     }
 
     #[test]

@@ -42,13 +42,19 @@ impl Calibration {
         err_2q_pct: f64,
         err_meas_pct: f64,
     ) -> Self {
-        assert!(t1_us > 0.0 && t2_us > 0.0, "coherence times must be positive");
+        assert!(
+            t1_us > 0.0 && t2_us > 0.0,
+            "coherence times must be positive"
+        );
         assert!(
             time_1q_us > 0.0 && time_2q_us > 0.0 && time_meas_us > 0.0,
             "durations must be positive"
         );
         for e in [err_1q_pct, err_2q_pct, err_meas_pct] {
-            assert!((0.0..=100.0).contains(&e), "error percentage {e} out of range");
+            assert!(
+                (0.0..=100.0).contains(&e),
+                "error percentage {e} out of range"
+            );
         }
         Calibration {
             t1_us,

@@ -308,7 +308,11 @@ mod tests {
     fn architectural_contrast_readout_vs_t1() {
         // The Table II story: superconducting readout is a significant
         // fraction of T1; trapped-ion readout is negligible.
-        for d in [Device::ibm_casablanca(), Device::ibm_montreal(), Device::aqt()] {
+        for d in [
+            Device::ibm_casablanca(),
+            Device::ibm_montreal(),
+            Device::aqt(),
+        ] {
             assert!(d.calibration().readout_to_t1_ratio() > 0.01, "{}", d.name());
         }
         assert!(Device::ionq().calibration().readout_to_t1_ratio() < 1e-4);
@@ -327,12 +331,12 @@ mod tests {
         let d = Device::ibm_guadalupe().with_error_variation(5, 1.0);
         let avg = d.calibration().err_2q;
         let mut seen_different = false;
-        let mut previous = None;
+        let mut previous: Option<f64> = None;
         for (a, b) in d.topology().graph().edges() {
             let e = d.edge_error(a, b);
             assert!(e > avg / 2.5 && e < avg * 2.5, "edge ({a},{b}) error {e}");
             if let Some(p) = previous {
-                if (e - p as f64).abs() > 1e-12 {
+                if (e - p).abs() > 1e-12 {
                     seen_different = true;
                 }
             }

@@ -27,8 +27,15 @@ impl Topology {
     /// # Panics
     ///
     /// Panics if an edge references an out-of-range qubit or is a self-loop.
-    pub fn from_edges(name: impl Into<String>, num_qubits: usize, edges: &[(usize, usize)]) -> Self {
-        Topology { name: name.into(), graph: InteractionGraph::from_edges(num_qubits, edges) }
+    pub fn from_edges(
+        name: impl Into<String>,
+        num_qubits: usize,
+        edges: &[(usize, usize)],
+    ) -> Self {
+        Topology {
+            name: name.into(),
+            graph: InteractionGraph::from_edges(num_qubits, edges),
+        }
     }
 
     /// A 1-D chain of `n` qubits.
@@ -169,7 +176,10 @@ impl Topology {
     ///
     /// Panics if either parameter is zero.
     pub fn heavy_hex(rows: usize, cells: usize) -> Self {
-        assert!(rows > 0 && cells > 0, "heavy-hex dimensions must be positive");
+        assert!(
+            rows > 0 && cells > 0,
+            "heavy-hex dimensions must be positive"
+        );
         // Each chain row has 4*cells + 1 qubits; between consecutive chain
         // rows sit `cells + 1` bridge qubits attached at every 4th chain
         // position.
@@ -194,7 +204,11 @@ impl Topology {
                 next_index += 1;
                 // Alternate bridge offsets between row parities, like the
                 // real lattice.
-                let offset = if r % 2 == 0 { 4 * b } else { (4 * b + 2).min(chain_len - 1) };
+                let offset = if r % 2 == 0 {
+                    4 * b
+                } else {
+                    (4 * b + 2).min(chain_len - 1)
+                };
                 edges.push((top + offset, bridge));
                 edges.push((bridge, bottom + offset));
             }
@@ -332,7 +346,11 @@ mod tests {
         // All layouts must be connected.
         for t in [h, g, m] {
             for q in 1..t.num_qubits() {
-                assert!(t.distance(0, q).is_some(), "{} disconnected at {q}", t.name());
+                assert!(
+                    t.distance(0, q).is_some(),
+                    "{} disconnected at {q}",
+                    t.name()
+                );
             }
         }
     }

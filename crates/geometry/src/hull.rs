@@ -109,12 +109,21 @@ impl ConvexHull {
         // Initial facets: all d-subsets of the simplex.
         let mut facets: Vec<Facet> = Vec::new();
         for omit in 0..=dim {
-            let verts: Vec<usize> =
-                simplex.iter().enumerate().filter(|&(k, _)| k != omit).map(|(_, &v)| v).collect();
+            let verts: Vec<usize> = simplex
+                .iter()
+                .enumerate()
+                .filter(|&(k, _)| k != omit)
+                .map(|(_, &v)| v)
+                .collect();
             facets.push(make_facet(&pts, verts, &interior).ok_or(HullError::Degenerate)?);
         }
 
-        let mut hull = ConvexHull { dim, points: pts, facets, interior };
+        let mut hull = ConvexHull {
+            dim,
+            points: pts,
+            facets,
+            interior,
+        };
         // Insert the remaining points incrementally.
         let in_simplex: std::collections::BTreeSet<usize> = simplex.into_iter().collect();
         for idx in 0..hull.points.len() {
@@ -165,7 +174,9 @@ impl ConvexHull {
     /// Panics if the dimension mismatches.
     pub fn contains(&self, point: &[f64]) -> bool {
         assert_eq!(point.len(), self.dim, "dimension mismatch");
-        self.facets.iter().all(|f| dot(&f.normal, point) <= f.offset + 1e-7)
+        self.facets
+            .iter()
+            .all(|f| dot(&f.normal, point) <= f.offset + 1e-7)
     }
 
     /// Incrementally adds point `idx`, replacing visible facets.
@@ -187,14 +198,21 @@ impl ConvexHull {
         for &fi in &visible {
             let verts = &self.facets[fi].vertices;
             for omit in 0..verts.len() {
-                let mut ridge: Vec<usize> =
-                    verts.iter().enumerate().filter(|&(k, _)| k != omit).map(|(_, &v)| v).collect();
+                let mut ridge: Vec<usize> = verts
+                    .iter()
+                    .enumerate()
+                    .filter(|&(k, _)| k != omit)
+                    .map(|(_, &v)| v)
+                    .collect();
                 ridge.sort_unstable();
                 *ridge_count.entry(ridge).or_insert(0) += 1;
             }
         }
-        let horizon: Vec<Vec<usize>> =
-            ridge_count.into_iter().filter(|(_, c)| *c == 1).map(|(r, _)| r).collect();
+        let horizon: Vec<Vec<usize>> = ridge_count
+            .into_iter()
+            .filter(|(_, c)| *c == 1)
+            .map(|(r, _)| r)
+            .collect();
         // Remove visible facets (descending index order).
         let mut visible_sorted = visible;
         visible_sorted.sort_unstable_by(|a, b| b.cmp(a));
@@ -234,7 +252,11 @@ pub fn hull_volume_joggled(points: &[Vec<f64>], magnitude: f64, seed: u64) -> f6
     let mut rng = StdRng::seed_from_u64(seed);
     let joggled: Vec<Vec<f64>> = points
         .iter()
-        .map(|p| p.iter().map(|&x| x + rng.gen_range(-magnitude..=magnitude)).collect())
+        .map(|p| {
+            p.iter()
+                .map(|&x| x + rng.gen_range(-magnitude..=magnitude))
+                .collect()
+        })
         .collect();
     hull_volume(&joggled)
 }
@@ -268,7 +290,7 @@ fn initial_simplex(pts: &[Vec<f64>], dim: usize) -> Option<Vec<usize>> {
                 }
             }
             let norm = dot(&v, &v).sqrt();
-            if best.as_ref().map_or(true, |(_, n, _)| norm > *n) {
+            if best.as_ref().is_none_or(|(_, n, _)| norm > *n) {
                 best = Some((i, norm, v));
             }
         }
@@ -295,14 +317,24 @@ fn make_facet(pts: &[Vec<f64>], vertices: Vec<usize>, interior: &[f64]) -> Optio
     // column i.
     let rows: Vec<Vec<f64>> = vertices[1..]
         .iter()
-        .map(|&k| pts[k].iter().zip(&pts[vertices[0]]).map(|(a, b)| a - b).collect())
+        .map(|&k| {
+            pts[k]
+                .iter()
+                .zip(&pts[vertices[0]])
+                .map(|(a, b)| a - b)
+                .collect()
+        })
         .collect();
     let mut normal = vec![0.0; d];
     for (i, ni) in normal.iter_mut().enumerate() {
         let minor: Vec<Vec<f64>> = rows
             .iter()
             .map(|r| {
-                r.iter().enumerate().filter(|&(c, _)| c != i).map(|(_, &v)| v).collect()
+                r.iter()
+                    .enumerate()
+                    .filter(|&(c, _)| c != i)
+                    .map(|(_, &v)| v)
+                    .collect()
             })
             .collect();
         let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
@@ -322,7 +354,11 @@ fn make_facet(pts: &[Vec<f64>], vertices: Vec<usize>, interior: &[f64]) -> Optio
         }
         offset = -offset;
     }
-    Some(Facet { vertices, normal, offset })
+    Some(Facet {
+        vertices,
+        normal,
+        offset,
+    })
 }
 
 #[cfg(test)]
@@ -331,7 +367,11 @@ mod tests {
 
     fn cube_corners(d: usize) -> Vec<Vec<f64>> {
         (0..1usize << d)
-            .map(|m| (0..d).map(|i| if m >> i & 1 == 1 { 1.0 } else { 0.0 }).collect())
+            .map(|m| {
+                (0..d)
+                    .map(|i| if m >> i & 1 == 1 { 1.0 } else { 0.0 })
+                    .collect()
+            })
             .collect()
     }
 
@@ -346,7 +386,11 @@ mod tests {
     fn cube_volumes_up_to_6d() {
         for d in 2..=6 {
             let hull = ConvexHull::new(&cube_corners(d)).unwrap();
-            assert!((hull.volume() - 1.0).abs() < 1e-8, "d={d} vol={}", hull.volume());
+            assert!(
+                (hull.volume() - 1.0).abs() < 1e-8,
+                "d={d} vol={}",
+                hull.volume()
+            );
         }
     }
 
@@ -380,7 +424,11 @@ mod tests {
             }
             let hull = ConvexHull::new(&pts).unwrap();
             let expect = 2f64.powi(d as i32) / (1..=d).map(|k| k as f64).product::<f64>();
-            assert!((hull.volume() - expect).abs() < 1e-8, "d={d} vol={}", hull.volume());
+            assert!(
+                (hull.volume() - expect).abs() < 1e-8,
+                "d={d} vol={}",
+                hull.volume()
+            );
         }
     }
 
@@ -456,8 +504,9 @@ mod tests {
         use rand::rngs::StdRng;
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(5);
-        let pts: Vec<Vec<f64>> =
-            (0..40).map(|_| (0..4).map(|_| rng.gen_range(0.0..1.0)).collect()).collect();
+        let pts: Vec<Vec<f64>> = (0..40)
+            .map(|_| (0..4).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
         let hull = ConvexHull::new(&pts).unwrap();
         let v = hull.volume();
         assert!(v > 0.0 && v < 1.0, "v={v}");

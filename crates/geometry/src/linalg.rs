@@ -22,19 +22,22 @@ pub fn solve(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
     for col in 0..n {
         // Partial pivot.
         let pivot = (col..n).max_by(|&i, &j| {
-            m[i][col].abs().partial_cmp(&m[j][col].abs()).expect("finite")
+            m[i][col]
+                .abs()
+                .partial_cmp(&m[j][col].abs())
+                .expect("finite")
         })?;
         if m[pivot][col].abs() < 1e-12 {
             return None;
         }
         m.swap(col, pivot);
         let inv = 1.0 / m[col][col];
-        for row in col + 1..n {
-            let factor = m[row][col] * inv;
+        let pivot_row = m[col].clone();
+        for row in m.iter_mut().take(n).skip(col + 1) {
+            let factor = row[col] * inv;
             if factor != 0.0 {
-                for k in col..=n {
-                    let v = m[col][k];
-                    m[row][k] -= factor * v;
+                for (v, &p) in row[col..=n].iter_mut().zip(&pivot_row[col..=n]) {
+                    *v -= factor * p;
                 }
             }
         }
@@ -64,7 +67,12 @@ pub fn determinant(a: &[Vec<f64>]) -> f64 {
     let mut det = 1.0;
     for col in 0..n {
         let pivot = (col..n)
-            .max_by(|&i, &j| m[i][col].abs().partial_cmp(&m[j][col].abs()).expect("finite"))
+            .max_by(|&i, &j| {
+                m[i][col]
+                    .abs()
+                    .partial_cmp(&m[j][col].abs())
+                    .expect("finite")
+            })
             .expect("non-empty");
         if m[pivot][col].abs() < 1e-300 {
             return 0.0;
@@ -75,12 +83,12 @@ pub fn determinant(a: &[Vec<f64>]) -> f64 {
         }
         det *= m[col][col];
         let inv = 1.0 / m[col][col];
-        for row in col + 1..n {
-            let factor = m[row][col] * inv;
+        let pivot_row = m[col].clone();
+        for row in m.iter_mut().take(n).skip(col + 1) {
+            let factor = row[col] * inv;
             if factor != 0.0 {
-                for k in col..n {
-                    let v = m[col][k];
-                    m[row][k] -= factor * v;
+                for (v, &p) in row[col..n].iter_mut().zip(&pivot_row[col..n]) {
+                    *v -= factor * p;
                 }
             }
         }
@@ -109,7 +117,11 @@ mod tests {
 
     #[test]
     fn solve_identity() {
-        let a = vec![vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0], vec![0.0, 0.0, 1.0]];
+        let a = vec![
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ];
         let b = vec![4.0, 5.0, 6.0];
         let x = solve(&a, &b).unwrap();
         assert_eq!(x, b);

@@ -37,8 +37,11 @@ pub fn monte_carlo_volume(points: &[Vec<f64>], samples: usize, seed: u64) -> f64
     let mut rng = StdRng::seed_from_u64(seed);
     let mut inside = 0usize;
     for _ in 0..samples {
-        let sample: Vec<f64> =
-            lo.iter().zip(&hi).map(|(&a, &b)| rng.gen_range(a..=b)).collect();
+        let sample: Vec<f64> = lo
+            .iter()
+            .zip(&hi)
+            .map(|(&a, &b)| rng.gen_range(a..=b))
+            .collect();
         if in_convex_hull(points, &sample) {
             inside += 1;
         }
@@ -53,7 +56,11 @@ mod tests {
     #[test]
     fn estimates_cube_volume() {
         let pts: Vec<Vec<f64>> = (0..8)
-            .map(|m| (0..3).map(|i| if m >> i & 1 == 1 { 1.0 } else { 0.0 }).collect())
+            .map(|m| {
+                (0..3)
+                    .map(|i| if m >> i & 1 == 1 { 1.0 } else { 0.0 })
+                    .collect()
+            })
             .collect();
         let v = monte_carlo_volume(&pts, 400, 1);
         assert!((v - 1.0).abs() < 1e-9, "v={v}"); // box == hull: every sample inside
@@ -78,8 +85,9 @@ mod tests {
         use rand::rngs::StdRng;
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(3);
-        let pts: Vec<Vec<f64>> =
-            (0..12).map(|_| (0..3).map(|_| rng.gen_range(0.0..1.0)).collect()).collect();
+        let pts: Vec<Vec<f64>> = (0..12)
+            .map(|_| (0..3).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
         let exact = ConvexHull::new(&pts).unwrap().volume();
         let approx = monte_carlo_volume(&pts, 4000, 11);
         assert!(

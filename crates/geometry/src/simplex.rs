@@ -27,7 +27,10 @@ const EPS: f64 = 1e-9;
 pub fn solve_lp(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> LpOutcome {
     let m = a.len();
     let n = c.len();
-    assert!(a.iter().all(|row| row.len() == n), "A column count must match c");
+    assert!(
+        a.iter().all(|row| row.len() == n),
+        "A column count must match c"
+    );
     assert_eq!(b.len(), m, "b length must match row count");
 
     // Normalize to b >= 0.
@@ -86,9 +89,9 @@ pub fn solve_lp(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> LpOutcome {
     let mut cost2 = vec![0.0; total];
     cost2[..n].copy_from_slice(c);
     for (i, row) in tableau.iter_mut().enumerate() {
-        for j in n..total {
+        for (j, v) in row.iter_mut().enumerate().take(total).skip(n) {
             if basis[i] != j {
-                row[j] = 0.0;
+                *v = 0.0;
             }
         }
     }
@@ -107,12 +110,7 @@ pub fn solve_lp(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> LpOutcome {
 
 /// Runs simplex iterations (Bland's rule) until optimal; returns `false` if
 /// unbounded.
-fn run_simplex(
-    tableau: &mut [Vec<f64>],
-    basis: &mut [usize],
-    cost: &[f64],
-    total: usize,
-) -> bool {
+fn run_simplex(tableau: &mut [Vec<f64>], basis: &mut [usize], cost: &[f64], total: usize) -> bool {
     let m = tableau.len();
     loop {
         // Reduced costs: c_j - c_B . B^{-1} A_j computed from the tableau.
@@ -141,7 +139,7 @@ fn run_simplex(
                 let ratio = tableau[i][total] / tableau[i][j];
                 if ratio < best_ratio - EPS
                     || (ratio < best_ratio + EPS
-                        && leaving.map_or(true, |l: usize| basis[i] < basis[l]))
+                        && leaving.is_none_or(|l: usize| basis[i] < basis[l]))
                 {
                     best_ratio = ratio;
                     leaving = Some(i);
@@ -160,13 +158,13 @@ fn pivot(tableau: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, 
     for v in &mut tableau[row] {
         *v *= inv;
     }
-    for i in 0..tableau.len() {
+    let pivot_row = tableau[row].clone();
+    for (i, t_row) in tableau.iter_mut().enumerate() {
         if i != row {
-            let factor = tableau[i][col];
+            let factor = t_row[col];
             if factor.abs() > 0.0 {
-                for j in 0..=total {
-                    let v = tableau[row][j];
-                    tableau[i][j] -= factor * v;
+                for (v, &p) in t_row[..=total].iter_mut().zip(&pivot_row[..=total]) {
+                    *v -= factor * p;
                 }
             }
         }

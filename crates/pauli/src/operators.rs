@@ -32,12 +32,22 @@ pub fn mermin_operator(n: usize) -> PauliSum {
     // Iterate over all bitmasks selecting which sites carry a Y.
     for mask in 0u64..(1u64 << n) {
         let k = mask.count_ones() as usize;
-        if k % 2 == 0 {
+        if k.is_multiple_of(2) {
             continue;
         }
-        let coeff = if ((k - 1) / 2) % 2 == 0 { 1.0 } else { -1.0 };
+        let coeff = if ((k - 1) / 2).is_multiple_of(2) {
+            1.0
+        } else {
+            -1.0
+        };
         let paulis: Vec<Pauli> = (0..n)
-            .map(|q| if mask >> q & 1 == 1 { Pauli::Y } else { Pauli::X })
+            .map(|q| {
+                if mask >> q & 1 == 1 {
+                    Pauli::Y
+                } else {
+                    Pauli::X
+                }
+            })
             .collect();
         sum.add_term(coeff, PauliString::new(paulis));
     }
@@ -56,7 +66,11 @@ pub fn mermin_operator(n: usize) -> PauliSum {
 /// Panics if `weights.len() != n(n-1)/2`.
 pub fn sk_hamiltonian(n: usize, weights: &[f64]) -> PauliSum {
     let expected = n * n.saturating_sub(1) / 2;
-    assert_eq!(weights.len(), expected, "SK model on {n} qubits needs {expected} weights");
+    assert_eq!(
+        weights.len(),
+        expected,
+        "SK model on {n} qubits needs {expected} weights"
+    );
     let mut sum = PauliSum::zero(n);
     let mut k = 0;
     for i in 0..n {

@@ -124,7 +124,9 @@ pub struct PauliString {
 impl PauliString {
     /// The all-identity string on `n` qubits.
     pub fn identity(n: usize) -> Self {
-        PauliString { paulis: vec![Pauli::I; n] }
+        PauliString {
+            paulis: vec![Pauli::I; n],
+        }
     }
 
     /// Builds a string from a slice of Paulis.
@@ -150,7 +152,10 @@ impl PauliString {
     ///
     /// Panics if either index is out of range or they coincide.
     pub fn two(n: usize, a: usize, p: Pauli, b: usize, q: Pauli) -> Self {
-        assert!(a < n && b < n && a != b, "invalid qubit pair ({a},{b}) for n={n}");
+        assert!(
+            a < n && b < n && a != b,
+            "invalid qubit pair ({a},{b}) for n={n}"
+        );
         let mut paulis = vec![Pauli::I; n];
         paulis[a] = p;
         paulis[b] = q;
@@ -252,7 +257,11 @@ impl PauliString {
     pub fn from_xz_bits(xs: &[bool], zs: &[bool]) -> Self {
         assert_eq!(xs.len(), zs.len(), "length mismatch");
         PauliString {
-            paulis: xs.iter().zip(zs).map(|(&x, &z)| Pauli::from_xz_bits(x, z)).collect(),
+            paulis: xs
+                .iter()
+                .zip(zs)
+                .map(|(&x, &z)| Pauli::from_xz_bits(x, z))
+                .collect(),
         }
     }
 }

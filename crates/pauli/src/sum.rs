@@ -34,7 +34,10 @@ pub struct PauliSum {
 impl PauliSum {
     /// The zero operator on `n` qubits.
     pub fn zero(num_qubits: usize) -> Self {
-        PauliSum { num_qubits, terms: BTreeMap::new() }
+        PauliSum {
+            num_qubits,
+            terms: BTreeMap::new(),
+        }
     }
 
     /// Builds a sum from `(coefficient, string)` pairs, collecting duplicate
@@ -151,7 +154,11 @@ impl PauliSum {
 
     /// The maximum weight (non-identity support size) across terms.
     pub fn max_weight(&self) -> usize {
-        self.terms.keys().map(PauliString::weight).max().unwrap_or(0)
+        self.terms
+            .keys()
+            .map(PauliString::weight)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Partitions the terms into greedily-built groups of mutually
@@ -184,8 +191,7 @@ impl std::fmt::Display for PauliSum {
         if self.terms.is_empty() {
             return write!(f, "0");
         }
-        let parts: Vec<String> =
-            self.iter().map(|(c, p)| format!("{c:+.6}*{p}")).collect();
+        let parts: Vec<String> = self.iter().map(|(c, p)| format!("{c:+.6}*{p}")).collect();
         write!(f, "{}", parts.join(" "))
     }
 }
@@ -224,7 +230,8 @@ mod tests {
 
     #[test]
     fn mutual_commutation_detection() {
-        let commuting = PauliSum::from_terms(2, [(1.0, ps("XX")), (1.0, ps("YY")), (1.0, ps("ZZ"))]);
+        let commuting =
+            PauliSum::from_terms(2, [(1.0, ps("XX")), (1.0, ps("YY")), (1.0, ps("ZZ"))]);
         assert!(commuting.is_mutually_commuting());
         let anti = PauliSum::from_terms(2, [(1.0, ps("XI")), (1.0, ps("ZI"))]);
         assert!(!anti.is_mutually_commuting());

@@ -222,7 +222,10 @@ mod tests {
         let mut last_err = f64::INFINITY;
         for steps in [2usize, 8, 32] {
             let err = 1.0 - run(steps).fidelity(&reference);
-            assert!(err < last_err + 1e-12, "steps={steps}: err={err} last={last_err}");
+            assert!(
+                err < last_err + 1e-12,
+                "steps={steps}: err={err} last={last_err}"
+            );
             last_err = err;
         }
         assert!(last_err < 1e-3, "final error {last_err}");

@@ -30,7 +30,10 @@ impl Counts {
     /// An empty histogram over `num_bits` classical bits.
     pub fn new(num_bits: usize) -> Self {
         assert!(num_bits <= 64, "counts support at most 64 bits");
-        Counts { num_bits, counts: BTreeMap::new() }
+        Counts {
+            num_bits,
+            counts: BTreeMap::new(),
+        }
     }
 
     /// Builds a histogram from `(bits, count)` pairs.
@@ -84,7 +87,10 @@ impl Counts {
     /// The empirical probability for every observed outcome.
     pub fn to_probabilities(&self) -> BTreeMap<u64, f64> {
         let total = self.total() as f64;
-        self.counts.iter().map(|(&k, &v)| (k, v as f64 / total)).collect()
+        self.counts
+            .iter()
+            .map(|(&k, &v)| (k, v as f64 / total))
+            .collect()
     }
 
     /// Marginalizes onto the given bit positions: output bit `i` is input

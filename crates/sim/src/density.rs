@@ -14,7 +14,7 @@
 //! Memory is `4^n` amplitudes, so the register limit is half the
 //! statevector simulator's.
 
-use supermarq_circuit::{C64, Circuit, Gate, GateKind};
+use supermarq_circuit::{Circuit, Gate, GateKind, C64};
 
 use crate::noise::NoiseModel;
 
@@ -58,7 +58,11 @@ impl DensityMatrix {
         let dim = 1usize << num_qubits;
         let mut elems = vec![C64::ZERO; dim * dim];
         elems[0] = C64::ONE;
-        DensityMatrix { num_qubits, dim, elems }
+        DensityMatrix {
+            num_qubits,
+            dim,
+            elems,
+        }
     }
 
     /// Number of qubits.
@@ -120,8 +124,8 @@ impl DensityMatrix {
                         continue;
                     }
                     let rr = r_base | (rb2 * bit);
-                    for cb2 in 0..2 {
-                        let a_c = a[cb][cb2].conj();
+                    for (cb2, a_cb2) in a[cb].iter().enumerate() {
+                        let a_c = a_cb2.conj();
                         if a_c == C64::ZERO {
                             continue;
                         }
@@ -166,8 +170,8 @@ impl DensityMatrix {
                         continue;
                     }
                     let rr = compose(r_base, rs2);
-                    for cs2 in 0..4 {
-                        let u_c = u[cs][cs2].conj();
+                    for (cs2, u_cs2) in u[cs].iter().enumerate() {
+                        let u_c = u_cs2.conj();
                         if u_c == C64::ZERO {
                             continue;
                         }
@@ -211,7 +215,10 @@ impl DensityMatrix {
             self.accumulate_kraus1(k, qubit, &mut out);
         }
         self.elems = out;
-        debug_assert!((self.trace().re - 1.0).abs() < 1e-6, "channel not trace preserving");
+        debug_assert!(
+            (self.trace().re - 1.0).abs() < 1e-6,
+            "channel not trace preserving"
+        );
     }
 
     /// The single-qubit depolarizing channel with probability `p`.
@@ -219,7 +226,10 @@ impl DensityMatrix {
         let s = (1.0 - p).sqrt();
         let q = (p / 3.0).sqrt();
         let scale = |m: [[C64; 2]; 2], f: f64| {
-            [[m[0][0].scale(f), m[0][1].scale(f)], [m[1][0].scale(f), m[1][1].scale(f)]]
+            [
+                [m[0][0].scale(f), m[0][1].scale(f)],
+                [m[1][0].scale(f), m[1][1].scale(f)],
+            ]
         };
         let kraus = [
             scale(Gate::I.matrix1().expect("matrix"), s),
@@ -236,10 +246,7 @@ impl DensityMatrix {
             [C64::ONE, C64::ZERO],
             [C64::ZERO, C64::real((1.0 - gamma).sqrt())],
         ];
-        let k1 = [
-            [C64::ZERO, C64::real(gamma.sqrt())],
-            [C64::ZERO, C64::ZERO],
-        ];
+        let k1 = [[C64::ZERO, C64::real(gamma.sqrt())], [C64::ZERO, C64::ZERO]];
         self.apply_kraus1(&[k0, k1], qubit);
     }
 
@@ -251,7 +258,10 @@ impl DensityMatrix {
         let i = Gate::I.matrix1().expect("matrix");
         let z = Gate::Z.matrix1().expect("matrix");
         let scale = |m: [[C64; 2]; 2], f: f64| {
-            [[m[0][0].scale(f), m[0][1].scale(f)], [m[1][0].scale(f), m[1][1].scale(f)]]
+            [
+                [m[0][0].scale(f), m[0][1].scale(f)],
+                [m[1][0].scale(f), m[1][1].scale(f)],
+            ]
         };
         self.apply_kraus1(&[scale(i, s), scale(z, q)], qubit);
     }
@@ -264,7 +274,10 @@ impl DensityMatrix {
         let i = Gate::I.matrix1().expect("matrix");
         let x = Gate::X.matrix1().expect("matrix");
         let scale = |m: [[C64; 2]; 2], f: f64| {
-            [[m[0][0].scale(f), m[0][1].scale(f)], [m[1][0].scale(f), m[1][1].scale(f)]]
+            [
+                [m[0][0].scale(f), m[0][1].scale(f)],
+                [m[1][0].scale(f), m[1][1].scale(f)],
+            ]
         };
         self.apply_kraus1(&[scale(i, s), scale(x, q)], qubit);
     }
@@ -352,7 +365,10 @@ mod tests {
         let mut rho = DensityMatrix::zero_state(3);
         rho.run_unitary_circuit(&c, &NoiseModel::ideal());
         for (i, p) in psi.probabilities().iter().enumerate() {
-            assert!((rho.probability_of_basis(i as u64) - p).abs() < 1e-10, "i={i}");
+            assert!(
+                (rho.probability_of_basis(i as u64) - p).abs() < 1e-10,
+                "i={i}"
+            );
         }
         assert!((rho.purity() - 1.0).abs() < 1e-10);
         assert!((rho.trace().re - 1.0).abs() < 1e-12);
@@ -372,7 +388,11 @@ mod tests {
         let mut rho2 = DensityMatrix::zero_state(1);
         rho2.apply_gate(&Gate::H, &[0]);
         rho2.depolarize(0, 1.0);
-        assert!((rho2.purity() - 5.0 / 9.0).abs() < 1e-12, "purity={}", rho2.purity());
+        assert!(
+            (rho2.purity() - 5.0 / 9.0).abs() < 1e-12,
+            "purity={}",
+            rho2.purity()
+        );
     }
 
     #[test]
@@ -405,7 +425,11 @@ mod tests {
         let mut c = Circuit::new(n);
         c.h(0).cx(0, 1).cx(1, 2);
         let p = 0.1;
-        let noise = NoiseModel { depolarizing_1q: p, depolarizing_2q: p, ..NoiseModel::ideal() };
+        let noise = NoiseModel {
+            depolarizing_1q: p,
+            depolarizing_2q: p,
+            ..NoiseModel::ideal()
+        };
         // Exact.
         let mut rho = DensityMatrix::zero_state(n);
         rho.run_unitary_circuit(&c, &noise);

@@ -40,7 +40,9 @@ impl Executor {
 
     /// A noiseless executor.
     pub fn noiseless() -> Self {
-        Executor { noise: NoiseModel::ideal() }
+        Executor {
+            noise: NoiseModel::ideal(),
+        }
     }
 
     /// The executor's noise model.
@@ -117,7 +119,8 @@ impl Executor {
                 match instr.gate.kind() {
                     GateKind::OneQubitUnitary => {
                         state.apply_instruction(instr);
-                        self.noise.apply_depolarizing_1q(&mut state, instr.qubits[0], rng);
+                        self.noise
+                            .apply_depolarizing_1q(&mut state, instr.qubits[0], rng);
                     }
                     GateKind::TwoQubitUnitary => {
                         state.apply_instruction(instr);
@@ -269,7 +272,10 @@ mod tests {
     fn readout_error_flips_deterministic_outcome() {
         let mut c = Circuit::new(1);
         c.x(0).measure(0);
-        let noise = NoiseModel { readout_error: 0.2, ..NoiseModel::ideal() };
+        let noise = NoiseModel {
+            readout_error: 0.2,
+            ..NoiseModel::ideal()
+        };
         let counts = Executor::new(noise).run(&c, 5000, 13);
         let flip_rate = counts.probability(0);
         assert!((flip_rate - 0.2).abs() < 0.03, "flip_rate={flip_rate}");
@@ -296,7 +302,10 @@ mod tests {
         let counts_serial = Executor::new(make_noise()).run(&serial, 4000, 17);
         let survival_parallel = counts_parallel.marginal(&[1]).probability(1);
         let survival_serial = counts_serial.marginal(&[1]).probability(1);
-        assert!(survival_parallel > 0.95, "parallel survival {survival_parallel}");
+        assert!(
+            survival_parallel > 0.95,
+            "parallel survival {survival_parallel}"
+        );
         assert!(
             (survival_serial - (-1.0f64).exp()).abs() < 0.05,
             "serial survival {survival_serial}"

@@ -50,10 +50,14 @@ pub fn apply_hamiltonian(h: &PauliSum, psi: &StateVector) -> Vec<C64> {
             _ => -C64::I,
         }
         .scale(coeff);
-        for i in 0..dim {
-            let sign = if ((i & zmask).count_ones() & 1) == 1 { -1.0 } else { 1.0 };
+        for (i, &amp) in amps.iter().enumerate().take(dim) {
+            let sign = if ((i & zmask).count_ones() & 1) == 1 {
+                -1.0
+            } else {
+                1.0
+            };
             let target = i ^ xmask;
-            out[target] += base.scale(sign) * amps[i];
+            out[target] += base.scale(sign) * amp;
         }
     }
     out
@@ -118,7 +122,11 @@ fn lanczos(h: &PauliSum, psi: &StateVector, m: usize) -> LanczosBasis {
         }
         vectors.push(w);
     }
-    LanczosBasis { vectors, alphas, betas }
+    LanczosBasis {
+        vectors,
+        alphas,
+        betas,
+    }
 }
 
 /// Eigendecomposition of a symmetric tridiagonal matrix via the implicit QL
@@ -205,7 +213,13 @@ pub fn tridiagonal_eigen(diag: &[f64], off: &[f64]) -> (Vec<f64>, Vec<Vec<f64>>)
 /// # Panics
 ///
 /// Panics if sizes mismatch or `steps == 0`.
-pub fn evolve(h: &PauliSum, psi: &StateVector, t: f64, krylov_dim: usize, steps: usize) -> StateVector {
+pub fn evolve(
+    h: &PauliSum,
+    psi: &StateVector,
+    t: f64,
+    krylov_dim: usize,
+    steps: usize,
+) -> StateVector {
     assert!(steps > 0, "steps must be positive");
     let dt = t / steps as f64;
     let mut current = psi.clone();
@@ -309,7 +323,10 @@ impl StateVector {
     /// Panics if the length is not a power of two.
     pub fn from_amplitudes_renormalized(amps: Vec<C64>) -> Self {
         let len = amps.len();
-        assert!(len.is_power_of_two() && len > 0, "amplitude count must be a power of two");
+        assert!(
+            len.is_power_of_two() && len > 0,
+            "amplitude count must be a power of two"
+        );
         let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
         assert!(norm > 1e-300, "zero vector");
         let inv = 1.0 / norm.sqrt();
@@ -362,7 +379,7 @@ mod tests {
         assert!((sorted[0] - 1.0).abs() < 1e-10);
         assert!((sorted[1] - 3.0).abs() < 1e-10);
         // Eigenvectors are orthonormal.
-        for k in 0..2 {
+        for k in [0, 1] {
             let n: f64 = (0..2).map(|i| vecs[i][k] * vecs[i][k]).sum();
             assert!((n - 1.0).abs() < 1e-10);
         }

@@ -15,7 +15,7 @@ use std::collections::BTreeMap;
 use rand::Rng;
 
 use crate::state::StateVector;
-use supermarq_circuit::{C64, Gate};
+use supermarq_circuit::{Gate, C64};
 
 /// Durations (in microseconds) of the primitive operations, used to compute
 /// how long idle qubits decohere each layer.
@@ -34,7 +34,12 @@ pub struct GateDurations {
 impl Default for GateDurations {
     /// Typical superconducting-scale durations (microseconds).
     fn default() -> Self {
-        GateDurations { one_qubit: 0.035, two_qubit: 0.43, measurement: 5.0, reset: 5.0 }
+        GateDurations {
+            one_qubit: 0.035,
+            two_qubit: 0.43,
+            measurement: 5.0,
+            reset: 5.0,
+        }
     }
 }
 
@@ -107,7 +112,11 @@ impl NoiseModel {
     /// A simple model with the same depolarizing probability after every
     /// gate and no other channels — handy for quick experiments and tests.
     pub fn uniform_depolarizing(p: f64) -> Self {
-        NoiseModel { depolarizing_1q: p, depolarizing_2q: p, ..NoiseModel::ideal() }
+        NoiseModel {
+            depolarizing_1q: p,
+            depolarizing_2q: p,
+            ..NoiseModel::ideal()
+        }
     }
 
     /// `true` if every channel is disabled.
@@ -118,8 +127,14 @@ impl NoiseModel {
             && self.reset_error == 0.0
             && self.t1.is_infinite()
             && self.t2.is_infinite()
-            && self.edge_depolarizing.as_ref().map_or(true, |m| m.values().all(|&p| p == 0.0))
-            && self.qubit_readout.as_ref().map_or(true, |v| v.iter().all(|&p| p == 0.0))
+            && self
+                .edge_depolarizing
+                .as_ref()
+                .is_none_or(|m| m.values().all(|&p| p == 0.0))
+            && self
+                .qubit_readout
+                .as_ref()
+                .is_none_or(|v| v.iter().all(|&p| p == 0.0))
     }
 
     /// Duration of a primitive operation under this model.
@@ -198,7 +213,11 @@ impl NoiseModel {
         }
         // Pure dephasing rate: 1/Tphi = 1/T2 - 1/(2 T1).
         if self.t2.is_finite() && self.t2 > 0.0 {
-            let rate_t1 = if self.t1.is_finite() { 1.0 / (2.0 * self.t1) } else { 0.0 };
+            let rate_t1 = if self.t1.is_finite() {
+                1.0 / (2.0 * self.t1)
+            } else {
+                0.0
+            };
             let rate_phi = (1.0 / self.t2 - rate_t1).max(0.0);
             if rate_phi > 0.0 {
                 let p_z = 0.5 * (1.0 - (-duration * rate_phi).exp());
@@ -342,7 +361,11 @@ mod tests {
     fn amplitude_damping_decays_excited_state() {
         // gamma = 1 - exp(-t/T1); for t = T1, survival of |1> should be
         // exp(-1) ~ 0.368 averaged over trajectories.
-        let model = NoiseModel { t1: 100.0, t2: f64::INFINITY, ..NoiseModel::ideal() };
+        let model = NoiseModel {
+            t1: 100.0,
+            t2: f64::INFINITY,
+            ..NoiseModel::ideal()
+        };
         let mut r = rng(3);
         let trials = 4000;
         let mut ones = 0usize;
@@ -355,13 +378,20 @@ mod tests {
             }
         }
         let survival = ones as f64 / trials as f64;
-        assert!((survival - (-1.0f64).exp()).abs() < 0.03, "survival={survival}");
+        assert!(
+            (survival - (-1.0f64).exp()).abs() < 0.03,
+            "survival={survival}"
+        );
     }
 
     #[test]
     fn dephasing_destroys_plus_state_coherence() {
         // Long pure dephasing turns |+> into a Z-mixed state: averaged <X> ~ 0.
-        let model = NoiseModel { t1: f64::INFINITY, t2: 10.0, ..NoiseModel::ideal() };
+        let model = NoiseModel {
+            t1: f64::INFINITY,
+            t2: 10.0,
+            ..NoiseModel::ideal()
+        };
         let mut r = rng(4);
         let trials = 4000;
         let mut total_x = 0.0;
@@ -377,7 +407,11 @@ mod tests {
 
     #[test]
     fn relaxation_preserves_ground_state() {
-        let model = NoiseModel { t1: 1.0, t2: 1.0, ..NoiseModel::ideal() };
+        let model = NoiseModel {
+            t1: 1.0,
+            t2: 1.0,
+            ..NoiseModel::ideal()
+        };
         let mut psi = StateVector::zero_state(1);
         let mut r = rng(5);
         model.apply_relaxation(&mut psi, 0, 1000.0, &mut r);
@@ -386,17 +420,25 @@ mod tests {
 
     #[test]
     fn readout_flip_statistics() {
-        let model = NoiseModel { readout_error: 0.25, ..NoiseModel::ideal() };
+        let model = NoiseModel {
+            readout_error: 0.25,
+            ..NoiseModel::ideal()
+        };
         let mut r = rng(6);
         let trials = 20000;
-        let flips = (0..trials).filter(|_| model.flip_readout(0, false, &mut r)).count();
+        let flips = (0..trials)
+            .filter(|_| model.flip_readout(0, false, &mut r))
+            .count();
         let rate = flips as f64 / trials as f64;
         assert!((rate - 0.25).abs() < 0.02, "rate={rate}");
     }
 
     #[test]
     fn reset_error_excites_with_given_probability() {
-        let model = NoiseModel { reset_error: 0.3, ..NoiseModel::ideal() };
+        let model = NoiseModel {
+            reset_error: 0.3,
+            ..NoiseModel::ideal()
+        };
         let mut r = rng(7);
         let trials = 5000;
         let mut excited = 0;
@@ -463,7 +505,9 @@ mod tests {
         assert!((model.readout_error_for(5) - 0.02).abs() < 1e-12);
         let mut r = rng(20);
         let trials = 10000;
-        let flips = (0..trials).filter(|_| model.flip_readout(1, false, &mut r)).count();
+        let flips = (0..trials)
+            .filter(|_| model.flip_readout(1, false, &mut r))
+            .count();
         let rate = flips as f64 / trials as f64;
         assert!((rate - 0.3).abs() < 0.02, "rate={rate}");
         assert!((0..trials).all(|_| !model.flip_readout(0, false, &mut r)));
@@ -474,7 +518,10 @@ mod tests {
         let model = NoiseModel::ideal();
         assert_eq!(model.duration_of(&Gate::H), model.durations.one_qubit);
         assert_eq!(model.duration_of(&Gate::Cx), model.durations.two_qubit);
-        assert_eq!(model.duration_of(&Gate::Measure), model.durations.measurement);
+        assert_eq!(
+            model.duration_of(&Gate::Measure),
+            model.durations.measurement
+        );
         assert_eq!(model.duration_of(&Gate::Reset), model.durations.reset);
         assert_eq!(model.duration_of(&Gate::Barrier), 0.0);
     }

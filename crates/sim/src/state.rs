@@ -1,7 +1,7 @@
 //! Exact statevector representation and gate application.
 
 use rand::Rng;
-use supermarq_circuit::{C64, Gate, Instruction};
+use supermarq_circuit::{Gate, Instruction, C64};
 use supermarq_pauli::{Pauli, PauliString, PauliSum};
 
 /// Maximum register size the simulator accepts (memory guard: a 26-qubit
@@ -38,7 +38,10 @@ impl StateVector {
     ///
     /// Panics if `num_qubits > MAX_QUBITS`.
     pub fn zero_state(num_qubits: usize) -> Self {
-        assert!(num_qubits <= MAX_QUBITS, "register too large: {num_qubits} > {MAX_QUBITS}");
+        assert!(
+            num_qubits <= MAX_QUBITS,
+            "register too large: {num_qubits} > {MAX_QUBITS}"
+        );
         let mut amps = vec![C64::ZERO; 1usize << num_qubits];
         amps[0] = C64::ONE;
         StateVector { num_qubits, amps }
@@ -47,7 +50,10 @@ impl StateVector {
     /// The computational-basis state `|bits>` (bit `q` of `bits` = qubit `q`).
     pub fn basis_state(num_qubits: usize, bits: u64) -> Self {
         assert!(num_qubits <= MAX_QUBITS, "register too large");
-        assert!(num_qubits == 64 || bits < (1u64 << num_qubits), "basis index out of range");
+        assert!(
+            num_qubits == 64 || bits < (1u64 << num_qubits),
+            "basis index out of range"
+        );
         let mut amps = vec![C64::ZERO; 1usize << num_qubits];
         amps[bits as usize] = C64::ONE;
         StateVector { num_qubits, amps }
@@ -61,10 +67,16 @@ impl StateVector {
     /// by more than `1e-6`.
     pub fn from_amplitudes(amps: Vec<C64>) -> Self {
         let len = amps.len();
-        assert!(len.is_power_of_two() && len > 0, "amplitude count must be a power of two");
+        assert!(
+            len.is_power_of_two() && len > 0,
+            "amplitude count must be a power of two"
+        );
         let num_qubits = len.trailing_zeros() as usize;
         let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
-        assert!((norm - 1.0).abs() < 1e-6, "state is not normalized (norm^2 = {norm})");
+        assert!(
+            (norm - 1.0).abs() < 1e-6,
+            "state is not normalized (norm^2 = {norm})"
+        );
         StateVector { num_qubits, amps }
     }
 
@@ -90,7 +102,11 @@ impl StateVector {
     /// Panics on size mismatch.
     pub fn inner_product(&self, other: &StateVector) -> C64 {
         assert_eq!(self.num_qubits, other.num_qubits, "size mismatch");
-        self.amps.iter().zip(&other.amps).map(|(a, b)| a.conj() * *b).sum()
+        self.amps
+            .iter()
+            .zip(&other.amps)
+            .map(|(a, b)| a.conj() * *b)
+            .sum()
     }
 
     /// State fidelity `|<self|other>|^2`.
@@ -140,7 +156,10 @@ impl StateVector {
     /// basis order `|q0 q1>` with `q0` as the most-significant bit, matching
     /// [`Gate::matrix2`].
     pub fn apply_matrix2(&mut self, m: &[[C64; 4]; 4], q0: usize, q1: usize) {
-        assert!(q0 < self.num_qubits && q1 < self.num_qubits && q0 != q1, "bad qubit pair");
+        assert!(
+            q0 < self.num_qubits && q1 < self.num_qubits && q0 != q1,
+            "bad qubit pair"
+        );
         let b0 = 1usize << q0;
         let b1 = 1usize << q1;
         let len = self.amps.len();
@@ -153,7 +172,12 @@ impl StateVector {
             let i01 = idx | b1; // q1 = 1
             let i10 = idx | b0; // q0 = 1
             let i11 = idx | b0 | b1;
-            let a = [self.amps[i00], self.amps[i01], self.amps[i10], self.amps[i11]];
+            let a = [
+                self.amps[i00],
+                self.amps[i01],
+                self.amps[i10],
+                self.amps[i11],
+            ];
             for (row, &target) in [i00, i01, i10, i11].iter().enumerate() {
                 let mut v = C64::ZERO;
                 for col in 0..4 {

@@ -17,6 +17,9 @@ use crate::circuits::{
 /// thousand qubits" (Sec. IV-G). The returned list is 52 circuits like the
 /// paper's. Large instances are cheap because only *features* are ever
 /// computed on them, never statevectors.
+// 6.28 below is a round total-evolution-time pick, not an approximation of
+// tau; swapping in the constant would silently change the corpus.
+#[allow(clippy::approx_constant)]
 pub fn supermarq_suite() -> Vec<Circuit> {
     let mut all: Vec<Circuit> = Vec::new();
     // GHZ: 3 -> 1000 qubits.
@@ -29,9 +32,26 @@ pub fn supermarq_suite() -> Vec<Circuit> {
         all.push(MerminBellBenchmark::new(n).circuits().remove(0));
     }
     // Bit / phase codes across data-qubit counts and rounds.
-    for (d, r) in [(2, 1), (2, 5), (3, 1), (3, 3), (5, 2), (11, 2), (51, 3), (251, 1)] {
-        all.push(BitCodeBenchmark::new(d, r, &vec![true; d]).circuits().remove(0));
-        all.push(PhaseCodeBenchmark::new(d, r, &vec![true; d]).circuits().remove(0));
+    for (d, r) in [
+        (2, 1),
+        (2, 5),
+        (3, 1),
+        (3, 3),
+        (5, 2),
+        (11, 2),
+        (51, 3),
+        (251, 1),
+    ] {
+        all.push(
+            BitCodeBenchmark::new(d, r, &vec![true; d])
+                .circuits()
+                .remove(0),
+        );
+        all.push(
+            PhaseCodeBenchmark::new(d, r, &vec![true; d])
+                .circuits()
+                .remove(0),
+        );
     }
     // QAOA (both ansatzes). The vanilla circuit is O(n^2) gates; cap size.
     for n in [4, 7, 11, 17, 50] {
@@ -43,10 +63,19 @@ pub fn supermarq_suite() -> Vec<Circuit> {
         all.push(VqeBenchmark::new(n, 1).circuits().remove(0));
     }
     // Hamiltonian simulation: wide and deep instances.
-    for (n, steps) in [(4, 4), (7, 6), (10, 5), (27, 5), (100, 3), (500, 2), (1000, 1)] {
-        all.push(HamiltonianSimBenchmark::with_parameters(n, steps, 1.0, 1.0, 3.0, 6.28).circuits()
-            [0]
-        .clone());
+    for (n, steps) in [
+        (4, 4),
+        (7, 6),
+        (10, 5),
+        (27, 5),
+        (100, 3),
+        (500, 2),
+        (1000, 1),
+    ] {
+        all.push(
+            HamiltonianSimBenchmark::with_parameters(n, steps, 1.0, 1.0, 3.0, 6.28).circuits()[0]
+                .clone(),
+        );
     }
     all
 }
@@ -88,7 +117,11 @@ pub fn qasmbench_suite() -> Vec<Circuit> {
     // teleportation with real mid-circuit measurement, qubit-reuse
     // kernels); without them its hull would be stuck in the Measurement=0
     // hyperplane.
-    all.push(BitCodeBenchmark::new(3, 1, &[false, false, false]).circuits().remove(0));
+    all.push(
+        BitCodeBenchmark::new(3, 1, &[false, false, false])
+            .circuits()
+            .remove(0),
+    );
     all.push(mid_circuit_teleportation());
     for bits in [3usize, 5, 8] {
         all.push(phase_estimation(bits, 0.3));
@@ -179,8 +212,7 @@ mod tests {
     use supermarq::FeatureVector;
 
     fn coverage(circuits: &[Circuit]) -> f64 {
-        let features: Vec<FeatureVector> =
-            circuits.iter().map(FeatureVector::of).collect();
+        let features: Vec<FeatureVector> = circuits.iter().map(FeatureVector::of).collect();
         coverage_of_features(&features)
     }
 
@@ -225,10 +257,16 @@ mod tests {
         let v_cbg = coverage(&cbg2021_suite());
         let v_triq = coverage(&triq_suite());
         let v_ppl = coverage(&ppl2020_suite());
-        assert!(v_supermarq > v_qasm, "supermarq={v_supermarq} qasm={v_qasm}");
+        assert!(
+            v_supermarq > v_qasm,
+            "supermarq={v_supermarq} qasm={v_qasm}"
+        );
         let ratio = v_supermarq / v_qasm;
         assert!((1.5..=3.5).contains(&ratio), "ratio={ratio} (paper: 2.25)");
-        assert!(v_supermarq > 0.5 * synthetic, "supermarq={v_supermarq} synthetic={synthetic}");
+        assert!(
+            v_supermarq > 0.5 * synthetic,
+            "supermarq={v_supermarq} synthetic={synthetic}"
+        );
         assert_eq!(v_cbg, 0.0, "cbg={v_cbg}");
         assert_eq!(v_triq, 0.0, "triq={v_triq}");
         assert_eq!(v_ppl, 0.0, "ppl={v_ppl}");
@@ -236,11 +274,15 @@ mod tests {
         // orders of magnitude below everything else, like the paper's
         // 1e-8..1e-15 rows.
         use supermarq_geometry::hull_volume_joggled;
-        for (name, suite) in
-            [("cbg", cbg2021_suite()), ("triq", triq_suite()), ("ppl", ppl2020_suite())]
-        {
-            let pts: Vec<Vec<f64>> =
-                suite.iter().map(|c| FeatureVector::of(c).to_vec()).collect();
+        for (name, suite) in [
+            ("cbg", cbg2021_suite()),
+            ("triq", triq_suite()),
+            ("ppl", ppl2020_suite()),
+        ] {
+            let pts: Vec<Vec<f64>> = suite
+                .iter()
+                .map(|c| FeatureVector::of(c).to_vec())
+                .collect();
             let v = hull_volume_joggled(&pts, 1e-3, 7);
             assert!(v < 1e-6, "{name}={v}");
         }

@@ -117,8 +117,10 @@ pub fn multi_controlled_z(c: &mut Circuit, qubits: &[usize]) {
     }
     let base = PI / (1u64 << (k - 1)) as f64;
     for subset in 1u32..(1 << k) {
-        let members: Vec<usize> =
-            (0..k).filter(|&i| subset >> i & 1 == 1).map(|i| qubits[i]).collect();
+        let members: Vec<usize> = (0..k)
+            .filter(|&i| subset >> i & 1 == 1)
+            .map(|i| qubits[i])
+            .collect();
         let sign = if members.len() % 2 == 1 { 1.0 } else { -1.0 };
         let target = *members.last().expect("non-empty subset");
         for w in members.windows(2) {
@@ -135,7 +137,7 @@ pub fn multi_controlled_z(c: &mut Circuit, qubits: &[usize]) {
 /// iteration: phase oracle + diffusion, both built on the exact
 /// [`multi_controlled_z`].
 pub fn grover(n: usize, marked: u64) -> Circuit {
-    assert!(n >= 2 && n <= 12, "2..=12 qubits");
+    assert!((2..=12).contains(&n), "2..=12 qubits");
     let mut c = Circuit::new(n);
     let all: Vec<usize> = (0..n).collect();
     for q in 0..n {
@@ -266,7 +268,7 @@ pub fn phase_estimation(bits: usize, phase: f64) -> Circuit {
 /// mask (`f(x) = parity(x & mask)`), or the constant-zero oracle when
 /// `mask == 0`.
 pub fn deutsch_jozsa(n: usize, mask: u64) -> Circuit {
-    assert!(n >= 1 && n <= 60, "1..=60 data qubits");
+    assert!((1..=60).contains(&n), "1..=60 data qubits");
     let mut c = Circuit::new(n + 1);
     c.x(n).h(n);
     for q in 0..n {

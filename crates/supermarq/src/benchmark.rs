@@ -38,7 +38,11 @@ pub trait Benchmark {
     /// default).
     fn features(&self) -> FeatureVector {
         let circuits = self.circuits();
-        FeatureVector::of(circuits.first().expect("benchmark generates at least one circuit"))
+        FeatureVector::of(
+            circuits
+                .first()
+                .expect("benchmark generates at least one circuit"),
+        )
     }
 }
 

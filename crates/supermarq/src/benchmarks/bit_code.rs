@@ -48,7 +48,11 @@ impl BitCodeBenchmark {
         assert!(data_qubits >= 2, "need at least two data qubits");
         assert!(rounds >= 1, "need at least one round");
         assert_eq!(initial.len(), data_qubits, "initial state length mismatch");
-        BitCodeBenchmark { data_qubits, rounds, initial: initial.to_vec() }
+        BitCodeBenchmark {
+            data_qubits,
+            rounds,
+            initial: initial.to_vec(),
+        }
     }
 
     /// Register index of data qubit `i`.
@@ -113,7 +117,10 @@ impl Benchmark for BitCodeBenchmark {
     fn score(&self, counts: &[Counts]) -> f64 {
         assert_eq!(counts.len(), 1, "bit code expects one histogram");
         let ideal = BTreeMap::from([(self.ideal_outcome(), 1.0)]);
-        clamp_score(hellinger_fidelity_maps(&counts[0].to_probabilities(), &ideal))
+        clamp_score(hellinger_fidelity_maps(
+            &counts[0].to_probabilities(),
+            &ideal,
+        ))
     }
 }
 
@@ -138,10 +145,13 @@ mod tests {
         let b = BitCodeBenchmark::new(3, 2, &[false, false, false]);
         let c = &b.circuits()[0];
         assert_eq!(c.reset_count(), 4); // 2 ancillas x 2 rounds
-        // 2 ancillas x 2 rounds mid-circuit + 5 final.
+                                        // 2 ancillas x 2 rounds mid-circuit + 5 final.
         assert_eq!(c.measurement_count(), 9);
         let f = crate::features::FeatureVector::of(c);
-        assert!(f.measurement > 0.0, "measurement feature must be nonzero: {f}");
+        assert!(
+            f.measurement > 0.0,
+            "measurement feature must be nonzero: {f}"
+        );
     }
 
     #[test]
@@ -157,10 +167,10 @@ mod tests {
         let initial = [true, true, true];
         let one_round = BitCodeBenchmark::new(3, 1, &initial);
         let four_rounds = BitCodeBenchmark::new(3, 4, &initial);
-        let s1 = one_round
-            .score(&[Executor::new(noise.clone()).run(&one_round.circuits()[0], 2000, 3)]);
-        let s4 = four_rounds
-            .score(&[Executor::new(noise).run(&four_rounds.circuits()[0], 2000, 3)]);
+        let s1 =
+            one_round.score(&[Executor::new(noise.clone()).run(&one_round.circuits()[0], 2000, 3)]);
+        let s4 =
+            four_rounds.score(&[Executor::new(noise).run(&four_rounds.circuits()[0], 2000, 3)]);
         assert!(s1 > s4, "1 round {s1} vs 4 rounds {s4}");
     }
 

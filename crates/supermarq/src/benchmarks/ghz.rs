@@ -67,7 +67,10 @@ impl Benchmark for GhzBenchmark {
     fn score(&self, counts: &[Counts]) -> f64 {
         assert_eq!(counts.len(), 1, "GHZ expects one histogram");
         let measured = counts[0].to_probabilities();
-        clamp_score(hellinger_fidelity_maps(&measured, &self.ideal_distribution()))
+        clamp_score(hellinger_fidelity_maps(
+            &measured,
+            &self.ideal_distribution(),
+        ))
     }
 }
 
@@ -91,12 +94,10 @@ mod tests {
         let b = GhzBenchmark::new(4);
         let circuit = &b.circuits()[0];
         let clean = b.score(&[Executor::noiseless().run(circuit, 4000, 7)]);
-        let mild = b.score(&[
-            Executor::new(NoiseModel::uniform_depolarizing(0.02)).run(circuit, 4000, 7)
-        ]);
-        let heavy = b.score(&[
-            Executor::new(NoiseModel::uniform_depolarizing(0.15)).run(circuit, 4000, 7)
-        ]);
+        let mild =
+            b.score(&[Executor::new(NoiseModel::uniform_depolarizing(0.02)).run(circuit, 4000, 7)]);
+        let heavy =
+            b.score(&[Executor::new(NoiseModel::uniform_depolarizing(0.15)).run(circuit, 4000, 7)]);
         assert!(clean > mild, "clean={clean} mild={mild}");
         assert!(mild > heavy, "mild={mild} heavy={heavy}");
     }
@@ -108,8 +109,7 @@ mod tests {
         let large = GhzBenchmark::new(7);
         let s_small =
             small.score(&[Executor::new(noise.clone()).run(&small.circuits()[0], 3000, 5)]);
-        let s_large =
-            large.score(&[Executor::new(noise).run(&large.circuits()[0], 3000, 5)]);
+        let s_large = large.score(&[Executor::new(noise).run(&large.circuits()[0], 3000, 5)]);
         assert!(s_small > s_large, "small={s_small} large={s_large}");
     }
 

@@ -56,7 +56,14 @@ impl HamiltonianSimBenchmark {
         assert!(n >= 2, "need at least two spins");
         assert!(steps >= 1, "need at least one Trotter step");
         assert!(total_time > 0.0, "evolution time must be positive");
-        HamiltonianSimBenchmark { n, steps, total_time, j_z, eps_ph, omega_ph }
+        HamiltonianSimBenchmark {
+            n,
+            steps,
+            total_time,
+            j_z,
+            eps_ph,
+            omega_ph,
+        }
     }
 
     /// Builds the Trotter circuit (no measurements).
@@ -106,8 +113,9 @@ impl HamiltonianSimBenchmark {
 
     /// Estimates `<m_z>` from measurement counts.
     pub fn measured_magnetization(&self, counts: &Counts) -> f64 {
-        let terms: Vec<(f64, u64)> =
-            (0..self.n).map(|q| (1.0 / self.n as f64, 1u64 << q)).collect();
+        let terms: Vec<(f64, u64)> = (0..self.n)
+            .map(|q| (1.0 / self.n as f64, 1u64 << q))
+            .collect();
         counts.expectation_z(&terms)
     }
 }
@@ -151,7 +159,11 @@ mod tests {
     fn dynamics_are_nontrivial() {
         // The drive must move the magnetization away from the trivial 1.0.
         let b = HamiltonianSimBenchmark::new(4, 8);
-        assert!(b.ideal_magnetization() < 0.99, "mz={}", b.ideal_magnetization());
+        assert!(
+            b.ideal_magnetization() < 0.99,
+            "mz={}",
+            b.ideal_magnetization()
+        );
         assert!(b.ideal_magnetization() > -1.0);
     }
 
@@ -197,9 +209,8 @@ mod tests {
         let b = HamiltonianSimBenchmark::new(4, 6);
         let circuit = &b.circuits()[0];
         let clean = b.score(&[Executor::noiseless().run(circuit, 8000, 5)]);
-        let noisy = b.score(&[
-            Executor::new(NoiseModel::uniform_depolarizing(0.05)).run(circuit, 8000, 5)
-        ]);
+        let noisy =
+            b.score(&[Executor::new(NoiseModel::uniform_depolarizing(0.05)).run(circuit, 8000, 5)]);
         assert!(clean > noisy, "clean={clean} noisy={noisy}");
     }
 

@@ -48,7 +48,11 @@ impl MerminBellBenchmark {
         let strings: Vec<_> = operator.iter().map(|(_, p)| p.clone()).collect();
         let coefficients: Vec<f64> = operator.iter().map(|(c, _)| c).collect();
         let diag = diagonalize(&strings).expect("Mermin terms mutually commute");
-        MerminBellBenchmark { n, diag, coefficients }
+        MerminBellBenchmark {
+            n,
+            diag,
+            coefficients,
+        }
     }
 
     /// The classical (local-hidden-variable) bound on the benchmark score,
@@ -161,11 +165,15 @@ mod tests {
     fn noisy_score_falls_below_one_but_can_beat_classical_bound() {
         let b = MerminBellBenchmark::new(3);
         let circuit = &b.circuits()[0];
-        let mild =
-            b.score(&[Executor::new(NoiseModel::uniform_depolarizing(0.005)).run(circuit, 8000, 3)]);
+        let mild = b
+            .score(&[Executor::new(NoiseModel::uniform_depolarizing(0.005)).run(circuit, 8000, 3)]);
         let heavy =
             b.score(&[Executor::new(NoiseModel::uniform_depolarizing(0.2)).run(circuit, 8000, 3)]);
-        assert!(mild > b.classical_bound(), "mild={mild} bound={}", b.classical_bound());
+        assert!(
+            mild > b.classical_bound(),
+            "mild={mild} bound={}",
+            b.classical_bound()
+        );
         assert!(heavy < mild);
     }
 

@@ -36,8 +36,16 @@ impl PhaseCodeBenchmark {
     pub fn new(data_qubits: usize, rounds: usize, initial_plus: &[bool]) -> Self {
         assert!(data_qubits >= 2, "need at least two data qubits");
         assert!(rounds >= 1, "need at least one round");
-        assert_eq!(initial_plus.len(), data_qubits, "initial state length mismatch");
-        PhaseCodeBenchmark { data_qubits, rounds, initial_plus: initial_plus.to_vec() }
+        assert_eq!(
+            initial_plus.len(),
+            data_qubits,
+            "initial state length mismatch"
+        );
+        PhaseCodeBenchmark {
+            data_qubits,
+            rounds,
+            initial_plus: initial_plus.to_vec(),
+        }
     }
 
     /// The ideal output distribution: uniform over the data bits (even
@@ -200,7 +208,10 @@ mod tests {
         // ancilla zeros: score drops roughly with ancilla flip probability.
         let b = PhaseCodeBenchmark::new(3, 1, &[true, true, true]);
         let circuit = &b.circuits()[0];
-        let noise = NoiseModel { readout_error: 0.1, ..NoiseModel::ideal() };
+        let noise = NoiseModel {
+            readout_error: 0.1,
+            ..NoiseModel::ideal()
+        };
         let s = b.score(&[Executor::new(noise).run(circuit, 4000, 12)]);
         assert!(s < 0.99, "score={s}");
         assert!(s > 0.5, "score={s}");

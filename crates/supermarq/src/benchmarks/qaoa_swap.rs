@@ -87,7 +87,10 @@ impl QaoaSwapBenchmark {
         let mut terms = Vec::new();
         for u in 0..self.n {
             for v in u + 1..self.n {
-                terms.push((self.weight(u, v), (1u64 << wire_of[u]) | (1u64 << wire_of[v])));
+                terms.push((
+                    self.weight(u, v),
+                    (1u64 << wire_of[u]) | (1u64 << wire_of[v]),
+                ));
             }
         }
         counts.expectation_z(&terms)
@@ -122,7 +125,12 @@ impl Benchmark for QaoaSwapBenchmark {
                 i += 2;
             }
         }
-        debug_assert_eq!(logical, self.final_permutation);
+        // Score interpretation depends on this permutation, so check it in
+        // release builds too (it used to be a debug_assert).
+        assert_eq!(
+            logical, self.final_permutation,
+            "SWAP network permutation disagrees with the precomputed one"
+        );
         for q in 0..n {
             c.rx(2.0 * self.beta, q);
         }
@@ -175,7 +183,10 @@ mod tests {
         let counts_van = Executor::noiseless().run(&vanilla.circuits()[0], 60000, 3);
         let e_swap = swap.measured_energy(&counts_swap);
         let e_van = vanilla.measured_energy(&counts_van);
-        assert!((e_swap - e_van).abs() < 0.15, "swap={e_swap} vanilla={e_van}");
+        assert!(
+            (e_swap - e_van).abs() < 0.15,
+            "swap={e_swap} vanilla={e_van}"
+        );
         assert!((e_swap - swap.ideal_energy()).abs() < 0.15);
     }
 
@@ -208,8 +219,10 @@ mod tests {
         let n = 6;
         let b = QaoaSwapBenchmark::new(n, 2);
         let c = &b.circuits()[0];
-        let rzz_count =
-            c.iter().filter(|i| matches!(i.gate, supermarq_circuit::Gate::Rzz(_))).count();
+        let rzz_count = c
+            .iter()
+            .filter(|i| matches!(i.gate, supermarq_circuit::Gate::Rzz(_)))
+            .count();
         assert_eq!(rzz_count, n * (n - 1) / 2);
     }
 }

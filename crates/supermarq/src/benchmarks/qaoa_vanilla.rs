@@ -38,7 +38,14 @@ impl QaoaVanillaBenchmark {
         assert!(n >= 2, "QAOA needs at least two qubits");
         let weights = sk_weights(n, seed);
         let ((gamma, beta), ideal_energy) = qaoa_p1_optimize(n, &weights);
-        QaoaVanillaBenchmark { n, seed, weights, gamma, beta, ideal_energy }
+        QaoaVanillaBenchmark {
+            n,
+            seed,
+            weights,
+            gamma,
+            beta,
+            ideal_energy,
+        }
     }
 
     /// The optimized `(gamma, beta)`.
@@ -80,7 +87,7 @@ impl QaoaVanillaBenchmark {
 /// moment scheduler packs each round into one layer.
 fn round_robin_pairs(n: usize) -> Vec<(usize, usize)> {
     // Pad to even with a dummy vertex whose pairings are skipped.
-    let m = if n % 2 == 0 { n } else { n + 1 };
+    let m = if n.is_multiple_of(2) { n } else { n + 1 };
     let mut pairs = Vec::with_capacity(n * (n - 1) / 2);
     for round in 0..m - 1 {
         let push = |pairs: &mut Vec<(usize, usize)>, a: usize, b: usize| {

@@ -50,9 +50,18 @@ impl VqeBenchmark {
         let (params, ideal_energy) = nelder_mead(
             energy_of,
             &x0,
-            NelderMeadOptions { max_evals: 6000, f_tol: 1e-9, initial_step: 0.4 },
+            NelderMeadOptions {
+                max_evals: 6000,
+                f_tol: 1e-9,
+                initial_step: 0.4,
+            },
         );
-        VqeBenchmark { n, layers, params, ideal_energy }
+        VqeBenchmark {
+            n,
+            layers,
+            params,
+            ideal_energy,
+        }
     }
 
     /// The hardware-efficient ansatz: alternating Ry layers and CNOT
@@ -124,7 +133,11 @@ impl Benchmark for VqeBenchmark {
     }
 
     fn score(&self, counts: &[Counts]) -> f64 {
-        assert_eq!(counts.len(), 2, "VQE expects Z-basis and X-basis histograms");
+        assert_eq!(
+            counts.len(),
+            2,
+            "VQE expects Z-basis and X-basis histograms"
+        );
         let measured = self.measured_energy(&counts[0], &counts[1]);
         clamp_score(1.0 - ((self.ideal_energy - measured) / (2.0 * self.ideal_energy)).abs())
     }
@@ -141,9 +154,16 @@ mod tests {
         let n = 4;
         let b = VqeBenchmark::new(n, 2);
         let exact = tfim_ground_energy(n, J, H_FIELD);
-        assert!(b.ideal_energy() >= exact - 1e-9, "variational bound violated");
+        assert!(
+            b.ideal_energy() >= exact - 1e-9,
+            "variational bound violated"
+        );
         let gap = (b.ideal_energy() - exact).abs();
-        assert!(gap < 0.35, "ansatz energy {} vs exact {exact}", b.ideal_energy());
+        assert!(
+            gap < 0.35,
+            "ansatz energy {} vs exact {exact}",
+            b.ideal_energy()
+        );
     }
 
     #[test]

@@ -108,7 +108,10 @@ fn regressor_values(record: &ScoreRecord) -> [f64; 9] {
 
 /// Builds the correlation table from execution records, optionally
 /// excluding the error-correction benchmarks (Fig. 3a vs Fig. 3b).
-pub fn correlation_table(records: &[ScoreRecord], exclude_error_correction: bool) -> CorrelationTable {
+pub fn correlation_table(
+    records: &[ScoreRecord],
+    exclude_error_correction: bool,
+) -> CorrelationTable {
     let mut by_device: BTreeMap<&str, Vec<&ScoreRecord>> = BTreeMap::new();
     for r in records {
         if exclude_error_correction && r.is_error_correction {
@@ -119,10 +122,10 @@ pub fn correlation_table(records: &[ScoreRecord], exclude_error_correction: bool
     let devices: Vec<String> = by_device.keys().map(|s| s.to_string()).collect();
     let mut r_squared = vec![vec![None; devices.len()]; REGRESSOR_NAMES.len()];
     for (col, (_, recs)) in by_device.iter().enumerate() {
-        for row in 0..REGRESSOR_NAMES.len() {
+        for (row, r_row) in r_squared.iter_mut().enumerate() {
             let xs: Vec<f64> = recs.iter().map(|r| regressor_values(r)[row]).collect();
             let ys: Vec<f64> = recs.iter().map(|r| r.score).collect();
-            r_squared[row][col] = linear_regression(&xs, &ys).map(|fit| fit.r_squared);
+            r_row[col] = linear_regression(&xs, &ys).map(|fit| fit.r_squared);
         }
     }
     CorrelationTable { devices, r_squared }
@@ -167,8 +170,9 @@ mod tests {
 
     #[test]
     fn constant_feature_regression_is_degenerate() {
-        let records: Vec<ScoreRecord> =
-            (0..5).map(|i| record("dev", 0.5, 0.1 * i as f64, false)).collect();
+        let records: Vec<ScoreRecord> = (0..5)
+            .map(|i| record("dev", 0.5, 0.1 * i as f64, false))
+            .collect();
         let table = correlation_table(&records, false);
         assert_eq!(table.get("Program Communication", "dev"), None);
         // Qubit count is also constant here.

@@ -1,6 +1,8 @@
 //! The six application feature vectors of paper Sec. III-B.
 
-use supermarq_circuit::{Circuit, CircuitLayers, CriticalPathInfo, GateKind, InteractionGraph, LivenessMatrix};
+use supermarq_circuit::{
+    Circuit, CircuitLayers, CriticalPathInfo, GateKind, InteractionGraph, LivenessMatrix,
+};
 
 /// The hardware-agnostic feature vector describing how an application
 /// stresses a QPU. Every component lies in `[0, 1]`.
@@ -80,7 +82,11 @@ impl FeatureVector {
             .filter(|i| i.gate.kind() != GateKind::Barrier)
             .count();
         let n_e = circuit.two_qubit_gate_count();
-        let entanglement_ratio = if n_g == 0 { 0.0 } else { n_e as f64 / n_g as f64 };
+        let entanglement_ratio = if n_g == 0 {
+            0.0
+        } else {
+            n_e as f64 / n_g as f64
+        };
 
         let parallelism = if n <= 1 {
             0.0
@@ -154,7 +160,13 @@ mod tests {
     fn all_features_in_unit_interval() {
         let circuits = [ghz(3), ghz(6), {
             let mut c = Circuit::new(4);
-            c.h(0).measure(0).reset(0).cx(0, 1).cz(1, 2).rzz(0.3, 2, 3).measure_all();
+            c.h(0)
+                .measure(0)
+                .reset(0)
+                .cx(0, 1)
+                .cz(1, 2)
+                .rzz(0.3, 2, 3)
+                .measure_all();
             c
         }];
         for c in &circuits {
@@ -219,7 +231,13 @@ mod tests {
     #[test]
     fn error_correction_style_circuit_has_nonzero_measurement() {
         let mut c = Circuit::new(3);
-        c.cx(0, 1).cx(2, 1).measure(1).reset(1).cx(0, 1).cx(2, 1).measure_all();
+        c.cx(0, 1)
+            .cx(2, 1)
+            .measure(1)
+            .reset(1)
+            .cx(0, 1)
+            .cx(2, 1)
+            .measure_all();
         let f = FeatureVector::of(&c);
         assert!(f.measurement > 0.0, "{f}");
         let mut terminal_only = Circuit::new(3);

@@ -100,8 +100,11 @@ impl ReadoutMitigator {
         assert!(total > 0, "cannot mitigate an empty histogram");
         let quasi = self.quasi_probabilities(counts);
         // Clip and renormalize.
-        let clipped: Vec<(u64, f64)> =
-            quasi.into_iter().map(|(k, p)| (k, p.max(0.0))).filter(|&(_, p)| p > 0.0).collect();
+        let clipped: Vec<(u64, f64)> = quasi
+            .into_iter()
+            .map(|(k, p)| (k, p.max(0.0)))
+            .filter(|&(_, p)| p > 0.0)
+            .collect();
         let norm: f64 = clipped.iter().map(|&(_, p)| p).sum();
         // Largest-remainder rounding to integer counts.
         let mut entries: Vec<(u64, usize, f64)> = clipped
@@ -123,7 +126,10 @@ impl ReadoutMitigator {
         }
         Counts::from_pairs(
             counts.num_bits(),
-            entries.into_iter().filter(|&(_, c, _)| c > 0).map(|(k, c, _)| (k, c)),
+            entries
+                .into_iter()
+                .filter(|&(_, c, _)| c > 0)
+                .map(|(k, c, _)| (k, c)),
         )
     }
 }
@@ -162,7 +168,10 @@ mod tests {
         let mut c = Circuit::new(2);
         c.h(0).cx(0, 1).measure_all();
         let e = 0.15;
-        let noise = NoiseModel { readout_error: e, ..NoiseModel::ideal() };
+        let noise = NoiseModel {
+            readout_error: e,
+            ..NoiseModel::ideal()
+        };
         let counts = Executor::new(noise).run(&c, 60000, 3);
         // Raw parity is damped by (1-2e)^2.
         let raw = counts.expectation_z(&[(1.0, 0b11)]);
@@ -171,7 +180,13 @@ mod tests {
         let quasi = m.quasi_probabilities(&counts);
         let mitigated: f64 = quasi
             .iter()
-            .map(|(&k, &p)| if (k & 0b11).count_ones() % 2 == 0 { p } else { -p })
+            .map(|(&k, &p)| {
+                if (k & 0b11).count_ones() % 2 == 0 {
+                    p
+                } else {
+                    -p
+                }
+            })
             .sum();
         assert!((mitigated - 1.0).abs() < 0.05, "mitigated={mitigated}");
     }
@@ -183,12 +198,18 @@ mod tests {
         let b = GhzBenchmark::new(4);
         let circuit = &b.circuits()[0];
         let e = 0.05;
-        let noise = NoiseModel { readout_error: e, ..NoiseModel::ideal() };
+        let noise = NoiseModel {
+            readout_error: e,
+            ..NoiseModel::ideal()
+        };
         let counts = Executor::new(noise).run(circuit, 8000, 5);
-        let raw_score = b.score(&[counts.clone()]);
+        let raw_score = b.score(std::slice::from_ref(&counts));
         let mitigated = ReadoutMitigator::uniform(4, e).mitigate(&counts);
         let open_score = b.score(&[mitigated]);
-        assert!(open_score > raw_score + 0.05, "raw={raw_score} open={open_score}");
+        assert!(
+            open_score > raw_score + 0.05,
+            "raw={raw_score} open={open_score}"
+        );
         assert!(open_score > 0.95, "open={open_score}");
     }
 
@@ -199,7 +220,11 @@ mod tests {
         let m = ReadoutMitigator::new(vec![0.1, 0.0]);
         let quasi = m.quasi_probabilities(&counts);
         // Bit 1 stays certain.
-        let p_bit1: f64 = quasi.iter().filter(|(&k, _)| k & 0b10 != 0).map(|(_, &p)| p).sum();
+        let p_bit1: f64 = quasi
+            .iter()
+            .filter(|(&k, _)| k & 0b10 != 0)
+            .map(|(_, &p)| p)
+            .sum();
         assert!((p_bit1 - 1.0).abs() < 1e-9);
     }
 

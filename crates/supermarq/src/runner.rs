@@ -10,7 +10,7 @@
 use supermarq_classical::stats::{mean, std_dev};
 use supermarq_device::Device;
 use supermarq_sim::{Counts, Executor};
-use supermarq_transpile::{PlacementStrategy, TranspileError, Transpiler};
+use supermarq_transpile::{PlacementStrategy, TranspileError, Transpiler, VerifyLevel};
 
 use crate::benchmark::Benchmark;
 
@@ -28,6 +28,9 @@ pub struct RunConfig {
     pub placement: PlacementStrategy,
     /// Whether fusion/cancellation run (ablation hook).
     pub optimize: bool,
+    /// How much static verification the transpiler performs (see
+    /// [`supermarq_transpile::VerifyLevel`]).
+    pub verify: VerifyLevel,
 }
 
 impl Default for RunConfig {
@@ -38,6 +41,7 @@ impl Default for RunConfig {
             repetitions: 3,
             placement: PlacementStrategy::Greedy,
             optimize: true,
+            verify: VerifyLevel::default(),
         }
     }
 }
@@ -82,7 +86,8 @@ pub fn run_on_device(
 ) -> Result<BenchmarkResult, TranspileError> {
     let transpiler = Transpiler::for_device(device)
         .with_placement(config.placement)
-        .with_optimization(config.optimize);
+        .with_optimization(config.optimize)
+        .with_verify(config.verify);
     let circuits = benchmark.circuits();
     let mut transpiled = Vec::with_capacity(circuits.len());
     for c in &circuits {
@@ -143,7 +148,8 @@ pub fn run_on_device_open(
     use crate::mitigation::ReadoutMitigator;
     let transpiler = Transpiler::for_device(device)
         .with_placement(config.placement)
-        .with_optimization(config.optimize);
+        .with_optimization(config.optimize)
+        .with_verify(config.verify);
     let circuits = benchmark.circuits();
     let mut prepared = Vec::with_capacity(circuits.len());
     let mut swap_count = 0;
@@ -243,12 +249,30 @@ mod tests {
     #[test]
     fn ghz_runs_on_every_fitting_device() {
         let b = GhzBenchmark::new(4);
-        let config = RunConfig { shots: 500, repetitions: 2, ..RunConfig::default() };
+        let config = RunConfig {
+            shots: 500,
+            repetitions: 2,
+            ..RunConfig::default()
+        };
         for device in Device::all_paper_devices() {
             let result = run_on_device(&b, &device, &config).unwrap();
             assert_eq!(result.scores.len(), 2);
             let m = result.mean_score();
             assert!(m > 0.2 && m <= 1.0, "{}: mean={m}", device.name());
+        }
+    }
+
+    #[test]
+    fn stage_verification_runs_clean_in_the_harness() {
+        let b = GhzBenchmark::new(4);
+        let config = RunConfig {
+            shots: 200,
+            repetitions: 1,
+            verify: VerifyLevel::Stages,
+            ..RunConfig::default()
+        };
+        for device in [Device::ibm_casablanca(), Device::ionq()] {
+            run_on_device(&b, &device, &config).unwrap();
         }
     }
 
@@ -276,7 +300,11 @@ mod tests {
         // Fig. 2b story: all-to-all connectivity wins the communication-
         // heavy benchmark despite worse 2q fidelity.
         let b = MerminBellBenchmark::new(4);
-        let config = RunConfig { shots: 2000, repetitions: 3, ..RunConfig::default() };
+        let config = RunConfig {
+            shots: 2000,
+            repetitions: 3,
+            ..RunConfig::default()
+        };
         let ion = run_on_device(&b, &Device::ionq(), &config).unwrap();
         let ibm = run_on_device(&b, &Device::ibm_toronto(), &config).unwrap();
         assert!(ion.swap_count < ibm.swap_count + 1);
@@ -294,7 +322,12 @@ mod tests {
         // devices; mitigation should recover a solid chunk of it.
         let b = GhzBenchmark::new(4);
         let device = Device::ibm_guadalupe();
-        let config = RunConfig { shots: 4000, repetitions: 2, seed: 3, ..RunConfig::default() };
+        let config = RunConfig {
+            shots: 4000,
+            repetitions: 2,
+            seed: 3,
+            ..RunConfig::default()
+        };
         let closed = run_on_device(&b, &device, &config).unwrap();
         let open = super::run_on_device_open(&b, &device, &config).unwrap();
         assert!(
@@ -308,7 +341,11 @@ mod tests {
     #[test]
     fn repetition_scores_vary_with_seed() {
         let b = GhzBenchmark::new(4);
-        let config = RunConfig { shots: 300, repetitions: 4, ..RunConfig::default() };
+        let config = RunConfig {
+            shots: 300,
+            repetitions: 4,
+            ..RunConfig::default()
+        };
         let result = run_on_device(&b, &Device::ibm_toronto(), &config).unwrap();
         // Not all identical (noise realizations differ).
         let first = result.scores[0];

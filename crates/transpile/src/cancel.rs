@@ -13,7 +13,13 @@ use supermarq_circuit::{Circuit, Gate, GateKind, Instruction};
 fn is_diagonal(g: &Gate) -> bool {
     matches!(
         g,
-        Gate::Z | Gate::S | Gate::Sdg | Gate::T | Gate::Tdg | Gate::Rz(_) | Gate::P(_)
+        Gate::Z
+            | Gate::S
+            | Gate::Sdg
+            | Gate::T
+            | Gate::Tdg
+            | Gate::Rz(_)
+            | Gate::P(_)
             | Gate::Cz
             | Gate::Cp(_)
             | Gate::Rzz(_)
@@ -22,15 +28,22 @@ fn is_diagonal(g: &Gate) -> bool {
 
 /// `true` if `g` is an X-axis gate (commutes with being a CX target).
 fn is_x_axis(g: &Gate) -> bool {
-    matches!(g, Gate::X | Gate::Sx | Gate::Sxdg | Gate::Rx(_) | Gate::Rxx(_))
+    matches!(
+        g,
+        Gate::X | Gate::Sx | Gate::Sxdg | Gate::Rx(_) | Gate::Rxx(_)
+    )
 }
 
 /// Decides whether instruction `a` commutes with instruction `b` *with
 /// respect to their shared qubits* under the implemented rule set
 /// (conservative: unknown cases return `false`).
 fn commutes(a: &Instruction, b: &Instruction) -> bool {
-    let shared: Vec<usize> =
-        a.qubits.iter().copied().filter(|q| b.qubits.contains(q)).collect();
+    let shared: Vec<usize> = a
+        .qubits
+        .iter()
+        .copied()
+        .filter(|q| b.qubits.contains(q))
+        .collect();
     if shared.is_empty() {
         return true;
     }
@@ -91,24 +104,14 @@ fn annihilates(a: &Instruction, b: &Instruction) -> bool {
             a.gate,
             Gate::Cz | Gate::Swap | Gate::Rxx(_) | Gate::Ryy(_) | Gate::Rzz(_) | Gate::Cp(_)
         );
-        let same_set = a.qubits.len() == b.qubits.len()
-            && a.qubits.iter().all(|q| b.qubits.contains(q));
+        let same_set =
+            a.qubits.len() == b.qubits.len() && a.qubits.iter().all(|q| b.qubits.contains(q));
         if !(symmetric && same_set) {
             return false;
         }
     }
-    match a.gate.inverse() {
-        Some(inv) => match (&inv, &b.gate) {
-            // Exact parameter match for rotations.
-            (x, y) => {
-                if x == y {
-                    return true;
-                }
-                false
-            }
-        },
-        None => false,
-    }
+    // Exact parameter match for rotations.
+    a.gate.inverse().is_some_and(|inv| inv == b.gate)
 }
 
 /// Runs cancellation/merging to a fixpoint and returns the optimized
@@ -179,7 +182,8 @@ mod tests {
         for _ in 0..5 {
             let mut prep = Circuit::new(n);
             for q in 0..n {
-                prep.ry(rng.gen_range(0.0..3.0), q).rz(rng.gen_range(0.0..3.0), q);
+                prep.ry(rng.gen_range(0.0..3.0), q)
+                    .rz(rng.gen_range(0.0..3.0), q);
             }
             let mut pa = Executor::final_state(&prep);
             let mut pb = pa.clone();

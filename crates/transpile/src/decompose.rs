@@ -163,7 +163,11 @@ fn emit_via_cx(out: &mut Circuit, gate: Gate, a: usize, b: usize) {
         }
         Gate::Cp(l) => {
             // cp(l) = rz(l/2) a . rz(l/2) b . rzz(-l/2).
-            out.rz(l / 2.0, a).rz(l / 2.0, b).cx(a, b).rz(-l / 2.0, b).cx(a, b);
+            out.rz(l / 2.0, a)
+                .rz(l / 2.0, b)
+                .cx(a, b)
+                .rz(-l / 2.0, b)
+                .cx(a, b);
         }
         g => panic!("unhandled two-qubit gate {g:?}"),
     }
@@ -205,7 +209,11 @@ fn emit_via_rxx(out: &mut Circuit, gate: Gate, a: usize, b: usize) {
         Gate::Ryy(t) => {
             // Ryy = (S ⊗ S) Rxx (Sdg ⊗ Sdg): conjugation X -> Y by S... the
             // correct conjugation maps Rxx to Ryy via Rz(±pi/2).
-            out.rz(FRAC_PI_2, a).rz(FRAC_PI_2, b).rxx(t, a, b).rz(-FRAC_PI_2, a).rz(-FRAC_PI_2, b);
+            out.rz(FRAC_PI_2, a)
+                .rz(FRAC_PI_2, b)
+                .rxx(t, a, b)
+                .rz(-FRAC_PI_2, a)
+                .rz(-FRAC_PI_2, b);
         }
         Gate::Cx => {
             // Standard MS-based CNOT (up to global phase):
@@ -234,21 +242,12 @@ fn emit_via_rxx(out: &mut Circuit, gate: Gate, a: usize, b: usize) {
 
 /// `true` if the gate is allowed in the given native set (used by tests and
 /// the transpiler's output validation).
-pub fn is_native(gate: &Gate, gate_set: NativeGateSet) -> bool {
-    match gate.kind() {
-        GateKind::Measurement | GateKind::Reset | GateKind::Barrier => true,
-        GateKind::OneQubitUnitary => match gate_set {
-            NativeGateSet::IonLike => true,
-            NativeGateSet::IbmLike => matches!(gate, Gate::Rz(_) | Gate::Sx | Gate::X | Gate::I),
-            NativeGateSet::AqtLike => matches!(gate, Gate::Rz(_) | Gate::Sx | Gate::I),
-        },
-        GateKind::TwoQubitUnitary => match gate_set {
-            NativeGateSet::IbmLike => matches!(gate, Gate::Cx),
-            NativeGateSet::AqtLike => matches!(gate, Gate::Cz),
-            NativeGateSet::IonLike => matches!(gate, Gate::Rxx(_)),
-        },
-    }
-}
+///
+/// Native-set membership is owned by the verifier (its V004 pass checks the
+/// same rule), so this is a re-export of [`supermarq_verify::is_native`] —
+/// one source of truth for what the decomposer must reach and what the
+/// checker accepts.
+pub use supermarq_verify::is_native;
 
 #[cfg(test)]
 mod tests {
@@ -328,9 +327,12 @@ mod tests {
 
     #[test]
     fn rz_sx_realization_matches_u3() {
-        for &(t, p, l) in
-            &[(0.7, 0.3, -1.1), (0.0, 0.5, 0.5), (PI, 0.0, PI), (FRAC_PI_2, -0.9, 2.2)]
-        {
+        for &(t, p, l) in &[
+            (0.7, 0.3, -1.1),
+            (0.0, 0.5, 0.5),
+            (PI, 0.0, PI),
+            (FRAC_PI_2, -0.9, 2.2),
+        ] {
             let orig = single(1, Gate::U(t, p, l), &[0]);
             let mut lowered = Circuit::new(1);
             emit_u3_as_rz_sx(&mut lowered, 0, t, p, l);
@@ -353,7 +355,9 @@ mod tests {
             let orig = single(2, g, &[0, 1]);
             let lowered = decompose(&orig, NativeGateSet::IbmLike);
             assert!(
-                lowered.iter().all(|i| is_native(&i.gate, NativeGateSet::IbmLike)),
+                lowered
+                    .iter()
+                    .all(|i| is_native(&i.gate, NativeGateSet::IbmLike)),
                 "{g:?} left non-native gates: {lowered:?}"
             );
             assert!(circuits_equivalent(&orig, &lowered), "{g:?}");
@@ -366,25 +370,45 @@ mod tests {
         for g in gates {
             let orig = single(2, g, &[0, 1]);
             let lowered = decompose(&orig, NativeGateSet::AqtLike);
-            assert!(lowered.iter().all(|i| is_native(&i.gate, NativeGateSet::AqtLike)), "{g:?}");
+            assert!(
+                lowered
+                    .iter()
+                    .all(|i| is_native(&i.gate, NativeGateSet::AqtLike)),
+                "{g:?}"
+            );
             assert!(circuits_equivalent(&orig, &lowered), "{g:?}");
         }
     }
 
     #[test]
     fn ion_decomposition_targets_rxx() {
-        let gates = [Gate::Cx, Gate::Cz, Gate::Rzz(0.7), Gate::Ryy(-0.6), Gate::Swap];
+        let gates = [
+            Gate::Cx,
+            Gate::Cz,
+            Gate::Rzz(0.7),
+            Gate::Ryy(-0.6),
+            Gate::Swap,
+        ];
         for g in gates {
             let orig = single(2, g, &[0, 1]);
             let lowered = decompose(&orig, NativeGateSet::IonLike);
-            assert!(lowered.iter().all(|i| is_native(&i.gate, NativeGateSet::IonLike)), "{g:?}");
+            assert!(
+                lowered
+                    .iter()
+                    .all(|i| is_native(&i.gate, NativeGateSet::IonLike)),
+                "{g:?}"
+            );
             assert!(circuits_equivalent(&orig, &lowered), "{g:?}");
         }
     }
 
     #[test]
     fn cx_operand_order_respected_in_all_sets() {
-        for set in [NativeGateSet::IbmLike, NativeGateSet::AqtLike, NativeGateSet::IonLike] {
+        for set in [
+            NativeGateSet::IbmLike,
+            NativeGateSet::AqtLike,
+            NativeGateSet::IonLike,
+        ] {
             let orig = single(3, Gate::Cx, &[2, 0]);
             let lowered = decompose(&orig, set);
             assert!(circuits_equivalent(&orig, &lowered), "{set:?}");
@@ -395,9 +419,16 @@ mod tests {
     fn full_benchmark_circuit_survives_lowering() {
         // A GHZ + rotation + measurement circuit, lowered for IBM.
         let mut c = Circuit::new(3);
-        c.h(0).cx(0, 1).cx(1, 2).rz(0.3, 2).barrier_all().measure_all();
+        c.h(0)
+            .cx(0, 1)
+            .cx(1, 2)
+            .rz(0.3, 2)
+            .barrier_all()
+            .measure_all();
         let lowered = decompose(&c, NativeGateSet::IbmLike);
-        assert!(lowered.iter().all(|i| is_native(&i.gate, NativeGateSet::IbmLike)));
+        assert!(lowered
+            .iter()
+            .all(|i| is_native(&i.gate, NativeGateSet::IbmLike)));
         assert_eq!(lowered.measurement_count(), 3);
         // Compare measurement distributions.
         let ideal = Executor::noiseless().run(&c, 2000, 5);
@@ -411,7 +442,11 @@ mod tests {
     fn lowering_preserves_ghz_statevector() {
         let mut c = Circuit::new(4);
         c.h(0).cx(0, 1).cx(1, 2).cx(2, 3);
-        for set in [NativeGateSet::IbmLike, NativeGateSet::AqtLike, NativeGateSet::IonLike] {
+        for set in [
+            NativeGateSet::IbmLike,
+            NativeGateSet::AqtLike,
+            NativeGateSet::IonLike,
+        ] {
             let lowered = decompose(&c, set);
             let psi = Executor::final_state(&lowered);
             let mut reference = StateVector::zero_state(4);

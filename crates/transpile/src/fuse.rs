@@ -5,7 +5,7 @@
 //! shortens circuits before lowering and implements the Closed Division's
 //! "cancellation of adjacent gates" for the single-qubit case.
 
-use supermarq_circuit::{C64, Circuit, GateKind, Instruction};
+use supermarq_circuit::{Circuit, GateKind, Instruction, C64};
 
 /// Extracts `U3(theta, phi, lambda)` parameters from a 2x2 unitary (global
 /// phase discarded).
@@ -68,7 +68,8 @@ pub fn fuse_single_qubit_runs(input: &Circuit) -> Circuit {
     let flush = |out: &mut Circuit, pending: &mut Vec<Option<[[C64; 2]; 2]>>, q: usize| {
         if let Some(m) = pending[q].take() {
             let (t, p, l) = u3_from_matrix(&m);
-            let is_identity = t.abs() < 1e-12 && ((p + l) % (2.0 * std::f64::consts::PI)).abs() < 1e-12;
+            let is_identity =
+                t.abs() < 1e-12 && ((p + l) % (2.0 * std::f64::consts::PI)).abs() < 1e-12;
             if !is_identity {
                 out.u(t, p, l, q);
             }
@@ -101,7 +102,9 @@ pub fn fuse_single_qubit_runs(input: &Circuit) -> Circuit {
 
 /// Convenience: the count of one-qubit unitaries in a circuit.
 pub fn one_qubit_gate_count(c: &Circuit) -> usize {
-    c.iter().filter(|i: &&Instruction| i.gate.kind() == GateKind::OneQubitUnitary).count()
+    c.iter()
+        .filter(|i: &&Instruction| i.gate.kind() == GateKind::OneQubitUnitary)
+        .count()
 }
 
 #[cfg(test)]
@@ -118,7 +121,8 @@ mod tests {
         for _ in 0..5 {
             let mut prep = Circuit::new(n);
             for q in 0..n {
-                prep.ry(rng.gen_range(0.0..3.0), q).rz(rng.gen_range(0.0..3.0), q);
+                prep.ry(rng.gen_range(0.0..3.0), q)
+                    .rz(rng.gen_range(0.0..3.0), q);
             }
             let mut pa = Executor::final_state(&prep);
             let mut pb = pa.clone();

@@ -41,4 +41,5 @@ pub mod routing;
 pub mod transpiler;
 
 pub use placement::PlacementStrategy;
-pub use transpiler::{RoutingStrategy, TranspileError, TranspileResult, Transpiler};
+pub use routing::RouteError;
+pub use transpiler::{RoutingStrategy, TranspileError, TranspileResult, Transpiler, VerifyLevel};

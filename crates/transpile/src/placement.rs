@@ -101,8 +101,8 @@ fn greedy_place(circuit: &Circuit, topology: &Topology, device: Option<&Device>)
         // interaction partners, then high degree (well-connected regions),
         // and — when calibration data is available — low local error rates.
         let mut best: Option<(usize, f64)> = None;
-        for phys in 0..n_phys {
-            if used[phys] {
+        for (phys, &phys_used) in used.iter().enumerate() {
+            if phys_used {
                 continue;
             }
             let mut dist_cost = 0.0;
@@ -114,24 +114,37 @@ fn greedy_place(circuit: &Circuit, topology: &Topology, device: Option<&Device>)
             }
             let mut score = -dist_cost + 0.01 * topology.degree(phys) as f64;
             if let Some(dev) = device {
-                // Mean error of the couplers this qubit would use, relative
-                // to the device average (so the weight is scale-free).
+                // Error of the couplers this qubit would actually use,
+                // relative to the device average (so the weight is
+                // scale-free). Couplers to already-placed interaction
+                // partners are the ones two-qubit gates will run on, so
+                // they are weighed at full strength; for a qubit with no
+                // placed partner yet (the seed of its region) the best
+                // incident coupler is the one routing will lean on.
                 let avg = dev.calibration().err_2q.max(1e-9);
-                let mut edge_cost = 0.0;
-                let mut edges = 0usize;
-                for other in 0..n_phys {
-                    if topology.are_adjacent(phys, other) {
-                        edge_cost += dev.edge_error(phys, other) / avg;
-                        edges += 1;
+                let mut partner_cost = 0.0;
+                let mut partners = 0usize;
+                for &nbr in &adj[prog] {
+                    if mapping[nbr] != usize::MAX && topology.are_adjacent(phys, mapping[nbr]) {
+                        partner_cost += dev.edge_error(phys, mapping[nbr]) / avg;
+                        partners += 1;
                     }
                 }
-                if edges > 0 {
-                    score -= 0.3 * edge_cost / edges as f64;
+                if partners > 0 {
+                    score -= 2.0 * partner_cost / partners as f64;
+                } else {
+                    let best_incident = (0..n_phys)
+                        .filter(|&other| topology.are_adjacent(phys, other))
+                        .map(|other| dev.edge_error(phys, other) / avg)
+                        .fold(f64::INFINITY, f64::min);
+                    if best_incident.is_finite() {
+                        score -= 2.0 * best_incident;
+                    }
                 }
                 let avg_ro = dev.calibration().err_meas.max(1e-9);
                 score -= 0.1 * dev.qubit_readout_error(phys) / avg_ro;
             }
-            if best.map_or(true, |(_, s)| score > s) {
+            if best.is_none_or(|(_, s)| score > s) {
                 best = Some((phys, score));
             }
         }
@@ -209,19 +222,28 @@ mod tests {
             .iter()
             .copied()
             .max_by(|&(a, b), &(c, d)| {
-                device.edge_error(a, b).partial_cmp(&device.edge_error(c, d)).unwrap()
+                device
+                    .edge_error(a, b)
+                    .partial_cmp(&device.edge_error(c, d))
+                    .unwrap()
             })
             .unwrap();
         let mapping = place_on_device(&circuit, &device, PlacementStrategy::NoiseAware);
         let placed = (mapping[0].min(mapping[1]), mapping[0].max(mapping[1]));
         assert!(device.topology().are_adjacent(placed.0, placed.1));
-        assert_ne!(placed, worst, "noise-aware placement chose the worst coupler");
+        assert_ne!(
+            placed, worst,
+            "noise-aware placement chose the worst coupler"
+        );
         let chosen_err = device.edge_error(placed.0, placed.1);
         let best_err = edges
             .iter()
             .map(|&(a, b)| device.edge_error(a, b))
             .fold(f64::INFINITY, f64::min);
-        assert!(chosen_err <= best_err + 1e-12, "chosen {chosen_err} vs best {best_err}");
+        assert!(
+            chosen_err <= best_err + 1e-12,
+            "chosen {chosen_err} vs best {best_err}"
+        );
     }
 
     #[test]
@@ -230,8 +252,13 @@ mod tests {
         let mut c = Circuit::new(4);
         c.cx(0, 1).cx(1, 2).cx(2, 3);
         let cal = Calibration::from_table_row(100.0, 100.0, 0.03, 0.4, 5.0, 0.05, 1.0, 2.0);
-        let device =
-            Device::new("flat", Topology::ibm_falcon_7q(), cal, NativeGateSet::IbmLike, 0.0);
+        let device = Device::new(
+            "flat",
+            Topology::ibm_falcon_7q(),
+            cal,
+            NativeGateSet::IbmLike,
+            0.0,
+        );
         let greedy = place_on_device(&c, &device, PlacementStrategy::Greedy);
         let aware = place_on_device(&c, &device, PlacementStrategy::NoiseAware);
         assert_eq!(greedy, aware);

@@ -10,6 +10,71 @@
 use supermarq_circuit::{Circuit, GateKind};
 use supermarq_device::Topology;
 
+/// Errors from routing. Historically these were `assert!`s/`expect`s; a
+/// disconnected topology or malformed mapping now reports instead of
+/// panicking, so callers (CLI, benchmark sweeps) can surface the problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// The initial mapping does not have one entry per program qubit.
+    MappingLengthMismatch { expected: usize, got: usize },
+    /// Two program qubits share a physical qubit.
+    MappingNotInjective,
+    /// The mapping references a physical qubit the topology lacks.
+    MappingOutOfRange { qubit: usize, num_qubits: usize },
+    /// No coupler path exists between two physical qubits that must
+    /// interact: the topology is disconnected across the mapped region.
+    Disconnected { a: usize, b: usize },
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::MappingLengthMismatch { expected, got } => {
+                write!(
+                    f,
+                    "initial mapping has {got} entries for {expected} program qubit(s)"
+                )
+            }
+            RouteError::MappingNotInjective => write!(f, "initial mapping must be injective"),
+            RouteError::MappingOutOfRange { qubit, num_qubits } => {
+                write!(
+                    f,
+                    "initial mapping uses physical qubit {qubit} of {num_qubits}"
+                )
+            }
+            RouteError::Disconnected { a, b } => {
+                write!(
+                    f,
+                    "topology has no coupler path between physical qubits {a} and {b}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// Validates an initial mapping against the circuit/topology sizes.
+fn check_mapping(mapping: &[usize], n_prog: usize, n_phys: usize) -> Result<(), RouteError> {
+    if mapping.len() != n_prog {
+        return Err(RouteError::MappingLengthMismatch {
+            expected: n_prog,
+            got: mapping.len(),
+        });
+    }
+    let set: std::collections::BTreeSet<usize> = mapping.iter().copied().collect();
+    if set.len() != n_prog {
+        return Err(RouteError::MappingNotInjective);
+    }
+    if let Some(&bad) = mapping.iter().find(|&&p| p >= n_phys) {
+        return Err(RouteError::MappingOutOfRange {
+            qubit: bad,
+            num_qubits: n_phys,
+        });
+    }
+    Ok(())
+}
+
 /// The output of routing: a physical circuit plus bookkeeping.
 #[derive(Debug, Clone)]
 pub struct RoutedCircuit {
@@ -57,19 +122,18 @@ impl RoutedCircuit {
 /// Routes `circuit` onto `topology` starting from `initial_mapping`
 /// (program qubit -> physical qubit, injective).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the mapping is malformed or the topology is disconnected along
-/// a required path.
-pub fn route(circuit: &Circuit, topology: &Topology, initial_mapping: &[usize]) -> RoutedCircuit {
+/// Returns a [`RouteError`] if the mapping is malformed or the topology is
+/// disconnected along a required path.
+pub fn route(
+    circuit: &Circuit,
+    topology: &Topology,
+    initial_mapping: &[usize],
+) -> Result<RoutedCircuit, RouteError> {
     let n_prog = circuit.num_qubits();
     let n_phys = topology.num_qubits();
-    assert_eq!(initial_mapping.len(), n_prog, "mapping length mismatch");
-    {
-        let set: std::collections::BTreeSet<usize> = initial_mapping.iter().copied().collect();
-        assert_eq!(set.len(), n_prog, "mapping must be injective");
-        assert!(initial_mapping.iter().all(|&p| p < n_phys), "mapping out of range");
-    }
+    check_mapping(initial_mapping, n_prog, n_phys)?;
     let mut phys_of: Vec<usize> = initial_mapping.to_vec();
     // Inverse map: physical -> program (usize::MAX = unused).
     let mut prog_of: Vec<usize> = vec![usize::MAX; n_phys];
@@ -88,16 +152,14 @@ pub fn route(circuit: &Circuit, topology: &Topology, initial_mapping: &[usize]) 
                 if !topology.are_adjacent(pa, pb) {
                     let path = topology
                         .shortest_path(pa, pb)
-                        .expect("topology must be connected between mapped qubits");
+                        .ok_or(RouteError::Disconnected { a: pa, b: pb })?;
                     // Swap a's qubit along the path until adjacent to b.
-                    for hop in 1..path.len() - 1 {
-                        let next = path[hop];
+                    for &next in &path[1..path.len() - 1] {
                         out.swap(pa, next);
                         swap_count += 1;
                         // Update maps: whatever lived at `next` moves to `pa`.
                         let moved_prog = prog_of[next];
-                        prog_of[next] = prog_of[pa];
-                        prog_of[pa] = moved_prog;
+                        prog_of.swap(next, pa);
                         if moved_prog != usize::MAX {
                             phys_of[moved_prog] = pa;
                         }
@@ -121,13 +183,13 @@ pub fn route(circuit: &Circuit, topology: &Topology, initial_mapping: &[usize]) 
             }
         }
     }
-    RoutedCircuit {
+    Ok(RoutedCircuit {
         circuit: out,
         initial_mapping: initial_mapping.to_vec(),
         final_mapping: phys_of,
         swap_count,
         measured_on,
-    }
+    })
 }
 
 /// Routes with a SABRE-style lookahead: instead of always walking the
@@ -137,23 +199,19 @@ pub fn route(circuit: &Circuit, topology: &Topology, initial_mapping: &[usize]) 
 /// gates. Falls back to making progress on the front gate so termination
 /// is guaranteed.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on malformed mappings (same contract as [`route`]).
+/// Returns a [`RouteError`] on malformed mappings or a topology that is
+/// disconnected across the mapped region (same contract as [`route`]).
 pub fn route_with_lookahead(
     circuit: &Circuit,
     topology: &Topology,
     initial_mapping: &[usize],
     window: usize,
-) -> RoutedCircuit {
+) -> Result<RoutedCircuit, RouteError> {
     let n_prog = circuit.num_qubits();
     let n_phys = topology.num_qubits();
-    assert_eq!(initial_mapping.len(), n_prog, "mapping length mismatch");
-    {
-        let set: std::collections::BTreeSet<usize> = initial_mapping.iter().copied().collect();
-        assert_eq!(set.len(), n_prog, "mapping must be injective");
-        assert!(initial_mapping.iter().all(|&p| p < n_phys), "mapping out of range");
-    }
+    check_mapping(initial_mapping, n_prog, n_phys)?;
     let mut phys_of: Vec<usize> = initial_mapping.to_vec();
     let mut prog_of: Vec<usize> = vec![usize::MAX; n_phys];
     for (prog, &phys) in phys_of.iter().enumerate() {
@@ -182,11 +240,7 @@ pub fn route_with_lookahead(
                     let mut total =
                         topology.distance(phys_of[a], phys_of[b]).unwrap_or(n_phys) as f64;
                     let mut discount = 0.5;
-                    for &(u, v) in two_q_sequence
-                        .iter()
-                        .skip(two_q_index + 1)
-                        .take(window)
-                    {
+                    for &(u, v) in two_q_sequence.iter().skip(two_q_index + 1).take(window) {
                         total += discount
                             * topology.distance(phys_of[u], phys_of[v]).unwrap_or(n_phys) as f64;
                         discount *= 0.8;
@@ -196,12 +250,18 @@ pub fn route_with_lookahead(
                 let mut guard = 0usize;
                 while !topology.are_adjacent(phys_of[a], phys_of[b]) {
                     guard += 1;
-                    assert!(guard <= 4 * n_phys * n_phys, "router failed to converge");
+                    if guard > 4 * n_phys * n_phys {
+                        // Front progress is enforced below, so running out
+                        // of iterations means no path exists.
+                        return Err(RouteError::Disconnected {
+                            a: phys_of[a],
+                            b: phys_of[b],
+                        });
+                    }
                     // Candidate swaps: edges touching a's or b's current
                     // location.
                     let mut best: Option<((usize, usize), f64)> = None;
-                    let front_dist =
-                        topology.distance(phys_of[a], phys_of[b]).unwrap_or(n_phys);
+                    let front_dist = topology.distance(phys_of[a], phys_of[b]).unwrap_or(n_phys);
                     for &center in &[phys_of[a], phys_of[b]] {
                         for other in 0..n_phys {
                             if !topology.are_adjacent(center, other) {
@@ -224,12 +284,21 @@ pub fn route_with_lookahead(
                                 continue;
                             }
                             let sc = score(&trial);
-                            if best.map_or(true, |(_, s)| sc < s) {
+                            if best.is_none_or(|(_, s)| sc < s) {
                                 best = Some(((center, other), sc));
                             }
                         }
                     }
-                    let ((p1, p2), _) = best.expect("a front-progress swap always exists");
+                    // On a connected topology a front-progress swap always
+                    // exists (walk toward `b` along a shortest path); no
+                    // candidate means the operands sit in different
+                    // components.
+                    let Some(((p1, p2), _)) = best else {
+                        return Err(RouteError::Disconnected {
+                            a: phys_of[a],
+                            b: phys_of[b],
+                        });
+                    };
                     out.swap(p1, p2);
                     swap_count += 1;
                     let (g1, g2) = (prog_of[p1], prog_of[p2]);
@@ -259,13 +328,13 @@ pub fn route_with_lookahead(
             }
         }
     }
-    RoutedCircuit {
+    Ok(RoutedCircuit {
         circuit: out,
         initial_mapping: initial_mapping.to_vec(),
         final_mapping: phys_of,
         swap_count,
         measured_on,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -284,7 +353,7 @@ mod tests {
         let mut c = Circuit::new(3);
         c.h(0).cx(0, 1).cx(1, 2).measure_all();
         let topo = Topology::line(3);
-        let routed = route(&c, &topo, &[0, 1, 2]);
+        let routed = route(&c, &topo, &[0, 1, 2]).unwrap();
         assert_eq!(routed.swap_count, 0);
         assert!(all_two_qubit_gates_adjacent(&routed.circuit, &topo));
     }
@@ -294,7 +363,7 @@ mod tests {
         let mut c = Circuit::new(4);
         c.cx(0, 3);
         let topo = Topology::line(4);
-        let routed = route(&c, &topo, &[0, 1, 2, 3]);
+        let routed = route(&c, &topo, &[0, 1, 2, 3]).unwrap();
         assert_eq!(routed.swap_count, 2); // distance 3 -> 2 swaps
         assert!(all_two_qubit_gates_adjacent(&routed.circuit, &topo));
     }
@@ -306,7 +375,7 @@ mod tests {
         let mut c = Circuit::new(4);
         c.h(0).cx(0, 3).cx(3, 1).cx(1, 2).measure_all();
         let topo = Topology::line(4);
-        let routed = route(&c, &topo, &[0, 1, 2, 3]);
+        let routed = route(&c, &topo, &[0, 1, 2, 3]).unwrap();
         assert!(all_two_qubit_gates_adjacent(&routed.circuit, &topo));
         let ideal = Executor::noiseless().run(&c, 2000, 9);
         let phys = Executor::noiseless().run(&routed.circuit, 2000, 9);
@@ -327,7 +396,7 @@ mod tests {
         let mut c = Circuit::new(3);
         c.cx(0, 2);
         let topo = Topology::line(3);
-        let routed = route(&c, &topo, &[0, 1, 2]);
+        let routed = route(&c, &topo, &[0, 1, 2]).unwrap();
         assert_eq!(routed.swap_count, 1);
         // Program qubit 0 moved to physical 1.
         assert_eq!(routed.final_mapping[0], 1);
@@ -340,7 +409,7 @@ mod tests {
         let mut c = Circuit::new(3);
         c.x(0).cx(0, 2).measure(0);
         let topo = Topology::line(3);
-        let routed = route(&c, &topo, &[0, 1, 2]);
+        let routed = route(&c, &topo, &[0, 1, 2]).unwrap();
         // Program qubit 0 was swapped to physical 1 before measurement.
         assert_eq!(routed.measured_on[0], Some(1));
         assert_eq!(routed.measured_on[1], None);
@@ -353,7 +422,7 @@ mod tests {
         let mut c = Circuit::new(2);
         c.x(0).measure_all();
         let topo = Topology::line(4);
-        let routed = route(&c, &topo, &[3, 1]);
+        let routed = route(&c, &topo, &[3, 1]).unwrap();
         let counts = Executor::noiseless().run(&routed.circuit, 10, 1);
         let relabeled = routed.relabel_counts(&counts);
         assert_eq!(relabeled.count(0b01), 10);
@@ -367,7 +436,7 @@ mod tests {
                 c.cz(a, b);
             }
         }
-        let routed = route(&c, &Topology::all_to_all(5), &[0, 1, 2, 3, 4]);
+        let routed = route(&c, &Topology::all_to_all(5), &[0, 1, 2, 3, 4]).unwrap();
         assert_eq!(routed.swap_count, 0);
     }
 
@@ -376,7 +445,7 @@ mod tests {
         let mut c = Circuit::new(4);
         c.h(0).cx(0, 3).cx(3, 1).cx(1, 2).measure_all();
         let topo = Topology::line(4);
-        let routed = route_with_lookahead(&c, &topo, &[0, 1, 2, 3], 4);
+        let routed = route_with_lookahead(&c, &topo, &[0, 1, 2, 3], 4).unwrap();
         assert!(all_two_qubit_gates_adjacent(&routed.circuit, &topo));
         let ideal = Executor::noiseless().run(&c, 2000, 9);
         let phys = Executor::noiseless().run(&routed.circuit, 2000, 9);
@@ -404,9 +473,12 @@ mod tests {
             }
             c.measure_all();
             let mapping: Vec<usize> = (0..n).collect();
-            let base = route(&c, &topo, &mapping);
-            let look = route_with_lookahead(&c, &topo, &mapping, 6);
-            assert!(all_two_qubit_gates_adjacent(&look.circuit, &topo), "trial {trial}");
+            let base = route(&c, &topo, &mapping).unwrap();
+            let look = route_with_lookahead(&c, &topo, &mapping, 6).unwrap();
+            assert!(
+                all_two_qubit_gates_adjacent(&look.circuit, &topo),
+                "trial {trial}"
+            );
             assert!(
                 look.swap_count <= base.swap_count * 2 + 2,
                 "trial {trial}: lookahead {} vs base {}",
@@ -427,8 +499,8 @@ mod tests {
         c.measure_all();
         let topo = Topology::line(4);
         let mapping = [0, 1, 2, 3];
-        let base = route(&c, &topo, &mapping);
-        let look = route_with_lookahead(&c, &topo, &mapping, 8);
+        let base = route(&c, &topo, &mapping).unwrap();
+        let look = route_with_lookahead(&c, &topo, &mapping, 8).unwrap();
         assert!(
             look.swap_count <= base.swap_count,
             "lookahead {} vs base {}",
@@ -438,10 +510,52 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "injective")]
-    fn rejects_non_injective_mapping() {
+    fn rejects_malformed_mappings() {
         let mut c = Circuit::new(2);
         c.cx(0, 1);
-        route(&c, &Topology::line(3), &[1, 1]);
+        let topo = Topology::line(3);
+        assert_eq!(
+            route(&c, &topo, &[1, 1]).unwrap_err(),
+            RouteError::MappingNotInjective
+        );
+        assert_eq!(
+            route(&c, &topo, &[0]).unwrap_err(),
+            RouteError::MappingLengthMismatch {
+                expected: 2,
+                got: 1
+            }
+        );
+        assert_eq!(
+            route(&c, &topo, &[0, 5]).unwrap_err(),
+            RouteError::MappingOutOfRange {
+                qubit: 5,
+                num_qubits: 3
+            }
+        );
+        assert_eq!(
+            route_with_lookahead(&c, &topo, &[1, 1], 4).unwrap_err(),
+            RouteError::MappingNotInjective
+        );
+    }
+
+    #[test]
+    fn disconnected_topology_reports_instead_of_panicking() {
+        // Two disjoint couplers: 0-1 and 2-3. A gate across the components
+        // can never be routed; both routers must say so.
+        let topo = Topology::from_edges("split", 4, &[(0, 1), (2, 3)]);
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let mapping = [0, 2]; // operands in different components
+        assert_eq!(
+            route(&c, &topo, &mapping).unwrap_err(),
+            RouteError::Disconnected { a: 0, b: 2 }
+        );
+        assert!(matches!(
+            route_with_lookahead(&c, &topo, &mapping, 4).unwrap_err(),
+            RouteError::Disconnected { .. }
+        ));
+        // Same circuit confined to one component routes fine.
+        let ok = route(&c, &topo, &[0, 1]).unwrap();
+        assert_eq!(ok.swap_count, 0);
     }
 }

@@ -2,12 +2,13 @@
 
 use supermarq_circuit::Circuit;
 use supermarq_device::Device;
+use supermarq_verify::{Context, Diagnostic, Report, RoutingAudit, Verifier};
 
 use crate::cancel::cancel_adjacent_gates;
-use crate::decompose::{decompose, is_native};
+use crate::decompose::decompose;
 use crate::fuse::fuse_single_qubit_runs;
 use crate::placement::{place_on_device, PlacementStrategy};
-use crate::routing::{route, route_with_lookahead, RoutedCircuit};
+use crate::routing::{route, route_with_lookahead, RouteError, RoutedCircuit};
 
 /// Errors from transpilation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -15,6 +16,17 @@ pub enum TranspileError {
     /// The circuit needs more qubits than the device has (the "black X"
     /// cases of the paper's Fig. 2).
     TooManyQubits { needed: usize, available: usize },
+    /// Routing failed (malformed mapping or disconnected topology).
+    Routing(RouteError),
+    /// A verification pass found error-level diagnostics after `stage`.
+    /// Replaces the `debug_assert!` that used to guard the pipeline output:
+    /// the check now runs in release builds too and reports *what* broke.
+    Verification {
+        /// Pipeline stage after which verification failed.
+        stage: &'static str,
+        /// Every diagnostic the verifier produced (not just the errors).
+        diagnostics: Vec<Diagnostic>,
+    },
 }
 
 impl std::fmt::Display for TranspileError {
@@ -23,11 +35,48 @@ impl std::fmt::Display for TranspileError {
             TranspileError::TooManyQubits { needed, available } => {
                 write!(f, "circuit needs {needed} qubits, device has {available}")
             }
+            TranspileError::Routing(e) => write!(f, "routing failed: {e}"),
+            TranspileError::Verification { stage, diagnostics } => {
+                let errors: Vec<&Diagnostic> = diagnostics
+                    .iter()
+                    .filter(|d| d.severity == supermarq_verify::Severity::Error)
+                    .collect();
+                write!(
+                    f,
+                    "verification failed after {stage}: {} error(s)",
+                    errors.len()
+                )?;
+                if let Some(first) = errors.first() {
+                    write!(f, "; first: {first}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
 
 impl std::error::Error for TranspileError {}
+
+impl From<RouteError> for TranspileError {
+    fn from(e: RouteError) -> Self {
+        TranspileError::Routing(e)
+    }
+}
+
+/// How much static verification [`Transpiler::run`] performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerifyLevel {
+    /// No verification (fastest; trust the pipeline).
+    Off,
+    /// Verify the final native circuit only: operand validity, native-gate
+    /// and coupling-map conformance. The release-mode replacement for the
+    /// old output `debug_assert!`.
+    #[default]
+    Final,
+    /// Additionally verify after each pipeline stage, including the
+    /// Closed-Division audit of the router's output against its input.
+    Stages,
+}
 
 /// Output of [`Transpiler::run`].
 #[derive(Debug, Clone)]
@@ -93,17 +142,19 @@ pub struct Transpiler {
     placement: PlacementStrategy,
     routing: RoutingStrategy,
     optimize: bool,
+    verify: VerifyLevel,
 }
 
 impl Transpiler {
     /// A transpiler for `device` with default (greedy placement,
-    /// optimizations on) settings.
+    /// optimizations on, final-output verification) settings.
     pub fn for_device(device: &Device) -> Self {
         Transpiler {
             device: device.clone(),
             placement: PlacementStrategy::default(),
             routing: RoutingStrategy::default(),
             optimize: true,
+            verify: VerifyLevel::default(),
         }
     }
 
@@ -126,12 +177,21 @@ impl Transpiler {
         self
     }
 
+    /// Selects how much static verification the pipeline performs.
+    pub fn with_verify(mut self, verify: VerifyLevel) -> Self {
+        self.verify = verify;
+        self
+    }
+
     /// Runs the full pipeline on a logical circuit.
     ///
     /// # Errors
     ///
     /// Returns [`TranspileError::TooManyQubits`] when the circuit does not
-    /// fit on the device.
+    /// fit on the device, [`TranspileError::Routing`] when no legal SWAP
+    /// schedule exists, and [`TranspileError::Verification`] when the
+    /// configured [`VerifyLevel`] finds error-grade diagnostics in a stage's
+    /// output.
     pub fn run(&self, circuit: &Circuit) -> Result<TranspileResult, TranspileError> {
         let needed = circuit.num_qubits();
         let available = self.device.num_qubits();
@@ -144,16 +204,44 @@ impl Transpiler {
         } else {
             circuit.clone()
         };
+        if self.verify == VerifyLevel::Stages {
+            // Structural checks only: the circuit is still logical, so
+            // device conformance does not apply yet.
+            let report = Verifier::structural().verify(&Context::bare(&logical));
+            fail_on_errors("logical-optimize", report)?;
+        }
         // 2. Placement + routing.
         let mapping = place_on_device(&logical, &self.device, self.placement);
         let routed = match self.routing {
-            RoutingStrategy::ShortestPath => route(&logical, self.device.topology(), &mapping),
+            RoutingStrategy::ShortestPath => route(&logical, self.device.topology(), &mapping)?,
             RoutingStrategy::Lookahead => {
-                route_with_lookahead(&logical, self.device.topology(), &mapping, 8)
+                route_with_lookahead(&logical, self.device.topology(), &mapping, 8)?
             }
         };
+        if self.verify == VerifyLevel::Stages {
+            // The routed circuit lives on physical wires: coupling-map
+            // conformance and the Closed-Division audit apply. Native-gate
+            // conformance does not (decomposition comes next).
+            let audit = RoutingAudit::new(
+                logical.clone(),
+                routed.circuit.clone(),
+                routed.initial_mapping.clone(),
+                routed.final_mapping.clone(),
+                routed.swap_count,
+            );
+            let ctx = Context {
+                circuit: &routed.circuit,
+                device: Some(&self.device),
+                routing: Some(&audit),
+            };
+            fail_on_errors("route", Verifier::post_routing().verify(&ctx))?;
+        }
         // 3. Lower to the native gate set (also decomposes inserted SWAPs).
         let native = decompose(&routed.circuit, self.device.gate_set());
+        if self.verify == VerifyLevel::Stages {
+            let report = Verifier::all().verify(&Context::on_device(&native, &self.device));
+            fail_on_errors("decompose", report)?;
+        }
         // 4. Physical-level cleanup.
         let final_circuit = if self.optimize {
             let fused = fuse_single_qubit_runs(&native);
@@ -163,10 +251,10 @@ impl Transpiler {
         } else {
             native
         };
-        debug_assert!(
-            final_circuit.iter().all(|i| is_native(&i.gate, self.device.gate_set())),
-            "non-native gate survived transpilation"
-        );
+        if self.verify != VerifyLevel::Off {
+            let report = Verifier::all().verify(&Context::on_device(&final_circuit, &self.device));
+            fail_on_errors("optimize", report)?;
+        }
         let two_qubit_gates = final_circuit.two_qubit_gate_count();
         Ok(TranspileResult {
             circuit: final_circuit,
@@ -179,9 +267,23 @@ impl Transpiler {
     }
 }
 
+/// Converts a [`Report`] with error-grade findings into a
+/// [`TranspileError::Verification`].
+fn fail_on_errors(stage: &'static str, report: Report) -> Result<(), TranspileError> {
+    if report.has_errors() {
+        Err(TranspileError::Verification {
+            stage,
+            diagnostics: report.diagnostics,
+        })
+    } else {
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::decompose::is_native;
     use supermarq_device::NativeGateSet;
     use supermarq_sim::Executor;
 
@@ -209,7 +311,9 @@ mod tests {
                 );
                 if instr.is_two_qubit() {
                     assert!(
-                        device.topology().are_adjacent(instr.qubits[0], instr.qubits[1]),
+                        device
+                            .topology()
+                            .are_adjacent(instr.qubits[0], instr.qubits[1]),
                         "{}: non-adjacent 2q gate",
                         device.name()
                     );
@@ -235,8 +339,83 @@ mod tests {
     #[test]
     fn oversized_circuit_is_rejected() {
         let c = ghz(8);
-        let err = Transpiler::for_device(&Device::ibm_casablanca()).run(&c).unwrap_err();
-        assert_eq!(err, TranspileError::TooManyQubits { needed: 8, available: 7 });
+        let err = Transpiler::for_device(&Device::ibm_casablanca())
+            .run(&c)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TranspileError::TooManyQubits {
+                needed: 8,
+                available: 7
+            }
+        );
+    }
+
+    #[test]
+    fn stage_verification_accepts_honest_pipeline() {
+        for device in Device::all_paper_devices() {
+            let c = ghz(4.min(device.num_qubits()));
+            for strategy in [RoutingStrategy::ShortestPath, RoutingStrategy::Lookahead] {
+                let r = Transpiler::for_device(&device)
+                    .with_routing(strategy)
+                    .with_verify(VerifyLevel::Stages)
+                    .run(&c);
+                assert!(r.is_ok(), "{} ({strategy:?}): {:?}", device.name(), r.err());
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_device_reports_routing_error() {
+        use supermarq_device::{Calibration, NativeGateSet, Topology};
+        let topo = Topology::from_edges("split", 4, &[(0, 1), (2, 3)]);
+        let cal = Calibration::from_table_row(100.0, 100.0, 0.03, 0.4, 5.0, 0.05, 1.0, 2.0);
+        let device = Device::new("split", topo, cal, NativeGateSet::IbmLike, 0.0);
+        // An all-pairs circuit cannot stay inside one component.
+        let mut c = Circuit::new(4);
+        c.cx(0, 1).cx(1, 2).cx(2, 3).cx(0, 3);
+        let err = Transpiler::for_device(&device)
+            .with_placement(PlacementStrategy::Trivial)
+            .run(&c)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TranspileError::Routing(RouteError::Disconnected { .. })
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn verify_off_still_produces_native_output() {
+        let device = Device::ibm_casablanca();
+        let c = ghz(4);
+        let r = Transpiler::for_device(&device)
+            .with_verify(VerifyLevel::Off)
+            .run(&c)
+            .unwrap();
+        assert!(r
+            .circuit
+            .iter()
+            .all(|i| is_native(&i.gate, device.gate_set())));
+    }
+
+    #[test]
+    fn verification_error_renders_stage_and_first_diagnostic() {
+        use supermarq_verify::{CheckId, Diagnostic, Severity};
+        let err = TranspileError::Verification {
+            stage: "route",
+            diagnostics: vec![Diagnostic::at(
+                CheckId::CouplingMap,
+                Severity::Error,
+                3,
+                "cx on (0, 4)",
+            )],
+        };
+        let rendered = err.to_string();
+        assert!(rendered.contains("after route"), "{rendered}");
+        assert!(rendered.contains("V005"), "{rendered}");
     }
 
     #[test]
@@ -253,7 +432,9 @@ mod tests {
         c.measure_all();
         let ion = Transpiler::for_device(&Device::ionq()).run(&c).unwrap();
         assert_eq!(ion.swap_count, 0);
-        let ibm = Transpiler::for_device(&Device::ibm_casablanca()).run(&c).unwrap();
+        let ibm = Transpiler::for_device(&Device::ibm_casablanca())
+            .run(&c)
+            .unwrap();
         assert!(ibm.swap_count > 0, "expected swaps on sparse topology");
     }
 
@@ -276,10 +457,21 @@ mod tests {
     #[test]
     fn optimization_reduces_or_preserves_gate_count() {
         let mut c = Circuit::new(3);
-        c.h(0).h(0).cx(0, 1).cx(0, 1).rz(0.5, 2).rz(-0.5, 2).h(2).cx(1, 2).measure_all();
+        c.h(0)
+            .h(0)
+            .cx(0, 1)
+            .cx(0, 1)
+            .rz(0.5, 2)
+            .rz(-0.5, 2)
+            .h(2)
+            .cx(1, 2)
+            .measure_all();
         let device = Device::ibm_montreal();
         let optimized = Transpiler::for_device(&device).run(&c).unwrap();
-        let raw = Transpiler::for_device(&device).with_optimization(false).run(&c).unwrap();
+        let raw = Transpiler::for_device(&device)
+            .with_optimization(false)
+            .run(&c)
+            .unwrap();
         assert!(optimized.circuit.gate_count() <= raw.circuit.gate_count());
         assert!(optimized.two_qubit_gates <= raw.two_qubit_gates);
     }
@@ -288,10 +480,15 @@ mod tests {
     fn reset_and_mid_circuit_measure_pass_through() {
         let mut c = Circuit::new(3);
         c.h(0).cx(0, 1).measure(1).reset(1).cx(1, 2).measure_all();
-        let r = Transpiler::for_device(&Device::ibm_guadalupe()).run(&c).unwrap();
+        let r = Transpiler::for_device(&Device::ibm_guadalupe())
+            .run(&c)
+            .unwrap();
         assert!(r.circuit.reset_count() >= 1);
         assert!(r.circuit.measurement_count() >= 4);
-        assert!(r.circuit.iter().all(|i| is_native(&i.gate, NativeGateSet::IbmLike)));
+        assert!(r
+            .circuit
+            .iter()
+            .all(|i| is_native(&i.gate, NativeGateSet::IbmLike)));
     }
 
     #[test]
@@ -303,7 +500,9 @@ mod tests {
             .run(&c)
             .unwrap();
         for instr in r.circuit.iter().filter(|i| i.is_two_qubit()) {
-            assert!(device.topology().are_adjacent(instr.qubits[0], instr.qubits[1]));
+            assert!(device
+                .topology()
+                .are_adjacent(instr.qubits[0], instr.qubits[1]));
         }
         let counts = Executor::noiseless().run(&r.circuit, 2000, 41);
         let relabeled = r.relabel_counts(&counts);

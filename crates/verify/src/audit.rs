@@ -1,0 +1,461 @@
+//! V006: the Closed-Division audit.
+//!
+//! The Closed Division allows routing to change *where* a logical qubit
+//! lives, but not *what* the circuit computes: the routed circuit must
+//! implement the input circuit up to the output permutation the router
+//! reports. This pass checks that claim from the router's own provenance
+//! record ([`RoutingAudit`]):
+//!
+//! - **Mapping sanity** — `initial_mapping`/`final_mapping` have one entry
+//!   per logical qubit, are injective, and land on the routed register.
+//! - **Gate accounting** (always) — routing may only *insert SWAPs*: the
+//!   multiset of non-SWAP gates is preserved exactly, and the SWAP surplus
+//!   equals the reported `swap_count`.
+//! - **Statevector probe** (when tractable) — for circuits whose live wires
+//!   fit in a statevector, check *exact semantic equivalence*: append the
+//!   inverse output permutation to the routed circuit and verify it fixes
+//!   random product states identically to the input circuit embedded at its
+//!   initial placement.
+
+use crate::{CheckId, Context, Diagnostic, Pass, Severity};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet};
+use supermarq_circuit::{Circuit, Gate, GateKind};
+use supermarq_sim::StateVector;
+
+/// Largest number of live wires for which the audit runs the exact
+/// statevector probe; beyond this only gate accounting applies.
+pub const MAX_PROBE_QUBITS: usize = 12;
+
+/// Number of random product-state probes per audit.
+const PROBE_TRIALS: usize = 4;
+
+/// Fidelity below `1 - EQUIV_TOL` counts as a semantic mismatch.
+const EQUIV_TOL: f64 = 1e-9;
+
+/// What the router claims it did: the provenance record V006 audits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingAudit {
+    /// The circuit that entered the router (logical indices).
+    pub logical: Circuit,
+    /// The circuit the router produced (physical indices).
+    pub routed: Circuit,
+    /// Physical home of each logical qubit before the first instruction.
+    pub initial_mapping: Vec<usize>,
+    /// Physical home of each logical qubit after the last instruction.
+    pub final_mapping: Vec<usize>,
+    /// Number of SWAPs the router claims to have inserted.
+    pub swap_count: usize,
+}
+
+/// V006 pass: audits a [`RoutingAudit`] attached to the [`Context`].
+/// Silent when no routing provenance is present.
+pub struct ClosedDivisionAudit;
+
+impl Pass for ClosedDivisionAudit {
+    fn id(&self) -> CheckId {
+        CheckId::ClosedDivisionAudit
+    }
+
+    fn run(&self, ctx: &Context<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(audit) = ctx.routing else { return };
+        if !check_mappings(audit, out) {
+            return; // malformed mappings make the other stages meaningless
+        }
+        check_accounting(audit, out);
+        if probe_is_tractable(audit) {
+            check_statevector(audit, out);
+        }
+    }
+}
+
+/// Validates mapping shape: one entry per logical qubit, injective, on-chip.
+/// Returns `false` if the mappings are too broken to audit further.
+fn check_mappings(audit: &RoutingAudit, out: &mut Vec<Diagnostic>) -> bool {
+    let n_logical = audit.logical.num_qubits();
+    let n_phys = audit.routed.num_qubits();
+    let mut ok = true;
+    for (label, mapping) in [
+        ("initial_mapping", &audit.initial_mapping),
+        ("final_mapping", &audit.final_mapping),
+    ] {
+        if mapping.len() != n_logical {
+            out.push(Diagnostic::global(
+                CheckId::ClosedDivisionAudit,
+                Severity::Error,
+                format!(
+                    "{label} has {} entries for {n_logical} logical qubit(s)",
+                    mapping.len()
+                ),
+            ));
+            ok = false;
+            continue;
+        }
+        let distinct: BTreeSet<usize> = mapping.iter().copied().collect();
+        if distinct.len() != mapping.len() {
+            out.push(Diagnostic::global(
+                CheckId::ClosedDivisionAudit,
+                Severity::Error,
+                format!("{label} is not injective: {mapping:?}"),
+            ));
+            ok = false;
+        }
+        if let Some(&bad) = mapping.iter().find(|&&p| p >= n_phys) {
+            out.push(Diagnostic::global(
+                CheckId::ClosedDivisionAudit,
+                Severity::Error,
+                format!("{label} places a qubit on wire {bad} of a {n_phys}-wire register"),
+            ));
+            ok = false;
+        }
+    }
+    ok
+}
+
+/// Gate accounting: routing may only insert SWAPs. Every non-SWAP gate of
+/// the logical circuit must appear in the routed circuit with identical
+/// multiplicity (keyed by the gate's display form, so rotation angles
+/// count), and the SWAP surplus must equal the reported `swap_count`.
+fn check_accounting(audit: &RoutingAudit, out: &mut Vec<Diagnostic>) {
+    let logical = gate_multiset(&audit.logical);
+    let routed = gate_multiset(&audit.routed);
+    let swap_key = Gate::Swap.to_string();
+    let logical_swaps = logical.get(&swap_key).copied().unwrap_or(0);
+    let routed_swaps = routed.get(&swap_key).copied().unwrap_or(0);
+
+    if routed_swaps < logical_swaps {
+        out.push(Diagnostic::global(
+            CheckId::ClosedDivisionAudit,
+            Severity::Error,
+            format!("routing removed SWAPs: {logical_swaps} in, {routed_swaps} out"),
+        ));
+    } else if routed_swaps - logical_swaps != audit.swap_count {
+        out.push(Diagnostic::global(
+            CheckId::ClosedDivisionAudit,
+            Severity::Error,
+            format!(
+                "router reports {} inserted SWAP(s) but the circuits show {}",
+                audit.swap_count,
+                routed_swaps - logical_swaps
+            ),
+        ));
+    }
+
+    let keys: BTreeSet<&String> = logical
+        .keys()
+        .chain(routed.keys())
+        .filter(|k| **k != swap_key)
+        .collect();
+    for key in keys {
+        let want = logical.get(key).copied().unwrap_or(0);
+        let got = routed.get(key).copied().unwrap_or(0);
+        if want != got {
+            out.push(Diagnostic::global(
+                CheckId::ClosedDivisionAudit,
+                Severity::Error,
+                format!("gate count for '{key}' changed across routing: {want} in, {got} out"),
+            ));
+        }
+    }
+}
+
+/// Multiset of gate display forms, barriers excluded.
+fn gate_multiset(circuit: &Circuit) -> BTreeMap<String, usize> {
+    let mut counts = BTreeMap::new();
+    for instr in circuit.iter() {
+        if instr.gate.kind() == GateKind::Barrier {
+            continue;
+        }
+        *counts.entry(instr.gate.to_string()).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// The probe needs unitary-only semantics (resets collapse) and a live-wire
+/// count small enough for a statevector.
+fn probe_is_tractable(audit: &RoutingAudit) -> bool {
+    if audit.logical.reset_count() > 0 || audit.routed.reset_count() > 0 {
+        return false;
+    }
+    live_wires(audit).len() <= MAX_PROBE_QUBITS
+}
+
+/// The physical wires the audit must simulate: everything the routed
+/// circuit touches plus the images of both mappings.
+fn live_wires(audit: &RoutingAudit) -> BTreeSet<usize> {
+    let mut wires: BTreeSet<usize> = audit.initial_mapping.iter().copied().collect();
+    wires.extend(audit.final_mapping.iter().copied());
+    for instr in audit.routed.iter() {
+        wires.extend(instr.qubits.iter().copied());
+    }
+    wires
+}
+
+/// Exact equivalence probe on the compacted live wires.
+///
+/// Let `E` be the logical circuit embedded at `initial_mapping` and `R` the
+/// routed circuit followed by correction SWAPs returning every logical
+/// qubit from `final_mapping` back to `initial_mapping`. For any state that
+/// is `|0>` outside the mapped wires, `R` and `E` must agree exactly:
+/// routing is wire permutation plus nothing. Measurements and barriers are
+/// stripped (both sides identically); the probe states are random product
+/// states on the mapped wires plus an entangling ladder, so coincidental
+/// agreement on all probes is vanishingly unlikely.
+fn check_statevector(audit: &RoutingAudit, out: &mut Vec<Diagnostic>) {
+    let wires = live_wires(audit);
+    let dense: BTreeMap<usize, usize> = wires
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(i, w)| (w, i))
+        .collect();
+    let n = wires.len();
+    if n == 0 {
+        return;
+    }
+
+    // Embedded logical circuit on the dense register.
+    let mut embedded = Circuit::new(n);
+    for instr in audit.logical.iter() {
+        if matches!(instr.gate.kind(), GateKind::Barrier | GateKind::Measurement) {
+            continue;
+        }
+        let qubits: Vec<usize> = instr
+            .qubits
+            .iter()
+            .map(|&q| dense[&audit.initial_mapping[q]])
+            .collect();
+        embedded.push_unchecked(instr.gate, &qubits);
+    }
+
+    // Routed circuit on the dense register, plus correction SWAPs that
+    // undo the output permutation (selection-sort of final -> initial).
+    let mut corrected = Circuit::new(n);
+    for instr in audit.routed.iter() {
+        if matches!(instr.gate.kind(), GateKind::Barrier | GateKind::Measurement) {
+            continue;
+        }
+        let qubits: Vec<usize> = instr.qubits.iter().map(|&q| dense[&q]).collect();
+        corrected.push_unchecked(instr.gate, &qubits);
+    }
+    let mut location: Vec<usize> = audit.final_mapping.clone();
+    for q in 0..location.len() {
+        let target = audit.initial_mapping[q];
+        if location[q] == target {
+            continue;
+        }
+        let from = location[q];
+        corrected.push_unchecked(Gate::Swap, &[dense[&from], dense[&target]]);
+        // The swap moves whichever logical qubit held `target` onto `from`.
+        for loc in location.iter_mut() {
+            if *loc == target {
+                *loc = from;
+                break;
+            }
+        }
+        location[q] = target;
+    }
+
+    // Probe with random product states on the mapped wires (the rest stay
+    // |0>, which wire permutation preserves) plus a CZ ladder for spread.
+    let mapped_dense: Vec<usize> = audit.initial_mapping.iter().map(|w| dense[w]).collect();
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for trial in 0..PROBE_TRIALS {
+        let mut prep = Circuit::new(n);
+        for &d in &mapped_dense {
+            prep.push_unchecked(Gate::Ry(rng.gen_range(0.0..3.0)), &[d]);
+            prep.push_unchecked(Gate::Rz(rng.gen_range(0.0..3.0)), &[d]);
+        }
+        for pair in mapped_dense.windows(2) {
+            prep.push_unchecked(Gate::Cz, &[pair[0], pair[1]]);
+        }
+        let via_embedded = run_unitary(&prep, &embedded, n);
+        let via_routed = run_unitary(&prep, &corrected, n);
+        let fidelity = via_embedded.fidelity(&via_routed);
+        if fidelity < 1.0 - EQUIV_TOL {
+            out.push(Diagnostic::global(
+                CheckId::ClosedDivisionAudit,
+                Severity::Error,
+                format!(
+                    "routed circuit is not equivalent to its input up to the reported \
+                     permutation (probe {trial}: fidelity {fidelity:.12})"
+                ),
+            ));
+            return; // one counterexample suffices
+        }
+    }
+}
+
+/// Applies `prep` then `body` to `|0...0>` on `n` dense wires.
+fn run_unitary(prep: &Circuit, body: &Circuit, n: usize) -> StateVector {
+    let mut state = StateVector::zero_state(n);
+    for instr in prep.iter().chain(body.iter()) {
+        state.apply_instruction(instr);
+    }
+    state
+}
+
+/// Convenience: instruction stream of correction swaps is internal; expose
+/// the audit itself for construction at routing sites.
+impl RoutingAudit {
+    /// Builds the provenance record for a routing step.
+    pub fn new(
+        logical: Circuit,
+        routed: Circuit,
+        initial_mapping: Vec<usize>,
+        final_mapping: Vec<usize>,
+        swap_count: usize,
+    ) -> Self {
+        RoutingAudit {
+            logical,
+            routed,
+            initial_mapping,
+            final_mapping,
+            swap_count,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{verify_routed, CheckId, Severity, Verifier};
+
+    /// logical cx(0,1) placed at wires [0, 2] of a 3-wire line: routing
+    /// swaps wires (1, 2) to bring the operands together, then applies the
+    /// gate at (0, 1). Final homes: [0, 1].
+    fn honest_audit() -> RoutingAudit {
+        let mut logical = Circuit::new(2);
+        logical.rz(0.25, 0).cx(0, 1).rz(-0.5, 1);
+        let mut routed = Circuit::new(3);
+        routed.swap(1, 2).rz(0.25, 0).cx(0, 1).rz(-0.5, 1);
+        RoutingAudit::new(logical, routed, vec![0, 2], vec![0, 1], 1)
+    }
+
+    #[test]
+    fn honest_routing_passes_the_audit() {
+        let report = verify_routed(&honest_audit(), None);
+        assert!(!report.has_errors(), "findings:\n{}", report.render());
+    }
+
+    #[test]
+    fn identity_routing_passes_the_audit() {
+        let mut logical = Circuit::new(2);
+        logical.h(0).cx(0, 1).measure_all();
+        let audit = RoutingAudit::new(logical.clone(), logical, vec![0, 1], vec![0, 1], 0);
+        let report = verify_routed(&audit, None);
+        assert!(!report.has_errors(), "findings:\n{}", report.render());
+    }
+
+    // --- seeded mutations: each must be caught by V006 and only V006 ----
+
+    fn v006_errors_only(audit: &RoutingAudit) {
+        let report = verify_routed(audit, None);
+        let mut hit: Vec<CheckId> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity >= Severity::Error)
+            .map(|d| d.check)
+            .collect();
+        hit.sort();
+        hit.dedup();
+        assert_eq!(
+            hit,
+            vec![CheckId::ClosedDivisionAudit],
+            "report:\n{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn v006_catches_dropped_gate() {
+        let mut audit = honest_audit();
+        let mut routed = Circuit::new(3);
+        routed.swap(1, 2).rz(0.25, 0).cx(0, 1); // mutation: trailing rz dropped
+        audit.routed = routed;
+        v006_errors_only(&audit);
+    }
+
+    #[test]
+    fn v006_catches_tampered_rotation_angle() {
+        let mut audit = honest_audit();
+        let mut routed = Circuit::new(3);
+        routed.swap(1, 2).rz(0.26, 0).cx(0, 1).rz(-0.5, 1); // mutation: 0.25 -> 0.26
+        audit.routed = routed;
+        v006_errors_only(&audit);
+    }
+
+    #[test]
+    fn v006_catches_misreported_swap_count() {
+        let mut audit = honest_audit();
+        audit.swap_count = 0; // mutation: router under-reports its swaps
+        v006_errors_only(&audit);
+    }
+
+    #[test]
+    fn v006_statevector_probe_catches_swapped_control_and_target() {
+        // Gate multiset is identical, so only the semantic probe can see
+        // that cx(1, 0) is not cx(0, 1).
+        let mut audit = honest_audit();
+        let mut routed = Circuit::new(3);
+        routed.swap(1, 2).rz(0.25, 0).cx(1, 0).rz(-0.5, 1); // mutation: flipped cx
+        audit.routed = routed;
+        v006_errors_only(&audit);
+    }
+
+    #[test]
+    fn v006_statevector_probe_catches_wrong_permutation_claim() {
+        let mut audit = honest_audit();
+        audit.final_mapping = vec![0, 2]; // mutation: claims qubit 1 never moved
+        v006_errors_only(&audit);
+    }
+
+    #[test]
+    fn v006_catches_non_injective_mapping() {
+        let mut audit = honest_audit();
+        audit.final_mapping = vec![0, 0];
+        v006_errors_only(&audit);
+    }
+
+    #[test]
+    fn v006_catches_mapping_length_mismatch() {
+        let mut audit = honest_audit();
+        audit.initial_mapping = vec![0];
+        v006_errors_only(&audit);
+    }
+
+    #[test]
+    fn v006_catches_off_register_mapping() {
+        let mut audit = honest_audit();
+        audit.final_mapping = vec![0, 3];
+        v006_errors_only(&audit);
+    }
+
+    #[test]
+    fn accounting_still_works_beyond_probe_size() {
+        // 14 live wires: probe is skipped, accounting still audits.
+        let n = 14;
+        let mut logical = Circuit::new(n);
+        for q in 0..n - 1 {
+            logical.cx(q, q + 1);
+        }
+        let identity: Vec<usize> = (0..n).collect();
+        let mut tampered = logical.clone();
+        tampered.x(0); // mutation: an extra gate appears post-routing
+        let audit = RoutingAudit::new(logical, tampered, identity.clone(), identity, 0);
+        assert!(!probe_is_tractable(&audit));
+        v006_errors_only(&audit);
+    }
+
+    #[test]
+    fn audit_pass_is_silent_without_provenance() {
+        let mut c = Circuit::new(2);
+        c.swap(0, 1); // a bare swap is fine when nothing was claimed
+        let report = Verifier::all().verify(&crate::Context::bare(&c));
+        assert!(report
+            .diagnostics
+            .iter()
+            .all(|d| d.check != CheckId::ClosedDivisionAudit));
+    }
+}

@@ -1,0 +1,523 @@
+//! Pass-based static analysis for SupermarQ circuits.
+//!
+//! The SupermarQ Closed Division (Sec. VI of the paper) constrains what a
+//! legal compilation may do: decompose into the target's native gates, route
+//! two-qubit gates onto coupled physical pairs, and only apply semantics
+//! preserving optimizations. The transpiler in this workspace historically
+//! enforced those rules with scattered `assert!`/`debug_assert!` calls that
+//! panic, disappear in release builds, and report nothing structured.
+//!
+//! This crate replaces that with an analysis pipeline: a [`Verifier`] runs a
+//! sequence of [`Pass`]es over a [`Context`] (a [`Circuit`], optionally a
+//! [`Device`], optionally a [`RoutingAudit`]) and collects structured
+//! [`Diagnostic`]s into a [`Report`]. Nothing here panics on a malformed
+//! circuit — malformed input is precisely what the passes exist to describe.
+//!
+//! # Checks
+//!
+//! | id   | name                   | flags                                               |
+//! |------|------------------------|-----------------------------------------------------|
+//! | V001 | operand-validity       | out-of-range qubit indices, wrong operand arity     |
+//! | V002 | duplicate-operands     | repeated qubit within one instruction               |
+//! | V003 | measurement-discipline | unitaries after final measurement, re-measurement   |
+//! | V004 | native-gates           | gates outside the target device's native set        |
+//! | V005 | coupling-map           | two-qubit gates on non-adjacent physical qubits     |
+//! | V006 | closed-division-audit  | routed circuit disagrees with input up to permutation |
+//! | V007 | lint                   | adjacent self-inverse pairs, ~0 rotations, unused qubits |
+//!
+//! # Example
+//!
+//! ```
+//! use supermarq_circuit::Circuit;
+//! use supermarq_device::Device;
+//! use supermarq_verify::{verify_on_device, CheckId};
+//!
+//! let mut c = Circuit::new(2);
+//! c.h(0).cx(0, 1); // `h` is not native on IBM-style hardware
+//! let report = verify_on_device(&c, &Device::ibm_casablanca());
+//! assert!(report.has_errors());
+//! assert!(report.diagnostics.iter().any(|d| d.check == CheckId::NativeGates));
+//! ```
+
+pub mod audit;
+pub mod checks;
+
+pub use audit::RoutingAudit;
+
+use supermarq_circuit::{Circuit, Gate, GateKind};
+use supermarq_device::{Device, NativeGateSet};
+
+/// How serious a finding is.
+///
+/// Only [`Severity::Error`] findings represent Closed-Division violations;
+/// warnings flag suspicious-but-legal structure and lints are stylistic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Stylistic or efficiency finding; never a correctness problem.
+    Lint,
+    /// Suspicious structure that can be legitimate (e.g. routing may swap
+    /// through a qubit after its final measurement).
+    Warning,
+    /// A malformed circuit or a Closed-Division rule violation.
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Severity::Lint => "lint",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Stable identifier of a verification pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CheckId {
+    /// V001: qubit indices in range, operand count matches gate arity.
+    OperandValidity,
+    /// V002: no repeated qubit within a single instruction.
+    DuplicateOperands,
+    /// V003: no unitary on fully-measured operands, no re-measurement
+    /// without an intervening reset.
+    MeasurementDiscipline,
+    /// V004: every gate is native to the target device.
+    NativeGates,
+    /// V005: every two-qubit gate acts on coupled physical qubits.
+    CouplingMap,
+    /// V006: the routed circuit implements the input circuit up to the
+    /// reported output permutation.
+    ClosedDivisionAudit,
+    /// V007: lint-grade findings (cancellable pairs, ~0 rotations, unused
+    /// qubits).
+    Lint,
+}
+
+impl CheckId {
+    /// All checks, in pass-execution order.
+    pub const ALL: [CheckId; 7] = [
+        CheckId::OperandValidity,
+        CheckId::DuplicateOperands,
+        CheckId::MeasurementDiscipline,
+        CheckId::NativeGates,
+        CheckId::CouplingMap,
+        CheckId::ClosedDivisionAudit,
+        CheckId::Lint,
+    ];
+
+    /// Short machine-readable code (`V001` … `V007`).
+    pub fn code(&self) -> &'static str {
+        match self {
+            CheckId::OperandValidity => "V001",
+            CheckId::DuplicateOperands => "V002",
+            CheckId::MeasurementDiscipline => "V003",
+            CheckId::NativeGates => "V004",
+            CheckId::CouplingMap => "V005",
+            CheckId::ClosedDivisionAudit => "V006",
+            CheckId::Lint => "V007",
+        }
+    }
+
+    /// Human-readable kebab-case name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CheckId::OperandValidity => "operand-validity",
+            CheckId::DuplicateOperands => "duplicate-operands",
+            CheckId::MeasurementDiscipline => "measurement-discipline",
+            CheckId::NativeGates => "native-gates",
+            CheckId::CouplingMap => "coupling-map",
+            CheckId::ClosedDivisionAudit => "closed-division-audit",
+            CheckId::Lint => "lint",
+        }
+    }
+
+    /// One-line description, used by `supermarq lint --list`.
+    pub fn description(&self) -> &'static str {
+        match self {
+            CheckId::OperandValidity => {
+                "qubit indices are in range and operand counts match gate arity"
+            }
+            CheckId::DuplicateOperands => "no instruction repeats a qubit operand",
+            CheckId::MeasurementDiscipline => {
+                "no unitary acts on fully-measured qubits; no re-measurement without reset"
+            }
+            CheckId::NativeGates => "every gate belongs to the target device's native gate set",
+            CheckId::CouplingMap => "every two-qubit gate acts on a coupled physical pair",
+            CheckId::ClosedDivisionAudit => {
+                "routed circuit matches the input up to the reported output permutation"
+            }
+            CheckId::Lint => "adjacent self-inverse pairs, ~0-angle rotations, unused qubits",
+        }
+    }
+}
+
+impl std::fmt::Display for CheckId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.code(), self.name())
+    }
+}
+
+/// One finding from one pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The pass that produced this finding.
+    pub check: CheckId,
+    /// How serious it is.
+    pub severity: Severity,
+    /// Index of the offending instruction in the analyzed circuit, when the
+    /// finding is attributable to one.
+    pub instruction: Option<usize>,
+    /// Human-readable description of the finding.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic attached to instruction `index`.
+    pub fn at(
+        check: CheckId,
+        severity: Severity,
+        index: usize,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            check,
+            severity,
+            instruction: Some(index),
+            message: message.into(),
+        }
+    }
+
+    /// Creates a circuit-level diagnostic (no single offending instruction).
+    pub fn global(check: CheckId, severity: Severity, message: impl Into<String>) -> Self {
+        Diagnostic {
+            check,
+            severity,
+            instruction: None,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.check.code())?;
+        if let Some(i) = self.instruction {
+            write!(f, " at instruction {i}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// The collected output of a verification run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Report {
+    /// All findings, in pass order then instruction order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// `true` if no pass produced any finding.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// `true` if any finding is [`Severity::Error`].
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// The error-severity findings.
+    pub fn errors(&self) -> Vec<&Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect()
+    }
+
+    /// Number of findings at exactly `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// The set of checks that produced at least one finding.
+    pub fn checks_hit(&self) -> Vec<CheckId> {
+        let mut hit: Vec<CheckId> = CheckId::ALL
+            .into_iter()
+            .filter(|c| self.diagnostics.iter().any(|d| d.check == *c))
+            .collect();
+        hit.dedup();
+        hit
+    }
+
+    /// Renders every diagnostic, one per line.
+    pub fn render(&self) -> String {
+        self.diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Everything a pass may look at.
+///
+/// `circuit` is always present; `device` enables the hardware-conformance
+/// passes (V004/V005) and `routing` enables the Closed-Division audit
+/// (V006). Passes whose inputs are absent are silent no-ops, so a single
+/// [`Verifier`] pipeline serves every verification site.
+#[derive(Clone, Copy)]
+pub struct Context<'a> {
+    /// The circuit under analysis.
+    pub circuit: &'a Circuit,
+    /// Target device, when hardware conformance should be checked.
+    pub device: Option<&'a Device>,
+    /// Routing provenance, when the circuit is the output of the router.
+    pub routing: Option<&'a RoutingAudit>,
+}
+
+impl<'a> Context<'a> {
+    /// A device- and routing-free context: structural checks only.
+    pub fn bare(circuit: &'a Circuit) -> Self {
+        Context {
+            circuit,
+            device: None,
+            routing: None,
+        }
+    }
+
+    /// A context with a target device.
+    pub fn on_device(circuit: &'a Circuit, device: &'a Device) -> Self {
+        Context {
+            circuit,
+            device: Some(device),
+            routing: None,
+        }
+    }
+}
+
+/// A single verification pass.
+pub trait Pass {
+    /// The stable identifier of this pass.
+    fn id(&self) -> CheckId;
+
+    /// Analyzes `ctx`, appending findings to `out`.
+    fn run(&self, ctx: &Context<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// A pipeline of verification passes.
+///
+/// # Example
+///
+/// ```
+/// use supermarq_circuit::{Circuit, Gate};
+/// use supermarq_verify::{Context, Verifier};
+///
+/// let mut broken = Circuit::new(2);
+/// broken.push_unchecked(Gate::Cx, &[0, 5]); // out of range
+/// let report = Verifier::all().verify(&Context::bare(&broken));
+/// assert!(report.has_errors());
+/// ```
+#[derive(Default)]
+pub struct Verifier {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl Verifier {
+    /// An empty pipeline; add passes with [`Verifier::with_pass`].
+    pub fn new() -> Self {
+        Verifier { passes: Vec::new() }
+    }
+
+    /// The full pipeline: all seven checks, in [`CheckId::ALL`] order.
+    pub fn all() -> Self {
+        Verifier::new()
+            .with_pass(checks::OperandValidity)
+            .with_pass(checks::DuplicateOperands)
+            .with_pass(checks::MeasurementDiscipline)
+            .with_pass(checks::NativeGates)
+            .with_pass(checks::CouplingMap)
+            .with_pass(audit::ClosedDivisionAudit)
+            .with_pass(checks::LintPass)
+    }
+
+    /// The pipeline for auditing the router's output: the circuit is on
+    /// physical wires (so V005 and the V006 audit apply) but has not been
+    /// decomposed yet, so native-gate conformance (V004) is excluded.
+    pub fn post_routing() -> Self {
+        Verifier::new()
+            .with_pass(checks::OperandValidity)
+            .with_pass(checks::DuplicateOperands)
+            .with_pass(checks::MeasurementDiscipline)
+            .with_pass(checks::CouplingMap)
+            .with_pass(audit::ClosedDivisionAudit)
+            .with_pass(checks::LintPass)
+    }
+
+    /// The structural subset (V001–V003, V007): meaningful without a device.
+    pub fn structural() -> Self {
+        Verifier::new()
+            .with_pass(checks::OperandValidity)
+            .with_pass(checks::DuplicateOperands)
+            .with_pass(checks::MeasurementDiscipline)
+            .with_pass(checks::LintPass)
+    }
+
+    /// Appends a pass to the pipeline.
+    pub fn with_pass(mut self, pass: impl Pass + 'static) -> Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// The ids of the registered passes, in execution order.
+    pub fn pass_ids(&self) -> Vec<CheckId> {
+        self.passes.iter().map(|p| p.id()).collect()
+    }
+
+    /// Runs every pass over `ctx` and collects the findings.
+    pub fn verify(&self, ctx: &Context<'_>) -> Report {
+        let mut diagnostics = Vec::new();
+        for pass in &self.passes {
+            pass.run(ctx, &mut diagnostics);
+        }
+        Report { diagnostics }
+    }
+}
+
+/// Runs the structural checks (V001–V003, V007) on a bare circuit.
+pub fn verify_circuit(circuit: &Circuit) -> Report {
+    Verifier::structural().verify(&Context::bare(circuit))
+}
+
+/// Runs every device-applicable check (V001–V005, V007) on a circuit
+/// targeting `device`.
+pub fn verify_on_device(circuit: &Circuit, device: &Device) -> Report {
+    Verifier::all().verify(&Context::on_device(circuit, device))
+}
+
+/// Runs the full pipeline, including the Closed-Division audit, on a routed
+/// circuit with its provenance.
+pub fn verify_routed(audit: &RoutingAudit, device: Option<&Device>) -> Report {
+    let ctx = Context {
+        circuit: &audit.routed,
+        device,
+        routing: Some(audit),
+    };
+    Verifier::all().verify(&ctx)
+}
+
+/// `true` if `gate` is native to `gate_set`.
+///
+/// This is the single source of truth for native-gate membership: the
+/// transpiler's decomposer and the V004 pass both consult it. Measurements,
+/// resets and barriers are native everywhere; the identity is free on every
+/// architecture.
+pub fn is_native(gate: &Gate, gate_set: NativeGateSet) -> bool {
+    match gate.kind() {
+        GateKind::Measurement | GateKind::Reset | GateKind::Barrier => true,
+        GateKind::OneQubitUnitary => match gate_set {
+            // IBM basis: rz, sx, x (plus the free identity).
+            NativeGateSet::IbmLike => matches!(gate, Gate::Rz(_) | Gate::Sx | Gate::X | Gate::I),
+            // Trapped ions drive arbitrary single-qubit rotations natively.
+            NativeGateSet::IonLike => true,
+            // AQT@LBNL basis: rz, sx (plus the free identity).
+            NativeGateSet::AqtLike => matches!(gate, Gate::Rz(_) | Gate::Sx | Gate::I),
+        },
+        GateKind::TwoQubitUnitary => match gate_set {
+            NativeGateSet::IbmLike => matches!(gate, Gate::Cx),
+            NativeGateSet::IonLike => matches!(gate, Gate::Rxx(_)),
+            NativeGateSet::AqtLike => matches!(gate, Gate::Cz),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_ids_are_stable_and_distinct() {
+        let codes: Vec<&str> = CheckId::ALL.iter().map(|c| c.code()).collect();
+        assert_eq!(
+            codes,
+            ["V001", "V002", "V003", "V004", "V005", "V006", "V007"]
+        );
+        let names: std::collections::BTreeSet<&str> =
+            CheckId::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), 7);
+    }
+
+    #[test]
+    fn severity_orders_lint_below_error() {
+        assert!(Severity::Lint < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn diagnostic_renders_with_code_and_instruction() {
+        let d = Diagnostic::at(CheckId::CouplingMap, Severity::Error, 7, "cx on (0, 4)");
+        assert_eq!(d.to_string(), "error[V005] at instruction 7: cx on (0, 4)");
+        let g = Diagnostic::global(CheckId::Lint, Severity::Lint, "qubit 3 is unused");
+        assert_eq!(g.to_string(), "lint[V007]: qubit 3 is unused");
+    }
+
+    #[test]
+    fn clean_circuit_produces_clean_report() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).measure_all();
+        let report = verify_circuit(&c);
+        assert!(
+            report.is_clean(),
+            "unexpected findings:\n{}",
+            report.render()
+        );
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn full_pipeline_registers_all_seven_passes() {
+        assert_eq!(Verifier::all().pass_ids(), CheckId::ALL.to_vec());
+    }
+
+    #[test]
+    fn report_counts_by_severity() {
+        let report = Report {
+            diagnostics: vec![
+                Diagnostic::global(CheckId::Lint, Severity::Lint, "a"),
+                Diagnostic::global(CheckId::NativeGates, Severity::Error, "b"),
+                Diagnostic::global(CheckId::NativeGates, Severity::Error, "c"),
+            ],
+        };
+        assert_eq!(report.count(Severity::Lint), 1);
+        assert_eq!(report.count(Severity::Error), 2);
+        assert_eq!(report.errors().len(), 2);
+        assert_eq!(
+            report.checks_hit(),
+            vec![CheckId::NativeGates, CheckId::Lint]
+        );
+    }
+
+    #[test]
+    fn native_membership_matches_table_ii_architectures() {
+        use NativeGateSet::*;
+        assert!(is_native(&Gate::Rz(0.3), IbmLike));
+        assert!(is_native(&Gate::Cx, IbmLike));
+        assert!(!is_native(&Gate::H, IbmLike));
+        assert!(!is_native(&Gate::Cz, IbmLike));
+        assert!(is_native(&Gate::H, IonLike));
+        assert!(is_native(&Gate::Rxx(0.4), IonLike));
+        assert!(!is_native(&Gate::Cx, IonLike));
+        assert!(is_native(&Gate::Cz, AqtLike));
+        assert!(!is_native(&Gate::X, AqtLike));
+        for set in [IbmLike, IonLike, AqtLike] {
+            assert!(is_native(&Gate::Measure, set));
+            assert!(is_native(&Gate::Reset, set));
+            assert!(is_native(&Gate::Barrier, set));
+        }
+    }
+}

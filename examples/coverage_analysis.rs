@@ -20,11 +20,17 @@ fn main() {
     let families: Vec<(&str, Vec<FeatureVector>)> = vec![
         (
             "GHZ",
-            [3, 6, 12, 50].iter().map(|&n| GhzBenchmark::new(n).features()).collect(),
+            [3, 6, 12, 50]
+                .iter()
+                .map(|&n| GhzBenchmark::new(n).features())
+                .collect(),
         ),
         (
             "Mermin-Bell",
-            [3, 4, 5].iter().map(|&n| MerminBellBenchmark::new(n).features()).collect(),
+            [3, 4, 5]
+                .iter()
+                .map(|&n| MerminBellBenchmark::new(n).features())
+                .collect(),
         ),
         (
             "Bit code",
@@ -42,13 +48,25 @@ fn main() {
         ),
         (
             "Vanilla QAOA",
-            [4, 8].iter().map(|&n| QaoaVanillaBenchmark::new(n, 1).features()).collect(),
+            [4, 8]
+                .iter()
+                .map(|&n| QaoaVanillaBenchmark::new(n, 1).features())
+                .collect(),
         ),
         (
             "ZZ-SWAP QAOA",
-            [4, 8].iter().map(|&n| QaoaSwapBenchmark::new(n, 1).features()).collect(),
+            [4, 8]
+                .iter()
+                .map(|&n| QaoaSwapBenchmark::new(n, 1).features())
+                .collect(),
         ),
-        ("VQE", [4, 6].iter().map(|&n| VqeBenchmark::new(n, 1).features()).collect()),
+        (
+            "VQE",
+            [4, 6]
+                .iter()
+                .map(|&n| VqeBenchmark::new(n, 1).features())
+                .collect(),
+        ),
         (
             "Hamiltonian simulation",
             [(4usize, 4usize), (10, 6)]
@@ -59,7 +77,10 @@ fn main() {
     ];
 
     let mut accumulated: Vec<FeatureVector> = Vec::new();
-    println!("{:<24} {:>10} {:>14}", "after adding", "vectors", "hull volume");
+    println!(
+        "{:<24} {:>10} {:>14}",
+        "after adding", "vectors", "hull volume"
+    );
     for (name, features) in families {
         accumulated.extend(features);
         let volume = coverage_of_features(&accumulated);

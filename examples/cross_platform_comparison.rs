@@ -23,17 +23,36 @@ fn main() {
     let zzswap = QaoaSwapBenchmark::new(n, seed);
     println!("SK instance seed {seed}, n = {n}");
     println!("optimal (gamma, beta) = {:?}", vanilla.parameters());
-    println!("classically exact <H> at optimum = {:.4}\n", vanilla.ideal_energy());
+    println!(
+        "classically exact <H> at optimum = {:.4}\n",
+        vanilla.ideal_energy()
+    );
 
-    let devices =
-        [Device::ionq(), Device::ibm_casablanca(), Device::ibm_guadalupe(), Device::ibm_montreal()];
-    let config = RunConfig { shots: 2000, repetitions: 3, seed: 9, ..RunConfig::default() };
+    let devices = [
+        Device::ionq(),
+        Device::ibm_casablanca(),
+        Device::ibm_guadalupe(),
+        Device::ibm_montreal(),
+    ];
+    let config = RunConfig {
+        shots: 2000,
+        repetitions: 3,
+        seed: 9,
+        ..RunConfig::default()
+    };
 
-    for (label, bench) in
-        [("Vanilla QAOA (all-to-all ansatz)", &vanilla as &dyn Benchmark), ("ZZ-SWAP QAOA (linear ansatz)", &zzswap)]
-    {
+    for (label, bench) in [
+        (
+            "Vanilla QAOA (all-to-all ansatz)",
+            &vanilla as &dyn Benchmark,
+        ),
+        ("ZZ-SWAP QAOA (linear ansatz)", &zzswap),
+    ] {
         println!("== {label} ==");
-        println!("{:<16} {:>8} {:>8} {:>6}", "device", "score", "stddev", "swaps");
+        println!(
+            "{:<16} {:>8} {:>8} {:>6}",
+            "device", "score", "stddev", "swaps"
+        );
         for device in &devices {
             match run_on_device(bench, device, &config) {
                 Ok(r) => println!(

@@ -33,24 +33,50 @@ fn main() {
         device.num_qubits(),
         device.topology().edge_count()
     );
-    let config = RunConfig { shots: 1000, repetitions: 2, seed: 77, ..RunConfig::default() };
-    println!("{:<18} {:>8} {:>8} {:>6}", "benchmark", "score", "stddev", "swaps");
+    let config = RunConfig {
+        shots: 1000,
+        repetitions: 2,
+        seed: 77,
+        ..RunConfig::default()
+    };
+    println!(
+        "{:<18} {:>8} {:>8} {:>6}",
+        "benchmark", "score", "stddev", "swaps"
+    );
     for n in [4usize, 8, 12, 16] {
         let b = GhzBenchmark::new(n);
         if let Ok(r) = run_on_device(&b, &device, &config) {
-            println!("{:<18} {:>8.3} {:>8.3} {:>6}", r.benchmark, r.mean_score(), r.std_dev(), r.swap_count);
+            println!(
+                "{:<18} {:>8.3} {:>8.3} {:>6}",
+                r.benchmark,
+                r.mean_score(),
+                r.std_dev(),
+                r.swap_count
+            );
         }
     }
     for n in [4usize, 8, 12] {
         let b = QaoaSwapBenchmark::new(n, 1);
         if let Ok(r) = run_on_device(&b, &device, &config) {
-            println!("{:<18} {:>8.3} {:>8.3} {:>6}", r.benchmark, r.mean_score(), r.std_dev(), r.swap_count);
+            println!(
+                "{:<18} {:>8.3} {:>8.3} {:>6}",
+                r.benchmark,
+                r.mean_score(),
+                r.std_dev(),
+                r.swap_count
+            );
         }
     }
     for (n, steps) in [(6usize, 4usize), (10, 4), (14, 4)] {
         let b = HamiltonianSimBenchmark::new(n, steps);
         if let Ok(r) = run_on_device(&b, &device, &config) {
-            println!("{:<18} {:>8.3} {:>8.3} {:>6}", r.benchmark, r.mean_score(), r.std_dev(), r.swap_count);
+            println!(
+                "{:<18} {:>8.3} {:>8.3} {:>6}",
+                r.benchmark,
+                r.mean_score(),
+                r.std_dev(),
+                r.swap_count
+            );
         }
     }
     println!();

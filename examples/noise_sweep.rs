@@ -41,7 +41,10 @@ fn main() {
     for b in &benches {
         print!("{:<22}", b.name());
         for p in levels {
-            let noise = NoiseModel { depolarizing_2q: p, ..NoiseModel::ideal() };
+            let noise = NoiseModel {
+                depolarizing_2q: p,
+                ..NoiseModel::ideal()
+            };
             print!(" {:>7.3}", score_under(b.as_ref(), noise, 1000));
         }
         println!();
@@ -56,7 +59,10 @@ fn main() {
     for b in &benches {
         print!("{:<22}", b.name());
         for p in levels {
-            let noise = NoiseModel { readout_error: p, ..NoiseModel::ideal() };
+            let noise = NoiseModel {
+                readout_error: p,
+                ..NoiseModel::ideal()
+            };
             print!(" {:>7.3}", score_under(b.as_ref(), noise, 1000));
         }
         println!();

@@ -15,8 +15,16 @@ fn main() {
     println!("benchmark: {}", bench.name());
     println!("features:  {}", bench.features());
     println!();
-    println!("{:<16} {:>8} {:>8} {:>6} {:>6}", "device", "score", "stddev", "swaps", "2q");
-    let config = RunConfig { shots: 1000, repetitions: 3, seed: 42, ..RunConfig::default() };
+    println!(
+        "{:<16} {:>8} {:>8} {:>6} {:>6}",
+        "device", "score", "stddev", "swaps", "2q"
+    );
+    let config = RunConfig {
+        shots: 1000,
+        repetitions: 3,
+        seed: 42,
+        ..RunConfig::default()
+    };
     for device in Device::all_paper_devices() {
         match run_on_device(&bench, &device, &config) {
             Ok(result) => println!(

@@ -88,7 +88,12 @@ fn main() {
     for data in [5usize, 11, 17, 23, 29] {
         let total = 2 * data - 1;
         let counts = exec.run(&bit_code_circuit(data, 2), 500, 9);
-        println!("{:>8} {:>8} {:>10.3}", data, total, bit_code_score(&counts, data));
+        println!(
+            "{:>8} {:>8} {:>10.3}",
+            data,
+            total,
+            bit_code_score(&counts, data)
+        );
     }
 
     println!();

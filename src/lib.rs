@@ -20,6 +20,7 @@ pub use supermarq_pauli as pauli;
 pub use supermarq_sim as sim;
 pub use supermarq_suites as suites;
 pub use supermarq_transpile as transpile;
+pub use supermarq_verify as verify;
 
 /// The paper's primary contribution: features, benchmarks, suite, coverage.
 pub use supermarq as core;

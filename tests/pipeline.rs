@@ -50,13 +50,22 @@ fn noiseless_pipeline_scores_near_one_for_all_benchmarks() {
 #[test]
 fn noisy_scores_are_sane_and_lower() {
     let device = Device::ibm_toronto();
-    let config = RunConfig { shots: 1000, repetitions: 2, seed: 5, ..RunConfig::default() };
+    let config = RunConfig {
+        shots: 1000,
+        repetitions: 2,
+        seed: 5,
+        ..RunConfig::default()
+    };
     for b in standard_benchmarks() {
         let noisy = run_on_device(b.as_ref(), &device, &config).unwrap();
         let clean = run_noiseless(b.as_ref(), &device, 2000, 5).unwrap();
         let m = noisy.mean_score();
         assert!((0.0..=1.0).contains(&m), "{}: {m}", b.name());
-        assert!(m <= clean + 0.05, "{}: noisy {m} vs clean {clean}", b.name());
+        assert!(
+            m <= clean + 0.05,
+            "{}: noisy {m} vs clean {clean}",
+            b.name()
+        );
     }
 }
 
@@ -81,7 +90,12 @@ fn oversized_benchmarks_error_out() {
 #[test]
 fn connectivity_beats_fidelity_on_communication_heavy_benchmarks() {
     let b = MerminBellBenchmark::new(4);
-    let config = RunConfig { shots: 2000, repetitions: 3, seed: 2, ..RunConfig::default() };
+    let config = RunConfig {
+        shots: 2000,
+        repetitions: 3,
+        seed: 2,
+        ..RunConfig::default()
+    };
     let ion = run_on_device(&b, &Device::ionq(), &config).unwrap();
     let sc = run_on_device(&b, &Device::ibm_toronto(), &config).unwrap();
     assert_eq!(ion.swap_count, 0, "IonQ routes all-to-all without swaps");
@@ -98,7 +112,12 @@ fn connectivity_beats_fidelity_on_communication_heavy_benchmarks() {
 /// inserted SWAPs than the vanilla ansatz on sparse lattices.
 #[test]
 fn zz_swap_ansatz_reduces_routing_overhead() {
-    let config = RunConfig { shots: 500, repetitions: 1, seed: 3, ..RunConfig::default() };
+    let config = RunConfig {
+        shots: 500,
+        repetitions: 1,
+        seed: 3,
+        ..RunConfig::default()
+    };
     let vanilla = QaoaVanillaBenchmark::new(5, 1);
     let zzswap = QaoaSwapBenchmark::new(5, 1);
     let device = Device::ibm_guadalupe();
@@ -118,7 +137,12 @@ fn zz_swap_ansatz_reduces_routing_overhead() {
 #[test]
 fn error_correction_benchmarks_favor_long_coherence() {
     let b = BitCodeBenchmark::new(3, 3, &[true, true, true]);
-    let config = RunConfig { shots: 1000, repetitions: 2, seed: 7, ..RunConfig::default() };
+    let config = RunConfig {
+        shots: 1000,
+        repetitions: 2,
+        seed: 7,
+        ..RunConfig::default()
+    };
     let ion = run_on_device(&b, &Device::ionq(), &config).unwrap();
     let sc = run_on_device(&b, &Device::ibm_toronto(), &config).unwrap();
     assert!(
@@ -134,7 +158,12 @@ fn error_correction_benchmarks_favor_long_coherence() {
 #[test]
 fn scores_fall_with_instance_size() {
     let device = Device::ibm_montreal();
-    let config = RunConfig { shots: 2000, repetitions: 3, seed: 13, ..RunConfig::default() };
+    let config = RunConfig {
+        shots: 2000,
+        repetitions: 3,
+        seed: 13,
+        ..RunConfig::default()
+    };
     let small = run_on_device(&GhzBenchmark::new(3), &device, &config).unwrap();
     let large = run_on_device(&GhzBenchmark::new(7), &device, &config).unwrap();
     assert!(

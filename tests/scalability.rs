@@ -15,7 +15,10 @@ fn features_compute_at_a_thousand_qubits() {
     let ghz = GhzBenchmark::new(1000).features();
     let hamsim = HamiltonianSimBenchmark::new(1000, 1).features();
     let code = BitCodeBenchmark::new(251, 1, &vec![true; 251]).features();
-    assert!(start.elapsed().as_secs() < 30, "feature computation too slow");
+    assert!(
+        start.elapsed().as_secs() < 30,
+        "feature computation too slow"
+    );
     // Structural expectations at scale.
     assert!(ghz.program_communication < 0.01);
     assert!((ghz.critical_depth - 1.0).abs() < 1e-12);

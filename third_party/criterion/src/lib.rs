@@ -1,0 +1,181 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 API this
+//! workspace uses.
+//!
+//! The build container has no network access, so the real `criterion`
+//! crate cannot be fetched; this crate is substituted through
+//! `[patch.crates-io]`. It keeps the same front-end
+//! (`criterion_group!`/`criterion_main!`, `bench_function`,
+//! `benchmark_group`, `bench_with_input`, `Bencher::iter`) but replaces
+//! the statistical engine with a fixed-iteration wall-clock timer that
+//! prints mean time per iteration — enough for `cargo bench` to compile,
+//! run, and give a rough signal.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Iterations used to estimate per-iteration time. Small and fixed: this
+/// stub reports a rough mean, not a calibrated statistical estimate.
+const WARMUP_ITERS: u32 = 3;
+const SAMPLE_ITERS: u32 = 10;
+
+/// Timing harness passed to benchmark closures.
+pub struct Bencher {
+    nanos_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..WARMUP_ITERS {
+            std::hint::black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..SAMPLE_ITERS {
+            std::hint::black_box(routine());
+        }
+        self.nanos_per_iter = start.elapsed().as_nanos() as f64 / SAMPLE_ITERS as f64;
+    }
+}
+
+fn report(id: &str, nanos: f64) {
+    let (value, unit) = if nanos >= 1e9 {
+        (nanos / 1e9, "s")
+    } else if nanos >= 1e6 {
+        (nanos / 1e6, "ms")
+    } else if nanos >= 1e3 {
+        (nanos / 1e3, "µs")
+    } else {
+        (nanos, "ns")
+    };
+    println!("{id:<50} {value:>10.3} {unit}/iter");
+}
+
+fn run_bencher<F: FnMut(&mut Bencher)>(id: &str, mut f: F) {
+    let mut b = Bencher {
+        nanos_per_iter: 0.0,
+    };
+    f(&mut b);
+    report(id, b.nanos_per_iter);
+}
+
+/// Benchmark identifier; only the `from_parameter` constructor is used.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendering as the parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// An id with a function name and parameter value.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Runs one benchmark in the group with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        run_bencher(&label, |b| f(b, input));
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_bencher(&label, f);
+        self
+    }
+
+    /// Ends the group (no-op in this stub).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bencher(id, f);
+        self
+    }
+}
+
+/// Re-export point used by `use criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_and_reports() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn groups_run_with_inputs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        for n in [1usize, 2] {
+            g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter(|| (0..n).sum::<usize>());
+            });
+        }
+        g.finish();
+    }
+}
