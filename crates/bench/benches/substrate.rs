@@ -1,17 +1,20 @@
 //! Criterion micro-benchmarks of every substrate the reproduction is built
-//! on: statevector simulation, noisy trajectory execution, transpilation,
-//! Clifford synthesis, stabilizer simulation, convex-hull geometry, and
-//! feature extraction.
+//! on: statevector simulation, specialized gate kernels, noisy trajectory
+//! execution (sequential vs. parallel), transpilation, Clifford synthesis,
+//! stabilizer simulation, convex-hull geometry, and feature extraction.
 //!
-//! Run with `cargo bench -p supermarq-bench`.
+//! Run with `cargo bench -p supermarq-bench`; a machine-readable summary
+//! is written to `BENCH_sim.json` at the repo root. CI runs
+//! `cargo bench -- --test` (smoke mode), which executes every routine once
+//! without timing and leaves `BENCH_sim.json` untouched.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use supermarq::benchmarks::{GhzBenchmark, MerminBellBenchmark, QaoaVanillaBenchmark};
 use supermarq::Benchmark;
 use supermarq::FeatureVector;
-use supermarq_circuit::Circuit;
+use supermarq_circuit::{Circuit, Gate};
 use supermarq_clifford::{diagonalize, StabilizerSimulator};
 use supermarq_device::Device;
 use supermarq_geometry::{monte_carlo_volume, ConvexHull};
@@ -37,6 +40,97 @@ fn bench_statevector(c: &mut Criterion) {
             b.iter(|| black_box(Executor::final_state(&circuit)));
         });
     }
+    group.finish();
+}
+
+/// Specialized gate kernels vs. the dense-matrix fallback on an 18-qubit
+/// state. `apply_gate` dispatches diagonal/permutation gates to in-place
+/// kernels; `apply_matrix1`/`apply_matrix2` force the generic path, so the
+/// `*_dense` ids are the baselines the kernels are measured against.
+fn bench_kernels(c: &mut Criterion) {
+    const N: usize = 18;
+    let mut base = StateVector::zero_state(N);
+    for q in 0..N {
+        base.apply_gate(&Gate::H, &[q]);
+    }
+    let mut group = c.benchmark_group("kernels_18q");
+    let one_q: &[(&str, Gate)] = &[
+        ("x_kernel", Gate::X),
+        ("z_kernel", Gate::Z),
+        ("t_kernel", Gate::T),
+        ("rz_kernel", Gate::Rz(0.3)),
+    ];
+    for (id, gate) in one_q {
+        let mut psi = base.clone();
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                psi.apply_gate(gate, &[9]);
+                black_box(&psi);
+            });
+        });
+    }
+    {
+        let m = Gate::Z.matrix1().expect("Z has a 1q matrix");
+        let mut psi = base.clone();
+        group.bench_function("z_dense", |b| {
+            b.iter(|| {
+                psi.apply_matrix1(&m, 9);
+                black_box(&psi);
+            });
+        });
+    }
+    let two_q: &[(&str, Gate)] = &[
+        ("cx_kernel", Gate::Cx),
+        ("cz_kernel", Gate::Cz),
+        ("swap_kernel", Gate::Swap),
+        ("rzz_kernel", Gate::Rzz(0.3)),
+    ];
+    for (id, gate) in two_q {
+        let mut psi = base.clone();
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                psi.apply_gate(gate, &[3, 12]);
+                black_box(&psi);
+            });
+        });
+    }
+    {
+        let m = Gate::Cx.matrix2().expect("CX has a 2q matrix");
+        let mut psi = base.clone();
+        group.bench_function("cx_dense", |b| {
+            b.iter(|| {
+                psi.apply_matrix2(&m, 3, 12);
+                black_box(&psi);
+            });
+        });
+    }
+    {
+        let psi = base.clone();
+        group.bench_function("probability_of_one", |b| {
+            b.iter(|| black_box(psi.probability_of_one(9)));
+        });
+    }
+    group.finish();
+}
+
+/// Shot throughput on a 16-qubit noisy GHZ benchmark: one worker thread
+/// (the sequential baseline) vs. the ambient rayon pool. The speedup
+/// between the two ids is exported to `BENCH_sim.json`.
+fn bench_trajectory_throughput(c: &mut Criterion) {
+    const SHOTS: usize = 100;
+    let circuit = ghz_circuit(16);
+    let exec = Executor::new(NoiseModel::uniform_depolarizing(0.002));
+    let mut group = c.benchmark_group("trajectory_throughput");
+    let sequential = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("single-thread pool");
+    group.bench_function("ghz16_noisy_100shots_seq1", |b| {
+        b.iter(|| sequential.install(|| black_box(exec.run(&circuit, SHOTS, 7))));
+    });
+    group.bench_function("ghz16_noisy_100shots_par", |b| {
+        b.iter(|| black_box(exec.run(&circuit, SHOTS, 7)));
+    });
     group.finish();
 }
 
@@ -137,6 +231,8 @@ fn bench_krylov(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_statevector,
+    bench_kernels,
+    bench_trajectory_throughput,
     bench_trajectory_execution,
     bench_transpiler,
     bench_clifford,
@@ -144,4 +240,50 @@ criterion_group!(
     bench_features,
     bench_krylov
 );
-criterion_main!(benches);
+
+/// Serializes the recorded measurements to `BENCH_sim.json` at the repo
+/// root (manual formatting; the workspace has no serde). Skipped in
+/// `--test` smoke mode so CI never clobbers real numbers.
+fn export_bench_json() {
+    let measurements = criterion::measurements();
+    let lookup = |id: &str| {
+        measurements
+            .iter()
+            .find(|(name, _)| name == id)
+            .map(|&(_, nanos)| nanos)
+    };
+    let seq = lookup("trajectory_throughput/ghz16_noisy_100shots_seq1");
+    let par = lookup("trajectory_throughput/ghz16_noisy_100shots_par");
+    let speedup = match (seq, par) {
+        (Some(s), Some(p)) if p > 0.0 => format!("{:.3}", s / p),
+        _ => "null".to_string(),
+    };
+    let mut json = String::from("{\n");
+    json.push_str("  \"source\": \"cargo bench -p supermarq-bench (benches/substrate.rs)\",\n");
+    json.push_str(&format!(
+        "  \"rayon_threads\": {},\n",
+        rayon::current_num_threads()
+    ));
+    json.push_str(&format!(
+        "  \"trajectory_speedup_seq1_vs_pool\": {speedup},\n"
+    ));
+    json.push_str("  \"measurements_ns_per_iter\": {\n");
+    let body: Vec<String> = measurements
+        .iter()
+        .map(|(id, nanos)| format!("    \"{}\": {:.1}", id.replace('"', "'"), nanos))
+        .collect();
+    json.push_str(&body.join(",\n"));
+    json.push_str("\n  }\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+    match std::fs::write(path, json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(err) => eprintln!("\nfailed to write {path}: {err}"),
+    }
+}
+
+fn main() {
+    benches();
+    if !criterion::is_test_mode() {
+        export_bench_json();
+    }
+}

@@ -5,6 +5,7 @@
 //! Shot counts follow the paper: 2000 on IBM devices, 1024 on AQT, 35 on
 //! IonQ ("selected to maintain a reasonable cost budget").
 
+use rayon::prelude::*;
 use supermarq::runner::{run_on_device, RunConfig};
 use supermarq_bench::{figure2_grid, render_table, score_cell};
 use supermarq_device::Device;
@@ -24,24 +25,32 @@ fn main() {
     headers.extend(devices.iter().map(|d| d.name().to_string()));
     for (panel, instances, _) in figure2_grid() {
         println!("--- {panel} ---");
-        let mut rows = Vec::new();
-        for b in &instances {
-            let mut row = vec![b.name()];
-            for device in &devices {
-                let config = RunConfig {
-                    shots: shots_for(device),
-                    repetitions: 3,
-                    seed: 1,
-                    ..RunConfig::default()
-                };
-                let cell = match run_on_device(b.as_ref(), device, &config) {
-                    Ok(result) => score_cell(Some((result.mean_score(), result.std_dev()))),
-                    Err(_) => score_cell(None),
-                };
-                row.push(cell);
-            }
-            rows.push(row);
-        }
+        // Fan the (benchmark × device) grid of this panel out over the
+        // rayon pool; each cell's seed is fixed by the config, so the
+        // table is identical at any thread count.
+        let rows: Vec<Vec<String>> = instances
+            .par_iter()
+            .map(|b| {
+                let mut row = vec![b.name()];
+                let cells: Vec<String> = devices
+                    .par_iter()
+                    .map(|device| {
+                        let config = RunConfig {
+                            shots: shots_for(device),
+                            repetitions: 3,
+                            seed: 1,
+                            ..RunConfig::default()
+                        };
+                        match run_on_device(b.as_ref(), device, &config) {
+                            Ok(result) => score_cell(Some((result.mean_score(), result.std_dev()))),
+                            Err(_) => score_cell(None),
+                        }
+                    })
+                    .collect();
+                row.extend(cells);
+                row
+            })
+            .collect();
         println!("{}", render_table(&headers, &rows));
     }
     println!("Expected shape (paper Sec. VI): scores fall as instances grow; IonQ");

@@ -40,7 +40,7 @@ impl Counts {
     pub fn from_pairs(num_bits: usize, pairs: impl IntoIterator<Item = (u64, usize)>) -> Self {
         let mut c = Counts::new(num_bits);
         for (k, v) in pairs {
-            *c.counts.entry(k).or_insert(0) += v;
+            c.record_n(k, v);
         }
         c
     }
@@ -52,7 +52,23 @@ impl Counts {
 
     /// Records one observation of `bits`.
     pub fn record(&mut self, bits: u64) {
-        *self.counts.entry(bits).or_insert(0) += 1;
+        self.record_n(bits, 1);
+    }
+
+    /// Records `count` observations of `bits` in one histogram update —
+    /// O(log outcomes) instead of the O(count) of repeated [`Counts::record`]
+    /// calls. Recording zero observations is a no-op (no empty entry is
+    /// created, keeping histogram equality well-defined).
+    pub fn record_n(&mut self, bits: u64, count: usize) {
+        debug_assert!(
+            self.num_bits >= u64::BITS as usize || bits >> self.num_bits == 0,
+            "bitstring {bits:#b} exceeds the {}-bit register",
+            self.num_bits
+        );
+        if count == 0 {
+            return;
+        }
+        *self.counts.entry(bits).or_insert(0) += count;
     }
 
     /// Total number of recorded shots.
@@ -111,7 +127,7 @@ impl Counts {
                     m |= 1 << i;
                 }
             }
-            *out.counts.entry(m).or_insert(0) += count;
+            out.record_n(m, count);
         }
         out
     }
@@ -145,7 +161,7 @@ impl Counts {
     pub fn merge(&mut self, other: &Counts) {
         assert_eq!(self.num_bits, other.num_bits, "bit width mismatch");
         for (&k, &v) in &other.counts {
-            *self.counts.entry(k).or_insert(0) += v;
+            self.record_n(k, v);
         }
     }
 
@@ -239,6 +255,40 @@ mod tests {
         let mut a = Counts::new(1);
         let b = Counts::new(2);
         a.merge(&b);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut repeated = Counts::new(3);
+        for _ in 0..1000 {
+            repeated.record(0b101);
+        }
+        let mut batched = Counts::new(3);
+        batched.record_n(0b101, 1000);
+        assert_eq!(repeated, batched);
+    }
+
+    #[test]
+    fn record_n_of_zero_is_a_no_op() {
+        let mut c = Counts::new(2);
+        c.record_n(0b01, 0);
+        assert_eq!(c.num_outcomes(), 0);
+        assert_eq!(c, Counts::new(2));
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "range check is a debug assertion")]
+    #[should_panic(expected = "exceeds the 2-bit register")]
+    fn record_rejects_out_of_range_bitstrings() {
+        let mut c = Counts::new(2);
+        c.record(0b100);
+    }
+
+    #[test]
+    fn full_width_registers_accept_any_bitstring() {
+        let mut c = Counts::new(64);
+        c.record(u64::MAX);
+        assert_eq!(c.count(u64::MAX), 1);
     }
 
     #[test]

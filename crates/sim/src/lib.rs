@@ -13,7 +13,10 @@
 //!   simultaneous two-qubit gates;
 //! * [`Executor`] — runs a circuit for a number of shots and returns
 //!   [`Counts`], re-simulating per shot when noise or mid-circuit
-//!   measurement makes trajectories differ;
+//!   measurement makes trajectories differ. Shots run in parallel on a
+//!   rayon pool with a deterministic per-shot RNG stream derived from
+//!   `(seed, shot_index)`, so results are bit-identical regardless of
+//!   thread count (`RAYON_NUM_THREADS` tunes the pool);
 //! * [`krylov`] — Lanczos/Krylov `exp(-iHt)|psi>` reference evolution used
 //!   to score the Hamiltonian-simulation benchmark against exact dynamics.
 //!
@@ -42,4 +45,4 @@ pub use counts::Counts;
 pub use density::DensityMatrix;
 pub use executor::Executor;
 pub use noise::NoiseModel;
-pub use state::StateVector;
+pub use state::{CumulativeSampler, StateVector};

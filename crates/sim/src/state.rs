@@ -190,20 +190,216 @@ impl StateVector {
 
     /// Applies a unitary gate to the given operands.
     ///
+    /// Diagonal gates (Z/S/T/Rz/P/Cz/Cp/Rzz) dispatch to in-place phase
+    /// multiplies, X/CX/SWAP to index permutations; everything else falls
+    /// back to the general dense [`StateVector::apply_matrix1`] /
+    /// [`StateVector::apply_matrix2`] kernels. All callers (the executor,
+    /// the density-matrix reference, verification audits, Clifford
+    /// cross-checks) route through here and share the specialized paths.
+    ///
     /// # Panics
     ///
     /// Panics if the gate is not unitary (use measurement/reset methods for
     /// those) or the operand count mismatches.
     pub fn apply_gate(&mut self, gate: &Gate, qubits: &[usize]) {
-        if let Some(m) = gate.matrix1() {
-            assert_eq!(qubits.len(), 1, "one-qubit gate takes one operand");
-            self.apply_matrix1(&m, qubits[0]);
-        } else if let Some(m) = gate.matrix2() {
-            assert_eq!(qubits.len(), 2, "two-qubit gate takes two operands");
-            self.apply_matrix2(&m, qubits[0], qubits[1]);
-        } else {
-            panic!("apply_gate called with non-unitary gate {gate:?}");
+        use std::f64::consts::FRAC_PI_4;
+        let one_operand = |qs: &[usize]| {
+            assert_eq!(qs.len(), 1, "one-qubit gate takes one operand");
+            qs[0]
+        };
+        let two_operands = |qs: &[usize]| {
+            assert_eq!(qs.len(), 2, "two-qubit gate takes two operands");
+            (qs[0], qs[1])
+        };
+        match *gate {
+            Gate::I => {
+                let q = one_operand(qubits);
+                assert!(q < self.num_qubits, "qubit out of range");
+            }
+            Gate::X => self.apply_x(one_operand(qubits)),
+            Gate::Z => self.apply_phase1(one_operand(qubits), -C64::ONE),
+            Gate::S => self.apply_phase1(one_operand(qubits), C64::I),
+            Gate::Sdg => self.apply_phase1(one_operand(qubits), -C64::I),
+            Gate::T => self.apply_phase1(one_operand(qubits), C64::cis(FRAC_PI_4)),
+            Gate::Tdg => self.apply_phase1(one_operand(qubits), C64::cis(-FRAC_PI_4)),
+            Gate::P(t) => self.apply_phase1(one_operand(qubits), C64::cis(t)),
+            Gate::Rz(t) => {
+                self.apply_diagonal1(one_operand(qubits), C64::cis(-t / 2.0), C64::cis(t / 2.0));
+            }
+            Gate::Cx => {
+                let (c, t) = two_operands(qubits);
+                self.apply_cx(c, t);
+            }
+            Gate::Cz => {
+                let (a, b) = two_operands(qubits);
+                self.apply_controlled_phase(a, b, -C64::ONE);
+            }
+            Gate::Cp(t) => {
+                let (a, b) = two_operands(qubits);
+                self.apply_controlled_phase(a, b, C64::cis(t));
+            }
+            Gate::Swap => {
+                let (a, b) = two_operands(qubits);
+                self.apply_swap(a, b);
+            }
+            Gate::Rzz(t) => {
+                let (a, b) = two_operands(qubits);
+                self.apply_rzz(a, b, t);
+            }
+            _ => {
+                if let Some(m) = gate.matrix1() {
+                    self.apply_matrix1(&m, one_operand(qubits));
+                } else if let Some(m) = gate.matrix2() {
+                    let (a, b) = two_operands(qubits);
+                    self.apply_matrix2(&m, a, b);
+                } else {
+                    panic!("apply_gate called with non-unitary gate {gate:?}");
+                }
+            }
         }
+    }
+
+    /// Pauli-X as an index permutation: swaps each `|...0_q...>` amplitude
+    /// with its `|...1_q...>` partner, no arithmetic.
+    fn apply_x(&mut self, qubit: usize) {
+        assert!(qubit < self.num_qubits, "qubit out of range");
+        let stride = 1usize << qubit;
+        let len = self.amps.len();
+        let mut base = 0;
+        while base < len {
+            for i in base..base + stride {
+                self.amps.swap(i, i | stride);
+            }
+            base += stride << 1;
+        }
+    }
+
+    /// Diagonal one-qubit gate `diag(d0, d1)` as in-place multiplies.
+    fn apply_diagonal1(&mut self, qubit: usize, d0: C64, d1: C64) {
+        assert!(qubit < self.num_qubits, "qubit out of range");
+        let stride = 1usize << qubit;
+        let len = self.amps.len();
+        let mut base = 0;
+        while base < len {
+            for i in base..base + stride {
+                self.amps[i] = d0 * self.amps[i];
+                let j = i | stride;
+                self.amps[j] = d1 * self.amps[j];
+            }
+            base += stride << 1;
+        }
+    }
+
+    /// Phase gate `diag(1, phase)`: touches only the `|1>` half of the
+    /// register (Z/S/T/P all land here).
+    fn apply_phase1(&mut self, qubit: usize, phase: C64) {
+        assert!(qubit < self.num_qubits, "qubit out of range");
+        let stride = 1usize << qubit;
+        let len = self.amps.len();
+        let mut base = stride;
+        while base < len {
+            for i in base..base + stride {
+                self.amps[i] = phase * self.amps[i];
+            }
+            base += stride << 1;
+        }
+    }
+
+    /// CNOT as an index permutation: for every index with the control set,
+    /// swaps the target's `0`/`1` amplitudes.
+    fn apply_cx(&mut self, control: usize, target: usize) {
+        self.assert_pair(control, target);
+        let bc = 1usize << control;
+        let bt = 1usize << target;
+        let (lo, hi) = if bc < bt { (bc, bt) } else { (bt, bc) };
+        let len = self.amps.len();
+        let mut base_h = 0;
+        while base_h < len {
+            let mut base_l = base_h;
+            while base_l < base_h + hi {
+                for i in base_l..base_l + lo {
+                    self.amps.swap(i | bc, i | bc | bt);
+                }
+                base_l += lo << 1;
+            }
+            base_h += hi << 1;
+        }
+    }
+
+    /// SWAP as an index permutation: exchanges the `|01>` and `|10>`
+    /// amplitudes of every 4-tuple.
+    fn apply_swap(&mut self, a: usize, b: usize) {
+        self.assert_pair(a, b);
+        let ba = 1usize << a;
+        let bb = 1usize << b;
+        let (lo, hi) = if ba < bb { (ba, bb) } else { (bb, ba) };
+        let len = self.amps.len();
+        let mut base_h = 0;
+        while base_h < len {
+            let mut base_l = base_h;
+            while base_l < base_h + hi {
+                for i in base_l..base_l + lo {
+                    self.amps.swap(i | ba, i | bb);
+                }
+                base_l += lo << 1;
+            }
+            base_h += hi << 1;
+        }
+    }
+
+    /// Controlled phase `diag(1, 1, 1, phase)`: multiplies only the `|11>`
+    /// amplitudes (CZ and CP land here).
+    fn apply_controlled_phase(&mut self, a: usize, b: usize, phase: C64) {
+        self.assert_pair(a, b);
+        let ba = 1usize << a;
+        let bb = 1usize << b;
+        let (lo, hi) = if ba < bb { (ba, bb) } else { (bb, ba) };
+        let len = self.amps.len();
+        let mut base_h = hi;
+        while base_h < len {
+            let mut base_l = base_h + lo;
+            while base_l < base_h + hi {
+                for i in base_l..base_l + lo {
+                    self.amps[i] = phase * self.amps[i];
+                }
+                base_l += lo << 1;
+            }
+            base_h += hi << 1;
+        }
+    }
+
+    /// `Rzz(theta)` as a parity-conditioned phase multiply:
+    /// `e^{-i theta/2}` on even-parity (`|00>`, `|11>`) amplitudes and
+    /// `e^{+i theta/2}` on odd-parity ones.
+    fn apply_rzz(&mut self, a: usize, b: usize, theta: f64) {
+        self.assert_pair(a, b);
+        let even = C64::cis(-theta / 2.0);
+        let odd = C64::cis(theta / 2.0);
+        let ba = 1usize << a;
+        let bb = 1usize << b;
+        let (lo, hi) = if ba < bb { (ba, bb) } else { (bb, ba) };
+        let len = self.amps.len();
+        let mut base_h = 0;
+        while base_h < len {
+            let mut base_l = base_h;
+            while base_l < base_h + hi {
+                for i in base_l..base_l + lo {
+                    self.amps[i] = even * self.amps[i];
+                    self.amps[i | lo] = odd * self.amps[i | lo];
+                    self.amps[i | hi] = odd * self.amps[i | hi];
+                    self.amps[i | lo | hi] = even * self.amps[i | lo | hi];
+                }
+                base_l += lo << 1;
+            }
+            base_h += hi << 1;
+        }
+    }
+
+    fn assert_pair(&self, a: usize, b: usize) {
+        assert!(
+            a < self.num_qubits && b < self.num_qubits && a != b,
+            "bad qubit pair"
+        );
     }
 
     /// Applies a unitary instruction.
@@ -214,13 +410,17 @@ impl StateVector {
     /// Probability that measuring `qubit` yields 1.
     pub fn probability_of_one(&self, qubit: usize) -> f64 {
         assert!(qubit < self.num_qubits, "qubit out of range");
-        let bit = 1usize << qubit;
-        self.amps
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| i & bit != 0)
-            .map(|(_, a)| a.norm_sqr())
-            .sum()
+        let stride = 1usize << qubit;
+        let len = self.amps.len();
+        let mut p = 0.0;
+        let mut base = stride;
+        while base < len {
+            for a in &self.amps[base..base + stride] {
+                p += a.norm_sqr();
+            }
+            base += stride << 1;
+        }
+        p
     }
 
     /// Projectively measures `qubit`, collapsing the state, and returns the
@@ -238,11 +438,14 @@ impl StateVector {
     ///
     /// Panics if the projection has zero probability.
     pub fn project_qubit(&mut self, qubit: usize, value: bool) {
-        let bit = 1usize << qubit;
-        for (i, a) in self.amps.iter_mut().enumerate() {
-            if ((i & bit) != 0) != value {
-                *a = C64::ZERO;
-            }
+        assert!(qubit < self.num_qubits, "qubit out of range");
+        let stride = 1usize << qubit;
+        let len = self.amps.len();
+        // Zero the half that contradicts `value`, walking only those blocks.
+        let mut base = if value { 0 } else { stride };
+        while base < len {
+            self.amps[base..base + stride].fill(C64::ZERO);
+            base += stride << 1;
         }
         self.renormalize();
     }
@@ -257,16 +460,27 @@ impl StateVector {
 
     /// Samples a full computational-basis measurement without collapsing the
     /// state (valid when no further evolution uses the state).
+    ///
+    /// When float rounding leaves the cumulative probability just below the
+    /// drawn uniform variate, the fallback is the last basis state with
+    /// *nonzero* probability — never a physically impossible outcome. For
+    /// repeated sampling from the same state, build a [`CumulativeSampler`]
+    /// once instead of paying this O(2^n) scan per shot.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
         let r: f64 = rng.gen();
         let mut acc = 0.0;
+        let mut last_nonzero = 0u64;
         for (i, a) in self.amps.iter().enumerate() {
-            acc += a.norm_sqr();
+            let p = a.norm_sqr();
+            if p > 0.0 {
+                last_nonzero = i as u64;
+            }
+            acc += p;
             if r < acc {
                 return i as u64;
             }
         }
-        (self.amps.len() - 1) as u64
+        last_nonzero
     }
 
     /// Applies a Pauli string as a unitary (used by stochastic noise).
@@ -307,6 +521,76 @@ impl StateVector {
     /// The full probability distribution over basis states.
     pub fn probabilities(&self) -> Vec<f64> {
         self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+}
+
+/// Precomputed cumulative-probability table for repeated basis-state
+/// sampling from a fixed state: O(2^n) once, then O(n) binary search per
+/// draw instead of [`StateVector::sample`]'s O(2^n) linear scan per shot.
+///
+/// Zero-probability outcomes occupy zero-width intervals in the table and
+/// can never be drawn; when float rounding leaves the final cumulative sum
+/// below the drawn variate, the fallback is the last basis state with
+/// nonzero probability.
+///
+/// # Example
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use supermarq_circuit::Gate;
+/// use supermarq_sim::{CumulativeSampler, StateVector};
+///
+/// let mut psi = StateVector::zero_state(2);
+/// psi.apply_gate(&Gate::H, &[0]);
+/// psi.apply_gate(&Gate::Cx, &[0, 1]);
+/// let sampler = CumulativeSampler::new(&psi);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// for _ in 0..100 {
+///     let bits = sampler.sample(&mut rng);
+///     assert!(bits == 0b00 || bits == 0b11);
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CumulativeSampler {
+    /// `cumulative[i]` = probability of drawing a basis index `<= i`.
+    cumulative: Vec<f64>,
+    /// Largest basis index with nonzero probability (rounding fallback).
+    last_nonzero: u64,
+}
+
+impl CumulativeSampler {
+    /// Builds the table from a state's probability distribution.
+    pub fn new(state: &StateVector) -> Self {
+        let mut cumulative = Vec::with_capacity(state.amps.len());
+        let mut acc = 0.0;
+        let mut last_nonzero = 0u64;
+        for (i, a) in state.amps.iter().enumerate() {
+            let p = a.norm_sqr();
+            if p > 0.0 {
+                last_nonzero = i as u64;
+            }
+            acc += p;
+            cumulative.push(acc);
+        }
+        CumulativeSampler {
+            cumulative,
+            last_nonzero,
+        }
+    }
+
+    /// Draws one basis index by binary search over the cumulative table.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let r: f64 = rng.gen();
+        // First index whose cumulative probability exceeds r; ties on a
+        // zero-width interval are impossible because `cumulative` is flat
+        // across zero-probability outcomes.
+        let idx = self.cumulative.partition_point(|&c| c <= r);
+        if idx < self.cumulative.len() {
+            idx as u64
+        } else {
+            self.last_nonzero
+        }
     }
 }
 
@@ -473,6 +757,124 @@ mod tests {
     #[should_panic(expected = "register too large")]
     fn rejects_oversized_register() {
         StateVector::zero_state(MAX_QUBITS + 1);
+    }
+
+    /// An RNG pinned at its maximum output: `gen::<f64>()` yields the
+    /// largest representable value below 1, forcing cumulative-sum
+    /// fallback paths.
+    struct MaxRng;
+
+    impl rand::RngCore for MaxRng {
+        fn next_u64(&mut self) -> u64 {
+            u64::MAX
+        }
+    }
+
+    /// Builds a state whose norm is just under 1 (within the constructor's
+    /// tolerance) with all weight on the low indices, so a max-value draw
+    /// overruns the cumulative sum.
+    fn underweight_low_state() -> StateVector {
+        let s = C64::real(0.4999997f64.sqrt());
+        StateVector::from_amplitudes(vec![s, s, C64::ZERO, C64::ZERO])
+    }
+
+    #[test]
+    fn sample_rounding_fallback_never_emits_zero_probability_outcome() {
+        // Regression: the old fallback returned `amps.len() - 1` (here the
+        // zero-amplitude |11>) when rounding left the cumulative sum below
+        // the drawn variate; it must return the last *nonzero* outcome.
+        let psi = underweight_low_state();
+        let mut rng = MaxRng;
+        assert_eq!(psi.sample(&mut rng), 1);
+        let sampler = CumulativeSampler::new(&psi);
+        assert_eq!(sampler.sample(&mut rng), 1);
+    }
+
+    #[test]
+    fn cumulative_sampler_matches_linear_scan() {
+        let mut psi = StateVector::zero_state(3);
+        psi.apply_gate(&Gate::H, &[0]);
+        psi.apply_gate(&Gate::Cx, &[0, 1]);
+        psi.apply_gate(&Gate::Ry(0.7), &[2]);
+        let sampler = CumulativeSampler::new(&psi);
+        // Identical draws consume one variate each, so parallel streams
+        // stay in lockstep.
+        let mut ra = rng();
+        let mut rb = rng();
+        for _ in 0..2000 {
+            assert_eq!(psi.sample(&mut ra), sampler.sample(&mut rb));
+        }
+    }
+
+    /// A fixed non-trivial 4-qubit state to exercise the kernels on.
+    fn scrambled_state() -> StateVector {
+        let mut psi = StateVector::zero_state(4);
+        for q in 0..4 {
+            psi.apply_matrix1(&Gate::H.matrix1().unwrap(), q);
+            psi.apply_matrix1(&Gate::Ry(0.3 + q as f64).matrix1().unwrap(), q);
+        }
+        psi.apply_matrix2(&Gate::Cx.matrix2().unwrap(), 0, 2);
+        psi.apply_matrix1(&Gate::Rz(1.1).matrix1().unwrap(), 3);
+        psi
+    }
+
+    #[test]
+    fn specialized_kernels_match_dense_matrix_path() {
+        use Gate::*;
+        let one_q: &[Gate] = &[X, Z, S, Sdg, T, Tdg, P(0.37), Rz(-1.9), I];
+        for gate in one_q {
+            for q in 0..4 {
+                let mut fast = scrambled_state();
+                fast.apply_gate(gate, &[q]);
+                let mut dense = scrambled_state();
+                dense.apply_matrix1(&gate.matrix1().unwrap(), q);
+                assert!(fast.fidelity(&dense) > 1.0 - 1e-12, "{gate:?} on qubit {q}");
+                // Phases matter too, not just populations.
+                assert!(
+                    fast.inner_product(&dense).re > 1.0 - 1e-12,
+                    "{gate:?} on qubit {q} differs by phase"
+                );
+            }
+        }
+        let two_q: &[Gate] = &[Cx, Cz, Cp(0.9), Swap, Rzz(2.3)];
+        for gate in two_q {
+            for (a, b) in [(0, 1), (1, 0), (0, 3), (3, 1), (2, 3)] {
+                let mut fast = scrambled_state();
+                fast.apply_gate(gate, &[a, b]);
+                let mut dense = scrambled_state();
+                dense.apply_matrix2(&gate.matrix2().unwrap(), a, b);
+                assert!(
+                    fast.inner_product(&dense).re > 1.0 - 1e-12,
+                    "{gate:?} on qubits ({a}, {b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stride_probability_and_projection_match_definitions() {
+        let psi = scrambled_state();
+        for q in 0..4 {
+            let bit = 1usize << q;
+            let reference: f64 = psi
+                .amplitudes()
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i & bit != 0)
+                .map(|(_, a)| a.norm_sqr())
+                .sum();
+            assert!((psi.probability_of_one(q) - reference).abs() < 1e-12);
+            for value in [false, true] {
+                let mut projected = psi.clone();
+                projected.project_qubit(q, value);
+                for (i, a) in projected.amplitudes().iter().enumerate() {
+                    if ((i & bit) != 0) != value {
+                        assert_eq!(a.norm_sqr(), 0.0, "qubit {q} value {value} index {i}");
+                    }
+                }
+                assert!((projected.norm_sqr() - 1.0).abs() < 1e-12);
+            }
+        }
     }
 
     #[test]

@@ -16,7 +16,12 @@ use crate::features::FeatureVector;
 ///
 /// Scores lie in `[0, 1]`, higher is better, and a perfect noiseless
 /// execution scores (approximately) 1.
-pub trait Benchmark {
+///
+/// `Send + Sync` is a supertrait so the evaluation harness can fan
+/// (benchmark × device × repetition) jobs out across the rayon pool;
+/// benchmarks are plain parameter structs, so every implementation
+/// satisfies it for free.
+pub trait Benchmark: Send + Sync {
     /// Display name, e.g. `"GHZ-5"`.
     fn name(&self) -> String;
 

@@ -7,6 +7,7 @@
 //! [`supermarq_transpile::TranspileError::TooManyQubits`] — the black X's
 //! of Fig. 2.
 
+use rayon::prelude::*;
 use supermarq_classical::stats::{mean, std_dev};
 use supermarq_device::Device;
 use supermarq_sim::{Counts, Executor};
@@ -108,19 +109,27 @@ pub fn run_on_device(
             (compact, measured_dense)
         })
         .collect();
-    let mut scores = Vec::with_capacity(config.repetitions);
-    for rep in 0..config.repetitions {
-        let mut counts: Vec<Counts> = Vec::with_capacity(prepared.len());
-        for (i, (compact, measured_dense)) in prepared.iter().enumerate() {
-            let seed = config
-                .seed
-                .wrapping_add(rep as u64)
-                .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1));
-            let raw = executor.run(compact, config.shots, seed);
-            counts.push(relabel(&raw, measured_dense));
-        }
-        scores.push(benchmark.score(&counts));
-    }
+    // Fan the (repetition × circuit) grid out over the rayon pool; every
+    // job derives its seed from (config.seed, rep, circuit index) alone,
+    // so the scores are deterministic regardless of thread count.
+    let scores: Vec<f64> = (0..config.repetitions)
+        .into_par_iter()
+        .map(|rep| {
+            let counts: Vec<Counts> = prepared
+                .iter()
+                .enumerate()
+                .map(|(i, (compact, measured_dense))| {
+                    let seed = config
+                        .seed
+                        .wrapping_add(rep as u64)
+                        .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1));
+                    let raw = executor.run(compact, config.shots, seed);
+                    relabel(&raw, measured_dense)
+                })
+                .collect();
+            benchmark.score(&counts)
+        })
+        .collect();
     Ok(BenchmarkResult {
         benchmark: benchmark.name(),
         device: device.name().to_string(),
@@ -169,19 +178,24 @@ pub fn run_on_device_open(
     let executor = Executor::new(device.noise_model());
     let mitigator =
         ReadoutMitigator::uniform(benchmark.num_qubits(), device.calibration().err_meas);
-    let mut scores = Vec::with_capacity(config.repetitions);
-    for rep in 0..config.repetitions {
-        let mut counts: Vec<Counts> = Vec::with_capacity(prepared.len());
-        for (i, (compact, measured_dense)) in prepared.iter().enumerate() {
-            let seed = config
-                .seed
-                .wrapping_add(rep as u64)
-                .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1));
-            let raw = executor.run(compact, config.shots, seed);
-            counts.push(mitigator.mitigate(&relabel(&raw, measured_dense)));
-        }
-        scores.push(benchmark.score(&counts));
-    }
+    let scores: Vec<f64> = (0..config.repetitions)
+        .into_par_iter()
+        .map(|rep| {
+            let counts: Vec<Counts> = prepared
+                .iter()
+                .enumerate()
+                .map(|(i, (compact, measured_dense))| {
+                    let seed = config
+                        .seed
+                        .wrapping_add(rep as u64)
+                        .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1));
+                    let raw = executor.run(compact, config.shots, seed);
+                    mitigator.mitigate(&relabel(&raw, measured_dense))
+                })
+                .collect();
+            benchmark.score(&counts)
+        })
+        .collect();
     Ok(BenchmarkResult {
         benchmark: benchmark.name(),
         device: device.name().to_string(),
@@ -204,9 +218,9 @@ fn relabel(raw: &Counts, measured_dense: &[Option<usize>]) -> Counts {
                 }
             }
         }
-        for _ in 0..count {
-            out.record(relabeled);
-        }
+        // One histogram update per outcome, not one per shot: relabeling
+        // was O(shots) per outcome before `record_n` existed.
+        out.record_n(relabeled, count);
     }
     out
 }
@@ -336,6 +350,26 @@ mod tests {
             open.mean_score(),
             closed.mean_score()
         );
+    }
+
+    #[test]
+    fn runner_scores_bit_identical_across_thread_counts() {
+        let b = GhzBenchmark::new(4);
+        let config = RunConfig {
+            shots: 300,
+            repetitions: 2,
+            ..RunConfig::default()
+        };
+        let device = Device::ibm_casablanca();
+        let pool = |n| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .unwrap()
+        };
+        let single = pool(1).install(|| run_on_device(&b, &device, &config).unwrap());
+        let multi = pool(4).install(|| run_on_device(&b, &device, &config).unwrap());
+        assert_eq!(single.scores, multi.scores);
     }
 
     #[test]

@@ -13,4 +13,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> cargo bench (smoke mode: each routine runs once, untimed)"
+cargo bench -q -p supermarq-bench --bench substrate -- --test
+
 echo "All checks passed."

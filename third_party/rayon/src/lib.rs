@@ -1,0 +1,444 @@
+//! Offline stand-in for the subset of the `rayon` 1.x API this workspace
+//! uses.
+//!
+//! The build container has no network access, so the real `rayon` crate
+//! cannot be fetched; this crate is substituted through the workspace's
+//! path dependencies (see the workspace `Cargo.toml`). It keeps the same
+//! front-end — `prelude::*`, `into_par_iter()`/`par_iter()`, `map`,
+//! `fold`/`reduce`, `collect`, and `ThreadPoolBuilder`/`ThreadPool::install`
+//! — but replaces the work-stealing scheduler with contiguous chunking over
+//! `std::thread::scope` workers.
+//!
+//! Scheduling model (and its determinism contract):
+//!
+//! * A pipeline stays lazy through `map`; a terminal operation (`collect`,
+//!   `reduce`) splits the items into at most `current_num_threads()`
+//!   contiguous chunks and runs one scoped worker thread per chunk.
+//! * Results are reassembled **in item order**, so `collect` is
+//!   order-stable and `reduce` combines per-item results left-to-right
+//!   exactly as the sequential iterator would — provided the reduction
+//!   operator is associative.
+//! * `fold` produces one accumulator per *chunk* (rayon produces one per
+//!   scheduler split), so the number of accumulators reaching `reduce`
+//!   varies with the thread count. Callers that require results to be
+//!   bit-identical regardless of thread count must use a commutative,
+//!   associative merge (e.g. histogram addition), which is the contract
+//!   the simulator's shot executor relies on.
+//!
+//! Thread-count resolution mirrors rayon: an explicit [`ThreadPool`]
+//! `install` scope wins, then the `RAYON_NUM_THREADS` environment
+//! variable, then [`std::thread::available_parallelism`]. Because this
+//! stub has no global pool, `install` records its thread count in a
+//! thread-local that applies to parallel iterators entered from the
+//! calling thread (nested parallelism inside worker threads falls back to
+//! the environment default).
+
+use std::cell::Cell;
+use std::env;
+use std::fmt;
+use std::thread;
+
+pub mod prelude {
+    //! Single-import surface, mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+thread_local! {
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn env_threads() -> Option<usize> {
+    env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// The number of worker threads a parallel iterator entered from this
+/// thread will use.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = POOL_THREADS.with(Cell::get) {
+        return n;
+    }
+    env_threads()
+        .or_else(|| {
+            thread::available_parallelism()
+                .ok()
+                .map(std::num::NonZero::get)
+        })
+        .unwrap_or(1)
+}
+
+/// Builder for a [`ThreadPool`], mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the number of worker threads (0 means "use the default").
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = (n > 0).then_some(n);
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in this stub; the `Result` mirrors rayon's signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(current_num_threads),
+        })
+    }
+}
+
+/// Error building a [`ThreadPool`] (never produced by this stub).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A scoped thread-count override, mirroring `rayon::ThreadPool`.
+///
+/// This stub owns no threads; [`ThreadPool::install`] simply pins the
+/// thread count seen by parallel iterators entered from the calling
+/// thread for the duration of the closure.
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count in effect.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(POOL_THREADS.with(|c| c.replace(Some(self.num_threads))));
+        op()
+    }
+
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// A lazy parallel pipeline: source items plus the composed per-item
+/// function, executed by a terminal operation.
+pub struct ParIter<'env, I: Send, T: Send> {
+    items: Vec<I>,
+    f: Box<dyn Fn(I) -> T + Sync + 'env>,
+}
+
+/// Conversion into a parallel iterator, mirroring
+/// `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Converts `self` into a parallel pipeline.
+    fn into_par_iter(self) -> ParIter<'static, Self::Item, Self::Item>;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<'static, usize, usize> {
+        ParIter {
+            items: self.collect(),
+            f: Box::new(|i| i),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<'static, T, T> {
+        ParIter {
+            items: self,
+            f: Box::new(|x| x),
+        }
+    }
+}
+
+/// Borrowing conversion, mirroring `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'data> {
+    /// Element type (a reference).
+    type Item: Send;
+    /// Parallel iterator over borrowed elements.
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<'data, &'data T, &'data T> {
+        ParIter {
+            items: self.iter().collect(),
+            f: Box::new(|x| x),
+        }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<'data, &'data T, &'data T> {
+        self.as_slice().par_iter()
+    }
+}
+
+/// Collection from a parallel iterator, mirroring
+/// `rayon::iter::FromParallelIterator`.
+pub trait FromParallelIterator<T> {
+    /// Builds the collection from the pipeline's in-order results.
+    fn from_par_results(results: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_par_results(results: Vec<T>) -> Self {
+        results
+    }
+}
+
+/// Marker trait mirroring `rayon::iter::ParallelIterator`, so that
+/// `use rayon::prelude::*` reads the same as with the real crate; the
+/// adapter/terminal methods live directly on [`ParIter`].
+pub trait ParallelIterator: Sized {}
+
+impl<I: Send, T: Send> ParallelIterator for ParIter<'_, I, T> {}
+
+impl<'env, I: Send + 'env, T: Send + 'env> ParIter<'env, I, T> {
+    /// Maps each item through `g` (lazy; runs on the workers).
+    pub fn map<U, G>(self, g: G) -> ParIter<'env, I, U>
+    where
+        U: Send,
+        G: Fn(T) -> U + Sync + 'env,
+    {
+        let f = self.f;
+        ParIter {
+            items: self.items,
+            f: Box::new(move |i| g(f(i))),
+        }
+    }
+
+    /// Runs the pipeline, returning per-item results in item order.
+    fn execute(self) -> Vec<T> {
+        let ParIter { items, f } = self;
+        let threads = current_num_threads().min(items.len()).max(1);
+        if threads <= 1 {
+            return items.into_iter().map(&f).collect();
+        }
+        let chunk_len = items.len().div_ceil(threads);
+        let mut chunks: Vec<Vec<I>> = Vec::with_capacity(threads);
+        let mut rest = items;
+        while rest.len() > chunk_len {
+            let tail = rest.split_off(chunk_len);
+            chunks.push(std::mem::replace(&mut rest, tail));
+        }
+        chunks.push(rest);
+        let f = &f;
+        thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<T>>()))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| match h.join() {
+                    Ok(v) => v,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        })
+    }
+
+    /// Folds each chunk of items into one accumulator (rayon's `fold`),
+    /// yielding a pipeline over the per-chunk accumulators.
+    pub fn fold<A, ID, G>(self, identity: ID, fold_op: G) -> ParIter<'env, A, A>
+    where
+        A: Send + 'env,
+        ID: Fn() -> A + Sync + 'env,
+        G: Fn(A, T) -> A + Sync + 'env,
+    {
+        let ParIter { items, f } = self;
+        let threads = current_num_threads().min(items.len()).max(1);
+        let chunk_len = items.len().div_ceil(threads.max(1)).max(1);
+        let accumulate = |chunk: Vec<I>| {
+            chunk
+                .into_iter()
+                .fold(identity(), |acc, item| fold_op(acc, f(item)))
+        };
+        let accs: Vec<A> = if threads <= 1 {
+            if items.is_empty() {
+                Vec::new()
+            } else {
+                vec![accumulate(items)]
+            }
+        } else {
+            let mut chunks: Vec<Vec<I>> = Vec::with_capacity(threads);
+            let mut rest = items;
+            while rest.len() > chunk_len {
+                let tail = rest.split_off(chunk_len);
+                chunks.push(std::mem::replace(&mut rest, tail));
+            }
+            chunks.push(rest);
+            let accumulate = &accumulate;
+            thread::scope(|s| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|chunk| s.spawn(move || accumulate(chunk)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| match h.join() {
+                        Ok(v) => v,
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    })
+                    .collect()
+            })
+        };
+        ParIter {
+            items: accs,
+            f: Box::new(|a| a),
+        }
+    }
+
+    /// Reduces the pipeline's results left-to-right with `op`, starting
+    /// from `identity()`.
+    pub fn reduce<ID, G>(self, identity: ID, op: G) -> T
+    where
+        ID: Fn() -> T,
+        G: Fn(T, T) -> T,
+    {
+        self.execute().into_iter().fold(identity(), op)
+    }
+
+    /// Collects the pipeline's results in item order.
+    pub fn collect<C: FromParallelIterator<T>>(self) -> C {
+        C::from_par_results(self.execute())
+    }
+
+    /// Sums the pipeline's results.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<T>,
+    {
+        self.execute().into_iter().sum()
+    }
+
+    /// Number of source items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when the pipeline has no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..100).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_borrows_slices() {
+        let data = vec![1u64, 2, 3, 4];
+        let out: Vec<u64> = data.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![2, 3, 4, 5]);
+        let total: u64 = data.par_iter().map(|&x| x).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn fold_reduce_matches_sequential_sum() {
+        let total = (0..1000)
+            .into_par_iter()
+            .fold(|| 0usize, |acc, i| acc + i)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 499_500);
+    }
+
+    #[test]
+    fn results_identical_across_pool_sizes() {
+        let run = |threads| {
+            ThreadPool {
+                num_threads: threads,
+            }
+            .install(|| {
+                (0..257)
+                    .into_par_iter()
+                    .map(|i| i as u64 * 31)
+                    .collect::<Vec<u64>>()
+            })
+        };
+        assert_eq!(run(1), run(7));
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        pool.install(|| assert_eq!(current_num_threads(), 3));
+        let nested = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| {
+            nested.install(|| assert_eq!(current_num_threads(), 2));
+            assert_eq!(current_num_threads(), 3);
+        });
+    }
+
+    #[test]
+    fn empty_pipelines_are_fine() {
+        let out: Vec<usize> = (0..0).into_par_iter().collect();
+        assert!(out.is_empty());
+        let total = (0..0)
+            .into_par_iter()
+            .fold(|| 0usize, |acc, i| acc + i)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn vec_into_par_iter_consumes() {
+        let v = vec![String::from("a"), String::from("bb")];
+        let lens: Vec<usize> = v.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens, vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn worker_panics_propagate() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            let _: Vec<usize> = (0..64)
+                .into_par_iter()
+                .map(|i| {
+                    assert!(i != 63, "worker boom");
+                    i
+                })
+                .collect();
+        });
+    }
+}
