@@ -1,38 +1,68 @@
 //! Regenerates **Fig. 3**: R^2 heatmaps correlating application features
 //! (plus conventional metrics) with device performance — (a) over all
 //! benchmarks, (b) excluding the error-correction proxies.
+//!
+//! The underlying (benchmark × device) runs are served through the
+//! `supermarq-store` sweep engine, so reruns (and any cells Fig. 2
+//! already computed at matching settings) come from the cache instead of
+//! re-simulating. Failing cells are reported on stderr and skipped.
 
 use supermarq::correlation::{correlation_table, ScoreRecord, REGRESSOR_NAMES};
-use supermarq::runner::{run_on_device, RunConfig};
-use supermarq_bench::{figure2_grid, render_table};
+use supermarq::spec::{benchmark_from_params, execute_spec};
+use supermarq_bench::{figure2_points, render_table};
+use supermarq_circuit::Circuit;
 use supermarq_device::Device;
+use supermarq_store::{RunSpec, Store, SweepEngine, SweepStats};
 
-fn collect_records() -> Vec<ScoreRecord> {
+fn collect_records(store: &Store) -> (Vec<ScoreRecord>, SweepStats) {
     let devices = Device::all_paper_devices();
-    let mut records = Vec::new();
-    for (_, instances, is_ec) in figure2_grid() {
-        for b in &instances {
-            let circuit = &b.circuits()[0];
+    let mut specs: Vec<RunSpec> = Vec::new();
+    // Sidecar per spec: what the correlation table needs beyond the record.
+    let mut meta: Vec<(String, String, Circuit, bool)> = Vec::new();
+    for (_, points, is_ec) in figure2_points() {
+        for (id, params) in &points {
+            let bench = benchmark_from_params(id, params)
+                .unwrap_or_else(|e| panic!("in-tree grid point {id} is valid: {e}"));
+            let circuit = bench.circuits()[0].clone();
             for device in &devices {
-                let config = RunConfig {
-                    shots: 1000,
-                    repetitions: 2,
-                    seed: 7,
-                    ..RunConfig::default()
-                };
-                if let Ok(result) = run_on_device(b.as_ref(), device, &config) {
-                    records.push(ScoreRecord::from_circuit(
-                        device.name(),
-                        b.name(),
-                        circuit,
-                        result.mean_score(),
-                        is_ec,
-                    ));
+                if bench.num_qubits() > device.num_qubits() {
+                    continue;
                 }
+                specs.push(RunSpec::new(
+                    id.clone(),
+                    params.clone(),
+                    device.name(),
+                    1000,
+                    2,
+                    7,
+                ));
+                meta.push((
+                    device.name().to_string(),
+                    bench.name(),
+                    circuit.clone(),
+                    is_ec,
+                ));
             }
         }
     }
-    records
+    let report =
+        SweepEngine::new(store).run(&specs, |spec| execute_spec(spec).map_err(|e| e.to_string()));
+    let mut records = Vec::new();
+    for (result, (device, name, circuit, is_ec)) in report.results.iter().zip(&meta) {
+        match &result.outcome {
+            Ok(record) => records.push(ScoreRecord::from_circuit(
+                device.clone(),
+                name.clone(),
+                circuit,
+                record.outcome.mean_score(),
+                *is_ec,
+            )),
+            Err(message) => {
+                eprintln!("fig3_correlations: {name} on {device}: {message}");
+            }
+        }
+    }
+    (records, report.stats)
 }
 
 fn print_heatmap(title: &str, records: &[ScoreRecord], exclude_ec: bool) {
@@ -55,8 +85,15 @@ fn print_heatmap(title: &str, records: &[ScoreRecord], exclude_ec: bool) {
 }
 
 fn main() {
+    let store = match Store::open_default() {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("fig3_correlations: cannot open run store: {e}");
+            std::process::exit(2);
+        }
+    };
     println!("== Fig. 3: feature-performance correlation (R^2) ==\n");
-    let records = collect_records();
+    let (records, stats) = collect_records(&store);
     println!("collected {} (benchmark, device) records\n", records.len());
     print_heatmap("(a) all benchmarks", &records, false);
     print_heatmap("(b) excluding error-correction benchmarks", &records, true);
@@ -64,4 +101,7 @@ fn main() {
     println!("feature dominates on superconducting devices and barely registers on");
     println!("IonQ; excluding EC boosts the Entanglement-Ratio and #2Q-gates");
     println!("correlations across devices.");
+    println!();
+    println!("store: {}", store.root().display());
+    println!("{}", stats.summary());
 }

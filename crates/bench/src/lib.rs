@@ -5,94 +5,123 @@
 //! they share: the Fig. 2 benchmark grid, result records, and plain-text
 //! table rendering.
 
-use supermarq::benchmarks::{
-    BitCodeBenchmark, GhzBenchmark, HamiltonianSimBenchmark, MerminBellBenchmark,
-    PhaseCodeBenchmark, QaoaSwapBenchmark, QaoaVanillaBenchmark, VqeBenchmark,
-};
+use supermarq::spec::{benchmark_from_params, default_init};
 use supermarq::Benchmark;
+
+/// A benchmark point in spec form: `(benchmark id, parameters)` — the
+/// `(benchmark, params)` half of a `supermarq_store::RunSpec`, so grid
+/// cells are content-addressable.
+pub type BenchPoint = (String, Vec<(String, String)>);
 
 /// One Fig. 2 panel: `(panel_label, instances, is_error_correction)`.
 pub type Fig2Panel = (&'static str, Vec<Box<dyn Benchmark>>, bool);
 
-/// The Fig. 2 benchmark grid: for each of the eight applications, the
-/// instance sizes the paper swept (kept within statevector reach), in the
-/// paper's panel order.
-pub fn figure2_grid() -> Vec<Fig2Panel> {
+/// One Fig. 2 panel in spec form: `(panel_label, points, is_error_correction)`.
+pub type Fig2SpecPanel = (&'static str, Vec<BenchPoint>, bool);
+
+fn point(id: &str, params: &[(&str, String)]) -> BenchPoint {
+    (
+        id.to_string(),
+        params
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect(),
+    )
+}
+
+fn sized(id: &str, size: usize) -> BenchPoint {
+    point(id, &[("size", size.to_string())])
+}
+
+fn code(id: &str, size: usize, rounds: usize) -> BenchPoint {
+    point(
+        id,
+        &[
+            ("size", size.to_string()),
+            ("rounds", rounds.to_string()),
+            ("init", default_init(size)),
+        ],
+    )
+}
+
+/// The Fig. 2 benchmark grid in spec form: for each of the eight
+/// applications, the instance sizes the paper swept (kept within
+/// statevector reach), in the paper's panel order. This is the single
+/// source of truth; [`figure2_grid`] instantiates it.
+pub fn figure2_points() -> Vec<Fig2SpecPanel> {
+    let qaoa =
+        |id: &str, size: usize| point(id, &[("size", size.to_string()), ("seed", "1".to_string())]);
+    let vqe = |size: usize| {
+        point(
+            "vqe",
+            &[("size", size.to_string()), ("layers", "1".to_string())],
+        )
+    };
+    let hamsim = |size: usize| {
+        point(
+            "hamsim",
+            &[("size", size.to_string()), ("steps", size.to_string())],
+        )
+    };
     vec![
-        (
-            "a) GHZ",
-            vec![
-                Box::new(GhzBenchmark::new(3)) as Box<dyn Benchmark>,
-                Box::new(GhzBenchmark::new(4)),
-                Box::new(GhzBenchmark::new(5)),
-                Box::new(GhzBenchmark::new(6)),
-            ],
-            false,
-        ),
+        ("a) GHZ", (3..=6).map(|n| sized("ghz", n)).collect(), false),
         (
             "b) Mermin-Bell",
-            vec![
-                Box::new(MerminBellBenchmark::new(3)) as Box<dyn Benchmark>,
-                Box::new(MerminBellBenchmark::new(4)),
-                Box::new(MerminBellBenchmark::new(5)),
-            ],
+            (3..=5).map(|n| sized("mermin-bell", n)).collect(),
             false,
         ),
         (
             "c) Phase Code",
             vec![
-                Box::new(PhaseCodeBenchmark::new(3, 1, &[true, false, true])) as Box<dyn Benchmark>,
-                Box::new(PhaseCodeBenchmark::new(3, 3, &[true, false, true])),
-                Box::new(PhaseCodeBenchmark::new(4, 2, &[true, false, true, false])),
+                code("phase-code", 3, 1),
+                code("phase-code", 3, 3),
+                code("phase-code", 4, 2),
             ],
             true,
         ),
         (
             "d) Bit Code",
             vec![
-                Box::new(BitCodeBenchmark::new(3, 1, &[true, false, true])) as Box<dyn Benchmark>,
-                Box::new(BitCodeBenchmark::new(3, 3, &[true, false, true])),
-                Box::new(BitCodeBenchmark::new(4, 2, &[true, false, true, false])),
+                code("bit-code", 3, 1),
+                code("bit-code", 3, 3),
+                code("bit-code", 4, 2),
             ],
             true,
         ),
-        (
-            "e) VQE",
-            vec![
-                Box::new(VqeBenchmark::new(3, 1)) as Box<dyn Benchmark>,
-                Box::new(VqeBenchmark::new(4, 1)),
-                Box::new(VqeBenchmark::new(5, 1)),
-            ],
-            false,
-        ),
+        ("e) VQE", (3..=5).map(vqe).collect(), false),
         (
             "f) Hamiltonian Simulation",
-            vec![
-                Box::new(HamiltonianSimBenchmark::new(3, 3)) as Box<dyn Benchmark>,
-                Box::new(HamiltonianSimBenchmark::new(4, 4)),
-                Box::new(HamiltonianSimBenchmark::new(5, 5)),
-            ],
+            (3..=5).map(hamsim).collect(),
             false,
         ),
         (
             "g) ZZ-SWAP QAOA",
-            vec![
-                Box::new(QaoaSwapBenchmark::new(4, 1)) as Box<dyn Benchmark>,
-                Box::new(QaoaSwapBenchmark::new(5, 1)),
-                Box::new(QaoaSwapBenchmark::new(6, 1)),
-            ],
+            (4..=6).map(|n| qaoa("qaoa-swap", n)).collect(),
             false,
         ),
         (
             "h) Vanilla QAOA",
-            vec![
-                Box::new(QaoaVanillaBenchmark::new(4, 1)) as Box<dyn Benchmark>,
-                Box::new(QaoaVanillaBenchmark::new(5, 1)),
-                Box::new(QaoaVanillaBenchmark::new(6, 1)),
-            ],
+            (4..=6).map(|n| qaoa("qaoa-vanilla", n)).collect(),
             false,
         ),
     ]
+}
+
+/// The Fig. 2 benchmark grid, instantiated from [`figure2_points`].
+pub fn figure2_grid() -> Vec<Fig2Panel> {
+    figure2_points()
+        .into_iter()
+        .map(|(label, points, is_ec)| {
+            let instances = points
+                .iter()
+                .map(|(id, params)| {
+                    benchmark_from_params(id, params)
+                        .unwrap_or_else(|e| panic!("in-tree grid point {id} is valid: {e}"))
+                })
+                .collect();
+            (label, instances, is_ec)
+        })
+        .collect()
 }
 
 /// Renders a plain-text table with a header row.

@@ -1,14 +1,18 @@
 //! CLI subcommand implementations.
 
+use std::path::PathBuf;
+
 use supermarq::benchmarks::{
     BitCodeBenchmark, GhzBenchmark, HamiltonianSimBenchmark, MerminBellBenchmark,
     PhaseCodeBenchmark, QaoaSwapBenchmark, QaoaVanillaBenchmark, VqeBenchmark,
 };
 use supermarq::coverage::coverage_of_features;
 use supermarq::runner::{run_on_device, run_on_device_open, RunConfig};
+use supermarq::spec::{default_init, execute_spec};
 use supermarq::{Benchmark, FeatureVector};
 use supermarq_circuit::Circuit;
 use supermarq_device::Device;
+use supermarq_store::{RunRecord, RunSpec, Store, SweepEngine, SweepGrid, TranspileSpec};
 use supermarq_verify::{verify_circuit, verify_on_device, CheckId, Report, Severity};
 
 use crate::args::Args;
@@ -19,7 +23,11 @@ pub const USAGE: &str = "usage:
   supermarq generate <benchmark> [--size N] [--rounds R] [--seed S] [--steps K] [--layers L]
   supermarq show <benchmark> [--size N] [...]
   supermarq features <file.qasm>
-  supermarq run <benchmark> --device <name> [--size N] [--shots N] [--reps R] [--seed S] [--open]
+  supermarq run <benchmark> --device <name> [--size N] [--shots N] [--reps R] [--seed S] [--open] [--json [--store <dir>] [--no-cache]]
+  supermarq batch --benchmarks <b1,b2,...> [--sizes N1,N2] [--devices all|<d1,d2>]
+                  [--shots S1,S2] [--seeds S1,S2] [--reps R] [--open]
+                  [--out <file.jsonl>] [--store <dir>] [--no-cache]
+  supermarq cache <stats|verify|gc> [--store <dir>]
   supermarq lint <benchmark>|<file.qasm> [--device <name>] [--size N] [...]
   supermarq lint --list
   supermarq coverage
@@ -65,6 +73,8 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         Some("export") => cmd_export(&args),
         Some("features") => cmd_features(&args),
         Some("run") => cmd_run(&args),
+        Some("batch") => cmd_batch(&args),
+        Some("cache") => cmd_cache(&args),
         Some("lint") => cmd_lint(&args),
         Some("coverage") => cmd_coverage(),
         Some(other) => Err(CliError::usage(format!("unknown command '{other}'"))),
@@ -201,6 +211,31 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
         seed: args.option_parse("seed", 1u64).map_err(CliError::Usage)?,
         ..RunConfig::default()
     };
+    if args.flag("json") {
+        // Emit the exact record schema the store persists, so ad-hoc CLI
+        // runs and cached sweep artifacts are directly diffable — and
+        // share one cache: a run seen before is served from the store,
+        // and a fresh run seeds the store for later sweeps.
+        let kind = args
+            .positional(1)
+            .ok_or_else(|| CliError::usage("missing benchmark name"))?;
+        let spec = build_run_spec(kind, &device, &config, args)?;
+        let use_cache = !args.flag("no-cache");
+        let store = open_store(args)?;
+        if use_cache {
+            if let Some(record) = store.get(&spec) {
+                return Ok(record.to_line());
+            }
+        }
+        let outcome = execute_spec(&spec).map_err(|e| CliError::failure(e.to_string()))?;
+        let record = RunRecord { spec, outcome };
+        if use_cache {
+            store
+                .put(&record)
+                .map_err(|e| CliError::failure(format!("cannot persist record: {e}")))?;
+        }
+        return Ok(record.to_line());
+    }
     let result = if args.flag("open") {
         run_on_device_open(bench.as_ref(), &device, &config)
     } else {
@@ -218,6 +253,240 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
         result.two_qubit_gates,
         bench.features(),
     ))
+}
+
+/// Canonical spec parameters for a benchmark kind, filling unspecified
+/// values with the same defaults `supermarq run` uses. Always fully
+/// materialized (no omitted-but-defaulted parameters), so each logical
+/// run has exactly one content hash.
+fn bench_params(
+    kind: &str,
+    size: usize,
+    instance_seed: u64,
+    args: &Args,
+) -> Result<Vec<(String, String)>, CliError> {
+    let mut params = vec![("size".to_string(), size.to_string())];
+    match kind {
+        "ghz" | "mermin-bell" => {}
+        "bit-code" | "phase-code" => {
+            let rounds: usize = args.option_parse("rounds", 2).map_err(CliError::Usage)?;
+            let init = args
+                .option("init")
+                .map(str::to_string)
+                .unwrap_or_else(|| default_init(size));
+            params.push(("rounds".into(), rounds.to_string()));
+            params.push(("init".into(), init));
+        }
+        "qaoa-vanilla" | "qaoa-swap" => {
+            params.push(("seed".into(), instance_seed.to_string()));
+        }
+        "vqe" => {
+            let layers: usize = args.option_parse("layers", 1).map_err(CliError::Usage)?;
+            params.push(("layers".into(), layers.to_string()));
+        }
+        "hamsim" => {
+            let steps: usize = args.option_parse("steps", 4).map_err(CliError::Usage)?;
+            params.push(("steps".into(), steps.to_string()));
+        }
+        other => return Err(CliError::usage(format!("unknown benchmark '{other}'"))),
+    }
+    Ok(params)
+}
+
+/// Builds the content-addressed spec for a single `run` invocation.
+/// Matches the legacy `run` behavior: `--seed` feeds both the QAOA
+/// instance and the run seed.
+fn build_run_spec(
+    kind: &str,
+    device: &Device,
+    config: &RunConfig,
+    args: &Args,
+) -> Result<RunSpec, CliError> {
+    let size: usize = args.option_parse("size", 4).map_err(CliError::Usage)?;
+    let params = bench_params(kind, size, config.seed, args)?;
+    let mut spec = RunSpec::new(
+        kind,
+        params,
+        device.name(),
+        config.shots as u64,
+        config.repetitions as u64,
+        config.seed,
+    );
+    spec.transpile = supermarq::spec::transpile_spec_of(config);
+    if args.flag("open") {
+        spec.division = "open".into();
+    }
+    Ok(spec)
+}
+
+/// Opens the store named by `--store`, `$SUPERMARQ_STORE`, or the
+/// default `.supermarq-store/` directory, in that priority order.
+fn open_store(args: &Args) -> Result<Store, CliError> {
+    let root = match args.option("store") {
+        Some(dir) => PathBuf::from(dir),
+        None => supermarq_store::default_root(),
+    };
+    Store::open(&root)
+        .map_err(|e| CliError::failure(format!("cannot open store {}: {e}", root.display())))
+}
+
+/// Parses a comma-separated list option, with a default when absent.
+fn parse_list<T: std::str::FromStr>(
+    args: &Args,
+    key: &str,
+    default: &str,
+) -> Result<Vec<T>, CliError> {
+    let raw = args.option(key).unwrap_or(default);
+    raw.split(',')
+        .map(|item| {
+            item.trim()
+                .parse::<T>()
+                .map_err(|_| CliError::usage(format!("invalid value '{item}' in --{key}")))
+        })
+        .collect()
+}
+
+/// `supermarq batch`: expand a sweep grid into content-addressed jobs,
+/// serve cache hits from the store, execute only the misses, and emit
+/// one JSONL record per cell. Rerunning the same grid is all-hits and
+/// byte-identical — the resumable-sweep workflow.
+fn cmd_batch(args: &Args) -> Result<String, CliError> {
+    let kinds_raw = args
+        .option("benchmarks")
+        .ok_or_else(|| CliError::usage("missing --benchmarks"))?;
+    let sizes: Vec<usize> = parse_list(args, "sizes", "4")?;
+    let shots: Vec<u64> = parse_list(args, "shots", "2000")?;
+    let seeds: Vec<u64> = parse_list(args, "seeds", "1")?;
+    let repetitions: u64 = args.option_parse("reps", 3u64).map_err(CliError::Usage)?;
+    let instance_seed: u64 = args
+        .option_parse("bench-seed", 1u64)
+        .map_err(CliError::Usage)?;
+    let devices: Vec<String> = match args.option("devices") {
+        None | Some("all") => Device::all_paper_devices()
+            .iter()
+            .map(|d| d.name().to_string())
+            .collect(),
+        Some(list) => list
+            .split(',')
+            .map(|name| find_device(name.trim()).map(|d| d.name().to_string()))
+            .collect::<Result<_, _>>()?,
+    };
+    let mut benchmarks = Vec::new();
+    for kind in kinds_raw.split(',') {
+        let kind = kind.trim();
+        for &size in &sizes {
+            let params = bench_params(kind, size, instance_seed, args)?;
+            // Fail fast on grids that could never execute (bad sizes,
+            // malformed init strings) rather than per-cell at run time.
+            supermarq::spec::benchmark_from_params(kind, &params)
+                .map_err(|e| CliError::usage(e.to_string()))?;
+            benchmarks.push((kind.to_string(), params));
+        }
+    }
+    let grid = SweepGrid {
+        benchmarks,
+        devices,
+        shots,
+        seeds,
+        repetitions,
+        transpile: TranspileSpec::default(),
+        division: if args.flag("open") { "open" } else { "closed" }.into(),
+    };
+    let specs = grid.expand();
+    let store = open_store(args)?;
+    let engine = SweepEngine::new(&store).with_cache(!args.flag("no-cache"));
+    let exec = |spec: &RunSpec| execute_spec(spec).map_err(|e| e.to_string());
+    match args.option("out") {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| CliError::failure(format!("cannot create {path}: {e}")))?;
+            let mut writer = std::io::BufWriter::new(file);
+            let report = engine
+                .run_to_writer(&specs, exec, &mut writer)
+                .map_err(|e| CliError::failure(format!("cannot write {path}: {e}")))?;
+            Ok(format!(
+                "wrote {} result lines to {path}\nstore: {}\n{}",
+                report.results.len(),
+                store.root().display(),
+                report.stats.summary()
+            ))
+        }
+        None => {
+            // Pure JSONL on stdout; the summary goes to stderr so the
+            // output stays machine-readable.
+            let mut buffer = Vec::new();
+            let report = engine
+                .run_to_writer(&specs, exec, &mut buffer)
+                .map_err(|e| CliError::failure(e.to_string()))?;
+            eprintln!("store: {}", store.root().display());
+            eprintln!("{}", report.stats.summary());
+            let mut text = String::from_utf8(buffer)
+                .map_err(|e| CliError::failure(format!("non-utf8 record: {e}")))?;
+            text.truncate(text.trim_end().len());
+            Ok(text)
+        }
+    }
+}
+
+/// `supermarq cache`: inspect and maintain the run-artifact store.
+fn cmd_cache(args: &Args) -> Result<String, CliError> {
+    let action = args
+        .positional(1)
+        .ok_or_else(|| CliError::usage("missing cache action (stats|verify|gc)"))?;
+    let store = open_store(args)?;
+    let io_err = |e: std::io::Error| CliError::failure(format!("cache scan failed: {e}"));
+    match action {
+        "stats" => {
+            let stats = store.stats().map_err(io_err)?;
+            Ok(format!(
+                "store: {}\nentries: {}\nbytes: {}\nstray tmp files: {}",
+                store.root().display(),
+                stats.entries,
+                stats.bytes,
+                stats.stray_tmp
+            ))
+        }
+        "verify" => {
+            let report = store.verify().map_err(io_err)?;
+            if report.is_clean() {
+                Ok(format!(
+                    "store: {}\n{} entr{} verified, all valid",
+                    store.root().display(),
+                    report.ok,
+                    if report.ok == 1 { "y" } else { "ies" }
+                ))
+            } else {
+                let mut out = format!(
+                    "store: {}\n{} valid, {} corrupt, {} misplaced\n",
+                    store.root().display(),
+                    report.ok,
+                    report.corrupt.len(),
+                    report.misplaced.len()
+                );
+                for (path, reason) in &report.corrupt {
+                    out.push_str(&format!("corrupt: {}: {reason}\n", path.display()));
+                }
+                for path in &report.misplaced {
+                    out.push_str(&format!("misplaced: {}\n", path.display()));
+                }
+                out.push_str("run `supermarq cache gc` to remove invalid entries");
+                Err(CliError::failure(out))
+            }
+        }
+        "gc" => {
+            let report = store.gc().map_err(io_err)?;
+            Ok(format!(
+                "store: {}\nremoved {} stray tmp file(s), {} invalid object(s); kept {}",
+                store.root().display(),
+                report.removed_tmp,
+                report.removed_objects,
+                report.kept
+            ))
+        }
+        other => Err(CliError::usage(format!(
+            "unknown cache action '{other}' (expected stats, verify, or gc)"
+        ))),
+    }
 }
 
 /// Resolves a catalog device by case-insensitive name.
@@ -323,6 +592,7 @@ fn cmd_coverage() -> Result<String, CliError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::str::FromStr;
 
     fn run(tokens: &[&str]) -> Result<String, String> {
         dispatch(&tokens.iter().map(|s| s.to_string()).collect::<Vec<_>>())
@@ -502,6 +772,220 @@ mod tests {
             dispatch(&argv(&["features", "/nonexistent/file.qasm"])),
             Err(CliError::Failure(_))
         ));
+    }
+
+    /// A unique temp directory for store-backed tests.
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "supermarq-cli-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn run_json_emits_the_store_record_schema() {
+        let store = temp_dir("run-json");
+        let out = run(&[
+            "run",
+            "ghz",
+            "--size",
+            "3",
+            "--device",
+            "ionq",
+            "--shots",
+            "100",
+            "--reps",
+            "2",
+            "--seed",
+            "5",
+            "--json",
+            "--store",
+            store.to_str().unwrap(),
+        ])
+        .unwrap();
+        let record = RunRecord::from_str(&out).unwrap();
+        assert_eq!(record.spec.benchmark, "ghz");
+        // Device name is canonicalized, so the hash is input-case-proof.
+        assert_eq!(record.spec.device, "IonQ");
+        assert_eq!(record.spec.shots, 100);
+        assert_eq!(record.spec.seed, 5);
+        assert_eq!(record.outcome.scores.len(), 2);
+    }
+
+    #[test]
+    fn run_json_matches_cached_batch_artifact_byte_for_byte() {
+        let store = temp_dir("json-diff");
+        let store_arg = store.to_str().unwrap();
+        let jsonl = run(&[
+            "batch",
+            "--benchmarks",
+            "ghz",
+            "--sizes",
+            "3",
+            "--devices",
+            "ionq",
+            "--shots",
+            "100",
+            "--seeds",
+            "5",
+            "--reps",
+            "2",
+            "--store",
+            store_arg,
+        ])
+        .unwrap();
+        // Sharing the batch's store: the run is served from cache.
+        let json = run(&[
+            "run", "ghz", "--size", "3", "--device", "ionq", "--shots", "100", "--reps", "2",
+            "--seed", "5", "--json", "--store", store_arg,
+        ])
+        .unwrap();
+        assert_eq!(
+            jsonl, json,
+            "CLI runs and cached artifacts must be diffable"
+        );
+    }
+
+    #[test]
+    fn batch_second_pass_is_all_hits_and_byte_identical() {
+        let store = temp_dir("batch-rerun");
+        let store_arg = store.to_str().unwrap();
+        let grid = [
+            "batch",
+            "--benchmarks",
+            "ghz,qaoa-swap",
+            "--sizes",
+            "3,4",
+            "--devices",
+            "ionq,aqt",
+            "--shots",
+            "50",
+            "--reps",
+            "1",
+            "--store",
+            store_arg,
+        ];
+        let first = run(&grid).unwrap();
+        assert_eq!(first.lines().count(), 2 * 2 * 2);
+        for line in first.lines() {
+            RunRecord::from_str(line).unwrap();
+        }
+        let second = run(&grid).unwrap();
+        assert_eq!(first, second);
+        // And the stats prove the second pass came from the store.
+        let out_file = store.join("out.jsonl");
+        let mut with_out = grid.to_vec();
+        with_out.extend(["--out", out_file.to_str().unwrap()]);
+        let summary = run(&with_out).unwrap();
+        assert!(summary.contains("misses=0"), "{summary}");
+        assert!(summary.contains("hits=8"), "{summary}");
+        let written = std::fs::read_to_string(&out_file).unwrap();
+        assert_eq!(written.trim_end(), first);
+    }
+
+    #[test]
+    fn batch_no_cache_forces_recomputation() {
+        let store = temp_dir("batch-nocache");
+        let store_arg = store.to_str().unwrap();
+        fn grid<'a>(store_arg: &'a str, extra: &[&'a str]) -> Vec<&'a str> {
+            let mut argv = vec![
+                "batch",
+                "--benchmarks",
+                "ghz",
+                "--sizes",
+                "3",
+                "--devices",
+                "ionq",
+                "--shots",
+                "50",
+                "--reps",
+                "1",
+                "--store",
+                store_arg,
+                "--out",
+            ];
+            argv.extend(extra);
+            argv
+        }
+        let out1 = store.join("1.jsonl");
+        let out2 = store.join("2.jsonl");
+        run(&grid(store_arg, &[out1.to_str().unwrap()])).unwrap();
+        let summary = run(&grid(store_arg, &[out2.to_str().unwrap(), "--no-cache"])).unwrap();
+        assert!(summary.contains("misses=1"), "{summary}");
+    }
+
+    #[test]
+    fn batch_rejects_bad_grids() {
+        assert!(run(&["batch"]).is_err());
+        assert!(run(&["batch", "--benchmarks", "not-a-benchmark"]).is_err());
+        assert!(run(&["batch", "--benchmarks", "ghz", "--devices", "not-a-device"]).is_err());
+        assert!(run(&["batch", "--benchmarks", "ghz", "--sizes", "xyz"]).is_err());
+        assert!(run(&["batch", "--benchmarks", "ghz", "--sizes", "1"]).is_err());
+    }
+
+    #[test]
+    fn cache_stats_verify_gc_lifecycle() {
+        let store_dir = temp_dir("cache-cmd");
+        let store_arg = store_dir.to_str().unwrap().to_string();
+        // Empty store: zero entries, clean verify, no-op gc.
+        let out = run(&["cache", "stats", "--store", &store_arg]).unwrap();
+        assert!(out.contains("entries: 0"), "{out}");
+        assert!(run(&["cache", "verify", "--store", &store_arg]).is_ok());
+        // Populate one entry via batch.
+        run(&[
+            "batch",
+            "--benchmarks",
+            "ghz",
+            "--sizes",
+            "3",
+            "--devices",
+            "ionq",
+            "--shots",
+            "50",
+            "--reps",
+            "1",
+            "--store",
+            &store_arg,
+        ])
+        .unwrap();
+        let out = run(&["cache", "stats", "--store", &store_arg]).unwrap();
+        assert!(out.contains("entries: 1"), "{out}");
+        let out = run(&["cache", "verify", "--store", &store_arg]).unwrap();
+        assert!(out.contains("all valid"), "{out}");
+        // Corrupt the entry: verify fails, gc removes it, verify is clean.
+        let store = Store::open(&store_dir).unwrap();
+        let objects: Vec<_> = walk_json_files(&store_dir.join("objects"));
+        assert_eq!(objects.len(), 1);
+        std::fs::write(&objects[0], "{ truncated garbage").unwrap();
+        let err = run(&["cache", "verify", "--store", &store_arg]).unwrap_err();
+        assert!(err.contains("corrupt"), "{err}");
+        let out = run(&["cache", "gc", "--store", &store_arg]).unwrap();
+        assert!(out.contains("1 invalid object(s)"), "{out}");
+        assert!(run(&["cache", "verify", "--store", &store_arg]).is_ok());
+        assert_eq!(store.stats().unwrap().entries, 0);
+        // Unknown action is a usage error.
+        assert!(run(&["cache", "frobnicate", "--store", &store_arg]).is_err());
+        assert!(run(&["cache"]).is_err());
+    }
+
+    fn walk_json_files(dir: &std::path::Path) -> Vec<std::path::PathBuf> {
+        let mut found = Vec::new();
+        if let Ok(entries) = std::fs::read_dir(dir) {
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if path.is_dir() {
+                    found.extend(walk_json_files(&path));
+                } else if path.extension().is_some_and(|e| e == "json") {
+                    found.push(path);
+                }
+            }
+        }
+        found
     }
 
     #[test]

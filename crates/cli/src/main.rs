@@ -4,7 +4,9 @@
 //! supermarq devices
 //! supermarq generate ghz --size 5
 //! supermarq features circuit.qasm
-//! supermarq run ghz --size 5 --device IBM-Montreal --shots 2000 [--open]
+//! supermarq run ghz --size 5 --device IBM-Montreal --shots 2000 [--open] [--json]
+//! supermarq batch --benchmarks ghz,vqe --sizes 3,4 --devices all --out results.jsonl
+//! supermarq cache stats
 //! supermarq lint ghz --device IBM-Montreal
 //! supermarq coverage
 //! ```

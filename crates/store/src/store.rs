@@ -1,0 +1,354 @@
+//! The on-disk content-addressed store.
+//!
+//! Layout (all JSON, human-inspectable):
+//!
+//! ```text
+//! .supermarq-store/
+//!   objects/<h[0..2]>/<h>.json   # one validated RunRecord per file
+//!   tmp/<h>.<pid>.<n>.tmp        # in-flight writes (renamed into place)
+//! ```
+//!
+//! Guarantees:
+//! - **Atomic publication** — records are written to `tmp/` and
+//!   `rename`d into `objects/`; readers never observe a half-written
+//!   object. A crash leaves only a stray `tmp/` file, which reads
+//!   ignore and [`Store::gc`] removes.
+//! - **Reads never panic** — truncated, garbled, tampered, or
+//!   schema-mismatched entries are cache *misses*, and `gc` deletes
+//!   them.
+//! - **Concurrent writers are safe** — each in-flight write gets a
+//!   unique temp name (pid + global counter); last rename wins, and
+//!   since records are pure functions of their spec, all writers carry
+//!   identical bytes.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::record::RunRecord;
+use crate::spec::RunSpec;
+
+/// Default store directory name, resolved relative to the working
+/// directory unless the `SUPERMARQ_STORE` environment variable names
+/// another location.
+pub const DEFAULT_STORE_DIR: &str = ".supermarq-store";
+
+/// Monotonic discriminator for temp-file names within this process.
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Aggregate store statistics (`supermarq cache stats`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Object files present.
+    pub entries: usize,
+    /// Total bytes across object files.
+    pub bytes: u64,
+    /// Stray in-flight files under `tmp/` (crash leftovers).
+    pub stray_tmp: usize,
+}
+
+/// Full-scan validation report (`supermarq cache verify`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VerifyReport {
+    /// Entries that parsed and validated.
+    pub ok: usize,
+    /// Entries that failed to read/parse/validate, with the reason.
+    pub corrupt: Vec<(PathBuf, String)>,
+    /// Entries whose file name does not match their content hash.
+    pub misplaced: Vec<PathBuf>,
+}
+
+impl VerifyReport {
+    /// True when every entry validated.
+    pub fn is_clean(&self) -> bool {
+        self.corrupt.is_empty() && self.misplaced.is_empty()
+    }
+}
+
+/// Garbage-collection report (`supermarq cache gc`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GcReport {
+    /// Stray temp files removed.
+    pub removed_tmp: usize,
+    /// Corrupt / schema-mismatched / misplaced objects removed.
+    pub removed_objects: usize,
+    /// Valid entries kept.
+    pub kept: usize,
+}
+
+/// A content-addressed run-record store rooted at one directory.
+#[derive(Debug, Clone)]
+pub struct Store {
+    root: PathBuf,
+}
+
+impl Store {
+    /// Opens (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Store> {
+        let root = root.into();
+        fs::create_dir_all(root.join("objects"))?;
+        fs::create_dir_all(root.join("tmp"))?;
+        Ok(Store { root })
+    }
+
+    /// Opens the default store: `$SUPERMARQ_STORE` if set, else
+    /// [`DEFAULT_STORE_DIR`] in the working directory.
+    pub fn open_default() -> io::Result<Store> {
+        Store::open(default_root())
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Path of the object file for a given content hash.
+    pub fn object_path(&self, hash: &str) -> PathBuf {
+        let shard = hash.get(..2).unwrap_or("xx");
+        self.root
+            .join("objects")
+            .join(shard)
+            .join(format!("{hash}.json"))
+    }
+
+    /// Looks up a record by spec. Returns `None` on absence *or* on any
+    /// form of bad data — truncation, garbling, schema mismatch, or a
+    /// record whose spec hashes differently than the file name claims.
+    pub fn get(&self, spec: &RunSpec) -> Option<RunRecord> {
+        let hash = spec.content_hash();
+        let text = fs::read_to_string(self.object_path(&hash)).ok()?;
+        let record = RunRecord::from_str(&text).ok()?;
+        // `from_str` already checked internal consistency; this guards
+        // against a valid record filed under the wrong address.
+        if record.spec.content_hash() != hash {
+            return None;
+        }
+        Some(record)
+    }
+
+    /// Persists a record atomically, returning its content hash. Safe to
+    /// call concurrently for the same spec from multiple threads or
+    /// processes.
+    pub fn put(&self, record: &RunRecord) -> io::Result<String> {
+        let hash = record.spec.content_hash();
+        let final_path = self.object_path(&hash);
+        if let Some(parent) = final_path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let tmp_path = self.root.join("tmp").join(format!(
+            "{hash}.{}.{}.tmp",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let mut line = record.to_line();
+        line.push('\n');
+        fs::write(&tmp_path, line)?;
+        let renamed = fs::rename(&tmp_path, &final_path);
+        if renamed.is_err() {
+            // Clean up our temp file before surfacing the error.
+            let _ = fs::remove_file(&tmp_path);
+        }
+        renamed?;
+        Ok(hash)
+    }
+
+    /// Cheap scan: entry count, byte total, stray temp files. Does not
+    /// parse records (use [`Store::verify`] for that).
+    pub fn stats(&self) -> io::Result<StoreStats> {
+        let mut stats = StoreStats::default();
+        for path in self.object_files()? {
+            stats.entries += 1;
+            stats.bytes += fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        }
+        stats.stray_tmp = self.tmp_files()?.len();
+        Ok(stats)
+    }
+
+    /// Parses and validates every object file.
+    pub fn verify(&self) -> io::Result<VerifyReport> {
+        let mut report = VerifyReport::default();
+        for path in self.object_files()? {
+            match fs::read_to_string(&path) {
+                Err(e) => report.corrupt.push((path, e.to_string())),
+                Ok(text) => match RunRecord::from_str(&text) {
+                    Err(e) => report.corrupt.push((path, e)),
+                    Ok(record) => {
+                        let expected = self.object_path(&record.spec.content_hash());
+                        if expected == path {
+                            report.ok += 1;
+                        } else {
+                            report.misplaced.push(path);
+                        }
+                    }
+                },
+            }
+        }
+        Ok(report)
+    }
+
+    /// Removes stray temp files and every invalid object (corrupt,
+    /// schema-mismatched, misplaced). Valid entries are untouched.
+    pub fn gc(&self) -> io::Result<GcReport> {
+        let mut report = GcReport::default();
+        for path in self.tmp_files()? {
+            if fs::remove_file(&path).is_ok() {
+                report.removed_tmp += 1;
+            }
+        }
+        let verify = self.verify()?;
+        report.kept = verify.ok;
+        for (path, _) in &verify.corrupt {
+            if fs::remove_file(path).is_ok() {
+                report.removed_objects += 1;
+            }
+        }
+        for path in &verify.misplaced {
+            if fs::remove_file(path).is_ok() {
+                report.removed_objects += 1;
+            }
+        }
+        Ok(report)
+    }
+
+    /// Every `objects/<shard>/<hash>.json` file, sorted for
+    /// deterministic reporting.
+    fn object_files(&self) -> io::Result<Vec<PathBuf>> {
+        let mut files = Vec::new();
+        let objects = self.root.join("objects");
+        for shard in read_dir_sorted(&objects)? {
+            if shard.is_dir() {
+                for file in read_dir_sorted(&shard)? {
+                    if file.extension().is_some_and(|e| e == "json") {
+                        files.push(file);
+                    }
+                }
+            }
+        }
+        Ok(files)
+    }
+
+    fn tmp_files(&self) -> io::Result<Vec<PathBuf>> {
+        read_dir_sorted(&self.root.join("tmp"))
+    }
+}
+
+/// Resolves the default store root from the environment.
+pub fn default_root() -> PathBuf {
+    match std::env::var_os("SUPERMARQ_STORE") {
+        Some(dir) if !dir.is_empty() => PathBuf::from(dir),
+        _ => PathBuf::from(DEFAULT_STORE_DIR),
+    }
+}
+
+fn read_dir_sorted(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut entries = Vec::new();
+    match fs::read_dir(dir) {
+        // A store dir someone deleted mid-run is empty, not an error.
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(entries),
+        Err(e) => return Err(e),
+        Ok(iter) => {
+            for entry in iter {
+                entries.push(entry?.path());
+            }
+        }
+    }
+    entries.sort();
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RunOutcome;
+
+    fn temp_store(tag: &str) -> Store {
+        let dir = std::env::temp_dir().join(format!(
+            "supermarq-store-unit-{tag}-{}-{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        Store::open(dir).unwrap()
+    }
+
+    fn record(seed: u64) -> RunRecord {
+        RunRecord {
+            spec: RunSpec::new(
+                "ghz",
+                vec![("size".into(), "3".into())],
+                "IonQ",
+                100,
+                2,
+                seed,
+            ),
+            outcome: RunOutcome {
+                scores: vec![0.9, 0.95],
+                swap_count: 0,
+                two_qubit_gates: 2,
+            },
+        }
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let store = temp_store("roundtrip");
+        let r = record(1);
+        assert!(store.get(&r.spec).is_none());
+        let hash = store.put(&r).unwrap();
+        assert_eq!(hash, r.spec.content_hash());
+        assert_eq!(store.get(&r.spec), Some(r));
+        let stats = store.stats().unwrap();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.stray_tmp, 0);
+        assert!(stats.bytes > 0);
+    }
+
+    #[test]
+    fn distinct_specs_get_distinct_objects() {
+        let store = temp_store("distinct");
+        store.put(&record(1)).unwrap();
+        store.put(&record(2)).unwrap();
+        assert_eq!(store.stats().unwrap().entries, 2);
+        assert_eq!(store.get(&record(1).spec).unwrap(), record(1));
+        assert_eq!(store.get(&record(2).spec).unwrap(), record(2));
+    }
+
+    #[test]
+    fn overwriting_same_key_is_idempotent() {
+        let store = temp_store("idem");
+        store.put(&record(1)).unwrap();
+        store.put(&record(1)).unwrap();
+        assert_eq!(store.stats().unwrap().entries, 1);
+    }
+
+    #[test]
+    fn verify_and_gc_on_clean_store() {
+        let store = temp_store("clean");
+        store.put(&record(1)).unwrap();
+        let report = store.verify().unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.ok, 1);
+        let gc = store.gc().unwrap();
+        assert_eq!(
+            gc,
+            GcReport {
+                removed_tmp: 0,
+                removed_objects: 0,
+                kept: 1
+            }
+        );
+        assert_eq!(store.get(&record(1).spec), Some(record(1)));
+    }
+
+    #[test]
+    fn default_root_honors_environment() {
+        // Reads (never mutates) the process environment, so the test is
+        // safe under parallel execution whatever the harness exports.
+        match std::env::var_os("SUPERMARQ_STORE") {
+            Some(dir) if !dir.is_empty() => assert_eq!(default_root(), PathBuf::from(dir)),
+            _ => assert_eq!(default_root(), PathBuf::from(DEFAULT_STORE_DIR)),
+        }
+    }
+}

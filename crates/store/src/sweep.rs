@@ -1,0 +1,412 @@
+//! The batch sweep engine: grid expansion, cache partitioning, parallel
+//! execution of misses, JSONL streaming, and per-sweep statistics.
+//!
+//! A sweep is resumable by construction: every job is a [`RunSpec`], the
+//! engine asks the store first, and only cache misses reach the
+//! executor. Kill a sweep halfway and rerun it — completed cells are
+//! hits, the remainder executes, and the emitted JSONL is byte-identical
+//! to an uninterrupted run because results are written in spec order and
+//! records contain no wall-clock data.
+
+use std::io::{self, Write};
+use std::time::Instant;
+
+use rayon::prelude::*;
+
+use crate::record::{RunOutcome, RunRecord};
+use crate::spec::{RunSpec, TranspileSpec, SCHEMA_VERSION};
+use crate::store::Store;
+use crate::Json;
+
+/// A declarative sweep grid; [`SweepGrid::expand`] takes the cartesian
+/// product into a deterministic job list.
+#[derive(Debug, Clone, Default)]
+pub struct SweepGrid {
+    /// Benchmark points: `(benchmark id, params)`.
+    pub benchmarks: Vec<(String, Vec<(String, String)>)>,
+    /// Device names.
+    pub devices: Vec<String>,
+    /// Shot counts to sweep.
+    pub shots: Vec<u64>,
+    /// Base seeds to sweep.
+    pub seeds: Vec<u64>,
+    /// Repetitions per run (fixed across the grid).
+    pub repetitions: u64,
+    /// Transpile configuration (fixed across the grid).
+    pub transpile: TranspileSpec,
+    /// `closed` or `open` (fixed across the grid).
+    pub division: String,
+}
+
+impl SweepGrid {
+    /// Expands the grid in deterministic nested order:
+    /// benchmark → device → shots → seed.
+    pub fn expand(&self) -> Vec<RunSpec> {
+        let mut specs = Vec::new();
+        for (benchmark, params) in &self.benchmarks {
+            for device in &self.devices {
+                for &shots in &self.shots {
+                    for &seed in &self.seeds {
+                        let mut spec = RunSpec::new(
+                            benchmark.clone(),
+                            params.clone(),
+                            device.clone(),
+                            shots,
+                            self.repetitions,
+                            seed,
+                        );
+                        spec.transpile = self.transpile.clone();
+                        spec.division = if self.division.is_empty() {
+                            "closed".into()
+                        } else {
+                            self.division.clone()
+                        };
+                        specs.push(spec);
+                    }
+                }
+            }
+        }
+        specs
+    }
+}
+
+/// Per-sweep statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepStats {
+    /// Jobs in the sweep.
+    pub total: usize,
+    /// Jobs served from the store.
+    pub hits: usize,
+    /// Jobs that had to execute.
+    pub misses: usize,
+    /// Jobs whose executor returned an error.
+    pub failures: usize,
+    /// Executed jobs whose result could not be persisted (I/O error);
+    /// the sweep still reports their outcomes.
+    pub store_errors: usize,
+    /// Wall-clock duration of the sweep in milliseconds.
+    pub elapsed_ms: u128,
+}
+
+impl SweepStats {
+    /// One-line summary, grep-friendly for CI assertions.
+    pub fn summary(&self) -> String {
+        format!(
+            "sweep: total={} hits={} misses={} failures={} store_errors={} elapsed_ms={}",
+            self.total, self.hits, self.misses, self.failures, self.store_errors, self.elapsed_ms
+        )
+    }
+}
+
+/// The outcome of one sweep job, in the order the specs were given.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResult {
+    /// The job's spec.
+    pub spec: RunSpec,
+    /// Whether the result came from the store.
+    pub from_cache: bool,
+    /// The record, or the executor's error message.
+    pub outcome: Result<RunRecord, String>,
+}
+
+impl SweepResult {
+    /// The JSONL line for this result. Success lines are exactly the
+    /// stored record serialization; failure lines carry the error and
+    /// the spec. Both are deterministic.
+    pub fn to_line(&self) -> String {
+        match &self.outcome {
+            Ok(record) => record.to_line(),
+            Err(message) => Json::Obj(vec![
+                ("schema".into(), Json::uint(SCHEMA_VERSION)),
+                ("error".into(), Json::str(message.clone())),
+                ("spec".into(), self.spec.to_json()),
+            ])
+            .to_string(),
+        }
+    }
+}
+
+/// A completed sweep: per-job results plus aggregate stats.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// One result per input spec, in input order.
+    pub results: Vec<SweepResult>,
+    /// Aggregate statistics.
+    pub stats: SweepStats,
+}
+
+impl SweepReport {
+    /// Looks up the result for a spec by content hash.
+    pub fn result_for(&self, spec: &RunSpec) -> Option<&SweepResult> {
+        let hash = spec.content_hash();
+        self.results.iter().find(|r| r.spec.content_hash() == hash)
+    }
+}
+
+/// Runs sweeps against one store.
+pub struct SweepEngine<'a> {
+    store: &'a Store,
+    use_cache: bool,
+}
+
+impl<'a> SweepEngine<'a> {
+    /// An engine over `store` with caching enabled.
+    pub fn new(store: &'a Store) -> SweepEngine<'a> {
+        SweepEngine {
+            store,
+            use_cache: true,
+        }
+    }
+
+    /// Disables cache *reads* (every job executes; results are still
+    /// persisted) — the force-recompute escape hatch.
+    pub fn with_cache(mut self, use_cache: bool) -> SweepEngine<'a> {
+        self.use_cache = use_cache;
+        self
+    }
+
+    /// Runs every spec: cache hits resolve immediately, misses fan out
+    /// over the rayon pool through `exec`, and fresh results are
+    /// persisted. Results come back in input order.
+    pub fn run<F>(&self, specs: &[RunSpec], exec: F) -> SweepReport
+    where
+        F: Fn(&RunSpec) -> Result<RunOutcome, String> + Sync,
+    {
+        let start = Instant::now();
+        let mut stats = SweepStats {
+            total: specs.len(),
+            ..SweepStats::default()
+        };
+        // Partition into hits and misses up front.
+        let cached: Vec<Option<RunRecord>> = specs
+            .iter()
+            .map(|spec| {
+                if self.use_cache {
+                    self.store.get(spec)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        // Fan the misses over the pool. Each job is independent; results
+        // land back in their input slot, so output order (and therefore
+        // the JSONL byte stream) is deterministic at any thread count.
+        let miss_indices: Vec<usize> = (0..specs.len()).filter(|&i| cached[i].is_none()).collect();
+        let executed: Vec<(usize, Result<RunOutcome, String>)> = miss_indices
+            .par_iter()
+            .map(|&i| (i, exec(&specs[i])))
+            .collect();
+        let mut fresh: Vec<Option<Result<RunRecord, String>>> = vec![None; specs.len()];
+        for (i, outcome) in executed {
+            let slot = match outcome {
+                Ok(outcome) => {
+                    let record = RunRecord {
+                        spec: specs[i].clone(),
+                        outcome,
+                    };
+                    if self.store.put(&record).is_err() {
+                        stats.store_errors += 1;
+                    }
+                    Ok(record)
+                }
+                Err(message) => {
+                    stats.failures += 1;
+                    Err(message)
+                }
+            };
+            fresh[i] = Some(slot);
+        }
+        let mut results = Vec::with_capacity(specs.len());
+        for (i, spec) in specs.iter().enumerate() {
+            match (&cached[i], fresh[i].take()) {
+                (Some(record), _) => {
+                    stats.hits += 1;
+                    results.push(SweepResult {
+                        spec: spec.clone(),
+                        from_cache: true,
+                        outcome: Ok(record.clone()),
+                    });
+                }
+                (None, Some(outcome)) => {
+                    stats.misses += 1;
+                    results.push(SweepResult {
+                        spec: spec.clone(),
+                        from_cache: false,
+                        outcome,
+                    });
+                }
+                (None, None) => unreachable!("every miss index was executed"),
+            }
+        }
+        stats.elapsed_ms = start.elapsed().as_millis();
+        SweepReport { results, stats }
+    }
+
+    /// Like [`SweepEngine::run`], additionally streaming one JSONL line
+    /// per result (in spec order) to `sink`.
+    pub fn run_to_writer<F>(
+        &self,
+        specs: &[RunSpec],
+        exec: F,
+        sink: &mut dyn Write,
+    ) -> io::Result<SweepReport>
+    where
+        F: Fn(&RunSpec) -> Result<RunOutcome, String> + Sync,
+    {
+        let report = self.run(specs, exec);
+        for result in &report.results {
+            sink.write_all(result.to_line().as_bytes())?;
+            sink.write_all(b"\n")?;
+        }
+        sink.flush()?;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_store(tag: &str) -> Store {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "supermarq-sweep-unit-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        Store::open(dir).unwrap()
+    }
+
+    fn grid() -> SweepGrid {
+        SweepGrid {
+            benchmarks: vec![
+                ("ghz".into(), vec![("size".into(), "3".into())]),
+                ("ghz".into(), vec![("size".into(), "4".into())]),
+            ],
+            devices: vec!["IonQ".into(), "AQT".into()],
+            shots: vec![50],
+            seeds: vec![1, 2],
+            repetitions: 2,
+            transpile: TranspileSpec::default(),
+            division: "closed".into(),
+        }
+    }
+
+    fn fake_exec(spec: &RunSpec) -> Result<RunOutcome, String> {
+        // Deterministic pure function of the spec.
+        let x = (spec.seed as f64 + spec.shots as f64) / 1000.0;
+        Ok(RunOutcome {
+            scores: (0..spec.repetitions)
+                .map(|r| x + r as f64 / 100.0)
+                .collect(),
+            swap_count: spec.seed,
+            two_qubit_gates: spec.shots,
+        })
+    }
+
+    #[test]
+    fn grid_expansion_is_deterministic_cartesian_product() {
+        let specs = grid().expand();
+        // 2 benchmarks x 2 devices x 1 shot count x 2 seeds.
+        assert_eq!(specs.len(), 8);
+        assert_eq!(specs, grid().expand());
+        // Nested order: benchmark outermost, seed innermost.
+        assert_eq!(specs[0].device, "IonQ");
+        assert_eq!(specs[0].seed, 1);
+        assert_eq!(specs[1].seed, 2);
+        assert_eq!(specs[2].device, "AQT");
+    }
+
+    #[test]
+    fn first_pass_misses_second_pass_hits() {
+        let store = temp_store("passes");
+        let specs = grid().expand();
+        let engine = SweepEngine::new(&store);
+        let first = engine.run(&specs, fake_exec);
+        assert_eq!(first.stats.misses, specs.len());
+        assert_eq!(first.stats.hits, 0);
+        assert_eq!(first.stats.failures, 0);
+        let second = engine.run(&specs, |_| -> Result<RunOutcome, String> {
+            panic!("second pass must not execute anything")
+        });
+        assert_eq!(second.stats.hits, specs.len());
+        assert_eq!(second.stats.misses, 0);
+        for (a, b) in first.results.iter().zip(&second.results) {
+            assert_eq!(a.outcome, b.outcome);
+            assert!(!a.from_cache);
+            assert!(b.from_cache);
+        }
+    }
+
+    #[test]
+    fn disabling_cache_forces_execution_but_still_persists() {
+        let store = temp_store("nocache");
+        let specs = grid().expand();
+        let calls = AtomicUsize::new(0);
+        let exec = |spec: &RunSpec| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            fake_exec(spec)
+        };
+        SweepEngine::new(&store).with_cache(false).run(&specs, exec);
+        SweepEngine::new(&store).with_cache(false).run(&specs, exec);
+        assert_eq!(calls.load(Ordering::Relaxed), 2 * specs.len());
+        // Results were persisted: a caching engine now sees all hits.
+        let report = SweepEngine::new(&store).run(&specs, exec);
+        assert_eq!(report.stats.hits, specs.len());
+    }
+
+    #[test]
+    fn failures_are_counted_not_cached_and_rendered_as_error_lines() {
+        let store = temp_store("failures");
+        let specs = grid().expand();
+        let exec = |spec: &RunSpec| {
+            if spec.device == "AQT" {
+                Err(format!("{} does not fit", spec.benchmark))
+            } else {
+                fake_exec(spec)
+            }
+        };
+        let mut out = Vec::new();
+        let report = SweepEngine::new(&store)
+            .run_to_writer(&specs, exec, &mut out)
+            .unwrap();
+        assert_eq!(report.stats.failures, 4);
+        assert_eq!(report.stats.misses, specs.len());
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text.lines().count(), specs.len());
+        assert_eq!(text.matches("\"error\"").count(), 4);
+        // Failures were not persisted: a second pass re-executes them.
+        let second = SweepEngine::new(&store).run(&specs, exec);
+        assert_eq!(second.stats.hits, specs.len() - 4);
+        assert_eq!(second.stats.failures, 4);
+    }
+
+    #[test]
+    fn report_lookup_by_spec() {
+        let store = temp_store("lookup");
+        let specs = grid().expand();
+        let report = SweepEngine::new(&store).run(&specs, fake_exec);
+        let found = report.result_for(&specs[3]).unwrap();
+        assert_eq!(found.spec, specs[3]);
+        let mut absent = specs[0].clone();
+        absent.seed = 777;
+        assert!(report.result_for(&absent).is_none());
+    }
+
+    #[test]
+    fn stats_summary_is_grep_friendly() {
+        let stats = SweepStats {
+            total: 8,
+            hits: 8,
+            misses: 0,
+            failures: 0,
+            store_errors: 0,
+            elapsed_ms: 12,
+        };
+        let line = stats.summary();
+        assert!(line.contains("hits=8"));
+        assert!(line.contains("misses=0"));
+    }
+}

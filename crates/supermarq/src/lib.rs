@@ -17,7 +17,9 @@
 //! * [`coverage`] — the convex-hull feature-space coverage metric behind
 //!   Table I;
 //! * [`correlation`] — the feature-vs-performance `R^2` analysis behind
-//!   Figs. 3 and 4.
+//!   Figs. 3 and 4;
+//! * [`spec`] — the executor for `supermarq-store` run specs, making
+//!   every harness run content-addressable and cacheable.
 //!
 //! # Example
 //!
@@ -38,6 +40,7 @@ pub mod coverage;
 pub mod features;
 pub mod mitigation;
 pub mod runner;
+pub mod spec;
 
 pub use benchmark::Benchmark;
 pub use correlation::{correlation_table, CorrelationTable, ScoreRecord};
@@ -45,3 +48,4 @@ pub use coverage::suite_coverage;
 pub use features::FeatureVector;
 pub use mitigation::ReadoutMitigator;
 pub use runner::{run_on_device, run_on_device_open, BenchmarkResult, RunConfig};
+pub use spec::{benchmark_from_params, execute_spec, ExecError};

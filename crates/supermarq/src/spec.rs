@@ -1,0 +1,436 @@
+//! Executing [`RunSpec`]s: the bridge between the content-addressed
+//! store and the evaluation harness.
+//!
+//! The store crate is executor-agnostic; this module gives its specs
+//! meaning. A spec's `(benchmark, params)` pair resolves through
+//! [`benchmark_from_params`] (strict: every expected parameter present,
+//! nothing else — so each logical run has exactly one canonical spec and
+//! therefore one cache key), the device by catalog name, and the
+//! transpile strings through [`run_config_from_spec`]. [`execute_spec`]
+//! runs the whole pipeline and produces the [`RunOutcome`] the store
+//! persists.
+
+use supermarq_device::Device;
+use supermarq_store::{RunOutcome, RunSpec, TranspileSpec};
+use supermarq_transpile::{PlacementStrategy, TranspileError, VerifyLevel};
+
+use crate::benchmark::Benchmark;
+use crate::benchmarks::{
+    BitCodeBenchmark, GhzBenchmark, HamiltonianSimBenchmark, MerminBellBenchmark,
+    PhaseCodeBenchmark, QaoaSwapBenchmark, QaoaVanillaBenchmark, VqeBenchmark,
+};
+use crate::runner::{run_on_device, run_on_device_open, RunConfig};
+
+/// Why a spec could not be executed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The benchmark needs more qubits than the device has — the
+    /// *expected* failure mode (the black X's of Fig. 2), distinguished
+    /// so sweeps can render it rather than report an error.
+    DoesNotFit {
+        /// Qubits the benchmark needs.
+        needed: usize,
+        /// Qubits the device has.
+        available: usize,
+    },
+    /// The spec itself is malformed: unknown benchmark, device,
+    /// parameter, or transpile configuration.
+    Invalid(String),
+    /// The pipeline ran and failed (routing, verification, ...).
+    Failed(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::DoesNotFit { needed, available } => {
+                write!(f, "benchmark needs {needed} qubits, device has {available}")
+            }
+            ExecError::Invalid(m) => write!(f, "invalid spec: {m}"),
+            ExecError::Failed(m) => write!(f, "execution failed: {m}"),
+        }
+    }
+}
+
+/// Returns the value of `key` in `params`, or an error naming it.
+fn require<'p>(params: &'p [(String, String)], key: &str) -> Result<&'p str, ExecError> {
+    params
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+        .ok_or_else(|| ExecError::Invalid(format!("missing parameter '{key}'")))
+}
+
+fn parse_num<T: std::str::FromStr>(key: &str, raw: &str) -> Result<T, ExecError> {
+    raw.parse::<T>()
+        .map_err(|_| ExecError::Invalid(format!("invalid value '{raw}' for parameter '{key}'")))
+}
+
+/// Checks `params` carries exactly `expected` keys (sorted) — the
+/// strictness that makes cache keys canonical: there is no spec with a
+/// defaulted-but-omitted parameter aliasing a spec that spells it out.
+fn expect_keys(params: &[(String, String)], expected: &[&str]) -> Result<(), ExecError> {
+    let mut keys: Vec<&str> = params.iter().map(|(k, _)| k.as_str()).collect();
+    keys.sort_unstable();
+    if keys != expected {
+        return Err(ExecError::Invalid(format!(
+            "expected parameters {expected:?}, got {keys:?}"
+        )));
+    }
+    Ok(())
+}
+
+/// Parses an error-correction initial state: a `0`/`1` bitstring of
+/// length `size` (`1` = flipped / `|+⟩` depending on the code).
+fn parse_init(raw: &str, size: usize) -> Result<Vec<bool>, ExecError> {
+    if raw.len() != size || !raw.bytes().all(|b| b == b'0' || b == b'1') {
+        return Err(ExecError::Invalid(format!(
+            "parameter 'init' must be a {size}-character 0/1 string, got '{raw}'"
+        )));
+    }
+    Ok(raw.bytes().map(|b| b == b'1').collect())
+}
+
+/// The default initial state used across the harness when none is
+/// specified: alternating, starting flipped (`1010…`).
+pub fn default_init(size: usize) -> String {
+    (0..size)
+        .map(|i| if i % 2 == 0 { '1' } else { '0' })
+        .collect()
+}
+
+/// Instantiates a benchmark from a spec's `(benchmark, params)` pair.
+///
+/// # Errors
+///
+/// Returns [`ExecError::Invalid`] for unknown benchmark ids, missing or
+/// extra parameters, or out-of-range values.
+pub fn benchmark_from_params(
+    id: &str,
+    params: &[(String, String)],
+) -> Result<Box<dyn Benchmark>, ExecError> {
+    let size_of = |params: &[(String, String)]| -> Result<usize, ExecError> {
+        let size: usize = parse_num("size", require(params, "size")?)?;
+        if size < 2 {
+            return Err(ExecError::Invalid(format!(
+                "parameter 'size' must be at least 2, got {size}"
+            )));
+        }
+        Ok(size)
+    };
+    let bench: Box<dyn Benchmark> = match id {
+        "ghz" => {
+            expect_keys(params, &["size"])?;
+            Box::new(GhzBenchmark::new(size_of(params)?))
+        }
+        "mermin-bell" => {
+            expect_keys(params, &["size"])?;
+            let size = size_of(params)?;
+            if size > 16 {
+                return Err(ExecError::Invalid(format!(
+                    "mermin-bell size must be at most 16, got {size}"
+                )));
+            }
+            Box::new(MerminBellBenchmark::new(size))
+        }
+        "bit-code" | "phase-code" => {
+            expect_keys(params, &["init", "rounds", "size"])?;
+            let size = size_of(params)?;
+            let rounds: usize = parse_num("rounds", require(params, "rounds")?)?;
+            if rounds < 1 {
+                return Err(ExecError::Invalid("parameter 'rounds' must be >= 1".into()));
+            }
+            let init = parse_init(require(params, "init")?, size)?;
+            if id == "bit-code" {
+                Box::new(BitCodeBenchmark::new(size, rounds, &init))
+            } else {
+                Box::new(PhaseCodeBenchmark::new(size, rounds, &init))
+            }
+        }
+        "qaoa-vanilla" | "qaoa-swap" => {
+            expect_keys(params, &["seed", "size"])?;
+            let size = size_of(params)?;
+            let seed: u64 = parse_num("seed", require(params, "seed")?)?;
+            if id == "qaoa-vanilla" {
+                Box::new(QaoaVanillaBenchmark::new(size, seed))
+            } else {
+                Box::new(QaoaSwapBenchmark::new(size, seed))
+            }
+        }
+        "vqe" => {
+            expect_keys(params, &["layers", "size"])?;
+            let size = size_of(params)?;
+            if size > 12 {
+                return Err(ExecError::Invalid(format!(
+                    "vqe size must be at most 12, got {size}"
+                )));
+            }
+            let layers: usize = parse_num("layers", require(params, "layers")?)?;
+            if layers < 1 {
+                return Err(ExecError::Invalid("parameter 'layers' must be >= 1".into()));
+            }
+            Box::new(VqeBenchmark::new(size, layers))
+        }
+        "hamsim" => {
+            expect_keys(params, &["size", "steps"])?;
+            let size = size_of(params)?;
+            let steps: usize = parse_num("steps", require(params, "steps")?)?;
+            if steps < 1 {
+                return Err(ExecError::Invalid("parameter 'steps' must be >= 1".into()));
+            }
+            Box::new(HamiltonianSimBenchmark::new(size, steps))
+        }
+        other => {
+            return Err(ExecError::Invalid(format!("unknown benchmark '{other}'")));
+        }
+    };
+    Ok(bench)
+}
+
+/// Translates a spec's transpile strings (+ shots/reps/seed) into the
+/// runner's [`RunConfig`].
+///
+/// # Errors
+///
+/// Returns [`ExecError::Invalid`] for unknown placement or verify ids.
+pub fn run_config_from_spec(spec: &RunSpec) -> Result<RunConfig, ExecError> {
+    let placement = match spec.transpile.placement.as_str() {
+        "trivial" => PlacementStrategy::Trivial,
+        "greedy" => PlacementStrategy::Greedy,
+        "noise-aware" => PlacementStrategy::NoiseAware,
+        other => {
+            return Err(ExecError::Invalid(format!(
+                "unknown placement strategy '{other}'"
+            )))
+        }
+    };
+    let verify = match spec.transpile.verify.as_str() {
+        "off" => VerifyLevel::Off,
+        "final" => VerifyLevel::Final,
+        "stages" => VerifyLevel::Stages,
+        other => {
+            return Err(ExecError::Invalid(format!(
+                "unknown verify level '{other}'"
+            )))
+        }
+    };
+    Ok(RunConfig {
+        shots: spec.shots as usize,
+        seed: spec.seed,
+        repetitions: spec.repetitions as usize,
+        placement,
+        optimize: spec.transpile.optimize,
+        verify,
+    })
+}
+
+/// The spec-side encoding of a [`RunConfig`]'s transpile settings —
+/// the inverse of [`run_config_from_spec`].
+pub fn transpile_spec_of(config: &RunConfig) -> TranspileSpec {
+    TranspileSpec {
+        placement: match config.placement {
+            PlacementStrategy::Trivial => "trivial",
+            PlacementStrategy::Greedy => "greedy",
+            PlacementStrategy::NoiseAware => "noise-aware",
+        }
+        .into(),
+        optimize: config.optimize,
+        verify: match config.verify {
+            VerifyLevel::Off => "off",
+            VerifyLevel::Final => "final",
+            VerifyLevel::Stages => "stages",
+        }
+        .into(),
+    }
+}
+
+/// Resolves a catalog device by case-insensitive name.
+///
+/// # Errors
+///
+/// Returns [`ExecError::Invalid`] naming the unknown device.
+pub fn device_from_spec(name: &str) -> Result<Device, ExecError> {
+    Device::all_paper_devices()
+        .into_iter()
+        .find(|d| d.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| ExecError::Invalid(format!("unknown device '{name}'")))
+}
+
+/// Executes a spec end-to-end: build the benchmark, resolve the device,
+/// transpile, simulate under noise, score — and package the result as
+/// the [`RunOutcome`] the store persists. Deterministic: equal specs
+/// produce equal outcomes at any thread count.
+///
+/// # Errors
+///
+/// [`ExecError::DoesNotFit`] when the benchmark exceeds the device,
+/// [`ExecError::Invalid`] for malformed specs, [`ExecError::Failed`] for
+/// pipeline failures.
+pub fn execute_spec(spec: &RunSpec) -> Result<RunOutcome, ExecError> {
+    let benchmark = benchmark_from_params(&spec.benchmark, &spec.params)?;
+    let device = device_from_spec(&spec.device)?;
+    let config = run_config_from_spec(spec)?;
+    let result = match spec.division.as_str() {
+        "closed" => run_on_device(benchmark.as_ref(), &device, &config),
+        "open" => run_on_device_open(benchmark.as_ref(), &device, &config),
+        other => {
+            return Err(ExecError::Invalid(format!("unknown division '{other}'")));
+        }
+    };
+    match result {
+        Ok(r) => Ok(RunOutcome {
+            scores: r.scores,
+            swap_count: r.swap_count as u64,
+            two_qubit_gates: r.two_qubit_gates as u64,
+        }),
+        Err(TranspileError::TooManyQubits { needed, available }) => {
+            Err(ExecError::DoesNotFit { needed, available })
+        }
+        Err(e) => Err(ExecError::Failed(e.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn factory_builds_every_benchmark() {
+        let cases: Vec<(&str, Vec<(String, String)>)> = vec![
+            ("ghz", p(&[("size", "4")])),
+            ("mermin-bell", p(&[("size", "3")])),
+            (
+                "bit-code",
+                p(&[("size", "3"), ("rounds", "2"), ("init", "101")]),
+            ),
+            (
+                "phase-code",
+                p(&[("size", "3"), ("rounds", "1"), ("init", "110")]),
+            ),
+            ("qaoa-vanilla", p(&[("size", "4"), ("seed", "1")])),
+            ("qaoa-swap", p(&[("size", "4"), ("seed", "1")])),
+            ("vqe", p(&[("size", "4"), ("layers", "1")])),
+            ("hamsim", p(&[("size", "4"), ("steps", "4")])),
+        ];
+        for (id, params) in cases {
+            let b = benchmark_from_params(id, &params).unwrap_or_else(|e| panic!("{id}: {e}"));
+            assert!(b.num_qubits() >= 3, "{id}");
+            assert!(!b.circuits().is_empty(), "{id}");
+        }
+    }
+
+    #[test]
+    fn factory_rejects_malformed_params() {
+        // Unknown benchmark.
+        assert!(benchmark_from_params("frobnicate", &p(&[("size", "3")])).is_err());
+        // Missing parameter.
+        assert!(benchmark_from_params("ghz", &[]).is_err());
+        // Extra parameter (canonicality: one spec per logical run).
+        assert!(benchmark_from_params("ghz", &p(&[("size", "3"), ("rounds", "2")])).is_err());
+        // Bad values.
+        assert!(benchmark_from_params("ghz", &p(&[("size", "abc")])).is_err());
+        assert!(benchmark_from_params("ghz", &p(&[("size", "1")])).is_err());
+        assert!(benchmark_from_params("mermin-bell", &p(&[("size", "17")])).is_err());
+        assert!(benchmark_from_params(
+            "bit-code",
+            &p(&[("size", "3"), ("rounds", "2"), ("init", "10")])
+        )
+        .is_err());
+        assert!(benchmark_from_params(
+            "bit-code",
+            &p(&[("size", "3"), ("rounds", "0"), ("init", "101")])
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn transpile_spec_round_trips_through_run_config() {
+        for placement in [
+            PlacementStrategy::Trivial,
+            PlacementStrategy::Greedy,
+            PlacementStrategy::NoiseAware,
+        ] {
+            for verify in [VerifyLevel::Off, VerifyLevel::Final, VerifyLevel::Stages] {
+                let config = RunConfig {
+                    placement,
+                    verify,
+                    optimize: false,
+                    ..RunConfig::default()
+                };
+                let mut spec = RunSpec::new("ghz", p(&[("size", "3")]), "IonQ", 100, 1, 0);
+                spec.transpile = transpile_spec_of(&config);
+                let back = run_config_from_spec(&spec).unwrap();
+                assert_eq!(back.placement, placement);
+                assert_eq!(back.verify, verify);
+                assert!(!back.optimize);
+            }
+        }
+        // Default TranspileSpec matches the default RunConfig.
+        let spec = RunSpec::new("ghz", p(&[("size", "3")]), "IonQ", 100, 1, 0);
+        assert_eq!(spec.transpile, transpile_spec_of(&RunConfig::default()));
+    }
+
+    #[test]
+    fn execute_spec_matches_direct_runner_call() {
+        let spec = RunSpec::new("ghz", p(&[("size", "3")]), "IonQ", 200, 2, 5);
+        let outcome = execute_spec(&spec).unwrap();
+        let direct = run_on_device(
+            &GhzBenchmark::new(3),
+            &device_from_spec("IonQ").unwrap(),
+            &run_config_from_spec(&spec).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(outcome.scores, direct.scores);
+        assert_eq!(outcome.swap_count as usize, direct.swap_count);
+        assert_eq!(outcome.two_qubit_gates as usize, direct.two_qubit_gates);
+    }
+
+    #[test]
+    fn oversized_spec_reports_does_not_fit() {
+        let spec = RunSpec::new("ghz", p(&[("size", "6")]), "AQT", 100, 1, 0);
+        match execute_spec(&spec).unwrap_err() {
+            ExecError::DoesNotFit { needed, available } => {
+                assert_eq!(needed, 6);
+                assert_eq!(available, 4);
+            }
+            other => panic!("expected DoesNotFit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_device_and_division_are_invalid() {
+        let spec = RunSpec::new("ghz", p(&[("size", "3")]), "NotADevice", 100, 1, 0);
+        assert!(matches!(
+            execute_spec(&spec).unwrap_err(),
+            ExecError::Invalid(_)
+        ));
+        let mut spec = RunSpec::new("ghz", p(&[("size", "3")]), "IonQ", 100, 1, 0);
+        spec.division = "hybrid".into();
+        assert!(matches!(
+            execute_spec(&spec).unwrap_err(),
+            ExecError::Invalid(_)
+        ));
+    }
+
+    #[test]
+    fn open_division_executes_through_mitigation() {
+        let mut spec = RunSpec::new("ghz", p(&[("size", "3")]), "AQT", 300, 1, 3);
+        spec.division = "open".into();
+        let open = execute_spec(&spec).unwrap();
+        assert_eq!(open.scores.len(), 1);
+        assert!(open.scores[0] > 0.0 && open.scores[0] <= 1.0);
+    }
+
+    #[test]
+    fn default_init_alternates_starting_flipped() {
+        assert_eq!(default_init(4), "1010");
+        assert_eq!(default_init(3), "101");
+    }
+}

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the run-artifact store: run the same batch
+# sweep twice against a throwaway store and assert that the second pass
+# is served entirely from cache with byte-identical output, then check
+# that `cache verify` and `cache gc` agree the store is clean.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=target/release/supermarq
+echo "==> building supermarq CLI"
+cargo build -q --release -p supermarq-cli
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+STORE="$WORK/store"
+
+GRID=(batch --benchmarks ghz,hamsim --sizes 3,4 --devices IonQ,AQT
+      --shots 200 --reps 2 --store "$STORE")
+
+echo "==> batch pass 1 (cold store)"
+"$BIN" "${GRID[@]}" --out "$WORK/pass1.jsonl" | tee "$WORK/summary1.txt"
+
+echo "==> batch pass 2 (warm store)"
+"$BIN" "${GRID[@]}" --out "$WORK/pass2.jsonl" | tee "$WORK/summary2.txt"
+
+echo "==> asserting second pass ran zero simulations"
+grep -q "misses=0" "$WORK/summary2.txt" || {
+    echo "FAIL: warm pass reported cache misses"; exit 1; }
+grep -q "hits=0 " "$WORK/summary1.txt" || {
+    echo "FAIL: cold pass unexpectedly hit the cache"; exit 1; }
+
+echo "==> asserting passes are byte-identical"
+cmp "$WORK/pass1.jsonl" "$WORK/pass2.jsonl" || {
+    echo "FAIL: warm pass output differs from cold pass"; exit 1; }
+
+echo "==> cache verify"
+"$BIN" cache verify --store "$STORE"
+
+echo "==> cache gc (clean store: nothing to remove)"
+"$BIN" cache gc --store "$STORE" | tee "$WORK/gc.txt"
+grep -q "0 invalid object(s)" "$WORK/gc.txt" || {
+    echo "FAIL: gc removed objects from a clean store"; exit 1; }
+
+echo "Cache smoke test passed."

@@ -16,4 +16,7 @@ cargo test -q --workspace
 echo "==> cargo bench (smoke mode: each routine runs once, untimed)"
 cargo bench -q -p supermarq-bench --bench substrate -- --test
 
+echo "==> cache smoke (batch twice; warm pass must be all cache hits)"
+bash scripts/cache_smoke.sh
+
 echo "All checks passed."
