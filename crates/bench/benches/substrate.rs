@@ -241,6 +241,26 @@ criterion_group!(
     bench_krylov
 );
 
+/// Best-effort `git describe --always --dirty` for the bench metadata;
+/// `null` when git is unavailable or the tree is not a repository.
+fn git_describe() -> String {
+    let out = std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output();
+    match out {
+        Ok(out) if out.status.success() => {
+            let desc = String::from_utf8_lossy(&out.stdout).trim().to_string();
+            if desc.is_empty() {
+                "null".to_string()
+            } else {
+                format!("\"{}\"", desc.replace('"', "'"))
+            }
+        }
+        _ => "null".to_string(),
+    }
+}
+
 /// Serializes the recorded measurements to `BENCH_sim.json` at the repo
 /// root (manual formatting; the workspace has no serde). Skipped in
 /// `--test` smoke mode so CI never clobbers real numbers.
@@ -258,8 +278,25 @@ fn export_bench_json() {
         (Some(s), Some(p)) if p > 0.0 => format!("{:.3}", s / p),
         _ => "null".to_string(),
     };
+    let rayon_env = match std::env::var("RAYON_NUM_THREADS") {
+        Ok(v) => format!("\"{}\"", v.replace('"', "'")),
+        Err(_) => "null".to_string(),
+    };
+    let timestamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs().to_string())
+        .unwrap_or_else(|_| "null".to_string());
     let mut json = String::from("{\n");
     json.push_str("  \"source\": \"cargo bench -p supermarq-bench (benches/substrate.rs)\",\n");
+    json.push_str("  \"metadata\": {\n");
+    json.push_str(&format!(
+        "    \"rayon_threads\": {},\n",
+        rayon::current_num_threads()
+    ));
+    json.push_str(&format!("    \"rayon_num_threads_env\": {rayon_env},\n"));
+    json.push_str(&format!("    \"git_describe\": {},\n", git_describe()));
+    json.push_str(&format!("    \"timestamp_unix_secs\": {timestamp}\n"));
+    json.push_str("  },\n");
     json.push_str(&format!(
         "  \"rayon_threads\": {},\n",
         rayon::current_num_threads()

@@ -15,9 +15,15 @@
 //! A failing cell no longer aborts the figure: the error is printed to
 //! stderr with the cell named, the cell renders as `err`, and the
 //! remaining grid completes.
+//!
+//! Observability: pass `--profile` to print a per-span stage-timing
+//! summary on stderr after the tables, and `--trace-out <path>` to write
+//! the JSONL span trace. Neither flag changes the tables.
 
 use supermarq::spec::{benchmark_from_params, execute_spec};
-use supermarq_bench::{figure2_points, render_table, score_cell};
+use supermarq_bench::{
+    figure2_points, finish_observability, init_observability, render_table, score_cell,
+};
 use supermarq_device::Device;
 use supermarq_store::{RunSpec, Store, SweepEngine};
 
@@ -41,6 +47,7 @@ enum Cell {
 type BenchRow = (String, Vec<Cell>);
 
 fn main() {
+    let profile = init_observability("fig2_scores");
     let use_cache = !std::env::args().any(|a| a == "--no-cache");
     let store = match Store::open_default() {
         Ok(store) => store,
@@ -104,7 +111,10 @@ fn main() {
                         ))),
                         Err(message) => {
                             // Propagate per cell: name it, keep going.
-                            eprintln!("fig2_scores: {name} on {}: {message}", device.name());
+                            supermarq_obs::progress(&format!(
+                                "fig2_scores: {name} on {}: {message}",
+                                device.name()
+                            ));
                             "err".to_string()
                         }
                     },
@@ -123,4 +133,5 @@ fn main() {
     println!();
     println!("store: {}", store.root().display());
     println!("{}", report.stats.summary());
+    finish_observability(profile);
 }

@@ -6,10 +6,14 @@
 //! `supermarq-store` sweep engine, so reruns (and any cells Fig. 2
 //! already computed at matching settings) come from the cache instead of
 //! re-simulating. Failing cells are reported on stderr and skipped.
+//!
+//! Observability: pass `--profile` to print a per-span stage-timing
+//! summary on stderr after the tables, and `--trace-out <path>` to write
+//! the JSONL span trace. Neither flag changes the tables.
 
 use supermarq::correlation::{correlation_table, ScoreRecord, REGRESSOR_NAMES};
 use supermarq::spec::{benchmark_from_params, execute_spec};
-use supermarq_bench::{figure2_points, render_table};
+use supermarq_bench::{figure2_points, finish_observability, init_observability, render_table};
 use supermarq_circuit::Circuit;
 use supermarq_device::Device;
 use supermarq_store::{RunSpec, Store, SweepEngine, SweepStats};
@@ -58,7 +62,9 @@ fn collect_records(store: &Store) -> (Vec<ScoreRecord>, SweepStats) {
                 *is_ec,
             )),
             Err(message) => {
-                eprintln!("fig3_correlations: {name} on {device}: {message}");
+                supermarq_obs::progress(&format!(
+                    "fig3_correlations: {name} on {device}: {message}"
+                ));
             }
         }
     }
@@ -85,6 +91,7 @@ fn print_heatmap(title: &str, records: &[ScoreRecord], exclude_ec: bool) {
 }
 
 fn main() {
+    let profile = init_observability("fig3_correlations");
     let store = match Store::open_default() {
         Ok(store) => store,
         Err(e) => {
@@ -104,4 +111,5 @@ fn main() {
     println!();
     println!("store: {}", store.root().display());
     println!("{}", stats.summary());
+    finish_observability(profile);
 }

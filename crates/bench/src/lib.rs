@@ -19,6 +19,41 @@ pub type Fig2Panel = (&'static str, Vec<Box<dyn Benchmark>>, bool);
 /// One Fig. 2 panel in spec form: `(panel_label, points, is_error_correction)`.
 pub type Fig2SpecPanel = (&'static str, Vec<BenchPoint>, bool);
 
+/// Parses the observability flags shared by the figure binaries
+/// (`--profile`, `--trace-out <path>`) from the process arguments and
+/// enables tracing accordingly. Returns `true` when the caller should
+/// print the profile summary at exit (via [`finish_observability`]).
+/// Exits with status 2 when the trace file cannot be created.
+pub fn init_observability(tool: &str) -> bool {
+    let args: Vec<String> = std::env::args().collect();
+    let profile = args.iter().any(|a| a == "--profile");
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1));
+    if let Some(path) = trace_out {
+        if let Err(e) = supermarq_obs::init_trace_file(path) {
+            eprintln!("{tool}: cannot create trace file {path}: {e}");
+            std::process::exit(2);
+        }
+    } else if profile {
+        supermarq_obs::enable();
+    }
+    profile
+}
+
+/// Flushes the trace sink and, when `profile` is set, prints the span /
+/// metrics summary table to stderr. The tables on stdout are unaffected.
+pub fn finish_observability(profile: bool) {
+    supermarq_obs::flush();
+    if profile {
+        let table = supermarq_obs::summary_table();
+        if !table.is_empty() {
+            eprint!("{table}");
+        }
+    }
+}
+
 fn point(id: &str, params: &[(&str, String)]) -> BenchPoint {
     (
         id.to_string(),

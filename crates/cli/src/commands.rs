@@ -33,6 +33,11 @@ pub const USAGE: &str = "usage:
   supermarq coverage
   supermarq export --dir <path>
 
+observability (any command):
+  --profile            print a per-span timing summary to stderr on exit
+  --trace-out <path>   write a JSONL span trace (enables tracing)
+  SUPERMARQ_TRACE      comma-separated span-name prefixes to record
+
 benchmarks: ghz, mermin-bell, bit-code, phase-code, qaoa-vanilla, qaoa-swap, vqe, hamsim";
 
 /// How a command failed: whether usage help would be useful.
@@ -64,9 +69,23 @@ impl std::fmt::Display for CliError {
 }
 
 /// Dispatches a parsed command line, returning printable output.
+///
+/// The observability options apply to every subcommand: `--trace-out
+/// <path>` writes a JSONL span trace, `--profile` prints the per-span
+/// timing summary to stderr after the command finishes, and either one
+/// enables tracing (filtered by `SUPERMARQ_TRACE` name prefixes).
+/// Tracing only observes — command output is byte-identical with or
+/// without these flags.
 pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
     let args = Args::parse(argv).map_err(CliError::Usage)?;
-    match args.positional(0) {
+    let profile = args.flag("profile");
+    if let Some(path) = args.option("trace-out") {
+        supermarq_obs::init_trace_file(path)
+            .map_err(|e| CliError::failure(format!("cannot create trace file {path}: {e}")))?;
+    } else if profile {
+        supermarq_obs::enable();
+    }
+    let result = match args.positional(0) {
         Some("devices") => cmd_devices(),
         Some("generate") => cmd_generate(&args),
         Some("show") => cmd_show(&args),
@@ -79,7 +98,20 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         Some("coverage") => cmd_coverage(),
         Some(other) => Err(CliError::usage(format!("unknown command '{other}'"))),
         None => Err(CliError::usage("missing command")),
+    };
+    if args.option("trace-out").is_some() || profile {
+        supermarq_obs::flush();
+        if profile {
+            let table = supermarq_obs::summary_table();
+            if !table.is_empty() {
+                eprint!("{table}");
+            }
+        }
+        // Leave the process as we found it (the in-process CLI tests
+        // dispatch many commands from one binary).
+        supermarq_obs::disable();
     }
+    result
 }
 
 /// Builds a benchmark from CLI arguments.
@@ -986,6 +1018,44 @@ mod tests {
             }
         }
         found
+    }
+
+    #[test]
+    fn profile_and_trace_flags_do_not_perturb_output() {
+        let dir = temp_dir("obs-flags");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("trace.jsonl");
+        let plain = run(&[
+            "run", "ghz", "--size", "3", "--device", "ionq", "--shots", "100", "--reps", "1",
+        ])
+        .unwrap();
+        let profiled = run(&[
+            "run",
+            "ghz",
+            "--size",
+            "3",
+            "--device",
+            "ionq",
+            "--shots",
+            "100",
+            "--reps",
+            "1",
+            "--profile",
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(
+            plain, profiled,
+            "observability flags must not change stdout"
+        );
+        let text = std::fs::read_to_string(&trace).unwrap();
+        assert!(!text.is_empty(), "trace file must not be empty");
+        assert!(
+            text.lines().any(|l| l.contains("transpile.route")),
+            "trace must contain transpiler stage spans"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,328 @@
+//! Hierarchical timing spans.
+//!
+//! A [`Span`] is opened by name, optionally annotated with `key=value`
+//! fields, and records itself when dropped: its elapsed time feeds the
+//! per-name aggregates in [`crate::summary`], and — when a trace sink
+//! is installed — one JSONL line is appended per close.
+//!
+//! Parent linkage is thread-aware. Each thread tracks its innermost
+//! open span; [`Span::open`] links to it. Worker threads spawned by the
+//! rayon stand-in start with no current span, so code fanning out over
+//! the pool captures the parent id *before* the parallel region and
+//! opens worker spans with [`Span::open_with_parent`] — the trace then
+//! shows `sim.batch` spans nesting under the `sim.run` that spawned
+//! them, whichever thread they closed on.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::{sink, summary};
+
+/// Span ids are unique per process and never reused; 0 means "none".
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+/// Small dense thread ids (assigned on first span activity per thread),
+/// stable for the thread's lifetime and friendlier in traces than the
+/// opaque `std::thread::ThreadId` debug rendering.
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static THREAD_ID: Cell<u64> = const { Cell::new(0) };
+    /// Innermost open span on this thread (0 = none).
+    static CURRENT_SPAN: Cell<u64> = const { Cell::new(0) };
+}
+
+/// This thread's dense trace id, assigned on first use.
+pub(crate) fn thread_id() -> u64 {
+    THREAD_ID.with(|cell| {
+        let id = cell.get();
+        if id != 0 {
+            return id;
+        }
+        let id = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+        cell.set(id);
+        id
+    })
+}
+
+/// The innermost open span on the calling thread, if any. Capture this
+/// before a parallel region and pass it to [`Span::open_with_parent`]
+/// so worker-side spans nest correctly.
+pub fn current_span_id() -> Option<u64> {
+    let id = CURRENT_SPAN.with(Cell::get);
+    (id != 0).then_some(id)
+}
+
+/// A field value attached to a span or event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (non-finite values serialize as `null`).
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// The recording state of an open span. Boxed so an inert [`Span`] is a
+/// single pointer-sized `None`.
+pub(crate) struct SpanData {
+    pub(crate) id: u64,
+    /// Parent span id (0 = root).
+    pub(crate) parent: u64,
+    /// Value to restore as the thread's current span on close.
+    prev: u64,
+    /// Whether this span installed itself as the thread's current span
+    /// (false for cross-thread spans opened with an explicit parent on
+    /// a thread that is not the parent's).
+    installed_on: u64,
+    pub(crate) thread: u64,
+    pub(crate) name: &'static str,
+    start: Instant,
+    pub(crate) start_ns: u64,
+    pub(crate) fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// An RAII timing region. Inert (a no-op carrying no allocation) when
+/// tracing is off or the name is filtered out; otherwise records itself
+/// to the summary aggregates and the trace sink on drop.
+pub struct Span {
+    inner: Option<Box<SpanData>>,
+}
+
+impl Span {
+    /// Opens a span as a child of the calling thread's innermost open
+    /// span. Costs one relaxed atomic load when tracing is off.
+    #[inline]
+    pub fn open(name: &'static str) -> Span {
+        if !crate::enabled() {
+            return Span { inner: None };
+        }
+        Span::open_slow(name, CURRENT_SPAN.with(Cell::get))
+    }
+
+    /// Opens a span with an explicit parent — the cross-thread variant
+    /// for work fanned over the rayon stand-in pool, where the worker
+    /// thread has no current span of its own.
+    #[inline]
+    pub fn open_with_parent(name: &'static str, parent: Option<u64>) -> Span {
+        if !crate::enabled() {
+            return Span { inner: None };
+        }
+        Span::open_slow(name, parent.unwrap_or(0))
+    }
+
+    fn open_slow(name: &'static str, parent: u64) -> Span {
+        if !crate::filter_matches(name) {
+            return Span { inner: None };
+        }
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let thread = thread_id();
+        let prev = CURRENT_SPAN.with(|cell| cell.replace(id));
+        Span {
+            inner: Some(Box::new(SpanData {
+                id,
+                parent,
+                prev,
+                installed_on: thread,
+                thread,
+                name,
+                start: Instant::now(),
+                start_ns: crate::epoch().elapsed().as_nanos() as u64,
+                fields: Vec::new(),
+            })),
+        }
+    }
+
+    /// `true` when this span will be recorded on drop. Use to guard
+    /// field computations that are not already at hand.
+    #[inline]
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// This span's id, for parenting work on other threads.
+    pub fn id(&self) -> Option<u64> {
+        self.inner.as_ref().map(|d| d.id)
+    }
+
+    /// Attaches a field (builder form).
+    #[must_use]
+    pub fn with(mut self, key: &'static str, value: impl Into<FieldValue>) -> Span {
+        self.record(key, value);
+        self
+    }
+
+    /// Attaches a field to an open span. No-op when inert.
+    pub fn record(&mut self, key: &'static str, value: impl Into<FieldValue>) {
+        if let Some(data) = self.inner.as_mut() {
+            data.fields.push((key, value.into()));
+        }
+    }
+
+    /// Attaches a field whose value is only computed when the span is
+    /// recording — the zero-overhead-when-off form for values that are
+    /// not already at hand (gate counts, depths, ...).
+    pub fn record_with<V: Into<FieldValue>>(
+        &mut self,
+        key: &'static str,
+        value: impl FnOnce() -> V,
+    ) {
+        if let Some(data) = self.inner.as_mut() {
+            data.fields.push((key, value().into()));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(data) = self.inner.take() else {
+            return;
+        };
+        // Restore the thread-current chain, but only on the thread that
+        // installed this span (guards against guards sent across
+        // threads, which std::thread::scope workers never do here).
+        if thread_id() == data.installed_on {
+            CURRENT_SPAN.with(|cell| cell.set(data.prev));
+        }
+        let elapsed_ns = data.start.elapsed().as_nanos() as u64;
+        summary::record_span(data.name, elapsed_ns);
+        sink::write_span(&data, elapsed_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_when_disabled() {
+        let _g = crate::test_guard();
+        crate::disable();
+        let span = Span::open("test.inert");
+        assert!(!span.is_recording());
+        assert!(span.id().is_none());
+        assert!(current_span_id().is_none());
+    }
+
+    #[test]
+    fn nesting_links_parents_on_one_thread() {
+        let _g = crate::test_guard();
+        crate::reset_for_tests();
+        crate::enable();
+        let outer = Span::open("test.outer");
+        let outer_id = outer.id().unwrap();
+        assert_eq!(current_span_id(), Some(outer_id));
+        {
+            let inner = Span::open("test.inner");
+            assert_eq!(inner.inner.as_ref().unwrap().parent, outer_id);
+            assert_eq!(current_span_id(), inner.id());
+        }
+        // Dropping the inner span restores the outer as current.
+        assert_eq!(current_span_id(), Some(outer_id));
+        drop(outer);
+        assert_eq!(current_span_id(), None);
+        crate::disable();
+    }
+
+    #[test]
+    fn explicit_parent_crosses_threads() {
+        let _g = crate::test_guard();
+        crate::reset_for_tests();
+        crate::enable();
+        let parent = Span::open("test.parent");
+        let parent_id = parent.id();
+        let child_parent = std::thread::scope(|s| {
+            s.spawn(|| {
+                let child = Span::open_with_parent("test.child", parent_id);
+                child.inner.as_ref().unwrap().parent
+            })
+            .join()
+            .unwrap()
+        });
+        assert_eq!(Some(child_parent), parent_id);
+        drop(parent);
+        crate::disable();
+    }
+
+    #[test]
+    fn filtered_names_are_inert() {
+        let _g = crate::test_guard();
+        crate::reset_for_tests();
+        crate::enable();
+        crate::set_filter(Some("keep."));
+        assert!(Span::open("keep.this").is_recording());
+        assert!(!Span::open("drop.this").is_recording());
+        crate::set_filter(None);
+        crate::disable();
+    }
+
+    #[test]
+    fn fields_collect_in_order() {
+        let _g = crate::test_guard();
+        crate::reset_for_tests();
+        crate::enable();
+        let mut span = Span::open("test.fields").with("a", 1u64);
+        span.record("b", "two");
+        span.record_with("c", || 3.0f64);
+        let data = span.inner.as_ref().unwrap();
+        assert_eq!(data.fields.len(), 3);
+        assert_eq!(data.fields[0], ("a", FieldValue::U64(1)));
+        assert_eq!(data.fields[1], ("b", FieldValue::Str("two".into())));
+        assert_eq!(data.fields[2], ("c", FieldValue::F64(3.0)));
+        drop(span);
+        crate::disable();
+    }
+}

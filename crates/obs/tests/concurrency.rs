@@ -1,0 +1,45 @@
+//! Concurrency test: hammer a single counter and a single histogram
+//! from many threads through the rayon stand-in pool and assert exact
+//! totals — the metrics hot paths are relaxed atomics, and relaxed RMWs
+//! must still never lose updates.
+
+use rayon::prelude::*;
+use supermarq_obs::{counter, histogram};
+
+const THREADS: usize = 8;
+const PER_THREAD: u64 = 10_000;
+
+#[test]
+fn counter_and_histogram_totals_are_exact_under_contention() {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(THREADS)
+        .build()
+        .expect("pool");
+    pool.install(|| {
+        (0..THREADS)
+            .into_par_iter()
+            .map(|t| {
+                let c = counter!("test.conc.counter");
+                let h = histogram!("test.conc.histogram");
+                for i in 0..PER_THREAD {
+                    c.incr();
+                    // Values spread over several power-of-two buckets.
+                    h.record((t as u64) * PER_THREAD + i);
+                }
+                t
+            })
+            .collect::<Vec<_>>()
+    });
+
+    let total = THREADS as u64 * PER_THREAD;
+    assert_eq!(counter!("test.conc.counter").get(), total);
+    let h = histogram!("test.conc.histogram");
+    assert_eq!(h.count(), total);
+    // Sum of 0..total is exact and thread-order independent.
+    assert_eq!(h.sum(), total * (total - 1) / 2);
+    // Quantiles must be monotone and within range.
+    let p50 = h.quantile(0.50);
+    let p99 = h.quantile(0.99);
+    assert!(p50 <= p99, "p50 {p50} > p99 {p99}");
+    assert!(p99 >= total / 2, "p99 {p99} implausibly low");
+}

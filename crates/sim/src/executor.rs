@@ -3,15 +3,21 @@
 //! Shots are embarrassingly parallel: each one draws from its own RNG
 //! stream derived deterministically from `(seed, shot_index)` with a
 //! SplitMix-style mix, so per-shot results do not depend on which worker
-//! thread runs them or in what order. Per-worker partial histograms are
+//! thread runs them or in what order. Shots are split into one
+//! contiguous batch per worker thread; per-batch partial histograms are
 //! merged with [`Counts::merge`] (commutative integer addition into an
 //! ordered map), making the final [`Counts`] bit-identical for a fixed
-//! seed regardless of thread count — `RAYON_NUM_THREADS=1` and a full
-//! pool agree exactly.
+//! seed regardless of thread count or batch partition —
+//! `RAYON_NUM_THREADS=1` and a full pool agree exactly. Each batch is
+//! wrapped in a `sim.batch` tracing span parented (cross-thread) to the
+//! enclosing `sim.run`; tracing never affects the partition or the
+//! per-shot RNG streams, so results are byte-identical with tracing on
+//! or off.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
+use supermarq_obs::{counter, Span};
 
 use crate::counts::Counts;
 use crate::noise::NoiseModel;
@@ -84,48 +90,53 @@ impl Executor {
     pub fn run(&self, circuit: &Circuit, shots: usize, seed: u64) -> Counts {
         let n = circuit.num_qubits();
         let needs_trajectories = !self.noise.is_ideal() || has_nonfinal_collapse(circuit);
+        let run_span = Span::open("sim.run")
+            .with("shots", shots)
+            .with("qubits", n)
+            .with("trajectories", needs_trajectories);
+        counter!("sim.shots").add(shots as u64);
+        // Batch spans close on pool worker threads, which have no
+        // thread-current span; parent them to sim.run explicitly.
+        let parent = run_span.id();
+        let batches = batch_ranges(shots);
         if !needs_trajectories {
             // Single pass: apply unitaries once, then sample measured
             // qubits from the final state by binary search over a
             // precomputed cumulative-probability table.
             let (state, measured_mask) = Self::fast_path_state(circuit);
             let sampler = CumulativeSampler::new(&state);
-            return (0..shots)
+            let partials: Vec<Counts> = batches
                 .into_par_iter()
-                .fold(
-                    || Counts::new(n),
-                    |mut acc, shot| {
+                .map(|batch| {
+                    let _span =
+                        Span::open_with_parent("sim.batch", parent).with("shots", batch.len());
+                    let mut acc = Counts::new(n);
+                    for shot in batch {
                         let mut rng = shot_rng(seed, shot as u64);
                         acc.record(sampler.sample(&mut rng) & measured_mask);
-                        acc
-                    },
-                )
-                .reduce(
-                    || Counts::new(n),
-                    |mut a, b| {
-                        a.merge(&b);
-                        a
-                    },
-                );
+                    }
+                    acc
+                })
+                .collect();
+            return merge_counts(n, partials);
         }
+        counter!("sim.trajectories").add(shots as u64);
         let layers = CircuitLayers::of(circuit);
-        (0..shots)
+        let partials: Vec<Counts> = batches
             .into_par_iter()
-            .fold(
-                || Counts::new(n),
-                |mut acc, shot| {
+            .map(|batch| {
+                let _span = Span::open_with_parent("sim.batch", parent)
+                    .with("shots", batch.len())
+                    .with("trajectories", true);
+                let mut acc = Counts::new(n);
+                for shot in batch {
                     let mut rng = shot_rng(seed, shot as u64);
                     acc.record(self.run_trajectory(circuit, &layers, &mut rng));
-                    acc
-                },
-            )
-            .reduce(
-                || Counts::new(n),
-                |mut a, b| {
-                    a.merge(&b);
-                    a
-                },
-            )
+                }
+                acc
+            })
+            .collect();
+        merge_counts(n, partials)
     }
 
     /// Applies the unitary part of `circuit` for the noiseless fast path,
@@ -252,6 +263,30 @@ impl Executor {
         }
         state
     }
+}
+
+/// Splits `0..shots` into one contiguous range per worker thread
+/// (`shots.div_ceil(threads)` shots each, matching the rayon stand-in's
+/// own chunking). The partition only groups work: per-shot RNG streams
+/// depend solely on the shot index, and [`Counts::merge`] is commutative
+/// addition, so any partition yields bit-identical results.
+fn batch_ranges(shots: usize) -> Vec<std::ops::Range<usize>> {
+    if shots == 0 {
+        return Vec::new();
+    }
+    let chunk = shots.div_ceil(rayon::current_num_threads()).max(1);
+    (0..shots.div_ceil(chunk))
+        .map(|i| (i * chunk)..((i + 1) * chunk).min(shots))
+        .collect()
+}
+
+/// Merges per-batch partial histograms in batch order.
+fn merge_counts(num_qubits: usize, partials: Vec<Counts>) -> Counts {
+    let mut total = Counts::new(num_qubits);
+    for partial in &partials {
+        total.merge(partial);
+    }
+    total
 }
 
 /// `true` if a measurement or reset is followed by later non-measurement

@@ -27,6 +27,8 @@ use std::path::{Path, PathBuf};
 use std::str::FromStr;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use supermarq_obs::Span;
+
 use crate::record::RunRecord;
 use crate::spec::RunSpec;
 
@@ -117,21 +119,27 @@ impl Store {
     /// form of bad data — truncation, garbling, schema mismatch, or a
     /// record whose spec hashes differently than the file name claims.
     pub fn get(&self, spec: &RunSpec) -> Option<RunRecord> {
+        let mut span = Span::open("store.read");
         let hash = spec.content_hash();
-        let text = fs::read_to_string(self.object_path(&hash)).ok()?;
-        let record = RunRecord::from_str(&text).ok()?;
-        // `from_str` already checked internal consistency; this guards
-        // against a valid record filed under the wrong address.
-        if record.spec.content_hash() != hash {
-            return None;
-        }
-        Some(record)
+        let result = (|| {
+            let text = fs::read_to_string(self.object_path(&hash)).ok()?;
+            let record = RunRecord::from_str(&text).ok()?;
+            // `from_str` already checked internal consistency; this guards
+            // against a valid record filed under the wrong address.
+            if record.spec.content_hash() != hash {
+                return None;
+            }
+            Some(record)
+        })();
+        span.record("hit", result.is_some());
+        result
     }
 
     /// Persists a record atomically, returning its content hash. Safe to
     /// call concurrently for the same spec from multiple threads or
     /// processes.
     pub fn put(&self, record: &RunRecord) -> io::Result<String> {
+        let _span = Span::open("store.write");
         let hash = record.spec.content_hash();
         let final_path = self.object_path(&hash);
         if let Some(parent) = final_path.parent() {
@@ -168,6 +176,7 @@ impl Store {
 
     /// Parses and validates every object file.
     pub fn verify(&self) -> io::Result<VerifyReport> {
+        let mut span = Span::open("store.validate");
         let mut report = VerifyReport::default();
         for path in self.object_files()? {
             match fs::read_to_string(&path) {
@@ -185,6 +194,8 @@ impl Store {
                 },
             }
         }
+        span.record("ok", report.ok);
+        span.record("corrupt", report.corrupt.len());
         Ok(report)
     }
 

@@ -12,6 +12,7 @@ use std::io::{self, Write};
 use std::time::Instant;
 
 use rayon::prelude::*;
+use supermarq_obs::{counter, FieldValue, Span};
 
 use crate::record::{RunOutcome, RunRecord};
 use crate::spec::{RunSpec, TranspileSpec, SCHEMA_VERSION};
@@ -84,8 +85,9 @@ pub struct SweepStats {
     /// Executed jobs whose result could not be persisted (I/O error);
     /// the sweep still reports their outcomes.
     pub store_errors: usize,
-    /// Wall-clock duration of the sweep in milliseconds.
-    pub elapsed_ms: u128,
+    /// Wall-clock duration of the sweep in milliseconds (`u64` millis is
+    /// ~584M years — plenty for a serialized summary field).
+    pub elapsed_ms: u64,
 }
 
 impl SweepStats {
@@ -173,6 +175,7 @@ impl<'a> SweepEngine<'a> {
         F: Fn(&RunSpec) -> Result<RunOutcome, String> + Sync,
     {
         let start = Instant::now();
+        let run_span = Span::open("sweep.run").with("jobs", specs.len());
         let mut stats = SweepStats {
             total: specs.len(),
             ..SweepStats::default()
@@ -191,10 +194,18 @@ impl<'a> SweepEngine<'a> {
         // Fan the misses over the pool. Each job is independent; results
         // land back in their input slot, so output order (and therefore
         // the JSONL byte stream) is deterministic at any thread count.
+        // Job spans close on pool workers, so they carry an explicit
+        // parent id instead of relying on the thread-current chain.
+        let parent = run_span.id();
         let miss_indices: Vec<usize> = (0..specs.len()).filter(|&i| cached[i].is_none()).collect();
         let executed: Vec<(usize, Result<RunOutcome, String>)> = miss_indices
             .par_iter()
-            .map(|&i| (i, exec(&specs[i])))
+            .map(|&i| {
+                let mut span = Span::open_with_parent("sweep.job", parent).with("index", i);
+                let outcome = exec(&specs[i]);
+                span.record("ok", outcome.is_ok());
+                (i, outcome)
+            })
             .collect();
         let mut fresh: Vec<Option<Result<RunRecord, String>>> = vec![None; specs.len()];
         for (i, outcome) in executed {
@@ -238,7 +249,21 @@ impl<'a> SweepEngine<'a> {
                 (None, None) => unreachable!("every miss index was executed"),
             }
         }
-        stats.elapsed_ms = start.elapsed().as_millis();
+        stats.elapsed_ms = u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX);
+        counter!("store.hits").add(stats.hits as u64);
+        counter!("store.misses").add(stats.misses as u64);
+        counter!("store.errors").add((stats.failures + stats.store_errors) as u64);
+        supermarq_obs::emit_event(
+            "sweep.stats",
+            &[
+                ("total", FieldValue::from(stats.total)),
+                ("hits", FieldValue::from(stats.hits)),
+                ("misses", FieldValue::from(stats.misses)),
+                ("failures", FieldValue::from(stats.failures)),
+                ("store_errors", FieldValue::from(stats.store_errors)),
+                ("elapsed_ms", FieldValue::from(stats.elapsed_ms)),
+            ],
+        );
         SweepReport { results, stats }
     }
 

@@ -10,6 +10,7 @@
 use rayon::prelude::*;
 use supermarq_classical::stats::{mean, std_dev};
 use supermarq_device::Device;
+use supermarq_obs::Span;
 use supermarq_sim::{Counts, Executor};
 use supermarq_transpile::{PlacementStrategy, TranspileError, Transpiler, VerifyLevel};
 
@@ -85,6 +86,12 @@ pub fn run_on_device(
     device: &Device,
     config: &RunConfig,
 ) -> Result<BenchmarkResult, TranspileError> {
+    let mut run_span = Span::open("run.benchmark")
+        .with("division", "closed")
+        .with("shots", config.shots)
+        .with("repetitions", config.repetitions);
+    run_span.record_with("benchmark", || benchmark.name());
+    run_span.record_with("device", || device.name().to_string());
     let transpiler = Transpiler::for_device(device)
         .with_placement(config.placement)
         .with_optimization(config.optimize)
@@ -155,6 +162,12 @@ pub fn run_on_device_open(
     config: &RunConfig,
 ) -> Result<BenchmarkResult, TranspileError> {
     use crate::mitigation::ReadoutMitigator;
+    let mut run_span = Span::open("run.benchmark")
+        .with("division", "open")
+        .with("shots", config.shots)
+        .with("repetitions", config.repetitions);
+    run_span.record_with("benchmark", || benchmark.name());
+    run_span.record_with("device", || device.name().to_string());
     let transpiler = Transpiler::for_device(device)
         .with_placement(config.placement)
         .with_optimization(config.optimize)

@@ -2,6 +2,7 @@
 
 use supermarq_circuit::Circuit;
 use supermarq_device::Device;
+use supermarq_obs::Span;
 use supermarq_verify::{Context, Diagnostic, Report, RoutingAudit, Verifier};
 
 use crate::cancel::cancel_adjacent_gates;
@@ -91,6 +92,9 @@ pub struct TranspileResult {
     pub swap_count: usize,
     /// Two-qubit gate count of the final native circuit.
     pub two_qubit_gates: usize,
+    /// ASAP-schedule depth of the final native circuit (computed by the
+    /// pipeline's schedule stage).
+    pub depth: usize,
     /// For each program qubit, where its last measurement landed.
     pub measured_on: Vec<Option<usize>>,
 }
@@ -198,11 +202,19 @@ impl Transpiler {
         if needed > available {
             return Err(TranspileError::TooManyQubits { needed, available });
         }
+        let mut run_span = Span::open("transpile.run").with("qubits", needed);
+        run_span.record_with("device", || self.device.name().to_string());
         // 1. Logical-level cleanup.
-        let logical = if self.optimize {
-            cancel_adjacent_gates(&fuse_single_qubit_runs(circuit))
-        } else {
-            circuit.clone()
+        let logical = {
+            let mut span = Span::open("transpile.optimize").with("phase", "logical");
+            span.record_with("gates_in", || circuit.gate_count());
+            let logical = if self.optimize {
+                cancel_adjacent_gates(&fuse_single_qubit_runs(circuit))
+            } else {
+                circuit.clone()
+            };
+            span.record_with("gates_out", || logical.gate_count());
+            logical
         };
         if self.verify == VerifyLevel::Stages {
             // Structural checks only: the circuit is still logical, so
@@ -211,12 +223,24 @@ impl Transpiler {
             fail_on_errors("logical-optimize", report)?;
         }
         // 2. Placement + routing.
-        let mapping = place_on_device(&logical, &self.device, self.placement);
-        let routed = match self.routing {
-            RoutingStrategy::ShortestPath => route(&logical, self.device.topology(), &mapping)?,
-            RoutingStrategy::Lookahead => {
-                route_with_lookahead(&logical, self.device.topology(), &mapping, 8)?
-            }
+        let mapping = {
+            let mut span = Span::open("transpile.place").with("qubits", needed);
+            span.record_with("strategy", || format!("{:?}", self.placement));
+            place_on_device(&logical, &self.device, self.placement)
+        };
+        let routed = {
+            let mut span = Span::open("transpile.route");
+            span.record_with("strategy", || format!("{:?}", self.routing));
+            span.record_with("gates_in", || logical.gate_count());
+            let routed = match self.routing {
+                RoutingStrategy::ShortestPath => route(&logical, self.device.topology(), &mapping)?,
+                RoutingStrategy::Lookahead => {
+                    route_with_lookahead(&logical, self.device.topology(), &mapping, 8)?
+                }
+            };
+            span.record_with("gates_out", || routed.circuit.gate_count());
+            span.record("swaps_added", routed.swap_count);
+            routed
         };
         if self.verify == VerifyLevel::Stages {
             // The routed circuit lives on physical wires: coupling-map
@@ -237,31 +261,53 @@ impl Transpiler {
             fail_on_errors("route", Verifier::post_routing().verify(&ctx))?;
         }
         // 3. Lower to the native gate set (also decomposes inserted SWAPs).
-        let native = decompose(&routed.circuit, self.device.gate_set());
+        let native = {
+            let mut span = Span::open("transpile.decompose");
+            span.record_with("gates_in", || routed.circuit.gate_count());
+            let native = decompose(&routed.circuit, self.device.gate_set());
+            span.record_with("gates_out", || native.gate_count());
+            native
+        };
         if self.verify == VerifyLevel::Stages {
             let report = Verifier::all().verify(&Context::on_device(&native, &self.device));
             fail_on_errors("decompose", report)?;
         }
         // 4. Physical-level cleanup.
-        let final_circuit = if self.optimize {
-            let fused = fuse_single_qubit_runs(&native);
-            let cancelled = cancel_adjacent_gates(&fused);
-            // Fusion introduces U3 gates; lower them back to native 1q.
-            decompose(&cancelled, self.device.gate_set())
-        } else {
-            native
+        let final_circuit = {
+            let mut span = Span::open("transpile.optimize").with("phase", "physical");
+            span.record_with("gates_in", || native.gate_count());
+            let final_circuit = if self.optimize {
+                let fused = fuse_single_qubit_runs(&native);
+                let cancelled = cancel_adjacent_gates(&fused);
+                // Fusion introduces U3 gates; lower them back to native 1q.
+                decompose(&cancelled, self.device.gate_set())
+            } else {
+                native
+            };
+            span.record_with("gates_out", || final_circuit.gate_count());
+            final_circuit
         };
         if self.verify != VerifyLevel::Off {
             let report = Verifier::all().verify(&Context::on_device(&final_circuit, &self.device));
             fail_on_errors("optimize", report)?;
         }
-        let two_qubit_gates = final_circuit.two_qubit_gate_count();
+        // 5. Schedule: ASAP-layer the final circuit to report its depth.
+        let (two_qubit_gates, depth) = {
+            let mut span = Span::open("transpile.schedule");
+            let two_qubit_gates = final_circuit.two_qubit_gate_count();
+            let depth = final_circuit.depth();
+            span.record("depth", depth);
+            span.record("two_qubit_gates", two_qubit_gates);
+            (two_qubit_gates, depth)
+        };
+        run_span.record("swaps_added", routed.swap_count);
         Ok(TranspileResult {
             circuit: final_circuit,
             initial_mapping: routed.initial_mapping,
             final_mapping: routed.final_mapping,
             swap_count: routed.swap_count,
             two_qubit_gates,
+            depth,
             measured_on: routed.measured_on,
         })
     }

@@ -19,4 +19,7 @@ cargo bench -q -p supermarq-bench --bench substrate -- --test
 echo "==> cache smoke (batch twice; warm pass must be all cache hits)"
 bash scripts/cache_smoke.sh
 
+echo "==> profile smoke (traced run; JSONL + summary must be well-formed)"
+bash scripts/profile_smoke.sh
+
 echo "All checks passed."
