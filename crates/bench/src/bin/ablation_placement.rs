@@ -12,7 +12,7 @@ use supermarq::runner::{run_on_device, RunConfig};
 use supermarq::Benchmark;
 use supermarq_bench::render_table;
 use supermarq_device::Device;
-use supermarq_transpile::PlacementStrategy;
+use supermarq_transpile::{PipelineId, PlacementStrategy};
 
 fn main() {
     println!("== Ablation: placement strategy and optimization ==\n");
@@ -26,15 +26,27 @@ fn main() {
     // (Murali et al.; Tannu & Qureshi, "not all qubits are created equal").
     let device = Device::ibm_guadalupe().with_error_variation(3, 2.0);
     println!("device: {} (with calibration scatter)\n", device.name());
-    let variants: Vec<(&str, PlacementStrategy, bool)> = vec![
+    let variants: Vec<(&str, PlacementStrategy, PipelineId)> = vec![
         (
             "noise-aware + optimize",
             PlacementStrategy::NoiseAware,
-            true,
+            PipelineId::ClosedDefault,
         ),
-        ("greedy + optimize", PlacementStrategy::Greedy, true),
-        ("trivial + optimize", PlacementStrategy::Trivial, true),
-        ("greedy, no optimize", PlacementStrategy::Greedy, false),
+        (
+            "greedy + optimize",
+            PlacementStrategy::Greedy,
+            PipelineId::ClosedDefault,
+        ),
+        (
+            "trivial + optimize",
+            PlacementStrategy::Trivial,
+            PipelineId::ClosedDefault,
+        ),
+        (
+            "greedy, no optimize",
+            PlacementStrategy::Greedy,
+            PipelineId::NoOptimize,
+        ),
     ];
     let headers: Vec<String> = [
         "Benchmark",
@@ -49,14 +61,13 @@ fn main() {
     .collect();
     let mut rows = Vec::new();
     for b in &benches {
-        for (label, placement, optimize) in &variants {
+        for (label, placement, pipeline) in &variants {
             let config = RunConfig {
                 shots: 2000,
                 repetitions: 3,
                 seed: 21,
                 placement: *placement,
-                optimize: *optimize,
-                ..RunConfig::default()
+                pipeline: *pipeline,
             };
             match run_on_device(b.as_ref(), &device, &config) {
                 Ok(r) => rows.push(vec![

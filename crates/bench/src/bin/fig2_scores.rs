@@ -22,18 +22,10 @@
 
 use supermarq::spec::{benchmark_from_params, execute_spec};
 use supermarq_bench::{
-    figure2_points, finish_observability, init_observability, render_table, score_cell,
+    figure2_points, finish_observability, init_observability, render_table, score_cell, shots_for,
 };
 use supermarq_device::Device;
 use supermarq_store::{RunSpec, Store, SweepEngine};
-
-fn shots_for(device: &Device) -> u64 {
-    match device.name() {
-        "IonQ" => 35,
-        "AQT" => 1024,
-        _ => 2000,
-    }
-}
 
 /// One table cell: a sweep job, or the paper's black X.
 enum Cell {

@@ -54,6 +54,18 @@ pub fn finish_observability(profile: bool) {
     }
 }
 
+/// Paper shot budgets per device: 2000 on IBM machines, 1024 on AQT, 35
+/// on IonQ ("selected to maintain a reasonable cost budget"). Shared by
+/// the Fig. 2 binary and the warm-cache regression test so their specs
+/// hash identically.
+pub fn shots_for(device: &supermarq_device::Device) -> u64 {
+    match device.name() {
+        "IonQ" => 35,
+        "AQT" => 1024,
+        _ => 2000,
+    }
+}
+
 fn point(id: &str, params: &[(&str, String)]) -> BenchPoint {
     (
         id.to_string(),

@@ -1,0 +1,75 @@
+//! Warm-cache regression for the Fig. 2 sweep: after the spec-schema
+//! migration (placement + pipeline strings replacing the legacy
+//! optimize/verify flags), a store populated by one full Fig. 2 pass must
+//! still serve the *entire* grid from cache — 185 hits, zero executions.
+//!
+//! The executor stand-ins make the guarantee airtight: the cold pass uses
+//! a deterministic fake (no simulator), and the warm pass uses an executor
+//! that panics if called at all.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use supermarq::spec::benchmark_from_params;
+use supermarq_bench::{figure2_points, shots_for};
+use supermarq_device::Device;
+use supermarq_store::{RunOutcome, RunSpec, Store, SweepEngine};
+
+/// The exact job list `fig2_scores` submits: every Fig. 2 grid point on
+/// every Table II device it fits on, with the paper's shot budgets.
+fn fig2_specs() -> Vec<RunSpec> {
+    let devices = Device::all_paper_devices();
+    let mut specs = Vec::new();
+    for (_, points, _) in figure2_points() {
+        for (id, params) in points {
+            let bench = benchmark_from_params(&id, &params).unwrap();
+            for device in &devices {
+                if bench.num_qubits() <= device.num_qubits() {
+                    specs.push(RunSpec::new(
+                        id.clone(),
+                        params.clone(),
+                        device.name(),
+                        shots_for(device),
+                        3,
+                        1,
+                    ));
+                }
+            }
+        }
+    }
+    specs
+}
+
+#[test]
+fn fig2_rerun_is_185_hits_and_zero_simulations() {
+    let dir = std::env::temp_dir().join(format!("supermarq-fig2-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Store::open(&dir).unwrap();
+    let specs = fig2_specs();
+    assert_eq!(specs.len(), 185, "Fig. 2 grid is 185 fitting cells");
+
+    // Cold pass: a deterministic executor stand-in populates the store
+    // without touching the simulator.
+    let executions = AtomicUsize::new(0);
+    let engine = SweepEngine::new(&store);
+    let report = engine.run(&specs, |spec| {
+        executions.fetch_add(1, Ordering::Relaxed);
+        Ok(RunOutcome {
+            scores: (0..spec.repetitions)
+                .map(|r| (spec.shots + spec.seed + r) as f64 / 10_000.0)
+                .collect(),
+            swap_count: spec.shots % 7,
+            two_qubit_gates: spec.shots % 11,
+        })
+    });
+    assert_eq!(report.stats.misses, 185);
+    assert_eq!(executions.load(Ordering::Relaxed), 185);
+
+    // Warm pass: every cell must come from the store — the executor
+    // panics if the cache misses even once.
+    let report = engine.run(&specs, |spec| -> Result<RunOutcome, String> {
+        panic!("warm pass executed {}", spec.content_hash())
+    });
+    assert_eq!(report.stats.hits, 185, "warm Fig. 2 pass must be all-hits");
+    assert_eq!(report.stats.misses, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}

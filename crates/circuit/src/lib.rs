@@ -29,6 +29,7 @@ pub mod diagram;
 pub mod gate;
 pub mod graph;
 pub mod math;
+pub mod properties;
 pub mod qasm;
 
 pub use analysis::{CircuitLayers, CriticalPathInfo, LivenessMatrix};
@@ -36,6 +37,10 @@ pub use circuit::{Circuit, Instruction};
 pub use gate::{Gate, GateKind};
 pub use graph::InteractionGraph;
 pub use math::C64;
+pub use properties::{
+    AsapLayers, CircuitAnalysis, CriticalPath, Depth, GateCount, Interactions, PropertySet,
+    TwoQubitGateCount,
+};
 pub use qasm::ParseQasmError;
 
 /// Errors produced while constructing or mutating a [`Circuit`].

@@ -1,0 +1,266 @@
+//! A keyed cache of circuit analyses shared between compilation passes.
+//!
+//! The transpiler's pass manager, the feature extractor, and the
+//! observability spans all want the same handful of structural facts about
+//! a circuit — depth, gate counts, the interaction graph, the ASAP layer
+//! schedule. Recomputing them at every call site is wasteful (depth alone
+//! walks the whole instruction list), so a [`PropertySet`] memoizes each
+//! analysis keyed by its type and hands out shared `Rc` references.
+//!
+//! The invalidation contract is deliberately coarse: a [`PropertySet`] is
+//! valid for exactly one circuit value. Whoever owns the circuit calls
+//! [`PropertySet::invalidate`] whenever the circuit is mutated (in the pass
+//! manager, that is the pass runner, driven by each pass's reported
+//! `PassOutcome`). There is no per-analysis dependency tracking — a single
+//! mutation clears everything, and analyses are lazily recomputed on next
+//! use. This keeps staleness bugs structurally impossible as long as the
+//! owner honors the contract; the transpile crate carries a property test
+//! asserting cached values always equal fresh recomputation.
+//!
+//! # Example
+//!
+//! ```
+//! use supermarq_circuit::{Circuit, Depth, GateCount, PropertySet};
+//!
+//! let mut c = Circuit::new(2);
+//! c.h(0).cx(0, 1);
+//! let props = PropertySet::new();
+//! assert_eq!(*props.get::<Depth>(&c), 2);
+//! assert_eq!(*props.get::<GateCount>(&c), 2);
+//! // Cached: a second lookup does not re-walk the circuit.
+//! assert!(props.is_cached::<Depth>());
+//! c.h(1);
+//! props.invalidate(); // circuit changed; drop every cached analysis
+//! assert_eq!(*props.get::<Depth>(&c), 3);
+//! ```
+
+use std::any::{Any, TypeId};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::analysis::{CircuitLayers, CriticalPathInfo};
+use crate::circuit::Circuit;
+use crate::graph::InteractionGraph;
+
+/// A memoizable structural analysis of a [`Circuit`].
+///
+/// Implementors are zero-sized marker types; the analysis result lives in
+/// [`Self::Output`]. `compute` receives the owning [`PropertySet`] so that
+/// derived analyses can reuse already-cached prerequisites (e.g. [`Depth`]
+/// reads [`AsapLayers`] instead of re-scheduling the circuit).
+pub trait CircuitAnalysis: 'static {
+    /// The computed analysis value stored in the cache.
+    type Output: 'static;
+
+    /// Computes the analysis for `circuit`, consulting `properties` for any
+    /// prerequisite analyses.
+    fn compute(circuit: &Circuit, properties: &PropertySet) -> Self::Output;
+}
+
+/// A per-circuit memo table of [`CircuitAnalysis`] results.
+///
+/// Cheap to create; interior-mutable so read-only consumers (`&self`
+/// accessors on a pass context) can still populate the cache lazily.
+#[derive(Default)]
+pub struct PropertySet {
+    cache: RefCell<HashMap<TypeId, Rc<dyn Any>>>,
+}
+
+impl PropertySet {
+    /// Creates an empty property set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached result of analysis `A` for `circuit`, computing
+    /// and caching it on first use.
+    ///
+    /// The caller is responsible for always passing the *same* circuit value
+    /// between invalidations — the cache is keyed by analysis type only.
+    pub fn get<A: CircuitAnalysis>(&self, circuit: &Circuit) -> Rc<A::Output> {
+        let key = TypeId::of::<A>();
+        // Drop the borrow before computing: `A::compute` may recursively
+        // request prerequisite analyses from this same set.
+        let cached = self.cache.borrow().get(&key).cloned();
+        let entry = match cached {
+            Some(entry) => entry,
+            None => {
+                let value: Rc<dyn Any> = Rc::new(A::compute(circuit, self));
+                self.cache
+                    .borrow_mut()
+                    .entry(key)
+                    .or_insert_with(|| value)
+                    .clone()
+            }
+        };
+        entry
+            .downcast::<A::Output>()
+            .expect("PropertySet entry type matches its TypeId key")
+    }
+
+    /// Drops every cached analysis. Call whenever the underlying circuit is
+    /// mutated (or replaced).
+    pub fn invalidate(&self) {
+        self.cache.borrow_mut().clear();
+    }
+
+    /// Whether analysis `A` is currently cached (diagnostic / test hook).
+    pub fn is_cached<A: CircuitAnalysis>(&self) -> bool {
+        self.cache.borrow().contains_key(&TypeId::of::<A>())
+    }
+
+    /// Number of cached analyses.
+    pub fn len(&self) -> usize {
+        self.cache.borrow().len()
+    }
+
+    /// Whether no analyses are cached.
+    pub fn is_empty(&self) -> bool {
+        self.cache.borrow().is_empty()
+    }
+}
+
+impl std::fmt::Debug for PropertySet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PropertySet")
+            .field("cached_analyses", &self.len())
+            .finish()
+    }
+}
+
+/// The ASAP layer schedule ([`CircuitLayers`]) of the circuit.
+pub struct AsapLayers;
+
+impl CircuitAnalysis for AsapLayers {
+    type Output = CircuitLayers;
+
+    fn compute(circuit: &Circuit, _properties: &PropertySet) -> CircuitLayers {
+        CircuitLayers::of(circuit)
+    }
+}
+
+/// Circuit depth: the number of non-empty ASAP layers. Derived from
+/// [`AsapLayers`], so requesting both schedules the circuit once.
+pub struct Depth;
+
+impl CircuitAnalysis for Depth {
+    type Output = usize;
+
+    fn compute(circuit: &Circuit, properties: &PropertySet) -> usize {
+        properties.get::<AsapLayers>(circuit).depth()
+    }
+}
+
+/// Total gate count excluding barriers (`Circuit::gate_count`).
+pub struct GateCount;
+
+impl CircuitAnalysis for GateCount {
+    type Output = usize;
+
+    fn compute(circuit: &Circuit, _properties: &PropertySet) -> usize {
+        circuit.gate_count()
+    }
+}
+
+/// Number of two-qubit gates (`Circuit::two_qubit_gate_count`).
+pub struct TwoQubitGateCount;
+
+impl CircuitAnalysis for TwoQubitGateCount {
+    type Output = usize;
+
+    fn compute(circuit: &Circuit, _properties: &PropertySet) -> usize {
+        circuit.two_qubit_gate_count()
+    }
+}
+
+/// The qubit [`InteractionGraph`] (one edge per interacting qubit pair).
+pub struct Interactions;
+
+impl CircuitAnalysis for Interactions {
+    type Output = InteractionGraph;
+
+    fn compute(circuit: &Circuit, _properties: &PropertySet) -> InteractionGraph {
+        InteractionGraph::of(circuit)
+    }
+}
+
+/// Dependency-DAG critical-path statistics ([`CriticalPathInfo`]).
+pub struct CriticalPath;
+
+impl CircuitAnalysis for CriticalPath {
+    type Output = CriticalPathInfo;
+
+    fn compute(circuit: &Circuit, _properties: &PropertySet) -> CriticalPathInfo {
+        CriticalPathInfo::of(circuit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2).measure_all();
+        c
+    }
+
+    #[test]
+    fn values_match_direct_computation() {
+        let c = sample();
+        let props = PropertySet::new();
+        assert_eq!(*props.get::<Depth>(&c), c.depth());
+        assert_eq!(*props.get::<GateCount>(&c), c.gate_count());
+        assert_eq!(
+            *props.get::<TwoQubitGateCount>(&c),
+            c.two_qubit_gate_count()
+        );
+        assert_eq!(*props.get::<Interactions>(&c), InteractionGraph::of(&c));
+        assert_eq!(*props.get::<CriticalPath>(&c), CriticalPathInfo::of(&c));
+        assert_eq!(*props.get::<AsapLayers>(&c), CircuitLayers::of(&c));
+    }
+
+    #[test]
+    fn results_are_cached_and_shared() {
+        let c = sample();
+        let props = PropertySet::new();
+        let a = props.get::<AsapLayers>(&c);
+        let b = props.get::<AsapLayers>(&c);
+        assert!(Rc::ptr_eq(&a, &b), "second lookup must hit the cache");
+    }
+
+    #[test]
+    fn depth_reuses_cached_layers() {
+        let c = sample();
+        let props = PropertySet::new();
+        let _ = props.get::<Depth>(&c);
+        // Depth is derived from AsapLayers, so both are now cached.
+        assert!(props.is_cached::<AsapLayers>());
+        assert!(props.is_cached::<Depth>());
+        assert_eq!(props.len(), 2);
+    }
+
+    #[test]
+    fn invalidate_clears_everything() {
+        let mut c = sample();
+        let props = PropertySet::new();
+        assert_eq!(*props.get::<GateCount>(&c), 6);
+        c.h(2);
+        props.invalidate();
+        assert!(props.is_empty());
+        assert_eq!(*props.get::<GateCount>(&c), 7);
+    }
+
+    #[test]
+    fn stale_values_persist_until_invalidated() {
+        // Documents the contract: the set does NOT watch the circuit.
+        let mut c = sample();
+        let props = PropertySet::new();
+        assert_eq!(*props.get::<GateCount>(&c), 6);
+        c.h(2);
+        assert_eq!(*props.get::<GateCount>(&c), 6, "cache is keyed, not live");
+        props.invalidate();
+        assert_eq!(*props.get::<GateCount>(&c), 7);
+    }
+}

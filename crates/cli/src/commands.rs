@@ -13,6 +13,7 @@ use supermarq::{Benchmark, FeatureVector};
 use supermarq_circuit::Circuit;
 use supermarq_device::Device;
 use supermarq_store::{RunRecord, RunSpec, Store, SweepEngine, SweepGrid, TranspileSpec};
+use supermarq_transpile::{PassRegistry, PassSpec, PipelineId};
 use supermarq_verify::{verify_circuit, verify_on_device, CheckId, Report, Severity};
 
 use crate::args::Args;
@@ -23,10 +24,12 @@ pub const USAGE: &str = "usage:
   supermarq generate <benchmark> [--size N] [--rounds R] [--seed S] [--steps K] [--layers L]
   supermarq show <benchmark> [--size N] [...]
   supermarq features <file.qasm>
-  supermarq run <benchmark> --device <name> [--size N] [--shots N] [--reps R] [--seed S] [--open] [--json [--store <dir>] [--no-cache]]
+  supermarq run <benchmark> --device <name> [--size N] [--shots N] [--reps R] [--seed S] [--open]
+                [--pipeline <name>] [--json [--store <dir>] [--no-cache]]
   supermarq batch --benchmarks <b1,b2,...> [--sizes N1,N2] [--devices all|<d1,d2>]
-                  [--shots S1,S2] [--seeds S1,S2] [--reps R] [--open]
+                  [--shots S1,S2] [--seeds S1,S2] [--reps R] [--open] [--pipeline <name>]
                   [--out <file.jsonl>] [--store <dir>] [--no-cache]
+  supermarq transpile passes
   supermarq cache <stats|verify|gc> [--store <dir>]
   supermarq lint <benchmark>|<file.qasm> [--device <name>] [--size N] [...]
   supermarq lint --list
@@ -93,6 +96,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         Some("features") => cmd_features(&args),
         Some("run") => cmd_run(&args),
         Some("batch") => cmd_batch(&args),
+        Some("transpile") => cmd_transpile(&args),
         Some("cache") => cmd_cache(&args),
         Some("lint") => cmd_lint(&args),
         Some("coverage") => cmd_coverage(),
@@ -241,6 +245,7 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
             .map_err(CliError::Usage)?,
         repetitions: args.option_parse("reps", 3usize).map_err(CliError::Usage)?,
         seed: args.option_parse("seed", 1u64).map_err(CliError::Usage)?,
+        pipeline: pipeline_from_args(args)?,
         ..RunConfig::default()
     };
     if args.flag("json") {
@@ -351,6 +356,42 @@ fn build_run_spec(
     Ok(spec)
 }
 
+/// Resolves `--pipeline` against the registered pipeline names, falling
+/// back to the default pipeline when the flag is absent.
+fn pipeline_from_args(args: &Args) -> Result<PipelineId, CliError> {
+    match args.option("pipeline") {
+        None => Ok(PipelineId::default()),
+        Some(name) => PipelineId::parse(name).ok_or_else(|| {
+            CliError::usage(format!(
+                "unknown pipeline '{name}' (try `supermarq transpile passes`)"
+            ))
+        }),
+    }
+}
+
+/// `supermarq transpile passes`: list the registered pipelines and the
+/// passes they are built from.
+fn cmd_transpile(args: &Args) -> Result<String, CliError> {
+    match args.positional(1) {
+        Some("passes") => {
+            let registry = PassRegistry::builtin();
+            let mut out = String::from("pipelines:\n");
+            for pipeline in registry.iter() {
+                out.push_str(&format!("  {}\n", pipeline.render()));
+            }
+            out.push_str("\npasses:\n");
+            for pass in PassSpec::ALL {
+                out.push_str(&format!("  {:<17} {}\n", pass.id(), pass.describe()));
+            }
+            Ok(out.trim_end().to_string())
+        }
+        Some(other) => Err(CliError::usage(format!(
+            "unknown transpile action '{other}' (expected passes)"
+        ))),
+        None => Err(CliError::usage("missing transpile action (passes)")),
+    }
+}
+
 /// Opens the store named by `--store`, `$SUPERMARQ_STORE`, or the
 /// default `.supermarq-store/` directory, in that priority order.
 fn open_store(args: &Args) -> Result<Store, CliError> {
@@ -421,7 +462,10 @@ fn cmd_batch(args: &Args) -> Result<String, CliError> {
         shots,
         seeds,
         repetitions,
-        transpile: TranspileSpec::default(),
+        transpile: TranspileSpec {
+            pipeline: pipeline_from_args(args)?.as_str().into(),
+            ..TranspileSpec::default()
+        },
         division: if args.flag("open") { "open" } else { "closed" }.into(),
     };
     let specs = grid.expand();
@@ -1056,6 +1100,81 @@ mod tests {
             "trace must contain transpiler stage spans"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transpile_passes_lists_every_pipeline_and_pass() {
+        let out = run(&["transpile", "passes"]).unwrap();
+        for pipeline in PipelineId::ALL {
+            assert!(
+                out.contains(pipeline.as_str()),
+                "missing {pipeline} in {out}"
+            );
+        }
+        for pass in PassSpec::ALL {
+            assert!(out.contains(pass.id()), "missing {} in {out}", pass.id());
+        }
+        // Bad actions are usage errors.
+        assert!(run(&["transpile"]).is_err());
+        assert!(run(&["transpile", "frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn run_accepts_a_pipeline_and_rejects_unknown_names() {
+        let out = run(&[
+            "run",
+            "ghz",
+            "--size",
+            "3",
+            "--device",
+            "ionq",
+            "--shots",
+            "100",
+            "--reps",
+            "1",
+            "--pipeline",
+            "no-optimize",
+        ])
+        .unwrap();
+        assert!(out.contains("score:"), "{out}");
+        let err = run(&[
+            "run",
+            "ghz",
+            "--size",
+            "3",
+            "--device",
+            "ionq",
+            "--pipeline",
+            "frobnicate",
+        ])
+        .unwrap_err();
+        assert!(err.contains("unknown pipeline"), "{err}");
+    }
+
+    #[test]
+    fn batch_pipeline_flag_lands_in_the_cached_spec() {
+        let store = temp_dir("batch-pipeline");
+        let out = run(&[
+            "batch",
+            "--benchmarks",
+            "ghz",
+            "--sizes",
+            "3",
+            "--devices",
+            "ionq",
+            "--shots",
+            "50",
+            "--reps",
+            "1",
+            "--pipeline",
+            "closed-stages",
+            "--store",
+            store.to_str().unwrap(),
+        ])
+        .unwrap();
+        let record = RunRecord::from_str(out.trim_end()).unwrap();
+        assert_eq!(record.spec.transpile.pipeline, "closed-stages");
+        assert!(run(&["batch", "--benchmarks", "ghz", "--pipeline", "nope"]).is_err());
     }
 
     #[test]

@@ -195,7 +195,7 @@ mod tests {
 
     #[test]
     fn wrong_schema_version_is_rejected() {
-        let line = record().to_line().replace("\"schema\":1", "\"schema\":999");
+        let line = record().to_line().replace("\"schema\":2", "\"schema\":999");
         let err = RunRecord::from_str(&line).unwrap_err();
         assert!(err.contains("schema"), "{err}");
     }

@@ -19,7 +19,11 @@ use crate::json::Json;
 /// Version of both the canonical hash encoding and the on-disk record
 /// schema. Stored entries whose schema differs are treated as misses and
 /// collected by `gc`.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2: the transpile configuration became a named pipeline id (replacing
+/// the `optimize` + `verify` flag pair), so cache keys distinguish
+/// pipelines.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Transpiler configuration, as stable strings (the store crate does not
 /// depend on the transpiler; executors parse these back into their own
@@ -28,18 +32,16 @@ pub const SCHEMA_VERSION: u64 = 1;
 pub struct TranspileSpec {
     /// Placement strategy id: `trivial`, `greedy`, or `noise-aware`.
     pub placement: String,
-    /// Whether fusion/cancellation run.
-    pub optimize: bool,
-    /// Verification level id: `off`, `final`, or `stages`.
-    pub verify: String,
+    /// Pipeline name from the transpiler's pass registry:
+    /// `closed-default`, `closed-stages`, `no-optimize`, ...
+    pub pipeline: String,
 }
 
 impl Default for TranspileSpec {
     fn default() -> Self {
         TranspileSpec {
             placement: "greedy".into(),
-            optimize: true,
-            verify: "final".into(),
+            pipeline: "closed-default".into(),
         }
     }
 }
@@ -114,8 +116,7 @@ impl RunSpec {
             "placement={}\n",
             escape(&spec.transpile.placement)
         ));
-        out.push_str(&format!("optimize={}\n", spec.transpile.optimize));
-        out.push_str(&format!("verify={}\n", escape(&spec.transpile.verify)));
+        out.push_str(&format!("pipeline={}\n", escape(&spec.transpile.pipeline)));
         out.push_str(&format!("shots={}\n", spec.shots));
         out.push_str(&format!("repetitions={}\n", spec.repetitions));
         out.push_str(&format!("seed={}\n", spec.seed));
@@ -146,8 +147,7 @@ impl RunSpec {
                 "transpile".into(),
                 Json::Obj(vec![
                     ("placement".into(), Json::str(spec.transpile.placement)),
-                    ("optimize".into(), Json::Bool(spec.transpile.optimize)),
-                    ("verify".into(), Json::str(spec.transpile.verify)),
+                    ("pipeline".into(), Json::str(spec.transpile.pipeline)),
                 ]),
             ),
             ("shots".into(), Json::uint(spec.shots)),
@@ -187,22 +187,35 @@ impl RunSpec {
             _ => return Err("missing or non-object field 'params'".into()),
         };
         let transpile = match value.get("transpile") {
-            Some(t @ Json::Obj(_)) => TranspileSpec {
-                placement: t
+            Some(t @ Json::Obj(_)) => {
+                let placement = t
                     .get("placement")
                     .and_then(Json::as_str)
                     .ok_or("missing transpile.placement")?
-                    .to_string(),
-                optimize: t
-                    .get("optimize")
-                    .and_then(Json::as_bool)
-                    .ok_or("missing transpile.optimize")?,
-                verify: t
-                    .get("verify")
-                    .and_then(Json::as_str)
-                    .ok_or("missing transpile.verify")?
-                    .to_string(),
-            },
+                    .to_string();
+                let pipeline = match t.get("pipeline").and_then(Json::as_str) {
+                    Some(p) => p.to_string(),
+                    // Migration shim: schema-1 specs carried the
+                    // (optimize, verify) flag pair instead of a pipeline
+                    // name; map them onto the pipeline those flags
+                    // historically selected.
+                    None => {
+                        let optimize = t
+                            .get("optimize")
+                            .and_then(Json::as_bool)
+                            .ok_or("missing transpile.pipeline (or legacy transpile.optimize)")?;
+                        let verify = t
+                            .get("verify")
+                            .and_then(Json::as_str)
+                            .ok_or("missing transpile.pipeline (or legacy transpile.verify)")?;
+                        legacy_pipeline(optimize, verify)?
+                    }
+                };
+                TranspileSpec {
+                    placement,
+                    pipeline,
+                }
+            }
             _ => return Err("missing or non-object field 'transpile'".into()),
         };
         let mut spec = RunSpec {
@@ -224,6 +237,20 @@ impl RunSpec {
 /// line-oriented canonical encoding.
 fn escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// The pipeline name a schema-1 `(optimize, verify)` flag pair selected.
+fn legacy_pipeline(optimize: bool, verify: &str) -> Result<String, String> {
+    let name = match (optimize, verify) {
+        (true, "final") => "closed-default",
+        (true, "stages") => "closed-stages",
+        (true, "off") => "closed-unverified",
+        (false, "final") => "no-optimize",
+        (false, "stages") => "no-optimize-stages",
+        (false, "off") => "no-optimize-unverified",
+        _ => return Err(format!("unknown legacy verify level '{verify}'")),
+    };
+    Ok(name.to_string())
 }
 
 #[cfg(test)]
@@ -251,7 +278,7 @@ mod tests {
         );
         assert_eq!(
             spec().canonical_string(),
-            "schema=1\nbenchmark=ghz\nparam.size=4\ndevice=IBM-Montreal\nplacement=greedy\noptimize=true\nverify=final\nshots=2000\nrepetitions=3\nseed=1\ndivision=closed\n"
+            "schema=2\nbenchmark=ghz\nparam.size=4\ndevice=IBM-Montreal\nplacement=greedy\npipeline=closed-default\nshots=2000\nrepetitions=3\nseed=1\ndivision=closed\n"
         );
     }
 
@@ -301,10 +328,10 @@ mod tests {
         v.transpile.placement = "trivial".into();
         variants.push(v);
         let mut v = base.clone();
-        v.transpile.optimize = false;
+        v.transpile.pipeline = "closed-stages".into();
         variants.push(v);
         let mut v = base.clone();
-        v.transpile.verify = "stages".into();
+        v.transpile.pipeline = "no-optimize".into();
         variants.push(v);
         let mut v = base.clone();
         v.shots = 100;
@@ -338,6 +365,53 @@ mod tests {
         let back = RunSpec::from_json(&s.to_json()).unwrap();
         assert_eq!(back, s);
         assert_eq!(back.content_hash(), s.content_hash());
+    }
+
+    #[test]
+    fn legacy_optimize_verify_specs_migrate_to_pipeline_names() {
+        // A schema-1 transpile object (optimize + verify, no pipeline)
+        // must parse into the pipeline those flags historically selected.
+        let cases = [
+            (true, "final", "closed-default"),
+            (true, "stages", "closed-stages"),
+            (true, "off", "closed-unverified"),
+            (false, "final", "no-optimize"),
+            (false, "stages", "no-optimize-stages"),
+            (false, "off", "no-optimize-unverified"),
+        ];
+        for (optimize, verify, expected) in cases {
+            let mut json = spec().to_json();
+            if let Json::Obj(fields) = &mut json {
+                for (k, v) in fields.iter_mut() {
+                    if k == "transpile" {
+                        *v = Json::Obj(vec![
+                            ("placement".into(), Json::str("greedy")),
+                            ("optimize".into(), Json::Bool(optimize)),
+                            ("verify".into(), Json::str(verify)),
+                        ]);
+                    }
+                }
+            }
+            let parsed = RunSpec::from_json(&json).unwrap();
+            assert_eq!(
+                parsed.transpile.pipeline, expected,
+                "({optimize}, {verify})"
+            );
+        }
+        // An unknown legacy verify level is an error, not a guess.
+        let mut json = spec().to_json();
+        if let Json::Obj(fields) = &mut json {
+            for (k, v) in fields.iter_mut() {
+                if k == "transpile" {
+                    *v = Json::Obj(vec![
+                        ("placement".into(), Json::str("greedy")),
+                        ("optimize".into(), Json::Bool(true)),
+                        ("verify".into(), Json::str("paranoid")),
+                    ]);
+                }
+            }
+        }
+        assert!(RunSpec::from_json(&json).is_err());
     }
 
     #[test]

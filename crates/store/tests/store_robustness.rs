@@ -107,7 +107,7 @@ fn schema_version_mismatch_is_a_miss_and_gc_fodder() {
     // A plausible record from a future schema version.
     let future = fs::read_to_string(&path)
         .unwrap()
-        .replace("\"schema\":1", "\"schema\":2");
+        .replace("\"schema\":2", "\"schema\":3");
     fs::write(&path, future).unwrap();
     assert!(store.get(&spec(1)).is_none(), "future schema must miss");
     assert_eq!(store.verify().unwrap().corrupt.len(), 1);

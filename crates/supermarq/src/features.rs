@@ -1,7 +1,8 @@
 //! The six application feature vectors of paper Sec. III-B.
 
 use supermarq_circuit::{
-    Circuit, CircuitLayers, CriticalPathInfo, GateKind, InteractionGraph, LivenessMatrix,
+    AsapLayers, Circuit, CriticalPath, GateCount, Interactions, LivenessMatrix, PropertySet,
+    TwoQubitGateCount,
 };
 
 /// The hardware-agnostic feature vector describing how an application
@@ -51,8 +52,17 @@ impl FeatureVector {
     ///
     /// Empty circuits produce the all-zero vector.
     pub fn of(circuit: &Circuit) -> Self {
+        Self::with_properties(circuit, &PropertySet::new())
+    }
+
+    /// Computes all six features, reading every structural analysis through
+    /// `properties` so already-cached results (e.g. from a transpile
+    /// [`PassContext`](supermarq_transpile::PassContext)) are reused rather
+    /// than recomputed. The set must be valid for `circuit` — see the
+    /// [`PropertySet`] invalidation contract.
+    pub fn with_properties(circuit: &Circuit, properties: &PropertySet) -> Self {
         let n = circuit.num_qubits();
-        let layers = CircuitLayers::of(circuit);
+        let layers = properties.get::<AsapLayers>(circuit);
         let d = layers.depth();
         if d == 0 || n == 0 {
             return FeatureVector {
@@ -65,10 +75,10 @@ impl FeatureVector {
             };
         }
 
-        let graph = InteractionGraph::of(circuit);
+        let graph = properties.get::<Interactions>(circuit);
         let program_communication = graph.normalized_average_degree();
 
-        let cp = CriticalPathInfo::of(circuit);
+        let cp = properties.get::<CriticalPath>(circuit);
         let critical_depth = if cp.two_qubit_total == 0 {
             0.0
         } else {
@@ -77,11 +87,8 @@ impl FeatureVector {
 
         // Gate counts exclude barriers but include measure/reset (they
         // occupy hardware time exactly like gates do).
-        let n_g = circuit
-            .iter()
-            .filter(|i| i.gate.kind() != GateKind::Barrier)
-            .count();
-        let n_e = circuit.two_qubit_gate_count();
+        let n_g = *properties.get::<GateCount>(circuit);
+        let n_e = *properties.get::<TwoQubitGateCount>(circuit);
         let entanglement_ratio = if n_g == 0 {
             0.0
         } else {
@@ -243,6 +250,21 @@ mod tests {
         let mut terminal_only = Circuit::new(3);
         terminal_only.cx(0, 1).cx(2, 1).measure_all();
         assert_eq!(FeatureVector::of(&terminal_only).measurement, 0.0);
+    }
+
+    #[test]
+    fn with_properties_matches_of_and_populates_the_cache() {
+        let c = ghz(5);
+        let props = PropertySet::new();
+        // Prime one analysis the way a transpile pass context would.
+        let _ = props.get::<AsapLayers>(&c);
+        let f = FeatureVector::with_properties(&c, &props);
+        assert_eq!(f, FeatureVector::of(&c));
+        // Every analysis the features touched is now shared in the set.
+        assert!(props.is_cached::<Interactions>());
+        assert!(props.is_cached::<CriticalPath>());
+        assert!(props.is_cached::<GateCount>());
+        assert!(props.is_cached::<TwoQubitGateCount>());
     }
 
     #[test]

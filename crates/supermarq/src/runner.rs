@@ -12,7 +12,7 @@ use supermarq_classical::stats::{mean, std_dev};
 use supermarq_device::Device;
 use supermarq_obs::Span;
 use supermarq_sim::{Counts, Executor};
-use supermarq_transpile::{PlacementStrategy, TranspileError, Transpiler, VerifyLevel};
+use supermarq_transpile::{PipelineId, PlacementStrategy, TranspileError, Transpiler};
 
 use crate::benchmark::Benchmark;
 
@@ -28,11 +28,10 @@ pub struct RunConfig {
     pub repetitions: usize,
     /// Placement strategy for the transpiler.
     pub placement: PlacementStrategy,
-    /// Whether fusion/cancellation run (ablation hook).
-    pub optimize: bool,
-    /// How much static verification the transpiler performs (see
-    /// [`supermarq_transpile::VerifyLevel`]).
-    pub verify: VerifyLevel,
+    /// Named transpile pipeline (replaces the old `optimize` + `verify`
+    /// flag pair; `closed-stages` interleaves verification, `no-optimize`
+    /// is the ablation hook).
+    pub pipeline: PipelineId,
 }
 
 impl Default for RunConfig {
@@ -42,8 +41,7 @@ impl Default for RunConfig {
             seed: 0,
             repetitions: 3,
             placement: PlacementStrategy::Greedy,
-            optimize: true,
-            verify: VerifyLevel::default(),
+            pipeline: PipelineId::default(),
         }
     }
 }
@@ -94,8 +92,7 @@ pub fn run_on_device(
     run_span.record_with("device", || device.name().to_string());
     let transpiler = Transpiler::for_device(device)
         .with_placement(config.placement)
-        .with_optimization(config.optimize)
-        .with_verify(config.verify);
+        .with_pipeline(config.pipeline);
     let circuits = benchmark.circuits();
     let mut transpiled = Vec::with_capacity(circuits.len());
     for c in &circuits {
@@ -170,8 +167,7 @@ pub fn run_on_device_open(
     run_span.record_with("device", || device.name().to_string());
     let transpiler = Transpiler::for_device(device)
         .with_placement(config.placement)
-        .with_optimization(config.optimize)
-        .with_verify(config.verify);
+        .with_pipeline(config.pipeline);
     let circuits = benchmark.circuits();
     let mut prepared = Vec::with_capacity(circuits.len());
     let mut swap_count = 0;
@@ -295,7 +291,7 @@ mod tests {
         let config = RunConfig {
             shots: 200,
             repetitions: 1,
-            verify: VerifyLevel::Stages,
+            pipeline: PipelineId::ClosedStages,
             ..RunConfig::default()
         };
         for device in [Device::ibm_casablanca(), Device::ionq()] {

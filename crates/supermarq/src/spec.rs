@@ -12,7 +12,7 @@
 
 use supermarq_device::Device;
 use supermarq_store::{RunOutcome, RunSpec, TranspileSpec};
-use supermarq_transpile::{PlacementStrategy, TranspileError, VerifyLevel};
+use supermarq_transpile::{PipelineId, PlacementStrategy, TranspileError};
 
 use crate::benchmark::Benchmark;
 use crate::benchmarks::{
@@ -192,7 +192,7 @@ pub fn benchmark_from_params(
 ///
 /// # Errors
 ///
-/// Returns [`ExecError::Invalid`] for unknown placement or verify ids.
+/// Returns [`ExecError::Invalid`] for unknown placement or pipeline ids.
 pub fn run_config_from_spec(spec: &RunSpec) -> Result<RunConfig, ExecError> {
     let placement = match spec.transpile.placement.as_str() {
         "trivial" => PlacementStrategy::Trivial,
@@ -204,23 +204,15 @@ pub fn run_config_from_spec(spec: &RunSpec) -> Result<RunConfig, ExecError> {
             )))
         }
     };
-    let verify = match spec.transpile.verify.as_str() {
-        "off" => VerifyLevel::Off,
-        "final" => VerifyLevel::Final,
-        "stages" => VerifyLevel::Stages,
-        other => {
-            return Err(ExecError::Invalid(format!(
-                "unknown verify level '{other}'"
-            )))
-        }
-    };
+    let pipeline = PipelineId::parse(&spec.transpile.pipeline).ok_or_else(|| {
+        ExecError::Invalid(format!("unknown pipeline '{}'", spec.transpile.pipeline))
+    })?;
     Ok(RunConfig {
         shots: spec.shots as usize,
         seed: spec.seed,
         repetitions: spec.repetitions as usize,
         placement,
-        optimize: spec.transpile.optimize,
-        verify,
+        pipeline,
     })
 }
 
@@ -234,13 +226,7 @@ pub fn transpile_spec_of(config: &RunConfig) -> TranspileSpec {
             PlacementStrategy::NoiseAware => "noise-aware",
         }
         .into(),
-        optimize: config.optimize,
-        verify: match config.verify {
-            VerifyLevel::Off => "off",
-            VerifyLevel::Final => "final",
-            VerifyLevel::Stages => "stages",
-        }
-        .into(),
+        pipeline: config.pipeline.as_str().into(),
     }
 }
 
@@ -357,21 +343,23 @@ mod tests {
             PlacementStrategy::Greedy,
             PlacementStrategy::NoiseAware,
         ] {
-            for verify in [VerifyLevel::Off, VerifyLevel::Final, VerifyLevel::Stages] {
+            for pipeline in PipelineId::ALL {
                 let config = RunConfig {
                     placement,
-                    verify,
-                    optimize: false,
+                    pipeline,
                     ..RunConfig::default()
                 };
                 let mut spec = RunSpec::new("ghz", p(&[("size", "3")]), "IonQ", 100, 1, 0);
                 spec.transpile = transpile_spec_of(&config);
                 let back = run_config_from_spec(&spec).unwrap();
                 assert_eq!(back.placement, placement);
-                assert_eq!(back.verify, verify);
-                assert!(!back.optimize);
+                assert_eq!(back.pipeline, pipeline);
             }
         }
+        // Unknown pipeline names are rejected.
+        let mut spec = RunSpec::new("ghz", p(&[("size", "3")]), "IonQ", 100, 1, 0);
+        spec.transpile.pipeline = "frobnicate".into();
+        assert!(run_config_from_spec(&spec).is_err());
         // Default TranspileSpec matches the default RunConfig.
         let spec = RunSpec::new("ghz", p(&[("size", "3")]), "IonQ", 100, 1, 0);
         assert_eq!(spec.transpile, transpile_spec_of(&RunConfig::default()));

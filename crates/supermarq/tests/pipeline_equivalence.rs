@@ -1,0 +1,137 @@
+//! Pass-manager equivalence suite: the `closed-default` pipeline must
+//! reproduce the pre-refactor hard-coded transpile sequence *exactly* —
+//! byte-identical QASM and identical `TranspileResult` fields — for every
+//! benchmark on every Table II device.
+//!
+//! The reference below is a line-for-line reimplementation of the legacy
+//! `Transpiler::run` body from the public stage functions (fuse, cancel,
+//! place, route, decompose), so any drift introduced by the pass manager
+//! (extra fixed-point rounds, reordered stages, changed mappings) fails
+//! loudly here rather than silently perturbing paper figures.
+
+use supermarq::benchmarks::{
+    BitCodeBenchmark, GhzBenchmark, HamiltonianSimBenchmark, MerminBellBenchmark,
+    PhaseCodeBenchmark, QaoaSwapBenchmark, QaoaVanillaBenchmark, VqeBenchmark,
+};
+use supermarq::Benchmark;
+use supermarq_circuit::Circuit;
+use supermarq_device::Device;
+use supermarq_transpile::cancel::cancel_adjacent_gates;
+use supermarq_transpile::decompose::decompose;
+use supermarq_transpile::fuse::fuse_single_qubit_runs;
+use supermarq_transpile::placement::{place_on_device, PlacementStrategy};
+use supermarq_transpile::routing::route;
+use supermarq_transpile::{PipelineId, Transpiler};
+
+/// The legacy fixed sequence (optimize on, shortest-path routing, greedy
+/// placement), minus verification — verification never altered the
+/// circuit, only gated errors.
+struct LegacyResult {
+    circuit: Circuit,
+    initial_mapping: Vec<usize>,
+    final_mapping: Vec<usize>,
+    swap_count: usize,
+    two_qubit_gates: usize,
+    depth: usize,
+    measured_on: Vec<Option<usize>>,
+}
+
+fn legacy_closed_default(circuit: &Circuit, device: &Device) -> Option<LegacyResult> {
+    if circuit.num_qubits() > device.num_qubits() {
+        return None;
+    }
+    // 1. Logical-level cleanup.
+    let logical = cancel_adjacent_gates(&fuse_single_qubit_runs(circuit));
+    // 2. Placement + routing.
+    let mapping = place_on_device(&logical, device, PlacementStrategy::Greedy);
+    let routed = route(&logical, device.topology(), &mapping).expect("legacy routing succeeds");
+    // 3. Lower to the native gate set.
+    let native = decompose(&routed.circuit, device.gate_set());
+    // 4. Physical-level cleanup (fusion introduces U3; re-lower).
+    let fused = fuse_single_qubit_runs(&native);
+    let cancelled = cancel_adjacent_gates(&fused);
+    let final_circuit = decompose(&cancelled, device.gate_set());
+    // 5. Schedule.
+    let two_qubit_gates = final_circuit.two_qubit_gate_count();
+    let depth = final_circuit.depth();
+    Some(LegacyResult {
+        circuit: final_circuit,
+        initial_mapping: routed.initial_mapping,
+        final_mapping: routed.final_mapping,
+        swap_count: routed.swap_count,
+        two_qubit_gates,
+        depth,
+        measured_on: routed.measured_on,
+    })
+}
+
+fn all_benchmarks() -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(GhzBenchmark::new(4)),
+        Box::new(MerminBellBenchmark::new(3)),
+        Box::new(BitCodeBenchmark::new(3, 2, &[true, false, true])),
+        Box::new(PhaseCodeBenchmark::new(3, 2, &[true, false, true])),
+        Box::new(QaoaVanillaBenchmark::new(4, 1)),
+        Box::new(QaoaSwapBenchmark::new(4, 1)),
+        Box::new(VqeBenchmark::new(4, 1)),
+        Box::new(HamiltonianSimBenchmark::new(4, 4)),
+    ]
+}
+
+#[test]
+fn closed_default_reproduces_the_legacy_sequence_bit_identically() {
+    let mut compared = 0usize;
+    for device in Device::all_paper_devices() {
+        let transpiler = Transpiler::for_device(&device);
+        assert_eq!(transpiler.pipeline_id(), PipelineId::ClosedDefault);
+        for bench in all_benchmarks() {
+            for (i, circuit) in bench.circuits().iter().enumerate() {
+                let label = format!("{} [{i}] on {}", bench.name(), device.name());
+                let Some(legacy) = legacy_closed_default(circuit, &device) else {
+                    // The black X's of Fig. 2: both sides must refuse.
+                    assert!(transpiler.run(circuit).is_err(), "{label}");
+                    continue;
+                };
+                let new = transpiler
+                    .run(circuit)
+                    .unwrap_or_else(|e| panic!("{label}: {e}"));
+                assert_eq!(
+                    new.circuit.to_qasm(),
+                    legacy.circuit.to_qasm(),
+                    "{label}: QASM must be byte-identical"
+                );
+                assert_eq!(new.initial_mapping, legacy.initial_mapping, "{label}");
+                assert_eq!(new.final_mapping, legacy.final_mapping, "{label}");
+                assert_eq!(new.swap_count, legacy.swap_count, "{label}");
+                assert_eq!(new.two_qubit_gates, legacy.two_qubit_gates, "{label}");
+                assert_eq!(new.depth, legacy.depth, "{label}");
+                assert_eq!(new.measured_on, legacy.measured_on, "{label}");
+                compared += 1;
+            }
+        }
+    }
+    assert!(compared > 50, "suite must cover the grid, got {compared}");
+}
+
+/// The stage-verified pipeline must agree with `closed-default` on every
+/// output field — verify passes observe, never rewrite.
+#[test]
+fn closed_stages_output_matches_closed_default() {
+    for device in Device::all_paper_devices() {
+        for bench in all_benchmarks() {
+            for circuit in bench.circuits() {
+                if circuit.num_qubits() > device.num_qubits() {
+                    continue;
+                }
+                let default = Transpiler::for_device(&device).run(&circuit).unwrap();
+                let staged = Transpiler::for_device(&device)
+                    .with_pipeline(PipelineId::ClosedStages)
+                    .run(&circuit)
+                    .unwrap();
+                assert_eq!(staged.circuit.to_qasm(), default.circuit.to_qasm());
+                assert_eq!(staged.swap_count, default.swap_count);
+                assert_eq!(staged.depth, default.depth);
+            }
+        }
+    }
+}

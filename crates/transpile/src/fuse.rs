@@ -5,7 +5,7 @@
 //! shortens circuits before lowering and implements the Closed Division's
 //! "cancellation of adjacent gates" for the single-qubit case.
 
-use supermarq_circuit::{Circuit, GateKind, Instruction, C64};
+use supermarq_circuit::{Circuit, Gate, GateKind, Instruction, C64};
 
 /// Extracts `U3(theta, phi, lambda)` parameters from a 2x2 unitary (global
 /// phase discarded).
@@ -56,18 +56,39 @@ fn matmul2(a: &[[C64; 2]; 2], b: &[[C64; 2]; 2]) -> [[C64; 2]; 2] {
     out
 }
 
+/// A pending run of single-qubit unitaries on one qubit: the accumulated
+/// matrix plus, while the run is exactly one already-fused `U` gate, that
+/// gate verbatim (see the passthrough note on [`fuse_single_qubit_runs`]).
+#[derive(Clone, Copy)]
+struct PendingRun {
+    matrix: [[C64; 2]; 2],
+    lone_u: Option<Gate>,
+}
+
 /// Fuses runs of adjacent single-qubit unitaries per qubit into one `U3`
 /// gate, dropping fused identities. Multi-qubit gates, measurements, resets
 /// and barriers act as fences.
+///
+/// A run consisting of exactly one `U` gate passes through *bit-identical*
+/// rather than round-tripping through matrix extraction (which reintroduces
+/// float jitter in the angles). This makes fusion idempotent — the second
+/// application of `fuse` to an already-fused circuit is the identity — which
+/// the pass manager's `FixedPoint` combinator relies on to reach quiescence.
+/// Inputs containing no `U` gates (every benchmark circuit; every decomposed
+/// native circuit) are handled exactly as before.
 pub fn fuse_single_qubit_runs(input: &Circuit) -> Circuit {
     let n = input.num_qubits();
     let mut out = Circuit::new(n);
-    // Pending accumulated matrix per qubit.
-    let mut pending: Vec<Option<[[C64; 2]; 2]>> = vec![None; n];
+    // Pending accumulated run per qubit.
+    let mut pending: Vec<Option<PendingRun>> = vec![None; n];
 
-    let flush = |out: &mut Circuit, pending: &mut Vec<Option<[[C64; 2]; 2]>>, q: usize| {
-        if let Some(m) = pending[q].take() {
-            let (t, p, l) = u3_from_matrix(&m);
+    let flush = |out: &mut Circuit, pending: &mut Vec<Option<PendingRun>>, q: usize| {
+        if let Some(run) = pending[q].take() {
+            if let Some(gate) = run.lone_u {
+                out.append(gate, &[q]);
+                return;
+            }
+            let (t, p, l) = u3_from_matrix(&run.matrix);
             let is_identity =
                 t.abs() < 1e-12 && ((p + l) % (2.0 * std::f64::consts::PI)).abs() < 1e-12;
             if !is_identity {
@@ -82,8 +103,14 @@ pub fn fuse_single_qubit_runs(input: &Circuit) -> Circuit {
                 let q = instr.qubits[0];
                 let m = instr.gate.matrix1().expect("1q unitary has matrix");
                 pending[q] = Some(match pending[q] {
-                    Some(acc) => matmul2(&m, &acc), // later gate multiplies on the left
-                    None => m,
+                    Some(run) => PendingRun {
+                        matrix: matmul2(&m, &run.matrix), // later gate multiplies on the left
+                        lone_u: None,
+                    },
+                    None => PendingRun {
+                        matrix: m,
+                        lone_u: matches!(instr.gate, Gate::U(..)).then_some(instr.gate),
+                    },
                 });
             }
             _ => {

@@ -16,6 +16,14 @@
 //! operations that must be inserted to match the program connectivity
 //! quickly deteriorate performance").
 //!
+//! Since the pass-manager refactor the pipeline is *data*: each stage is a
+//! [`Pass`] run over a shared [`PassContext`] (which owns the working
+//! circuit, the qubit [`Layout`] and a cache of circuit analyses), and
+//! named [`pipeline::PipelineSpec`]s — `closed-default`, `closed-stages`,
+//! `no-optimize`, ... — say which passes run in which order. The default
+//! `closed-default` pipeline reproduces the historical hard-coded sequence
+//! bit-identically.
+//!
 //! # Example
 //!
 //! ```
@@ -36,10 +44,15 @@
 pub mod cancel;
 pub mod decompose;
 pub mod fuse;
+pub mod pass;
+pub mod passes;
+pub mod pipeline;
 pub mod placement;
 pub mod routing;
 pub mod transpiler;
 
+pub use pass::{run_pass, FixedPoint, Layout, Pass, PassContext, PassOutcome};
+pub use pipeline::{PassRegistry, PassSpec, PipelineId, PipelineSpec};
 pub use placement::PlacementStrategy;
 pub use routing::RouteError;
 pub use transpiler::{RoutingStrategy, TranspileError, TranspileResult, Transpiler, VerifyLevel};

@@ -1,0 +1,354 @@
+//! The concrete passes each legacy pipeline stage became.
+//!
+//! Every stage of the old hard-coded `Transpiler::run` sequence is a
+//! [`Pass`] here; the historical obs span names (`transpile.optimize`,
+//! `transpile.place`, ...) are preserved via [`Pass::span_name`], and the
+//! verify passes keep the historical stage labels (`"logical-optimize"`,
+//! `"route"`, `"decompose"`, `"optimize"`) in their
+//! [`TranspileError::Verification`] reports.
+
+use supermarq_circuit::{Depth, Interactions, TwoQubitGateCount};
+use supermarq_verify::{Context, Report, RoutingAudit, Verifier};
+
+use crate::cancel::cancel_adjacent_gates;
+use crate::decompose::decompose;
+use crate::fuse::fuse_single_qubit_runs;
+use crate::pass::{FixedPoint, Layout, Pass, PassContext, PassOutcome};
+use crate::placement::{place_on_device_with_graph, PlacementStrategy};
+use crate::routing::{route, route_with_lookahead};
+use crate::transpiler::{RoutingStrategy, TranspileError};
+
+/// Lookahead window for [`RoutingStrategy::Lookahead`] (unchanged from the
+/// pre-pass-manager pipeline).
+const LOOKAHEAD_WINDOW: usize = 8;
+
+/// Single-qubit fusion as a bare pass ([`FixedPoint`] member; no span of
+/// its own).
+pub struct FusePass;
+
+impl Pass for FusePass {
+    fn name(&self) -> &'static str {
+        "fuse"
+    }
+    fn span_name(&self) -> &'static str {
+        "transpile.fuse"
+    }
+    fn run(&self, ctx: &mut PassContext<'_>) -> Result<PassOutcome, TranspileError> {
+        let fused = fuse_single_qubit_runs(ctx.circuit());
+        if fused == *ctx.circuit() {
+            Ok(PassOutcome::Unchanged)
+        } else {
+            ctx.set_circuit(fused);
+            Ok(PassOutcome::Mutated)
+        }
+    }
+}
+
+/// Adjacent-gate cancellation as a bare pass ([`FixedPoint`] member).
+pub struct CancelPass;
+
+impl Pass for CancelPass {
+    fn name(&self) -> &'static str {
+        "cancel"
+    }
+    fn span_name(&self) -> &'static str {
+        "transpile.cancel"
+    }
+    fn run(&self, ctx: &mut PassContext<'_>) -> Result<PassOutcome, TranspileError> {
+        let cancelled = cancel_adjacent_gates(ctx.circuit());
+        if cancelled == *ctx.circuit() {
+            Ok(PassOutcome::Unchanged)
+        } else {
+            ctx.set_circuit(cancelled);
+            Ok(PassOutcome::Mutated)
+        }
+    }
+}
+
+/// Runs one fuse + cancel round through the [`FixedPoint`] combinator and
+/// notes the round count.
+///
+/// The round cap is pinned to 1 — exactly the legacy
+/// `cancel(fuse(circuit))` sequence — because running to quiescence is
+/// *not* output-preserving: cancellation can delete a two-qubit pair and
+/// leave two fused `U` gates newly adjacent, which a second fuse round
+/// would merge. The equivalence suite freezes the paper pipelines to the
+/// historical single-round output; pipelines that want the deeper
+/// optimization can build their own [`FixedPoint`] with a higher cap.
+fn optimize_to_fixed_point(ctx: &mut PassContext<'_>) -> Result<PassOutcome, TranspileError> {
+    let loop_ = FixedPoint::new(vec![Box::new(FusePass), Box::new(CancelPass)]).with_max_rounds(1);
+    let (outcome, rounds) = loop_.run(ctx)?;
+    ctx.note("rounds", rounds);
+    Ok(outcome)
+}
+
+/// Logical-level cleanup: one fuse + cancel round (see
+/// [`optimize_to_fixed_point`] for why it is a single round).
+pub struct OptimizeLogicalPass;
+
+impl Pass for OptimizeLogicalPass {
+    fn name(&self) -> &'static str {
+        "optimize-logical"
+    }
+    fn span_name(&self) -> &'static str {
+        "transpile.optimize"
+    }
+    fn run(&self, ctx: &mut PassContext<'_>) -> Result<PassOutcome, TranspileError> {
+        ctx.note("phase", "logical");
+        optimize_to_fixed_point(ctx)
+    }
+}
+
+/// Physical-level cleanup: one fuse + cancel round, then one decompose to
+/// lower the `U3` gates fusion introduced back to native single-qubit
+/// gates. The decompose stays *outside* the loop: its float jitter would
+/// keep a fixed point from ever quiescing.
+pub struct OptimizePhysicalPass;
+
+impl Pass for OptimizePhysicalPass {
+    fn name(&self) -> &'static str {
+        "optimize-physical"
+    }
+    fn span_name(&self) -> &'static str {
+        "transpile.optimize"
+    }
+    fn run(&self, ctx: &mut PassContext<'_>) -> Result<PassOutcome, TranspileError> {
+        ctx.note("phase", "physical");
+        let mut outcome = optimize_to_fixed_point(ctx)?;
+        let lowered = decompose(ctx.circuit(), ctx.device().gate_set());
+        if lowered != *ctx.circuit() {
+            ctx.set_circuit(lowered);
+            outcome = PassOutcome::Mutated;
+        }
+        Ok(outcome)
+    }
+}
+
+/// Initial placement: installs the program-to-physical [`Layout`].
+pub struct PlacePass {
+    pub strategy: PlacementStrategy,
+}
+
+impl Pass for PlacePass {
+    fn name(&self) -> &'static str {
+        "place"
+    }
+    fn span_name(&self) -> &'static str {
+        "transpile.place"
+    }
+    fn run(&self, ctx: &mut PassContext<'_>) -> Result<PassOutcome, TranspileError> {
+        ctx.note("qubits", ctx.circuit().num_qubits());
+        ctx.note("strategy", format!("{:?}", self.strategy));
+        let interactions = ctx.analysis::<Interactions>();
+        let mapping =
+            place_on_device_with_graph(ctx.circuit(), ctx.device(), self.strategy, &interactions);
+        let layout = Layout::from_placement(ctx.circuit(), mapping);
+        ctx.set_layout(layout);
+        Ok(PassOutcome::Unchanged)
+    }
+}
+
+/// SWAP-insertion routing: rewrites the circuit onto physical wires and
+/// updates the [`Layout`]'s `current` / `measured_on` tracking.
+pub struct RoutePass {
+    pub strategy: RoutingStrategy,
+}
+
+impl Pass for RoutePass {
+    fn name(&self) -> &'static str {
+        "route"
+    }
+    fn span_name(&self) -> &'static str {
+        "transpile.route"
+    }
+    fn run(&self, ctx: &mut PassContext<'_>) -> Result<PassOutcome, TranspileError> {
+        ctx.note("strategy", format!("{:?}", self.strategy));
+        if ctx.wants_route_snapshot() {
+            ctx.save_route_snapshot();
+        }
+        let mapping = ctx.layout().initial.clone();
+        let routed = match self.strategy {
+            RoutingStrategy::ShortestPath => {
+                route(ctx.circuit(), ctx.device().topology(), &mapping)?
+            }
+            RoutingStrategy::Lookahead => route_with_lookahead(
+                ctx.circuit(),
+                ctx.device().topology(),
+                &mapping,
+                LOOKAHEAD_WINDOW,
+            )?,
+        };
+        ctx.note("swaps_added", routed.swap_count);
+        ctx.add_swaps(routed.swap_count);
+        ctx.set_layout(Layout {
+            initial: routed.initial_mapping,
+            current: routed.final_mapping,
+            measured_on: routed.measured_on,
+        });
+        ctx.set_circuit(routed.circuit);
+        Ok(PassOutcome::Mutated)
+    }
+}
+
+/// Native-gate lowering (also decomposes routing's inserted SWAPs).
+pub struct DecomposePass;
+
+impl Pass for DecomposePass {
+    fn name(&self) -> &'static str {
+        "decompose"
+    }
+    fn span_name(&self) -> &'static str {
+        "transpile.decompose"
+    }
+    fn run(&self, ctx: &mut PassContext<'_>) -> Result<PassOutcome, TranspileError> {
+        let native = decompose(ctx.circuit(), ctx.device().gate_set());
+        if native == *ctx.circuit() {
+            Ok(PassOutcome::Unchanged)
+        } else {
+            ctx.set_circuit(native);
+            Ok(PassOutcome::Mutated)
+        }
+    }
+}
+
+/// Final bookkeeping: ASAP-schedules the circuit and reports its depth and
+/// two-qubit gate count. Both analyses land in the shared [`PropertySet`],
+/// so building the `TranspileResult` afterwards recomputes nothing.
+///
+/// [`PropertySet`]: supermarq_circuit::PropertySet
+pub struct SchedulePass;
+
+impl Pass for SchedulePass {
+    fn name(&self) -> &'static str {
+        "schedule"
+    }
+    fn span_name(&self) -> &'static str {
+        "transpile.schedule"
+    }
+    fn run(&self, ctx: &mut PassContext<'_>) -> Result<PassOutcome, TranspileError> {
+        let depth = *ctx.analysis::<Depth>();
+        let two_qubit_gates = *ctx.analysis::<TwoQubitGateCount>();
+        ctx.note("depth", depth);
+        ctx.note("two_qubit_gates", two_qubit_gates);
+        Ok(PassOutcome::Unchanged)
+    }
+}
+
+/// Shared verify-pass epilogue: error-grade findings abort the pipeline
+/// with the pass's historical stage label; everything else accumulates on
+/// the context.
+fn finish_verify(
+    ctx: &mut PassContext<'_>,
+    stage: &'static str,
+    report: Report,
+) -> Result<PassOutcome, TranspileError> {
+    if report.has_errors() {
+        return Err(TranspileError::Verification {
+            stage,
+            diagnostics: report.diagnostics,
+        });
+    }
+    ctx.note("diagnostics", report.diagnostics.len());
+    ctx.extend_diagnostics(report.diagnostics);
+    Ok(PassOutcome::Unchanged)
+}
+
+/// Structural verification of the logical circuit (stage
+/// `"logical-optimize"`). Device conformance does not apply yet.
+pub struct VerifyLogicalPass;
+
+impl Pass for VerifyLogicalPass {
+    fn name(&self) -> &'static str {
+        "verify-logical"
+    }
+    fn span_name(&self) -> &'static str {
+        "transpile.verify"
+    }
+    fn run(&self, ctx: &mut PassContext<'_>) -> Result<PassOutcome, TranspileError> {
+        ctx.note("stage", "logical-optimize");
+        let report = Verifier::structural().verify(&Context::bare(ctx.circuit()));
+        finish_verify(ctx, "logical-optimize", report)
+    }
+}
+
+/// Post-routing verification (stage `"route"`): coupling-map conformance
+/// plus the Closed-Division audit of the router's output against the
+/// pre-route snapshot. Native-gate conformance does not apply yet.
+pub struct VerifyRoutedPass;
+
+impl Pass for VerifyRoutedPass {
+    fn name(&self) -> &'static str {
+        "verify-routed"
+    }
+    fn span_name(&self) -> &'static str {
+        "transpile.verify"
+    }
+    fn run(&self, ctx: &mut PassContext<'_>) -> Result<PassOutcome, TranspileError> {
+        ctx.note("stage", "route");
+        let report = match ctx.route_snapshot() {
+            Some(logical) => {
+                let layout = ctx.layout();
+                let audit = RoutingAudit::new(
+                    logical,
+                    ctx.circuit(),
+                    &layout.initial,
+                    &layout.current,
+                    ctx.swap_count(),
+                );
+                let vctx = Context {
+                    circuit: ctx.circuit(),
+                    device: Some(ctx.device()),
+                    routing: Some(&audit),
+                };
+                Verifier::post_routing().verify(&vctx)
+            }
+            // No snapshot (a pipeline without a route pass upstream):
+            // device-conformance checks still apply, the audit does not.
+            None => {
+                let vctx = Context {
+                    circuit: ctx.circuit(),
+                    device: Some(ctx.device()),
+                    routing: None,
+                };
+                Verifier::post_routing().verify(&vctx)
+            }
+        };
+        finish_verify(ctx, "route", report)
+    }
+}
+
+/// Full verification of the freshly decomposed circuit (stage
+/// `"decompose"`).
+pub struct VerifyNativePass;
+
+impl Pass for VerifyNativePass {
+    fn name(&self) -> &'static str {
+        "verify-native"
+    }
+    fn span_name(&self) -> &'static str {
+        "transpile.verify"
+    }
+    fn run(&self, ctx: &mut PassContext<'_>) -> Result<PassOutcome, TranspileError> {
+        ctx.note("stage", "decompose");
+        let report = Verifier::all().verify(&Context::on_device(ctx.circuit(), ctx.device()));
+        finish_verify(ctx, "decompose", report)
+    }
+}
+
+/// Full verification of the final circuit (stage `"optimize"`) — the
+/// release-mode replacement for the old output `debug_assert!`.
+pub struct VerifyFinalPass;
+
+impl Pass for VerifyFinalPass {
+    fn name(&self) -> &'static str {
+        "verify-final"
+    }
+    fn span_name(&self) -> &'static str {
+        "transpile.verify"
+    }
+    fn run(&self, ctx: &mut PassContext<'_>) -> Result<PassOutcome, TranspileError> {
+        ctx.note("stage", "optimize");
+        let report = Verifier::all().verify(&Context::on_device(ctx.circuit(), ctx.device()));
+        finish_verify(ctx, "optimize", report)
+    }
+}

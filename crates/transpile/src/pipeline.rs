@@ -1,0 +1,455 @@
+//! Named, serializable pipelines: [`PassSpec`], [`PipelineSpec`],
+//! [`PipelineId`] and the [`PassRegistry`].
+//!
+//! A pipeline is *data*: an ordered list of [`PassSpec`]s under a stable
+//! name. The name is what downstream layers hash — the content-addressed
+//! run store folds it into cache keys, the CLI accepts it via
+//! `--pipeline`, and `transpile passes` lists every registered pipeline —
+//! so two runs differing only in pipeline never collide in the store.
+
+use crate::pass::Pass;
+use crate::passes::{
+    DecomposePass, OptimizeLogicalPass, OptimizePhysicalPass, PlacePass, RoutePass, SchedulePass,
+    VerifyFinalPass, VerifyLogicalPass, VerifyNativePass, VerifyRoutedPass,
+};
+use crate::placement::PlacementStrategy;
+use crate::transpiler::{RoutingStrategy, VerifyLevel};
+
+/// One pass slot in a pipeline, as pure data.
+///
+/// Strategy-dependent passes (place, route) read their strategy from the
+/// [`Transpiler`](crate::Transpiler) at instantiation time, so the same
+/// `PassSpec` list serves every placement/routing configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PassSpec {
+    /// Logical fuse + cancel (one round, matching the legacy sequence).
+    OptimizeLogical,
+    /// Structural checks on the logical circuit (stage `logical-optimize`).
+    VerifyLogical,
+    /// Initial program-to-physical placement.
+    Place,
+    /// SWAP-insertion routing.
+    Route,
+    /// Coupling-map conformance + Closed-Division routing audit (stage
+    /// `route`).
+    VerifyRouted,
+    /// Native-gate lowering.
+    Decompose,
+    /// Full checks on the freshly decomposed circuit (stage `decompose`).
+    VerifyNative,
+    /// Physical fuse + cancel (one round), then re-lowering.
+    OptimizePhysical,
+    /// Full checks on the final circuit (stage `optimize`).
+    VerifyFinal,
+    /// ASAP scheduling: records depth and two-qubit gate count.
+    Schedule,
+}
+
+impl PassSpec {
+    /// Every pass, in canonical pipeline order.
+    pub const ALL: [PassSpec; 10] = [
+        PassSpec::OptimizeLogical,
+        PassSpec::VerifyLogical,
+        PassSpec::Place,
+        PassSpec::Route,
+        PassSpec::VerifyRouted,
+        PassSpec::Decompose,
+        PassSpec::VerifyNative,
+        PassSpec::OptimizePhysical,
+        PassSpec::VerifyFinal,
+        PassSpec::Schedule,
+    ];
+
+    /// Stable kebab-case identifier (the serialized form).
+    pub fn id(self) -> &'static str {
+        match self {
+            PassSpec::OptimizeLogical => "optimize-logical",
+            PassSpec::VerifyLogical => "verify-logical",
+            PassSpec::Place => "place",
+            PassSpec::Route => "route",
+            PassSpec::VerifyRouted => "verify-routed",
+            PassSpec::Decompose => "decompose",
+            PassSpec::VerifyNative => "verify-native",
+            PassSpec::OptimizePhysical => "optimize-physical",
+            PassSpec::VerifyFinal => "verify-final",
+            PassSpec::Schedule => "schedule",
+        }
+    }
+
+    /// One-line description for `transpile passes`.
+    pub fn describe(self) -> &'static str {
+        match self {
+            PassSpec::OptimizeLogical => "logical single-qubit fusion + adjacent-gate cancellation",
+            PassSpec::VerifyLogical => "structural checks on the logical circuit",
+            PassSpec::Place => "initial program-to-physical placement",
+            PassSpec::Route => "SWAP-insertion routing onto the coupling map",
+            PassSpec::VerifyRouted => "coupling-map checks + Closed-Division routing audit",
+            PassSpec::Decompose => "lowering to the device's native gate set",
+            PassSpec::VerifyNative => "full checks on the freshly decomposed circuit",
+            PassSpec::OptimizePhysical => "physical fusion + cancellation, re-lowered to native",
+            PassSpec::VerifyFinal => "full checks on the final circuit",
+            PassSpec::Schedule => "ASAP scheduling: depth and two-qubit gate count",
+        }
+    }
+
+    /// Parses a serialized pass id.
+    pub fn parse(s: &str) -> Option<PassSpec> {
+        PassSpec::ALL.into_iter().find(|p| p.id() == s)
+    }
+
+    /// Instantiates the pass, binding the strategy-dependent slots.
+    pub fn instantiate(
+        self,
+        placement: PlacementStrategy,
+        routing: RoutingStrategy,
+    ) -> Box<dyn Pass> {
+        match self {
+            PassSpec::OptimizeLogical => Box::new(OptimizeLogicalPass),
+            PassSpec::VerifyLogical => Box::new(VerifyLogicalPass),
+            PassSpec::Place => Box::new(PlacePass {
+                strategy: placement,
+            }),
+            PassSpec::Route => Box::new(RoutePass { strategy: routing }),
+            PassSpec::VerifyRouted => Box::new(VerifyRoutedPass),
+            PassSpec::Decompose => Box::new(DecomposePass),
+            PassSpec::VerifyNative => Box::new(VerifyNativePass),
+            PassSpec::OptimizePhysical => Box::new(OptimizePhysicalPass),
+            PassSpec::VerifyFinal => Box::new(VerifyFinalPass),
+            PassSpec::Schedule => Box::new(SchedulePass),
+        }
+    }
+}
+
+/// A named, ordered list of passes — the serializable unit the registry
+/// stores and cache keys reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineSpec {
+    name: String,
+    passes: Vec<PassSpec>,
+}
+
+impl PipelineSpec {
+    /// A pipeline named `name` running `passes` in order.
+    pub fn new(name: impl Into<String>, passes: Vec<PassSpec>) -> PipelineSpec {
+        PipelineSpec {
+            name: name.into(),
+            passes,
+        }
+    }
+
+    /// The registry / cache-key name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The passes, in execution order.
+    pub fn passes(&self) -> &[PassSpec] {
+        &self.passes
+    }
+
+    /// The serialized pass ids, in execution order.
+    pub fn pass_ids(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.id()).collect()
+    }
+
+    /// Whether the route pass must snapshot its input for a downstream
+    /// audit pass.
+    pub fn needs_route_snapshot(&self) -> bool {
+        self.passes.contains(&PassSpec::VerifyRouted)
+    }
+
+    /// Serializes to the canonical `name: pass pass ...` line.
+    pub fn render(&self) -> String {
+        format!("{}: {}", self.name, self.pass_ids().join(" "))
+    }
+
+    /// Parses the [`render`](Self::render) form. Returns `None` on a
+    /// missing name or an unknown pass id.
+    pub fn parse(s: &str) -> Option<PipelineSpec> {
+        let (name, rest) = s.split_once(':')?;
+        let name = name.trim();
+        if name.is_empty() {
+            return None;
+        }
+        let passes: Option<Vec<PassSpec>> = rest.split_whitespace().map(PassSpec::parse).collect();
+        Some(PipelineSpec::new(name, passes?))
+    }
+}
+
+/// The built-in pipelines, one per historical `(optimize, verify)`
+/// configuration. `closed-default` reproduces the pre-pass-manager
+/// pipeline bit-identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PipelineId {
+    /// Optimizations on, final-output verification — the default.
+    #[default]
+    ClosedDefault,
+    /// Optimizations on, verification interleaved after every stage.
+    ClosedStages,
+    /// Optimizations on, no verification.
+    ClosedUnverified,
+    /// No optimization passes, final-output verification.
+    NoOptimize,
+    /// No optimization passes, per-stage verification.
+    NoOptimizeStages,
+    /// No optimization passes, no verification.
+    NoOptimizeUnverified,
+}
+
+impl PipelineId {
+    /// Every built-in pipeline.
+    pub const ALL: [PipelineId; 6] = [
+        PipelineId::ClosedDefault,
+        PipelineId::ClosedStages,
+        PipelineId::ClosedUnverified,
+        PipelineId::NoOptimize,
+        PipelineId::NoOptimizeStages,
+        PipelineId::NoOptimizeUnverified,
+    ];
+
+    /// The stable name — what `--pipeline` accepts and the run store
+    /// hashes.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PipelineId::ClosedDefault => "closed-default",
+            PipelineId::ClosedStages => "closed-stages",
+            PipelineId::ClosedUnverified => "closed-unverified",
+            PipelineId::NoOptimize => "no-optimize",
+            PipelineId::NoOptimizeStages => "no-optimize-stages",
+            PipelineId::NoOptimizeUnverified => "no-optimize-unverified",
+        }
+    }
+
+    /// Parses a pipeline name.
+    pub fn parse(s: &str) -> Option<PipelineId> {
+        PipelineId::ALL.into_iter().find(|p| p.as_str() == s)
+    }
+
+    /// The pipeline matching the historical `(optimize, verify)` transpiler
+    /// flags.
+    pub fn from_flags(optimize: bool, verify: VerifyLevel) -> PipelineId {
+        match (optimize, verify) {
+            (true, VerifyLevel::Final) => PipelineId::ClosedDefault,
+            (true, VerifyLevel::Stages) => PipelineId::ClosedStages,
+            (true, VerifyLevel::Off) => PipelineId::ClosedUnverified,
+            (false, VerifyLevel::Final) => PipelineId::NoOptimize,
+            (false, VerifyLevel::Stages) => PipelineId::NoOptimizeStages,
+            (false, VerifyLevel::Off) => PipelineId::NoOptimizeUnverified,
+        }
+    }
+
+    /// The pass list this id names. `*-stages` variants are the base
+    /// pipeline with verify passes spliced in — per-stage verification is
+    /// ordinary pipeline composition, not a special case.
+    pub fn spec(self) -> PipelineSpec {
+        use PassSpec::*;
+        let passes = match self {
+            PipelineId::ClosedDefault => vec![
+                OptimizeLogical,
+                Place,
+                Route,
+                Decompose,
+                OptimizePhysical,
+                VerifyFinal,
+                Schedule,
+            ],
+            PipelineId::ClosedStages => vec![
+                OptimizeLogical,
+                VerifyLogical,
+                Place,
+                Route,
+                VerifyRouted,
+                Decompose,
+                VerifyNative,
+                OptimizePhysical,
+                VerifyFinal,
+                Schedule,
+            ],
+            PipelineId::ClosedUnverified => vec![
+                OptimizeLogical,
+                Place,
+                Route,
+                Decompose,
+                OptimizePhysical,
+                Schedule,
+            ],
+            PipelineId::NoOptimize => vec![Place, Route, Decompose, VerifyFinal, Schedule],
+            PipelineId::NoOptimizeStages => vec![
+                VerifyLogical,
+                Place,
+                Route,
+                VerifyRouted,
+                Decompose,
+                VerifyNative,
+                VerifyFinal,
+                Schedule,
+            ],
+            PipelineId::NoOptimizeUnverified => vec![Place, Route, Decompose, Schedule],
+        };
+        PipelineSpec::new(self.as_str(), passes)
+    }
+}
+
+impl std::fmt::Display for PipelineId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Registry of named pipelines. Seeds with the six built-ins; custom
+/// pipelines can be registered on top (same name replaces).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassRegistry {
+    pipelines: Vec<PipelineSpec>,
+}
+
+impl PassRegistry {
+    /// The registry holding every [`PipelineId`] built-in.
+    pub fn builtin() -> PassRegistry {
+        PassRegistry {
+            pipelines: PipelineId::ALL.iter().map(|id| id.spec()).collect(),
+        }
+    }
+
+    /// Looks a pipeline up by name.
+    pub fn get(&self, name: &str) -> Option<&PipelineSpec> {
+        self.pipelines.iter().find(|p| p.name() == name)
+    }
+
+    /// Registered pipeline names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.pipelines.iter().map(|p| p.name()).collect()
+    }
+
+    /// Registered pipelines, in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &PipelineSpec> {
+        self.pipelines.iter()
+    }
+
+    /// Adds (or replaces, by name) a pipeline.
+    pub fn register(&mut self, spec: PipelineSpec) {
+        if let Some(existing) = self.pipelines.iter_mut().find(|p| p.name() == spec.name()) {
+            *existing = spec;
+        } else {
+            self.pipelines.push(spec);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pass_ids_round_trip() {
+        for pass in PassSpec::ALL {
+            assert_eq!(PassSpec::parse(pass.id()), Some(pass));
+        }
+        assert_eq!(PassSpec::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn pipeline_ids_round_trip() {
+        for id in PipelineId::ALL {
+            assert_eq!(PipelineId::parse(id.as_str()), Some(id));
+            assert_eq!(id.to_string(), id.as_str());
+        }
+        assert_eq!(PipelineId::parse("open-default"), None);
+    }
+
+    #[test]
+    fn from_flags_covers_every_configuration() {
+        use crate::transpiler::VerifyLevel::*;
+        assert_eq!(
+            PipelineId::from_flags(true, Final),
+            PipelineId::ClosedDefault
+        );
+        assert_eq!(
+            PipelineId::from_flags(true, Stages),
+            PipelineId::ClosedStages
+        );
+        assert_eq!(
+            PipelineId::from_flags(true, Off),
+            PipelineId::ClosedUnverified
+        );
+        assert_eq!(PipelineId::from_flags(false, Final), PipelineId::NoOptimize);
+        assert_eq!(
+            PipelineId::from_flags(false, Stages),
+            PipelineId::NoOptimizeStages
+        );
+        assert_eq!(
+            PipelineId::from_flags(false, Off),
+            PipelineId::NoOptimizeUnverified
+        );
+    }
+
+    #[test]
+    fn stages_is_default_with_verify_passes_spliced_in() {
+        // The acceptance criterion: per-stage verification is pipeline
+        // composition. Removing the verify passes from closed-stages must
+        // yield exactly closed-default minus its final verify.
+        let stages: Vec<PassSpec> = PipelineId::ClosedStages
+            .spec()
+            .passes()
+            .iter()
+            .copied()
+            .filter(|p| {
+                !matches!(
+                    p,
+                    PassSpec::VerifyLogical | PassSpec::VerifyRouted | PassSpec::VerifyNative
+                )
+            })
+            .collect();
+        assert_eq!(stages, PipelineId::ClosedDefault.spec().passes());
+    }
+
+    #[test]
+    fn spec_serialization_round_trips() {
+        for id in PipelineId::ALL {
+            let spec = id.spec();
+            let parsed = PipelineSpec::parse(&spec.render()).unwrap();
+            assert_eq!(parsed, spec);
+        }
+        assert_eq!(PipelineSpec::parse("no-colon"), None);
+        assert_eq!(PipelineSpec::parse("name: bogus-pass"), None);
+        assert_eq!(PipelineSpec::parse(": place route"), None);
+    }
+
+    #[test]
+    fn snapshot_is_requested_exactly_when_audited() {
+        for id in PipelineId::ALL {
+            let spec = id.spec();
+            assert_eq!(
+                spec.needs_route_snapshot(),
+                matches!(id, PipelineId::ClosedStages | PipelineId::NoOptimizeStages),
+                "{id}"
+            );
+        }
+    }
+
+    #[test]
+    fn registry_finds_builtins_and_replaces_by_name() {
+        let mut registry = PassRegistry::builtin();
+        assert_eq!(registry.names().len(), 6);
+        assert!(registry.get("closed-default").is_some());
+        assert!(registry.get("bogus").is_none());
+        let custom = PipelineSpec::new("closed-default", vec![PassSpec::Place, PassSpec::Route]);
+        registry.register(custom.clone());
+        assert_eq!(registry.names().len(), 6);
+        assert_eq!(registry.get("closed-default"), Some(&custom));
+        registry.register(PipelineSpec::new("mine", vec![PassSpec::Schedule]));
+        assert_eq!(registry.names().len(), 7);
+    }
+
+    #[test]
+    fn every_pass_instantiates_with_matching_name() {
+        for pass in PassSpec::ALL {
+            let boxed = pass.instantiate(
+                crate::placement::PlacementStrategy::Greedy,
+                crate::transpiler::RoutingStrategy::ShortestPath,
+            );
+            assert_eq!(boxed.name(), pass.id());
+            assert!(boxed.span_name().starts_with("transpile."));
+        }
+    }
+}

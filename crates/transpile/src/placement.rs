@@ -34,10 +34,11 @@ pub fn place(circuit: &Circuit, topology: &Topology, strategy: PlacementStrategy
         n_prog <= n_phys,
         "circuit needs {n_prog} qubits but device has only {n_phys}"
     );
+    let interactions = InteractionGraph::of(circuit);
     match strategy {
         PlacementStrategy::Trivial => (0..n_prog).collect(),
         PlacementStrategy::Greedy | PlacementStrategy::NoiseAware => {
-            greedy_place(circuit, topology, None)
+            greedy_place(circuit, topology, None, &interactions)
         }
     }
 }
@@ -53,6 +54,25 @@ pub fn place_on_device(
     device: &Device,
     strategy: PlacementStrategy,
 ) -> Vec<usize> {
+    let interactions = InteractionGraph::of(circuit);
+    place_on_device_with_graph(circuit, device, strategy, &interactions)
+}
+
+/// Like [`place_on_device`], but consumes a precomputed [`InteractionGraph`]
+/// instead of re-deriving it from the circuit — the pass-manager entry
+/// point, where the graph comes from the shared analysis `PropertySet`.
+/// Results are identical to [`place_on_device`] given the circuit's own
+/// graph.
+///
+/// # Panics
+///
+/// Panics if the circuit needs more qubits than the device has.
+pub fn place_on_device_with_graph(
+    circuit: &Circuit,
+    device: &Device,
+    strategy: PlacementStrategy,
+    interactions: &InteractionGraph,
+) -> Vec<usize> {
     let n_prog = circuit.num_qubits();
     let n_phys = device.num_qubits();
     assert!(
@@ -61,15 +81,21 @@ pub fn place_on_device(
     );
     match strategy {
         PlacementStrategy::Trivial => (0..n_prog).collect(),
-        PlacementStrategy::Greedy => greedy_place(circuit, device.topology(), None),
-        PlacementStrategy::NoiseAware => greedy_place(circuit, device.topology(), Some(device)),
+        PlacementStrategy::Greedy => greedy_place(circuit, device.topology(), None, interactions),
+        PlacementStrategy::NoiseAware => {
+            greedy_place(circuit, device.topology(), Some(device), interactions)
+        }
     }
 }
 
-fn greedy_place(circuit: &Circuit, topology: &Topology, device: Option<&Device>) -> Vec<usize> {
+fn greedy_place(
+    circuit: &Circuit,
+    topology: &Topology,
+    device: Option<&Device>,
+    interactions: &InteractionGraph,
+) -> Vec<usize> {
     let n_prog = circuit.num_qubits();
     let n_phys = topology.num_qubits();
-    let interactions = InteractionGraph::of(circuit);
     // Program qubit order: descending interaction degree, BFS from the
     // heaviest so consecutive placements are connected when possible.
     let mut order: Vec<usize> = Vec::with_capacity(n_prog);

@@ -95,27 +95,13 @@ impl RoutedCircuit {
     /// Relabels a physical-qubit outcome mask into program-qubit order
     /// using the recorded measurement locations.
     pub fn relabel_bits(&self, physical_bits: u64) -> u64 {
-        let mut out = 0u64;
-        for (prog, &phys) in self.measured_on.iter().enumerate() {
-            if let Some(p) = phys {
-                if physical_bits >> p & 1 == 1 {
-                    out |= 1 << prog;
-                }
-            }
-        }
-        out
+        crate::pass::relabel_bits(&self.measured_on, physical_bits)
     }
 
     /// Relabels a whole histogram of physical outcomes into program-qubit
     /// order.
     pub fn relabel_counts(&self, counts: &supermarq_sim::Counts) -> supermarq_sim::Counts {
-        let mut out = supermarq_sim::Counts::new(self.measured_on.len());
-        for (bits, count) in counts.iter() {
-            for _ in 0..count {
-                out.record(self.relabel_bits(bits));
-            }
-        }
-        out
+        crate::pass::relabel_counts(&self.measured_on, counts)
     }
 }
 

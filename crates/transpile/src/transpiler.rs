@@ -1,15 +1,14 @@
-//! The end-to-end transpilation pipeline.
+//! The end-to-end transpilation pipeline, as a pass-manager run.
 
-use supermarq_circuit::Circuit;
+use supermarq_circuit::{Circuit, Depth, TwoQubitGateCount};
 use supermarq_device::Device;
 use supermarq_obs::Span;
-use supermarq_verify::{Context, Diagnostic, Report, RoutingAudit, Verifier};
+use supermarq_verify::Diagnostic;
 
-use crate::cancel::cancel_adjacent_gates;
-use crate::decompose::decompose;
-use crate::fuse::fuse_single_qubit_runs;
-use crate::placement::{place_on_device, PlacementStrategy};
-use crate::routing::{route, route_with_lookahead, RouteError, RoutedCircuit};
+use crate::pass::{run_pass, PassContext};
+use crate::pipeline::{PipelineId, PipelineSpec};
+use crate::placement::PlacementStrategy;
+use crate::routing::RouteError;
 
 /// Errors from transpilation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,6 +64,10 @@ impl From<RouteError> for TranspileError {
 }
 
 /// How much static verification [`Transpiler::run`] performs.
+///
+/// Under the pass manager this is no longer a special-cased mode: together
+/// with the optimize flag it merely selects which built-in [`PipelineId`]
+/// runs (`Stages` splices verify passes between the stages).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum VerifyLevel {
     /// No verification (fastest; trust the pipeline).
@@ -93,7 +96,7 @@ pub struct TranspileResult {
     /// Two-qubit gate count of the final native circuit.
     pub two_qubit_gates: usize,
     /// ASAP-schedule depth of the final native circuit (computed by the
-    /// pipeline's schedule stage).
+    /// pipeline's schedule pass).
     pub depth: usize,
     /// For each program qubit, where its last measurement landed.
     pub measured_on: Vec<Option<usize>>,
@@ -102,19 +105,44 @@ pub struct TranspileResult {
 impl TranspileResult {
     /// Relabels a physical-outcome histogram into program-qubit order.
     pub fn relabel_counts(&self, counts: &supermarq_sim::Counts) -> supermarq_sim::Counts {
-        let helper = RoutedCircuit {
-            circuit: Circuit::new(0),
-            initial_mapping: self.initial_mapping.clone(),
-            final_mapping: self.final_mapping.clone(),
-            swap_count: self.swap_count,
-            measured_on: self.measured_on.clone(),
-        };
-        helper.relabel_counts(counts)
+        crate::pass::relabel_counts(&self.measured_on, counts)
+    }
+
+    /// Builds the result from a finished pipeline context. Depth, gate
+    /// counts and mappings come straight out of the context's cached
+    /// analyses and [`Layout`](crate::pass::Layout) — nothing is
+    /// recomputed when the schedule pass already ran.
+    fn from_context(ctx: PassContext<'_>) -> TranspileResult {
+        let depth = *ctx.analysis::<Depth>();
+        let two_qubit_gates = *ctx.analysis::<TwoQubitGateCount>();
+        let (circuit, layout, swap_count) = ctx.into_parts();
+        TranspileResult {
+            circuit,
+            initial_mapping: layout.initial,
+            final_mapping: layout.current,
+            swap_count,
+            two_qubit_gates,
+            depth,
+            measured_on: layout.measured_on,
+        }
     }
 }
 
+/// SWAP-routing algorithm selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingStrategy {
+    /// Walk each blocked gate's operands together along a shortest coupler
+    /// path.
+    #[default]
+    ShortestPath,
+    /// SABRE-style lookahead: score candidate SWAPs against a discounted
+    /// window of upcoming two-qubit gates.
+    Lookahead,
+}
+
 /// The Closed-Division transpiler: placement, routing, native
-/// decomposition, fusion and cancellation.
+/// decomposition, fusion and cancellation, run as a named pipeline of
+/// [`Pass`](crate::pass::Pass)es.
 ///
 /// # Example
 ///
@@ -128,18 +156,6 @@ impl TranspileResult {
 /// let r = Transpiler::for_device(&Device::ionq()).run(&c).unwrap();
 /// assert_eq!(r.swap_count, 0); // all-to-all device never swaps
 /// ```
-/// SWAP-routing algorithm selection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum RoutingStrategy {
-    /// Walk each blocked gate's operands together along a shortest coupler
-    /// path.
-    #[default]
-    ShortestPath,
-    /// SABRE-style lookahead: score candidate SWAPs against a discounted
-    /// window of upcoming two-qubit gates.
-    Lookahead,
-}
-
 #[derive(Debug, Clone)]
 pub struct Transpiler {
     device: Device,
@@ -147,6 +163,7 @@ pub struct Transpiler {
     routing: RoutingStrategy,
     optimize: bool,
     verify: VerifyLevel,
+    pipeline: Option<PipelineId>,
 }
 
 impl Transpiler {
@@ -159,6 +176,7 @@ impl Transpiler {
             routing: RoutingStrategy::default(),
             optimize: true,
             verify: VerifyLevel::default(),
+            pipeline: None,
         }
     }
 
@@ -175,16 +193,33 @@ impl Transpiler {
     }
 
     /// Enables or disables the fusion/cancellation passes (used by the
-    /// ablation benches).
+    /// ablation benches). Ignored when [`with_pipeline`](Self::with_pipeline)
+    /// set an explicit pipeline.
     pub fn with_optimization(mut self, optimize: bool) -> Self {
         self.optimize = optimize;
         self
     }
 
-    /// Selects how much static verification the pipeline performs.
+    /// Selects how much static verification the pipeline performs. Ignored
+    /// when [`with_pipeline`](Self::with_pipeline) set an explicit pipeline.
     pub fn with_verify(mut self, verify: VerifyLevel) -> Self {
         self.verify = verify;
         self
+    }
+
+    /// Pins an explicit built-in pipeline, overriding the
+    /// optimize/verify flags.
+    pub fn with_pipeline(mut self, pipeline: PipelineId) -> Self {
+        self.pipeline = Some(pipeline);
+        self
+    }
+
+    /// The pipeline [`run`](Self::run) will execute: the explicit
+    /// [`with_pipeline`](Self::with_pipeline) choice if set, otherwise the
+    /// one matching the optimize/verify flags.
+    pub fn pipeline_id(&self) -> PipelineId {
+        self.pipeline
+            .unwrap_or_else(|| PipelineId::from_flags(self.optimize, self.verify))
     }
 
     /// Runs the full pipeline on a logical circuit.
@@ -193,10 +228,36 @@ impl Transpiler {
     ///
     /// Returns [`TranspileError::TooManyQubits`] when the circuit does not
     /// fit on the device, [`TranspileError::Routing`] when no legal SWAP
-    /// schedule exists, and [`TranspileError::Verification`] when the
-    /// configured [`VerifyLevel`] finds error-grade diagnostics in a stage's
-    /// output.
+    /// schedule exists, and [`TranspileError::Verification`] when a verify
+    /// pass in the selected pipeline finds error-grade diagnostics.
     pub fn run(&self, circuit: &Circuit) -> Result<TranspileResult, TranspileError> {
+        Ok(TranspileResult::from_context(
+            self.run_with_context(circuit)?,
+        ))
+    }
+
+    /// Like [`run`](Self::run), but returns the finished [`PassContext`]
+    /// so callers (tests, analyses) can inspect the final layout,
+    /// accumulated diagnostics and cached analyses.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_with_context(&self, circuit: &Circuit) -> Result<PassContext<'_>, TranspileError> {
+        self.run_pipeline(&self.pipeline_id().spec(), circuit)
+    }
+
+    /// Runs an arbitrary [`PipelineSpec`] — the escape hatch for custom
+    /// pipelines outside the built-in registry.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_pipeline(
+        &self,
+        spec: &PipelineSpec,
+        circuit: &Circuit,
+    ) -> Result<PassContext<'_>, TranspileError> {
         let needed = circuit.num_qubits();
         let available = self.device.num_qubits();
         if needed > available {
@@ -204,125 +265,14 @@ impl Transpiler {
         }
         let mut run_span = Span::open("transpile.run").with("qubits", needed);
         run_span.record_with("device", || self.device.name().to_string());
-        // 1. Logical-level cleanup.
-        let logical = {
-            let mut span = Span::open("transpile.optimize").with("phase", "logical");
-            span.record_with("gates_in", || circuit.gate_count());
-            let logical = if self.optimize {
-                cancel_adjacent_gates(&fuse_single_qubit_runs(circuit))
-            } else {
-                circuit.clone()
-            };
-            span.record_with("gates_out", || logical.gate_count());
-            logical
-        };
-        if self.verify == VerifyLevel::Stages {
-            // Structural checks only: the circuit is still logical, so
-            // device conformance does not apply yet.
-            let report = Verifier::structural().verify(&Context::bare(&logical));
-            fail_on_errors("logical-optimize", report)?;
+        run_span.record_with("pipeline", || spec.name().to_string());
+        let mut ctx = PassContext::new(&self.device, circuit.clone(), spec.needs_route_snapshot());
+        for pass_spec in spec.passes() {
+            let pass = pass_spec.instantiate(self.placement, self.routing);
+            run_pass(pass.as_ref(), &mut ctx)?;
         }
-        // 2. Placement + routing.
-        let mapping = {
-            let mut span = Span::open("transpile.place").with("qubits", needed);
-            span.record_with("strategy", || format!("{:?}", self.placement));
-            place_on_device(&logical, &self.device, self.placement)
-        };
-        let routed = {
-            let mut span = Span::open("transpile.route");
-            span.record_with("strategy", || format!("{:?}", self.routing));
-            span.record_with("gates_in", || logical.gate_count());
-            let routed = match self.routing {
-                RoutingStrategy::ShortestPath => route(&logical, self.device.topology(), &mapping)?,
-                RoutingStrategy::Lookahead => {
-                    route_with_lookahead(&logical, self.device.topology(), &mapping, 8)?
-                }
-            };
-            span.record_with("gates_out", || routed.circuit.gate_count());
-            span.record("swaps_added", routed.swap_count);
-            routed
-        };
-        if self.verify == VerifyLevel::Stages {
-            // The routed circuit lives on physical wires: coupling-map
-            // conformance and the Closed-Division audit apply. Native-gate
-            // conformance does not (decomposition comes next).
-            let audit = RoutingAudit::new(
-                logical.clone(),
-                routed.circuit.clone(),
-                routed.initial_mapping.clone(),
-                routed.final_mapping.clone(),
-                routed.swap_count,
-            );
-            let ctx = Context {
-                circuit: &routed.circuit,
-                device: Some(&self.device),
-                routing: Some(&audit),
-            };
-            fail_on_errors("route", Verifier::post_routing().verify(&ctx))?;
-        }
-        // 3. Lower to the native gate set (also decomposes inserted SWAPs).
-        let native = {
-            let mut span = Span::open("transpile.decompose");
-            span.record_with("gates_in", || routed.circuit.gate_count());
-            let native = decompose(&routed.circuit, self.device.gate_set());
-            span.record_with("gates_out", || native.gate_count());
-            native
-        };
-        if self.verify == VerifyLevel::Stages {
-            let report = Verifier::all().verify(&Context::on_device(&native, &self.device));
-            fail_on_errors("decompose", report)?;
-        }
-        // 4. Physical-level cleanup.
-        let final_circuit = {
-            let mut span = Span::open("transpile.optimize").with("phase", "physical");
-            span.record_with("gates_in", || native.gate_count());
-            let final_circuit = if self.optimize {
-                let fused = fuse_single_qubit_runs(&native);
-                let cancelled = cancel_adjacent_gates(&fused);
-                // Fusion introduces U3 gates; lower them back to native 1q.
-                decompose(&cancelled, self.device.gate_set())
-            } else {
-                native
-            };
-            span.record_with("gates_out", || final_circuit.gate_count());
-            final_circuit
-        };
-        if self.verify != VerifyLevel::Off {
-            let report = Verifier::all().verify(&Context::on_device(&final_circuit, &self.device));
-            fail_on_errors("optimize", report)?;
-        }
-        // 5. Schedule: ASAP-layer the final circuit to report its depth.
-        let (two_qubit_gates, depth) = {
-            let mut span = Span::open("transpile.schedule");
-            let two_qubit_gates = final_circuit.two_qubit_gate_count();
-            let depth = final_circuit.depth();
-            span.record("depth", depth);
-            span.record("two_qubit_gates", two_qubit_gates);
-            (two_qubit_gates, depth)
-        };
-        run_span.record("swaps_added", routed.swap_count);
-        Ok(TranspileResult {
-            circuit: final_circuit,
-            initial_mapping: routed.initial_mapping,
-            final_mapping: routed.final_mapping,
-            swap_count: routed.swap_count,
-            two_qubit_gates,
-            depth,
-            measured_on: routed.measured_on,
-        })
-    }
-}
-
-/// Converts a [`Report`] with error-grade findings into a
-/// [`TranspileError::Verification`].
-fn fail_on_errors(stage: &'static str, report: Report) -> Result<(), TranspileError> {
-    if report.has_errors() {
-        Err(TranspileError::Verification {
-            stage,
-            diagnostics: report.diagnostics,
-        })
-    } else {
-        Ok(())
+        run_span.record("swaps_added", ctx.swap_count());
+        Ok(ctx)
     }
 }
 
@@ -593,5 +543,76 @@ mod tests {
             tv /= 2.0;
             assert!(tv < 0.05, "{}: tv={tv}", device.name());
         }
+    }
+
+    #[test]
+    fn pipeline_id_follows_flags_until_overridden() {
+        let device = Device::ionq();
+        let t = Transpiler::for_device(&device);
+        assert_eq!(t.pipeline_id(), PipelineId::ClosedDefault);
+        let t = t.with_verify(VerifyLevel::Stages);
+        assert_eq!(t.pipeline_id(), PipelineId::ClosedStages);
+        let t = t.with_optimization(false).with_verify(VerifyLevel::Off);
+        assert_eq!(t.pipeline_id(), PipelineId::NoOptimizeUnverified);
+        let t = t.with_pipeline(PipelineId::ClosedDefault);
+        assert_eq!(t.pipeline_id(), PipelineId::ClosedDefault);
+    }
+
+    #[test]
+    fn explicit_pipeline_overrides_flags() {
+        // Flags say "don't optimize", the pinned pipeline optimizes anyway:
+        // the redundant H pair must vanish.
+        let mut c = Circuit::new(2);
+        c.h(0).h(0).cx(0, 1).measure_all();
+        let device = Device::ionq();
+        let pinned = Transpiler::for_device(&device)
+            .with_optimization(false)
+            .with_pipeline(PipelineId::ClosedDefault)
+            .run(&c)
+            .unwrap();
+        let unoptimized = Transpiler::for_device(&device)
+            .with_optimization(false)
+            .run(&c)
+            .unwrap();
+        assert!(pinned.circuit.gate_count() < unoptimized.circuit.gate_count());
+    }
+
+    #[test]
+    fn context_exposes_layout_diagnostics_and_cached_analyses() {
+        use supermarq_circuit::{Depth, GateCount, TwoQubitGateCount};
+        let device = Device::ibm_casablanca();
+        let c = ghz(4);
+        let t = Transpiler::for_device(&device).with_verify(VerifyLevel::Stages);
+        let ctx = t.run_with_context(&c).unwrap();
+        // The schedule pass primed these; reading them costs nothing.
+        // (GateCount is only primed when obs spans are recording, so it is
+        // not asserted cached here.)
+        assert!(ctx.properties().is_cached::<Depth>());
+        assert!(ctx.properties().is_cached::<TwoQubitGateCount>());
+        assert_eq!(*ctx.analysis::<GateCount>(), ctx.circuit().gate_count());
+        assert_eq!(ctx.layout().initial.len(), 4);
+        assert_eq!(ctx.layout().measured_on.iter().flatten().count(), 4);
+        // Stage verification ran clean: no error-grade diagnostics stuck.
+        assert!(ctx
+            .diagnostics()
+            .iter()
+            .all(|d| d.severity != supermarq_verify::Severity::Error));
+    }
+
+    #[test]
+    fn result_matches_context_fields() {
+        let device = Device::ibm_montreal();
+        let c = ghz(5);
+        let t = Transpiler::for_device(&device);
+        let ctx = t.run_with_context(&c).unwrap();
+        let expected_depth = *ctx.analysis::<Depth>();
+        let (circuit, layout, swaps) = ctx.into_parts();
+        let r = t.run(&c).unwrap();
+        assert_eq!(r.circuit, circuit);
+        assert_eq!(r.initial_mapping, layout.initial);
+        assert_eq!(r.final_mapping, layout.current);
+        assert_eq!(r.measured_on, layout.measured_on);
+        assert_eq!(r.swap_count, swaps);
+        assert_eq!(r.depth, expected_depth);
     }
 }

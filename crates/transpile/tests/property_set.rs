@@ -1,0 +1,173 @@
+//! Property test for the PropertySet invalidation contract: after *any*
+//! pass sequence over *any* circuit, every analysis read through the
+//! finished context's cache must equal a fresh recomputation on the
+//! resulting circuit. A missed invalidation (a pass mutating the circuit
+//! while reporting `Unchanged`, or the runner forgetting to clear the
+//! cache) shows up here as a stale cached value.
+//!
+//! Randomization is a hand-rolled LCG (the workspace takes no external
+//! dependencies), so failures reproduce exactly from the printed seed.
+
+use supermarq_circuit::{
+    AsapLayers, Circuit, CircuitLayers, CriticalPath, CriticalPathInfo, Depth, GateCount,
+    InteractionGraph, Interactions, TwoQubitGateCount,
+};
+use supermarq_device::Device;
+use supermarq_transpile::pipeline::{PassSpec, PipelineSpec};
+use supermarq_transpile::{PassContext, Transpiler};
+
+/// Deterministic splitmix-style generator.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let x = self.0;
+        (x ^ (x >> 33)).wrapping_mul(0xff51afd7ed558ccd)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn chance(&mut self, percent: u64) -> bool {
+        self.next() % 100 < percent
+    }
+}
+
+/// A random logical circuit: 2-5 qubits, a mix of single-qubit gates,
+/// entanglers, and mid-circuit measurement/reset.
+fn random_circuit(rng: &mut Rng) -> Circuit {
+    let n = 2 + rng.below(4);
+    let mut c = Circuit::new(n);
+    for _ in 0..5 + rng.below(20) {
+        let q = rng.below(n);
+        let p = (q + 1 + rng.below(n - 1)) % n;
+        match rng.below(6) {
+            0 => {
+                c.h(q);
+            }
+            1 => {
+                c.cx(q, p);
+            }
+            2 => {
+                c.cz(q, p);
+            }
+            3 => {
+                c.rzz(0.1 + rng.below(30) as f64 / 10.0, q, p);
+            }
+            4 => {
+                c.h(q).h(q); // adjacent pair: cancellation fodder
+            }
+            _ => {
+                c.measure(q);
+                c.reset(q);
+            }
+        }
+    }
+    c.measure_all();
+    c
+}
+
+/// A random pipeline that is still executable: place/route/decompose stay
+/// in canonical order (routing needs a layout, verification needs native
+/// gates), while the optimize, verify-final, and schedule slots toggle
+/// randomly.
+fn random_pipeline(rng: &mut Rng) -> PipelineSpec {
+    let mut passes = Vec::new();
+    if rng.chance(60) {
+        passes.push(PassSpec::OptimizeLogical);
+    }
+    passes.push(PassSpec::Place);
+    passes.push(PassSpec::Route);
+    passes.push(PassSpec::Decompose);
+    if rng.chance(60) {
+        passes.push(PassSpec::OptimizePhysical);
+    }
+    if rng.chance(40) {
+        passes.push(PassSpec::VerifyFinal);
+    }
+    if rng.chance(60) {
+        passes.push(PassSpec::Schedule);
+    }
+    PipelineSpec::new("random", passes)
+}
+
+/// Every cached analysis must equal fresh recomputation on the context's
+/// final circuit.
+fn assert_cache_consistent(ctx: &PassContext<'_>, label: &str) {
+    let circuit = ctx.circuit();
+    assert_eq!(*ctx.analysis::<Depth>(), circuit.depth(), "{label}: Depth");
+    assert_eq!(
+        *ctx.analysis::<GateCount>(),
+        circuit.gate_count(),
+        "{label}: GateCount"
+    );
+    assert_eq!(
+        *ctx.analysis::<TwoQubitGateCount>(),
+        circuit.two_qubit_gate_count(),
+        "{label}: TwoQubitGateCount"
+    );
+    assert_eq!(
+        *ctx.analysis::<AsapLayers>(),
+        CircuitLayers::of(circuit),
+        "{label}: AsapLayers"
+    );
+    assert_eq!(
+        *ctx.analysis::<Interactions>(),
+        InteractionGraph::of(circuit),
+        "{label}: Interactions"
+    );
+    assert_eq!(
+        *ctx.analysis::<CriticalPath>(),
+        CriticalPathInfo::of(circuit),
+        "{label}: CriticalPath"
+    );
+}
+
+#[test]
+fn cached_analyses_match_fresh_recomputation_after_any_pass_sequence() {
+    let devices = Device::all_paper_devices();
+    let mut rng = Rng(0x5eed_cafe);
+    let mut executed = 0usize;
+    for trial in 0..150 {
+        let circuit = random_circuit(&mut rng);
+        let device = &devices[rng.below(devices.len())];
+        if circuit.num_qubits() > device.num_qubits() {
+            continue;
+        }
+        let pipeline = random_pipeline(&mut rng);
+        let label = format!(
+            "trial {trial} ({} on {}, pipeline [{}])",
+            circuit.num_qubits(),
+            device.name(),
+            pipeline.pass_ids().join(" ")
+        );
+        let transpiler = Transpiler::for_device(device);
+        let ctx = transpiler
+            .run_pipeline(&pipeline, &circuit)
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+        assert_cache_consistent(&ctx, &label);
+        executed += 1;
+    }
+    assert!(executed >= 100, "only {executed} trials executed");
+}
+
+#[test]
+fn cached_analyses_match_after_every_builtin_pipeline() {
+    use supermarq_transpile::PipelineId;
+    let mut ghz = Circuit::new(4);
+    ghz.h(0).cx(0, 1).cx(1, 2).cx(2, 3).measure_all();
+    for device in Device::all_paper_devices() {
+        for pipeline in PipelineId::ALL {
+            let transpiler = Transpiler::for_device(&device).with_pipeline(pipeline);
+            let ctx = transpiler
+                .run_with_context(&ghz)
+                .unwrap_or_else(|e| panic!("{pipeline} on {}: {e}", device.name()));
+            assert_cache_consistent(&ctx, &format!("{pipeline} on {}", device.name()));
+        }
+    }
+}

@@ -35,16 +35,21 @@ const PROBE_TRIALS: usize = 4;
 const EQUIV_TOL: f64 = 1e-9;
 
 /// What the router claims it did: the provenance record V006 audits.
-#[derive(Debug, Clone, PartialEq)]
-pub struct RoutingAudit {
+///
+/// All circuit and mapping data is *borrowed*: an audit is a cheap,
+/// copyable view assembled at the verification site from data the caller
+/// already owns (the pass manager's pre-route snapshot, its working
+/// circuit, and its layout), so attaching provenance costs no clones.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoutingAudit<'a> {
     /// The circuit that entered the router (logical indices).
-    pub logical: Circuit,
+    pub logical: &'a Circuit,
     /// The circuit the router produced (physical indices).
-    pub routed: Circuit,
+    pub routed: &'a Circuit,
     /// Physical home of each logical qubit before the first instruction.
-    pub initial_mapping: Vec<usize>,
+    pub initial_mapping: &'a [usize],
     /// Physical home of each logical qubit after the last instruction.
-    pub final_mapping: Vec<usize>,
+    pub final_mapping: &'a [usize],
     /// Number of SWAPs the router claims to have inserted.
     pub swap_count: usize,
 }
@@ -72,13 +77,13 @@ impl Pass for ClosedDivisionAudit {
 
 /// Validates mapping shape: one entry per logical qubit, injective, on-chip.
 /// Returns `false` if the mappings are too broken to audit further.
-fn check_mappings(audit: &RoutingAudit, out: &mut Vec<Diagnostic>) -> bool {
+fn check_mappings(audit: &RoutingAudit<'_>, out: &mut Vec<Diagnostic>) -> bool {
     let n_logical = audit.logical.num_qubits();
     let n_phys = audit.routed.num_qubits();
     let mut ok = true;
     for (label, mapping) in [
-        ("initial_mapping", &audit.initial_mapping),
-        ("final_mapping", &audit.final_mapping),
+        ("initial_mapping", audit.initial_mapping),
+        ("final_mapping", audit.final_mapping),
     ] {
         if mapping.len() != n_logical {
             out.push(Diagnostic::global(
@@ -117,9 +122,9 @@ fn check_mappings(audit: &RoutingAudit, out: &mut Vec<Diagnostic>) -> bool {
 /// the logical circuit must appear in the routed circuit with identical
 /// multiplicity (keyed by the gate's display form, so rotation angles
 /// count), and the SWAP surplus must equal the reported `swap_count`.
-fn check_accounting(audit: &RoutingAudit, out: &mut Vec<Diagnostic>) {
-    let logical = gate_multiset(&audit.logical);
-    let routed = gate_multiset(&audit.routed);
+fn check_accounting(audit: &RoutingAudit<'_>, out: &mut Vec<Diagnostic>) {
+    let logical = gate_multiset(audit.logical);
+    let routed = gate_multiset(audit.routed);
     let swap_key = Gate::Swap.to_string();
     let logical_swaps = logical.get(&swap_key).copied().unwrap_or(0);
     let routed_swaps = routed.get(&swap_key).copied().unwrap_or(0);
@@ -174,7 +179,7 @@ fn gate_multiset(circuit: &Circuit) -> BTreeMap<String, usize> {
 
 /// The probe needs unitary-only semantics (resets collapse) and a live-wire
 /// count small enough for a statevector.
-fn probe_is_tractable(audit: &RoutingAudit) -> bool {
+fn probe_is_tractable(audit: &RoutingAudit<'_>) -> bool {
     if audit.logical.reset_count() > 0 || audit.routed.reset_count() > 0 {
         return false;
     }
@@ -183,7 +188,7 @@ fn probe_is_tractable(audit: &RoutingAudit) -> bool {
 
 /// The physical wires the audit must simulate: everything the routed
 /// circuit touches plus the images of both mappings.
-fn live_wires(audit: &RoutingAudit) -> BTreeSet<usize> {
+fn live_wires(audit: &RoutingAudit<'_>) -> BTreeSet<usize> {
     let mut wires: BTreeSet<usize> = audit.initial_mapping.iter().copied().collect();
     wires.extend(audit.final_mapping.iter().copied());
     for instr in audit.routed.iter() {
@@ -202,7 +207,7 @@ fn live_wires(audit: &RoutingAudit) -> BTreeSet<usize> {
 /// stripped (both sides identically); the probe states are random product
 /// states on the mapped wires plus an entangling ladder, so coincidental
 /// agreement on all probes is vanishingly unlikely.
-fn check_statevector(audit: &RoutingAudit, out: &mut Vec<Diagnostic>) {
+fn check_statevector(audit: &RoutingAudit<'_>, out: &mut Vec<Diagnostic>) {
     let wires = live_wires(audit);
     let dense: BTreeMap<usize, usize> = wires
         .iter()
@@ -239,7 +244,7 @@ fn check_statevector(audit: &RoutingAudit, out: &mut Vec<Diagnostic>) {
         let qubits: Vec<usize> = instr.qubits.iter().map(|&q| dense[&q]).collect();
         corrected.push_unchecked(instr.gate, &qubits);
     }
-    let mut location: Vec<usize> = audit.final_mapping.clone();
+    let mut location: Vec<usize> = audit.final_mapping.to_vec();
     for q in 0..location.len() {
         let target = audit.initial_mapping[q];
         if location[q] == target {
@@ -298,13 +303,14 @@ fn run_unitary(prep: &Circuit, body: &Circuit, n: usize) -> StateVector {
 
 /// Convenience: instruction stream of correction swaps is internal; expose
 /// the audit itself for construction at routing sites.
-impl RoutingAudit {
-    /// Builds the provenance record for a routing step.
+impl<'a> RoutingAudit<'a> {
+    /// Builds the provenance record for a routing step, borrowing the
+    /// circuits and mappings from the caller.
     pub fn new(
-        logical: Circuit,
-        routed: Circuit,
-        initial_mapping: Vec<usize>,
-        final_mapping: Vec<usize>,
+        logical: &'a Circuit,
+        routed: &'a Circuit,
+        initial_mapping: &'a [usize],
+        final_mapping: &'a [usize],
         swap_count: usize,
     ) -> Self {
         RoutingAudit {
@@ -322,20 +328,49 @@ mod tests {
     use super::*;
     use crate::{verify_routed, CheckId, Severity, Verifier};
 
-    /// logical cx(0,1) placed at wires [0, 2] of a 3-wire line: routing
-    /// swaps wires (1, 2) to bring the operands together, then applies the
-    /// gate at (0, 1). Final homes: [0, 1].
-    fn honest_audit() -> RoutingAudit {
+    /// Owned backing data for the honest fixture: logical cx(0,1) placed at
+    /// wires [0, 2] of a 3-wire line; routing swaps wires (1, 2) to bring
+    /// the operands together, then applies the gate at (0, 1). Final homes:
+    /// [0, 1]. Tests mutate these owned parts, then borrow them into a
+    /// [`RoutingAudit`] view.
+    struct Parts {
+        logical: Circuit,
+        routed: Circuit,
+        initial: Vec<usize>,
+        last: Vec<usize>,
+        swap_count: usize,
+    }
+
+    impl Parts {
+        fn audit(&self) -> RoutingAudit<'_> {
+            RoutingAudit::new(
+                &self.logical,
+                &self.routed,
+                &self.initial,
+                &self.last,
+                self.swap_count,
+            )
+        }
+    }
+
+    fn honest_parts() -> Parts {
         let mut logical = Circuit::new(2);
         logical.rz(0.25, 0).cx(0, 1).rz(-0.5, 1);
         let mut routed = Circuit::new(3);
         routed.swap(1, 2).rz(0.25, 0).cx(0, 1).rz(-0.5, 1);
-        RoutingAudit::new(logical, routed, vec![0, 2], vec![0, 1], 1)
+        Parts {
+            logical,
+            routed,
+            initial: vec![0, 2],
+            last: vec![0, 1],
+            swap_count: 1,
+        }
     }
 
     #[test]
     fn honest_routing_passes_the_audit() {
-        let report = verify_routed(&honest_audit(), None);
+        let parts = honest_parts();
+        let report = verify_routed(&parts.audit(), None);
         assert!(!report.has_errors(), "findings:\n{}", report.render());
     }
 
@@ -343,14 +378,17 @@ mod tests {
     fn identity_routing_passes_the_audit() {
         let mut logical = Circuit::new(2);
         logical.h(0).cx(0, 1).measure_all();
-        let audit = RoutingAudit::new(logical.clone(), logical, vec![0, 1], vec![0, 1], 0);
+        // The borrowed audit lets identity routing share one circuit for
+        // both sides — no clone needed.
+        let mapping = vec![0, 1];
+        let audit = RoutingAudit::new(&logical, &logical, &mapping, &mapping, 0);
         let report = verify_routed(&audit, None);
         assert!(!report.has_errors(), "findings:\n{}", report.render());
     }
 
     // --- seeded mutations: each must be caught by V006 and only V006 ----
 
-    fn v006_errors_only(audit: &RoutingAudit) {
+    fn v006_errors_only(audit: &RoutingAudit<'_>) {
         let report = verify_routed(audit, None);
         let mut hit: Vec<CheckId> = report
             .diagnostics
@@ -370,66 +408,66 @@ mod tests {
 
     #[test]
     fn v006_catches_dropped_gate() {
-        let mut audit = honest_audit();
+        let mut parts = honest_parts();
         let mut routed = Circuit::new(3);
         routed.swap(1, 2).rz(0.25, 0).cx(0, 1); // mutation: trailing rz dropped
-        audit.routed = routed;
-        v006_errors_only(&audit);
+        parts.routed = routed;
+        v006_errors_only(&parts.audit());
     }
 
     #[test]
     fn v006_catches_tampered_rotation_angle() {
-        let mut audit = honest_audit();
+        let mut parts = honest_parts();
         let mut routed = Circuit::new(3);
         routed.swap(1, 2).rz(0.26, 0).cx(0, 1).rz(-0.5, 1); // mutation: 0.25 -> 0.26
-        audit.routed = routed;
-        v006_errors_only(&audit);
+        parts.routed = routed;
+        v006_errors_only(&parts.audit());
     }
 
     #[test]
     fn v006_catches_misreported_swap_count() {
-        let mut audit = honest_audit();
-        audit.swap_count = 0; // mutation: router under-reports its swaps
-        v006_errors_only(&audit);
+        let mut parts = honest_parts();
+        parts.swap_count = 0; // mutation: router under-reports its swaps
+        v006_errors_only(&parts.audit());
     }
 
     #[test]
     fn v006_statevector_probe_catches_swapped_control_and_target() {
         // Gate multiset is identical, so only the semantic probe can see
         // that cx(1, 0) is not cx(0, 1).
-        let mut audit = honest_audit();
+        let mut parts = honest_parts();
         let mut routed = Circuit::new(3);
         routed.swap(1, 2).rz(0.25, 0).cx(1, 0).rz(-0.5, 1); // mutation: flipped cx
-        audit.routed = routed;
-        v006_errors_only(&audit);
+        parts.routed = routed;
+        v006_errors_only(&parts.audit());
     }
 
     #[test]
     fn v006_statevector_probe_catches_wrong_permutation_claim() {
-        let mut audit = honest_audit();
-        audit.final_mapping = vec![0, 2]; // mutation: claims qubit 1 never moved
-        v006_errors_only(&audit);
+        let mut parts = honest_parts();
+        parts.last = vec![0, 2]; // mutation: claims qubit 1 never moved
+        v006_errors_only(&parts.audit());
     }
 
     #[test]
     fn v006_catches_non_injective_mapping() {
-        let mut audit = honest_audit();
-        audit.final_mapping = vec![0, 0];
-        v006_errors_only(&audit);
+        let mut parts = honest_parts();
+        parts.last = vec![0, 0];
+        v006_errors_only(&parts.audit());
     }
 
     #[test]
     fn v006_catches_mapping_length_mismatch() {
-        let mut audit = honest_audit();
-        audit.initial_mapping = vec![0];
-        v006_errors_only(&audit);
+        let mut parts = honest_parts();
+        parts.initial = vec![0];
+        v006_errors_only(&parts.audit());
     }
 
     #[test]
     fn v006_catches_off_register_mapping() {
-        let mut audit = honest_audit();
-        audit.final_mapping = vec![0, 3];
-        v006_errors_only(&audit);
+        let mut parts = honest_parts();
+        parts.last = vec![0, 3];
+        v006_errors_only(&parts.audit());
     }
 
     #[test]
@@ -443,7 +481,7 @@ mod tests {
         let identity: Vec<usize> = (0..n).collect();
         let mut tampered = logical.clone();
         tampered.x(0); // mutation: an extra gate appears post-routing
-        let audit = RoutingAudit::new(logical, tampered, identity.clone(), identity, 0);
+        let audit = RoutingAudit::new(&logical, &tampered, &identity, &identity, 0);
         assert!(!probe_is_tractable(&audit));
         v006_errors_only(&audit);
     }

@@ -278,7 +278,7 @@ pub struct Context<'a> {
     /// Target device, when hardware conformance should be checked.
     pub device: Option<&'a Device>,
     /// Routing provenance, when the circuit is the output of the router.
-    pub routing: Option<&'a RoutingAudit>,
+    pub routing: Option<&'a RoutingAudit<'a>>,
 }
 
 impl<'a> Context<'a> {
@@ -402,9 +402,9 @@ pub fn verify_on_device(circuit: &Circuit, device: &Device) -> Report {
 
 /// Runs the full pipeline, including the Closed-Division audit, on a routed
 /// circuit with its provenance.
-pub fn verify_routed(audit: &RoutingAudit, device: Option<&Device>) -> Report {
+pub fn verify_routed(audit: &RoutingAudit<'_>, device: Option<&Device>) -> Report {
     let ctx = Context {
-        circuit: &audit.routed,
+        circuit: audit.routed,
         device,
         routing: Some(audit),
     };

@@ -22,4 +22,7 @@ bash scripts/cache_smoke.sh
 echo "==> profile smoke (traced run; JSONL + summary must be well-formed)"
 bash scripts/profile_smoke.sh
 
+echo "==> pipeline smoke (three pipelines; scores agree, trace names every pass)"
+bash scripts/pipeline_smoke.sh
+
 echo "All checks passed."
