@@ -17,6 +17,14 @@
 //! owner honors the contract; the transpile crate carries a property test
 //! asserting cached values always equal fresh recomputation.
 //!
+//! Analyses are not limited to this crate: any crate can define one by
+//! implementing [`CircuitAnalysis`] for its own type. The verify crate's
+//! abstract-interpretation domains (measurement lightcones for the
+//! dead-gate/clobbered-qubit checks, Clifford recognition for the
+//! stabilizer tier) plug in this way, so a pipeline run computes each of
+//! them at most once per circuit value and every verify checkpoint reads
+//! the shared cache.
+//!
 //! # Example
 //!
 //! ```

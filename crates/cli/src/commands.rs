@@ -12,9 +12,13 @@ use supermarq::spec::{default_init, execute_spec};
 use supermarq::{Benchmark, FeatureVector};
 use supermarq_circuit::Circuit;
 use supermarq_device::Device;
-use supermarq_store::{RunRecord, RunSpec, Store, SweepEngine, SweepGrid, TranspileSpec};
-use supermarq_transpile::{PassRegistry, PassSpec, PipelineId};
-use supermarq_verify::{verify_circuit, verify_on_device, CheckId, Report, Severity};
+use supermarq_store::{Json, RunRecord, RunSpec, Store, SweepEngine, SweepGrid, TranspileSpec};
+use supermarq_transpile::{
+    differential_pipelines, PassRegistry, PassSpec, PipelineId, TranspileError, Transpiler,
+};
+use supermarq_verify::{
+    clifford_corpus, verify_circuit, verify_on_device, CheckId, Report, Severity,
+};
 
 use crate::args::Args;
 
@@ -30,8 +34,10 @@ pub const USAGE: &str = "usage:
                   [--shots S1,S2] [--seeds S1,S2] [--reps R] [--open] [--pipeline <name>]
                   [--out <file.jsonl>] [--store <dir>] [--no-cache]
   supermarq transpile passes
+  supermarq transpile diff <pipeline-a> <pipeline-b> --device <name> [--max-qubits N]
   supermarq cache <stats|verify|gc> [--store <dir>]
-  supermarq lint <benchmark>|<file.qasm> [--device <name>] [--size N] [...]
+  supermarq lint <benchmark>|<file.qasm> [--device <name>] [--pipeline <name>]
+                 [--format text|json] [--size N] [...]
   supermarq lint --list
   supermarq coverage
   supermarq export --dir <path>
@@ -370,7 +376,8 @@ fn pipeline_from_args(args: &Args) -> Result<PipelineId, CliError> {
 }
 
 /// `supermarq transpile passes`: list the registered pipelines and the
-/// passes they are built from.
+/// passes they are built from. `supermarq transpile diff` differentially
+/// certifies two pipelines against each other on a Clifford corpus.
 fn cmd_transpile(args: &Args) -> Result<String, CliError> {
     match args.positional(1) {
         Some("passes") => {
@@ -385,10 +392,54 @@ fn cmd_transpile(args: &Args) -> Result<String, CliError> {
             }
             Ok(out.trim_end().to_string())
         }
+        Some("diff") => cmd_transpile_diff(args),
         Some(other) => Err(CliError::usage(format!(
-            "unknown transpile action '{other}' (expected passes)"
+            "unknown transpile action '{other}' (expected passes or diff)"
         ))),
-        None => Err(CliError::usage("missing transpile action (passes)")),
+        None => Err(CliError::usage("missing transpile action (passes|diff)")),
+    }
+}
+
+/// `supermarq transpile diff <a> <b> --device <name>`: compile a Clifford
+/// corpus through both pipelines and symbolically prove each output
+/// equivalent to its source. All-proven certifies the pipelines agree;
+/// anything less is a command failure so CI catches regressions.
+fn cmd_transpile_diff(args: &Args) -> Result<String, CliError> {
+    let parse_pipeline = |pos: usize, side: &str| {
+        let name = args.positional(pos).ok_or_else(|| {
+            CliError::usage(
+                "transpile diff needs two pipelines: transpile diff <a> <b> --device <name>",
+            )
+        })?;
+        PipelineId::parse(name).ok_or_else(|| {
+            CliError::usage(format!(
+                "unknown pipeline {side} '{name}' (try `supermarq transpile passes`)"
+            ))
+        })
+    };
+    let a = parse_pipeline(2, "A")?;
+    let b = parse_pipeline(3, "B")?;
+    let device = find_device(
+        args.option("device")
+            .ok_or_else(|| CliError::usage("transpile diff requires --device"))?,
+    )?;
+    let max_qubits: usize = args
+        .option_parse("max-qubits", 5usize)
+        .map_err(CliError::Usage)?;
+    let corpus = clifford_corpus(max_qubits.min(device.num_qubits()));
+    let report = differential_pipelines(&device, &a.spec(), &b.spec(), &corpus);
+    let mut out = format!(
+        "differential: {a} vs {b} on {} ({} corpus circuit(s))\n",
+        device.name(),
+        corpus.len()
+    );
+    out.push_str(&report.render());
+    if report.all_proven() {
+        out.push_str("\nall cases proven: pipelines agree on the corpus");
+        Ok(out)
+    } else {
+        out.push_str("\npipelines NOT certified equivalent on the corpus");
+        Err(CliError::failure(out))
     }
 }
 
@@ -604,12 +655,32 @@ fn cmd_lint(args: &Args) -> Result<String, CliError> {
             "lint takes a single benchmark name or .qasm file",
         ));
     }
+    let json = match args.option("format") {
+        None | Some("text") => false,
+        Some("json") => true,
+        Some(other) => {
+            return Err(CliError::usage(format!(
+                "unknown lint format '{other}' (expected text or json)"
+            )))
+        }
+    };
     let target = args
         .positional(1)
         .ok_or_else(|| CliError::usage("missing lint target (benchmark name or .qasm file)"))?;
     let device = match args.option("device") {
         Some(name) => Some(find_device(name)?),
         None => None,
+    };
+    let pipeline = match args.option("pipeline") {
+        None => None,
+        Some(_) if device.is_none() => {
+            return Err(CliError::usage("lint --pipeline requires --device"))
+        }
+        Some(name) => Some(PipelineId::parse(name).ok_or_else(|| {
+            CliError::usage(format!(
+                "unknown pipeline '{name}' (try `supermarq transpile passes`)"
+            ))
+        })?),
     };
     // A `.qasm` suffix means a file on disk; anything else is a benchmark.
     let circuits: Vec<(String, Circuit)> = if target.ends_with(".qasm") {
@@ -624,30 +695,111 @@ fn cmd_lint(args: &Args) -> Result<String, CliError> {
             .map(|(i, c)| (format!("{name}[{i}]"), c))
             .collect()
     };
-    let mut out = String::new();
-    let (mut errors, mut warnings, mut lints) = (0usize, 0usize, 0usize);
-    for (label, circuit) in &circuits {
-        let report: Report = match &device {
-            Some(d) => verify_on_device(circuit, d),
-            None => verify_circuit(circuit),
+    let mut results: Vec<(String, Report)> = Vec::with_capacity(circuits.len());
+    for (label, circuit) in circuits {
+        let report: Report = match (&pipeline, &device) {
+            (Some(id), Some(d)) => lint_through_pipeline(d, *id, &circuit)
+                .map_err(|e| CliError::failure(format!("{label}: {e}")))?,
+            (_, Some(d)) => verify_on_device(&circuit, d),
+            (_, None) => verify_circuit(&circuit),
         };
-        errors += report.count(Severity::Error);
-        warnings += report.count(Severity::Warning);
-        lints += report.count(Severity::Lint);
-        if !report.is_clean() {
-            out.push_str(&format!("{label}:\n{}\n", report.render()));
-        }
+        results.push((label, report));
     }
-    let summary = format!(
-        "{} circuit(s) checked: {errors} error(s), {warnings} warning(s), {lints} lint(s)",
-        circuits.len()
+    let count = |severity| {
+        results
+            .iter()
+            .map(|(_, r)| r.count(severity))
+            .sum::<usize>()
+    };
+    let (errors, warnings, lints) = (
+        count(Severity::Error),
+        count(Severity::Warning),
+        count(Severity::Lint),
     );
-    out.push_str(&summary);
+    let out = if json {
+        lint_json(&results, errors, warnings, lints)
+    } else {
+        let mut out = String::new();
+        for (label, report) in &results {
+            if !report.is_clean() {
+                out.push_str(&format!("{label}:\n{}\n", report.render()));
+            }
+        }
+        out.push_str(&format!(
+            "{} circuit(s) checked: {errors} error(s), {warnings} warning(s), {lints} lint(s)",
+            results.len()
+        ));
+        out
+    };
     if errors > 0 {
         Err(CliError::failure(out))
     } else {
         Ok(out)
     }
+}
+
+/// Lints a circuit by running it through a full transpiler pipeline, so
+/// diagnostics carry per-pass blame. Error-grade findings abort the
+/// pipeline with [`TranspileError::Verification`]; those diagnostics are
+/// the lint result, not a command error — the caller renders them.
+fn lint_through_pipeline(
+    device: &Device,
+    id: PipelineId,
+    circuit: &Circuit,
+) -> Result<Report, String> {
+    let transpiler = Transpiler::for_device(device).with_pipeline(id);
+    match transpiler.run_with_context(circuit) {
+        Ok(ctx) => Ok(Report {
+            diagnostics: ctx.diagnostics().to_vec(),
+        }),
+        Err(TranspileError::Verification { diagnostics, .. }) => Ok(Report { diagnostics }),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// Renders lint results as line-delimited strict JSON: one object per
+/// diagnostic (in [`Report::sorted`] order) plus a trailing summary
+/// object. Every emitted line is round-tripped through the store's JSON
+/// parser, so downstream tooling can consume the stream with `jq`-style
+/// line splitting and no leniency.
+fn lint_json(results: &[(String, Report)], errors: usize, warnings: usize, lints: usize) -> String {
+    let mut lines: Vec<String> = Vec::new();
+    for (label, report) in results {
+        for d in report.sorted() {
+            let obj = Json::Obj(vec![
+                ("circuit".into(), Json::str(label.clone())),
+                ("check".into(), Json::str(d.check.code())),
+                ("name".into(), Json::str(d.check.name())),
+                ("severity".into(), Json::str(d.severity.to_string())),
+                (
+                    "instruction".into(),
+                    match d.instruction {
+                        Some(i) => Json::uint(i as u64),
+                        None => Json::Null,
+                    },
+                ),
+                ("message".into(), Json::str(d.message.clone())),
+                (
+                    "blame".into(),
+                    Json::str(d.blame.as_deref().unwrap_or("input")),
+                ),
+            ]);
+            lines.push(obj.to_string());
+        }
+    }
+    let summary = Json::Obj(vec![
+        ("circuits".into(), Json::uint(results.len() as u64)),
+        ("errors".into(), Json::uint(errors as u64)),
+        ("warnings".into(), Json::uint(warnings as u64)),
+        ("lints".into(), Json::uint(lints as u64)),
+    ]);
+    lines.push(summary.to_string());
+    for line in &lines {
+        // Self-check the emitter: a line the parser rejects is a bug here,
+        // not in the consumer.
+        debug_assert!(Json::parse(line).is_ok(), "invalid JSON line: {line}");
+    }
+    lines.join("\n")
 }
 
 fn cmd_coverage() -> Result<String, CliError> {
@@ -784,10 +936,14 @@ mod tests {
     #[test]
     fn lint_list_names_every_check() {
         let out = run(&["lint", "--list"]).unwrap();
-        for code in ["V001", "V002", "V003", "V004", "V005", "V006", "V007"] {
+        for code in [
+            "V001", "V002", "V003", "V004", "V005", "V006", "V007", "V008", "V009", "V010",
+        ] {
             assert!(out.contains(code), "missing {code} in {out}");
         }
         assert!(out.contains("coupling-map"), "{out}");
+        assert!(out.contains("dead-gate"), "{out}");
+        assert!(out.contains("clifford-preservation"), "{out}");
     }
 
     #[test]
@@ -822,6 +978,137 @@ mod tests {
         std::fs::write(&path, qasm).unwrap();
         let out = run(&["lint", path.to_str().unwrap()]).unwrap();
         assert!(out.contains("0 error(s)"), "{out}");
+    }
+
+    #[test]
+    fn lint_json_emits_one_parseable_object_per_line() {
+        // Device-level lint of a logical GHZ fails (V004), and every line
+        // of the JSON stream must parse strictly, diagnostics and summary
+        // alike.
+        let err = run(&[
+            "lint",
+            "ghz",
+            "--size",
+            "3",
+            "--device",
+            "ibm-casablanca",
+            "--format",
+            "json",
+        ])
+        .unwrap_err();
+        let lines: Vec<&str> = err.lines().collect();
+        assert!(lines.len() >= 2, "{err}");
+        for line in &lines {
+            let obj = Json::parse(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert!(matches!(obj, Json::Obj(_)), "{line}");
+        }
+        // Diagnostic lines carry the full field set; blame defaults to
+        // "input" outside pipeline runs.
+        let first = Json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("check").and_then(Json::as_str), Some("V004"));
+        assert_eq!(
+            first.get("severity").and_then(Json::as_str),
+            Some("error"),
+            "{err}"
+        );
+        assert_eq!(first.get("blame").and_then(Json::as_str), Some("input"));
+        assert!(first.get("instruction").and_then(Json::as_u64).is_some());
+        // The last line is the summary object.
+        let summary = Json::parse(lines.last().unwrap()).unwrap();
+        assert_eq!(summary.get("circuits").and_then(Json::as_u64), Some(1));
+        assert!(summary.get("errors").and_then(Json::as_u64).unwrap() > 0);
+    }
+
+    #[test]
+    fn lint_json_clean_run_is_just_the_summary() {
+        let out = run(&["lint", "ghz", "--size", "3", "--format", "json"]).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 1, "{out}");
+        let summary = Json::parse(lines[0]).unwrap();
+        assert_eq!(summary.get("errors").and_then(Json::as_u64), Some(0));
+    }
+
+    #[test]
+    fn lint_pipeline_mode_compiles_and_blames() {
+        // Through a pipeline the H is decomposed to natives, so the same
+        // circuit that fails plain device lint passes --pipeline lint.
+        let out = run(&[
+            "lint",
+            "ghz",
+            "--size",
+            "3",
+            "--device",
+            "ibm-casablanca",
+            "--pipeline",
+            "closed-stages",
+            "--format",
+            "json",
+        ])
+        .unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        let summary = Json::parse(lines.last().unwrap()).unwrap();
+        assert_eq!(summary.get("errors").and_then(Json::as_u64), Some(0));
+        // Every diagnostic the pipeline did accumulate names its pass.
+        for line in &lines[..lines.len() - 1] {
+            let obj = Json::parse(line).unwrap();
+            let blame = obj.get("blame").and_then(Json::as_str).unwrap_or("");
+            assert!(!blame.is_empty(), "{line}");
+        }
+    }
+
+    #[test]
+    fn lint_pipeline_requires_device() {
+        let argv: Vec<String> = ["lint", "ghz", "--pipeline", "closed-default"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(matches!(dispatch(&argv), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn transpile_diff_certifies_builtin_pipelines() {
+        let out = run(&[
+            "transpile",
+            "diff",
+            "closed-default",
+            "no-optimize",
+            "--device",
+            "ibm-casablanca",
+            "--max-qubits",
+            "4",
+        ])
+        .unwrap();
+        assert!(out.contains("all cases proven"), "{out}");
+        assert!(out.contains("proven"), "{out}");
+    }
+
+    #[test]
+    fn transpile_diff_bad_inputs_are_usage_errors() {
+        let argv = |tokens: &[&str]| tokens.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert!(matches!(
+            dispatch(&argv(&["transpile", "diff"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            dispatch(&argv(&[
+                "transpile",
+                "diff",
+                "closed-default",
+                "no-optimize"
+            ])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            dispatch(&argv(&[
+                "transpile",
+                "diff",
+                "nope",
+                "no-optimize",
+                "--device",
+                "ionq"
+            ])),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

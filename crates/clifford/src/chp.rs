@@ -8,6 +8,7 @@
 
 use rand::Rng;
 use supermarq_circuit::{Circuit, Gate, GateKind};
+use supermarq_pauli::PauliString;
 
 /// A stabilizer-state simulator over `n` qubits.
 ///
@@ -61,6 +62,22 @@ impl StabilizerSimulator {
     /// Number of qubits.
     pub fn num_qubits(&self) -> usize {
         self.n
+    }
+
+    /// The signed Pauli stored in tableau row `i` as `(minus, string)`.
+    ///
+    /// Rows `0..n` are the destabilizers (the images `U X_i U^dagger` after
+    /// the applied gates), rows `n..2n` the stabilizers (`U Z_i U^dagger`).
+    /// Together the `2n` rows determine the applied Clifford unitary up to
+    /// global phase, which makes this accessor the raw material for the
+    /// symbolic equivalence checks in `supermarq-verify`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 2 * num_qubits()`.
+    pub fn row_pauli(&self, i: usize) -> (bool, PauliString) {
+        assert!(i < 2 * self.n, "row {i} out of range for n={}", self.n);
+        (self.r[i], PauliString::from_xz_bits(&self.x[i], &self.z[i]))
     }
 
     /// Applies a Hadamard on `a`.
@@ -390,6 +407,22 @@ mod tests {
         let mut r = rng(10);
         sim.reset(0, &mut r);
         assert!(!sim.measure(0, &mut r));
+    }
+
+    #[test]
+    fn row_pauli_exposes_conjugated_generators() {
+        // Fresh tableau: destabilizer i is X_i, stabilizer i is Z_i.
+        let sim = StabilizerSimulator::new(2);
+        assert_eq!(sim.row_pauli(0), (false, "XI".parse().unwrap()));
+        assert_eq!(sim.row_pauli(3), (false, "IZ".parse().unwrap()));
+        // H swaps X and Z on its wire; X then flips the sign of Z-images.
+        let mut sim = StabilizerSimulator::new(1);
+        sim.h(0);
+        assert_eq!(sim.row_pauli(0), (false, "Z".parse().unwrap()));
+        assert_eq!(sim.row_pauli(1), (false, "X".parse().unwrap()));
+        let mut sim = StabilizerSimulator::new(1);
+        sim.x_gate(0);
+        assert_eq!(sim.row_pauli(1), (true, "Z".parse().unwrap()));
     }
 
     #[test]

@@ -31,9 +31,11 @@
 pub mod chp;
 pub mod executor;
 pub mod frame;
+pub mod ops;
 pub mod synth;
 
 pub use chp::StabilizerSimulator;
 pub use executor::StabilizerExecutor;
 pub use frame::SignedPauli;
+pub use ops::{clifford_ops, is_clifford_unitary, quarter_turns, CliffordOp};
 pub use synth::{diagonalize, Diagonalization, DiagonalizeError};

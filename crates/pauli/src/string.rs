@@ -264,6 +264,28 @@ impl PauliString {
                 .collect(),
         }
     }
+
+    /// Applies a wire permutation: the factor at qubit `i` of `self` moves
+    /// to qubit `perm[i]` of the result. This is conjugation by the
+    /// permutation unitary, `P -> Pi P Pi^dagger`, which never changes the
+    /// sign of a signed Pauli — the property the stabilizer equivalence
+    /// audit in `supermarq-verify` relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..num_qubits()`.
+    pub fn permuted(&self, perm: &[usize]) -> Self {
+        assert_eq!(perm.len(), self.paulis.len(), "permutation length mismatch");
+        let mut paulis = vec![None; self.paulis.len()];
+        for (i, &p) in self.paulis.iter().enumerate() {
+            let slot = &mut paulis[perm[i]];
+            assert!(slot.is_none(), "perm is not injective");
+            *slot = Some(p);
+        }
+        PauliString {
+            paulis: paulis.into_iter().map(|p| p.expect("total perm")).collect(),
+        }
+    }
 }
 
 impl FromStr for PauliString {
@@ -366,6 +388,26 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn single_rejects_out_of_range() {
         PauliString::single(2, 2, Pauli::X);
+    }
+
+    #[test]
+    fn permuted_moves_factors_without_changing_weight() {
+        let s: PauliString = "XYZI".parse().unwrap();
+        // Factor at i moves to perm[i]: X->q2, Y->q0, Z->q3, I->q1.
+        let p = s.permuted(&[2, 0, 3, 1]);
+        assert_eq!(p.to_string(), "YIXZ");
+        assert_eq!(p.weight(), s.weight());
+        // The identity permutation is a no-op; a permutation and its
+        // inverse round-trip.
+        assert_eq!(s.permuted(&[0, 1, 2, 3]), s);
+        assert_eq!(p.permuted(&[1, 3, 0, 2]), s);
+    }
+
+    #[test]
+    #[should_panic(expected = "not injective")]
+    fn permuted_rejects_non_injective_map() {
+        let s: PauliString = "XY".parse().unwrap();
+        s.permuted(&[0, 0]);
     }
 
     #[test]

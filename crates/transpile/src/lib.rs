@@ -43,16 +43,20 @@
 
 pub mod cancel;
 pub mod decompose;
+pub mod diff;
 pub mod fuse;
 pub mod pass;
 pub mod passes;
 pub mod pipeline;
 pub mod placement;
+pub mod provenance;
 pub mod routing;
 pub mod transpiler;
 
+pub use diff::differential_pipelines;
 pub use pass::{run_pass, FixedPoint, Layout, Pass, PassContext, PassOutcome};
 pub use pipeline::{PassRegistry, PassSpec, PipelineId, PipelineSpec};
 pub use placement::PlacementStrategy;
+pub use provenance::{Provenance, INPUT_TAG};
 pub use routing::RouteError;
 pub use transpiler::{RoutingStrategy, TranspileError, TranspileResult, Transpiler, VerifyLevel};

@@ -30,6 +30,7 @@ use supermarq_device::Device;
 use supermarq_obs::{FieldValue, Span};
 use supermarq_verify::Diagnostic;
 
+use crate::provenance::Provenance;
 use crate::transpiler::TranspileError;
 
 /// What a [`Pass`] did to the working circuit.
@@ -149,6 +150,8 @@ pub struct PassContext<'d> {
     notes: Vec<(&'static str, FieldValue)>,
     snapshot: Option<Circuit>,
     want_snapshot: bool,
+    provenance: Provenance,
+    input_clifford: bool,
 }
 
 impl<'d> PassContext<'d> {
@@ -156,6 +159,8 @@ impl<'d> PassContext<'d> {
     /// to keep a copy of its input so a later audit pass can compare the
     /// routed circuit against it.
     pub fn new(device: &'d Device, circuit: Circuit, want_snapshot: bool) -> Self {
+        let provenance = Provenance::for_input(&circuit);
+        let input_clifford = supermarq_verify::circuit_is_clifford(&circuit);
         PassContext {
             device,
             circuit,
@@ -166,6 +171,8 @@ impl<'d> PassContext<'d> {
             notes: Vec::new(),
             snapshot: None,
             want_snapshot,
+            provenance,
+            input_clifford,
         }
     }
 
@@ -248,6 +255,24 @@ impl<'d> PassContext<'d> {
         self.snapshot.as_ref()
     }
 
+    /// Per-instruction blame tags for the working circuit (maintained by
+    /// [`run_pass`] diffing around every mutating pass).
+    pub fn provenance(&self) -> &Provenance {
+        &self.provenance
+    }
+
+    /// Records a circuit rewrite in the provenance tracker (runner-side).
+    pub(crate) fn record_rewrite(&mut self, old: &Circuit, pass: &'static str) {
+        // `self.circuit` is already the rewritten version here.
+        self.provenance.record_rewrite(old, &self.circuit, pass);
+    }
+
+    /// Whether the pipeline's *input* circuit was entirely Clifford — the
+    /// claim the V010 clifford-preservation check holds later stages to.
+    pub fn input_clifford(&self) -> bool {
+        self.input_clifford
+    }
+
     /// Non-fatal diagnostics accumulated by verify passes.
     pub fn diagnostics(&self) -> &[Diagnostic] {
         &self.diagnostics
@@ -296,6 +321,7 @@ pub trait Pass {
 pub fn run_pass(pass: &dyn Pass, ctx: &mut PassContext<'_>) -> Result<PassOutcome, TranspileError> {
     let mut span = Span::open(pass.span_name());
     span.record_with("gates_in", || *ctx.analysis::<GateCount>());
+    let before = ctx.circuit().clone();
     let outcome = pass.run(ctx);
     for (key, value) in ctx.take_notes() {
         span.record(key, value);
@@ -303,6 +329,11 @@ pub fn run_pass(pass: &dyn Pass, ctx: &mut PassContext<'_>) -> Result<PassOutcom
     let outcome = outcome?;
     if outcome == PassOutcome::Mutated {
         ctx.invalidate_analyses();
+        // Blame diff: instructions the pass did not preserve are tagged
+        // with its name. Inner FixedPoint members mutate without their own
+        // run_pass frame, so their edits land on the enclosing pass — the
+        // granularity the pipeline actually reruns at.
+        ctx.record_rewrite(&before, pass.name());
     }
     span.record_with("gates_out", || *ctx.analysis::<GateCount>());
     Ok(outcome)

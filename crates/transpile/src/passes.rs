@@ -234,14 +234,24 @@ impl Pass for SchedulePass {
     }
 }
 
-/// Shared verify-pass epilogue: error-grade findings abort the pipeline
-/// with the pass's historical stage label; everything else accumulates on
-/// the context.
+/// Shared verify-pass epilogue: stamps provenance blame onto every
+/// diagnostic, then error-grade findings abort the pipeline with the
+/// pass's historical stage label; everything else accumulates on the
+/// context.
 fn finish_verify(
     ctx: &mut PassContext<'_>,
     stage: &'static str,
-    report: Report,
+    mut report: Report,
 ) -> Result<PassOutcome, TranspileError> {
+    for d in &mut report.diagnostics {
+        let blame = match d.instruction {
+            Some(index) => ctx.provenance().tag(index),
+            // Circuit-global findings: the last pass that rewrote the
+            // circuit is the best available suspect.
+            None => ctx.provenance().last_mutator().unwrap_or("input"),
+        };
+        d.blame = Some(blame.to_string());
+    }
     if report.has_errors() {
         return Err(TranspileError::Verification {
             stage,
@@ -266,7 +276,10 @@ impl Pass for VerifyLogicalPass {
     }
     fn run(&self, ctx: &mut PassContext<'_>) -> Result<PassOutcome, TranspileError> {
         ctx.note("stage", "logical-optimize");
-        let report = Verifier::structural().verify(&Context::bare(ctx.circuit()));
+        let vctx = Context::bare(ctx.circuit())
+            .with_properties(ctx.properties())
+            .with_clifford_claim(ctx.input_clifford());
+        let report = Verifier::structural().verify(&vctx);
         finish_verify(ctx, "logical-optimize", report)
     }
 }
@@ -296,20 +309,20 @@ impl Pass for VerifyRoutedPass {
                     ctx.swap_count(),
                 );
                 let vctx = Context {
-                    circuit: ctx.circuit(),
                     device: Some(ctx.device()),
                     routing: Some(&audit),
-                };
+                    ..Context::bare(ctx.circuit())
+                }
+                .with_properties(ctx.properties())
+                .with_clifford_claim(ctx.input_clifford());
                 Verifier::post_routing().verify(&vctx)
             }
             // No snapshot (a pipeline without a route pass upstream):
             // device-conformance checks still apply, the audit does not.
             None => {
-                let vctx = Context {
-                    circuit: ctx.circuit(),
-                    device: Some(ctx.device()),
-                    routing: None,
-                };
+                let vctx = Context::on_device(ctx.circuit(), ctx.device())
+                    .with_properties(ctx.properties())
+                    .with_clifford_claim(ctx.input_clifford());
                 Verifier::post_routing().verify(&vctx)
             }
         };
@@ -330,7 +343,10 @@ impl Pass for VerifyNativePass {
     }
     fn run(&self, ctx: &mut PassContext<'_>) -> Result<PassOutcome, TranspileError> {
         ctx.note("stage", "decompose");
-        let report = Verifier::all().verify(&Context::on_device(ctx.circuit(), ctx.device()));
+        let vctx = Context::on_device(ctx.circuit(), ctx.device())
+            .with_properties(ctx.properties())
+            .with_clifford_claim(ctx.input_clifford());
+        let report = Verifier::all().verify(&vctx);
         finish_verify(ctx, "decompose", report)
     }
 }
@@ -348,7 +364,10 @@ impl Pass for VerifyFinalPass {
     }
     fn run(&self, ctx: &mut PassContext<'_>) -> Result<PassOutcome, TranspileError> {
         ctx.note("stage", "optimize");
-        let report = Verifier::all().verify(&Context::on_device(ctx.circuit(), ctx.device()));
+        let vctx = Context::on_device(ctx.circuit(), ctx.device())
+            .with_properties(ctx.properties())
+            .with_clifford_claim(ctx.input_clifford());
+        let report = Verifier::all().verify(&vctx);
         finish_verify(ctx, "optimize", report)
     }
 }

@@ -1,0 +1,268 @@
+//! Gate provenance: which pass introduced (or last rewrote) each
+//! instruction of the working circuit.
+//!
+//! The tracker is deliberately pass-agnostic: passes do not report what
+//! they did, the runner *observes* it by diffing the circuit before and
+//! after each mutating pass. Instructions that survive a rewrite keep
+//! their existing tag; instructions the diff cannot match to a survivor
+//! are blamed on the pass that just ran. Verify passes then stamp the tag
+//! onto every [`Diagnostic`](supermarq_verify::Diagnostic) they emit, so
+//! `supermarq lint` can say not just *what* is wrong but *which pass* put
+//! it there.
+//!
+//! Matching is an instruction-level LCS keyed on `(gate, operands)`,
+//! anchored by the common prefix/suffix (the overwhelmingly common case:
+//! passes touch a few gates and leave the rest in place). The quadratic
+//! middle is capped at [`MAX_LCS_CELLS`]; past the cap the unmatched
+//! middle is blamed wholesale on the running pass — a conservative
+//! over-attribution, never a missed one.
+
+use supermarq_circuit::{Circuit, Instruction};
+
+/// Cap on the LCS table size (`old_middle * new_middle`). 64k cells keeps
+/// the diff comfortably sub-millisecond on every paper benchmark.
+const MAX_LCS_CELLS: usize = 64_000;
+
+/// The tag given to instructions present in the pipeline's input circuit.
+pub const INPUT_TAG: &str = "input";
+
+/// Per-instruction blame tags for the working circuit of a pipeline run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Provenance {
+    tags: Vec<&'static str>,
+    last_mutator: Option<&'static str>,
+}
+
+impl Provenance {
+    /// Provenance for a pipeline's input: every instruction tagged
+    /// [`INPUT_TAG`], no mutator yet.
+    ///
+    /// Tags are indexed by raw instruction position — barriers included —
+    /// because diagnostics carry raw positions (`gate_count()` would skip
+    /// barriers and shear every index after the first one).
+    pub fn for_input(circuit: &Circuit) -> Self {
+        Provenance {
+            tags: vec![INPUT_TAG; circuit.iter().count()],
+            last_mutator: None,
+        }
+    }
+
+    /// The blame tag of instruction `index` in the current circuit.
+    /// Out-of-range indices (a diagnostic about a since-rewritten circuit)
+    /// fall back to [`INPUT_TAG`].
+    pub fn tag(&self, index: usize) -> &'static str {
+        self.tags.get(index).copied().unwrap_or(INPUT_TAG)
+    }
+
+    /// The most recent pass that mutated the circuit, if any.
+    pub fn last_mutator(&self) -> Option<&'static str> {
+        self.last_mutator
+    }
+
+    /// Records that `pass` rewrote `old` into `new`: surviving
+    /// instructions keep their tags, everything else is blamed on `pass`.
+    pub fn record_rewrite(&mut self, old: &Circuit, new: &Circuit, pass: &'static str) {
+        debug_assert_eq!(self.tags.len(), old.iter().count(), "stale provenance");
+        self.tags = retag(&self.tags, old, new, pass);
+        self.last_mutator = Some(pass);
+    }
+}
+
+/// One instruction's diff identity: equal gates on equal operands match.
+fn key(instr: &Instruction) -> (String, &[usize]) {
+    (instr.gate.to_string(), instr.qubits.as_slice())
+}
+
+fn retag(
+    old_tags: &[&'static str],
+    old: &Circuit,
+    new: &Circuit,
+    pass: &'static str,
+) -> Vec<&'static str> {
+    let old_keys: Vec<_> = old.iter().map(key).collect();
+    let new_keys: Vec<_> = new.iter().map(key).collect();
+
+    // Anchor on the common prefix and suffix.
+    let mut prefix = 0;
+    while prefix < old_keys.len() && prefix < new_keys.len() && old_keys[prefix] == new_keys[prefix]
+    {
+        prefix += 1;
+    }
+    let mut suffix = 0;
+    while suffix < old_keys.len() - prefix
+        && suffix < new_keys.len() - prefix
+        && old_keys[old_keys.len() - 1 - suffix] == new_keys[new_keys.len() - 1 - suffix]
+    {
+        suffix += 1;
+    }
+
+    let old_mid = &old_keys[prefix..old_keys.len() - suffix];
+    let new_mid = &new_keys[prefix..new_keys.len() - suffix];
+
+    let mut tags = Vec::with_capacity(new_keys.len());
+    tags.extend_from_slice(&old_tags[..prefix]);
+
+    if old_mid.is_empty() || new_mid.is_empty() || old_mid.len() * new_mid.len() > MAX_LCS_CELLS {
+        // Pure insertion/deletion, or too big to diff precisely: blame the
+        // whole middle on the running pass.
+        let filled = tags.len() + new_mid.len();
+        tags.resize(filled, pass);
+    } else {
+        // LCS over the middle; matched instructions inherit their old tag.
+        let matches = lcs_matches(old_mid, new_mid);
+        let mut next = 0usize; // next new-middle index to emit
+        for (i, j) in matches {
+            while next < j {
+                tags.push(pass);
+                next += 1;
+            }
+            tags.push(old_tags[prefix + i]);
+            next += 1;
+        }
+        while next < new_mid.len() {
+            tags.push(pass);
+            next += 1;
+        }
+    }
+
+    tags.extend_from_slice(&old_tags[old_tags.len() - suffix..]);
+    tags
+}
+
+/// Longest-common-subsequence match pairs `(old_index, new_index)` in
+/// increasing order, via the classic DP table.
+fn lcs_matches<T: PartialEq>(a: &[T], b: &[T]) -> Vec<(usize, usize)> {
+    let (n, m) = (a.len(), b.len());
+    let mut table = vec![0u32; (n + 1) * (m + 1)];
+    let idx = |i: usize, j: usize| i * (m + 1) + j;
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            table[idx(i, j)] = if a[i] == b[j] {
+                table[idx(i + 1, j + 1)] + 1
+            } else {
+                table[idx(i + 1, j)].max(table[idx(i, j + 1)])
+            };
+        }
+    }
+    let mut pairs = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < n && j < m {
+        if a[i] == b[j] {
+            pairs.push((i, j));
+            i += 1;
+            j += 1;
+        } else if table[idx(i + 1, j)] >= table[idx(i, j + 1)] {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bell() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).measure_all();
+        c
+    }
+
+    #[test]
+    fn input_starts_fully_input_tagged() {
+        let c = bell();
+        let p = Provenance::for_input(&c);
+        assert!((0..c.gate_count()).all(|i| p.tag(i) == INPUT_TAG));
+        assert_eq!(p.last_mutator(), None);
+        assert_eq!(p.tag(999), INPUT_TAG);
+    }
+
+    #[test]
+    fn appended_gate_is_blamed_on_the_pass() {
+        let old = bell();
+        let mut new = old.clone();
+        new.z(0);
+        let mut p = Provenance::for_input(&old);
+        p.record_rewrite(&old, &new, "evil");
+        // measure_all appends per-qubit measurements, so the appended z is
+        // the last instruction.
+        let last = new.gate_count() - 1;
+        assert_eq!(p.tag(last), "evil");
+        assert!((0..last).all(|i| p.tag(i) == INPUT_TAG));
+        assert_eq!(p.last_mutator(), Some("evil"));
+    }
+
+    #[test]
+    fn inserted_gate_mid_circuit_keeps_neighbors_input_tagged() {
+        let old = bell();
+        let mut new = Circuit::new(2);
+        new.h(0).s(1).cx(0, 1).measure_all();
+        let mut p = Provenance::for_input(&old);
+        p.record_rewrite(&old, &new, "inject");
+        let tags: Vec<_> = (0..new.gate_count()).map(|i| p.tag(i)).collect();
+        assert_eq!(tags[0], INPUT_TAG); // h
+        assert_eq!(tags[1], "inject"); // s
+        assert_eq!(tags[2], INPUT_TAG); // cx
+    }
+
+    #[test]
+    fn full_rewrite_is_blamed_wholesale() {
+        let old = bell();
+        let mut new = Circuit::new(2);
+        new.x(0).x(1).y(0);
+        let mut p = Provenance::for_input(&old);
+        p.record_rewrite(&old, &new, "route");
+        assert!((0..new.gate_count()).all(|i| p.tag(i) == "route"));
+    }
+
+    #[test]
+    fn tags_survive_chained_rewrites() {
+        let old = bell();
+        let mut mid = old.clone();
+        mid.z(0);
+        let mut newer = mid.clone();
+        newer.x(1);
+        let mut p = Provenance::for_input(&old);
+        p.record_rewrite(&old, &mid, "a");
+        p.record_rewrite(&mid, &newer, "b");
+        let n = newer.gate_count();
+        assert_eq!(p.tag(n - 1), "b");
+        assert_eq!(p.tag(n - 2), "a");
+        assert_eq!(p.tag(0), INPUT_TAG);
+        assert_eq!(p.last_mutator(), Some("b"));
+    }
+
+    #[test]
+    fn barriers_occupy_tag_slots_like_any_instruction() {
+        // Regression: `gate_count()` skips barriers, so sizing the tag
+        // vector with it sheared every index past the first barrier (and
+        // underflowed the suffix anchor on barrier-heavy circuits).
+        let mut old = Circuit::new(2);
+        old.h(0).barrier_all().cx(0, 1).measure_all();
+        let mut p = Provenance::for_input(&old);
+
+        // record_rewrite debug-asserts the tag vector matches the raw
+        // instruction count, so a barrier-skipping size would panic here.
+        let mut new = Circuit::new(2);
+        new.h(0).barrier_all().s(1).cx(0, 1).measure_all();
+        p.record_rewrite(&old, &new, "inject");
+        let tags: Vec<_> = (0..new.iter().count()).map(|i| p.tag(i)).collect();
+        assert_eq!(tags[0], INPUT_TAG); // h
+        assert_eq!(tags[1], INPUT_TAG); // barrier
+        assert_eq!(tags[2], "inject"); // s
+        assert_eq!(tags[3], INPUT_TAG); // cx
+    }
+
+    #[test]
+    fn same_gate_moved_to_other_operands_counts_as_new() {
+        let mut old = Circuit::new(2);
+        old.h(0);
+        let mut new = Circuit::new(2);
+        new.h(1);
+        let mut p = Provenance::for_input(&old);
+        p.record_rewrite(&old, &new, "mover");
+        assert_eq!(p.tag(0), "mover");
+    }
+}

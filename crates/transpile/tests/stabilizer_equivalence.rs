@@ -1,0 +1,135 @@
+//! Property test: the symbolic stabilizer verdict agrees with the exact
+//! statevector probe on random small Clifford circuits, across every
+//! builtin pipeline.
+//!
+//! The stabilizer domain is the tier V006 trusts at scale, so its verdicts
+//! on probe-sized circuits must match the probe exactly: every honest
+//! compilation proves, and a tampered compilation is refuted by both
+//! oracles.
+
+use proptest::prelude::*;
+
+use supermarq_circuit::Circuit;
+use supermarq_device::Device;
+use supermarq_transpile::{PipelineId, Transpiler};
+use supermarq_verify::{
+    prove_permutation_equivalence, statevector_probe, RoutingAudit, StabilizerVerdict,
+};
+
+/// A random Clifford circuit on 2-10 qubits: the generators H/S/X/Z plus
+/// CX/CZ/SWAP entanglers, measured at the end.
+fn arb_clifford() -> impl Strategy<Value = Circuit> {
+    (
+        2usize..=10,
+        prop::collection::vec((0u8..7, 0usize..10, 0usize..10), 1..30),
+    )
+        .prop_map(|(n, ops)| {
+            let mut c = Circuit::new(n);
+            for (kind, a, b) in ops {
+                let a = a % n;
+                let b = b % n;
+                let b = if a == b { (b + 1) % n } else { b };
+                match kind {
+                    0 => {
+                        c.h(a);
+                    }
+                    1 => {
+                        c.s(a);
+                    }
+                    2 => {
+                        c.x(a);
+                    }
+                    3 => {
+                        c.z(a);
+                    }
+                    4 => {
+                        c.cx(a, b);
+                    }
+                    5 => {
+                        c.cz(a, b);
+                    }
+                    _ => {
+                        c.swap(a, b);
+                    }
+                }
+            }
+            c.measure_all();
+            c
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every builtin pipeline's output is proven equivalent to its input
+    /// by the stabilizer domain, and the statevector probe concurs.
+    #[test]
+    fn stabilizer_verdict_agrees_with_probe_across_builtin_pipelines(c in arb_clifford()) {
+        // IonQ: 11 all-to-all wires, so 10-qubit circuits fit and the live
+        // register stays inside the probe's statevector limit.
+        let device = Device::ionq();
+        for id in PipelineId::ALL {
+            let r = Transpiler::for_device(&device)
+                .with_pipeline(id)
+                .run(&c)
+                .unwrap_or_else(|e| panic!("{id}: {e}"));
+            let verdict = prove_permutation_equivalence(
+                &c,
+                &r.circuit,
+                &r.initial_mapping,
+                &r.final_mapping,
+            );
+            prop_assert_eq!(
+                &verdict,
+                &StabilizerVerdict::Proven,
+                "{}: stabilizer verdict {:?}",
+                id,
+                verdict
+            );
+            let audit = RoutingAudit::new(
+                &c,
+                &r.circuit,
+                &r.initial_mapping,
+                &r.final_mapping,
+                r.swap_count,
+            );
+            prop_assert_eq!(
+                statevector_probe(&audit),
+                Some(true),
+                "{}: probe disagrees with stabilizer proof",
+                id
+            );
+        }
+    }
+
+    /// A post-compilation tamper (extra S gate on a mapped wire) is caught
+    /// by both oracles — they agree on refutation, not just on success.
+    #[test]
+    fn both_oracles_refute_a_tampered_compilation(c in arb_clifford()) {
+        let device = Device::ionq();
+        let r = Transpiler::for_device(&device)
+            .with_pipeline(PipelineId::ClosedDefault)
+            .run(&c)
+            .unwrap();
+        let mut tampered = r.circuit.clone();
+        // S on the first mapped wire: phase damage no wire permutation can
+        // explain away (the wire holds a stabilizer image, not |0>).
+        tampered.s(r.initial_mapping[0]);
+        let verdict = prove_permutation_equivalence(
+            &c,
+            &tampered,
+            &r.initial_mapping,
+            &r.final_mapping,
+        );
+        let refuted = matches!(verdict, StabilizerVerdict::Refuted { .. });
+        prop_assert!(refuted, "stabilizer verdict: {:?}", verdict);
+        let audit = RoutingAudit::new(
+            &c,
+            &tampered,
+            &r.initial_mapping,
+            &r.final_mapping,
+            r.swap_count,
+        );
+        prop_assert_eq!(statevector_probe(&audit), Some(false));
+    }
+}

@@ -11,17 +11,26 @@
 //! - **Gate accounting** (always) — routing may only *insert SWAPs*: the
 //!   multiset of non-SWAP gates is preserved exactly, and the SWAP surplus
 //!   equals the reported `swap_count`.
-//! - **Statevector probe** (when tractable) — for circuits whose live wires
-//!   fit in a statevector, check *exact semantic equivalence*: append the
-//!   inverse output permutation to the routed circuit and verify it fixes
-//!   random product states identically to the input circuit embedded at its
-//!   initial placement.
+//! - **Equivalence** (tiered, see [`AuditTier`]) — semantic agreement with
+//!   the input up to the reported output permutation:
+//!   1. **Stabilizer proof** — when both circuits are Clifford (after
+//!      quarter-turn snapping) and reset-free, a symbolic Pauli-tableau
+//!      comparison proves equivalence at *any* size in polynomial time
+//!      ([`crate::stabilizer::prove_permutation_equivalence`]);
+//!   2. **Statevector probe** — otherwise, when the live wires fit in a
+//!      statevector, random product states are pushed through both sides;
+//!   3. **Skipped** — otherwise the audit degrades to gate accounting and
+//!      says so with a lint-severity diagnostic naming the blockers.
+//!
+//! The tier taken is recorded on the `verify.audit` obs span.
 
+use crate::stabilizer::{prove_permutation_equivalence, StabilizerVerdict};
 use crate::{CheckId, Context, Diagnostic, Pass, Severity};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, BTreeSet};
 use supermarq_circuit::{Circuit, Gate, GateKind};
+use supermarq_obs::Span;
 use supermarq_sim::StateVector;
 
 /// Largest number of live wires for which the audit runs the exact
@@ -54,6 +63,45 @@ pub struct RoutingAudit<'a> {
     pub swap_count: usize,
 }
 
+/// Which equivalence tier the V006 audit can run for a given
+/// [`RoutingAudit`] — the fallback ladder is stabilizer proof, then
+/// statevector probe, then gate accounting only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditTier {
+    /// Symbolic Pauli-tableau proof: Clifford, reset-free, any size.
+    StabilizerProof,
+    /// Exact statevector probe: reset-free, few live wires.
+    StatevectorProbe,
+    /// Neither applies; the audit degrades to gate accounting and says so.
+    Skipped,
+}
+
+impl AuditTier {
+    /// Stable name, used in diagnostics and obs spans.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AuditTier::StabilizerProof => "stabilizer-proof",
+            AuditTier::StatevectorProbe => "statevector-probe",
+            AuditTier::Skipped => "skipped",
+        }
+    }
+}
+
+/// The equivalence tier the audit will use for this provenance record.
+pub fn audit_tier(audit: &RoutingAudit<'_>) -> AuditTier {
+    let reset_free = audit.logical.reset_count() == 0 && audit.routed.reset_count() == 0;
+    if reset_free
+        && crate::stabilizer::circuit_is_clifford(audit.logical)
+        && crate::stabilizer::circuit_is_clifford(audit.routed)
+    {
+        AuditTier::StabilizerProof
+    } else if probe_is_tractable(audit) {
+        AuditTier::StatevectorProbe
+    } else {
+        AuditTier::Skipped
+    }
+}
+
 /// V006 pass: audits a [`RoutingAudit`] attached to the [`Context`].
 /// Silent when no routing provenance is present.
 pub struct ClosedDivisionAudit;
@@ -69,10 +117,80 @@ impl Pass for ClosedDivisionAudit {
             return; // malformed mappings make the other stages meaningless
         }
         check_accounting(audit, out);
-        if probe_is_tractable(audit) {
-            check_statevector(audit, out);
+        let tier = audit_tier(audit);
+        let mut span = Span::open("verify.audit");
+        span.record("tier", tier.name());
+        span.record("live_wires", live_wires(audit).len());
+        match tier {
+            AuditTier::StabilizerProof => check_stabilizer(audit, out),
+            AuditTier::StatevectorProbe => check_statevector(audit, out),
+            AuditTier::Skipped => out.push(Diagnostic::global(
+                CheckId::ClosedDivisionAudit,
+                Severity::Lint,
+                format!(
+                    "equivalence not audited ({}): gate accounting only",
+                    skip_reason(audit)
+                ),
+            )),
         }
     }
+}
+
+/// Why neither equivalence tier applies (for the skipped-tier diagnostic).
+fn skip_reason(audit: &RoutingAudit<'_>) -> String {
+    let mut reasons = Vec::new();
+    if audit.logical.reset_count() > 0 || audit.routed.reset_count() > 0 {
+        reasons.push("circuit contains resets".to_string());
+    } else {
+        reasons.push("circuit is not Clifford".to_string());
+    }
+    let wires = live_wires(audit).len();
+    if wires > MAX_PROBE_QUBITS {
+        reasons.push(format!(
+            "{wires} live wires exceed the {MAX_PROBE_QUBITS}-wire statevector limit"
+        ));
+    }
+    reasons.join("; ")
+}
+
+/// Tier 1: the symbolic stabilizer proof.
+fn check_stabilizer(audit: &RoutingAudit<'_>, out: &mut Vec<Diagnostic>) {
+    match prove_permutation_equivalence(
+        audit.logical,
+        audit.routed,
+        audit.initial_mapping,
+        audit.final_mapping,
+    ) {
+        StabilizerVerdict::Proven => {}
+        StabilizerVerdict::Refuted { detail } => out.push(Diagnostic::global(
+            CheckId::ClosedDivisionAudit,
+            Severity::Error,
+            format!(
+                "routed circuit is not equivalent to its input up to the reported \
+                 permutation (stabilizer proof: {detail})"
+            ),
+        )),
+        // audit_tier checked applicability, so this is defensive only.
+        StabilizerVerdict::NotApplicable { reason } => out.push(Diagnostic::global(
+            CheckId::ClosedDivisionAudit,
+            Severity::Lint,
+            format!("stabilizer tier withdrew: {reason}; gate accounting only"),
+        )),
+    }
+}
+
+/// Runs the statevector probe in isolation: `Some(true)` when the probe
+/// agrees the routed circuit implements its input, `Some(false)` on a
+/// counterexample, `None` when the probe is intractable (resets, or too
+/// many live wires). Exposed so the stabilizer tier can be cross-checked
+/// against the probe on small circuits.
+pub fn statevector_probe(audit: &RoutingAudit<'_>) -> Option<bool> {
+    if !probe_is_tractable(audit) {
+        return None;
+    }
+    let mut out = Vec::new();
+    check_statevector(audit, &mut out);
+    Some(out.is_empty())
 }
 
 /// Validates mapping shape: one entry per logical qubit, injective, on-chip.
@@ -484,6 +602,83 @@ mod tests {
         let audit = RoutingAudit::new(&logical, &tampered, &identity, &identity, 0);
         assert!(!probe_is_tractable(&audit));
         v006_errors_only(&audit);
+    }
+
+    #[test]
+    fn tier_selection_follows_the_fallback_ladder() {
+        // Non-Clifford but small: probe tier.
+        let parts = honest_parts();
+        assert_eq!(audit_tier(&parts.audit()), AuditTier::StatevectorProbe);
+
+        // Clifford at any size: stabilizer tier.
+        let n = 14;
+        let mut logical = Circuit::new(n);
+        for q in 0..n - 1 {
+            logical.cx(q, q + 1);
+        }
+        let identity: Vec<usize> = (0..n).collect();
+        let audit = RoutingAudit::new(&logical, &logical, &identity, &identity, 0);
+        assert_eq!(audit_tier(&audit), AuditTier::StabilizerProof);
+
+        // Non-Clifford and too big: skipped.
+        let mut big = logical.clone();
+        big.rz(0.3, 0);
+        let audit = RoutingAudit::new(&big, &big, &identity, &identity, 0);
+        assert_eq!(audit_tier(&audit), AuditTier::Skipped);
+
+        // Resets disqualify both equivalence tiers.
+        let mut with_reset = Circuit::new(2);
+        with_reset.h(0).reset(0);
+        let id = vec![0, 1];
+        let audit = RoutingAudit::new(&with_reset, &with_reset, &id, &id, 0);
+        assert_eq!(audit_tier(&audit), AuditTier::Skipped);
+    }
+
+    #[test]
+    fn stabilizer_tier_catches_flipped_cx_beyond_probe_size() {
+        // 14 live wires with identical gate multisets: only the symbolic
+        // proof can catch the flipped control/target.
+        let n = 14;
+        let mut logical = Circuit::new(n);
+        logical.h(0);
+        for q in 0..n - 1 {
+            logical.cx(q, q + 1);
+        }
+        let mut tampered = Circuit::new(n);
+        tampered.h(0);
+        for q in 0..n - 1 {
+            if q == 7 {
+                tampered.cx(q + 1, q); // mutation: one flipped cx
+            } else {
+                tampered.cx(q, q + 1);
+            }
+        }
+        let identity: Vec<usize> = (0..n).collect();
+        let audit = RoutingAudit::new(&logical, &tampered, &identity, &identity, 0);
+        assert_eq!(audit_tier(&audit), AuditTier::StabilizerProof);
+        assert!(!probe_is_tractable(&audit));
+        v006_errors_only(&audit);
+    }
+
+    #[test]
+    fn skipped_tier_reports_a_lint_naming_the_blockers() {
+        let n = 14;
+        let mut logical = Circuit::new(n);
+        for q in 0..n - 1 {
+            logical.cx(q, q + 1);
+        }
+        logical.rz(0.3, 0); // non-Clifford, and 14 wires exceed the probe
+        let identity: Vec<usize> = (0..n).collect();
+        let audit = RoutingAudit::new(&logical, &logical, &identity, &identity, 0);
+        let report = verify_routed(&audit, None);
+        assert!(!report.has_errors(), "findings:\n{}", report.render());
+        let lint = report
+            .diagnostics
+            .iter()
+            .find(|d| d.check == CheckId::ClosedDivisionAudit && d.severity == Severity::Lint)
+            .expect("skipped tier must say so");
+        assert!(lint.message.contains("not Clifford"), "{}", lint.message);
+        assert!(lint.message.contains("live wires"), "{}", lint.message);
     }
 
     #[test]

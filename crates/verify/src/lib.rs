@@ -24,6 +24,17 @@
 //! | V005 | coupling-map           | two-qubit gates on non-adjacent physical qubits     |
 //! | V006 | closed-division-audit  | routed circuit disagrees with input up to permutation |
 //! | V007 | lint                   | adjacent self-inverse pairs, ~0 rotations, unused qubits |
+//! | V008 | dead-gate              | unitaries outside every measurement lightcone       |
+//! | V009 | clobbered-qubit        | resets that discard unconsumed quantum state        |
+//! | V010 | clifford-preservation  | non-Clifford gates under a Clifford-preserving claim |
+//!
+//! V006 is *tiered*: routed Clifford circuits get a symbolic stabilizer
+//! proof at any size, non-Clifford circuits fall back to the statevector
+//! probe when tractable, and otherwise the audit degrades to gate
+//! accounting with an explicit lint naming the skipped tier (see
+//! [`audit::AuditTier`]). V008–V010 are powered by the abstract
+//! interpretation engine in [`dataflow`] with the concrete domains in
+//! [`lightcone`] and [`stabilizer`].
 //!
 //! # Example
 //!
@@ -41,10 +52,24 @@
 
 pub mod audit;
 pub mod checks;
+pub mod dataflow;
+pub mod differential;
+pub mod lightcone;
+pub mod stabilizer;
 
-pub use audit::RoutingAudit;
+pub use audit::{audit_tier, statevector_probe, AuditTier, RoutingAudit};
+pub use dataflow::{interpret, interpret_rev, Domain};
+pub use differential::{
+    clifford_corpus, differential, CompiledOutput, DifferentialCase, DifferentialReport,
+    EquivalenceVerdict,
+};
+pub use lightcone::{Lightcone, LightconeAnalysis, Liveness, LivenessAnalysis};
+pub use stabilizer::{
+    circuit_is_clifford, prove_permutation_equivalence, CliffordFlowAnalysis, CliffordSummary,
+    StabilizerVerdict,
+};
 
-use supermarq_circuit::{Circuit, Gate, GateKind};
+use supermarq_circuit::{Circuit, Gate, GateKind, PropertySet};
 use supermarq_device::{Device, NativeGateSet};
 
 /// How serious a finding is.
@@ -92,11 +117,18 @@ pub enum CheckId {
     /// V007: lint-grade findings (cancellable pairs, ~0 rotations, unused
     /// qubits).
     Lint,
+    /// V008: unitaries outside every measurement lightcone (dead gates).
+    DeadGate,
+    /// V009: resets that discard unconsumed quantum state.
+    ClobberedQubit,
+    /// V010: non-Clifford gates in a pipeline that claimed
+    /// Clifford-preserving input.
+    CliffordPreservation,
 }
 
 impl CheckId {
     /// All checks, in pass-execution order.
-    pub const ALL: [CheckId; 7] = [
+    pub const ALL: [CheckId; 10] = [
         CheckId::OperandValidity,
         CheckId::DuplicateOperands,
         CheckId::MeasurementDiscipline,
@@ -104,9 +136,12 @@ impl CheckId {
         CheckId::CouplingMap,
         CheckId::ClosedDivisionAudit,
         CheckId::Lint,
+        CheckId::DeadGate,
+        CheckId::ClobberedQubit,
+        CheckId::CliffordPreservation,
     ];
 
-    /// Short machine-readable code (`V001` … `V007`).
+    /// Short machine-readable code (`V001` … `V010`).
     pub fn code(&self) -> &'static str {
         match self {
             CheckId::OperandValidity => "V001",
@@ -116,6 +151,9 @@ impl CheckId {
             CheckId::CouplingMap => "V005",
             CheckId::ClosedDivisionAudit => "V006",
             CheckId::Lint => "V007",
+            CheckId::DeadGate => "V008",
+            CheckId::ClobberedQubit => "V009",
+            CheckId::CliffordPreservation => "V010",
         }
     }
 
@@ -129,6 +167,9 @@ impl CheckId {
             CheckId::CouplingMap => "coupling-map",
             CheckId::ClosedDivisionAudit => "closed-division-audit",
             CheckId::Lint => "lint",
+            CheckId::DeadGate => "dead-gate",
+            CheckId::ClobberedQubit => "clobbered-qubit",
+            CheckId::CliffordPreservation => "clifford-preservation",
         }
     }
 
@@ -148,6 +189,11 @@ impl CheckId {
                 "routed circuit matches the input up to the reported output permutation"
             }
             CheckId::Lint => "adjacent self-inverse pairs, ~0-angle rotations, unused qubits",
+            CheckId::DeadGate => "no unitary lies outside every measurement lightcone",
+            CheckId::ClobberedQubit => "no reset discards unconsumed quantum state",
+            CheckId::CliffordPreservation => {
+                "a pipeline with Clifford input emits only Clifford gates"
+            }
         }
     }
 }
@@ -170,6 +216,11 @@ pub struct Diagnostic {
     pub instruction: Option<usize>,
     /// Human-readable description of the finding.
     pub message: String,
+    /// Name of the pipeline pass that introduced or last moved the
+    /// offending instruction (`"input"` when it came in untouched). Filled
+    /// by the pass manager's provenance domain; `None` outside pipeline
+    /// runs.
+    pub blame: Option<String>,
 }
 
 impl Diagnostic {
@@ -185,6 +236,7 @@ impl Diagnostic {
             severity,
             instruction: Some(index),
             message: message.into(),
+            blame: None,
         }
     }
 
@@ -195,7 +247,15 @@ impl Diagnostic {
             severity,
             instruction: None,
             message: message.into(),
+            blame: None,
         }
+    }
+
+    /// Attaches provenance blame (the pass that introduced or last moved
+    /// the offending instruction).
+    pub fn with_blame(mut self, blame: impl Into<String>) -> Self {
+        self.blame = Some(blame.into());
+        self
     }
 }
 
@@ -205,7 +265,11 @@ impl std::fmt::Display for Diagnostic {
         if let Some(i) = self.instruction {
             write!(f, " at instruction {i}")?;
         }
-        write!(f, ": {}", self.message)
+        write!(f, ": {}", self.message)?;
+        if let Some(blame) = &self.blame {
+            write!(f, " [pass: {blame}]")?;
+        }
+        Ok(())
     }
 }
 
@@ -255,9 +319,30 @@ impl Report {
         hit
     }
 
-    /// Renders every diagnostic, one per line.
+    /// The diagnostics in render order: severity descending, then
+    /// instruction location (circuit-level findings last), then check code
+    /// and message. Total and value-determined, so output built from it is
+    /// byte-deterministic.
+    pub fn sorted(&self) -> Vec<&Diagnostic> {
+        let mut sorted: Vec<&Diagnostic> = self.diagnostics.iter().collect();
+        sorted.sort_by(|a, b| {
+            b.severity
+                .cmp(&a.severity)
+                .then_with(|| {
+                    a.instruction
+                        .unwrap_or(usize::MAX)
+                        .cmp(&b.instruction.unwrap_or(usize::MAX))
+                })
+                .then_with(|| a.check.code().cmp(b.check.code()))
+                .then_with(|| a.message.cmp(&b.message))
+                .then_with(|| a.blame.cmp(&b.blame))
+        });
+        sorted
+    }
+
+    /// Renders every diagnostic, one per line, in [`Report::sorted`] order.
     pub fn render(&self) -> String {
-        self.diagnostics
+        self.sorted()
             .iter()
             .map(|d| d.to_string())
             .collect::<Vec<_>>()
@@ -279,6 +364,14 @@ pub struct Context<'a> {
     pub device: Option<&'a Device>,
     /// Routing provenance, when the circuit is the output of the router.
     pub routing: Option<&'a RoutingAudit<'a>>,
+    /// Shared analysis cache: when present (pipeline runs), dataflow
+    /// results land here and are reused across passes; when absent, each
+    /// pass interprets fresh.
+    pub properties: Option<&'a PropertySet>,
+    /// Whether the pipeline's *input* circuit was all-Clifford — the claim
+    /// V010 holds the output to. `false` outside pipeline runs (V010 is
+    /// then silent).
+    pub clifford_input: bool,
 }
 
 impl<'a> Context<'a> {
@@ -288,16 +381,29 @@ impl<'a> Context<'a> {
             circuit,
             device: None,
             routing: None,
+            properties: None,
+            clifford_input: false,
         }
     }
 
     /// A context with a target device.
     pub fn on_device(circuit: &'a Circuit, device: &'a Device) -> Self {
         Context {
-            circuit,
             device: Some(device),
-            routing: None,
+            ..Context::bare(circuit)
         }
+    }
+
+    /// Attaches a shared analysis cache.
+    pub fn with_properties(mut self, properties: &'a PropertySet) -> Self {
+        self.properties = Some(properties);
+        self
+    }
+
+    /// Sets the Clifford-preservation claim checked by V010.
+    pub fn with_clifford_claim(mut self, claim: bool) -> Self {
+        self.clifford_input = claim;
+        self
     }
 }
 
@@ -334,7 +440,7 @@ impl Verifier {
         Verifier { passes: Vec::new() }
     }
 
-    /// The full pipeline: all seven checks, in [`CheckId::ALL`] order.
+    /// The full pipeline: all ten checks, in [`CheckId::ALL`] order.
     pub fn all() -> Self {
         Verifier::new()
             .with_pass(checks::OperandValidity)
@@ -344,6 +450,9 @@ impl Verifier {
             .with_pass(checks::CouplingMap)
             .with_pass(audit::ClosedDivisionAudit)
             .with_pass(checks::LintPass)
+            .with_pass(lightcone::DeadGate)
+            .with_pass(lightcone::ClobberedQubit)
+            .with_pass(stabilizer::CliffordPreservation)
     }
 
     /// The pipeline for auditing the router's output: the circuit is on
@@ -357,15 +466,21 @@ impl Verifier {
             .with_pass(checks::CouplingMap)
             .with_pass(audit::ClosedDivisionAudit)
             .with_pass(checks::LintPass)
+            .with_pass(lightcone::DeadGate)
+            .with_pass(lightcone::ClobberedQubit)
+            .with_pass(stabilizer::CliffordPreservation)
     }
 
-    /// The structural subset (V001–V003, V007): meaningful without a device.
+    /// The structural subset (V001–V003, V007–V009): meaningful without a
+    /// device.
     pub fn structural() -> Self {
         Verifier::new()
             .with_pass(checks::OperandValidity)
             .with_pass(checks::DuplicateOperands)
             .with_pass(checks::MeasurementDiscipline)
             .with_pass(checks::LintPass)
+            .with_pass(lightcone::DeadGate)
+            .with_pass(lightcone::ClobberedQubit)
     }
 
     /// Appends a pass to the pipeline.
@@ -389,7 +504,7 @@ impl Verifier {
     }
 }
 
-/// Runs the structural checks (V001–V003, V007) on a bare circuit.
+/// Runs the structural checks (V001–V003, V007–V009) on a bare circuit.
 pub fn verify_circuit(circuit: &Circuit) -> Report {
     Verifier::structural().verify(&Context::bare(circuit))
 }
@@ -404,9 +519,9 @@ pub fn verify_on_device(circuit: &Circuit, device: &Device) -> Report {
 /// circuit with its provenance.
 pub fn verify_routed(audit: &RoutingAudit<'_>, device: Option<&Device>) -> Report {
     let ctx = Context {
-        circuit: audit.routed,
-        device,
         routing: Some(audit),
+        device,
+        ..Context::bare(audit.routed)
     };
     Verifier::all().verify(&ctx)
 }
@@ -445,11 +560,11 @@ mod tests {
         let codes: Vec<&str> = CheckId::ALL.iter().map(|c| c.code()).collect();
         assert_eq!(
             codes,
-            ["V001", "V002", "V003", "V004", "V005", "V006", "V007"]
+            ["V001", "V002", "V003", "V004", "V005", "V006", "V007", "V008", "V009", "V010"]
         );
         let names: std::collections::BTreeSet<&str> =
             CheckId::ALL.iter().map(|c| c.name()).collect();
-        assert_eq!(names.len(), 7);
+        assert_eq!(names.len(), 10);
     }
 
     #[test]
@@ -464,6 +579,38 @@ mod tests {
         assert_eq!(d.to_string(), "error[V005] at instruction 7: cx on (0, 4)");
         let g = Diagnostic::global(CheckId::Lint, Severity::Lint, "qubit 3 is unused");
         assert_eq!(g.to_string(), "lint[V007]: qubit 3 is unused");
+        let blamed = d.with_blame("route");
+        assert_eq!(
+            blamed.to_string(),
+            "error[V005] at instruction 7: cx on (0, 4) [pass: route]"
+        );
+    }
+
+    #[test]
+    fn render_orders_by_severity_then_location() {
+        let report = Report {
+            diagnostics: vec![
+                Diagnostic::global(CheckId::Lint, Severity::Lint, "style"),
+                Diagnostic::at(CheckId::DeadGate, Severity::Warning, 9, "dead"),
+                Diagnostic::at(CheckId::CouplingMap, Severity::Error, 4, "uncoupled"),
+                Diagnostic::global(CheckId::ClosedDivisionAudit, Severity::Error, "mismatch"),
+                Diagnostic::at(CheckId::OperandValidity, Severity::Error, 1, "bad index"),
+            ],
+        };
+        let rendered = report.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "error[V001] at instruction 1: bad index",
+                "error[V005] at instruction 4: uncoupled",
+                "error[V006]: mismatch",
+                "warning[V008] at instruction 9: dead",
+                "lint[V007]: style",
+            ]
+        );
+        // Byte-deterministic: rendering twice is identical.
+        assert_eq!(rendered, report.render());
     }
 
     #[test]
@@ -480,7 +627,7 @@ mod tests {
     }
 
     #[test]
-    fn full_pipeline_registers_all_seven_passes() {
+    fn full_pipeline_registers_all_ten_passes() {
         assert_eq!(Verifier::all().pass_ids(), CheckId::ALL.to_vec());
     }
 

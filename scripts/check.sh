@@ -25,4 +25,7 @@ bash scripts/profile_smoke.sh
 echo "==> pipeline smoke (three pipelines; scores agree, trace names every pass)"
 bash scripts/pipeline_smoke.sh
 
+echo "==> lint smoke (suite lints clean, V008 blame, differential certification)"
+bash scripts/lint_smoke.sh
+
 echo "All checks passed."

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Lint smoke test: every benchmark in the suite lints clean through a
+# verified pipeline on a Table II device (text and strict-JSON output), a
+# seeded-broken circuit trips the dead-gate check (V008) with correct
+# blame, and two builtin pipelines differentially certify against each
+# other on the Clifford corpus.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=target/release/supermarq
+echo "==> building supermarq CLI"
+cargo build -q --release -p supermarq-cli
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+BENCHMARKS=(ghz mermin-bell bit-code phase-code qaoa-vanilla qaoa-swap vqe hamsim)
+
+echo "==> linting ${#BENCHMARKS[@]} benchmarks through closed-stages on IonQ"
+for b in "${BENCHMARKS[@]}"; do
+    "$BIN" lint "$b" --size 4 --device IonQ --pipeline closed-stages \
+        >"$WORK/$b.txt" || {
+        echo "FAIL: $b text lint reported errors"; cat "$WORK/$b.txt"; exit 1; }
+    grep -q ' 0 error(s)' "$WORK/$b.txt" || {
+        echo "FAIL: $b text summary is not clean"; cat "$WORK/$b.txt"; exit 1; }
+
+    "$BIN" lint "$b" --size 4 --device IonQ --pipeline closed-stages \
+        --format json >"$WORK/$b.jsonl" || {
+        echo "FAIL: $b JSON lint reported errors"; cat "$WORK/$b.jsonl"; exit 1; }
+    # Every line of the stream must be a single strict JSON object.
+    while IFS= read -r line; do
+        case "$line" in
+            "{"*"}") ;;
+            *) echo "FAIL: $b emitted a non-object JSON line: $line"; exit 1 ;;
+        esac
+    done <"$WORK/$b.jsonl"
+    grep -q '"errors":0' "$WORK/$b.jsonl" || {
+        echo "FAIL: $b JSON summary is not clean"; cat "$WORK/$b.jsonl"; exit 1; }
+    echo "    $b: clean (text + json)"
+done
+
+echo "==> seeding a broken circuit (dead H outside every measurement lightcone)"
+cat >"$WORK/broken.qasm" <<'EOF'
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[2];
+h q[0];
+cx q[0],q[1];
+h q[2];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+EOF
+"$BIN" lint "$WORK/broken.qasm" --format json >"$WORK/broken.jsonl"
+grep -q '"check":"V008"' "$WORK/broken.jsonl" || {
+    echo "FAIL: seeded dead gate did not trip V008"; cat "$WORK/broken.jsonl"; exit 1; }
+grep '"check":"V008"' "$WORK/broken.jsonl" | grep -q '"blame":"input"' || {
+    echo "FAIL: V008 blame is not 'input'"; cat "$WORK/broken.jsonl"; exit 1; }
+
+echo "==> differential certification: closed-default vs no-optimize on IBM-Casablanca"
+"$BIN" transpile diff closed-default no-optimize \
+    --device IBM-Casablanca --max-qubits 4 >"$WORK/diff.txt" || {
+    echo "FAIL: transpile diff exited non-zero"; cat "$WORK/diff.txt"; exit 1; }
+grep -q 'all cases proven' "$WORK/diff.txt" || {
+    echo "FAIL: differential run did not prove every case"; cat "$WORK/diff.txt"; exit 1; }
+
+echo "PASS: lint smoke (${#BENCHMARKS[@]} benchmarks clean, V008 blamed on input, pipelines certified)"
