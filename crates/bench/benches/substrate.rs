@@ -34,10 +34,35 @@ fn ghz_circuit(n: usize) -> Circuit {
 
 fn bench_statevector(c: &mut Criterion) {
     let mut group = c.benchmark_group("statevector_ghz");
-    for n in [10usize, 14, 18] {
+    for n in [10usize, 14, 18, 20, 22, 24, 26] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             let circuit = ghz_circuit(n);
-            b.iter(|| black_box(Executor::final_state(&circuit)));
+            b.iter(|| black_box(Executor::final_state(&circuit).expect("unitary circuit")));
+        });
+    }
+    group.finish();
+}
+
+/// Intra-statevector scaling: a noiseless 22-qubit GHZ `final_state`
+/// under explicit pools of 1/2/4/8 threads. Shot-level fan-out has a
+/// single trajectory to work with here, so any speedup comes from the
+/// chunked gate kernels splitting the amplitude array itself; the
+/// per-thread-count ids feed the "segments vs speedup" table in
+/// `BENCH_sim.json`.
+fn bench_intra_statevector(c: &mut Criterion) {
+    let circuit = ghz_circuit(22);
+    let mut group = c.benchmark_group("intra_statevector_ghz22");
+    for threads in [1usize, 2, 4, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("fixed-size pool");
+        group.bench_with_input(BenchmarkId::new("threads", threads), &pool, |b, pool| {
+            b.iter(|| {
+                pool.install(|| {
+                    black_box(Executor::final_state(&circuit).expect("unitary circuit"))
+                })
+            });
         });
     }
     group.finish();
@@ -231,6 +256,7 @@ fn bench_krylov(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_statevector,
+    bench_intra_statevector,
     bench_kernels,
     bench_trajectory_throughput,
     bench_trajectory_execution,
@@ -304,6 +330,25 @@ fn export_bench_json() {
     json.push_str(&format!(
         "  \"trajectory_speedup_seq1_vs_pool\": {speedup},\n"
     ));
+    // Segments-vs-speedup table: how the chunked kernels scale when the
+    // only parallelism available is *inside* one statevector.
+    json.push_str("  \"intra_statevector_ghz22\": [\n");
+    let base = lookup("intra_statevector_ghz22/threads/1");
+    let rows: Vec<String> = [1usize, 2, 4, 8]
+        .iter()
+        .filter_map(|&threads| {
+            let nanos = lookup(&format!("intra_statevector_ghz22/threads/{threads}"))?;
+            let speedup = match base {
+                Some(b) if nanos > 0.0 => format!("{:.3}", b / nanos),
+                _ => "null".to_string(),
+            };
+            Some(format!(
+                "    {{ \"segments\": {threads}, \"ns_per_iter\": {nanos:.1}, \"speedup_vs_1\": {speedup} }}"
+            ))
+        })
+        .collect();
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n  ],\n");
     json.push_str("  \"measurements_ns_per_iter\": {\n");
     let body: Vec<String> = measurements
         .iter()
@@ -318,9 +363,54 @@ fn export_bench_json() {
     }
 }
 
+/// `BENCH_ASSERT=1` turns the run into a pass/fail perf gate. Currently
+/// one invariant: the dense two-qubit path must stay within 2.5x of the
+/// specialized CX kernel on the 18-qubit state (the O(4*2^n) full scan it
+/// replaced sat around 4.6x). Returns `false` — and `main` exits
+/// nonzero — when the ratio regresses.
+fn run_assertions() -> bool {
+    let measurements = criterion::measurements();
+    let lookup = |id: &str| {
+        measurements
+            .iter()
+            .find(|(name, _)| name == id)
+            .map(|&(_, nanos)| nanos)
+    };
+    let (Some(dense), Some(kernel)) = (
+        lookup("kernels_18q/cx_dense"),
+        lookup("kernels_18q/cx_kernel"),
+    ) else {
+        eprintln!("BENCH_ASSERT: kernels_18q/cx_dense and cx_kernel were not measured");
+        eprintln!("BENCH_ASSERT: run with a filter that includes kernels_18q");
+        return false;
+    };
+    if kernel <= 0.0 {
+        eprintln!("BENCH_ASSERT: cx_kernel reported a non-positive time");
+        return false;
+    }
+    let ratio = dense / kernel;
+    let ok = ratio <= 2.5;
+    println!(
+        "\nBENCH_ASSERT: cx_dense/cx_kernel = {ratio:.2} (limit 2.5) -> {}",
+        if ok { "ok" } else { "FAIL" }
+    );
+    ok
+}
+
 fn main() {
     benches();
-    if !criterion::is_test_mode() {
-        export_bench_json();
+    if criterion::is_test_mode() {
+        return;
     }
+    let asserting = std::env::var("BENCH_ASSERT").is_ok_and(|v| v == "1");
+    if asserting && !run_assertions() {
+        std::process::exit(1);
+    }
+    // Assert runs are usually filtered, and filtered runs are partial
+    // either way: never let them clobber the full BENCH_sim.json.
+    if asserting || criterion::has_filter() {
+        println!("skipping BENCH_sim.json export (partial or asserting run)");
+        return;
+    }
+    export_bench_json();
 }

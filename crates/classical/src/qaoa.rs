@@ -128,7 +128,7 @@ mod tests {
         for q in 0..n {
             c.rx(2.0 * beta, q);
         }
-        let state = Executor::final_state(&c);
+        let state = Executor::final_state(&c).expect("QAOA circuits contain no reset");
         state.expectation(&sk_hamiltonian(n, weights))
     }
 

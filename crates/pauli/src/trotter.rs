@@ -150,8 +150,8 @@ mod tests {
         append_pauli_exponential(&mut via_pauli, &ps("X"), theta);
         let mut via_rx = Circuit::new(1);
         via_rx.ry(0.9, 0).rx(2.0 * theta, 0);
-        let a = Executor::final_state(&via_pauli);
-        let b = Executor::final_state(&via_rx);
+        let a = Executor::final_state(&via_pauli).expect("unitary circuit");
+        let b = Executor::final_state(&via_rx).expect("unitary circuit");
         assert!(a.fidelity(&b) > 1.0 - 1e-10);
     }
 
@@ -163,8 +163,8 @@ mod tests {
         append_pauli_exponential(&mut via_pauli, &ps("Y"), theta);
         let mut via_ry = Circuit::new(1);
         via_ry.h(0).ry(2.0 * theta, 0);
-        let a = Executor::final_state(&via_pauli);
-        let b = Executor::final_state(&via_ry);
+        let a = Executor::final_state(&via_pauli).expect("unitary circuit");
+        let b = Executor::final_state(&via_ry).expect("unitary circuit");
         assert!(a.fidelity(&b) > 1.0 - 1e-10, "fid={}", a.fidelity(&b));
     }
 
@@ -176,8 +176,8 @@ mod tests {
         append_pauli_exponential(&mut via_pauli, &ps("ZZ"), theta);
         let mut via_rzz = Circuit::new(2);
         via_rzz.h(0).h(1).rzz(2.0 * theta, 0, 1);
-        let a = Executor::final_state(&via_pauli);
-        let b = Executor::final_state(&via_rzz);
+        let a = Executor::final_state(&via_pauli).expect("unitary circuit");
+        let b = Executor::final_state(&via_rzz).expect("unitary circuit");
         assert!(a.fidelity(&b) > 1.0 - 1e-10);
     }
 
@@ -188,11 +188,11 @@ mod tests {
         let theta = 0.45;
         let mut prep = Circuit::new(3);
         prep.ry(0.8, 0).ry(1.9, 1).ry(0.3, 2).cx(0, 1);
-        let psi0 = Executor::final_state(&prep);
+        let psi0 = Executor::final_state(&prep).expect("unitary circuit");
         let exact = exact_pauli_exponential(&ps("XYZ"), theta, &psi0);
         let mut circuit = prep.clone();
         append_pauli_exponential(&mut circuit, &ps("XYZ"), theta);
-        let via_circuit = Executor::final_state(&circuit);
+        let via_circuit = Executor::final_state(&circuit).expect("unitary circuit");
         assert!(
             via_circuit.fidelity(&exact) > 1.0 - 1e-9,
             "fid={}",
@@ -216,7 +216,7 @@ mod tests {
             }
             let trot = trotter_circuit(&h, t, steps);
             c.extend_from(&trot);
-            Executor::final_state(&c)
+            Executor::final_state(&c).expect("unitary circuit")
         };
         let reference = run(1024);
         let mut last_err = f64::INFINITY;

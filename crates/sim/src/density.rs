@@ -361,7 +361,7 @@ mod tests {
     fn pure_state_evolution_matches_statevector() {
         let mut c = Circuit::new(3);
         c.h(0).cx(0, 1).ry(0.7, 2).cz(1, 2).rzz(0.4, 0, 2);
-        let psi: StateVector = Executor::final_state(&c);
+        let psi: StateVector = Executor::final_state(&c).expect("unitary circuit");
         let mut rho = DensityMatrix::zero_state(3);
         rho.run_unitary_circuit(&c, &NoiseModel::ideal());
         for (i, p) in psi.probabilities().iter().enumerate() {

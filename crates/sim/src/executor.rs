@@ -17,12 +17,41 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
+use std::fmt;
 use supermarq_obs::{counter, Span};
 
 use crate::counts::Counts;
+use crate::fusion::{fuse_1q_runs, fuse_permutation_runs, FusedOp};
 use crate::noise::NoiseModel;
 use crate::state::{CumulativeSampler, StateVector};
-use supermarq_circuit::{Circuit, CircuitLayers, GateKind};
+use supermarq_circuit::{Circuit, CircuitLayers, Gate, GateKind};
+
+/// Typed failure of the executor's unitary-only evaluation paths.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The circuit contains an instruction (currently: `Reset`) that the
+    /// unitary-only paths cannot evaluate; trajectory simulation can.
+    UnsupportedInstruction {
+        /// Index of the offending instruction in the circuit.
+        index: usize,
+        /// The offending gate.
+        gate: Gate,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnsupportedInstruction { index, gate } => write!(
+                f,
+                "instruction {index} ({gate:?}) is not supported on the unitary-only \
+                 evaluation path; use trajectory simulation"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
 
 /// Executes circuits for a number of shots under a [`NoiseModel`].
 ///
@@ -100,25 +129,35 @@ impl Executor {
         let parent = run_span.id();
         let batches = batch_ranges(shots);
         if !needs_trajectories {
-            // Single pass: apply unitaries once, then sample measured
-            // qubits from the final state by binary search over a
-            // precomputed cumulative-probability table.
-            let (state, measured_mask) = Self::fast_path_state(circuit);
-            let sampler = CumulativeSampler::new(&state);
-            let partials: Vec<Counts> = batches
-                .into_par_iter()
-                .map(|batch| {
-                    let _span =
-                        Span::open_with_parent("sim.batch", parent).with("shots", batch.len());
-                    let mut acc = Counts::new(n);
-                    for shot in batch {
-                        let mut rng = shot_rng(seed, shot as u64);
-                        acc.record(sampler.sample(&mut rng) & measured_mask);
-                    }
-                    acc
-                })
-                .collect();
-            return merge_counts(n, partials);
+            // Single pass: apply unitaries once (with 1q runs fused), then
+            // sample measured qubits from the final state by binary search
+            // over a precomputed cumulative-probability table.
+            match Self::fast_path_state(circuit) {
+                Ok((state, measured_mask)) => {
+                    let sampler = CumulativeSampler::new(&state);
+                    let partials: Vec<Counts> = batches
+                        .into_par_iter()
+                        .map(|batch| {
+                            let _span = Span::open_with_parent("sim.batch", parent)
+                                .with("shots", batch.len());
+                            let mut acc = Counts::new(n);
+                            for shot in batch {
+                                let mut rng = shot_rng(seed, shot as u64);
+                                acc.record(sampler.sample(&mut rng) & measured_mask);
+                            }
+                            acc
+                        })
+                        .collect();
+                    return merge_counts(n, partials);
+                }
+                Err(_) => {
+                    // Unreachable today (`has_nonfinal_collapse` routes every
+                    // reset-bearing circuit to trajectories), but degrade
+                    // gracefully instead of aborting a sweep if the fast-path
+                    // eligibility check and the evaluator ever disagree.
+                    counter!("sim.fast_path_fallbacks").incr();
+                }
+            }
         }
         counter!("sim.trajectories").add(shots as u64);
         let layers = CircuitLayers::of(circuit);
@@ -139,32 +178,47 @@ impl Executor {
         merge_counts(n, partials)
     }
 
-    /// Applies the unitary part of `circuit` for the noiseless fast path,
-    /// returning the final state and the mask of measured qubits.
+    /// Applies the unitary part of `circuit` (with adjacent one-qubit
+    /// gates fused into single matrix applications) for the noiseless fast
+    /// path, returning the final state and the mask of measured qubits.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics (naming the offending instruction index) if the circuit
-    /// contains a reset: callers must route reset-bearing circuits through
-    /// trajectory simulation, which `run` guarantees via
-    /// `has_nonfinal_collapse`.
-    fn fast_path_state(circuit: &Circuit) -> (StateVector, u64) {
+    /// Returns [`ExecError::UnsupportedInstruction`] if the circuit
+    /// contains a reset: `run` routes reset-bearing circuits through
+    /// trajectory simulation via `has_nonfinal_collapse`, and falls back
+    /// to it should this error ever surface anyway.
+    fn fast_path_state(circuit: &Circuit) -> Result<(StateVector, u64), ExecError> {
+        let (ops, fused_1q) = fuse_1q_runs(circuit);
+        let (ops, fused_perm) = fuse_permutation_runs(ops, circuit.num_qubits());
+        let fused_away = fused_1q + fused_perm;
+        let _span = Span::open("sim.unitary_eval")
+            .with("qubits", circuit.num_qubits())
+            .with("ops", ops.len())
+            .with("gates_fused", fused_away);
+        counter!("sim.fusion.gates_saved").add(fused_away as u64);
         let mut state = StateVector::zero_state(circuit.num_qubits());
         let mut measured_mask = 0u64;
-        for (idx, instr) in circuit.iter().enumerate() {
-            match instr.gate.kind() {
-                GateKind::OneQubitUnitary | GateKind::TwoQubitUnitary => {
-                    state.apply_instruction(instr);
-                }
-                GateKind::Measurement => measured_mask |= 1 << instr.qubits[0],
-                GateKind::Reset => panic!(
-                    "noiseless fast path reached a reset at instruction {idx}: \
-                     resets force trajectory simulation"
-                ),
-                GateKind::Barrier => {}
+        for op in &ops {
+            match op {
+                FusedOp::Fused1q { qubit, matrix } => state.apply_matrix1(matrix, *qubit),
+                FusedOp::Permutation { cols, offset } => state.permute_amps(cols, *offset),
+                FusedOp::Instr { index, instr } => match instr.gate.kind() {
+                    GateKind::OneQubitUnitary | GateKind::TwoQubitUnitary => {
+                        state.apply_instruction(instr);
+                    }
+                    GateKind::Measurement => measured_mask |= 1 << instr.qubits[0],
+                    GateKind::Reset => {
+                        return Err(ExecError::UnsupportedInstruction {
+                            index: *index,
+                            gate: instr.gate,
+                        })
+                    }
+                    GateKind::Barrier => {}
+                },
             }
         }
-        (state, measured_mask)
+        Ok((state, measured_mask))
     }
 
     /// Runs a single noisy trajectory over a precomputed layering and
@@ -244,24 +298,18 @@ impl Executor {
     }
 
     /// Computes the exact final state of the unitary part of `circuit`
-    /// (ignores measurements; panics on reset), for noiseless reference
-    /// values.
+    /// (ignoring measurements), for noiseless reference values. Runs of
+    /// adjacent one-qubit gates are fused into single matrix applications
+    /// first.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the circuit contains a reset.
-    pub fn final_state(circuit: &Circuit) -> StateVector {
-        let mut state = StateVector::zero_state(circuit.num_qubits());
-        for instr in circuit.iter() {
-            match instr.gate.kind() {
-                GateKind::OneQubitUnitary | GateKind::TwoQubitUnitary => {
-                    state.apply_instruction(instr);
-                }
-                GateKind::Measurement | GateKind::Barrier => {}
-                GateKind::Reset => panic!("final_state does not support reset"),
-            }
-        }
-        state
+    /// Returns [`ExecError::UnsupportedInstruction`] if the circuit
+    /// contains a reset — a reset-bearing circuit has no single final
+    /// state; evaluate it with trajectory simulation ([`Executor::run`])
+    /// instead.
+    pub fn final_state(circuit: &Circuit) -> Result<StateVector, ExecError> {
+        Ok(Self::fast_path_state(circuit)?.0)
     }
 }
 
@@ -420,16 +468,24 @@ mod tests {
     fn final_state_ignores_measurements() {
         let mut c = Circuit::new(2);
         c.h(0).cx(0, 1).measure_all();
-        let psi = Executor::final_state(&c);
+        let psi = Executor::final_state(&c).expect("unitary circuit");
         assert!((psi.probability(0b00) - 0.5).abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "does not support reset")]
-    fn final_state_rejects_reset() {
+    fn final_state_rejects_reset_with_typed_error() {
         let mut c = Circuit::new(1);
-        c.reset(0);
-        Executor::final_state(&c);
+        c.x(0).reset(0);
+        let err = Executor::final_state(&c).expect_err("reset is unsupported");
+        assert_eq!(
+            err,
+            ExecError::UnsupportedInstruction {
+                index: 1,
+                gate: Gate::Reset,
+            }
+        );
+        // The Display form names the instruction for sweep-level reporting.
+        assert!(format!("{err}").contains("instruction 1"), "{err}");
     }
 
     #[test]
@@ -504,13 +560,47 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "reset at instruction 1")]
     fn fast_path_names_the_offending_reset_instruction() {
         let mut c = Circuit::new(1);
         c.x(0).reset(0).measure(0);
         // `run` never routes reset-bearing circuits here; call the helper
-        // directly to pin the diagnostic.
-        Executor::fast_path_state(&c);
+        // directly to pin the typed error and its instruction index.
+        let err = Executor::fast_path_state(&c).expect_err("reset is unsupported");
+        assert_eq!(
+            err,
+            ExecError::UnsupportedInstruction {
+                index: 1,
+                gate: Gate::Reset,
+            }
+        );
+    }
+
+    #[test]
+    fn fusion_preserves_fast_path_counts() {
+        // A circuit with long fusable 1q runs: the fused evaluation must
+        // agree with applying every gate individually.
+        let mut c = Circuit::new(3);
+        c.h(0)
+            .t(0)
+            .s(0)
+            .h(1)
+            .x(1)
+            .cx(0, 1)
+            .h(2)
+            .t(2)
+            .h(0)
+            .measure_all();
+        let (fused_state, _) = Executor::fast_path_state(&c).expect("unitary circuit");
+        let mut unfused = StateVector::zero_state(3);
+        for instr in c.iter() {
+            if instr.gate.is_unitary() {
+                unfused.apply_instruction(instr);
+            }
+        }
+        assert!(
+            fused_state.fidelity(&unfused) > 1.0 - 1e-12,
+            "fused and unfused states diverge"
+        );
     }
 
     #[test]

@@ -1,0 +1,404 @@
+//! Single-qubit gate fusion pre-pass for the executor's unitary paths.
+//!
+//! A run of `k` adjacent one-qubit unitaries on the same qubit costs `k`
+//! full passes over half the amplitude array; multiplying their 2x2
+//! matrices first collapses that to one dense pass. The pre-pass is used
+//! only where a circuit is evaluated as a pure unitary (the noiseless fast
+//! path and `final_state`): trajectory simulation attaches noise channels
+//! to individual gates, so gates must stay separate there.
+//!
+//! "Adjacent" is per qubit, not per program position: a one-qubit run on
+//! qubit `a` stays fusable across interleaved operations on other qubits,
+//! and is flushed by anything sharing qubit `a` (a two-qubit gate,
+//! measurement, reset, or barrier). Operations on disjoint qubits commute
+//! exactly as operators, so the reordering this implies does not change
+//! the resulting unitary.
+//!
+//! Runs of length 1 are re-emitted as their original instruction so
+//! diagonal/permutation gates keep their specialized kernels; only runs of
+//! two or more pay the dense-matrix path.
+//!
+//! A second stage ([`fuse_permutation_runs`]) collapses adjacent runs of
+//! the *classical permutation* gates X, CX and SWAP: each maps basis index
+//! `i` to `A·i xor c` for an invertible GF(2) matrix `A` (stored as
+//! columns) and offset `c`, so a run of `k` of them composes into one
+//! affine map applied in a single pass over the amplitudes
+//! ([`crate::StateVector`]'s `permute_amps`) instead of `k` memory-bound
+//! sweeps. A GHZ ladder's whole CX chain becomes one pass.
+
+use supermarq_circuit::{Circuit, Gate, GateKind, Instruction, C64};
+
+/// One operation of a fused unitary program.
+pub(crate) enum FusedOp<'c> {
+    /// An original instruction, with its index in the source circuit.
+    Instr {
+        index: usize,
+        instr: &'c Instruction,
+    },
+    /// A run of two or more adjacent one-qubit unitaries on `qubit`,
+    /// collapsed into a single matrix.
+    Fused1q { qubit: usize, matrix: [[C64; 2]; 2] },
+    /// A run of two or more adjacent X/CX/SWAP gates, collapsed into one
+    /// affine index map `i -> (xor of cols[k] for set bits k of i) xor
+    /// offset`.
+    Permutation { cols: Vec<u64>, offset: u64 },
+}
+
+/// A one-qubit run still accumulating.
+struct Pending<'c> {
+    matrix: [[C64; 2]; 2],
+    count: usize,
+    first_index: usize,
+    first: &'c Instruction,
+}
+
+/// 2x2 complex matrix product `a * b` (same accumulation order as the
+/// transpiler's gate-fusion pass).
+fn matmul2(a: &[[C64; 2]; 2], b: &[[C64; 2]; 2]) -> [[C64; 2]; 2] {
+    let mut out = [[C64::ZERO; 2]; 2];
+    for (row, out_row) in out.iter_mut().enumerate() {
+        for (col, out_cell) in out_row.iter_mut().enumerate() {
+            *out_cell = a[row][0] * b[0][col] + a[row][1] * b[1][col];
+        }
+    }
+    out
+}
+
+fn flush<'c>(
+    pending: &mut Option<Pending<'c>>,
+    ops: &mut Vec<FusedOp<'c>>,
+    fused_away: &mut usize,
+) {
+    if let Some(p) = pending.take() {
+        if p.count == 1 {
+            ops.push(FusedOp::Instr {
+                index: p.first_index,
+                instr: p.first,
+            });
+        } else {
+            *fused_away += p.count - 1;
+            ops.push(FusedOp::Fused1q {
+                qubit: p.first.qubits[0],
+                matrix: p.matrix,
+            });
+        }
+    }
+}
+
+/// Fuses per-qubit runs of adjacent one-qubit unitaries. Returns the fused
+/// program and the number of gate applications eliminated (`sum over runs
+/// of (len - 1)`).
+pub(crate) fn fuse_1q_runs(circuit: &Circuit) -> (Vec<FusedOp<'_>>, usize) {
+    let mut pending: Vec<Option<Pending<'_>>> = (0..circuit.num_qubits()).map(|_| None).collect();
+    let mut ops = Vec::with_capacity(circuit.instructions().len());
+    let mut fused_away = 0usize;
+    for (index, instr) in circuit.iter().enumerate() {
+        match instr.gate.kind() {
+            GateKind::OneQubitUnitary => {
+                let q = instr.qubits[0];
+                let m = instr.gate.matrix1().expect("1q unitary has a matrix");
+                match &mut pending[q] {
+                    Some(p) => {
+                        // Later gates left-multiply: overall = m_new * m_acc.
+                        p.matrix = matmul2(&m, &p.matrix);
+                        p.count += 1;
+                    }
+                    None => {
+                        pending[q] = Some(Pending {
+                            matrix: m,
+                            count: 1,
+                            first_index: index,
+                            first: instr,
+                        });
+                    }
+                }
+            }
+            GateKind::TwoQubitUnitary
+            | GateKind::Measurement
+            | GateKind::Reset
+            | GateKind::Barrier => {
+                for &q in &instr.qubits {
+                    flush(&mut pending[q], &mut ops, &mut fused_away);
+                }
+                ops.push(FusedOp::Instr { index, instr });
+            }
+        }
+    }
+    for slot in &mut pending {
+        flush(slot, &mut ops, &mut fused_away);
+    }
+    (ops, fused_away)
+}
+
+/// An affine GF(2) index map accumulating a permutation-gate run.
+struct PendingPerm<'c> {
+    /// `cols[k]` = image of basis vector `e_k` under the linear part.
+    cols: Vec<u64>,
+    offset: u64,
+    count: usize,
+    first: FusedOp<'c>,
+}
+
+impl PendingPerm<'_> {
+    fn identity(num_qubits: usize, first: FusedOp<'_>) -> PendingPerm<'_> {
+        PendingPerm {
+            cols: (0..num_qubits).map(|k| 1u64 << k).collect(),
+            offset: 0,
+            count: 0,
+            first,
+        }
+    }
+
+    /// Left-composes one permutation gate: the new map is `gate ∘ self`.
+    fn compose(&mut self, instr: &Instruction) {
+        match instr.gate {
+            Gate::X => self.offset ^= 1 << instr.qubits[0],
+            Gate::Cx => {
+                let (c, t) = (instr.qubits[0], instr.qubits[1]);
+                for v in self.cols.iter_mut().chain([&mut self.offset]) {
+                    *v ^= ((*v >> c) & 1) << t;
+                }
+            }
+            Gate::Swap => {
+                let (a, b) = (instr.qubits[0], instr.qubits[1]);
+                for v in self.cols.iter_mut().chain([&mut self.offset]) {
+                    let x = ((*v >> a) ^ (*v >> b)) & 1;
+                    *v ^= (x << a) | (x << b);
+                }
+            }
+            _ => unreachable!("not a permutation gate: {:?}", instr.gate),
+        }
+        self.count += 1;
+    }
+}
+
+/// `true` for gates that permute basis indices without touching amplitude
+/// values.
+fn is_permutation_gate(instr: &Instruction) -> bool {
+    matches!(instr.gate, Gate::X | Gate::Cx | Gate::Swap)
+}
+
+fn flush_perm<'c>(
+    pending: &mut Option<PendingPerm<'c>>,
+    ops: &mut Vec<FusedOp<'c>>,
+    fused_away: &mut usize,
+) {
+    if let Some(p) = pending.take() {
+        if p.count == 1 {
+            // Singletons keep their specialized swap kernels.
+            ops.push(p.first);
+        } else {
+            *fused_away += p.count - 1;
+            ops.push(FusedOp::Permutation {
+                cols: p.cols,
+                offset: p.offset,
+            });
+        }
+    }
+}
+
+/// Collapses adjacent runs of X/CX/SWAP ops in an already-1q-fused program
+/// into single [`FusedOp::Permutation`] ops. Returns the rewritten program
+/// and the number of gate applications eliminated.
+pub(crate) fn fuse_permutation_runs(
+    ops: Vec<FusedOp<'_>>,
+    num_qubits: usize,
+) -> (Vec<FusedOp<'_>>, usize) {
+    let mut out = Vec::with_capacity(ops.len());
+    let mut pending: Option<PendingPerm<'_>> = None;
+    let mut fused_away = 0usize;
+    for op in ops {
+        match &op {
+            FusedOp::Instr { instr, .. } if is_permutation_gate(instr) => {
+                let instr = *instr;
+                let p = pending.get_or_insert_with(|| PendingPerm::identity(num_qubits, op));
+                p.compose(instr);
+            }
+            _ => {
+                flush_perm(&mut pending, &mut out, &mut fused_away);
+                out.push(op);
+            }
+        }
+    }
+    flush_perm(&mut pending, &mut out, &mut fused_away);
+    (out, fused_away)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supermarq_circuit::Gate;
+
+    fn op_count(ops: &[FusedOp<'_>]) -> (usize, usize) {
+        let fused = ops
+            .iter()
+            .filter(|op| matches!(op, FusedOp::Fused1q { .. }))
+            .count();
+        (ops.len(), fused)
+    }
+
+    #[test]
+    fn adjacent_runs_collapse_and_singletons_survive() {
+        let mut c = Circuit::new(2);
+        c.h(0).t(0).s(0); // run of 3 on qubit 0
+        c.x(1); // singleton on qubit 1
+        let (ops, fused_away) = fuse_1q_runs(&c);
+        assert_eq!(fused_away, 2);
+        let (total, fused) = op_count(&ops);
+        assert_eq!((total, fused), (2, 1));
+        // The singleton keeps its original instruction (specialized kernel).
+        assert!(ops.iter().any(|op| matches!(
+            op,
+            FusedOp::Instr { instr, .. } if instr.gate == Gate::X
+        )));
+    }
+
+    #[test]
+    fn two_qubit_gates_flush_their_operands_only() {
+        let mut c = Circuit::new(3);
+        c.h(0).h(1).h(2);
+        c.cx(0, 1); // flushes qubits 0 and 1, not 2
+        c.t(2); // still fusable with the earlier H on 2
+        let (ops, fused_away) = fuse_1q_runs(&c);
+        assert_eq!(fused_away, 1); // only the (H, T) run on qubit 2
+        let (_, fused) = op_count(&ops);
+        assert_eq!(fused, 1);
+    }
+
+    #[test]
+    fn fused_matrix_matches_gate_product() {
+        let mut c = Circuit::new(1);
+        c.h(0).t(0);
+        let (ops, _) = fuse_1q_runs(&c);
+        assert_eq!(ops.len(), 1);
+        let FusedOp::Fused1q { qubit, matrix } = &ops[0] else {
+            panic!("expected fused run");
+        };
+        assert_eq!(*qubit, 0);
+        let h = Gate::H.matrix1().unwrap();
+        let t = Gate::T.matrix1().unwrap();
+        let expect = matmul2(&t, &h); // T after H => T * H
+        for r in 0..2 {
+            for col in 0..2 {
+                assert!((matrix[r][col] - expect[r][col]).norm_sqr() < 1e-24);
+            }
+        }
+    }
+
+    /// Classical reference: the basis-index image of one permutation gate.
+    fn apply_perm_gate(instr: &Instruction, i: u64) -> u64 {
+        match instr.gate {
+            Gate::X => i ^ (1 << instr.qubits[0]),
+            Gate::Cx => {
+                let (c, t) = (instr.qubits[0], instr.qubits[1]);
+                i ^ (((i >> c) & 1) << t)
+            }
+            Gate::Swap => {
+                let (a, b) = (instr.qubits[0], instr.qubits[1]);
+                let x = ((i >> a) ^ (i >> b)) & 1;
+                i ^ ((x << a) | (x << b))
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Evaluates an affine map at index `i`.
+    fn eval_affine(cols: &[u64], offset: u64, i: u64) -> u64 {
+        let mut out = offset;
+        let mut bits = i;
+        while bits != 0 {
+            out ^= cols[bits.trailing_zeros() as usize];
+            bits &= bits - 1;
+        }
+        out
+    }
+
+    fn fuse_both(c: &Circuit) -> (Vec<FusedOp<'_>>, usize) {
+        let (ops, a) = fuse_1q_runs(c);
+        let (ops, b) = fuse_permutation_runs(ops, c.num_qubits());
+        (ops, a + b)
+    }
+
+    #[test]
+    fn permutation_run_collapses_to_one_exact_affine_map() {
+        let mut c = Circuit::new(4);
+        c.x(2).cx(0, 1).swap(1, 3).cx(3, 0).x(0).cx(1, 2);
+        let (ops, fused_away) = fuse_both(&c);
+        assert_eq!(ops.len(), 1, "whole circuit is one permutation run");
+        assert_eq!(fused_away, 5);
+        let FusedOp::Permutation { cols, offset } = &ops[0] else {
+            panic!("expected a fused permutation");
+        };
+        // The composed map must agree with applying the gates one by one
+        // on every basis index.
+        for i in 0u64..16 {
+            let mut expect = i;
+            for instr in c.iter() {
+                expect = apply_perm_gate(instr, expect);
+            }
+            assert_eq!(
+                eval_affine(cols, *offset, i),
+                expect,
+                "index {i} maps incorrectly"
+            );
+        }
+    }
+
+    #[test]
+    fn permutation_singletons_keep_their_instruction() {
+        let mut c = Circuit::new(2);
+        c.x(0).h(1).cx(0, 1); // H splits the X and CX into singletons
+        let (ops, fused_away) = fuse_both(&c);
+        assert_eq!(fused_away, 0);
+        assert_eq!(ops.len(), 3);
+        assert!(ops.iter().all(|op| matches!(op, FusedOp::Instr { .. })));
+    }
+
+    #[test]
+    fn non_permutation_gates_split_runs() {
+        let mut c = Circuit::new(3);
+        c.x(0).cx(0, 1); // run of 2
+        c.cz(0, 1); // CZ is not a basis permutation: flushes
+        c.swap(1, 2).x(2).cx(2, 0); // run of 3
+        let (ops, fused_away) = fuse_both(&c);
+        assert_eq!(fused_away, 1 + 2);
+        let perms = ops
+            .iter()
+            .filter(|op| matches!(op, FusedOp::Permutation { .. }))
+            .count();
+        assert_eq!(perms, 2);
+        assert_eq!(ops.len(), 3);
+    }
+
+    #[test]
+    fn measurement_flushes_a_permutation_run() {
+        let mut c = Circuit::new(2);
+        c.x(0).cx(0, 1);
+        c.measure(0);
+        c.x(1).cx(1, 0);
+        let (ops, fused_away) = fuse_both(&c);
+        assert_eq!(fused_away, 2);
+        // perm, measure, perm.
+        assert!(matches!(ops[0], FusedOp::Permutation { .. }));
+        assert!(matches!(
+            ops[1],
+            FusedOp::Instr { instr, .. } if instr.gate == Gate::Measure
+        ));
+        assert!(matches!(ops[2], FusedOp::Permutation { .. }));
+    }
+
+    #[test]
+    fn reset_and_measure_flush_and_pass_through() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        c.reset(0);
+        c.h(0).h(0);
+        let (ops, fused_away) = fuse_1q_runs(&c);
+        assert_eq!(fused_away, 1); // the post-reset (H, H) run
+        assert_eq!(ops.len(), 3); // lone H, reset, fused pair
+        assert!(matches!(
+            ops[1],
+            FusedOp::Instr { instr, .. } if instr.gate == Gate::Reset
+        ));
+    }
+}

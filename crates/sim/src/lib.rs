@@ -5,7 +5,9 @@
 //! simulation; this crate is that substrate. It provides:
 //!
 //! * [`StateVector`] — an exact `2^n` statevector with gate application,
-//!   projective measurement, reset, sampling and Pauli expectations;
+//!   projective measurement, reset, sampling and Pauli expectations. Gate
+//!   kernels are SIMD-lane inner loops chunked across the thread pool for
+//!   large states (amplitudes stay bit-identical at any thread count);
 //! * [`NoiseModel`] — stochastic (quantum-trajectory) error channels:
 //!   depolarizing noise after each gate, thermal relaxation (amplitude
 //!   damping + dephasing) on idle qubits derived from `T1`/`T2` and gate
@@ -34,15 +36,19 @@
 //! let _noisy = Executor::new(NoiseModel::uniform_depolarizing(0.01)).run(&bell, 100, 7);
 //! ```
 
+mod chunk;
 pub mod counts;
 pub mod density;
 pub mod executor;
+mod fusion;
 pub mod krylov;
 pub mod noise;
+mod pool;
+mod simd;
 pub mod state;
 
 pub use counts::Counts;
 pub use density::DensityMatrix;
-pub use executor::Executor;
+pub use executor::{ExecError, Executor};
 pub use noise::NoiseModel;
-pub use state::{CumulativeSampler, StateVector};
+pub use state::{CumulativeSampler, StateVector, MAX_QUBITS, MIN_NORM_SQR};

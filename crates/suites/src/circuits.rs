@@ -322,7 +322,7 @@ mod tests {
         // n H's + n(n-1)/2 controlled-phases + n/2 swaps.
         assert_eq!(c.gate_count(), 4 + 6 + 2);
         // QFT of |0000> is the uniform superposition.
-        let psi = Executor::final_state(&c);
+        let psi = Executor::final_state(&c).expect("unitary circuit");
         for p in psi.probabilities() {
             assert!((p - 1.0 / 16.0).abs() < 1e-12);
         }
@@ -338,7 +338,7 @@ mod tests {
         full.x(0);
         full.extend_from(&c);
         full.extend_from(&adj);
-        let psi = Executor::final_state(&full);
+        let psi = Executor::final_state(&full).expect("unitary circuit");
         assert!((psi.probability(0b001) - 1.0).abs() < 1e-9);
     }
 
@@ -361,10 +361,10 @@ mod tests {
             for q in 0..n {
                 plus.h(q);
             }
-            let before = Executor::final_state(&plus);
+            let before = Executor::final_state(&plus).expect("unitary circuit");
             let qubits: Vec<usize> = (0..n).collect();
             multi_controlled_z(&mut plus, &qubits);
-            let after = Executor::final_state(&plus);
+            let after = Executor::final_state(&plus).expect("unitary circuit");
             let dim = 1usize << n;
             for i in 0..dim {
                 let a = before.amplitudes()[i];

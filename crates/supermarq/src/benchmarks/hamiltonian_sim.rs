@@ -107,7 +107,8 @@ impl HamiltonianSimBenchmark {
     ///
     /// Panics if the instance exceeds the statevector simulator's limit.
     pub fn ideal_magnetization(&self) -> f64 {
-        let psi = Executor::final_state(&self.trotter_circuit());
+        let psi = Executor::final_state(&self.trotter_circuit())
+            .expect("trotter circuits contain no reset");
         Self::magnetization_of_probabilities(self.n, &psi.probabilities())
     }
 

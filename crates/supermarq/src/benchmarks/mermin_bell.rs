@@ -122,7 +122,7 @@ mod tests {
             for q in 0..n - 1 {
                 prep.cx(q, q + 1);
             }
-            let psi = Executor::final_state(&prep);
+            let psi = Executor::final_state(&prep).expect("unitary circuit");
             let m = mermin_operator(n);
             let expect = psi.expectation(&m);
             assert!(
@@ -148,7 +148,8 @@ mod tests {
         let n = 4;
         let b = MerminBellBenchmark::new(n);
         let circuit = &b.circuits()[0];
-        let psi: StateVector = Executor::final_state(circuit);
+        let psi: StateVector =
+            Executor::final_state(circuit).expect("benchmark circuits contain no reset");
         // Exact expectation of the diagonalized operator from probabilities.
         let mut exact = 0.0;
         for (i, p) in psi.probabilities().iter().enumerate() {

@@ -45,7 +45,9 @@ impl VqeBenchmark {
         let x0: Vec<f64> = (0..num_params).map(|i| 0.1 + 0.05 * i as f64).collect();
         let energy_of = |params: &[f64]| {
             let c = Self::ansatz(n, layers, params);
-            Executor::final_state(&c).expectation(&h)
+            Executor::final_state(&c)
+                .expect("ansatz circuits contain no reset")
+                .expectation(&h)
         };
         let (params, ideal_energy) = nelder_mead(
             energy_of,

@@ -185,7 +185,7 @@ mod tests {
                 prep.ry(rng.gen_range(0.0..3.0), q)
                     .rz(rng.gen_range(0.0..3.0), q);
             }
-            let mut pa = Executor::final_state(&prep);
+            let mut pa = Executor::final_state(&prep).expect("unitary circuit");
             let mut pb = pa.clone();
             for i in a.iter().filter(|i| i.gate != Gate::Barrier) {
                 pa.apply_instruction(i);

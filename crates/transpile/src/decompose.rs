@@ -273,7 +273,7 @@ mod tests {
             if n >= 2 {
                 prep.cx(0, n - 1);
             }
-            let mut psi_a = Executor::final_state(&prep);
+            let mut psi_a = Executor::final_state(&prep).expect("unitary circuit");
             let mut psi_b = psi_a.clone();
             for instr in a.iter() {
                 if instr.gate != Gate::Barrier {
@@ -448,7 +448,7 @@ mod tests {
             NativeGateSet::IonLike,
         ] {
             let lowered = decompose(&c, set);
-            let psi = Executor::final_state(&lowered);
+            let psi = Executor::final_state(&lowered).expect("unitary circuit");
             let mut reference = StateVector::zero_state(4);
             reference.apply_gate(&Gate::H, &[0]);
             reference.apply_gate(&Gate::Cx, &[0, 1]);

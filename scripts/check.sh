@@ -16,6 +16,9 @@ cargo test -q --workspace
 echo "==> cargo bench (smoke mode: each routine runs once, untimed)"
 cargo bench -q -p supermarq-bench --bench substrate -- --test
 
+echo "==> bench assertion (dense CX path must stay within 2.5x of the CX kernel)"
+BENCH_ASSERT=1 cargo bench -q -p supermarq-bench --bench substrate -- kernels_18q
+
 echo "==> cache smoke (batch twice; warm pass must be all cache hits)"
 bash scripts/cache_smoke.sh
 

@@ -15,7 +15,7 @@ use supermarq_repro::sim::{Counts, Executor, StateVector};
 
 /// A random circuit over `n` qubits as a list of opcode choices.
 fn arb_circuit(n: usize, max_len: usize) -> impl Strategy<Value = Circuit> {
-    prop::collection::vec((0u8..8, 0..n, 0..n, -3.0f64..3.0), 1..max_len).prop_map(move |ops| {
+    prop::collection::vec((0u8..9, 0..n, 0..n, -3.0f64..3.0), 1..max_len).prop_map(move |ops| {
         let mut c = Circuit::new(n);
         for (kind, a, b, angle) in ops {
             let b = if a == b { (b + 1) % n } else { b };
@@ -41,8 +41,11 @@ fn arb_circuit(n: usize, max_len: usize) -> impl Strategy<Value = Circuit> {
                 6 => {
                     c.cz(a, b);
                 }
-                _ => {
+                7 => {
                     c.rzz(angle, a, b);
+                }
+                _ => {
+                    c.swap(a, b);
                 }
             }
         }
@@ -84,7 +87,7 @@ proptest! {
     /// Unitary evolution preserves the statevector norm.
     #[test]
     fn statevector_norm_is_preserved(c in arb_circuit(4, 30)) {
-        let psi = Executor::final_state(&c);
+        let psi = Executor::final_state(&c).expect("unitary circuit");
         prop_assert!((psi.norm_sqr() - 1.0).abs() < 1e-9);
     }
 
@@ -95,7 +98,7 @@ proptest! {
         let mut roundtrip = Circuit::new(3);
         roundtrip.extend_from(&c);
         roundtrip.extend_from(&adj);
-        let psi = Executor::final_state(&roundtrip);
+        let psi = Executor::final_state(&roundtrip).expect("unitary circuit");
         prop_assert!((psi.probability(0) - 1.0).abs() < 1e-9);
     }
 
@@ -115,6 +118,64 @@ proptest! {
         let d = c.depth();
         prop_assert!(d >= 1);
         prop_assert!(d <= c.instructions().len());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution substrate determinism (intra-statevector parallelism + fusion)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Chunked + SIMD kernels are bit-identical to the serial path: the
+    /// final state of a random 17-qubit circuit (large enough that both
+    /// one- and two-qubit kernels fan out across the pool) has the same
+    /// amplitude bits at every thread count. This is the executor's
+    /// determinism contract extended inside a single trajectory.
+    #[test]
+    fn final_state_bit_identical_across_thread_counts(c in arb_circuit(17, 12)) {
+        let with_threads = |threads: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| Executor::final_state(&c).expect("unitary circuit"))
+        };
+        let serial = with_threads(1);
+        for threads in [2usize, 4, 8] {
+            let parallel = with_threads(threads);
+            for (i, (a, b)) in serial
+                .amplitudes()
+                .iter()
+                .zip(parallel.amplitudes())
+                .enumerate()
+            {
+                prop_assert!(
+                    a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
+                    "amplitude {i} differs at {threads} threads: {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    /// The executor's 1q-fusion pre-pass preserves the final state: fusing
+    /// multiplies 2x2 matrices before touching amplitudes, so results can
+    /// differ from the gate-by-gate path only by rounding in those matrix
+    /// products — bounded here far below any physically meaningful scale.
+    /// (Bit-exactness is the *thread-count* contract above; fusion is
+    /// thread-count-independent, so Counts stay bit-identical too.)
+    #[test]
+    fn fusion_matches_unfused_evolution(c in arb_circuit(4, 40)) {
+        let fused = Executor::final_state(&c).expect("unitary circuit");
+        let mut unfused = StateVector::zero_state(4);
+        for instr in c.iter() {
+            unfused.apply_instruction(instr);
+        }
+        for (i, (a, b)) in fused.amplitudes().iter().zip(unfused.amplitudes()).enumerate() {
+            let d = *a - *b;
+            prop_assert!(d.norm_sqr() < 1e-18, "amplitude {i}: {a:?} vs {b:?}");
+        }
     }
 }
 
@@ -160,7 +221,7 @@ proptest! {
     /// Statevector expectation of any Pauli string is within [-1, 1].
     #[test]
     fn pauli_expectation_is_bounded(c in arb_circuit(3, 15), p in arb_pauli_string(3)) {
-        let psi = Executor::final_state(&c);
+        let psi = Executor::final_state(&c).expect("unitary circuit");
         let e = psi.expectation_pauli(&p);
         prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&e), "e={e}");
     }

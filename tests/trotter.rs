@@ -14,13 +14,13 @@ fn plus_state(n: usize) -> StateVector {
     for q in 0..n {
         c.h(q);
     }
-    Executor::final_state(&c)
+    Executor::final_state(&c).expect("unitary circuit")
 }
 
 fn run_trotter(h: &PauliSum, psi0_prep: &Circuit, t: f64, steps: usize) -> StateVector {
     let mut c = psi0_prep.clone();
     c.extend_from(&trotter_circuit(h, t, steps));
-    Executor::final_state(&c)
+    Executor::final_state(&c).expect("unitary circuit")
 }
 
 #[test]

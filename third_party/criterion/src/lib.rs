@@ -10,11 +10,18 @@
 //! prints mean time per iteration — enough for `cargo bench` to compile,
 //! run, and give a rough signal.
 //!
-//! Two extras support the repo's CI and reporting:
+//! Three extras support the repo's CI and reporting:
 //!
 //! * **Smoke mode** — `cargo bench -- --test` (the flag real criterion
 //!   also honors) runs every routine exactly once without timing, so CI
 //!   can verify benches execute without paying measurement cost.
+//! * **Substring filter** — the first positional argument selects
+//!   benchmarks by substring match on their full id, as real criterion
+//!   does (`cargo bench -- kernels_18q`). Flag-style arguments (anything
+//!   starting with `-`, including the `--bench` cargo passes to
+//!   `harness = false` binaries) are never treated as filters. Query the
+//!   state via [`has_filter`] — exporters should skip writing
+//!   machine-readable results for partial runs.
 //! * **Measurement registry** — every reported timing is also pushed to a
 //!   process-global list readable via [`measurements`], so a bench `main`
 //!   can export machine-readable results (e.g. `BENCH_sim.json`) after
@@ -39,6 +46,24 @@ fn test_mode_flag() -> &'static bool {
 /// each routine runs once, untimed, and nothing is recorded.
 pub fn is_test_mode() -> bool {
     *test_mode_flag()
+}
+
+fn filter_arg() -> &'static Option<String> {
+    static FILTER: OnceLock<Option<String>> = OnceLock::new();
+    // First positional argument; cargo's `--bench` marker and this stub's
+    // own flags all start with `-` and are never filters.
+    FILTER.get_or_init(|| std::env::args().skip(1).find(|a| !a.starts_with('-')))
+}
+
+/// `true` when a positional substring filter is active (e.g.
+/// `cargo bench -- kernels_18q`); benchmarks whose id does not contain
+/// the filter are skipped without running or reporting.
+pub fn has_filter() -> bool {
+    filter_arg().is_some()
+}
+
+fn matches(id: &str, filter: Option<&str>) -> bool {
+    filter.is_none_or(|f| id.contains(f))
 }
 
 fn registry() -> &'static Mutex<Vec<(String, f64)>> {
@@ -102,6 +127,9 @@ fn report(id: &str, nanos: f64) {
 }
 
 fn run_bencher<F: FnMut(&mut Bencher)>(id: &str, mut f: F) {
+    if !matches(id, filter_arg().as_deref()) {
+        return;
+    }
     let mut b = Bencher {
         nanos_per_iter: 0.0,
     };
@@ -226,6 +254,14 @@ mod tests {
         assert!(recorded
             .iter()
             .any(|(id, nanos)| id == "registry_probe" && *nanos >= 0.0));
+    }
+
+    #[test]
+    fn filter_matches_by_substring_only() {
+        assert!(matches("kernels_18q/cx_dense", None));
+        assert!(matches("kernels_18q/cx_dense", Some("kernels_18q")));
+        assert!(matches("kernels_18q/cx_dense", Some("cx_dense")));
+        assert!(!matches("kernels_18q/cx_dense", Some("statevector")));
     }
 
     #[test]

@@ -5,15 +5,18 @@
 //! cannot be fetched; this crate is substituted through the workspace's
 //! path dependencies (see the workspace `Cargo.toml`). It keeps the same
 //! front-end — `prelude::*`, `into_par_iter()`/`par_iter()`, `map`,
-//! `fold`/`reduce`, `collect`, and `ThreadPoolBuilder`/`ThreadPool::install`
-//! — but replaces the work-stealing scheduler with contiguous chunking over
-//! `std::thread::scope` workers.
+//! `fold`/`reduce`, `collect`/`for_each`, and
+//! `ThreadPoolBuilder`/`ThreadPool::install` — but replaces the
+//! work-stealing scheduler with contiguous chunking over a persistent
+//! worker pool (see [`mod@pool`]).
 //!
 //! Scheduling model (and its determinism contract):
 //!
 //! * A pipeline stays lazy through `map`; a terminal operation (`collect`,
-//!   `reduce`) splits the items into at most `current_num_threads()`
-//!   contiguous chunks and runs one scoped worker thread per chunk.
+//!   `reduce`, `for_each`) splits the items into at most
+//!   `current_num_threads()` contiguous chunks and runs one pool job per
+//!   chunk (the calling thread participates, so dispatch is cheap enough
+//!   to use once per simulator gate, not just once per shot batch).
 //! * Results are reassembled **in item order**, so `collect` is
 //!   order-stable and `reduce` combines per-item results left-to-right
 //!   exactly as the sequential iterator would — provided the reduction
@@ -37,6 +40,8 @@ use std::cell::Cell;
 use std::env;
 use std::fmt;
 use std::thread;
+
+mod pool;
 
 pub mod prelude {
     //! Single-import surface, mirroring `rayon::prelude`.
@@ -243,28 +248,33 @@ impl<'env, I: Send + 'env, T: Send + 'env> ParIter<'env, I, T> {
         if threads <= 1 {
             return items.into_iter().map(&f).collect();
         }
-        let chunk_len = items.len().div_ceil(threads);
-        let mut chunks: Vec<Vec<I>> = Vec::with_capacity(threads);
-        let mut rest = items;
-        while rest.len() > chunk_len {
-            let tail = rest.split_off(chunk_len);
-            chunks.push(std::mem::replace(&mut rest, tail));
-        }
-        chunks.push(rest);
+        let chunks = split_chunks(items, threads);
+        // One result slot per chunk; jobs write disjoint `&mut` slots, so
+        // reassembly below stays in item order regardless of which worker
+        // ran which chunk.
+        let mut slots: Vec<Option<Vec<T>>> = (0..chunks.len()).map(|_| None).collect();
         let f = &f;
-        thread::scope(|s| {
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<T>>()))
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| match h.join() {
-                    Ok(v) => v,
-                    Err(payload) => std::panic::resume_unwind(payload),
-                })
-                .collect()
-        })
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
+            .into_iter()
+            .zip(slots.iter_mut())
+            .map(|(chunk, slot)| {
+                Box::new(move || *slot = Some(chunk.into_iter().map(f).collect::<Vec<T>>()))
+                    as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool::scope_execute(jobs);
+        slots
+            .into_iter()
+            .flat_map(|slot| slot.expect("pool completed every chunk"))
+            .collect()
+    }
+
+    /// Runs the pipeline for its side effects, discarding results.
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(T) + Sync + 'env,
+    {
+        let _: Vec<()> = self.map(g).execute();
     }
 
     /// Folds each chunk of items into one accumulator (rayon's `fold`),
@@ -277,7 +287,6 @@ impl<'env, I: Send + 'env, T: Send + 'env> ParIter<'env, I, T> {
     {
         let ParIter { items, f } = self;
         let threads = current_num_threads().min(items.len()).max(1);
-        let chunk_len = items.len().div_ceil(threads.max(1)).max(1);
         let accumulate = |chunk: Vec<I>| {
             chunk
                 .into_iter()
@@ -290,27 +299,22 @@ impl<'env, I: Send + 'env, T: Send + 'env> ParIter<'env, I, T> {
                 vec![accumulate(items)]
             }
         } else {
-            let mut chunks: Vec<Vec<I>> = Vec::with_capacity(threads);
-            let mut rest = items;
-            while rest.len() > chunk_len {
-                let tail = rest.split_off(chunk_len);
-                chunks.push(std::mem::replace(&mut rest, tail));
-            }
-            chunks.push(rest);
+            let chunks = split_chunks(items, threads);
+            let mut slots: Vec<Option<A>> = (0..chunks.len()).map(|_| None).collect();
             let accumulate = &accumulate;
-            thread::scope(|s| {
-                let handles: Vec<_> = chunks
-                    .into_iter()
-                    .map(|chunk| s.spawn(move || accumulate(chunk)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| match h.join() {
-                        Ok(v) => v,
-                        Err(payload) => std::panic::resume_unwind(payload),
-                    })
-                    .collect()
-            })
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
+                .into_iter()
+                .zip(slots.iter_mut())
+                .map(|(chunk, slot)| {
+                    Box::new(move || *slot = Some(accumulate(chunk)))
+                        as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool::scope_execute(jobs);
+            slots
+                .into_iter()
+                .map(|slot| slot.expect("pool completed every chunk"))
+                .collect()
         };
         ParIter {
             items: accs,
@@ -350,6 +354,20 @@ impl<'env, I: Send + 'env, T: Send + 'env> ParIter<'env, I, T> {
     pub fn is_empty(&self) -> bool {
         self.items.is_empty()
     }
+}
+
+/// Splits `items` into at most `threads` contiguous chunks of (near-)equal
+/// length, preserving item order across the concatenation.
+fn split_chunks<I>(items: Vec<I>, threads: usize) -> Vec<Vec<I>> {
+    let chunk_len = items.len().div_ceil(threads.max(1)).max(1);
+    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(threads);
+    let mut rest = items;
+    while rest.len() > chunk_len {
+        let tail = rest.split_off(chunk_len);
+        chunks.push(std::mem::replace(&mut rest, tail));
+    }
+    chunks.push(rest);
+    chunks
 }
 
 #[cfg(test)]
@@ -425,6 +443,40 @@ mod tests {
         let v = vec![String::from("a"), String::from("bb")];
         let lens: Vec<usize> = v.into_par_iter().map(|s| s.len()).collect();
         assert_eq!(lens, vec![1, 2]);
+    }
+
+    #[test]
+    fn for_each_visits_every_item() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let total = AtomicU64::new(0);
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            (0..100)
+                .into_par_iter()
+                .for_each(|i| _ = total.fetch_add(i as u64, Ordering::Relaxed));
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn nested_parallel_regions_complete() {
+        // Nested terminals must not deadlock even when every pool worker
+        // is already busy: callers drain their own batches.
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let out: Vec<usize> = pool.install(|| {
+            (0..8)
+                .into_par_iter()
+                .map(|i| {
+                    ThreadPoolBuilder::new()
+                        .num_threads(4)
+                        .build()
+                        .unwrap()
+                        .install(|| (0..8).into_par_iter().map(move |j| i * 8 + j).sum())
+                })
+                .collect()
+        });
+        let expect: Vec<usize> = (0..8).map(|i| (0..8).map(|j| i * 8 + j).sum()).collect();
+        assert_eq!(out, expect);
     }
 
     #[test]

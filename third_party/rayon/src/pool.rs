@@ -1,0 +1,253 @@
+//! Persistent worker pool backing the parallel iterators.
+//!
+//! The first version of this stand-in spawned fresh `std::thread::scope`
+//! workers for every terminal operation. That is correct, but thread
+//! creation costs tens of microseconds per parallel region — fine for
+//! shot-level fan-out (one region per `Executor::run`), fatal for
+//! intra-statevector kernels (one region per *gate*). This module keeps a
+//! process-global team of workers, started lazily on first use, and hands
+//! them lifetime-erased jobs through a per-batch queue.
+//!
+//! Scheduling and safety model:
+//!
+//! * [`scope_execute`] takes a batch of jobs that may borrow the caller's
+//!   stack. The jobs are published to a global injector, the **caller
+//!   participates** by draining its own batch, and the call then blocks on
+//!   a completion latch until every job has finished. Because the call
+//!   cannot return before the last job completes, borrowed data outlives
+//!   every access — the same argument `std::thread::scope` makes, with the
+//!   join replaced by the latch.
+//! * Workers sleep on the injector, claim one queued ticket at a time, and
+//!   drain that batch's queue. A nested `scope_execute` issued from inside
+//!   a job is safe: the nested caller drains its own batch too, so forward
+//!   progress never depends on a free worker and pool exhaustion cannot
+//!   deadlock.
+//! * The pool size is fixed at `max(available_parallelism,
+//!   RAYON_NUM_THREADS)` — a high-water mark, not a concurrency setting.
+//!   How many jobs a region splits into is decided by the caller (via
+//!   [`crate::current_num_threads`]); idle workers just keep sleeping.
+//! * Job panics are caught, the first payload is kept, and resumed on the
+//!   calling thread once the batch has fully completed, mirroring the
+//!   propagate-on-join behaviour of the scoped-thread version.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+
+/// A lifetime-erased unit of work. Only constructed by [`scope_execute`],
+/// which guarantees the erased borrows outlive the job's execution.
+type Job = Box<dyn FnOnce() + Send>;
+
+/// Shared state of one `scope_execute` batch.
+struct Batch {
+    /// Jobs not yet claimed by any thread.
+    queue: Mutex<VecDeque<Job>>,
+    /// Completion latch plus the first captured panic payload.
+    progress: Mutex<Progress>,
+    /// Signalled when `progress.remaining` reaches zero.
+    finished: Condvar,
+}
+
+struct Progress {
+    remaining: usize,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+/// Global hand-off point between batch publishers and sleeping workers.
+/// One ticket (an `Arc` clone of the batch) is pushed per job so that up
+/// to `jobs` workers wake and join the drain; stale tickets for an
+/// already-drained batch are claimed and dropped harmlessly.
+struct Injector {
+    tickets: Mutex<VecDeque<Arc<Batch>>>,
+    work_available: Condvar,
+}
+
+/// Number of persistent workers. Uses the *maximum* of the hardware
+/// parallelism and `RAYON_NUM_THREADS` so tests that install oversized
+/// pools (e.g. the 8-thread determinism checks on small machines) still
+/// exercise real cross-thread hand-off, capped to keep a typo from
+/// spawning thousands of threads.
+fn pool_size() -> usize {
+    let hw = thread::available_parallelism()
+        .map(std::num::NonZero::get)
+        .unwrap_or(1);
+    hw.max(crate::env_threads().unwrap_or(1)).clamp(1, 64)
+}
+
+fn injector() -> &'static Injector {
+    static INJECTOR: OnceLock<Injector> = OnceLock::new();
+    static WORKERS: OnceLock<()> = OnceLock::new();
+    let inj = INJECTOR.get_or_init(|| Injector {
+        tickets: Mutex::new(VecDeque::new()),
+        work_available: Condvar::new(),
+    });
+    WORKERS.get_or_init(|| {
+        for i in 0..pool_size() {
+            thread::Builder::new()
+                .name(format!("rayon-worker-{i}"))
+                .spawn(move || worker_loop(inj))
+                .expect("spawn pool worker");
+        }
+    });
+    inj
+}
+
+fn worker_loop(inj: &'static Injector) {
+    loop {
+        let batch = {
+            let mut tickets = inj.tickets.lock().expect("injector poisoned");
+            loop {
+                if let Some(b) = tickets.pop_front() {
+                    break b;
+                }
+                tickets = inj.work_available.wait(tickets).expect("injector poisoned");
+            }
+        };
+        drain(&batch);
+    }
+}
+
+/// Runs queued jobs of `batch` until its queue is empty. Never unwinds:
+/// job panics are captured into the batch's progress state.
+fn drain(batch: &Batch) {
+    loop {
+        let job = batch
+            .queue
+            .lock()
+            .expect("batch queue poisoned")
+            .pop_front();
+        let Some(job) = job else { break };
+        let result = catch_unwind(AssertUnwindSafe(job));
+        let mut progress = batch.progress.lock().expect("batch progress poisoned");
+        progress.remaining -= 1;
+        if let Err(payload) = result {
+            progress.panic.get_or_insert(payload);
+        }
+        if progress.remaining == 0 {
+            batch.finished.notify_all();
+        }
+    }
+}
+
+/// Runs every job to completion, using the worker pool plus the calling
+/// thread, and returns once all have finished. Propagates the first job
+/// panic on the calling thread.
+///
+/// Jobs may borrow from the caller's stack (`'scope`): the function blocks
+/// until `remaining == 0`, so no job can outlive the borrowed data.
+pub(crate) fn scope_execute<'scope>(jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+    let job_count = jobs.len();
+    if job_count == 0 {
+        return;
+    }
+    if job_count == 1 {
+        let job = jobs.into_iter().next().expect("one job");
+        job();
+        return;
+    }
+    // SAFETY: the erased 'scope borrows are only reachable through `batch`,
+    // and this function does not return until `remaining` hits zero, i.e.
+    // until every job has run to completion (or panicked and been
+    // captured). Stale injector tickets keep the batch Arc alive but hold
+    // no jobs once the queue is empty.
+    let erased: VecDeque<Job> = jobs
+        .into_iter()
+        .map(|job| unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(job)
+        })
+        .collect();
+    let batch = Arc::new(Batch {
+        queue: Mutex::new(erased),
+        progress: Mutex::new(Progress {
+            remaining: job_count,
+            panic: None,
+        }),
+        finished: Condvar::new(),
+    });
+    let inj = injector();
+    {
+        let mut tickets = inj.tickets.lock().expect("injector poisoned");
+        // One ticket per job *beyond* the one the caller starts on.
+        for _ in 1..job_count {
+            tickets.push_back(Arc::clone(&batch));
+        }
+    }
+    inj.work_available.notify_all();
+    drain(&batch);
+    let mut progress = batch.progress.lock().expect("batch progress poisoned");
+    while progress.remaining > 0 {
+        progress = batch
+            .finished
+            .wait(progress)
+            .expect("batch progress poisoned");
+    }
+    if let Some(payload) = progress.panic.take() {
+        drop(progress);
+        resume_unwind(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn boxed<'scope>(f: impl FnOnce() + Send + 'scope) -> Box<dyn FnOnce() + Send + 'scope> {
+        Box::new(f)
+    }
+
+    #[test]
+    fn runs_every_job_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let jobs: Vec<_> = (0..37)
+            .map(|_| boxed(|| _ = counter.fetch_add(1, Ordering::Relaxed)))
+            .collect();
+        scope_execute(jobs);
+        assert_eq!(counter.load(Ordering::Relaxed), 37);
+    }
+
+    #[test]
+    fn jobs_may_borrow_caller_stack() {
+        let mut slots = vec![0usize; 16];
+        let jobs: Vec<_> = slots
+            .iter_mut()
+            .enumerate()
+            .map(|(i, slot)| boxed(move || *slot = i * 3))
+            .collect();
+        scope_execute(jobs);
+        assert_eq!(slots, (0..16).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_batches_do_not_deadlock() {
+        let counter = AtomicUsize::new(0);
+        let outer: Vec<_> = (0..8)
+            .map(|_| {
+                boxed(|| {
+                    let inner: Vec<_> = (0..8)
+                        .map(|_| boxed(|| _ = counter.fetch_add(1, Ordering::Relaxed)))
+                        .collect();
+                    scope_execute(inner);
+                })
+            })
+            .collect();
+        scope_execute(outer);
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn pool_survives_reuse_after_panic() {
+        let attempt = std::panic::catch_unwind(|| {
+            scope_execute(vec![boxed(|| panic!("first batch boom")), boxed(|| ())]);
+        });
+        assert!(attempt.is_err());
+        let counter = AtomicUsize::new(0);
+        scope_execute(
+            (0..9)
+                .map(|_| boxed(|| _ = counter.fetch_add(1, Ordering::Relaxed)))
+                .collect(),
+        );
+        assert_eq!(counter.load(Ordering::Relaxed), 9);
+    }
+}
