@@ -253,6 +253,58 @@ fn bench_krylov(c: &mut Criterion) {
     });
 }
 
+/// Warm-hit quantiles from the serve daemon's own latency histogram,
+/// captured after the round-trip bench: (samples, p50 ns, p99 ns).
+static SERVE_WARM_HIT: std::sync::OnceLock<(u64, u64, u64)> = std::sync::OnceLock::new();
+
+/// Serve-daemon warm-hit latency: a pre-warmed store behind a loopback
+/// TCP daemon, measured as full client round-trips for a `run` request
+/// answered entirely from the cache. The executor is poisoned so a cold
+/// path would fail loudly. The server-side histogram supplies the
+/// p50/p99 exported to `BENCH_sim.json`.
+fn bench_serve_warm_hit(c: &mut Criterion) {
+    use supermarq_serve::{Client, ServeConfig, Server};
+    use supermarq_store::{RunOutcome, RunSpec, Store, SweepEngine};
+
+    let dir = std::env::temp_dir().join(format!("supermarq-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Store::open(&dir).expect("bench store");
+    let spec = RunSpec::new(
+        "ghz",
+        vec![("size".to_string(), "3".to_string())],
+        "IonQ",
+        100,
+        2,
+        1,
+    );
+    SweepEngine::new(&store).run_job(&spec, |s| {
+        Ok(RunOutcome {
+            scores: vec![0.5; s.repetitions as usize],
+            swap_count: 0,
+            two_qubit_gates: 2,
+        })
+    });
+    let server = Server::bind(
+        ServeConfig::default(),
+        store,
+        std::sync::Arc::new(|_: &RunSpec| Err("warm bench must never execute".into())),
+    )
+    .expect("loopback daemon");
+    let mut client = Client::connect(server.addr()).expect("loopback client");
+    c.bench_function("serve_warm_hit/run_round_trip", |b| {
+        b.iter(|| black_box(client.run(&spec).expect("warm hit")));
+    });
+    let metrics = server.metrics();
+    let _ = SERVE_WARM_HIT.set((
+        metrics.warm_hit_ns.count(),
+        metrics.warm_hit_ns.quantile(0.5),
+        metrics.warm_hit_ns.quantile(0.99),
+    ));
+    drop(client);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 criterion_group!(
     benches,
     bench_statevector,
@@ -264,7 +316,8 @@ criterion_group!(
     bench_clifford,
     bench_geometry,
     bench_features,
-    bench_krylov
+    bench_krylov,
+    bench_serve_warm_hit
 );
 
 /// Best-effort `git describe --always --dirty` for the bench metadata;
@@ -349,6 +402,15 @@ fn export_bench_json() {
         .collect();
     json.push_str(&rows.join(",\n"));
     json.push_str("\n  ],\n");
+    // Daemon warm-hit latency: full TCP round-trips from the client's
+    // side (ns_per_iter below) plus the server-side histogram quantiles.
+    json.push_str("  \"serve_warm_hit\": ");
+    match SERVE_WARM_HIT.get() {
+        Some(&(samples, p50, p99)) => json.push_str(&format!(
+            "{{ \"samples\": {samples}, \"p50_ns\": {p50}, \"p99_ns\": {p99} }},\n"
+        )),
+        None => json.push_str("null,\n"),
+    }
     json.push_str("  \"measurements_ns_per_iter\": {\n");
     let body: Vec<String> = measurements
         .iter()

@@ -1,6 +1,8 @@
 //! CLI subcommand implementations.
 
 use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
 
 use supermarq::benchmarks::{
     BitCodeBenchmark, GhzBenchmark, HamiltonianSimBenchmark, MerminBellBenchmark,
@@ -12,6 +14,7 @@ use supermarq::spec::{default_init, execute_spec};
 use supermarq::{Benchmark, FeatureVector};
 use supermarq_circuit::Circuit;
 use supermarq_device::Device;
+use supermarq_serve::{signal, Client, Executor, ServeConfig, Server};
 use supermarq_store::{Json, RunRecord, RunSpec, Store, SweepEngine, SweepGrid, TranspileSpec};
 use supermarq_transpile::{
     differential_pipelines, PassRegistry, PassSpec, PipelineId, TranspileError, Transpiler,
@@ -35,7 +38,12 @@ pub const USAGE: &str = "usage:
                   [--out <file.jsonl>] [--store <dir>] [--no-cache]
   supermarq transpile passes
   supermarq transpile diff <pipeline-a> <pipeline-b> --device <name> [--max-qubits N]
-  supermarq cache <stats|verify|gc> [--store <dir>]
+  supermarq serve [--addr host:port] [--store <dir>] [--workers N] [--queue N]
+                  [--no-cache] [--addr-file <path>]
+  supermarq client <ping|stats|shutdown> [--addr host:port]
+  supermarq client run <benchmark> --device <name> [run options] [--addr host:port]
+  supermarq client batch <batch options> [--addr host:port]
+  supermarq cache <stats|verify|gc> [--store <dir>] [--format text|json]
   supermarq lint <benchmark>|<file.qasm> [--device <name>] [--pipeline <name>]
                  [--format text|json] [--size N] [...]
   supermarq lint --list
@@ -103,6 +111,8 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         Some("run") => cmd_run(&args),
         Some("batch") => cmd_batch(&args),
         Some("transpile") => cmd_transpile(&args),
+        Some("serve") => cmd_serve(&args),
+        Some("client") => cmd_client(&args),
         Some("cache") => cmd_cache(&args),
         Some("lint") => cmd_lint(&args),
         Some("coverage") => cmd_coverage(),
@@ -470,11 +480,11 @@ fn parse_list<T: std::str::FromStr>(
         .collect()
 }
 
-/// `supermarq batch`: expand a sweep grid into content-addressed jobs,
-/// serve cache hits from the store, execute only the misses, and emit
-/// one JSONL record per cell. Rerunning the same grid is all-hits and
-/// byte-identical — the resumable-sweep workflow.
-fn cmd_batch(args: &Args) -> Result<String, CliError> {
+/// Builds the sweep grid described by `--benchmarks`/`--sizes`/... —
+/// shared by `supermarq batch` (expanded locally) and `supermarq client
+/// batch` (shipped to a daemon, expanded server-side), so both name the
+/// same cells and produce byte-identical result lines.
+fn build_grid(args: &Args) -> Result<SweepGrid, CliError> {
     let kinds_raw = args
         .option("benchmarks")
         .ok_or_else(|| CliError::usage("missing --benchmarks"))?;
@@ -507,7 +517,7 @@ fn cmd_batch(args: &Args) -> Result<String, CliError> {
             benchmarks.push((kind.to_string(), params));
         }
     }
-    let grid = SweepGrid {
+    Ok(SweepGrid {
         benchmarks,
         devices,
         shots,
@@ -518,11 +528,41 @@ fn cmd_batch(args: &Args) -> Result<String, CliError> {
             ..TranspileSpec::default()
         },
         division: if args.flag("open") { "open" } else { "closed" }.into(),
-    };
+    })
+}
+
+/// `supermarq batch`: expand a sweep grid into content-addressed jobs,
+/// serve cache hits from the store, execute only the misses, and emit
+/// one JSONL record per cell. Rerunning the same grid is all-hits and
+/// byte-identical — the resumable-sweep workflow.
+///
+/// Ctrl-C is intercepted: completed cells are already persisted (the
+/// store publishes each record atomically as it lands), pending misses
+/// fail fast as `interrupted` error lines, every completed JSONL line is
+/// flushed, and the command exits cleanly with a resume hint instead of
+/// dying mid-write.
+fn cmd_batch(args: &Args) -> Result<String, CliError> {
+    let grid = build_grid(args)?;
     let specs = grid.expand();
     let store = open_store(args)?;
     let engine = SweepEngine::new(&store).with_cache(!args.flag("no-cache"));
-    let exec = |spec: &RunSpec| execute_spec(spec).map_err(|e| e.to_string());
+    signal::install_handler();
+    signal::clear();
+    let exec = |spec: &RunSpec| {
+        if signal::interrupted() {
+            return Err("interrupted by Ctrl-C before execution".to_string());
+        }
+        execute_spec(spec).map_err(|e| e.to_string())
+    };
+    let resume_hint = |report: &supermarq_store::SweepReport| {
+        signal::clear();
+        let done = report.results.iter().filter(|r| r.outcome.is_ok()).count();
+        format!(
+            "interrupted: {done}/{} cells completed and persisted\n\
+             rerun the same command to resume (completed cells replay as cache hits)",
+            report.results.len()
+        )
+    };
     match args.option("out") {
         Some(path) => {
             let file = std::fs::File::create(path)
@@ -531,6 +571,13 @@ fn cmd_batch(args: &Args) -> Result<String, CliError> {
             let report = engine
                 .run_to_writer(&specs, exec, &mut writer)
                 .map_err(|e| CliError::failure(format!("cannot write {path}: {e}")))?;
+            if signal::interrupted() {
+                return Err(CliError::failure(format!(
+                    "wrote {} result lines to {path}\n{}",
+                    report.results.len(),
+                    resume_hint(&report)
+                )));
+            }
             Ok(format!(
                 "wrote {} result lines to {path}\nstore: {}\n{}",
                 report.results.len(),
@@ -545,13 +592,115 @@ fn cmd_batch(args: &Args) -> Result<String, CliError> {
             let report = engine
                 .run_to_writer(&specs, exec, &mut buffer)
                 .map_err(|e| CliError::failure(e.to_string()))?;
-            eprintln!("store: {}", store.root().display());
-            eprintln!("{}", report.stats.summary());
             let mut text = String::from_utf8(buffer)
                 .map_err(|e| CliError::failure(format!("non-utf8 record: {e}")))?;
             text.truncate(text.trim_end().len());
+            if signal::interrupted() {
+                // Flush what completed before reporting the interrupt.
+                println!("{text}");
+                return Err(CliError::failure(resume_hint(&report)));
+            }
+            eprintln!("store: {}", store.root().display());
+            eprintln!("{}", report.stats.summary());
             Ok(text)
         }
+    }
+}
+
+/// `supermarq serve`: run the benchmark daemon in the foreground until
+/// Ctrl-C or a client `shutdown` request, then drain gracefully.
+fn cmd_serve(args: &Args) -> Result<String, CliError> {
+    let addr = args.option("addr").unwrap_or("127.0.0.1:7787");
+    let config = ServeConfig {
+        addr: addr.to_string(),
+        workers: args
+            .option_parse("workers", 0usize)
+            .map_err(CliError::Usage)?,
+        queue_capacity: args
+            .option_parse("queue", 256usize)
+            .map_err(CliError::Usage)?,
+        use_cache: !args.flag("no-cache"),
+        ..ServeConfig::default()
+    };
+    let store = open_store(args)?;
+    let store_root = store.root().display().to_string();
+    let exec: Executor = Arc::new(|spec: &RunSpec| execute_spec(spec).map_err(|e| e.to_string()));
+    let server = Server::bind(config, store, exec)
+        .map_err(|e| CliError::failure(format!("cannot bind {addr}: {e}")))?;
+    // Announce the resolved address eagerly (stderr, and optionally a
+    // file) so scripts binding port 0 can discover where we landed.
+    eprintln!("supermarq serve: listening on {}", server.addr());
+    eprintln!("supermarq serve: store {store_root}");
+    if let Some(path) = args.option("addr-file") {
+        std::fs::write(path, format!("{}\n", server.addr()))
+            .map_err(|e| CliError::failure(format!("cannot write {path}: {e}")))?;
+    }
+    signal::install_handler();
+    signal::clear();
+    while !signal::interrupted() && !server.stop_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    signal::clear();
+    let summary = server.summary();
+    server.shutdown();
+    Ok(summary)
+}
+
+/// `supermarq client`: talk to a running daemon. `run` and `batch`
+/// accept the same options as their local counterparts and print the
+/// same (byte-identical) result lines.
+fn cmd_client(args: &Args) -> Result<String, CliError> {
+    let action = args
+        .positional(1)
+        .ok_or_else(|| CliError::usage("missing client action (ping|stats|shutdown|run|batch)"))?;
+    let addr = args.option("addr").unwrap_or("127.0.0.1:7787");
+    let mut client = Client::connect(addr)
+        .map_err(|e| CliError::failure(format!("cannot connect to {addr}: {e}")))?;
+    match action {
+        "ping" => {
+            client.ping().map_err(CliError::Failure)?;
+            Ok("pong".to_string())
+        }
+        "stats" => client
+            .stats()
+            .map(|value| value.to_string())
+            .map_err(CliError::Failure),
+        "shutdown" => {
+            client.shutdown_server().map_err(CliError::Failure)?;
+            Ok("server shutting down".to_string())
+        }
+        "run" => {
+            let kind = args
+                .positional(2)
+                .ok_or_else(|| CliError::usage("missing benchmark name"))?;
+            let device = find_device(
+                args.option("device")
+                    .ok_or_else(|| CliError::usage("missing --device"))?,
+            )?;
+            let config = RunConfig {
+                shots: args
+                    .option_parse("shots", 2000usize)
+                    .map_err(CliError::Usage)?,
+                repetitions: args.option_parse("reps", 3usize).map_err(CliError::Usage)?,
+                seed: args.option_parse("seed", 1u64).map_err(CliError::Usage)?,
+                pipeline: pipeline_from_args(args)?,
+                ..RunConfig::default()
+            };
+            let spec = build_run_spec(kind, &device, &config, args)?;
+            client.run(&spec).map_err(CliError::Failure)
+        }
+        "batch" => {
+            let grid = build_grid(args)?;
+            let response = client.batch(&grid).map_err(CliError::Failure)?;
+            eprintln!(
+                "serve batch: total={} hits={} misses={} failures={}",
+                response.total, response.hits, response.misses, response.failures
+            );
+            Ok(response.lines.join("\n"))
+        }
+        other => Err(CliError::usage(format!(
+            "unknown client action '{other}' (expected ping, stats, shutdown, run, or batch)"
+        ))),
     }
 }
 
@@ -565,13 +714,29 @@ fn cmd_cache(args: &Args) -> Result<String, CliError> {
     match action {
         "stats" => {
             let stats = store.stats().map_err(io_err)?;
-            Ok(format!(
-                "store: {}\nentries: {}\nbytes: {}\nstray tmp files: {}",
-                store.root().display(),
-                stats.entries,
-                stats.bytes,
-                stats.stray_tmp
-            ))
+            match args.option("format").unwrap_or("text") {
+                // The JSON form reuses the store's own serializer, so the
+                // daemon's `stats` response and this command emit the
+                // same object with the same key order.
+                "json" => Ok(Json::Obj(vec![
+                    (
+                        "store".into(),
+                        Json::Str(store.root().display().to_string()),
+                    ),
+                    ("stats".into(), stats.to_json()),
+                ])
+                .to_string()),
+                "text" => Ok(format!(
+                    "store: {}\nentries: {}\nbytes: {}\nstray tmp files: {}",
+                    store.root().display(),
+                    stats.entries,
+                    stats.bytes,
+                    stats.stray_tmp
+                )),
+                other => Err(CliError::usage(format!(
+                    "unknown format '{other}' (expected text or json)"
+                ))),
+            }
         }
         "verify" => {
             let report = store.verify().map_err(io_err)?;

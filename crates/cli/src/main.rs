@@ -13,8 +13,7 @@
 
 use std::process::ExitCode;
 
-mod args;
-mod commands;
+use supermarq_cli::commands;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();

@@ -1,0 +1,250 @@
+//! End-to-end CLI tests for the daemon workflow (`supermarq serve` +
+//! `supermarq client`) and the Ctrl-C path of `supermarq batch`.
+//!
+//! These live in an integration test (own process) because they install
+//! a real SIGINT handler and raise real signals; doing that inside the
+//! unit-test binary would race every other test sharing the flag. The
+//! two tests here still serialize against each other for the same
+//! reason.
+
+use std::str::FromStr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use supermarq_cli::commands::{dispatch, CliError};
+use supermarq_serve::signal;
+use supermarq_store::{Json, RunRecord, Store};
+
+/// Serializes the tests in this file: both manipulate the process-wide
+/// SIGINT flag.
+static SIGNAL_LOCK: Mutex<()> = Mutex::new(());
+
+fn run(tokens: &[&str]) -> Result<String, CliError> {
+    dispatch(&tokens.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "supermarq-cli-serve-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Polls an `--addr-file` until the daemon writes its bound address.
+fn wait_for_addr(path: &std::path::Path) -> String {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(text) = std::fs::read_to_string(path) {
+            let addr = text.trim();
+            if !addr.is_empty() {
+                return addr.to_string();
+            }
+        }
+        assert!(Instant::now() < deadline, "daemon never wrote {path:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn serve_daemon_round_trip_via_client_commands() {
+    let _guard = SIGNAL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    signal::clear();
+    let store_dir = temp_dir("daemon");
+    let addr_file = temp_dir("addr").join("addr.txt");
+    std::fs::create_dir_all(addr_file.parent().unwrap()).unwrap();
+    let serve_argv: Vec<String> = [
+        "serve",
+        "--addr",
+        "127.0.0.1:0",
+        "--store",
+        store_dir.to_str().unwrap(),
+        "--addr-file",
+        addr_file.to_str().unwrap(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let daemon = std::thread::spawn(move || dispatch(&serve_argv));
+    let addr = wait_for_addr(&addr_file);
+
+    assert_eq!(run(&["client", "ping", "--addr", &addr]).unwrap(), "pong");
+
+    // A remote run produces the same record line as a local `run --json`
+    // against the daemon's store (second query: warm hit, byte-equal).
+    let remote = run(&[
+        "client", "run", "ghz", "--size", "3", "--device", "ionq", "--shots", "100", "--reps", "2",
+        "--seed", "5", "--addr", &addr,
+    ])
+    .unwrap();
+    let record = RunRecord::from_str(&remote).unwrap();
+    assert_eq!(record.spec.benchmark, "ghz");
+    assert_eq!(record.spec.device, "IonQ");
+    let local = run(&[
+        "run",
+        "ghz",
+        "--size",
+        "3",
+        "--device",
+        "ionq",
+        "--shots",
+        "100",
+        "--reps",
+        "2",
+        "--seed",
+        "5",
+        "--json",
+        "--store",
+        store_dir.to_str().unwrap(),
+    ])
+    .unwrap();
+    assert_eq!(remote, local, "daemon and local records must be diffable");
+
+    // A batch shipped to the daemon: grid order, parseable lines, and a
+    // rerun is byte-identical and all-warm.
+    let batch_argv = [
+        "client",
+        "batch",
+        "--benchmarks",
+        "ghz",
+        "--sizes",
+        "3,4",
+        "--devices",
+        "ionq,aqt",
+        "--shots",
+        "50",
+        "--reps",
+        "1",
+        "--addr",
+        &addr,
+    ];
+    let first = run(&batch_argv).unwrap();
+    assert_eq!(first.lines().count(), 4);
+    for line in first.lines() {
+        RunRecord::from_str(line).unwrap();
+    }
+    let second = run(&batch_argv).unwrap();
+    assert_eq!(first, second);
+
+    // Daemon stats and `cache stats --format json` share the store
+    // serializer: the daemon's "store" object equals the CLI's "stats".
+    let stats = Json::parse(&run(&["client", "stats", "--addr", &addr]).unwrap()).unwrap();
+    assert!(stats.get("serve").is_some());
+    assert_eq!(
+        stats
+            .get("serve")
+            .and_then(|s| s.get("simulations"))
+            .and_then(Json::as_u64),
+        Some(5),
+        "1 run + 4 cold batch cells, reruns all warm"
+    );
+    let cli_stats = Json::parse(
+        &run(&[
+            "cache",
+            "stats",
+            "--store",
+            store_dir.to_str().unwrap(),
+            "--format",
+            "json",
+        ])
+        .unwrap(),
+    )
+    .unwrap();
+    assert_eq!(
+        cli_stats.get("stats").map(Json::to_string),
+        stats.get("store").map(Json::to_string),
+        "one schema for daemon and CLI store stats"
+    );
+
+    // Graceful remote shutdown: the serve command returns its summary.
+    run(&["client", "shutdown", "--addr", &addr]).unwrap();
+    let summary = daemon.join().unwrap().unwrap();
+    assert!(summary.starts_with("serve: requests="), "{summary}");
+    assert!(summary.contains("simulations=5"), "{summary}");
+}
+
+#[test]
+fn batch_ctrl_c_flushes_completed_cells_and_resumes() {
+    let _guard = SIGNAL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    signal::clear();
+    let store_dir = temp_dir("interrupt");
+    let out_file = store_dir.join("out.jsonl");
+    let store_arg = store_dir.to_str().unwrap().to_string();
+    let argv: Vec<String> = [
+        "batch",
+        "--benchmarks",
+        "ghz,qaoa-swap",
+        "--sizes",
+        "3,4",
+        "--devices",
+        "ionq,aqt",
+        "--shots",
+        "300",
+        "--seeds",
+        "1,2,3",
+        "--reps",
+        "1",
+        "--store",
+        &store_arg,
+        "--out",
+        out_file.to_str().unwrap(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+
+    // Watcher: as soon as the first result is persisted, deliver SIGINT
+    // (the installed handler turns it into the cooperative flag).
+    let watch_store = store_dir.clone();
+    let watcher = std::thread::spawn(move || {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let store = Store::open(&watch_store).unwrap();
+        while store.stats().map(|s| s.entries).unwrap_or(0) == 0 {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        signal::raise();
+        true
+    });
+    let result = dispatch(&argv);
+    assert!(watcher.join().unwrap(), "no cell ever completed");
+
+    // The command reports the interrupt as a failure with a resume hint,
+    // and whatever completed was flushed to the output file.
+    let message = match result {
+        Err(CliError::Failure(message)) => message,
+        other => panic!("expected an interrupt failure, got {other:?}"),
+    };
+    assert!(message.contains("interrupted"), "{message}");
+    assert!(message.contains("rerun the same command"), "{message}");
+    let flushed = std::fs::read_to_string(&out_file).unwrap();
+    assert_eq!(flushed.lines().count(), 24, "every cell gets a line");
+    let completed = Store::open(&store_dir).unwrap().stats().unwrap().entries;
+    assert!(completed >= 1, "at least the watched cell persisted");
+    assert_eq!(
+        flushed
+            .lines()
+            .filter(|l| RunRecord::from_str(l).is_ok())
+            .count(),
+        completed,
+        "flushed success lines must match persisted entries"
+    );
+
+    // Rerunning the same command resumes: completed cells replay as
+    // hits, interrupted ones execute, and the file ends fully populated.
+    signal::clear();
+    let summary = dispatch(&argv).unwrap();
+    assert!(summary.contains("failures=0"), "{summary}");
+    assert!(summary.contains(&format!("hits={completed} ")), "{summary}");
+    let final_text = std::fs::read_to_string(&out_file).unwrap();
+    assert_eq!(final_text.lines().count(), 24);
+    for line in final_text.lines() {
+        RunRecord::from_str(line).unwrap();
+    }
+}

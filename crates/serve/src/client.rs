@@ -1,0 +1,141 @@
+//! A blocking line-protocol client, used by `supermarq client`, the
+//! tests, and the warm-hit benchmark. One [`Client`] is one connection;
+//! requests are serial (the protocol has no multiplexing).
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use supermarq_store::{Json, RunSpec, SweepGrid};
+
+use crate::protocol::{classify_response, encode_request, Request};
+
+/// A parsed `batch` response: the header counters plus the raw result
+/// lines, in grid order, exactly as the daemon sent them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchResponse {
+    /// Cells in the expanded grid.
+    pub total: u64,
+    /// Cells served warm.
+    pub hits: u64,
+    /// Cells that needed a job.
+    pub misses: u64,
+    /// Cells whose executor failed.
+    pub failures: u64,
+    /// One line per cell; byte-identical to `supermarq batch` output.
+    pub lines: Vec<String>,
+}
+
+/// A connected protocol client.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Caps how long a single response read may block (`None` = wait
+    /// forever, the default — batch jobs can legitimately take a while).
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    fn send(&mut self, request: &Request) -> Result<(), String> {
+        let line = encode_request(request);
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|_| self.writer.write_all(b"\n"))
+            .and_then(|_| self.writer.flush())
+            .map_err(|e| format!("send failed: {e}"))
+    }
+
+    fn read_line(&mut self) -> Result<String, String> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => Err("connection closed by server".into()),
+            Ok(_) => Ok(line.trim_end_matches(['\n', '\r']).to_string()),
+            Err(e) => Err(format!("read failed: {e}")),
+        }
+    }
+
+    fn read_classified(&mut self) -> Result<Json, String> {
+        let line = self.read_line()?;
+        classify_response(&line).map_err(|(kind, message)| format!("{kind}: {message}"))
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), String> {
+        self.send(&Request::Ping)?;
+        let value = self.read_classified()?;
+        match value.get("type").and_then(Json::as_str) {
+            Some("pong") => Ok(()),
+            other => Err(format!("unexpected ping reply: {other:?}")),
+        }
+    }
+
+    /// Fetches the combined store + service stats object.
+    pub fn stats(&mut self) -> Result<Json, String> {
+        self.send(&Request::Stats)?;
+        self.read_classified()
+    }
+
+    /// Asks the daemon to drain and exit.
+    pub fn shutdown_server(&mut self) -> Result<(), String> {
+        self.send(&Request::Shutdown)?;
+        let value = self.read_classified()?;
+        match value.get("type").and_then(Json::as_str) {
+            Some("shutdown") => Ok(()),
+            other => Err(format!("unexpected shutdown reply: {other:?}")),
+        }
+    }
+
+    /// Resolves one run. `Ok` carries the raw result line (a stored
+    /// record or an executor-failure object — byte-identical to
+    /// `supermarq batch` output); `Err` is a protocol-level failure
+    /// (busy, parse, shutting-down, transport).
+    pub fn run(&mut self, spec: &RunSpec) -> Result<String, String> {
+        self.send(&Request::Run(spec.clone()))?;
+        let line = self.read_line()?;
+        match classify_response(&line) {
+            Ok(_) => Ok(line),
+            Err((kind, message)) => Err(format!("{kind}: {message}")),
+        }
+    }
+
+    /// Resolves a whole grid server-side.
+    pub fn batch(&mut self, grid: &SweepGrid) -> Result<BatchResponse, String> {
+        self.send(&Request::Batch(grid.clone()))?;
+        let header = self.read_classified()?;
+        if header.get("type").and_then(Json::as_str) != Some("batch") {
+            return Err("missing batch header".into());
+        }
+        let count = |key: &str| -> Result<u64, String> {
+            header
+                .get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("batch header missing '{key}'"))
+        };
+        let response = BatchResponse {
+            total: count("total")?,
+            hits: count("hits")?,
+            misses: count("misses")?,
+            failures: count("failures")?,
+            lines: Vec::new(),
+        };
+        let mut lines = Vec::with_capacity(response.total as usize);
+        for _ in 0..response.total {
+            lines.push(self.read_line()?);
+        }
+        Ok(BatchResponse { lines, ..response })
+    }
+}

@@ -1,0 +1,273 @@
+//! The wire protocol: one strict-JSON request per line, answered by one
+//! or more strict-JSON response lines.
+//!
+//! Grammar (each `<...>` is a single `\n`-terminated JSON object):
+//!
+//! ```text
+//! request  := {"op":"ping"}
+//!           | {"op":"run","spec":<RunSpec>}
+//!           | {"op":"batch","grid":<SweepGrid>}
+//!           | {"op":"stats"}
+//!           | {"op":"shutdown"}
+//!
+//! response := {"type":"pong"}                                 (ping)
+//!           | <result-line>                                   (run)
+//!           | {"type":"batch","total":N,"hits":H,
+//!              "misses":M,"failures":F} <result-line>*N       (batch)
+//!           | {"type":"stats","store":{..},"serve":{..}}      (stats)
+//!           | {"type":"shutdown"}                             (shutdown)
+//!           | {"type":"error","kind":K,"message":S
+//!              [,"retry_after_ms":N]}                         (any)
+//! ```
+//!
+//! A `<result-line>` is exactly [`SweepResult::to_line`]: the stored
+//! record serialization on success, `{"schema":..,"error":..,"spec":..}`
+//! on executor failure. That makes daemon responses byte-identical to
+//! `supermarq batch` output and to the store's on-disk objects — the
+//! property the hammer and smoke tests pin.
+//!
+//! Responses never use the key `"type":"error"` for anything but
+//! protocol-level errors, so clients classify lines by that key alone.
+//!
+//! [`SweepResult::to_line`]: supermarq_store::SweepResult::to_line
+
+use supermarq_store::{Json, RunSpec, SweepGrid};
+
+/// Maximum accepted request-frame length in bytes (newline included).
+/// Anything longer gets a typed `oversized` error and the connection is
+/// closed (there is no way to resynchronize mid-line).
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// A parsed client request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Execute (or fetch) a single run.
+    Run(RunSpec),
+    /// Expand and execute a whole grid server-side.
+    Batch(SweepGrid),
+    /// Store + service counters.
+    Stats,
+    /// Graceful shutdown: finish in-flight jobs, then exit.
+    Shutdown,
+}
+
+/// Error taxonomy for `{"type":"error","kind":...}` responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Unintelligible or schema-violating request.
+    Parse,
+    /// Job queue full; retry after `retry_after_ms`.
+    Busy,
+    /// Request frame exceeded [`MAX_FRAME`].
+    Oversized,
+    /// Daemon is draining; no new work accepted.
+    ShuttingDown,
+    /// Server-side invariant violation (e.g. executor panic).
+    Internal,
+}
+
+impl ErrorKind {
+    /// The wire name of this kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Parse => "parse",
+            ErrorKind::Busy => "busy",
+            ErrorKind::Oversized => "oversized",
+            ErrorKind::ShuttingDown => "shutting-down",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+/// Parses one request line. Strict: any deviation is an error message
+/// (which the server wraps in a typed `parse` response) — never a panic.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let value = Json::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    let op = value
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or("missing string field 'op'")?;
+    match op {
+        "ping" => Ok(Request::Ping),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        "run" => {
+            let spec = value.get("spec").ok_or("'run' request missing 'spec'")?;
+            RunSpec::from_json(spec)
+                .map(Request::Run)
+                .map_err(|e| format!("bad spec: {e}"))
+        }
+        "batch" => {
+            let grid = value.get("grid").ok_or("'batch' request missing 'grid'")?;
+            SweepGrid::from_json(grid)
+                .map(Request::Batch)
+                .map_err(|e| format!("bad grid: {e}"))
+        }
+        other => Err(format!("unknown op '{other}'")),
+    }
+}
+
+/// Encodes a request for the wire (client side).
+pub fn encode_request(request: &Request) -> String {
+    let obj = match request {
+        Request::Ping => vec![("op".into(), Json::str("ping"))],
+        Request::Stats => vec![("op".into(), Json::str("stats"))],
+        Request::Shutdown => vec![("op".into(), Json::str("shutdown"))],
+        Request::Run(spec) => vec![
+            ("op".into(), Json::str("run")),
+            ("spec".into(), spec.to_json()),
+        ],
+        Request::Batch(grid) => vec![
+            ("op".into(), Json::str("batch")),
+            ("grid".into(), grid.to_json()),
+        ],
+    };
+    Json::Obj(obj).to_string()
+}
+
+/// The `ping` response.
+pub fn pong_line() -> String {
+    Json::Obj(vec![("type".into(), Json::str("pong"))]).to_string()
+}
+
+/// The `shutdown` acknowledgement.
+pub fn shutdown_line() -> String {
+    Json::Obj(vec![("type".into(), Json::str("shutdown"))]).to_string()
+}
+
+/// A typed error response.
+pub fn error_line(kind: ErrorKind, message: &str, retry_after_ms: Option<u64>) -> String {
+    let mut obj = vec![
+        ("type".into(), Json::str("error")),
+        ("kind".into(), Json::str(kind.as_str())),
+        ("message".into(), Json::str(message)),
+    ];
+    if let Some(ms) = retry_after_ms {
+        obj.push(("retry_after_ms".into(), Json::uint(ms)));
+    }
+    Json::Obj(obj).to_string()
+}
+
+/// The `batch` response header; exactly `total` result lines follow.
+pub fn batch_header_line(total: u64, hits: u64, misses: u64, failures: u64) -> String {
+    Json::Obj(vec![
+        ("type".into(), Json::str("batch")),
+        ("total".into(), Json::uint(total)),
+        ("hits".into(), Json::uint(hits)),
+        ("misses".into(), Json::uint(misses)),
+        ("failures".into(), Json::uint(failures)),
+    ])
+    .to_string()
+}
+
+/// The `stats` response: the store's [`StoreStats::to_json`] schema plus
+/// service counters, one serializer end to end.
+///
+/// [`StoreStats::to_json`]: supermarq_store::StoreStats::to_json
+pub fn stats_line(store: Json, serve: Json) -> String {
+    Json::Obj(vec![
+        ("type".into(), Json::str("stats")),
+        ("store".into(), store),
+        ("serve".into(), serve),
+    ])
+    .to_string()
+}
+
+/// Classifies a response line: `Err((kind, message))` when it is a
+/// protocol error, `Ok(parsed)` otherwise.
+pub fn classify_response(line: &str) -> Result<Json, (String, String)> {
+    match Json::parse(line) {
+        Ok(value) => {
+            if value.get("type").and_then(Json::as_str) == Some("error") {
+                let kind = value
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .unwrap_or("internal")
+                    .to_string();
+                let message = value
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string();
+                Err((kind, message))
+            } else {
+                Ok(value)
+            }
+        }
+        Err(e) => Err(("parse".into(), format!("unparseable response: {e}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> RunSpec {
+        RunSpec::new("ghz", vec![("size".into(), "3".into())], "IonQ", 100, 2, 7)
+    }
+
+    #[test]
+    fn requests_round_trip_through_the_wire() {
+        let grid = SweepGrid {
+            benchmarks: vec![("ghz".into(), vec![("size".into(), "3".into())])],
+            devices: vec!["IonQ".into()],
+            shots: vec![10],
+            seeds: vec![1],
+            repetitions: 1,
+            transpile: Default::default(),
+            division: "closed".into(),
+        };
+        for request in [
+            Request::Ping,
+            Request::Stats,
+            Request::Shutdown,
+            Request::Run(spec()),
+            Request::Batch(grid),
+        ] {
+            let line = encode_request(&request);
+            let back = parse_request(&line).unwrap();
+            match (&request, &back) {
+                (Request::Run(a), Request::Run(b)) => assert_eq!(a, b),
+                (Request::Batch(a), Request::Batch(b)) => {
+                    assert_eq!(a.expand(), b.expand())
+                }
+                _ => assert_eq!(
+                    std::mem::discriminant(&request),
+                    std::mem::discriminant(&back)
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_requests_produce_messages_never_panics() {
+        for junk in [
+            "",
+            "not json",
+            "{}",
+            "[1,2]",
+            r#"{"op":42}"#,
+            r#"{"op":"transmogrify"}"#,
+            r#"{"op":"run"}"#,
+            r#"{"op":"run","spec":17}"#,
+            r#"{"op":"batch","grid":[]}"#,
+            r#"{"op":"batch","grid":{"benchmarks":"all"}}"#,
+        ] {
+            assert!(parse_request(junk).is_err(), "{junk:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn error_lines_carry_kind_and_optional_retry() {
+        let plain = error_line(ErrorKind::Parse, "bad", None);
+        assert_eq!(plain, r#"{"type":"error","kind":"parse","message":"bad"}"#);
+        let busy = error_line(ErrorKind::Busy, "queue full", Some(250));
+        assert!(busy.contains("\"retry_after_ms\":250"));
+        let (kind, message) = classify_response(&busy).unwrap_err();
+        assert_eq!(kind, "busy");
+        assert_eq!(message, "queue full");
+        assert!(classify_response(&pong_line()).is_ok());
+    }
+}

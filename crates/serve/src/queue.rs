@@ -1,0 +1,315 @@
+//! Bounded job queue with request coalescing.
+//!
+//! The queue is the daemon's admission controller:
+//!
+//! - **Bounded**: at most `capacity` jobs may be *queued* (accepted but
+//!   not yet picked up by a worker). Beyond that, submission fails with
+//!   [`Submit::Full`] and the server answers `busy` + `retry_after_ms` —
+//!   backpressure instead of unbounded memory.
+//! - **Coalescing**: jobs are keyed by the spec's content hash. A second
+//!   submission of an in-flight hash joins the existing job
+//!   ([`Submit::Joined`]) and shares its one result — two clients asking
+//!   for the same spec cost one simulation.
+//! - **Draining**: [`JobQueue::close`] stops admission, but workers keep
+//!   popping until the queue is empty, so every accepted job completes
+//!   and every waiter is woken. Nothing accepted is ever abandoned.
+//!
+//! The in-flight map holds a job from submission until
+//! [`JobQueue::complete`] — including while it executes — so latecomers
+//! coalesce with *running* work, not just queued work.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+
+use supermarq_store::{RunSpec, SweepResult};
+
+/// One unit of work: a spec, and a slot its result lands in.
+#[derive(Debug)]
+pub struct Job {
+    /// The spec to resolve.
+    pub spec: RunSpec,
+    result: Mutex<Option<SweepResult>>,
+    done: Condvar,
+}
+
+impl Job {
+    fn new(spec: RunSpec) -> Arc<Job> {
+        Arc::new(Job {
+            spec,
+            result: Mutex::new(None),
+            done: Condvar::new(),
+        })
+    }
+
+    /// Blocks until the job completes and returns its result. Safe to
+    /// call from any number of coalesced waiters.
+    pub fn wait(&self) -> SweepResult {
+        let mut slot = self.result.lock().unwrap();
+        while slot.is_none() {
+            slot = self.done.wait(slot).unwrap();
+        }
+        slot.clone().unwrap()
+    }
+
+    fn complete(&self, result: SweepResult) {
+        *self.result.lock().unwrap() = Some(result);
+        self.done.notify_all();
+    }
+}
+
+/// Outcome of a submission attempt.
+#[derive(Debug)]
+pub enum Submit {
+    /// A new job was enqueued; wait on it.
+    New(Arc<Job>),
+    /// Coalesced with an in-flight job for the same hash; wait on it.
+    Joined(Arc<Job>),
+    /// Queue at capacity — retry later.
+    Full,
+    /// Queue closed — the daemon is draining.
+    Closed,
+}
+
+#[derive(Default)]
+struct QueueState {
+    /// Accepted, not yet picked up by a worker.
+    queued: VecDeque<Arc<Job>>,
+    /// Hash → job, from submission until completion (spans execution).
+    inflight: HashMap<String, Arc<Job>>,
+    closed: bool,
+}
+
+/// The bounded, coalescing job queue shared by connection handlers
+/// (producers) and workers (consumers).
+pub struct JobQueue {
+    state: Mutex<QueueState>,
+    /// Signalled on enqueue and close; workers wait on it.
+    available: Condvar,
+    capacity: usize,
+}
+
+impl JobQueue {
+    /// A queue admitting at most `capacity` queued jobs (minimum 1).
+    pub fn new(capacity: usize) -> JobQueue {
+        JobQueue {
+            state: Mutex::new(QueueState::default()),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Submits one spec, coalescing with any in-flight twin.
+    pub fn submit(&self, spec: &RunSpec) -> Submit {
+        let mut state = self.state.lock().unwrap();
+        if state.closed {
+            return Submit::Closed;
+        }
+        let hash = spec.content_hash();
+        if let Some(job) = state.inflight.get(&hash) {
+            return Submit::Joined(Arc::clone(job));
+        }
+        if state.queued.len() >= self.capacity {
+            return Submit::Full;
+        }
+        let job = Job::new(spec.clone());
+        state.inflight.insert(hash, Arc::clone(&job));
+        state.queued.push_back(Arc::clone(&job));
+        self.available.notify_one();
+        Submit::New(job)
+    }
+
+    /// Submits a whole batch atomically: either every spec is admitted
+    /// (as a new job or by joining an in-flight twin — duplicates inside
+    /// the batch coalesce too) or none is and the batch gets one `Full`
+    /// / `Closed` answer. Returns one job per input spec, in order,
+    /// plus how many coalesced.
+    pub fn submit_all(&self, specs: &[RunSpec]) -> Result<(Vec<Arc<Job>>, u64), Submit> {
+        let mut state = self.state.lock().unwrap();
+        if state.closed {
+            return Err(Submit::Closed);
+        }
+        // First pass: count the genuinely new hashes so admission is
+        // all-or-nothing under one lock.
+        let hashes: Vec<String> = specs.iter().map(RunSpec::content_hash).collect();
+        let mut fresh: Vec<&String> = Vec::new();
+        for hash in &hashes {
+            if !state.inflight.contains_key(hash) && !fresh.contains(&hash) {
+                fresh.push(hash);
+            }
+        }
+        if state.queued.len() + fresh.len() > self.capacity {
+            return Err(Submit::Full);
+        }
+        let mut jobs = Vec::with_capacity(specs.len());
+        let mut coalesced = 0u64;
+        for (spec, hash) in specs.iter().zip(&hashes) {
+            if let Some(job) = state.inflight.get(hash) {
+                coalesced += 1;
+                jobs.push(Arc::clone(job));
+                continue;
+            }
+            let job = Job::new(spec.clone());
+            state.inflight.insert(hash.clone(), Arc::clone(&job));
+            state.queued.push_back(Arc::clone(&job));
+            jobs.push(job);
+        }
+        self.available.notify_all();
+        Ok((jobs, coalesced))
+    }
+
+    /// Blocks until a job is available and pops it. Returns `None` only
+    /// when the queue is closed **and** drained — the worker-loop exit
+    /// condition that guarantees every accepted job completes.
+    pub fn pop(&self) -> Option<Arc<Job>> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(job) = state.queued.pop_front() {
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.available.wait(state).unwrap();
+        }
+    }
+
+    /// Publishes `result`, wakes every waiter, and retires the hash so
+    /// future submissions start a fresh job.
+    pub fn complete(&self, job: &Job, result: SweepResult) {
+        let mut state = self.state.lock().unwrap();
+        state.inflight.remove(&job.spec.content_hash());
+        drop(state);
+        job.complete(result);
+    }
+
+    /// Jobs accepted but not yet picked up by a worker.
+    pub fn depth(&self) -> usize {
+        self.state.lock().unwrap().queued.len()
+    }
+
+    /// Stops admission. Workers drain what was already accepted.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supermarq_store::{RunOutcome, RunRecord};
+
+    fn spec(seed: u64) -> RunSpec {
+        RunSpec::new(
+            "ghz",
+            vec![("size".into(), "3".into())],
+            "IonQ",
+            10,
+            1,
+            seed,
+        )
+    }
+
+    fn result_for(spec: &RunSpec) -> SweepResult {
+        SweepResult {
+            spec: spec.clone(),
+            from_cache: false,
+            store_error: false,
+            outcome: Ok(RunRecord {
+                spec: spec.clone(),
+                outcome: RunOutcome {
+                    scores: vec![0.5],
+                    swap_count: 0,
+                    two_qubit_gates: 1,
+                },
+            }),
+        }
+    }
+
+    #[test]
+    fn duplicate_submissions_coalesce_onto_one_job() {
+        let queue = JobQueue::new(4);
+        let first = match queue.submit(&spec(1)) {
+            Submit::New(job) => job,
+            other => panic!("expected New, got {other:?}"),
+        };
+        // Same hash joins — even after a worker picked the job up.
+        assert!(matches!(queue.submit(&spec(1)), Submit::Joined(_)));
+        let picked = queue.pop().unwrap();
+        assert!(matches!(queue.submit(&spec(1)), Submit::Joined(_)));
+        assert_eq!(queue.depth(), 0);
+        queue.complete(&picked, result_for(&picked.spec));
+        assert_eq!(first.wait().spec, spec(1));
+        // Completion retires the hash: the next submission is new work.
+        assert!(matches!(queue.submit(&spec(1)), Submit::New(_)));
+    }
+
+    #[test]
+    fn capacity_rejects_with_full_but_joins_still_succeed() {
+        let queue = JobQueue::new(2);
+        assert!(matches!(queue.submit(&spec(1)), Submit::New(_)));
+        assert!(matches!(queue.submit(&spec(2)), Submit::New(_)));
+        assert!(matches!(queue.submit(&spec(3)), Submit::Full));
+        // Coalescing costs no slot, so it succeeds even at capacity.
+        assert!(matches!(queue.submit(&spec(1)), Submit::Joined(_)));
+    }
+
+    #[test]
+    fn batch_admission_is_all_or_nothing_with_in_batch_coalescing() {
+        let queue = JobQueue::new(2);
+        // 3 specs, 2 unique → fits in capacity 2, one coalesced.
+        let (jobs, coalesced) = queue.submit_all(&[spec(1), spec(2), spec(1)]).unwrap();
+        assert_eq!(jobs.len(), 3);
+        assert_eq!(coalesced, 1);
+        assert!(Arc::ptr_eq(&jobs[0], &jobs[2]));
+        assert_eq!(queue.depth(), 2);
+        // A batch that does not fit is rejected whole: nothing enqueued.
+        assert!(matches!(
+            queue.submit_all(&[spec(3), spec(4), spec(5)]),
+            Err(Submit::Full)
+        ));
+        assert_eq!(queue.depth(), 2);
+        // But a batch made entirely of joins is free.
+        let (joined, n) = queue.submit_all(&[spec(1), spec(2)]).unwrap();
+        assert_eq!((joined.len(), n), (2, 2));
+    }
+
+    #[test]
+    fn close_drains_accepted_work_then_stops_workers() {
+        let queue = Arc::new(JobQueue::new(8));
+        let jobs: Vec<_> = (0..4)
+            .map(|i| match queue.submit(&spec(i)) {
+                Submit::New(job) => job,
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        queue.close();
+        assert!(matches!(queue.submit(&spec(99)), Submit::Closed));
+        // A worker still sees all four, then the stop signal.
+        let mut served = 0;
+        while let Some(job) = queue.pop() {
+            queue.complete(&job, result_for(&job.spec));
+            served += 1;
+        }
+        assert_eq!(served, 4);
+        for job in jobs {
+            assert!(job.wait().outcome.is_ok());
+        }
+    }
+
+    #[test]
+    fn waiters_block_until_completion_across_threads() {
+        let queue = Arc::new(JobQueue::new(4));
+        let job = match queue.submit(&spec(5)) {
+            Submit::New(job) => job,
+            other => panic!("{other:?}"),
+        };
+        let waiter = {
+            let job = Arc::clone(&job);
+            std::thread::spawn(move || job.wait())
+        };
+        let picked = queue.pop().unwrap();
+        queue.complete(&picked, result_for(&picked.spec));
+        assert_eq!(waiter.join().unwrap().spec, spec(5));
+    }
+}

@@ -1,0 +1,187 @@
+//! Crash/resume semantics on a shared store (in-process simulation of
+//! a SIGKILL'd daemon; the real `kill -9` pass lives in
+//! `scripts/serve_smoke.sh`).
+//!
+//! Scenario: a daemon dies mid-batch. What that leaves behind is (a)
+//! whatever objects were atomically published and (b) possibly a
+//! half-written `tmp/` file. The store must verify clean, a restarted
+//! daemon must serve the survivors warm and re-simulate only the gap,
+//! and the replayed output must be byte-identical.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use supermarq_serve::{Client, ServeConfig, Server};
+use supermarq_store::{RunOutcome, RunSpec, Store, SweepEngine, SweepGrid, TranspileSpec};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "supermarq-serve-crash-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn fake_outcome(spec: &RunSpec) -> Result<RunOutcome, String> {
+    Ok(RunOutcome {
+        scores: (0..spec.repetitions)
+            .map(|r| (spec.seed * 7 + spec.shots + r) as f64 / 1000.0)
+            .collect(),
+        swap_count: spec.seed,
+        two_qubit_gates: spec.shots,
+    })
+}
+
+fn grid() -> SweepGrid {
+    SweepGrid {
+        benchmarks: vec![("ghz".into(), vec![("size".into(), "3".into())])],
+        devices: vec!["IonQ".into(), "AQT".into()],
+        shots: vec![32],
+        seeds: vec![1, 2, 3],
+        repetitions: 1,
+        transpile: TranspileSpec::default(),
+        division: "closed".into(),
+    }
+}
+
+#[test]
+fn killed_daemon_resumes_with_hits_plus_resimulation_byte_identical() {
+    let root = temp_dir("resume");
+    let specs = grid().expand();
+    assert_eq!(specs.len(), 6);
+
+    // Oracle on a separate store.
+    let oracle_store = Store::open(temp_dir("oracle")).unwrap();
+    let oracle_engine = SweepEngine::new(&oracle_store);
+    let oracle: Vec<String> = specs
+        .iter()
+        .map(|s| oracle_engine.run_job(s, fake_outcome).to_line())
+        .collect();
+
+    // First daemon completes the full batch, then "crashes": we strand
+    // a half-written tmp file (what a SIGKILL mid-publication leaves)
+    // and delete two published objects (cells whose publication the
+    // crash preempted entirely).
+    let executions = Arc::new(AtomicUsize::new(0));
+    let first_count = Arc::clone(&executions);
+    let first = Server::bind(
+        ServeConfig::default(),
+        Store::open(&root).unwrap(),
+        Arc::new(move |spec: &RunSpec| {
+            first_count.fetch_add(1, Ordering::Relaxed);
+            fake_outcome(spec)
+        }),
+    )
+    .unwrap();
+    let mut client = Client::connect(first.addr()).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let cold = client.batch(&grid()).unwrap();
+    assert_eq!(cold.lines, oracle);
+    assert_eq!(executions.load(Ordering::Relaxed), specs.len());
+    drop(client);
+    first.shutdown();
+
+    let store = Store::open(&root).unwrap();
+    std::fs::write(
+        store.root().join("tmp").join("deadbeef.777.0.tmp"),
+        "{\"schema\":2,\"ha",
+    )
+    .unwrap();
+    for spec in &specs[..2] {
+        std::fs::remove_file(store.object_path(&spec.content_hash())).unwrap();
+    }
+    // The store verifies clean: published objects are intact, the stray
+    // tmp file is invisible to reads and survives default gc (it could
+    // belong to a live writer) until an exclusive-owner gc collects it.
+    let verify = store.verify().unwrap();
+    assert!(verify.is_clean(), "no stranded object may fail validation");
+    assert_eq!(store.stats().unwrap().stray_tmp, 1);
+    assert_eq!(store.gc().unwrap().removed_tmp, 0);
+    assert_eq!(store.gc_with_grace(Duration::ZERO).unwrap().removed_tmp, 1);
+
+    // Restarted daemon on the same directory: the re-request completes
+    // from 4 warm hits + 2 re-simulations, byte-identical.
+    let second_count = Arc::clone(&executions);
+    let second = Server::bind(
+        ServeConfig::default(),
+        store,
+        Arc::new(move |spec: &RunSpec| {
+            second_count.fetch_add(1, Ordering::Relaxed);
+            fake_outcome(spec)
+        }),
+    )
+    .unwrap();
+    let mut client = Client::connect(second.addr()).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let resumed = client.batch(&grid()).unwrap();
+    assert_eq!(resumed.hits, 4);
+    assert_eq!(resumed.misses, 2);
+    assert_eq!(resumed.lines, oracle, "resume must replay byte-identically");
+    assert_eq!(
+        executions.load(Ordering::Relaxed),
+        specs.len() + 2,
+        "only the destroyed cells may re-simulate"
+    );
+    // And one more pass is fully warm.
+    let warm = client.batch(&grid()).unwrap();
+    assert_eq!(warm.hits, 6);
+    assert_eq!(executions.load(Ordering::Relaxed), specs.len() + 2);
+    second.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_jobs_and_strands_nothing() {
+    let root = temp_dir("drain");
+    let specs = grid().expand();
+    let server = Server::bind(
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+        Store::open(&root).unwrap(),
+        Arc::new(|spec: &RunSpec| {
+            std::thread::sleep(Duration::from_millis(10));
+            fake_outcome(spec)
+        }),
+    )
+    .unwrap();
+    let addr = server.addr();
+    // A client with a batch in flight while we shut the server down.
+    let handle = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        client.batch(&grid()).unwrap()
+    });
+    // Shut down only once the batch is admitted (visible as misses), so
+    // the test exercises drain-of-accepted-work, not an accept race.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while server.metrics().misses.load(Ordering::Relaxed) < specs.len() as u64 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "batch was never admitted"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    server.shutdown();
+    // The in-flight batch still completed: accepted jobs are drained,
+    // not abandoned.
+    let response = handle.join().unwrap();
+    assert_eq!(response.total, specs.len() as u64);
+    assert_eq!(response.failures, 0);
+    // And the store is clean: every result published, no stray tmp.
+    let store = Store::open(&root).unwrap();
+    let stats = store.stats().unwrap();
+    assert_eq!(stats.entries, specs.len());
+    assert_eq!(stats.stray_tmp, 0);
+    assert!(store.verify().unwrap().is_clean());
+}

@@ -1,0 +1,283 @@
+//! Concurrency hammer: N client threads issuing overlapping `run` and
+//! `batch` requests against one daemon.
+//!
+//! The contract under load:
+//! - every response is byte-identical to a cold, single-threaded oracle
+//!   sweep over a separate store;
+//! - warm requests are answered with zero new simulations;
+//! - duplicate specs are simulated exactly once, no matter how many
+//!   clients ask concurrently (coalescing + cache, asserted via the
+//!   `serve.*` counters and the executor's own call count).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use supermarq_serve::{Client, ServeConfig, Server};
+use supermarq_store::{Json, RunOutcome, RunSpec, Store, SweepEngine, SweepGrid, TranspileSpec};
+
+fn temp_store(tag: &str) -> Store {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "supermarq-serve-hammer-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    Store::open(dir).unwrap()
+}
+
+/// Deterministic pure function of the spec, slow enough (2 ms) that
+/// concurrent duplicates genuinely overlap and must coalesce.
+fn fake_outcome(spec: &RunSpec) -> Result<RunOutcome, String> {
+    std::thread::sleep(Duration::from_millis(2));
+    Ok(RunOutcome {
+        scores: (0..spec.repetitions)
+            .map(|r| (spec.seed + spec.shots + r) as f64 / 1000.0)
+            .collect(),
+        swap_count: spec.seed,
+        two_qubit_gates: spec.shots,
+    })
+}
+
+fn grid() -> SweepGrid {
+    SweepGrid {
+        benchmarks: vec![
+            ("ghz".into(), vec![("size".into(), "3".into())]),
+            ("qaoa".into(), vec![("size".into(), "4".into())]),
+        ],
+        devices: vec!["IonQ".into(), "AQT".into()],
+        shots: vec![64],
+        seeds: vec![1, 2],
+        repetitions: 2,
+        transpile: TranspileSpec::default(),
+        division: "closed".into(),
+    }
+}
+
+/// Cold single-threaded oracle: hash → expected line.
+fn oracle_lines(specs: &[RunSpec]) -> HashMap<String, String> {
+    let store = temp_store("oracle");
+    let engine = SweepEngine::new(&store);
+    specs
+        .iter()
+        .map(|spec| {
+            let result = engine.run_job(spec, fake_outcome);
+            (spec.content_hash(), result.to_line())
+        })
+        .collect()
+}
+
+#[test]
+fn hammer_overlapping_runs_and_batches_match_the_oracle() {
+    let specs = grid().expand();
+    assert_eq!(specs.len(), 8);
+    let oracle = oracle_lines(&specs);
+    let executions = Arc::new(AtomicUsize::new(0));
+    let exec_count = Arc::clone(&executions);
+    let server = Server::bind(
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 64,
+            ..ServeConfig::default()
+        },
+        temp_store("daemon"),
+        Arc::new(move |spec: &RunSpec| {
+            exec_count.fetch_add(1, Ordering::Relaxed);
+            fake_outcome(spec)
+        }),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // Phase 1 — cold hammer: 8 threads, each issuing every spec as a
+    // `run` plus the whole grid as a `batch`, all overlapping.
+    let threads = 8;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let specs = &specs;
+            let oracle = &oracle;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                client
+                    .set_read_timeout(Some(Duration::from_secs(60)))
+                    .unwrap();
+                // Interleave request shapes across threads.
+                if t % 2 == 0 {
+                    for spec in specs.iter() {
+                        let line = client.run(spec).unwrap();
+                        assert_eq!(line, oracle[&spec.content_hash()], "run line diverged");
+                    }
+                    let batch = client.batch(&grid()).unwrap();
+                    assert_eq!(batch.total, 8);
+                    assert_eq!(batch.hits + batch.misses, 8);
+                    assert_eq!(batch.failures, 0);
+                    for (spec, line) in specs.iter().zip(&batch.lines) {
+                        assert_eq!(line, &oracle[&spec.content_hash()], "batch line diverged");
+                    }
+                } else {
+                    let batch = client.batch(&grid()).unwrap();
+                    for (spec, line) in specs.iter().zip(&batch.lines) {
+                        assert_eq!(line, &oracle[&spec.content_hash()]);
+                    }
+                    for spec in specs.iter().rev() {
+                        let line = client.run(spec).unwrap();
+                        assert_eq!(line, oracle[&spec.content_hash()]);
+                    }
+                }
+            });
+        }
+    });
+
+    // Coalescing + cache: despite 8 threads × (8 runs + 8 batch cells),
+    // each unique spec was simulated exactly once.
+    assert_eq!(
+        executions.load(Ordering::Relaxed),
+        specs.len(),
+        "duplicate specs must be simulated exactly once"
+    );
+    let metrics = server.metrics();
+    assert_eq!(
+        metrics.simulations.load(Ordering::Relaxed),
+        specs.len() as u64
+    );
+    let hits = metrics.hits.load(Ordering::Relaxed);
+    let misses = metrics.misses.load(Ordering::Relaxed);
+    // Every cell of every request resolved as either warm hit or miss.
+    assert_eq!(hits + misses, (threads * specs.len() * 2) as u64);
+    // Misses beyond the unique specs either joined an in-flight twin or
+    // re-resolved warm inside the worker; neither re-simulates. (The
+    // exact coalesced count is timing-dependent; the deterministic
+    // guarantee is pinned by `concurrent_duplicates_share_one_simulation`.)
+    assert!(metrics.coalesced.load(Ordering::Relaxed) <= misses);
+    assert_eq!(metrics.errors.load(Ordering::Relaxed), 0);
+    assert_eq!(metrics.rejected.load(Ordering::Relaxed), 0);
+
+    // Phase 2 — fully warm: a fresh batch is all hits, zero simulations.
+    let mut client = Client::connect(addr).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let warm = client.batch(&grid()).unwrap();
+    assert_eq!(
+        warm.hits, 8,
+        "warm pass must be served entirely from the store"
+    );
+    assert_eq!(warm.misses, 0);
+    assert_eq!(
+        executions.load(Ordering::Relaxed),
+        specs.len(),
+        "warm pass must perform zero simulations"
+    );
+    for (spec, line) in specs.iter().zip(&warm.lines) {
+        assert_eq!(line, &oracle[&spec.content_hash()]);
+    }
+
+    // The stats request sees the same counters the test just asserted.
+    let stats = client.stats().unwrap();
+    let serve = stats.get("serve").unwrap();
+    assert_eq!(
+        serve.get("simulations").and_then(Json::as_u64),
+        Some(specs.len() as u64)
+    );
+    assert_eq!(
+        stats
+            .get("store")
+            .and_then(|s| s.get("entries"))
+            .and_then(Json::as_u64),
+        Some(specs.len() as u64)
+    );
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_duplicates_share_one_simulation() {
+    // The executor blocks on a gate until every duplicate is enqueued,
+    // making the coalescing count deterministic: first request starts
+    // the job, the other three must join it.
+    let gate = Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+    let executions = Arc::new(AtomicUsize::new(0));
+    let (exec_gate, exec_count) = (Arc::clone(&gate), Arc::clone(&executions));
+    let server = Server::bind(
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+        temp_store("coalesce"),
+        Arc::new(move |spec: &RunSpec| {
+            executions_wait(&exec_gate);
+            exec_count.fetch_add(1, Ordering::Relaxed);
+            fake_outcome(spec)
+        }),
+    )
+    .unwrap();
+    let addr = server.addr();
+    let spec = grid().expand().remove(0);
+    let clients: u64 = 4;
+    std::thread::scope(|scope| {
+        let mut lines = Vec::new();
+        for _ in 0..clients {
+            let spec = spec.clone();
+            lines.push(scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                client
+                    .set_read_timeout(Some(Duration::from_secs(60)))
+                    .unwrap();
+                client.run(&spec).unwrap()
+            }));
+        }
+        // Wait until all four requests are counted as misses, then open
+        // the gate so the single job can run.
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while server.metrics().misses.load(Ordering::Relaxed) < clients {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "requests never queued"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let (lock, cvar) = &*gate;
+        *lock.lock().unwrap() = true;
+        cvar.notify_all();
+        let all: Vec<String> = lines.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(all.windows(2).all(|w| w[0] == w[1]), "responses diverged");
+    });
+    assert_eq!(executions.load(Ordering::Relaxed), 1);
+    let metrics = server.metrics();
+    assert_eq!(metrics.misses.load(Ordering::Relaxed), clients);
+    assert_eq!(metrics.coalesced.load(Ordering::Relaxed), clients - 1);
+    assert_eq!(metrics.simulations.load(Ordering::Relaxed), 1);
+    server.shutdown();
+}
+
+fn executions_wait(gate: &(std::sync::Mutex<bool>, std::sync::Condvar)) {
+    let (lock, cvar) = gate;
+    let mut open = lock.lock().unwrap();
+    while !*open {
+        open = cvar.wait(open).unwrap();
+    }
+}
+
+#[test]
+fn warm_single_run_latency_is_recorded() {
+    let store = temp_store("warmlat");
+    let spec = grid().expand().remove(0);
+    // Pre-warm the store so the first request is already a hit.
+    SweepEngine::new(&store).run_job(&spec, fake_outcome);
+    let server = Server::bind(
+        ServeConfig::default(),
+        store,
+        Arc::new(|_: &RunSpec| Err("cold path must not run".into())),
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    for _ in 0..10 {
+        client.run(&spec).unwrap();
+    }
+    let metrics = server.metrics();
+    assert_eq!(metrics.hits.load(Ordering::Relaxed), 10);
+    assert_eq!(metrics.warm_hit_ns.count(), 10);
+    assert!(metrics.warm_hit_ns.quantile(0.99) > 0);
+    server.shutdown();
+}

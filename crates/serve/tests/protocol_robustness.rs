@@ -1,0 +1,222 @@
+//! Protocol robustness at the socket level: malformed, truncated, and
+//! oversized request frames. The contract is absolute — every frame
+//! earns a typed error response (or a clean close after one); never a
+//! panic, never a hung connection.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use supermarq_serve::{Client, RunningServer, ServeConfig, Server, MAX_FRAME};
+use supermarq_store::{Json, RunOutcome, RunSpec, Store};
+
+fn temp_store(tag: &str) -> Store {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "supermarq-serve-proto-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    Store::open(dir).unwrap()
+}
+
+fn start_server(tag: &str) -> RunningServer {
+    Server::bind(
+        ServeConfig {
+            idle_timeout: Duration::from_secs(5),
+            ..ServeConfig::default()
+        },
+        temp_store(tag),
+        Arc::new(|spec: &RunSpec| {
+            Ok(RunOutcome {
+                scores: vec![spec.seed as f64 / 10.0],
+                swap_count: 0,
+                two_qubit_gates: 1,
+            })
+        }),
+    )
+    .unwrap()
+}
+
+/// Sends raw bytes and reads one response line, with a hang guard.
+fn raw_round_trip(addr: SocketAddr, payload: &[u8]) -> Option<String> {
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    writer.write_all(payload).unwrap();
+    writer.flush().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => None,
+        Ok(_) => Some(line.trim_end().to_string()),
+        Err(e) => panic!("connection hung or died on {payload:?}: {e}"),
+    }
+}
+
+fn assert_error_kind(line: &str, kind: &str) {
+    let value = Json::parse(line).unwrap_or_else(|e| panic!("unparseable response {line:?}: {e}"));
+    assert_eq!(value.get("type").and_then(Json::as_str), Some("error"));
+    assert_eq!(
+        value.get("kind").and_then(Json::as_str),
+        Some(kind),
+        "{line}"
+    );
+    assert!(value.get("message").and_then(Json::as_str).is_some());
+}
+
+#[test]
+fn malformed_corpus_gets_typed_parse_errors_and_connection_survives() {
+    let server = start_server("corpus");
+    let addr = server.addr();
+    let corpus: [&[u8]; 12] = [
+        b"not json\n",
+        b"{}\n",
+        b"[]\n",
+        b"42\n",
+        b"\"op\"\n",
+        b"{\"op\":42}\n",
+        b"{\"op\":\"launch-missiles\"}\n",
+        b"{\"op\":\"run\"}\n",
+        b"{\"op\":\"run\",\"spec\":[]}\n",
+        b"{\"op\":\"batch\",\"grid\":{\"benchmarks\":3}}\n",
+        b"{\"op\":\"run\",\"spec\":{\"benchmark\":\"ghz\"}}\n",
+        &[0xff, 0xfe, 0x01, b'\n'], // invalid UTF-8
+    ];
+    for payload in corpus {
+        let line = raw_round_trip(addr, payload).expect("a response line");
+        assert_error_kind(&line, "parse");
+    }
+    // One connection, garbage then a valid request: the parse error
+    // must not poison the stream.
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    writer.write_all(b"garbage\n{\"op\":\"ping\"}\n").unwrap();
+    let mut first = String::new();
+    reader.read_line(&mut first).unwrap();
+    assert_error_kind(first.trim_end(), "parse");
+    let mut second = String::new();
+    reader.read_line(&mut second).unwrap();
+    assert_eq!(second.trim_end(), r#"{"type":"pong"}"#);
+    server.shutdown();
+}
+
+#[test]
+fn truncated_frame_gets_a_parse_error_then_a_clean_close() {
+    let server = start_server("truncated");
+    let stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    // A request cut mid-object, never newline-terminated; then the
+    // client half-closes, signalling EOF.
+    writer
+        .write_all(b"{\"op\":\"run\",\"spec\":{\"benchm")
+        .unwrap();
+    writer.flush().unwrap();
+    stream.shutdown(Shutdown::Write).unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert_error_kind(line.trim_end(), "parse");
+    // And then the server closes: next read is EOF, not a hang.
+    let mut rest = String::new();
+    assert_eq!(reader.read_line(&mut rest).unwrap(), 0);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_frame_gets_a_typed_error_and_the_connection_closes() {
+    let server = start_server("oversized");
+    let stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    // A single frame just past the cap. Write may fail partway once the
+    // server closes its end — that is acceptable; the error line must
+    // still arrive.
+    let huge = vec![b'x'; MAX_FRAME + 2];
+    let _ = writer.write_all(&huge);
+    let _ = writer.flush();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert_error_kind(line.trim_end(), "oversized");
+    let mut rest = String::new();
+    assert_eq!(
+        reader.read_line(&mut rest).unwrap(),
+        0,
+        "connection must close after an unrecoverable frame"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn empty_and_whitespace_lines_are_ignored_keepalives() {
+    let server = start_server("blank");
+    let stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    writer.write_all(b"\n\r\n   \n{\"op\":\"ping\"}\n").unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(
+        line.trim_end(),
+        r#"{"type":"pong"}"#,
+        "blanks must be skipped"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn typed_client_reports_protocol_errors_as_errors() {
+    let server = start_server("typed");
+    let mut client = Client::connect(server.addr()).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    client.ping().unwrap();
+    let stats = client.stats().unwrap();
+    assert!(stats.get("serve").is_some());
+    server.shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary junk frames (newlines stripped so each is one frame)
+    /// always produce exactly one parseable JSON response line.
+    #[test]
+    fn junk_frames_always_get_a_json_response(bytes in prop::collection::vec(0u8..=255, 1..200)) {
+        static SERVER: std::sync::OnceLock<RunningServer> = std::sync::OnceLock::new();
+        let server = SERVER.get_or_init(|| start_server("proptest"));
+        let mut payload: Vec<u8> = bytes
+            .into_iter()
+            .filter(|&b| b != b'\n' && b != b'\r')
+            .collect();
+        payload.push(b'\n');
+        if payload.iter().all(|b| b.is_ascii_whitespace()) {
+            return; // blank keep-alive: legitimately no response
+        }
+        let line = raw_round_trip(server.addr(), &payload).expect("a response line");
+        let value = Json::parse(&line).expect("response must be valid JSON");
+        // Random bytes can only ever parse as a protocol error (it
+        // takes a well-formed op to get anything else).
+        prop_assert_eq!(value.get("type").and_then(Json::as_str), Some("error"));
+    }
+}

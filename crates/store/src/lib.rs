@@ -31,5 +31,7 @@ pub mod sweep;
 pub use json::Json;
 pub use record::{RunOutcome, RunRecord};
 pub use spec::{RunSpec, TranspileSpec, SCHEMA_VERSION};
-pub use store::{default_root, GcReport, Store, StoreStats, VerifyReport, DEFAULT_STORE_DIR};
+pub use store::{
+    default_root, GcReport, Store, StoreStats, VerifyReport, DEFAULT_STORE_DIR, TMP_GRACE,
+};
 pub use sweep::{SweepEngine, SweepGrid, SweepReport, SweepResult, SweepStats};

@@ -26,9 +26,11 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::str::FromStr;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 use supermarq_obs::Span;
 
+use crate::json::Json;
 use crate::record::RunRecord;
 use crate::spec::RunSpec;
 
@@ -40,6 +42,13 @@ pub const DEFAULT_STORE_DIR: &str = ".supermarq-store";
 /// Monotonic discriminator for temp-file names within this process.
 static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 
+/// How recently a `tmp/` file must have been modified for [`Store::gc`]
+/// to consider it *in flight* rather than crash-stranded. A store
+/// directory is shared between the serve daemon and independent
+/// `supermarq batch` processes; a gc racing a live writer must not
+/// delete the temp file out from under its pending rename.
+pub const TMP_GRACE: Duration = Duration::from_secs(60);
+
 /// Aggregate store statistics (`supermarq cache stats`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StoreStats {
@@ -49,6 +58,19 @@ pub struct StoreStats {
     pub bytes: u64,
     /// Stray in-flight files under `tmp/` (crash leftovers).
     pub stray_tmp: usize,
+}
+
+impl StoreStats {
+    /// Strict-JSON encoding — the single serializer shared by
+    /// `supermarq cache stats --format json` and the serve daemon's
+    /// `stats` response, so both speak one schema.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("entries".into(), Json::uint(self.entries as u64)),
+            ("bytes".into(), Json::uint(self.bytes)),
+            ("stray_tmp".into(), Json::uint(self.stray_tmp as u64)),
+        ])
+    }
 }
 
 /// Full-scan validation report (`supermarq cache verify`).
@@ -201,10 +223,29 @@ impl Store {
 
     /// Removes stray temp files and every invalid object (corrupt,
     /// schema-mismatched, misplaced). Valid entries are untouched.
+    ///
+    /// Temp files younger than [`TMP_GRACE`] are left alone: with a
+    /// serve daemon and batch processes sharing one store, a fresh
+    /// `tmp/` file is most likely a concurrent writer's in-flight
+    /// record, and deleting it would make that writer's rename fail.
     pub fn gc(&self) -> io::Result<GcReport> {
+        self.gc_with_grace(TMP_GRACE)
+    }
+
+    /// [`Store::gc`] with an explicit temp-file grace period. A zero
+    /// grace removes every temp file regardless of age — the right call
+    /// when the caller *knows* no other process is writing (tests,
+    /// post-crash cleanup of a store it owns exclusively).
+    pub fn gc_with_grace(&self, grace: Duration) -> io::Result<GcReport> {
         let mut report = GcReport::default();
         for path in self.tmp_files()? {
-            if fs::remove_file(&path).is_ok() {
+            let in_flight = grace > Duration::ZERO
+                && fs::metadata(&path)
+                    .and_then(|m| m.modified())
+                    .ok()
+                    .and_then(|mtime| mtime.elapsed().ok())
+                    .is_some_and(|age| age < grace);
+            if !in_flight && fs::remove_file(&path).is_ok() {
                 report.removed_tmp += 1;
             }
         }
@@ -351,6 +392,44 @@ mod tests {
             }
         );
         assert_eq!(store.get(&record(1).spec), Some(record(1)));
+    }
+
+    #[test]
+    fn stats_json_uses_the_shared_schema() {
+        let store = temp_store("stats-json");
+        store.put(&record(1)).unwrap();
+        let stats = store.stats().unwrap();
+        let json = stats.to_json();
+        // Exactly the three documented fields, in documented order.
+        match &json {
+            Json::Obj(fields) => {
+                let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+                assert_eq!(keys, ["entries", "bytes", "stray_tmp"]);
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+        assert_eq!(json.get("entries").and_then(Json::as_u64), Some(1));
+        assert!(json.get("bytes").and_then(Json::as_u64).unwrap() > 0);
+        // The line re-parses through the same strict parser.
+        let line = json.to_string();
+        assert_eq!(Json::parse(&line).unwrap(), json);
+    }
+
+    #[test]
+    fn gc_spares_in_flight_tmp_files_within_the_grace_period() {
+        let store = temp_store("gc-grace");
+        store.put(&record(1)).unwrap();
+        let tmp = store.root().join("tmp").join("abcd.1.0.tmp");
+        fs::write(&tmp, "half-written").unwrap();
+        // Default gc treats the fresh file as a concurrent writer's
+        // in-flight record and leaves it alone.
+        let report = store.gc().unwrap();
+        assert_eq!(report.removed_tmp, 0);
+        assert!(tmp.exists());
+        // Zero grace (exclusive owner) removes it.
+        let report = store.gc_with_grace(Duration::ZERO).unwrap();
+        assert_eq!(report.removed_tmp, 1);
+        assert!(!tmp.exists());
     }
 
     #[test]

@@ -40,6 +40,141 @@ pub struct SweepGrid {
 }
 
 impl SweepGrid {
+    /// JSON encoding — the wire format `supermarq serve` accepts for
+    /// `batch` requests (grids are expanded server-side, so a client
+    /// ships one small object instead of N specs).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "benchmarks".into(),
+                Json::Arr(
+                    self.benchmarks
+                        .iter()
+                        .map(|(id, params)| {
+                            Json::Obj(vec![
+                                ("id".into(), Json::str(id.clone())),
+                                (
+                                    "params".into(),
+                                    Json::Obj(
+                                        params
+                                            .iter()
+                                            .map(|(k, v)| (k.clone(), Json::str(v.clone())))
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "devices".into(),
+                Json::Arr(self.devices.iter().map(|d| Json::str(d.clone())).collect()),
+            ),
+            (
+                "shots".into(),
+                Json::Arr(self.shots.iter().map(|&s| Json::uint(s)).collect()),
+            ),
+            (
+                "seeds".into(),
+                Json::Arr(self.seeds.iter().map(|&s| Json::uint(s)).collect()),
+            ),
+            ("repetitions".into(), Json::uint(self.repetitions)),
+            (
+                "transpile".into(),
+                Json::Obj(vec![
+                    (
+                        "placement".into(),
+                        Json::str(self.transpile.placement.clone()),
+                    ),
+                    (
+                        "pipeline".into(),
+                        Json::str(self.transpile.pipeline.clone()),
+                    ),
+                ]),
+            ),
+            ("division".into(), Json::str(self.division.clone())),
+        ])
+    }
+
+    /// Decodes a grid from JSON. Strict: every field present and
+    /// correctly typed, or an error naming the offender — a malformed
+    /// network request must produce a message, never a panic.
+    pub fn from_json(value: &Json) -> Result<SweepGrid, String> {
+        let arr_field = |key: &str| -> Result<&[Json], String> {
+            value
+                .get(key)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("missing or non-array field '{key}'"))
+        };
+        let mut benchmarks = Vec::new();
+        for entry in arr_field("benchmarks")? {
+            let id = entry
+                .get("id")
+                .and_then(Json::as_str)
+                .ok_or("benchmark entry missing string 'id'")?
+                .to_string();
+            let params = match entry.get("params") {
+                Some(Json::Obj(fields)) => {
+                    let mut params = Vec::with_capacity(fields.len());
+                    for (k, v) in fields {
+                        let v = v
+                            .as_str()
+                            .ok_or_else(|| format!("non-string param '{k}'"))?;
+                        params.push((k.clone(), v.to_string()));
+                    }
+                    params
+                }
+                _ => return Err("benchmark entry missing object 'params'".into()),
+            };
+            benchmarks.push((id, params));
+        }
+        let mut devices = Vec::new();
+        for d in arr_field("devices")? {
+            devices.push(d.as_str().ok_or("non-string device name")?.to_string());
+        }
+        let uints = |key: &str| -> Result<Vec<u64>, String> {
+            arr_field(key)?
+                .iter()
+                .map(|v| {
+                    v.as_u64()
+                        .ok_or_else(|| format!("non-integer entry in '{key}'"))
+                })
+                .collect()
+        };
+        let transpile = match value.get("transpile") {
+            Some(t @ Json::Obj(_)) => TranspileSpec {
+                placement: t
+                    .get("placement")
+                    .and_then(Json::as_str)
+                    .ok_or("missing transpile.placement")?
+                    .to_string(),
+                pipeline: t
+                    .get("pipeline")
+                    .and_then(Json::as_str)
+                    .ok_or("missing transpile.pipeline")?
+                    .to_string(),
+            },
+            _ => return Err("missing or non-object field 'transpile'".into()),
+        };
+        Ok(SweepGrid {
+            benchmarks,
+            devices,
+            shots: uints("shots")?,
+            seeds: uints("seeds")?,
+            repetitions: value
+                .get("repetitions")
+                .and_then(Json::as_u64)
+                .ok_or("missing or non-integer field 'repetitions'")?,
+            transpile,
+            division: value
+                .get("division")
+                .and_then(Json::as_str)
+                .ok_or("missing or non-string field 'division'")?
+                .to_string(),
+        })
+    }
+
     /// Expands the grid in deterministic nested order:
     /// benchmark → device → shots → seed.
     pub fn expand(&self) -> Vec<RunSpec> {
@@ -107,6 +242,9 @@ pub struct SweepResult {
     pub spec: RunSpec,
     /// Whether the result came from the store.
     pub from_cache: bool,
+    /// Whether persisting a fresh success failed (I/O error). The
+    /// outcome is still reported; the store just couldn't keep it.
+    pub store_error: bool,
     /// The record, or the executor's error message.
     pub outcome: Result<RunRecord, String>,
 }
@@ -167,6 +305,53 @@ impl<'a> SweepEngine<'a> {
         self
     }
 
+    /// Runs a single job end to end: consult the store (honoring
+    /// [`SweepEngine::with_cache`]), execute on miss, persist fresh
+    /// successes. This is the unit of work shared by
+    /// [`SweepEngine::run`]'s fan-out and the serve daemon's workers.
+    ///
+    /// The store is consulted *here*, at execution time — so a job that
+    /// queued behind a twin published meanwhile by another process (or
+    /// another worker on a shared store) resolves as a hit instead of a
+    /// duplicate simulation. No global obs counters are emitted; batch
+    /// callers aggregate their own.
+    pub fn run_job<F>(&self, spec: &RunSpec, exec: F) -> SweepResult
+    where
+        F: FnOnce(&RunSpec) -> Result<RunOutcome, String>,
+    {
+        if self.use_cache {
+            if let Some(record) = self.store.get(spec) {
+                return SweepResult {
+                    spec: spec.clone(),
+                    from_cache: true,
+                    store_error: false,
+                    outcome: Ok(record),
+                };
+            }
+        }
+        match exec(spec) {
+            Ok(outcome) => {
+                let record = RunRecord {
+                    spec: spec.clone(),
+                    outcome,
+                };
+                let store_error = self.store.put(&record).is_err();
+                SweepResult {
+                    spec: spec.clone(),
+                    from_cache: false,
+                    store_error,
+                    outcome: Ok(record),
+                }
+            }
+            Err(message) => SweepResult {
+                spec: spec.clone(),
+                from_cache: false,
+                store_error: false,
+                outcome: Err(message),
+            },
+        }
+    }
+
     /// Runs every spec: cache hits resolve immediately, misses fan out
     /// over the rayon pool through `exec`, and fresh results are
     /// persisted. Results come back in input order.
@@ -198,34 +383,29 @@ impl<'a> SweepEngine<'a> {
         // parent id instead of relying on the thread-current chain.
         let parent = run_span.id();
         let miss_indices: Vec<usize> = (0..specs.len()).filter(|&i| cached[i].is_none()).collect();
-        let executed: Vec<(usize, Result<RunOutcome, String>)> = miss_indices
+        // Each miss goes through `run_job`, the same path the serve
+        // daemon's workers use. (A job may still resolve as a hit there
+        // if a cooperating process published it between partition and
+        // execution; the partition-time stats below keep counting it as
+        // a miss, which is what "we didn't have it when asked" means.)
+        let executed: Vec<(usize, SweepResult)> = miss_indices
             .par_iter()
             .map(|&i| {
                 let mut span = Span::open_with_parent("sweep.job", parent).with("index", i);
-                let outcome = exec(&specs[i]);
-                span.record("ok", outcome.is_ok());
-                (i, outcome)
+                let result = self.run_job(&specs[i], |spec| exec(spec));
+                span.record("ok", result.outcome.is_ok());
+                (i, result)
             })
             .collect();
-        let mut fresh: Vec<Option<Result<RunRecord, String>>> = vec![None; specs.len()];
-        for (i, outcome) in executed {
-            let slot = match outcome {
-                Ok(outcome) => {
-                    let record = RunRecord {
-                        spec: specs[i].clone(),
-                        outcome,
-                    };
-                    if self.store.put(&record).is_err() {
-                        stats.store_errors += 1;
-                    }
-                    Ok(record)
-                }
-                Err(message) => {
-                    stats.failures += 1;
-                    Err(message)
-                }
-            };
-            fresh[i] = Some(slot);
+        let mut fresh: Vec<Option<SweepResult>> = vec![None; specs.len()];
+        for (i, result) in executed {
+            if result.outcome.is_err() {
+                stats.failures += 1;
+            }
+            if result.store_error {
+                stats.store_errors += 1;
+            }
+            fresh[i] = Some(result);
         }
         let mut results = Vec::with_capacity(specs.len());
         for (i, spec) in specs.iter().enumerate() {
@@ -235,16 +415,13 @@ impl<'a> SweepEngine<'a> {
                     results.push(SweepResult {
                         spec: spec.clone(),
                         from_cache: true,
+                        store_error: false,
                         outcome: Ok(record.clone()),
                     });
                 }
-                (None, Some(outcome)) => {
+                (None, Some(result)) => {
                     stats.misses += 1;
-                    results.push(SweepResult {
-                        spec: spec.clone(),
-                        from_cache: false,
-                        outcome,
-                    });
+                    results.push(result);
                 }
                 (None, None) => unreachable!("every miss index was executed"),
             }
@@ -418,6 +595,91 @@ mod tests {
         let mut absent = specs[0].clone();
         absent.seed = 777;
         assert!(report.result_for(&absent).is_none());
+    }
+
+    #[test]
+    fn grid_json_round_trips_through_the_wire_format() {
+        let grid = grid();
+        let encoded = grid.to_json().to_string();
+        let decoded = SweepGrid::from_json(&Json::parse(&encoded).unwrap()).unwrap();
+        // The grid itself has no PartialEq; the expansion is the
+        // contract that matters on the wire.
+        assert_eq!(decoded.expand(), grid.expand());
+        assert_eq!(decoded.to_json().to_string(), encoded);
+    }
+
+    #[test]
+    fn grid_from_json_rejects_malformed_input_with_messages() {
+        let bad = [
+            ("{}", "benchmarks"),
+            (r#"{"benchmarks":[{"id":"ghz"}]}"#, "params"),
+            (
+                r#"{"benchmarks":[],"devices":[1],"shots":[],"seeds":[],"repetitions":1,"transpile":{"placement":"line","pipeline":"default"},"division":"closed"}"#,
+                "device",
+            ),
+            (
+                r#"{"benchmarks":[],"devices":[],"shots":[-3],"seeds":[],"repetitions":1,"transpile":{"placement":"line","pipeline":"default"},"division":"closed"}"#,
+                "shots",
+            ),
+            (
+                r#"{"benchmarks":[],"devices":[],"shots":[],"seeds":[],"repetitions":1,"transpile":"none","division":"closed"}"#,
+                "transpile",
+            ),
+            (
+                r#"{"benchmarks":[],"devices":[],"shots":[],"seeds":[],"transpile":{"placement":"line","pipeline":"default"},"division":"closed"}"#,
+                "repetitions",
+            ),
+        ];
+        for (text, needle) in bad {
+            let err = SweepGrid::from_json(&Json::parse(text).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "{text} -> {err}");
+        }
+    }
+
+    #[test]
+    fn run_job_hits_executes_and_persists() {
+        let store = temp_store("runjob");
+        let spec = &grid().expand()[0];
+        let engine = SweepEngine::new(&store);
+        let first = engine.run_job(spec, fake_exec);
+        assert!(!first.from_cache);
+        assert!(!first.store_error);
+        // Persisted: the rerun is a hit and must not execute.
+        let second = engine.run_job(spec, |_| panic!("warm job must not execute"));
+        assert!(second.from_cache);
+        assert_eq!(first.outcome, second.outcome);
+        assert_eq!(first.to_line(), second.to_line());
+        // Failures are reported but never cached.
+        let mut failing = spec.clone();
+        failing.seed = 999;
+        let failed = engine.run_job(&failing, |_| Err("boom".into()));
+        assert_eq!(failed.outcome, Err("boom".into()));
+        assert!(failed.to_line().contains("\"error\":\"boom\""));
+        let retried = engine.run_job(&failing, fake_exec);
+        assert!(!retried.from_cache, "failures must not be cached");
+        assert!(retried.outcome.is_ok());
+    }
+
+    #[test]
+    fn run_job_without_cache_always_executes() {
+        let store = temp_store("runjob-nocache");
+        let spec = &grid().expand()[0];
+        let engine = SweepEngine::new(&store).with_cache(false);
+        let calls = AtomicUsize::new(0);
+        for _ in 0..2 {
+            let result = engine.run_job(spec, |s| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                fake_exec(s)
+            });
+            assert!(!result.from_cache);
+        }
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+        // Results still persisted for caching readers.
+        assert!(
+            SweepEngine::new(&store)
+                .run_job(spec, |_| panic!("must hit"))
+                .from_cache
+        );
     }
 
     #[test]

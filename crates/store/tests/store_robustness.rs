@@ -149,9 +149,14 @@ fn crash_simulation_stray_tmp_files_are_ignored_and_gced() {
     assert_eq!(store.get(&spec(1)), Some(record(1)));
     store.put(&record(2)).unwrap();
     assert_eq!(store.get(&spec(2)), Some(record(2)));
-    // Stats surface the leftovers; gc clears exactly them.
+    // Stats surface the leftovers. Default gc spares them — the files
+    // are fresh, indistinguishable from a live writer's in-flight
+    // records in a shared store — but an exclusive owner (zero grace)
+    // clears exactly them.
     assert_eq!(store.stats().unwrap().stray_tmp, 3);
-    let gc = store.gc().unwrap();
+    assert_eq!(store.gc().unwrap().removed_tmp, 0);
+    assert_eq!(store.stats().unwrap().stray_tmp, 3);
+    let gc = store.gc_with_grace(std::time::Duration::ZERO).unwrap();
     assert_eq!(gc.removed_tmp, 3);
     assert_eq!(gc.removed_objects, 0);
     assert_eq!(gc.kept, 2);

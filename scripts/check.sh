@@ -31,4 +31,7 @@ bash scripts/pipeline_smoke.sh
 echo "==> lint smoke (suite lints clean, V008 blame, differential certification)"
 bash scripts/lint_smoke.sh
 
+echo "==> serve smoke (daemon warm hits, kill -9 resume, graceful shutdown)"
+bash scripts/serve_smoke.sh
+
 echo "All checks passed."

@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the serve daemon:
+#   1. the same batch shipped twice to a daemon — the second pass must
+#      run zero simulations and be byte-identical;
+#   2. kill -9 the daemon mid-batch, restart it on the same store — the
+#      store must verify clean and a re-request must be byte-identical,
+#      completed from warm hits plus re-simulation of the gap;
+#   3. `cache stats --format json` must emit the same store object the
+#      daemon's `stats` response carries;
+#   4. graceful shutdown via `supermarq client shutdown`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=target/release/supermarq
+echo "==> building supermarq CLI"
+cargo build -q --release -p supermarq-cli
+
+WORK=$(mktemp -d)
+DAEMON_PID=""
+cleanup() {
+    [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+STORE="$WORK/store"
+ADDR_FILE="$WORK/addr.txt"
+
+# Cells are deliberately slow-ish (qaoa-swap, 2000 shots) so the kill
+# lands mid-batch with misses still in flight.
+GRID=(batch --benchmarks ghz,qaoa-swap --sizes 3,4 --devices IonQ,AQT
+      --shots 2000 --seeds 1,2 --reps 2)
+
+start_daemon() {
+    rm -f "$ADDR_FILE"
+    "$BIN" serve --addr 127.0.0.1:0 --store "$STORE" \
+        --addr-file "$ADDR_FILE" >"$WORK/serve.log" 2>&1 &
+    DAEMON_PID=$!
+    for _ in $(seq 1 300); do
+        [ -s "$ADDR_FILE" ] && break
+        kill -0 "$DAEMON_PID" 2>/dev/null || {
+            echo "FAIL: daemon died on startup"; cat "$WORK/serve.log"; exit 1; }
+        sleep 0.1
+    done
+    ADDR=$(cat "$ADDR_FILE")
+    [ -n "$ADDR" ] || { echo "FAIL: daemon never published its address"; exit 1; }
+}
+
+serve_stat() { # serve_stat <counter>  — reads one serve.* counter via `client stats`
+    "$BIN" client stats --addr "$ADDR" \
+        | tr ',{' '\n\n' | sed -n "s/^\"$1\"://p" | head -n 1
+}
+
+echo "==> starting daemon"
+start_daemon
+
+echo "==> client batch pass 1 (cold store)"
+"$BIN" client "${GRID[@]}" --addr "$ADDR" >"$WORK/pass1.jsonl" 2>"$WORK/summary1.txt"
+cat "$WORK/summary1.txt"
+
+echo "==> client batch pass 2 (warm store)"
+SIMS_BEFORE=$(serve_stat simulations)
+"$BIN" client "${GRID[@]}" --addr "$ADDR" >"$WORK/pass2.jsonl" 2>"$WORK/summary2.txt"
+cat "$WORK/summary2.txt"
+SIMS_AFTER=$(serve_stat simulations)
+
+echo "==> asserting warm pass ran zero simulations and is byte-identical"
+grep -q "misses=0" "$WORK/summary2.txt" || {
+    echo "FAIL: warm pass reported cache misses"; exit 1; }
+[ "$SIMS_BEFORE" = "$SIMS_AFTER" ] || {
+    echo "FAIL: warm pass simulated ($SIMS_BEFORE -> $SIMS_AFTER)"; exit 1; }
+cmp "$WORK/pass1.jsonl" "$WORK/pass2.jsonl" || {
+    echo "FAIL: warm pass output differs from cold pass"; exit 1; }
+
+echo "==> kill -9 mid-batch (misses in flight)"
+rm -rf "$STORE"  # force a fully cold batch so the kill interrupts real work
+"$BIN" client shutdown --addr "$ADDR" >/dev/null
+wait "$DAEMON_PID" || true
+DAEMON_PID=""
+start_daemon
+"$BIN" client "${GRID[@]}" --addr "$ADDR" >"$WORK/killed.jsonl" 2>/dev/null &
+CLIENT_PID=$!
+# Wait until at least one object is published, then murder the daemon.
+for _ in $(seq 1 600); do
+    [ -d "$STORE/objects" ] && [ -n "$(find "$STORE/objects" -name '*.json' 2>/dev/null | head -n 1)" ] && break
+    sleep 0.1
+done
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+wait "$CLIENT_PID" 2>/dev/null || true  # client fails or gets a partial batch; either is fine
+
+echo "==> store verifies clean after the crash"
+"$BIN" cache verify --store "$STORE"
+
+echo "==> restarted daemon completes the batch byte-identically"
+start_daemon
+"$BIN" client "${GRID[@]}" --addr "$ADDR" >"$WORK/resumed.jsonl" 2>"$WORK/summary3.txt"
+cat "$WORK/summary3.txt"
+cmp "$WORK/pass1.jsonl" "$WORK/resumed.jsonl" || {
+    echo "FAIL: post-crash replay differs from the original run"; exit 1; }
+
+echo "==> cache stats --format json matches the daemon's store stats"
+"$BIN" cache stats --store "$STORE" --format json >"$WORK/cli_stats.json"
+CLI_ENTRIES=$(tr ',{' '\n\n' <"$WORK/cli_stats.json" | sed -n 's/^"entries"://p' | head -n 1)
+DAEMON_ENTRIES=$("$BIN" client stats --addr "$ADDR" \
+    | tr ',{' '\n\n' | sed -n 's/^"entries"://p' | head -n 1)
+[ -n "$CLI_ENTRIES" ] && [ "$CLI_ENTRIES" = "$DAEMON_ENTRIES" ] || {
+    echo "FAIL: stats disagree (cli=$CLI_ENTRIES daemon=$DAEMON_ENTRIES)"; exit 1; }
+
+echo "==> graceful shutdown"
+"$BIN" client shutdown --addr "$ADDR"
+wait "$DAEMON_PID" || true
+DAEMON_PID=""
+grep -q "serve: requests=" "$WORK/serve.log" || {
+    echo "FAIL: daemon exited without printing its summary"; cat "$WORK/serve.log"; exit 1; }
+
+echo "Serve smoke test passed."
