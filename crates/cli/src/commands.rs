@@ -2,7 +2,7 @@
 
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use supermarq::benchmarks::{
     BitCodeBenchmark, GhzBenchmark, HamiltonianSimBenchmark, MerminBellBenchmark,
@@ -43,6 +43,9 @@ pub const USAGE: &str = "usage:
   supermarq client <ping|stats|shutdown> [--addr host:port]
   supermarq client run <benchmark> --device <name> [run options] [--addr host:port]
   supermarq client batch <batch options> [--addr host:port]
+  supermarq client metrics [--format json|prometheus] [--addr host:port]
+  supermarq client trace [--id <trace-id>] [--limit N] [--addr host:port]
+  supermarq client watch [--interval-ms N] [--count N] [--addr host:port]
   supermarq cache <stats|verify|gc> [--store <dir>] [--format text|json]
   supermarq lint <benchmark>|<file.qasm> [--device <name>] [--pipeline <name>]
                  [--format text|json] [--size N] [...]
@@ -54,6 +57,8 @@ observability (any command):
   --profile            print a per-span timing summary to stderr on exit
   --trace-out <path>   write a JSONL span trace (enables tracing)
   SUPERMARQ_TRACE      comma-separated span-name prefixes to record
+  (traced `client run`/`client batch` forward the trace to the daemon,
+  which continues it server-side and echoes per-request timing)
 
 benchmarks: ghz, mermin-bell, bit-code, phase-code, qaoa-vanilla, qaoa-swap, vqe, hamsim";
 
@@ -648,11 +653,14 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
 
 /// `supermarq client`: talk to a running daemon. `run` and `batch`
 /// accept the same options as their local counterparts and print the
-/// same (byte-identical) result lines.
+/// same (byte-identical) result lines. When tracing is enabled
+/// (`--trace-out`/`--profile`), `run` and `batch` open a client root
+/// span and forward its context, so the daemon's spans continue the
+/// client's trace and the server echoes per-request timing.
 fn cmd_client(args: &Args) -> Result<String, CliError> {
-    let action = args
-        .positional(1)
-        .ok_or_else(|| CliError::usage("missing client action (ping|stats|shutdown|run|batch)"))?;
+    let action = args.positional(1).ok_or_else(|| {
+        CliError::usage("missing client action (ping|stats|shutdown|run|batch|metrics|trace|watch)")
+    })?;
     let addr = args.option("addr").unwrap_or("127.0.0.1:7787");
     let mut client = Client::connect(addr)
         .map_err(|e| CliError::failure(format!("cannot connect to {addr}: {e}")))?;
@@ -687,21 +695,141 @@ fn cmd_client(args: &Args) -> Result<String, CliError> {
                 ..RunConfig::default()
             };
             let spec = build_run_spec(kind, &device, &config, args)?;
-            client.run(&spec).map_err(CliError::Failure)
+            // With tracing off this span is inert and `ctx()` is `None`
+            // — the request goes out untraced, byte-identical to before.
+            let root = supermarq_obs::Span::open_traced("client.run");
+            let started = Instant::now();
+            let ctx = root.ctx();
+            let (line, timing) = client
+                .run_traced(&spec, ctx.as_ref())
+                .map_err(CliError::Failure)?;
+            if let Some(timing) = timing {
+                let total_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                let wire_ns = total_ns.saturating_sub(timing.total_ns);
+                eprintln!(
+                    "serve timing: source={} server_ns={} queue_ns={} execute_ns={} wire_ns={}",
+                    timing.source, timing.total_ns, timing.queue_ns, timing.execute_ns, wire_ns
+                );
+            }
+            Ok(line)
         }
         "batch" => {
             let grid = build_grid(args)?;
-            let response = client.batch(&grid).map_err(CliError::Failure)?;
+            let root = supermarq_obs::Span::open_traced("client.batch");
+            let ctx = root.ctx();
+            let response = client
+                .batch_traced(&grid, ctx.as_ref())
+                .map_err(CliError::Failure)?;
             eprintln!(
                 "serve batch: total={} hits={} misses={} failures={}",
                 response.total, response.hits, response.misses, response.failures
             );
             Ok(response.lines.join("\n"))
         }
+        "metrics" => match args.option("format").unwrap_or("json") {
+            "json" => client
+                .metrics_json()
+                .map(|value| value.to_string())
+                .map_err(CliError::Failure),
+            "prometheus" => client.metrics_prometheus().map_err(CliError::Failure),
+            other => Err(CliError::usage(format!(
+                "unknown format '{other}' (expected json or prometheus)"
+            ))),
+        },
+        "trace" => {
+            let limit: u64 = args.option_parse("limit", 64u64).map_err(CliError::Usage)?;
+            client
+                .trace_recent(args.option("id"), Some(limit))
+                .map(|value| value.to_string())
+                .map_err(CliError::Failure)
+        }
+        "watch" => {
+            let interval_ms: u64 = args
+                .option_parse("interval-ms", 1000u64)
+                .map_err(CliError::Usage)?;
+            let count: u64 = args.option_parse("count", 0u64).map_err(CliError::Usage)?;
+            client_watch(&mut client, interval_ms, count)
+        }
         other => Err(CliError::usage(format!(
-            "unknown client action '{other}' (expected ping, stats, shutdown, run, or batch)"
+            "unknown client action '{other}' \
+             (expected ping, stats, shutdown, run, batch, metrics, trace, or watch)"
         ))),
     }
+}
+
+/// `supermarq client watch`: a polling live view over `stats` +
+/// `metrics`. Prints one line per refresh to stderr (throughput,
+/// warm-hit ratio, queue depth, rolling p50/p99) and returns the last
+/// sample. `count == 0` polls until Ctrl-C.
+fn client_watch(client: &mut Client, interval_ms: u64, count: u64) -> Result<String, CliError> {
+    signal::install_handler();
+    signal::clear();
+    let mut last_requests: Option<u64> = None;
+    let mut last_line;
+    let mut ticks = 0u64;
+    loop {
+        let stats = client.stats().map_err(CliError::Failure)?;
+        let metrics = client.metrics_json().map_err(CliError::Failure)?;
+        let serve = metrics
+            .get("serve")
+            .ok_or_else(|| CliError::failure("metrics response missing 'serve'"))?;
+        let field = |key: &str| serve.get(key).and_then(Json::as_u64).unwrap_or(0);
+        let entries = stats
+            .get("store")
+            .and_then(|s| s.get("entries"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        let requests = field("requests");
+        let hits = field("hits");
+        let window = metrics.get("window").and_then(|w| w.get("request"));
+        let wfield = |key: &str| {
+            window
+                .and_then(|w| w.get(key))
+                .and_then(Json::as_u64)
+                .unwrap_or(0)
+        };
+        // Throughput is the request-counter delta over the poll
+        // interval; the first tick has no delta yet.
+        let rps = match last_requests {
+            Some(prev) if interval_ms > 0 => {
+                requests.saturating_sub(prev) as f64 * 1000.0 / interval_ms as f64
+            }
+            _ => 0.0,
+        };
+        let warm_pct = if requests > 0 {
+            hits as f64 * 100.0 / requests as f64
+        } else {
+            0.0
+        };
+        last_line = format!(
+            "requests={requests} rps={rps:.1} warm_hit={warm_pct:.1}% queue={} inflight={} \
+             entries={entries} window_p50_ns={} window_p99_ns={} window_n={}",
+            field("queue_depth"),
+            field("inflight"),
+            wfield("p50_ns"),
+            wfield("p99_ns"),
+            wfield("count"),
+        );
+        eprintln!("{last_line}");
+        last_requests = Some(requests);
+        ticks += 1;
+        if count != 0 && ticks >= count {
+            break;
+        }
+        // Sleep in short slices so Ctrl-C lands promptly even with a
+        // long refresh interval.
+        let mut remaining = interval_ms.max(1);
+        while remaining > 0 && !signal::interrupted() {
+            let step = remaining.min(50);
+            std::thread::sleep(Duration::from_millis(step));
+            remaining -= step;
+        }
+        if signal::interrupted() {
+            break;
+        }
+    }
+    signal::clear();
+    Ok(last_line)
 }
 
 /// `supermarq cache`: inspect and maintain the run-artifact store.

@@ -168,6 +168,204 @@ fn serve_daemon_round_trip_via_client_commands() {
 }
 
 #[test]
+fn client_telemetry_commands_and_cross_request_tracing() {
+    let _guard = SIGNAL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    signal::clear();
+    let store_dir = temp_dir("telemetry");
+    let addr_file = temp_dir("telemetry-addr").join("addr.txt");
+    std::fs::create_dir_all(addr_file.parent().unwrap()).unwrap();
+    let serve_argv: Vec<String> = [
+        "serve",
+        "--addr",
+        "127.0.0.1:0",
+        "--store",
+        store_dir.to_str().unwrap(),
+        "--addr-file",
+        addr_file.to_str().unwrap(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let daemon = std::thread::spawn(move || dispatch(&serve_argv));
+    let addr = wait_for_addr(&addr_file);
+
+    // Tracing on for the whole scenario (manual init rather than
+    // `--trace-out`, which would disable tracing when the first client
+    // dispatch returns while the in-process daemon is still serving).
+    let trace_file = temp_dir("telemetry-trace").join("trace.jsonl");
+    std::fs::create_dir_all(trace_file.parent().unwrap()).unwrap();
+    supermarq_obs::init_trace_file(&trace_file).unwrap();
+
+    // A traced remote run: the client opens `client.run`, the daemon
+    // continues the trace and echoes timing (printed to stderr).
+    let remote = run(&[
+        "client", "run", "ghz", "--size", "3", "--device", "ionq", "--shots", "80", "--reps", "1",
+        "--seed", "9", "--addr", &addr,
+    ])
+    .unwrap();
+    RunRecord::from_str(&remote).unwrap();
+
+    // `client metrics` (JSON): serve counters + rolling-window digests,
+    // and the serve object's field set matches the `stats` op exactly —
+    // both serialize through ServeMetrics::to_json.
+    let metrics = Json::parse(&run(&["client", "metrics", "--addr", &addr]).unwrap()).unwrap();
+    assert_eq!(metrics.get("type").and_then(Json::as_str), Some("metrics"));
+    assert_eq!(metrics.get("format").and_then(Json::as_str), Some("json"));
+    let keys = |value: &Json| -> Vec<String> {
+        match value {
+            Json::Obj(pairs) => {
+                let mut k: Vec<String> = pairs.iter().map(|(k, _)| k.clone()).collect();
+                k.sort();
+                k
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    };
+    let stats = Json::parse(&run(&["client", "stats", "--addr", &addr]).unwrap()).unwrap();
+    assert_eq!(
+        keys(stats.get("serve").unwrap()),
+        keys(metrics.get("serve").unwrap()),
+        "stats and metrics must expose the same serve schema"
+    );
+    assert!(
+        metrics
+            .get("window")
+            .and_then(|w| w.get("request"))
+            .and_then(|r| r.get("p99_ns"))
+            .and_then(Json::as_u64)
+            .is_some(),
+        "windowed p99 present"
+    );
+
+    // `client metrics --format prometheus`: exposition text with the
+    // windowed quantiles and gauges, every sample line well-formed.
+    let text = run(&[
+        "client",
+        "metrics",
+        "--format",
+        "prometheus",
+        "--addr",
+        &addr,
+    ])
+    .unwrap();
+    assert!(text.contains("supermarq_serve_requests_total"), "{text}");
+    assert!(
+        text.contains("supermarq_serve_request_latency_window_p99_seconds"),
+        "{text}"
+    );
+    assert!(text.contains("supermarq_serve_queue_depth"), "{text}");
+    for line in text
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+    {
+        let (_, value) = line.rsplit_once(' ').expect("name value");
+        value
+            .parse::<f64>()
+            .unwrap_or_else(|e| panic!("bad value in {line:?}: {e}"));
+        assert!(
+            !value.contains(['e', 'E']),
+            "scientific notation in {line:?}"
+        );
+    }
+
+    // `client watch`: two polls, last sample returned.
+    let watch = run(&[
+        "client",
+        "watch",
+        "--interval-ms",
+        "20",
+        "--count",
+        "2",
+        "--addr",
+        &addr,
+    ])
+    .unwrap();
+    assert!(watch.contains("requests="), "{watch}");
+    assert!(watch.contains("warm_hit="), "{watch}");
+    assert!(watch.contains("window_p50_ns="), "{watch}");
+
+    // The daemon's span close lines land asynchronously; wait for them.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        supermarq_obs::flush();
+        let raw = std::fs::read_to_string(&trace_file).unwrap_or_default();
+        if raw.contains("serve.execute") && raw.contains("\"serve.request\"") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "daemon spans never flushed");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    supermarq_obs::disable();
+    supermarq_obs::flush();
+
+    // Merged (single-process here) JSONL: strict-JSON lines forming one
+    // stitched chain client.run <- serve.request <- serve.execute.
+    let raw = std::fs::read_to_string(&trace_file).unwrap();
+    let spans: Vec<Json> = raw
+        .lines()
+        .filter(|l| !l.is_empty())
+        .map(|l| Json::parse(l).unwrap_or_else(|e| panic!("bad trace line {l:?}: {e}")))
+        .filter(|v| v.get("type").and_then(Json::as_str) == Some("span"))
+        .collect();
+    let named = |name: &str| {
+        spans
+            .iter()
+            .find(|s| s.get("name").and_then(Json::as_str) == Some(name))
+            .unwrap_or_else(|| panic!("no {name} span in trace file"))
+    };
+    let client_root = named("client.run");
+    let trace_id = client_root
+        .get("trace")
+        .and_then(Json::as_str)
+        .expect("client root carries a trace id")
+        .to_string();
+    let request = spans
+        .iter()
+        .find(|s| {
+            s.get("name").and_then(Json::as_str) == Some("serve.request")
+                && s.get("trace").and_then(Json::as_str) == Some(trace_id.as_str())
+        })
+        .expect("daemon continued the client trace");
+    assert_eq!(
+        request.get("remote_parent").and_then(Json::as_u64),
+        client_root.get("id").and_then(Json::as_u64),
+        "serve.request stitches to the client span across the wire"
+    );
+    let request_id = request.get("id").and_then(Json::as_u64);
+    assert!(
+        spans.iter().any(|s| {
+            s.get("name").and_then(Json::as_str) == Some("serve.execute")
+                && s.get("trace").and_then(Json::as_str) == Some(trace_id.as_str())
+                && s.get("parent").and_then(Json::as_u64) == request_id
+        }),
+        "serve.execute joins the same trace under serve.request"
+    );
+
+    // `client trace --id`: the daemon's ring filtered to this trace.
+    let ring = Json::parse(
+        &run(&[
+            "client", "trace", "--id", &trace_id, "--limit", "32", "--addr", &addr,
+        ])
+        .unwrap(),
+    )
+    .unwrap();
+    assert_eq!(ring.get("type").and_then(Json::as_str), Some("trace"));
+    let ring_spans = ring.get("spans").and_then(Json::as_arr).unwrap();
+    assert!(!ring_spans.is_empty(), "ring has spans for the trace");
+    for span in ring_spans {
+        assert_eq!(
+            span.get("trace").and_then(Json::as_str),
+            Some(trace_id.as_str()),
+            "--id must filter exactly"
+        );
+    }
+
+    run(&["client", "shutdown", "--addr", &addr]).unwrap();
+    daemon.join().unwrap().unwrap();
+    supermarq_obs::reset_for_tests();
+}
+
+#[test]
 fn batch_ctrl_c_flushes_completed_cells_and_resumes() {
     let _guard = SIGNAL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     signal::clear();

@@ -19,6 +19,16 @@
 //!   span close as a single atomic append, and an end-of-process summary
 //!   table ([`summary`]) with per-span-name count/total/mean/p50/p99
 //!   plus every registered metric.
+//! - **Distributed traces** ([`TraceId`], [`TraceContext`]) — 128-bit
+//!   trace ids that propagate across process boundaries: a client opens
+//!   a root with [`Span::open_traced`], ships [`Span::ctx`] on the
+//!   wire, and the server continues the trace with
+//!   [`Span::open_in_context`], recording the client's span id as a
+//!   `remote_parent`. Span ids are salted per process, so merged JSONL
+//!   from both sides forms one well-formed forest.
+//! - **Rolling windows** ([`WindowedHistogram`]) — time-sliced latency
+//!   histograms for live telemetry ("p99 over the last minute", not
+//!   "since boot").
 //!
 //! ## Overhead contract
 //!
@@ -48,8 +58,12 @@ pub mod metrics;
 pub mod sink;
 mod span;
 pub mod summary;
+mod trace;
+pub mod window;
 
-pub use span::{current_span_id, FieldValue, Span};
+pub use span::{current_span_id, current_trace, FieldValue, Span};
+pub use trace::{TraceContext, TraceId};
+pub use window::{WindowDigest, WindowedHistogram};
 
 /// The single global switch. Span sites load this with relaxed ordering
 /// and bail before doing any other work when tracing is off.

@@ -66,9 +66,12 @@ impl Gauge {
 }
 
 /// Number of power-of-two buckets: bucket 0 holds exactly 0, bucket
-/// `i >= 1` holds values in `[2^(i-1), 2^i)`. 64 buckets cover the full
-/// `u64` range, so nanosecond durations always land somewhere.
-pub const BUCKETS: usize = 64;
+/// `i >= 1` holds values in `[2^(i-1), 2^i)`, and the top bucket (64)
+/// holds `[2^63, u64::MAX]`. 65 buckets cover the full `u64` range, so
+/// any duration lands somewhere. (Sized 64 historically, which made
+/// `record(v)` panic with an out-of-bounds bucket for `v >= 2^63` —
+/// pinned by the exact-rank oracle in `tests/quantile_oracle.rs`.)
+pub const BUCKETS: usize = 65;
 
 /// A fixed-bucket (power-of-two) histogram. `record` is three relaxed
 /// atomic adds; quantiles are approximate (bucket upper bound), the
@@ -91,7 +94,7 @@ impl Default for Histogram {
 }
 
 /// Bucket index for a value: 0 for 0, else `floor(log2(v)) + 1`.
-fn bucket_index(value: u64) -> usize {
+pub fn bucket_index(value: u64) -> usize {
     if value == 0 {
         0
     } else {
@@ -128,26 +131,25 @@ impl Histogram {
         }
     }
 
-    /// Approximate quantile (`0.0..=1.0`): the upper bound of the first
-    /// bucket whose cumulative count reaches `q * count`. Accurate to a
-    /// factor of two — enough to tell microseconds from milliseconds.
+    /// Approximate quantile (`0.0..=1.0`), computed as a *bucket upper
+    /// bound*: the exact rank-`ceil(q·count)` observation is located by
+    /// walking cumulative bucket counts, and the largest value its
+    /// power-of-two bucket admits is reported. The estimate therefore
+    /// never under-reports, and over-reports by strictly less than 2×
+    /// (`exact <= quantile(q) < 2 * max(exact, 1)`): enough to tell
+    /// microseconds from milliseconds, never enough to tell 600 ns from
+    /// 900 ns. The exact-rank contract is pinned against a sorted
+    /// oracle in `tests/quantile_oracle.rs`.
     pub fn quantile(&self, q: f64) -> u64 {
-        let count = self.count();
-        if count == 0 {
-            return 0;
-        }
-        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
-        let mut cumulative = 0u64;
-        for (i, bucket) in self.buckets.iter().enumerate() {
-            cumulative += bucket.load(Ordering::Relaxed);
-            if cumulative >= target {
-                return bucket_upper_bound(i);
-            }
-        }
-        u64::MAX
+        quantile_from_counts(&self.bucket_counts(), q)
     }
 
-    fn reset(&self) {
+    /// A relaxed snapshot of the per-bucket counts.
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    pub(crate) fn reset(&self) {
         self.count.store(0, Ordering::Relaxed);
         self.sum.store(0, Ordering::Relaxed);
         for bucket in &self.buckets {
@@ -157,7 +159,7 @@ impl Histogram {
 }
 
 /// Largest value a bucket admits (inclusive).
-fn bucket_upper_bound(index: usize) -> u64 {
+pub fn bucket_upper_bound(index: usize) -> u64 {
     if index == 0 {
         0
     } else if index >= 64 {
@@ -165,6 +167,27 @@ fn bucket_upper_bound(index: usize) -> u64 {
     } else {
         (1u64 << index) - 1
     }
+}
+
+/// [`Histogram::quantile`] over a plain bucket-count array — the shared
+/// kernel for live histograms and merged window snapshots (see
+/// `crate::window`). Same approximation contract: reports the upper
+/// bound of the bucket holding the exact rank-`ceil(q·count)`
+/// observation.
+pub fn quantile_from_counts(counts: &[u64; BUCKETS], q: f64) -> u64 {
+    let count: u64 = counts.iter().sum();
+    if count == 0 {
+        return 0;
+    }
+    let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut cumulative = 0u64;
+    for (i, &bucket) in counts.iter().enumerate() {
+        cumulative += bucket;
+        if cumulative >= target {
+            return bucket_upper_bound(i);
+        }
+    }
+    u64::MAX
 }
 
 enum Handle {

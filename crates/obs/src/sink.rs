@@ -11,6 +11,11 @@
 //! {"type":"log","message":"fig2: 3/9 cells"}
 //! ```
 //!
+//! Spans that belong to a distributed trace additionally carry
+//! `"trace":"<32 hex>"` and — when their parent closed in another
+//! process — `"remote_parent":<id>`. Untraced spans omit both keys, so
+//! runs without trace contexts emit byte-identical lines.
+//!
 //! Output is strict JSON — it round-trips through `crates/store`'s
 //! ordered-JSON parser (test-enforced). Non-finite floats serialize as
 //! `null`, mirroring the store's own JSON writer.
@@ -121,6 +126,15 @@ pub(crate) fn write_span(data: &SpanData, elapsed_ns: u64) {
         line.push_str(",\"parent\":null");
     } else {
         line.push_str(&format!(",\"parent\":{}", data.parent));
+    }
+    // Distributed-trace attributes only appear on spans that have
+    // them, so untraced runs emit byte-identical lines to before the
+    // trace fields existed.
+    if data.remote_parent != 0 {
+        line.push_str(&format!(",\"remote_parent\":{}", data.remote_parent));
+    }
+    if data.trace != 0 {
+        line.push_str(&format!(",\"trace\":\"{:032x}\"", data.trace));
     }
     line.push_str(&format!(
         ",\"thread\":{},\"start_ns\":{},\"elapsed_ns\":{}",
@@ -241,6 +255,51 @@ mod tests {
             .find(|l| l.contains("test.sink.outer"))
             .expect("outer span line");
         assert!(outer_line.contains("\"parent\":null"), "{outer_line}");
+        // Untraced spans carry no distributed-trace attributes at all —
+        // the non-perturbation contract extends to line bytes.
+        assert!(!outer_line.contains("\"trace\""), "{outer_line}");
+        assert!(!outer_line.contains("\"remote_parent\""), "{outer_line}");
+        crate::reset_for_tests();
+    }
+
+    #[test]
+    fn traced_span_line_carries_hex_trace_and_remote_parent() {
+        let _g = crate::test_guard();
+        crate::reset_for_tests();
+        crate::enable();
+        let (shared, buf) = capture();
+        set_trace_writer(Box::new(shared));
+        let ctx = {
+            let root = crate::Span::open_traced("test.sink.traced");
+            let ctx = root.ctx().unwrap();
+            let _remote = crate::Span::open_in_context("test.sink.remote", Some(&ctx));
+            ctx
+        };
+        crate::disable();
+        clear_trace_writer();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let hex = ctx.trace.unwrap().to_hex();
+        let root_line = text
+            .lines()
+            .find(|l| l.contains("test.sink.traced"))
+            .expect("traced root line");
+        assert!(
+            root_line.contains(&format!("\"trace\":\"{hex}\"")),
+            "{root_line}"
+        );
+        assert!(!root_line.contains("\"remote_parent\""), "{root_line}");
+        let remote_line = text
+            .lines()
+            .find(|l| l.contains("test.sink.remote"))
+            .expect("remote span line");
+        assert!(
+            remote_line.contains(&format!("\"trace\":\"{hex}\"")),
+            "{remote_line}"
+        );
+        assert!(
+            remote_line.contains(&format!("\"remote_parent\":{}", ctx.parent)),
+            "{remote_line}"
+        );
         crate::reset_for_tests();
     }
 }

@@ -59,6 +59,12 @@ fn fmt_ns(ns: f64) -> String {
 /// followed by a metrics section listing every registered counter,
 /// gauge, and histogram. Returns an empty string when nothing was
 /// recorded.
+///
+/// Row order is deterministic: span rows sort by name (the aggregate
+/// map is a `BTreeMap`, so iteration *is* the stable sort) and the
+/// metrics section is name-sorted by [`crate::metrics::snapshot`].
+/// Runs that record the same spans render identical tables regardless
+/// of thread scheduling.
 pub fn render() -> String {
     let mut out = String::new();
     {
@@ -152,5 +158,27 @@ mod tests {
         assert!(table.lines().any(|l| l.starts_with("test.render.b")));
         crate::reset_for_tests();
         assert_eq!(render(), "");
+    }
+
+    #[test]
+    fn rows_are_sorted_by_span_name_regardless_of_recording_order() {
+        let _g = crate::test_guard();
+        crate::reset_for_tests();
+        // Recorded deliberately out of lexicographic order.
+        for name in ["test.order.c", "test.order.a", "test.order.b"] {
+            record_span(name, 1_000);
+        }
+        let table = render();
+        let rows: Vec<&str> = table
+            .lines()
+            .filter(|l| l.starts_with("test.order."))
+            .collect();
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].starts_with("test.order.a"), "{rows:?}");
+        assert!(rows[1].starts_with("test.order.b"), "{rows:?}");
+        assert!(rows[2].starts_with("test.order.c"), "{rows:?}");
+        // Rendering twice is byte-stable.
+        assert_eq!(table, render());
+        crate::reset_for_tests();
     }
 }

@@ -1,0 +1,86 @@
+//! Exact-rank oracle for the power-of-two histogram quantiles.
+//!
+//! `Histogram::quantile(q)` reports the *upper bound* of the bucket
+//! holding the exact rank-`ceil(q * count)` observation. This test pins
+//! that contract against a sorted oracle: for every probed quantile,
+//! the reported value must be precisely `bucket_upper_bound` of the
+//! exact-rank element's bucket, which also bounds the error to
+//! `exact <= reported < 2 * max(exact, 1)`.
+
+use supermarq_obs::metrics::{bucket_index, bucket_upper_bound, Histogram};
+
+/// Rank-based exact quantile over a sorted slice, matching the
+/// histogram's `ceil(q * count)` rank convention.
+fn exact_rank_value(sorted: &[u64], q: f64) -> u64 {
+    let count = sorted.len() as u64;
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    sorted[(rank - 1) as usize]
+}
+
+fn assert_matches_oracle(values: &[u64], label: &str) {
+    let hist = Histogram::default();
+    for &v in values {
+        hist.record(v);
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    for q in [0.01, 0.25, 0.50, 0.75, 0.90, 0.99, 1.0] {
+        let exact = exact_rank_value(&sorted, q);
+        let reported = hist.quantile(q);
+        assert_eq!(
+            reported,
+            bucket_upper_bound(bucket_index(exact)),
+            "{label}: q={q} must report the exact-rank element's bucket bound \
+             (exact={exact})"
+        );
+        // The approximation contract: never under-report, overshoot
+        // strictly under 2x.
+        assert!(reported >= exact, "{label}: q={q} under-reported");
+        assert!(
+            u128::from(reported) < 2 * u128::from(exact.max(1)),
+            "{label}: q={q} overshot 2x (exact={exact}, reported={reported})"
+        );
+    }
+}
+
+#[test]
+fn p50_p99_match_a_sorted_oracle() {
+    // A latency-shaped distribution: dense bulk, sparse tail.
+    let mut values: Vec<u64> = Vec::new();
+    for i in 0..900u64 {
+        values.push(800 + i % 400); // bulk around 1 us
+    }
+    for i in 0..90u64 {
+        values.push(20_000 + i * 137); // slow tail around 20 us
+    }
+    for i in 0..10u64 {
+        values.push(3_000_000 + i * 10_007); // rare outliers at 3 ms
+    }
+    assert_matches_oracle(&values, "latency-shaped");
+}
+
+#[test]
+fn degenerate_and_edge_distributions_match_the_oracle() {
+    assert_matches_oracle(&[0], "single zero");
+    assert_matches_oracle(&[7], "single value");
+    assert_matches_oracle(&[0, 0, 0, 0], "all zeros");
+    assert_matches_oracle(&[5, 5, 5, 5, 5], "constant");
+    assert_matches_oracle(&[1, 2, 3, 4, 5, 6, 7, 8], "consecutive");
+    assert_matches_oracle(&[u64::MAX, 1, u64::MAX - 1], "extremes");
+    assert_matches_oracle(&(0..=1024).collect::<Vec<u64>>(), "ramp");
+}
+
+#[test]
+fn deterministic_pseudorandom_sample_matches_the_oracle() {
+    // xorshift with a fixed seed — no RNG dependency, fully repeatable.
+    let mut x = 0x243f_6a88_85a3_08d3u64;
+    let values: Vec<u64> = (0..5_000)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x % 10_000_000
+        })
+        .collect();
+    assert_matches_oracle(&values, "xorshift");
+}

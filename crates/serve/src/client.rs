@@ -6,9 +6,37 @@ use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+use supermarq_obs::TraceContext;
 use supermarq_store::{Json, RunSpec, SweepGrid};
 
-use crate::protocol::{classify_response, encode_request, Request};
+use crate::protocol::{classify_response, encode_request, MetricsFormat, Request};
+
+/// Server-side timing echoed on traced `run` requests: how the
+/// response was produced and where the time went, so the client can
+/// attribute wire vs. queue vs. simulate latency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunTiming {
+    /// `warm`, `executed`, or `coalesced`.
+    pub source: String,
+    /// Total server-side time for the request.
+    pub total_ns: u64,
+    /// Time the job sat queued (0 for warm hits).
+    pub queue_ns: u64,
+    /// Time the executor ran (0 for warm hits).
+    pub execute_ns: u64,
+}
+
+impl RunTiming {
+    fn from_json(value: &Json) -> Option<RunTiming> {
+        let field = |key: &str| value.get(key).and_then(Json::as_u64);
+        Some(RunTiming {
+            source: value.get("source").and_then(Json::as_str)?.to_string(),
+            total_ns: field("total_ns")?,
+            queue_ns: field("queue_ns")?,
+            execute_ns: field("execute_ns")?,
+        })
+    }
+}
 
 /// A parsed `batch` response: the header counters plus the raw result
 /// lines, in grid order, exactly as the daemon sent them.
@@ -104,17 +132,60 @@ impl Client {
     /// `supermarq batch` output); `Err` is a protocol-level failure
     /// (busy, parse, shutting-down, transport).
     pub fn run(&mut self, spec: &RunSpec) -> Result<String, String> {
-        self.send(&Request::Run(spec.clone()))?;
+        self.run_traced(spec, None).map(|(line, _)| line)
+    }
+
+    /// [`Client::run`] carrying an optional trace context. When a
+    /// context is sent, the daemon continues the trace under the
+    /// caller's span and echoes an extra timing line, returned here as
+    /// [`RunTiming`]. Untraced calls read exactly one line — the wire
+    /// exchange is byte-identical to the pre-tracing protocol.
+    pub fn run_traced(
+        &mut self,
+        spec: &RunSpec,
+        trace: Option<&TraceContext>,
+    ) -> Result<(String, Option<RunTiming>), String> {
+        let traced = trace.is_some_and(|ctx| ctx.trace.is_some());
+        self.send(&Request::Run {
+            spec: spec.clone(),
+            trace: trace.copied(),
+        })?;
         let line = self.read_line()?;
-        match classify_response(&line) {
-            Ok(_) => Ok(line),
-            Err((kind, message)) => Err(format!("{kind}: {message}")),
+        if let Err((kind, message)) = classify_response(&line) {
+            return Err(format!("{kind}: {message}"));
         }
+        // The timing echo only follows a *valid* trace context; a
+        // context without a trace id degrades server-side to untraced.
+        let timing = if traced {
+            let echo = self.read_classified()?;
+            if echo.get("type").and_then(Json::as_str) != Some("timing") {
+                return Err("missing timing echo on traced run".into());
+            }
+            RunTiming::from_json(&echo)
+        } else {
+            None
+        };
+        Ok((line, timing))
     }
 
     /// Resolves a whole grid server-side.
     pub fn batch(&mut self, grid: &SweepGrid) -> Result<BatchResponse, String> {
-        self.send(&Request::Batch(grid.clone()))?;
+        self.batch_traced(grid, None)
+    }
+
+    /// [`Client::batch`] carrying an optional trace context, so the
+    /// daemon's batch spans join the caller's trace. Batch responses
+    /// never carry timing lines; the body stays byte-identical either
+    /// way.
+    pub fn batch_traced(
+        &mut self,
+        grid: &SweepGrid,
+        trace: Option<&TraceContext>,
+    ) -> Result<BatchResponse, String> {
+        self.send(&Request::Batch {
+            grid: grid.clone(),
+            trace: trace.copied(),
+        })?;
         let header = self.read_classified()?;
         if header.get("type").and_then(Json::as_str) != Some("batch") {
             return Err("missing batch header".into());
@@ -137,5 +208,35 @@ impl Client {
             lines.push(self.read_line()?);
         }
         Ok(BatchResponse { lines, ..response })
+    }
+
+    /// Fetches live telemetry as strict JSON: the `serve` counter
+    /// object (same schema as `stats`) plus rolling-window latency
+    /// digests.
+    pub fn metrics_json(&mut self) -> Result<Json, String> {
+        self.send(&Request::Metrics(MetricsFormat::Json))?;
+        self.read_classified()
+    }
+
+    /// Fetches live telemetry as Prometheus text exposition, ready to
+    /// hand to a scraper.
+    pub fn metrics_prometheus(&mut self) -> Result<String, String> {
+        self.send(&Request::Metrics(MetricsFormat::Prometheus))?;
+        let value = self.read_classified()?;
+        value
+            .get("body")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| "metrics response missing 'body'".into())
+    }
+
+    /// Fetches recently completed daemon spans, oldest first,
+    /// optionally filtered by 32-hex trace id.
+    pub fn trace_recent(&mut self, id: Option<&str>, limit: Option<u64>) -> Result<Json, String> {
+        self.send(&Request::Trace {
+            id: id.map(str::to_string),
+            limit,
+        })?;
+        self.read_classified()
     }
 }

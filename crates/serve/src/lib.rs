@@ -21,10 +21,19 @@
 //!   per-connection handlers, worker pool over
 //!   [`SweepEngine::run_job`], per-request obs spans and `serve.*`
 //!   counters surfaced by the `stats` request.
+//! - [`telemetry`] — the in-daemon [`SpanRing`] of completed spans
+//!   (queried by the `trace` op) and the Prometheus text exposition
+//!   behind `metrics`.
 //! - [`client`] — the blocking [`Client`] used by `supermarq client`,
 //!   the hammer tests, and the warm-hit benchmark.
 //! - [`signal`] — flag-based Ctrl-C interception shared with the batch
 //!   CLI.
+//!
+//! Distributed tracing rides the same protocol: `run`/`batch` frames
+//! may carry a `trace` context (128-bit trace id + client span id), and
+//! the daemon stitches its `serve.request` → `serve.execute` spans under
+//! the client's root so both processes' JSONL merges into one forest.
+//! Untraced requests are byte-identical to the pre-tracing protocol.
 //!
 //! Crash-safety is inherited, not reinvented: all persistence goes
 //! through the store's atomic tmp+rename publication, so `kill -9` at
@@ -43,8 +52,10 @@ pub mod protocol;
 pub mod queue;
 pub mod server;
 pub mod signal;
+pub mod telemetry;
 
-pub use client::{BatchResponse, Client};
-pub use protocol::{ErrorKind, Request, MAX_FRAME};
+pub use client::{BatchResponse, Client, RunTiming};
+pub use protocol::{ErrorKind, MetricsFormat, Request, MAX_FRAME};
 pub use queue::{Job, JobQueue, Submit};
 pub use server::{Executor, RunningServer, ServeConfig, ServeMetrics, Server};
+pub use telemetry::{SpanRecord, SpanRing};

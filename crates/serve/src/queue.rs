@@ -19,23 +19,42 @@
 //! coalesce with *running* work, not just queued work.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
+use supermarq_obs::TraceContext;
 use supermarq_store::{RunSpec, SweepResult};
 
-/// One unit of work: a spec, and a slot its result lands in.
+/// One unit of work: a spec, a slot its result lands in, and the
+/// telemetry a traced request wants back (queue wait, execute time,
+/// the submitter's trace link).
 #[derive(Debug)]
 pub struct Job {
     /// The spec to resolve.
     pub spec: RunSpec,
+    /// Trace context of the *first* submitter (coalesced joiners share
+    /// it): the worker parents its execute span here, so a trace shows
+    /// the simulation under the request that actually caused it.
+    pub link: Option<TraceContext>,
+    /// When the job was admitted (queue wait starts here).
+    submitted: Instant,
+    /// Nanoseconds spent queued before a worker picked the job up.
+    queue_ns: AtomicU64,
+    /// Nanoseconds the worker spent resolving the job.
+    execute_ns: AtomicU64,
     result: Mutex<Option<SweepResult>>,
     done: Condvar,
 }
 
 impl Job {
-    fn new(spec: RunSpec) -> Arc<Job> {
+    fn new(spec: RunSpec, link: Option<TraceContext>) -> Arc<Job> {
         Arc::new(Job {
             spec,
+            link,
+            submitted: Instant::now(),
+            queue_ns: AtomicU64::new(0),
+            execute_ns: AtomicU64::new(0),
             result: Mutex::new(None),
             done: Condvar::new(),
         })
@@ -49,6 +68,30 @@ impl Job {
             slot = self.done.wait(slot).unwrap();
         }
         slot.clone().unwrap()
+    }
+
+    /// Stamps the end of the queue-wait phase; called by the worker
+    /// that pops the job, before executing it.
+    pub fn mark_dequeued(&self) {
+        self.queue_ns.store(
+            self.submitted.elapsed().as_nanos() as u64,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Records how long the worker spent resolving the job.
+    pub fn set_execute_ns(&self, ns: u64) {
+        self.execute_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// Nanoseconds spent queued (0 until [`Job::mark_dequeued`]).
+    pub fn queue_ns(&self) -> u64 {
+        self.queue_ns.load(Ordering::Relaxed)
+    }
+
+    /// Nanoseconds spent executing (0 until the worker finishes).
+    pub fn execute_ns(&self) -> u64 {
+        self.execute_ns.load(Ordering::Relaxed)
     }
 
     fn complete(&self, result: SweepResult) {
@@ -98,8 +141,11 @@ impl JobQueue {
         }
     }
 
-    /// Submits one spec, coalescing with any in-flight twin.
-    pub fn submit(&self, spec: &RunSpec) -> Submit {
+    /// Submits one spec, coalescing with any in-flight twin. `link` is
+    /// the submitter's trace context; it sticks to the job only when
+    /// this submission creates it (joiners inherit the first
+    /// submitter's link).
+    pub fn submit(&self, spec: &RunSpec, link: Option<TraceContext>) -> Submit {
         let mut state = self.state.lock().unwrap();
         if state.closed {
             return Submit::Closed;
@@ -111,7 +157,7 @@ impl JobQueue {
         if state.queued.len() >= self.capacity {
             return Submit::Full;
         }
-        let job = Job::new(spec.clone());
+        let job = Job::new(spec.clone(), link);
         state.inflight.insert(hash, Arc::clone(&job));
         state.queued.push_back(Arc::clone(&job));
         self.available.notify_one();
@@ -122,8 +168,13 @@ impl JobQueue {
     /// (as a new job or by joining an in-flight twin — duplicates inside
     /// the batch coalesce too) or none is and the batch gets one `Full`
     /// / `Closed` answer. Returns one job per input spec, in order,
-    /// plus how many coalesced.
-    pub fn submit_all(&self, specs: &[RunSpec]) -> Result<(Vec<Arc<Job>>, u64), Submit> {
+    /// plus how many coalesced. `link` follows the same rule as
+    /// [`JobQueue::submit`]: it attaches to jobs this batch creates.
+    pub fn submit_all(
+        &self,
+        specs: &[RunSpec],
+        link: Option<TraceContext>,
+    ) -> Result<(Vec<Arc<Job>>, u64), Submit> {
         let mut state = self.state.lock().unwrap();
         if state.closed {
             return Err(Submit::Closed);
@@ -148,7 +199,7 @@ impl JobQueue {
                 jobs.push(Arc::clone(job));
                 continue;
             }
-            let job = Job::new(spec.clone());
+            let job = Job::new(spec.clone(), link);
             state.inflight.insert(hash.clone(), Arc::clone(&job));
             state.queued.push_back(Arc::clone(&job));
             jobs.push(job);
@@ -185,6 +236,12 @@ impl JobQueue {
     /// Jobs accepted but not yet picked up by a worker.
     pub fn depth(&self) -> usize {
         self.state.lock().unwrap().queued.len()
+    }
+
+    /// Jobs between submission and completion — queued *plus*
+    /// executing. The in-flight gauge the `metrics` op exposes.
+    pub fn inflight(&self) -> usize {
+        self.state.lock().unwrap().inflight.len()
     }
 
     /// Stops admission. Workers drain what was already accepted.
@@ -229,48 +286,50 @@ mod tests {
     #[test]
     fn duplicate_submissions_coalesce_onto_one_job() {
         let queue = JobQueue::new(4);
-        let first = match queue.submit(&spec(1)) {
+        let first = match queue.submit(&spec(1), None) {
             Submit::New(job) => job,
             other => panic!("expected New, got {other:?}"),
         };
         // Same hash joins — even after a worker picked the job up.
-        assert!(matches!(queue.submit(&spec(1)), Submit::Joined(_)));
+        assert!(matches!(queue.submit(&spec(1), None), Submit::Joined(_)));
         let picked = queue.pop().unwrap();
-        assert!(matches!(queue.submit(&spec(1)), Submit::Joined(_)));
+        assert!(matches!(queue.submit(&spec(1), None), Submit::Joined(_)));
         assert_eq!(queue.depth(), 0);
         queue.complete(&picked, result_for(&picked.spec));
         assert_eq!(first.wait().spec, spec(1));
         // Completion retires the hash: the next submission is new work.
-        assert!(matches!(queue.submit(&spec(1)), Submit::New(_)));
+        assert!(matches!(queue.submit(&spec(1), None), Submit::New(_)));
     }
 
     #[test]
     fn capacity_rejects_with_full_but_joins_still_succeed() {
         let queue = JobQueue::new(2);
-        assert!(matches!(queue.submit(&spec(1)), Submit::New(_)));
-        assert!(matches!(queue.submit(&spec(2)), Submit::New(_)));
-        assert!(matches!(queue.submit(&spec(3)), Submit::Full));
+        assert!(matches!(queue.submit(&spec(1), None), Submit::New(_)));
+        assert!(matches!(queue.submit(&spec(2), None), Submit::New(_)));
+        assert!(matches!(queue.submit(&spec(3), None), Submit::Full));
         // Coalescing costs no slot, so it succeeds even at capacity.
-        assert!(matches!(queue.submit(&spec(1)), Submit::Joined(_)));
+        assert!(matches!(queue.submit(&spec(1), None), Submit::Joined(_)));
     }
 
     #[test]
     fn batch_admission_is_all_or_nothing_with_in_batch_coalescing() {
         let queue = JobQueue::new(2);
         // 3 specs, 2 unique → fits in capacity 2, one coalesced.
-        let (jobs, coalesced) = queue.submit_all(&[spec(1), spec(2), spec(1)]).unwrap();
+        let (jobs, coalesced) = queue
+            .submit_all(&[spec(1), spec(2), spec(1)], None)
+            .unwrap();
         assert_eq!(jobs.len(), 3);
         assert_eq!(coalesced, 1);
         assert!(Arc::ptr_eq(&jobs[0], &jobs[2]));
         assert_eq!(queue.depth(), 2);
         // A batch that does not fit is rejected whole: nothing enqueued.
         assert!(matches!(
-            queue.submit_all(&[spec(3), spec(4), spec(5)]),
+            queue.submit_all(&[spec(3), spec(4), spec(5)], None),
             Err(Submit::Full)
         ));
         assert_eq!(queue.depth(), 2);
         // But a batch made entirely of joins is free.
-        let (joined, n) = queue.submit_all(&[spec(1), spec(2)]).unwrap();
+        let (joined, n) = queue.submit_all(&[spec(1), spec(2)], None).unwrap();
         assert_eq!((joined.len(), n), (2, 2));
     }
 
@@ -278,13 +337,13 @@ mod tests {
     fn close_drains_accepted_work_then_stops_workers() {
         let queue = Arc::new(JobQueue::new(8));
         let jobs: Vec<_> = (0..4)
-            .map(|i| match queue.submit(&spec(i)) {
+            .map(|i| match queue.submit(&spec(i), None) {
                 Submit::New(job) => job,
                 other => panic!("{other:?}"),
             })
             .collect();
         queue.close();
-        assert!(matches!(queue.submit(&spec(99)), Submit::Closed));
+        assert!(matches!(queue.submit(&spec(99), None), Submit::Closed));
         // A worker still sees all four, then the stop signal.
         let mut served = 0;
         while let Some(job) = queue.pop() {
@@ -300,7 +359,7 @@ mod tests {
     #[test]
     fn waiters_block_until_completion_across_threads() {
         let queue = Arc::new(JobQueue::new(4));
-        let job = match queue.submit(&spec(5)) {
+        let job = match queue.submit(&spec(5), None) {
             Submit::New(job) => job,
             other => panic!("{other:?}"),
         };

@@ -26,11 +26,12 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use supermarq_obs::metrics::Histogram;
-use supermarq_obs::{counter, gauge, histogram, Span};
+use supermarq_obs::{counter, gauge, histogram, Span, TraceContext, WindowedHistogram};
 use supermarq_store::{Json, RunOutcome, RunRecord, RunSpec, Store, SweepEngine, SweepResult};
 
-use crate::protocol::{self, ErrorKind, Request, MAX_FRAME};
-use crate::queue::{JobQueue, Submit};
+use crate::protocol::{self, ErrorKind, MetricsFormat, Request, MAX_FRAME};
+use crate::queue::{Job, JobQueue, Submit};
+use crate::telemetry::{self, SpanRecord, SpanRing};
 
 /// How the server executes a cache miss. The daemon is as
 /// executor-agnostic as the sweep engine: the CLI passes
@@ -57,6 +58,9 @@ pub struct ServeConfig {
     pub idle_timeout: Duration,
     /// `retry_after_ms` hint attached to `busy` rejections.
     pub retry_after_ms: u64,
+    /// Completed span records retained for the `trace` op (ring buffer,
+    /// oldest overwritten first).
+    pub trace_buffer: usize,
 }
 
 impl Default for ServeConfig {
@@ -68,6 +72,7 @@ impl Default for ServeConfig {
             use_cache: true,
             idle_timeout: Duration::from_secs(30),
             retry_after_ms: 200,
+            trace_buffer: 512,
         }
     }
 }
@@ -95,11 +100,18 @@ pub struct ServeMetrics {
     pub request_ns: Histogram,
     /// Latency of warm single-run hits, nanoseconds.
     pub warm_hit_ns: Histogram,
+    /// Rolling 60 s window over request latency (live telemetry; the
+    /// lifetime histograms above never forget).
+    pub request_window: WindowedHistogram,
+    /// Rolling 60 s window over warm-hit latency.
+    pub warm_window: WindowedHistogram,
 }
 
 impl ServeMetrics {
-    /// Strict-JSON snapshot, embedded in `stats` responses.
-    pub fn to_json(&self, queue_depth: usize) -> Json {
+    /// Strict-JSON snapshot, embedded in `stats` responses and the
+    /// JSON-format `metrics` response — one serializer for both ops, so
+    /// the schemas cannot drift.
+    pub fn to_json(&self, queue_depth: usize, inflight: usize) -> Json {
         fn hist(h: &Histogram) -> Json {
             Json::Obj(vec![
                 ("count".into(), Json::uint(h.count())),
@@ -118,8 +130,26 @@ impl ServeMetrics {
             ("rejected".into(), n(&self.rejected)),
             ("errors".into(), n(&self.errors)),
             ("queue_depth".into(), Json::uint(queue_depth as u64)),
+            ("inflight".into(), Json::uint(inflight as u64)),
             ("request_ns".into(), hist(&self.request_ns)),
             ("warm_hit_ns".into(), hist(&self.warm_hit_ns)),
+        ])
+    }
+
+    /// Rolling-window digests for the JSON-format `metrics` response.
+    pub fn window_json(&self) -> Json {
+        fn digest(w: &WindowedHistogram) -> Json {
+            let d = w.snapshot();
+            Json::Obj(vec![
+                ("count".into(), Json::uint(d.count)),
+                ("p50_ns".into(), Json::uint(d.p50)),
+                ("p99_ns".into(), Json::uint(d.p99)),
+                ("window_ms".into(), Json::uint(d.window_ms)),
+            ])
+        }
+        Json::Obj(vec![
+            ("request".into(), digest(&self.request_window)),
+            ("warm_hit".into(), digest(&self.warm_window)),
         ])
     }
 }
@@ -131,6 +161,10 @@ struct Shared {
     exec: Executor,
     queue: JobQueue,
     metrics: ServeMetrics,
+    /// Completed span records for the `trace` op.
+    ring: SpanRing,
+    /// Daemon start time; ring records stamp `start_ms` against it.
+    started: Instant,
     stop: AtomicBool,
     /// Live connection-handler count, awaited at shutdown.
     active: Mutex<usize>,
@@ -161,12 +195,15 @@ impl Server {
             config.workers
         };
         let queue_capacity = config.queue_capacity;
+        let trace_buffer = config.trace_buffer;
         let shared = Arc::new(Shared {
             config,
             store,
             exec,
             queue: JobQueue::new(queue_capacity),
             metrics: ServeMetrics::default(),
+            ring: SpanRing::new(trace_buffer),
+            started: Instant::now(),
             stop: AtomicBool::new(false),
             active: Mutex::new(0),
             idle: Condvar::new(),
@@ -303,9 +340,23 @@ fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
 
 fn worker_loop(shared: &Shared) {
     while let Some(job) = shared.queue.pop() {
+        job.mark_dequeued();
         gauge!("serve.queue_depth").set(shared.queue.depth() as i64);
         let engine = SweepEngine::new(&shared.store).with_cache(shared.config.use_cache);
         let exec = &shared.exec;
+        // Continue the submitting request's trace (in-process link:
+        // the request span is the parent, the trace id flows to every
+        // store/executor span `run_job` opens via the thread-current
+        // chain).
+        let link = job.link;
+        let mut span = Span::open_with_link(
+            "serve.execute",
+            link.map(|ctx| ctx.parent).filter(|&p| p != 0),
+            link.and_then(|ctx| ctx.trace),
+        );
+        let span_id = span.id();
+        let start_ms = elapsed_ms(shared.started);
+        let exec_start = Instant::now();
         // `run_job` re-consults the store at execution time, so a job
         // queued behind a twin published meanwhile (by another process
         // on a shared store) resolves warm. A panicking executor must
@@ -319,12 +370,37 @@ fn worker_loop(shared: &Shared) {
             store_error: false,
             outcome: Err("internal: executor panicked".into()),
         });
+        let execute_ns = u64::try_from(exec_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        job.set_execute_ns(execute_ns);
+        span.record("ok", result.outcome.is_ok());
+        span.record("from_cache", result.from_cache);
+        drop(span);
         if !result.from_cache {
             shared.metrics.simulations.fetch_add(1, Ordering::Relaxed);
             counter!("serve.simulations").incr();
         }
+        shared.ring.push(SpanRecord {
+            name: "serve.execute",
+            op: "job",
+            trace: link.and_then(|ctx| ctx.trace).map(|t| t.to_hex()),
+            span: span_id.unwrap_or(0),
+            parent: link.map_or(0, |ctx| ctx.parent),
+            start_ms,
+            elapsed_ns: execute_ns,
+            ok: result.outcome.is_ok(),
+            source: if result.from_cache {
+                "warm"
+            } else {
+                "executed"
+            },
+        });
         shared.queue.complete(&job, result);
     }
+}
+
+/// Milliseconds since `since`, saturating.
+fn elapsed_ms(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_millis()).unwrap_or(u64::MAX)
 }
 
 /// One complete request frame, or the reason there is none.
@@ -430,38 +506,133 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
     }
 }
 
+/// Per-request facts the dispatch handlers report back so the epilogue
+/// (latency histograms, ring record) can attribute the outcome.
+struct Outcome {
+    ok: bool,
+    /// `warm` / `executed` / `coalesced` for run-shaped work, `""`
+    /// otherwise.
+    source: &'static str,
+}
+
 /// Serves one request line. Returns `false` when the connection should
 /// close (write failure, shutdown, unrecoverable framing).
 fn handle_request(shared: &Arc<Shared>, line: &str, out: &mut impl Write) -> bool {
     shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
     counter!("serve.requests").incr();
     let start = Instant::now();
-    let mut span = Span::open("serve.request");
+    let start_ms = elapsed_ms(shared.started);
     let request = match protocol::parse_request(line) {
         Ok(request) => request,
         Err(message) => {
+            // Parse failures still get a (trace-less) span and latency
+            // sample: a flood of junk shows up in telemetry too.
+            let mut span = Span::open("serve.request");
             shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
             counter!("serve.errors").incr();
             span.record("ok", false);
-            return write_line(out, &protocol::error_line(ErrorKind::Parse, &message, None));
+            let keep_open =
+                write_line(out, &protocol::error_line(ErrorKind::Parse, &message, None));
+            let span_id = span.id();
+            drop(span);
+            finish_request(
+                shared, start, start_ms, "parse", span_id, 0, None, false, "",
+            );
+            return keep_open;
         }
+    };
+    // The request span continues the client's trace when the frame
+    // carried a context: the client's span id becomes `remote_parent`,
+    // and the trace id flows to every child span on this thread.
+    let (op, ctx) = match &request {
+        Request::Ping => ("ping", None),
+        Request::Stats => ("stats", None),
+        Request::Shutdown => ("shutdown", None),
+        Request::Metrics(_) => ("metrics", None),
+        Request::Trace { .. } => ("trace", None),
+        Request::Run { trace, .. } => ("run", *trace),
+        Request::Batch { trace, .. } => ("batch", *trace),
+    };
+    let mut span = Span::open_in_context("serve.request", ctx.as_ref());
+    span.record("op", op);
+    let mut outcome = Outcome {
+        ok: true,
+        source: "",
     };
     let keep_open = match request {
         Request::Ping => write_line(out, &protocol::pong_line()),
         Request::Stats => write_line(out, &stats_response(shared)),
+        Request::Metrics(format) => write_line(out, &metrics_response(shared, format)),
+        Request::Trace { id, limit } => {
+            write_line(out, &trace_response(shared, id.as_deref(), limit))
+        }
         Request::Shutdown => {
             write_line(out, &protocol::shutdown_line());
             shared.begin_shutdown();
             false
         }
-        Request::Run(spec) => handle_run(shared, &spec, out, start),
-        Request::Batch(grid) => handle_batch(shared, &grid, out),
+        Request::Run { spec, trace } => handle_run(
+            shared,
+            &spec,
+            trace.as_ref(),
+            out,
+            start,
+            &span,
+            &mut outcome,
+        ),
+        Request::Batch { grid, .. } => handle_batch(shared, &grid, out, &span, &mut outcome),
     };
+    span.record("ok", outcome.ok);
+    let span_id = span.id();
+    let trace = span.trace_id().or(ctx.and_then(|c| c.trace));
+    // The ring's serve.request record points back at the *client's*
+    // span when one was given, so merged tooling sees the stitch even
+    // without trace files.
+    let remote_parent = ctx.map_or(0, |c| c.parent);
+    drop(span);
+    finish_request(
+        shared,
+        start,
+        start_ms,
+        op,
+        span_id,
+        remote_parent,
+        trace.map(|t| t.to_hex()),
+        outcome.ok,
+        outcome.source,
+    );
+    keep_open
+}
+
+/// Request epilogue: latency histograms (lifetime + rolling window) and
+/// the ring record every protocol op leaves behind.
+#[allow(clippy::too_many_arguments)]
+fn finish_request(
+    shared: &Shared,
+    start: Instant,
+    start_ms: u64,
+    op: &'static str,
+    span_id: Option<u64>,
+    parent: u64,
+    trace: Option<String>,
+    ok: bool,
+    source: &'static str,
+) {
     let elapsed_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
     shared.metrics.request_ns.record(elapsed_ns);
+    shared.metrics.request_window.record(elapsed_ns);
     histogram!("serve.request_ns").record(elapsed_ns);
-    span.record("ok", true);
-    keep_open
+    shared.ring.push(SpanRecord {
+        name: "serve.request",
+        op,
+        trace,
+        span: span_id.unwrap_or(0),
+        parent,
+        start_ms,
+        elapsed_ns,
+        ok,
+        source,
+    });
 }
 
 fn stats_response(shared: &Shared) -> String {
@@ -469,57 +640,133 @@ fn stats_response(shared: &Shared) -> String {
         Ok(stats) => stats.to_json(),
         Err(e) => Json::Obj(vec![("error".into(), Json::str(e.to_string()))]),
     };
-    protocol::stats_line(store, shared.metrics.to_json(shared.queue.depth()))
+    protocol::stats_line(
+        store,
+        shared
+            .metrics
+            .to_json(shared.queue.depth(), shared.queue.inflight()),
+    )
 }
 
-fn handle_run(shared: &Shared, spec: &RunSpec, out: &mut impl Write, start: Instant) -> bool {
+fn metrics_response(shared: &Shared, format: MetricsFormat) -> String {
+    let depth = shared.queue.depth();
+    let inflight = shared.queue.inflight();
+    match format {
+        MetricsFormat::Json => protocol::metrics_json_line(
+            shared.metrics.to_json(depth, inflight),
+            shared.metrics.window_json(),
+        ),
+        MetricsFormat::Prometheus => protocol::metrics_prometheus_line(
+            &telemetry::prometheus_text(&shared.metrics, depth as u64, inflight as u64),
+        ),
+    }
+}
+
+fn trace_response(shared: &Shared, id: Option<&str>, limit: Option<u64>) -> String {
+    let limit = limit.unwrap_or(64).min(shared.ring.capacity() as u64) as usize;
+    let spans = shared.ring.recent(limit, id);
+    protocol::trace_line(spans.iter().map(SpanRecord::to_json).collect())
+}
+
+/// Waits for a queued job inside a `serve.wait` child span, so traces
+/// show queue wait distinctly from execution.
+fn wait_traced(job: &Job, coalesced: bool) -> SweepResult {
+    let mut span = Span::open("serve.wait");
+    span.record("coalesced", coalesced);
+    job.wait()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_run(
+    shared: &Shared,
+    spec: &RunSpec,
+    wire_ctx: Option<&TraceContext>,
+    out: &mut impl Write,
+    start: Instant,
+    span: &Span,
+    outcome: &mut Outcome,
+) -> bool {
+    // The timing echo is strictly opt-in: only requests that carried a
+    // trace context get the extra line, so untraced responses stay
+    // byte-identical to the pre-telemetry wire format.
+    let echo = wire_ctx.is_some();
     if shared.config.use_cache {
         if let Some(record) = shared.store.get(spec) {
             shared.metrics.hits.fetch_add(1, Ordering::Relaxed);
             counter!("serve.hits").incr();
             let warm_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
             shared.metrics.warm_hit_ns.record(warm_ns);
+            shared.metrics.warm_window.record(warm_ns);
             histogram!("serve.warm_hit_ns").record(warm_ns);
-            return write_line(out, &record.to_line());
+            outcome.source = "warm";
+            let mut keep_open = write_line(out, &record.to_line());
+            if keep_open && echo {
+                keep_open = write_line(out, &protocol::timing_line("warm", warm_ns, 0, 0));
+            }
+            return keep_open;
         }
     }
-    match shared.queue.submit(spec) {
+    // The job link is *this server's* request span (which itself points
+    // at the client's root): the worker parents its execute span here.
+    let submitted = match shared.queue.submit(spec, span.ctx()) {
         Submit::New(job) => {
             shared.metrics.misses.fetch_add(1, Ordering::Relaxed);
             counter!("serve.misses").incr();
             gauge!("serve.queue_depth").set(shared.queue.depth() as i64);
-            write_line(out, &job.wait().to_line())
+            outcome.source = "executed";
+            Some((job, false))
         }
         Submit::Joined(job) => {
             shared.metrics.misses.fetch_add(1, Ordering::Relaxed);
             shared.metrics.coalesced.fetch_add(1, Ordering::Relaxed);
             counter!("serve.misses").incr();
             counter!("serve.coalesced").incr();
-            write_line(out, &job.wait().to_line())
+            outcome.source = "coalesced";
+            Some((job, true))
         }
         Submit::Full => {
             shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
             counter!("serve.rejected").incr();
-            write_line(
+            outcome.ok = false;
+            return write_line(
                 out,
                 &protocol::error_line(
                     ErrorKind::Busy,
                     "job queue full",
                     Some(shared.config.retry_after_ms),
                 ),
-            )
+            );
         }
         Submit::Closed => {
+            outcome.ok = false;
             write_line(
                 out,
                 &protocol::error_line(ErrorKind::ShuttingDown, "daemon is draining", None),
             );
-            false
+            return false;
         }
+    };
+    let (job, coalesced) = submitted.expect("submit variants handled above");
+    let result = wait_traced(&job, coalesced);
+    outcome.ok = result.outcome.is_ok();
+    let mut keep_open = write_line(out, &result.to_line());
+    if keep_open && echo {
+        let total_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        keep_open = write_line(
+            out,
+            &protocol::timing_line(outcome.source, total_ns, job.queue_ns(), job.execute_ns()),
+        );
     }
+    keep_open
 }
 
-fn handle_batch(shared: &Shared, grid: &supermarq_store::SweepGrid, out: &mut impl Write) -> bool {
+fn handle_batch(
+    shared: &Shared,
+    grid: &supermarq_store::SweepGrid,
+    out: &mut impl Write,
+    span: &Span,
+    outcome: &mut Outcome,
+) -> bool {
     let specs = grid.expand();
     // Partition warm cells exactly like `SweepEngine::run` does, so the
     // response body is byte-identical to `supermarq batch` output.
@@ -539,11 +786,12 @@ fn handle_batch(shared: &Shared, grid: &supermarq_store::SweepGrid, out: &mut im
         .filter(|(_, c)| c.is_none())
         .map(|(s, _)| s.clone())
         .collect();
-    let (jobs, coalesced) = match shared.queue.submit_all(&miss_specs) {
+    let (jobs, coalesced) = match shared.queue.submit_all(&miss_specs, span.ctx()) {
         Ok(admitted) => admitted,
         Err(Submit::Full) => {
             shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
             counter!("serve.rejected").incr();
+            outcome.ok = false;
             let message = format!(
                 "job queue cannot admit {} jobs; retry later",
                 miss_specs.len()
@@ -558,6 +806,7 @@ fn handle_batch(shared: &Shared, grid: &supermarq_store::SweepGrid, out: &mut im
             );
         }
         Err(_) => {
+            outcome.ok = false;
             write_line(
                 out,
                 &protocol::error_line(ErrorKind::ShuttingDown, "daemon is draining", None),

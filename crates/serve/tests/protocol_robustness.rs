@@ -10,8 +10,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use proptest::prelude::*;
-use supermarq_serve::{Client, RunningServer, ServeConfig, Server, MAX_FRAME};
-use supermarq_store::{Json, RunOutcome, RunSpec, Store};
+use supermarq_obs::TraceId;
+use supermarq_serve::protocol::{encode_request, parse_request};
+use supermarq_serve::{Client, Request, RunningServer, ServeConfig, Server, MAX_FRAME};
+use supermarq_store::{Json, RunOutcome, RunSpec, Store, SweepGrid, TranspileSpec};
 
 fn temp_store(tag: &str) -> Store {
     static N: AtomicUsize = AtomicUsize::new(0);
@@ -196,8 +198,96 @@ fn typed_client_reports_protocol_errors_as_errors() {
     server.shutdown();
 }
 
+/// One fixed, valid spec for the trace-field fuzzing below.
+fn fixed_spec() -> RunSpec {
+    SweepGrid {
+        benchmarks: vec![("ghz".into(), vec![("size".into(), "3".into())])],
+        devices: vec!["IonQ".into()],
+        shots: vec![64],
+        seeds: vec![1],
+        repetitions: 2,
+        transpile: TranspileSpec::default(),
+        division: "closed".into(),
+    }
+    .expand()
+    .remove(0)
+}
+
+/// Arbitrary junk for the optional `trace` field on a `run` frame:
+/// wrong types, wrong lengths, truncated/oversized/zero hex — and,
+/// when the random hex happens to be exactly 32 nonzero digits, a
+/// well-formed context that must survive the round trip.
+fn junk_trace() -> impl Strategy<Value = Json> {
+    (
+        0u32..8,
+        prop::collection::vec(0u32..16, 0..48),
+        0u64..u64::MAX,
+    )
+        .prop_map(|(variant, nibbles, parent)| {
+            let hex: String = nibbles
+                .iter()
+                .map(|&n| char::from_digit(n, 16).unwrap())
+                .collect();
+            match variant {
+                0 => Json::Null,
+                1 => Json::Bool(parent % 2 == 0),
+                2 => Json::uint(parent),
+                3 => Json::str(hex), // right shape, wrong type (bare string)
+                4 => Json::Arr(vec![]),
+                5 => Json::Obj(vec![]), // object missing `id`
+                6 => Json::Obj(vec![("id".into(), Json::uint(parent))]), // id wrong type
+                _ => Json::Obj(vec![
+                    ("id".into(), Json::str(hex)),
+                    ("parent".into(), Json::uint(parent)),
+                ]),
+            }
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A valid `run` frame with an arbitrary `trace` field always
+    /// parses, never errors: junk/missing/oversized contexts degrade
+    /// to an untraced request (`trace: None`), and only a well-formed
+    /// `{id: 32-hex-nonzero}` object survives the round trip.
+    #[test]
+    fn junk_trace_fields_degrade_to_untraced_never_error(junk in junk_trace()) {
+        let spec = fixed_spec();
+        let encoded = encode_request(&Request::Run { spec: spec.clone(), trace: None });
+        let mut obj = match Json::parse(&encoded).unwrap() {
+            Json::Obj(pairs) => pairs,
+            other => panic!("encoded request is not an object: {other:?}"),
+        };
+        obj.push(("trace".into(), junk.clone()));
+        let frame = Json::Obj(obj).to_string();
+
+        // Parse level: the frame is accepted, and the context survives
+        // exactly when the id is a valid 32-hex nonzero trace id.
+        let parsed = parse_request(&frame).expect("junk trace must not fail the frame");
+        let expected_id = junk.get("id").and_then(Json::as_str).and_then(TraceId::parse);
+        match parsed {
+            Request::Run { trace, .. } => match expected_id {
+                Some(id) => {
+                    let ctx = trace.expect("valid context must be kept");
+                    prop_assert_eq!(ctx.trace, Some(id));
+                    prop_assert_eq!(ctx.parent, junk.get("parent").and_then(Json::as_u64).unwrap_or(0));
+                }
+                None => prop_assert!(trace.is_none(), "junk must degrade to None"),
+            },
+            other => panic!("round-tripped into {other:?}"),
+        }
+
+        // Socket level: the daemon answers with a result line, not an
+        // error — tracing junk never breaks the request itself.
+        static SERVER: std::sync::OnceLock<RunningServer> = std::sync::OnceLock::new();
+        let server = SERVER.get_or_init(|| start_server("tracejunk"));
+        let mut payload = frame.into_bytes();
+        payload.push(b'\n');
+        let line = raw_round_trip(server.addr(), &payload).expect("a response line");
+        let value = Json::parse(&line).expect("response must be valid JSON");
+        prop_assert_ne!(value.get("type").and_then(Json::as_str), Some("error"), "{}", line);
+    }
 
     /// Arbitrary junk frames (newlines stripped so each is one frame)
     /// always produce exactly one parseable JSON response line.

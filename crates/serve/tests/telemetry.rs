@@ -1,0 +1,262 @@
+//! Live telemetry: the `metrics` and `trace` protocol ops, scraped
+//! mid-batch while work is genuinely in flight.
+//!
+//! A gate in the executor holds jobs open so the scrape observes
+//! nonzero queue-depth/in-flight gauges and windowed latency, then the
+//! gate lifts and the batch completes normally. A separate test pins
+//! the schema contract: the `serve` object in `stats` and `metrics`
+//! responses must expose identical field sets (one serializer, no
+//! drift).
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use supermarq_serve::{Client, RunningServer, ServeConfig, Server};
+use supermarq_store::{Json, RunOutcome, RunSpec, Store, SweepGrid, TranspileSpec};
+
+fn temp_store(tag: &str) -> Store {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "supermarq-serve-telemetry-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    Store::open(dir).unwrap()
+}
+
+fn grid() -> SweepGrid {
+    SweepGrid {
+        benchmarks: vec![("ghz".into(), vec![("size".into(), "3".into())])],
+        devices: vec!["IonQ".into(), "AQT".into()],
+        shots: vec![64],
+        seeds: vec![1, 2],
+        repetitions: 2,
+        transpile: TranspileSpec::default(),
+        division: "closed".into(),
+    }
+}
+
+/// A latch the executor blocks on until the test opens it.
+#[derive(Default)]
+struct Gate {
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn wait(&self) {
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            open = self.cv.wait(open).unwrap();
+        }
+    }
+
+    fn lift(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Checks one Prometheus text-exposition line against the grammar
+/// `name(\{labels\})? value` with `name` in `[a-zA-Z_:][a-zA-Z0-9_:]*`
+/// and `value` a plain (non-scientific) decimal.
+fn assert_exposition_line(line: &str) {
+    let (metric, value) = line
+        .rsplit_once(' ')
+        .unwrap_or_else(|| panic!("no value separator in {line:?}"));
+    let name = metric.split('{').next().unwrap();
+    assert!(!name.is_empty(), "empty metric name in {line:?}");
+    let mut chars = name.chars();
+    let first = chars.next().unwrap();
+    assert!(
+        first.is_ascii_alphabetic() || first == '_' || first == ':',
+        "bad metric name start in {line:?}"
+    );
+    assert!(
+        chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+        "bad metric name in {line:?}"
+    );
+    if let Some(rest) = metric.strip_prefix(name) {
+        if !rest.is_empty() {
+            assert!(
+                rest.starts_with('{') && rest.ends_with('}'),
+                "bad label block in {line:?}"
+            );
+        }
+    }
+    assert!(
+        value
+            .strip_prefix('-')
+            .unwrap_or(value)
+            .chars()
+            .all(|c| c.is_ascii_digit() || c == '.'),
+        "value must be plain decimal (no scientific notation) in {line:?}"
+    );
+    assert!(
+        value.parse::<f64>().is_ok(),
+        "unparseable value in {line:?}"
+    );
+}
+
+#[test]
+fn metrics_scraped_mid_batch_show_live_queue_and_window() {
+    let gate = Arc::new(Gate::default());
+    let exec_gate = Arc::clone(&gate);
+    let server: RunningServer = Server::bind(
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+        temp_store("midbatch"),
+        Arc::new(move |spec: &RunSpec| {
+            exec_gate.wait();
+            Ok(RunOutcome {
+                scores: vec![spec.seed as f64 / 10.0],
+                swap_count: 0,
+                two_qubit_gates: 1,
+            })
+        }),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // Launch the batch from a helper thread; its jobs park on the gate.
+    let batch = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        client.batch(&grid()).unwrap()
+    });
+
+    // Wait until the daemon reports work in flight, then scrape.
+    let mut scraper = Client::connect(addr).unwrap();
+    scraper
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut inflight = 0;
+    for _ in 0..200 {
+        let metrics = scraper.metrics_json().unwrap();
+        inflight = metrics
+            .get("serve")
+            .and_then(|s| s.get("inflight"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        if inflight > 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(inflight > 0, "batch jobs never showed up as in flight");
+
+    // JSON form: counters plus rolling-window digests.
+    let json = scraper.metrics_json().unwrap();
+    assert_eq!(json.get("format").and_then(Json::as_str), Some("json"));
+    let window = json.get("window").expect("window digests");
+    for group in ["request", "warm_hit"] {
+        let digest = window.get(group).expect("both latency groups");
+        for key in ["count", "p50_ns", "p99_ns", "window_ms"] {
+            assert!(
+                digest.get(key).and_then(Json::as_u64).is_some(),
+                "window.{group}.{key} missing"
+            );
+        }
+    }
+    // The scrapes themselves are requests, so the request window has
+    // samples even while every batch job is still parked on the gate.
+    let request_window = window.get("request").unwrap();
+    assert!(request_window.get("count").and_then(Json::as_u64).unwrap() > 0);
+
+    // Prometheus form: every line passes the exposition grammar, and
+    // the live gauges + windowed quantiles are present.
+    let text = scraper.metrics_prometheus().unwrap();
+    let mut seen = BTreeSet::new();
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        assert_exposition_line(line);
+        seen.insert(line.split(['{', ' ']).next().unwrap().to_string());
+    }
+    for required in [
+        "supermarq_serve_requests_total",
+        "supermarq_serve_queue_depth",
+        "supermarq_serve_inflight",
+        "supermarq_serve_request_latency_seconds",
+        "supermarq_serve_request_latency_window_p50_seconds",
+        "supermarq_serve_request_latency_window_p99_seconds",
+        "supermarq_serve_warm_hit_latency_window_p99_seconds",
+    ] {
+        assert!(seen.contains(required), "missing metric {required}");
+    }
+    let inflight_line = text
+        .lines()
+        .find(|l| l.starts_with("supermarq_serve_inflight "))
+        .unwrap();
+    assert_ne!(inflight_line, "supermarq_serve_inflight 0", "{text}");
+
+    gate.lift();
+    let response = batch.join().unwrap();
+    assert_eq!(response.failures, 0);
+
+    // After the batch lands, the trace op shows its spans.
+    let trace = scraper.trace_recent(None, Some(64)).unwrap();
+    assert_eq!(trace.get("type").and_then(Json::as_str), Some("trace"));
+    let spans = trace.get("spans").and_then(Json::as_arr).unwrap();
+    assert!(
+        spans
+            .iter()
+            .any(|s| s.get("name").and_then(Json::as_str) == Some("serve.execute")),
+        "executed jobs appear in the span ring"
+    );
+    assert!(
+        spans
+            .iter()
+            .any(|s| s.get("op").and_then(Json::as_str) == Some("metrics")),
+        "telemetry requests appear in the span ring"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn stats_and_metrics_serve_objects_expose_the_same_fields() {
+    let server = Server::bind(
+        ServeConfig::default(),
+        temp_store("schema"),
+        Arc::new(|spec: &RunSpec| {
+            Ok(RunOutcome {
+                scores: vec![spec.seed as f64],
+                swap_count: 0,
+                two_qubit_gates: 1,
+            })
+        }),
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    client.run(&grid().expand()[0]).unwrap();
+
+    let keys = |value: &Json| -> BTreeSet<String> {
+        match value {
+            Json::Obj(pairs) => pairs.iter().map(|(k, _)| k.clone()).collect(),
+            other => panic!("expected an object, got {other:?}"),
+        }
+    };
+    let stats = client.stats().unwrap();
+    let metrics = client.metrics_json().unwrap();
+    let stats_serve = keys(stats.get("serve").expect("stats carries serve"));
+    let metrics_serve = keys(metrics.get("serve").expect("metrics carries serve"));
+    assert_eq!(
+        stats_serve, metrics_serve,
+        "stats and metrics must serialize the serve object through one path"
+    );
+    for key in ["queue_depth", "inflight", "requests", "hits"] {
+        assert!(stats_serve.contains(key), "serve object missing {key}");
+    }
+    server.shutdown();
+}

@@ -1,0 +1,273 @@
+//! Distributed-trace propagation through the daemon.
+//!
+//! Two contracts:
+//!
+//! - A traced client `run`/`batch` produces span JSONL — client root
+//!   plus the daemon's `serve.request`/`serve.execute`/engine spans —
+//!   that parses with the store's strict JSON parser and forms exactly
+//!   one well-formed tree per trace, rooted at the client's span. (In
+//!   these tests client and daemon share a process, so their lines land
+//!   in one sink; the forest checks are identical to merging two files,
+//!   and the cross-process case is covered by `scripts/serve_smoke.sh`.)
+//! - Tracing is observation only: warm responses are byte-identical
+//!   with tracing on vs. off, even with `metrics`/`trace` ops
+//!   interleaved on the same connection.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use supermarq_obs::Span;
+use supermarq_serve::{Client, RunningServer, ServeConfig, Server};
+use supermarq_store::{Json, RunOutcome, RunSpec, Store, SweepGrid, TranspileSpec};
+
+/// Tracing state is process-global; serialize the tests that touch it.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    OBS_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "supermarq-serve-traceprop-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn temp_store(tag: &str) -> Store {
+    let dir = temp_path(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    Store::open(dir).unwrap()
+}
+
+fn start_server(tag: &str) -> RunningServer {
+    Server::bind(
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+        temp_store(tag),
+        Arc::new(|spec: &RunSpec| {
+            Ok(RunOutcome {
+                scores: vec![spec.seed as f64 / 10.0],
+                swap_count: spec.seed,
+                two_qubit_gates: spec.shots,
+            })
+        }),
+    )
+    .unwrap()
+}
+
+fn grid() -> SweepGrid {
+    SweepGrid {
+        benchmarks: vec![("ghz".into(), vec![("size".into(), "3".into())])],
+        devices: vec!["IonQ".into(), "AQT".into()],
+        shots: vec![64],
+        seeds: vec![1, 2],
+        repetitions: 2,
+        transpile: TranspileSpec::default(),
+        division: "closed".into(),
+    }
+}
+
+/// One parsed span line from the trace file.
+#[derive(Debug)]
+struct SpanLine {
+    name: String,
+    id: u64,
+    parent: u64,
+    remote_parent: u64,
+    trace: Option<String>,
+}
+
+/// Parses the JSONL sink output with the store's strict parser,
+/// keeping only span lines.
+fn parse_spans(raw: &str) -> Vec<SpanLine> {
+    raw.lines()
+        .filter(|line| !line.is_empty())
+        .map(|line| Json::parse(line).unwrap_or_else(|e| panic!("bad trace line {line:?}: {e}")))
+        .filter(|value| value.get("type").and_then(Json::as_str) == Some("span"))
+        .map(|value| SpanLine {
+            name: value
+                .get("name")
+                .and_then(Json::as_str)
+                .expect("span line has a name")
+                .to_string(),
+            id: value.get("id").and_then(Json::as_u64).expect("span id"),
+            parent: value.get("parent").and_then(Json::as_u64).unwrap_or(0),
+            remote_parent: value
+                .get("remote_parent")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+            trace: value
+                .get("trace")
+                .and_then(Json::as_str)
+                .map(str::to_string),
+        })
+        .collect()
+}
+
+/// Asserts the spans carrying `trace` form one tree rooted at a span
+/// named `root_name`: exactly one root, every edge (in-process parent
+/// or cross-process remote parent) resolves within the group, and
+/// every span reaches the root without cycles.
+fn assert_single_forest(spans: &[SpanLine], trace: &str, root_name: &str) {
+    let group: Vec<&SpanLine> = spans
+        .iter()
+        .filter(|s| s.trace.as_deref() == Some(trace))
+        .collect();
+    assert!(!group.is_empty(), "no spans recorded for trace {trace}");
+    let ids: HashSet<u64> = group.iter().map(|s| s.id).collect();
+    assert_eq!(ids.len(), group.len(), "duplicate span ids in {trace}");
+    let mut edges: HashMap<u64, u64> = HashMap::new();
+    let mut roots = Vec::new();
+    for span in &group {
+        // A span's upward edge is its in-process parent, or — for the
+        // first server-side span of a request — the client's span id.
+        let up = if span.parent != 0 {
+            span.parent
+        } else {
+            span.remote_parent
+        };
+        if up == 0 {
+            roots.push(*span);
+        } else {
+            assert!(
+                ids.contains(&up),
+                "span {} ({}) points at {} which is not in trace {trace}",
+                span.id,
+                span.name,
+                up
+            );
+            edges.insert(span.id, up);
+        }
+    }
+    assert_eq!(
+        roots.len(),
+        1,
+        "trace {trace} must have exactly one root, got {roots:?}"
+    );
+    assert_eq!(roots[0].name, root_name, "root must be the client span");
+    let root_id = roots[0].id;
+    for span in &group {
+        let mut at = span.id;
+        let mut hops = 0;
+        while at != root_id {
+            at = *edges.get(&at).expect("edge chain ends at the root");
+            hops += 1;
+            assert!(hops <= group.len(), "cycle in trace {trace}");
+        }
+    }
+}
+
+#[test]
+fn traced_run_and_batch_merge_into_one_forest_per_request() {
+    let _guard = lock();
+    let trace_file = temp_path("forest.jsonl");
+    supermarq_obs::init_trace_file(&trace_file).unwrap();
+
+    let server = start_server("forest");
+    let mut client = Client::connect(server.addr()).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let specs = grid().expand();
+
+    // Traced run: the client opens a root, forwards its context, and
+    // gets the timing echo back.
+    let run_trace = {
+        let root = Span::open_traced("client.run");
+        let ctx = root.ctx().expect("tracing is on");
+        let hex = root.trace_id().expect("root carries a trace").to_hex();
+        let (line, timing) = client.run_traced(&specs[0], Some(&ctx)).unwrap();
+        assert!(Json::parse(&line).is_ok(), "result line is strict JSON");
+        let timing = timing.expect("traced run echoes timing");
+        assert_eq!(timing.source, "executed");
+        assert!(timing.total_ns >= timing.queue_ns + timing.execute_ns || timing.total_ns > 0);
+        hex
+    };
+
+    // Traced batch on the same connection: a fresh root, a new trace.
+    let batch_trace = {
+        let root = Span::open_traced("client.batch");
+        let hex = root.trace_id().unwrap().to_hex();
+        let response = client.batch_traced(&grid(), root.ctx().as_ref()).unwrap();
+        assert_eq!(response.total as usize, specs.len());
+        hex
+    };
+    assert_ne!(run_trace, batch_trace, "each root starts its own trace");
+
+    server.shutdown();
+    supermarq_obs::flush();
+    supermarq_obs::disable();
+    supermarq_obs::reset_for_tests();
+
+    let raw = std::fs::read_to_string(&trace_file).unwrap();
+    let spans = parse_spans(&raw);
+    assert_single_forest(&spans, &run_trace, "client.run");
+    assert_single_forest(&spans, &batch_trace, "client.batch");
+
+    // The stitched chain exists: client.run <- serve.request (via
+    // remote_parent) <- serve.execute (via parent).
+    let request = spans
+        .iter()
+        .find(|s| s.name == "serve.request" && s.trace.as_deref() == Some(run_trace.as_str()))
+        .expect("daemon recorded a traced serve.request");
+    assert_ne!(request.remote_parent, 0, "request stitches to the client");
+    assert!(
+        spans.iter().any(|s| s.name == "serve.execute"
+            && s.trace.as_deref() == Some(run_trace.as_str())
+            && s.parent == request.id),
+        "serve.execute parents to the traced serve.request"
+    );
+}
+
+#[test]
+fn warm_responses_are_byte_identical_with_tracing_on() {
+    let _guard = lock();
+    supermarq_obs::disable();
+    supermarq_obs::reset_for_tests();
+
+    let server = start_server("byteid");
+    let mut client = Client::connect(server.addr()).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+
+    // Seed the store, then capture the warm responses with tracing off.
+    client.batch(&grid()).unwrap();
+    let warm_batch = client.batch(&grid()).unwrap();
+    assert_eq!(warm_batch.hits, warm_batch.total, "second pass is warm");
+    let warm_run = client.run(&grid().expand()[0]).unwrap();
+
+    // Tracing on, with telemetry ops interleaved on the same
+    // connection: the payload bytes must not move.
+    let trace_file = temp_path("byteid.jsonl");
+    supermarq_obs::init_trace_file(&trace_file).unwrap();
+    let root = Span::open_traced("client.batch");
+    let ctx = root.ctx();
+    client.metrics_json().unwrap();
+    let traced_batch = client.batch_traced(&grid(), ctx.as_ref()).unwrap();
+    client.metrics_prometheus().unwrap();
+    let (traced_run, timing) = client
+        .run_traced(&grid().expand()[0], ctx.as_ref())
+        .unwrap();
+    client.trace_recent(None, Some(16)).unwrap();
+    drop(root);
+    supermarq_obs::disable();
+    supermarq_obs::reset_for_tests();
+
+    assert_eq!(traced_batch.lines, warm_batch.lines, "batch bytes moved");
+    assert_eq!(traced_run, warm_run, "run bytes moved");
+    let timing = timing.expect("traced warm run echoes timing");
+    assert_eq!(timing.source, "warm");
+    assert_eq!(timing.queue_ns, 0);
+    assert_eq!(timing.execute_ns, 0);
+    server.shutdown();
+}

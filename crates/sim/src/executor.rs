@@ -125,8 +125,10 @@ impl Executor {
             .with("trajectories", needs_trajectories);
         counter!("sim.shots").add(shots as u64);
         // Batch spans close on pool worker threads, which have no
-        // thread-current span; parent them to sim.run explicitly.
+        // thread-current span; parent them to sim.run explicitly and
+        // hand over the active trace, if any.
         let parent = run_span.id();
+        let trace = supermarq_obs::current_trace();
         let batches = batch_ranges(shots);
         if !needs_trajectories {
             // Single pass: apply unitaries once (with 1q runs fused), then
@@ -138,7 +140,7 @@ impl Executor {
                     let partials: Vec<Counts> = batches
                         .into_par_iter()
                         .map(|batch| {
-                            let _span = Span::open_with_parent("sim.batch", parent)
+                            let _span = Span::open_with_link("sim.batch", parent, trace)
                                 .with("shots", batch.len());
                             let mut acc = Counts::new(n);
                             for shot in batch {
@@ -164,7 +166,7 @@ impl Executor {
         let partials: Vec<Counts> = batches
             .into_par_iter()
             .map(|batch| {
-                let _span = Span::open_with_parent("sim.batch", parent)
+                let _span = Span::open_with_link("sim.batch", parent, trace)
                     .with("shots", batch.len())
                     .with("trajectories", true);
                 let mut acc = Counts::new(n);

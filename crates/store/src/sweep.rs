@@ -380,8 +380,10 @@ impl<'a> SweepEngine<'a> {
         // land back in their input slot, so output order (and therefore
         // the JSONL byte stream) is deterministic at any thread count.
         // Job spans close on pool workers, so they carry an explicit
-        // parent id instead of relying on the thread-current chain.
+        // parent id (and trace, when one is active) instead of relying
+        // on the thread-current chain.
         let parent = run_span.id();
+        let trace = supermarq_obs::current_trace();
         let miss_indices: Vec<usize> = (0..specs.len()).filter(|&i| cached[i].is_none()).collect();
         // Each miss goes through `run_job`, the same path the serve
         // daemon's workers use. (A job may still resolve as a hit there
@@ -391,7 +393,7 @@ impl<'a> SweepEngine<'a> {
         let executed: Vec<(usize, SweepResult)> = miss_indices
             .par_iter()
             .map(|&i| {
-                let mut span = Span::open_with_parent("sweep.job", parent).with("index", i);
+                let mut span = Span::open_with_link("sweep.job", parent, trace).with("index", i);
                 let result = self.run_job(&specs[i], |spec| exec(spec));
                 span.record("ok", result.outcome.is_ok());
                 (i, result)

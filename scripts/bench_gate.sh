@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Latency regression gate for the serve daemon benchmarks.
+#
+# Diffs the serve_* latency groups of a candidate BENCH_sim.json (the
+# working-tree file by default, or $1) against the baseline committed
+# at HEAD, and warns when a group's p99 regressed by more than 2x.
+# Informational by default — power-of-two histogram buckets make small
+# shifts look like doublings, and CI machines are noisy — so the exit
+# code is 0 unless BENCH_GATE_STRICT=1 is set and a regression fired.
+#
+# usage: scripts/bench_gate.sh [candidate.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CANDIDATE=${1:-BENCH_sim.json}
+if [ ! -f "$CANDIDATE" ]; then
+    echo "bench_gate: candidate $CANDIDATE not found; nothing to gate"
+    exit 0
+fi
+if ! BASELINE=$(git show HEAD:BENCH_sim.json 2>/dev/null); then
+    echo "bench_gate: no committed BENCH_sim.json baseline; skipping"
+    exit 0
+fi
+
+# Extracts "group p50 p99" lines for every serve_* latency group from
+# JSON shaped like: "serve_warm_hit": { ..., "p50_ns": N, "p99_ns": M }
+serve_groups() {
+    grep -o '"serve_[a-z_]*" *: *{[^}]*}' \
+        | sed -n 's/.*"\(serve_[a-z_]*\)" *: *{.*"p50_ns" *: *\([0-9]*\).*"p99_ns" *: *\([0-9]*\).*/\1 \2 \3/p'
+}
+
+BASE_GROUPS=$(printf '%s\n' "$BASELINE" | serve_groups)
+if [ -z "$BASE_GROUPS" ]; then
+    echo "bench_gate: baseline has no serve_* latency groups; skipping"
+    exit 0
+fi
+
+REGRESSED=0
+while read -r GROUP BASE_P50 BASE_P99; do
+    [ -n "$GROUP" ] || continue
+    CAND=$(serve_groups <"$CANDIDATE" | awk -v g="$GROUP" '$1 == g { print $2, $3; exit }')
+    if [ -z "$CAND" ]; then
+        echo "bench_gate: $GROUP missing from $CANDIDATE (baseline p99=${BASE_P99}ns)"
+        continue
+    fi
+    CAND_P50=${CAND% *}
+    CAND_P99=${CAND#* }
+    if [ "$CAND_P99" -gt $((BASE_P99 * 2)) ]; then
+        echo "bench_gate: WARNING $GROUP p99 regressed >2x:" \
+             "${BASE_P99}ns -> ${CAND_P99}ns (p50 ${BASE_P50}ns -> ${CAND_P50}ns)"
+        REGRESSED=1
+    else
+        echo "bench_gate: $GROUP ok: p99 ${BASE_P99}ns -> ${CAND_P99}ns," \
+             "p50 ${BASE_P50}ns -> ${CAND_P50}ns"
+    fi
+done <<EOF
+$BASE_GROUPS
+EOF
+
+if [ "$REGRESSED" -ne 0 ] && [ "${BENCH_GATE_STRICT:-0}" = "1" ]; then
+    echo "bench_gate: failing (BENCH_GATE_STRICT=1)"
+    exit 1
+fi
+exit 0

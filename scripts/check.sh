@@ -34,4 +34,7 @@ bash scripts/lint_smoke.sh
 echo "==> serve smoke (daemon warm hits, kill -9 resume, graceful shutdown)"
 bash scripts/serve_smoke.sh
 
+echo "==> bench gate (serve latency groups vs committed baseline; informational)"
+bash scripts/bench_gate.sh
+
 echo "All checks passed."

@@ -2,12 +2,19 @@
 # End-to-end smoke test for the serve daemon:
 #   1. the same batch shipped twice to a daemon — the second pass must
 #      run zero simulations and be byte-identical;
-#   2. kill -9 the daemon mid-batch, restart it on the same store — the
+#   2. `metrics` scraped mid-batch in both formats: the Prometheus body
+#      must pass a line-grammar check and carry queue-depth gauges and
+#      windowed p50/p99 while work is in flight;
+#   3. kill -9 the daemon mid-batch, restart it on the same store — the
 #      store must verify clean and a re-request must be byte-identical,
 #      completed from warm hits plus re-simulation of the gap;
-#   3. `cache stats --format json` must emit the same store object the
+#   4. `cache stats --format json` must emit the same store object the
 #      daemon's `stats` response carries;
-#   4. graceful shutdown via `supermarq client shutdown`.
+#   5. graceful shutdown via `supermarq client shutdown`;
+#   6. cross-process tracing: a traced `client run` against a traced
+#      daemon must yield two JSONL files sharing one trace id, stitched
+#      via remote_parent. The merged file is copied to $SERVE_TRACE_OUT
+#      when set (CI uploads it as an artifact).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,10 +37,10 @@ ADDR_FILE="$WORK/addr.txt"
 GRID=(batch --benchmarks ghz,qaoa-swap --sizes 3,4 --devices IonQ,AQT
       --shots 2000 --seeds 1,2 --reps 2)
 
-start_daemon() {
+start_daemon() { # start_daemon [extra serve args...]
     rm -f "$ADDR_FILE"
     "$BIN" serve --addr 127.0.0.1:0 --store "$STORE" \
-        --addr-file "$ADDR_FILE" >"$WORK/serve.log" 2>&1 &
+        --addr-file "$ADDR_FILE" "$@" >"$WORK/serve.log" 2>&1 &
     DAEMON_PID=$!
     for _ in $(seq 1 300); do
         [ -s "$ADDR_FILE" ] && break
@@ -70,6 +77,42 @@ grep -q "misses=0" "$WORK/summary2.txt" || {
     echo "FAIL: warm pass simulated ($SIMS_BEFORE -> $SIMS_AFTER)"; exit 1; }
 cmp "$WORK/pass1.jsonl" "$WORK/pass2.jsonl" || {
     echo "FAIL: warm pass output differs from cold pass"; exit 1; }
+
+echo "==> metrics scrape mid-batch (both formats)"
+# A cold grid (fresh seeds) launched in the background so the scrape
+# observes genuinely in-flight work.
+SCRAPE_GRID=(batch --benchmarks qaoa-swap --sizes 4 --devices IonQ,AQT
+             --shots 2000 --seeds 7,8,9 --reps 2)
+"$BIN" client "${SCRAPE_GRID[@]}" --addr "$ADDR" >"$WORK/scrape.jsonl" 2>/dev/null &
+SCRAPE_PID=$!
+INFLIGHT=""
+for _ in $(seq 1 600); do
+    INFLIGHT=$("$BIN" client metrics --addr "$ADDR" \
+        | tr ',{' '\n\n' | sed -n 's/^"inflight"://p' | head -n 1)
+    [ -n "$INFLIGHT" ] && [ "$INFLIGHT" -gt 0 ] && break
+    sleep 0.05
+done
+[ -n "$INFLIGHT" ] && [ "$INFLIGHT" -gt 0 ] || {
+    echo "FAIL: batch never showed up as in-flight work"; exit 1; }
+"$BIN" client metrics --format prometheus --addr "$ADDR" >"$WORK/metrics.prom"
+"$BIN" client metrics --addr "$ADDR" >"$WORK/metrics.json"
+wait "$SCRAPE_PID"
+
+echo "==> Prometheus exposition passes the line grammar"
+BAD=$(grep -Ev '^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9]+(\.[0-9]+)?)$' \
+    "$WORK/metrics.prom" | grep -v '^$' || true)
+[ -z "$BAD" ] || { echo "FAIL: malformed exposition lines:"; echo "$BAD"; exit 1; }
+for METRIC in supermarq_serve_requests_total supermarq_serve_queue_depth \
+    supermarq_serve_inflight \
+    supermarq_serve_request_latency_window_p50_seconds \
+    supermarq_serve_request_latency_window_p99_seconds; do
+    grep -q "^$METRIC" "$WORK/metrics.prom" || {
+        echo "FAIL: exposition missing $METRIC"; exit 1; }
+done
+grep -q '"window"' "$WORK/metrics.json" || {
+    echo "FAIL: JSON metrics missing rolling-window digests"; exit 1; }
+"$BIN" client trace --limit 8 --addr "$ADDR" | grep -q '"type":"trace"' || {
+    echo "FAIL: trace op did not answer"; exit 1; }
 
 echo "==> kill -9 mid-batch (misses in flight)"
 rm -rf "$STORE"  # force a fully cold batch so the kill interrupts real work
@@ -113,5 +156,30 @@ wait "$DAEMON_PID" || true
 DAEMON_PID=""
 grep -q "serve: requests=" "$WORK/serve.log" || {
     echo "FAIL: daemon exited without printing its summary"; cat "$WORK/serve.log"; exit 1; }
+
+echo "==> cross-process trace propagation (client + daemon JSONL merge)"
+start_daemon --trace-out "$WORK/daemon_trace.jsonl"
+"$BIN" client run ghz --size 3 --device IonQ --shots 123 --reps 1 --seed 42 \
+    --trace-out "$WORK/client_trace.jsonl" --addr "$ADDR" \
+    >"$WORK/traced_run.json" 2>"$WORK/traced_run.err"
+grep -q "serve timing: source=" "$WORK/traced_run.err" || {
+    echo "FAIL: traced run printed no server timing echo"
+    cat "$WORK/traced_run.err"; exit 1; }
+TRACE_ID=$(grep -o '"trace":"[0-9a-f]\{32\}"' "$WORK/client_trace.jsonl" \
+    | head -n 1 | cut -d'"' -f4)
+[ -n "$TRACE_ID" ] || { echo "FAIL: client trace file carries no trace id"; exit 1; }
+"$BIN" client shutdown --addr "$ADDR"
+wait "$DAEMON_PID" || true
+DAEMON_PID=""
+grep -q "\"trace\":\"$TRACE_ID\"" "$WORK/daemon_trace.jsonl" || {
+    echo "FAIL: daemon spans do not continue the client's trace $TRACE_ID"; exit 1; }
+grep '"name":"serve.request"' "$WORK/daemon_trace.jsonl" \
+    | grep -q '"remote_parent":' || {
+    echo "FAIL: serve.request never stitched to the client's span"; exit 1; }
+cat "$WORK/client_trace.jsonl" "$WORK/daemon_trace.jsonl" >"$WORK/trace_merged.jsonl"
+if [ -n "${SERVE_TRACE_OUT:-}" ]; then
+    cp "$WORK/trace_merged.jsonl" "$SERVE_TRACE_OUT"
+    echo "merged trace written to $SERVE_TRACE_OUT"
+fi
 
 echo "Serve smoke test passed."
