@@ -12,7 +12,7 @@ use criterion::{criterion_group, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use supermarq::benchmarks::{GhzBenchmark, MerminBellBenchmark, QaoaVanillaBenchmark};
-use supermarq::Benchmark;
+use supermarq::CircuitFamily;
 use supermarq::FeatureVector;
 use supermarq_circuit::{Circuit, Gate};
 use supermarq_clifford::{diagonalize, StabilizerSimulator};

@@ -41,7 +41,7 @@ fn score_with(bench: &dyn Benchmark, device: &Device, noise: NoiseModel) -> f64 
         }
         counts.push(relabeled);
     }
-    bench.score(&counts)
+    bench.score(&counts).expect("scorable counts")
 }
 
 fn main() {

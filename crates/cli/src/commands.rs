@@ -4,14 +4,11 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use supermarq::benchmarks::{
-    BitCodeBenchmark, GhzBenchmark, HamiltonianSimBenchmark, MerminBellBenchmark,
-    PhaseCodeBenchmark, QaoaSwapBenchmark, QaoaVanillaBenchmark, VqeBenchmark,
-};
 use supermarq::coverage::coverage_of_features;
+use supermarq::registry::{BenchmarkEntry, BenchmarkRegistry, ParamKind, ParamSpec};
 use supermarq::runner::{run_on_device, run_on_device_open, RunConfig};
-use supermarq::spec::{default_init, execute_spec};
-use supermarq::{Benchmark, FeatureVector};
+use supermarq::spec::execute_spec;
+use supermarq::{Benchmark, CircuitFamily, FeatureVector, Mirror};
 use supermarq_circuit::Circuit;
 use supermarq_device::Device;
 use supermarq_serve::{signal, Client, Executor, ServeConfig, Server};
@@ -50,6 +47,8 @@ pub const USAGE: &str = "usage:
   supermarq lint <benchmark>|<file.qasm> [--device <name>] [--pipeline <name>]
                  [--format text|json] [--size N] [...]
   supermarq lint --list
+  supermarq bench list
+  supermarq bench mirror <benchmark> [--size N] [...] [--shots N] [--min X]
   supermarq coverage
   supermarq export --dir <path>
 
@@ -60,7 +59,9 @@ observability (any command):
   (traced `client run`/`client batch` forward the trace to the daemon,
   which continues it server-side and echoes per-request timing)
 
-benchmarks: ghz, mermin-bell, bit-code, phase-code, qaoa-vanilla, qaoa-swap, vqe, hamsim";
+benchmarks: ghz, mermin-bell, bit-code, phase-code, qaoa-vanilla, qaoa-swap,
+            vqe, hamsim, qft, bv, adder, grover — plus a '<id>-mirror'
+            variant of each (see `supermarq bench list`)";
 
 /// How a command failed: whether usage help would be useful.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -120,6 +121,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         Some("client") => cmd_client(&args),
         Some("cache") => cmd_cache(&args),
         Some("lint") => cmd_lint(&args),
+        Some("bench") => cmd_bench(&args),
         Some("coverage") => cmd_coverage(),
         Some(other) => Err(CliError::usage(format!("unknown command '{other}'"))),
         None => Err(CliError::usage("missing command")),
@@ -147,32 +149,80 @@ fn build_benchmark(args: &Args) -> Result<Box<dyn Benchmark>, CliError> {
     build_named_benchmark(name, args)
 }
 
-/// Builds a benchmark by name; `Err` is a usage error naming the unknown
-/// benchmark.
+/// Builds a benchmark by name through the registry (including `-mirror`
+/// variants); `Err` is a usage error naming the unknown benchmark.
+///
+/// Interactive commands are forgiving where the spec layer is strict:
+/// sizes clamp into the entry's declared range, counts clamp up to their
+/// minimum, and bitmask parameters truncate to the instance width.
 fn build_named_benchmark(name: &str, args: &Args) -> Result<Box<dyn Benchmark>, CliError> {
+    let registry = BenchmarkRegistry::builtin();
+    let resolved = registry
+        .resolve(name)
+        .ok_or_else(|| CliError::usage(format!("unknown benchmark '{name}'")))?;
+    let instance_seed: u64 = args.option_parse("seed", 1).map_err(CliError::Usage)?;
+    let size = clamped_size(resolved.entry, args)?;
+    let params = registry_params(resolved.entry, size, instance_seed, args)?;
+    registry
+        .build(name, &params)
+        .map_err(|e| CliError::usage(e.to_string()))
+}
+
+/// The `--size` argument clamped into the entry's declared range.
+fn clamped_size(entry: &BenchmarkEntry, args: &Args) -> Result<usize, CliError> {
     let size: usize = args.option_parse("size", 4).map_err(CliError::Usage)?;
-    let rounds: usize = args.option_parse("rounds", 2).map_err(CliError::Usage)?;
-    let seed: u64 = args.option_parse("seed", 1).map_err(CliError::Usage)?;
-    let steps: usize = args.option_parse("steps", 4).map_err(CliError::Usage)?;
-    let layers: usize = args.option_parse("layers", 1).map_err(CliError::Usage)?;
-    let bench: Box<dyn Benchmark> = match name {
-        "ghz" => Box::new(GhzBenchmark::new(size.max(2))),
-        "mermin-bell" => Box::new(MerminBellBenchmark::new(size.clamp(2, 16))),
-        "bit-code" => {
-            let init: Vec<bool> = (0..size.max(2)).map(|i| i % 2 == 0).collect();
-            Box::new(BitCodeBenchmark::new(size.max(2), rounds.max(1), &init))
+    for p in entry.schema() {
+        if let ParamKind::Size { min, max } = p.kind {
+            return Ok(size.clamp(min, max));
         }
-        "phase-code" => {
-            let init: Vec<bool> = (0..size.max(2)).map(|i| i % 2 == 0).collect();
-            Box::new(PhaseCodeBenchmark::new(size.max(2), rounds.max(1), &init))
-        }
-        "qaoa-vanilla" => Box::new(QaoaVanillaBenchmark::new(size.max(2), seed)),
-        "qaoa-swap" => Box::new(QaoaSwapBenchmark::new(size.max(2), seed)),
-        "vqe" => Box::new(VqeBenchmark::new(size.clamp(2, 12), layers.max(1))),
-        "hamsim" => Box::new(HamiltonianSimBenchmark::new(size.max(2), steps.max(1))),
-        other => return Err(CliError::usage(format!("unknown benchmark '{other}'"))),
+    }
+    Ok(size)
+}
+
+/// Materializes an entry's full parameter list from CLI options and the
+/// schema's declared defaults. Always complete (no omitted-but-defaulted
+/// parameters), so each logical run has exactly one content hash.
+fn registry_params(
+    entry: &BenchmarkEntry,
+    size: usize,
+    instance_seed: u64,
+    args: &Args,
+) -> Result<Vec<(String, String)>, CliError> {
+    let default_of = |p: &ParamSpec| -> String {
+        p.default.expect("non-size parameters declare defaults")(size, instance_seed)
     };
-    Ok(bench)
+    let mut params = Vec::with_capacity(entry.schema().len());
+    for p in entry.schema() {
+        let value = match p.kind {
+            ParamKind::Size { .. } => size.to_string(),
+            ParamKind::InitBits => args
+                .option(p.key)
+                .map(str::to_string)
+                .unwrap_or_else(|| default_of(p)),
+            ParamKind::Count { min } => {
+                let default: usize = default_of(p).parse().expect("numeric default");
+                args.option_parse(p.key, default)
+                    .map_err(CliError::Usage)?
+                    .max(min)
+                    .to_string()
+            }
+            // The instance seed comes from the caller (`--seed` for run,
+            // `--bench-seed` for batch), matching the legacy behavior.
+            ParamKind::Seed => instance_seed.to_string(),
+            ParamKind::BitMask => {
+                let default: u64 = default_of(p).parse().expect("numeric default");
+                let raw: u64 = args.option_parse(p.key, default).map_err(CliError::Usage)?;
+                let mask = if size >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << size) - 1
+                };
+                (raw & mask).to_string()
+            }
+        };
+        params.push((p.key.to_string(), value));
+    }
+    Ok(params)
 }
 
 fn cmd_devices() -> Result<String, CliError> {
@@ -314,41 +364,20 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
 }
 
 /// Canonical spec parameters for a benchmark kind, filling unspecified
-/// values with the same defaults `supermarq run` uses. Always fully
-/// materialized (no omitted-but-defaulted parameters), so each logical
-/// run has exactly one content hash.
+/// values with the same defaults `supermarq run` uses — resolved through
+/// the registry schema, so every registered benchmark (and its `-mirror`
+/// variant) sweeps and caches identically.
 fn bench_params(
     kind: &str,
     size: usize,
     instance_seed: u64,
     args: &Args,
 ) -> Result<Vec<(String, String)>, CliError> {
-    let mut params = vec![("size".to_string(), size.to_string())];
-    match kind {
-        "ghz" | "mermin-bell" => {}
-        "bit-code" | "phase-code" => {
-            let rounds: usize = args.option_parse("rounds", 2).map_err(CliError::Usage)?;
-            let init = args
-                .option("init")
-                .map(str::to_string)
-                .unwrap_or_else(|| default_init(size));
-            params.push(("rounds".into(), rounds.to_string()));
-            params.push(("init".into(), init));
-        }
-        "qaoa-vanilla" | "qaoa-swap" => {
-            params.push(("seed".into(), instance_seed.to_string()));
-        }
-        "vqe" => {
-            let layers: usize = args.option_parse("layers", 1).map_err(CliError::Usage)?;
-            params.push(("layers".into(), layers.to_string()));
-        }
-        "hamsim" => {
-            let steps: usize = args.option_parse("steps", 4).map_err(CliError::Usage)?;
-            params.push(("steps".into(), steps.to_string()));
-        }
-        other => return Err(CliError::usage(format!("unknown benchmark '{other}'"))),
-    }
-    Ok(params)
+    let registry = BenchmarkRegistry::builtin();
+    let resolved = registry
+        .resolve(kind)
+        .ok_or_else(|| CliError::usage(format!("unknown benchmark '{kind}'")))?;
+    registry_params(resolved.entry, size, instance_seed, args)
 }
 
 /// Builds the content-addressed spec for a single `run` invocation.
@@ -1093,6 +1122,113 @@ fn lint_json(results: &[(String, Report)], errors: usize, warnings: usize, lints
         debug_assert!(Json::parse(line).is_ok(), "invalid JSON line: {line}");
     }
     lines.join("\n")
+}
+
+/// `supermarq bench`: registry introspection (`list`) and the
+/// mirror-circuit self-check (`mirror`).
+fn cmd_bench(args: &Args) -> Result<String, CliError> {
+    match args.positional(1) {
+        Some("list") => cmd_bench_list(),
+        Some("mirror") => cmd_bench_mirror(args),
+        _ => Err(CliError::usage(
+            "usage: supermarq bench <list|mirror <benchmark>>",
+        )),
+    }
+}
+
+/// One-token rendering of a declared parameter for `bench list`.
+fn describe_param(p: &ParamSpec) -> String {
+    match p.kind {
+        ParamKind::Size { min, max } => {
+            if max == usize::MAX {
+                format!("size={min}..")
+            } else {
+                format!("size={min}..{max}")
+            }
+        }
+        ParamKind::Count { min } => format!("{}>={min}", p.key),
+        ParamKind::Seed => p.key.to_string(),
+        ParamKind::InitBits => format!("{}=0/1 string", p.key),
+        ParamKind::BitMask => format!("{}<2^size", p.key),
+    }
+}
+
+fn cmd_bench_list() -> Result<String, CliError> {
+    let registry = BenchmarkRegistry::builtin();
+    let mut out = format!(
+        "{:<13} {:<34} summary
+",
+        "id", "parameters"
+    );
+    for e in registry.entries() {
+        let params: Vec<String> = e.schema().iter().map(describe_param).collect();
+        out.push_str(&format!(
+            "{:<13} {:<34} {}
+",
+            e.id(),
+            params.join(" "),
+            e.summary()
+        ));
+    }
+    out.push_str(concat!(
+        "\nEvery benchmark also registers a '<id>-mirror' variant taking the\n",
+        "same parameters: run the circuit's measurement-free prefix, append\n",
+        "its inverse, and score P(all zeros). Clifford mirrors verify at any\n",
+        "width through the CHP tableau executor.\n",
+    ));
+    Ok(out)
+}
+
+/// `supermarq bench mirror <benchmark>`: score the benchmark's mirror
+/// variant noiselessly, printing which executor path (CHP tableau vs
+/// statevector) scored it. `--min X` turns the command into a check that
+/// fails when the score drops below `X` (the CI smoke hook).
+fn cmd_bench_mirror(args: &Args) -> Result<String, CliError> {
+    let name = args
+        .positional(2)
+        .ok_or_else(|| CliError::usage("missing benchmark name"))?;
+    let base_id = name.strip_suffix("-mirror").unwrap_or(name);
+    let base = build_named_benchmark(base_id, args)?;
+    let mirror = Mirror::new(base);
+    let shots: usize = args
+        .option_parse("shots", 1000usize)
+        .map_err(CliError::Usage)?;
+    let seed: u64 = args.option_parse("seed", 1u64).map_err(CliError::Usage)?;
+    let started = Instant::now();
+    let (score, path) = mirror
+        .score_noiseless(shots, seed)
+        .map_err(|e| CliError::failure(e.to_string()))?;
+    let elapsed = started.elapsed();
+    let mut out = format!(
+        "benchmark: {}
+qubits: {}
+path: {}
+shots: {}
+score: {:.4}
+elapsed: {elapsed:.1?}
+",
+        mirror.name(),
+        mirror.num_qubits(),
+        path,
+        shots,
+        score,
+    );
+    if let Some(raw) = args.option("min") {
+        let min: f64 = raw
+            .parse()
+            .map_err(|_| CliError::usage(format!("invalid --min '{raw}'")))?;
+        if score < min {
+            return Err(CliError::failure(format!(
+                "{} scored {score:.4}, below the required minimum {min}",
+                mirror.name()
+            )));
+        }
+        out.push_str(&format!(
+            "minimum {min} satisfied
+"
+        ));
+    }
+    Ok(out)
 }
 
 fn cmd_coverage() -> Result<String, CliError> {

@@ -72,17 +72,64 @@ impl StabilizerExecutor {
         );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut counts = Counts::new(circuit.num_qubits());
+        let mut classical = vec![false; circuit.num_qubits()];
         for _ in 0..shots {
-            counts.record(self.run_trajectory(circuit, &mut rng));
+            classical.fill(false);
+            self.run_trajectory(circuit, &mut rng, &mut classical);
+            let mut bits = 0u64;
+            for (q, &b) in classical.iter().enumerate() {
+                if b {
+                    bits |= 1 << q;
+                }
+            }
+            counts.record(bits);
         }
         counts
     }
 
-    /// One noisy tableau trajectory; returns the classical register.
-    fn run_trajectory(&self, circuit: &Circuit, rng: &mut StdRng) -> u64 {
+    /// Fraction of `shots` trajectories whose final classical register
+    /// equals `expected` (one bool per program qubit; unmeasured qubits
+    /// read `false`).
+    ///
+    /// Unlike [`StabilizerExecutor::run`] this builds no histogram, so
+    /// there is **no 64-qubit cap**: it is the mirror-benchmark scoring
+    /// path at 100+ qubits, polynomial in width like the tableau itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `expected.len() != circuit.num_qubits()`, `shots == 0`,
+    /// or the circuit contains non-Clifford gates.
+    pub fn success_fraction(
+        &self,
+        circuit: &Circuit,
+        expected: &[bool],
+        shots: usize,
+        seed: u64,
+    ) -> f64 {
+        assert_eq!(
+            expected.len(),
+            circuit.num_qubits(),
+            "expected bitstring length mismatch"
+        );
+        assert!(shots > 0, "need at least one shot");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut classical = vec![false; circuit.num_qubits()];
+        let mut hits = 0usize;
+        for _ in 0..shots {
+            classical.fill(false);
+            self.run_trajectory(circuit, &mut rng, &mut classical);
+            if classical == expected {
+                hits += 1;
+            }
+        }
+        hits as f64 / shots as f64
+    }
+
+    /// One noisy tableau trajectory, writing measured bits into
+    /// `classical` (indexed by program qubit).
+    fn run_trajectory(&self, circuit: &Circuit, rng: &mut StdRng, classical: &mut [bool]) {
         let n = circuit.num_qubits();
         let mut sim = StabilizerSimulator::new(n);
-        let mut classical = 0u64;
         let layers = CircuitLayers::of(circuit);
         let instrs = circuit.instructions();
         let track_relaxation = self.noise.t1.is_finite() || self.noise.t2.is_finite();
@@ -124,11 +171,7 @@ impl StabilizerExecutor {
                         } else {
                             bit
                         };
-                        if recorded {
-                            classical |= 1 << q;
-                        } else {
-                            classical &= !(1 << q);
-                        }
+                        classical[q] = recorded;
                     }
                     Gate::Reset => {
                         let q = instr.qubits[0];
@@ -172,7 +215,6 @@ impl StabilizerExecutor {
                 }
             }
         }
-        classical
     }
 
     /// With probability `p`, applies a uniformly random non-identity Pauli
@@ -373,5 +415,35 @@ mod tests {
         let mut c = Circuit::new(1);
         c.t(0);
         StabilizerExecutor::new(NoiseModel::ideal()).run(&c, 1, 1);
+    }
+
+    #[test]
+    fn success_fraction_has_no_qubit_cap() {
+        // 100 qubits: beyond the histogram's u64 keys, fine here.
+        let n = 100;
+        let mut c = Circuit::new(n);
+        for q in 0..n {
+            c.x(q);
+        }
+        c.measure_all();
+        let expected = vec![true; n];
+        let exec = StabilizerExecutor::new(NoiseModel::ideal());
+        assert_eq!(exec.success_fraction(&c, &expected, 50, 3), 1.0);
+        assert_eq!(exec.success_fraction(&c, &vec![false; n], 50, 3), 0.0);
+    }
+
+    #[test]
+    fn success_fraction_matches_histogram_probability() {
+        let c = ghz(5);
+        let noise = NoiseModel::uniform_depolarizing(0.02);
+        let exec = StabilizerExecutor::new(noise);
+        let counts = exec.run(&c, 4000, 21);
+        let frac = exec.success_fraction(&c, &[false; 5], 4000, 21);
+        // Identical seed and trajectory stream: exact agreement.
+        assert!(
+            (frac - counts.probability(0)).abs() < 1e-12,
+            "frac={frac} hist={}",
+            counts.probability(0)
+        );
     }
 }

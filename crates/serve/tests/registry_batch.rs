@@ -1,0 +1,115 @@
+//! Registry integration: batch grids naming corpus benchmarks (qft, bv,
+//! adder, grover) and `-mirror` variants expand to the same specs — and
+//! the same content hashes — on the client and on the daemon, and every
+//! cell executes through the registry-backed pipeline.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use supermarq::spec::execute_spec;
+use supermarq_serve::{Client, ServeConfig, Server};
+use supermarq_store::{RunSpec, Store, SweepGrid, TranspileSpec};
+
+fn temp_store(tag: &str) -> Store {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "supermarq-serve-registry-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    Store::open(dir).unwrap()
+}
+
+/// A grid mixing legacy ids, promoted corpus ids, and mirror variants —
+/// exactly what a post-registry client is allowed to request.
+fn corpus_and_mirror_grid() -> SweepGrid {
+    SweepGrid {
+        benchmarks: vec![
+            ("ghz".into(), vec![("size".into(), "3".into())]),
+            ("qft".into(), vec![("size".into(), "3".into())]),
+            (
+                "bv".into(),
+                vec![("secret".into(), "5".into()), ("size".into(), "3".into())],
+            ),
+            (
+                "adder".into(),
+                vec![
+                    ("a".into(), "1".into()),
+                    ("b".into(), "2".into()),
+                    ("size".into(), "2".into()),
+                ],
+            ),
+            (
+                "grover".into(),
+                vec![("marked".into(), "1".into()), ("size".into(), "2".into())],
+            ),
+            ("ghz-mirror".into(), vec![("size".into(), "3".into())]),
+            ("qft-mirror".into(), vec![("size".into(), "3".into())]),
+        ],
+        devices: vec!["IonQ".into()],
+        shots: vec![100],
+        seeds: vec![7],
+        repetitions: 1,
+        transpile: TranspileSpec::default(),
+        division: "closed".into(),
+    }
+}
+
+#[test]
+fn corpus_and_mirror_grids_expand_identically_on_client_and_server() {
+    let grid = corpus_and_mirror_grid();
+    let client_specs = grid.expand();
+    assert_eq!(client_specs.len(), 7);
+
+    // Mirror ids hash differently from their base benchmarks even with
+    // identical params — they are distinct cache keys, not aliases.
+    let ghz = client_specs.iter().find(|s| s.benchmark == "ghz").unwrap();
+    let ghz_mirror = client_specs
+        .iter()
+        .find(|s| s.benchmark == "ghz-mirror")
+        .unwrap();
+    assert_ne!(ghz.content_hash(), ghz_mirror.content_hash());
+
+    let server = Server::bind(
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 32,
+            ..ServeConfig::default()
+        },
+        temp_store("daemon"),
+        Arc::new(|spec: &RunSpec| execute_spec(spec).map_err(|e| e.to_string())),
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+
+    // The daemon expands the grid itself; every cell must execute.
+    let batch = client.batch(&grid).unwrap();
+    assert_eq!(batch.total, client_specs.len() as u64);
+    assert_eq!(batch.failures, 0, "lines: {:?}", batch.lines);
+    assert_eq!(batch.lines.len(), client_specs.len());
+
+    // Server-side expansion produced the same specs in the same order:
+    // each returned line embeds the content hash of the client's own
+    // expansion of that cell.
+    for (spec, line) in client_specs.iter().zip(&batch.lines) {
+        assert!(
+            line.contains(&spec.content_hash()),
+            "cell for '{}' did not match client-side hash {}: {line}",
+            spec.benchmark,
+            spec.content_hash()
+        );
+    }
+
+    // And an individual warm `run` for each client-expanded spec is
+    // byte-identical to the batch cell — same key, same record.
+    for (spec, line) in client_specs.iter().zip(&batch.lines) {
+        assert_eq!(&client.run(spec).unwrap(), line, "{}", spec.benchmark);
+    }
+
+    server.shutdown();
+}

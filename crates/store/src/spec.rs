@@ -283,6 +283,38 @@ mod tests {
     }
 
     #[test]
+    fn corpus_and_mirror_specs_encode_canonically() {
+        // The benchmark registry's corpus ids and `-mirror` variants
+        // reuse the frozen schema=2 encoding: the mirror suffix lives in
+        // the benchmark field, never in the params, so every
+        // pre-existing key is untouched and no schema bump is needed.
+        let qft = RunSpec::new("qft", vec![("size".into(), "8".into())], "IonQ", 1000, 3, 7);
+        assert_eq!(
+            qft.canonical_string(),
+            "schema=2\nbenchmark=qft\nparam.size=8\ndevice=IonQ\nplacement=greedy\npipeline=closed-default\nshots=1000\nrepetitions=3\nseed=7\ndivision=closed\n"
+        );
+        let mirror = RunSpec::new(
+            "ghz-mirror",
+            vec![("size".into(), "4".into())],
+            "IBM-Montreal",
+            2000,
+            3,
+            1,
+        );
+        assert_eq!(
+            mirror.canonical_string(),
+            "schema=2\nbenchmark=ghz-mirror\nparam.size=4\ndevice=IBM-Montreal\nplacement=greedy\npipeline=closed-default\nshots=2000\nrepetitions=3\nseed=1\ndivision=closed\n"
+        );
+        // Same params as the base ghz spec, different id — a distinct
+        // cache cell, not a collision.
+        assert_ne!(mirror.content_hash(), spec().content_hash());
+        assert_eq!(
+            SCHEMA_VERSION, 2,
+            "registry refactor must not bump the schema"
+        );
+    }
+
+    #[test]
     fn param_order_does_not_affect_hash() {
         let a = RunSpec::new(
             "bit-code",

@@ -4,7 +4,7 @@ use supermarq::benchmarks::{
     BitCodeBenchmark, GhzBenchmark, HamiltonianSimBenchmark, MerminBellBenchmark,
     PhaseCodeBenchmark, QaoaSwapBenchmark, QaoaVanillaBenchmark, VqeBenchmark,
 };
-use supermarq::Benchmark;
+use supermarq::{Benchmark, CircuitFamily};
 use supermarq_circuit::Circuit;
 
 use crate::circuits::{

@@ -1,27 +1,57 @@
 //! The scalable benchmark abstraction.
+//!
+//! A benchmark is the product of two independent halves:
+//!
+//! * a [`CircuitFamily`] — the parameterized circuit generator ("what to
+//!   run"), and
+//! * a [`ScoringStrategy`] — the grading function over measurement
+//!   histograms ("how to judge the output").
+//!
+//! The combined [`Benchmark`] trait is implemented automatically (blanket
+//! impl) for any type providing both halves, so a concrete benchmark is
+//! still a single parameter struct; the split exists so wrappers like
+//! [`Mirror`](crate::mirror::Mirror) can reuse a family
+//! while swapping in a different scoring rule, and so the
+//! [`BenchmarkRegistry`](crate::registry::BenchmarkRegistry) can describe
+//! families independently of how they are scored.
 
 use supermarq_circuit::Circuit;
 use supermarq_sim::Counts;
 
 use crate::features::FeatureVector;
 
-/// A SupermarQ benchmark: a parameterized circuit generator plus an
-/// application-level score function that can be evaluated *without*
-/// exponential-cost classical simulation (paper principle 1, Scalability).
-///
-/// A benchmark may comprise several circuits (the VQE benchmark measures
-/// its Hamiltonian in two bases); [`Benchmark::score`] receives one
-/// [`Counts`] histogram per generated circuit, in the same order, with bits
-/// already relabeled to program-qubit order.
-///
-/// Scores lie in `[0, 1]`, higher is better, and a perfect noiseless
-/// execution scores (approximately) 1.
-///
-/// `Send + Sync` is a supertrait so the evaluation harness can fan
-/// (benchmark × device × repetition) jobs out across the rayon pool;
-/// benchmarks are plain parameter structs, so every implementation
-/// satisfies it for free.
-pub trait Benchmark: Send + Sync {
+/// Error produced when measurement data cannot be scored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScoreError {
+    /// `score` received a different number of histograms than the
+    /// benchmark generates circuits.
+    CountsMismatch {
+        /// Number of circuits the benchmark generates.
+        expected: usize,
+        /// Number of histograms actually supplied.
+        got: usize,
+    },
+    /// The raw score evaluated to NaN (e.g. a degenerate normalization
+    /// such as an all-zero ideal energy).
+    NotFinite,
+}
+
+impl std::fmt::Display for ScoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScoreError::CountsMismatch { expected, got } => {
+                write!(f, "expected {expected} measurement histogram(s), got {got}")
+            }
+            ScoreError::NotFinite => write!(f, "score evaluated to NaN"),
+        }
+    }
+}
+
+impl std::error::Error for ScoreError {}
+
+/// The circuit-generator half of a benchmark: a parameterized family of
+/// circuits at a fixed width.
+pub trait CircuitFamily: Send + Sync {
     /// Display name, e.g. `"GHZ-5"`.
     fn name(&self) -> String;
 
@@ -30,30 +60,94 @@ pub trait Benchmark: Send + Sync {
 
     /// Generates the benchmark circuit(s).
     fn circuits(&self) -> Vec<Circuit>;
+}
 
+/// The grading half of a benchmark: maps per-circuit measurement
+/// histograms to a score in `[0, 1]`.
+pub trait ScoringStrategy: Send + Sync {
     /// Computes the benchmark score from per-circuit measurement counts.
     ///
-    /// # Panics
-    ///
-    /// Implementations may panic if `counts.len()` does not match the
-    /// number of generated circuits.
-    fn score(&self, counts: &[Counts]) -> f64;
+    /// `counts` holds one [`Counts`] histogram per generated circuit, in
+    /// the same order, with bits already relabeled to program-qubit
+    /// order. Returns [`ScoreError::CountsMismatch`] when the lengths
+    /// disagree and [`ScoreError::NotFinite`] when the raw score is NaN.
+    fn score(&self, counts: &[Counts]) -> Result<f64, ScoreError>;
+}
 
-    /// The application feature vector (computed from the first circuit by
-    /// default).
+/// A SupermarQ benchmark: a parameterized circuit generator plus an
+/// application-level score function that can be evaluated *without*
+/// exponential-cost classical simulation (paper principle 1, Scalability).
+///
+/// A benchmark may comprise several circuits (the VQE benchmark measures
+/// its Hamiltonian in two bases); [`ScoringStrategy::score`] receives one
+/// [`Counts`] histogram per generated circuit, in the same order, with bits
+/// already relabeled to program-qubit order.
+///
+/// Scores lie in `[0, 1]`, higher is better, and a perfect noiseless
+/// execution scores (approximately) 1.
+///
+/// `Send + Sync` is a supertrait (via both halves) so the evaluation
+/// harness can fan (benchmark × device × repetition) jobs out across the
+/// rayon pool; benchmarks are plain parameter structs, so every
+/// implementation satisfies it for free.
+///
+/// Implemented automatically for every `CircuitFamily + ScoringStrategy`.
+pub trait Benchmark: CircuitFamily + ScoringStrategy {
+    /// The application feature vector: the component-wise mean of the
+    /// feature vectors of every generated circuit, so multi-circuit
+    /// benchmarks (VQE's two measurement bases) are described by all of
+    /// their circuits rather than just the first.
     fn features(&self) -> FeatureVector {
         let circuits = self.circuits();
-        FeatureVector::of(
-            circuits
-                .first()
-                .expect("benchmark generates at least one circuit"),
-        )
+        let vectors: Vec<FeatureVector> = circuits.iter().map(FeatureVector::of).collect();
+        FeatureVector::mean(&vectors).expect("benchmark generates at least one circuit")
+    }
+}
+
+impl<T: CircuitFamily + ScoringStrategy + ?Sized> Benchmark for T {}
+
+impl CircuitFamily for Box<dyn Benchmark> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn num_qubits(&self) -> usize {
+        (**self).num_qubits()
+    }
+    fn circuits(&self) -> Vec<Circuit> {
+        (**self).circuits()
+    }
+}
+
+impl ScoringStrategy for Box<dyn Benchmark> {
+    fn score(&self, counts: &[Counts]) -> Result<f64, ScoreError> {
+        (**self).score(counts)
     }
 }
 
 /// Clamps a raw score into the `[0, 1]` reporting range.
-pub(crate) fn clamp_score(raw: f64) -> f64 {
-    raw.clamp(0.0, 1.0)
+///
+/// NaN (from degenerate normalizations) is reported as
+/// [`ScoreError::NotFinite`] rather than silently propagated into
+/// reports; infinities clamp to the nearest bound.
+pub(crate) fn clamp_score(raw: f64) -> Result<f64, ScoreError> {
+    if raw.is_nan() {
+        Err(ScoreError::NotFinite)
+    } else {
+        Ok(raw.clamp(0.0, 1.0))
+    }
+}
+
+/// Checks that the number of supplied histograms matches the number of
+/// circuits the benchmark generates.
+pub(crate) fn expect_counts(counts: &[Counts], expected: usize) -> Result<(), ScoreError> {
+    if counts.len() == expected {
+        Ok(())
+    } else {
+        Err(ScoreError::CountsMismatch {
+            expected,
+            got: counts.len(),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -62,7 +156,7 @@ mod tests {
 
     struct Dummy;
 
-    impl Benchmark for Dummy {
+    impl CircuitFamily for Dummy {
         fn name(&self) -> String {
             "dummy".into()
         }
@@ -74,22 +168,83 @@ mod tests {
             c.h(0).measure(0);
             vec![c]
         }
-        fn score(&self, counts: &[Counts]) -> f64 {
+    }
+
+    impl ScoringStrategy for Dummy {
+        fn score(&self, counts: &[Counts]) -> Result<f64, ScoreError> {
+            expect_counts(counts, 1)?;
             clamp_score(counts[0].probability(0))
         }
     }
 
+    /// Two circuits with very different entanglement ratios: features()
+    /// must average them, not silently use the first.
+    struct TwoFaced;
+
+    impl CircuitFamily for TwoFaced {
+        fn name(&self) -> String {
+            "two-faced".into()
+        }
+        fn num_qubits(&self) -> usize {
+            2
+        }
+        fn circuits(&self) -> Vec<Circuit> {
+            let mut only_1q = Circuit::new(2);
+            only_1q.h(0).h(1);
+            let mut only_2q = Circuit::new(2);
+            only_2q.cx(0, 1).cz(0, 1);
+            vec![only_1q, only_2q]
+        }
+    }
+
+    impl ScoringStrategy for TwoFaced {
+        fn score(&self, counts: &[Counts]) -> Result<f64, ScoreError> {
+            expect_counts(counts, 2)?;
+            Ok(1.0)
+        }
+    }
+
     #[test]
-    fn default_features_use_first_circuit() {
+    fn default_features_average_all_circuits() {
+        let b = TwoFaced;
+        // First circuit: ratio 0. Second: ratio 1. The mean is 1/2 —
+        // using only the first circuit would report 0.
+        let f = b.features();
+        assert!((f.entanglement_ratio - 0.5).abs() < 1e-12, "{f}");
+    }
+
+    #[test]
+    fn single_circuit_features_match_direct_computation() {
         let d = Dummy;
         let f = d.features();
+        assert_eq!(f, FeatureVector::of(&d.circuits()[0]));
         assert_eq!(f.entanglement_ratio, 0.0);
     }
 
     #[test]
     fn clamp_bounds() {
-        assert_eq!(clamp_score(1.7), 1.0);
-        assert_eq!(clamp_score(-0.2), 0.0);
-        assert_eq!(clamp_score(0.4), 0.4);
+        assert_eq!(clamp_score(1.7), Ok(1.0));
+        assert_eq!(clamp_score(-0.2), Ok(0.0));
+        assert_eq!(clamp_score(0.4), Ok(0.4));
+        assert_eq!(clamp_score(f64::INFINITY), Ok(1.0));
+    }
+
+    #[test]
+    fn clamp_rejects_nan() {
+        assert_eq!(clamp_score(f64::NAN), Err(ScoreError::NotFinite));
+    }
+
+    #[test]
+    fn mismatched_counts_error_is_descriptive() {
+        let d = Dummy;
+        let err = d.score(&[]).unwrap_err();
+        assert_eq!(
+            err,
+            ScoreError::CountsMismatch {
+                expected: 1,
+                got: 0
+            }
+        );
+        assert!(err.to_string().contains("expected 1"), "{err}");
     }
 }

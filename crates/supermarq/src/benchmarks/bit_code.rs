@@ -6,7 +6,7 @@ use supermarq_circuit::Circuit;
 use supermarq_classical::stats::hellinger_fidelity_maps;
 use supermarq_sim::Counts;
 
-use crate::benchmark::{clamp_score, Benchmark};
+use crate::benchmark::{clamp_score, expect_counts, CircuitFamily, ScoreError, ScoringStrategy};
 
 /// A bit-flip repetition code proxy: `d` data qubits interleaved with
 /// `d - 1` syndrome ancillas, running `r` rounds of parity extraction with
@@ -21,12 +21,12 @@ use crate::benchmark::{clamp_score, Benchmark};
 ///
 /// ```
 /// use supermarq::benchmarks::BitCodeBenchmark;
-/// use supermarq::Benchmark;
+/// use supermarq::{CircuitFamily, ScoringStrategy};
 /// use supermarq_sim::Executor;
 ///
 /// let b = BitCodeBenchmark::new(3, 1, &[true, false, true]);
 /// let counts = Executor::noiseless().run(&b.circuits()[0], 500, 1);
-/// assert!(b.score(&[counts]) > 0.999);
+/// assert!(b.score(&[counts]).unwrap() > 0.999);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BitCodeBenchmark {
@@ -78,7 +78,7 @@ impl BitCodeBenchmark {
     }
 }
 
-impl Benchmark for BitCodeBenchmark {
+impl CircuitFamily for BitCodeBenchmark {
     fn name(&self) -> String {
         format!("BitCode-{}d{}r", self.data_qubits, self.rounds)
     }
@@ -113,9 +113,11 @@ impl Benchmark for BitCodeBenchmark {
         c.measure_all();
         vec![c]
     }
+}
 
-    fn score(&self, counts: &[Counts]) -> f64 {
-        assert_eq!(counts.len(), 1, "bit code expects one histogram");
+impl ScoringStrategy for BitCodeBenchmark {
+    fn score(&self, counts: &[Counts]) -> Result<f64, ScoreError> {
+        expect_counts(counts, 1)?;
         let ideal = BTreeMap::from([(self.ideal_outcome(), 1.0)]);
         clamp_score(hellinger_fidelity_maps(
             &counts[0].to_probabilities(),
@@ -135,7 +137,7 @@ mod tests {
             let initial: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
             let b = BitCodeBenchmark::new(3, 2, &initial);
             let counts = Executor::noiseless().run(&b.circuits()[0], 300, 11);
-            let s = b.score(&[counts]);
+            let s = b.score(&[counts]).unwrap();
             assert!(s > 0.999, "initial={initial:?} score={s}");
         }
     }
@@ -167,10 +169,12 @@ mod tests {
         let initial = [true, true, true];
         let one_round = BitCodeBenchmark::new(3, 1, &initial);
         let four_rounds = BitCodeBenchmark::new(3, 4, &initial);
-        let s1 =
-            one_round.score(&[Executor::new(noise.clone()).run(&one_round.circuits()[0], 2000, 3)]);
-        let s4 =
-            four_rounds.score(&[Executor::new(noise).run(&four_rounds.circuits()[0], 2000, 3)]);
+        let s1 = one_round
+            .score(&[Executor::new(noise.clone()).run(&one_round.circuits()[0], 2000, 3)])
+            .unwrap();
+        let s4 = four_rounds
+            .score(&[Executor::new(noise).run(&four_rounds.circuits()[0], 2000, 3)])
+            .unwrap();
         assert!(s1 > s4, "1 round {s1} vs 4 rounds {s4}");
     }
 
@@ -189,8 +193,10 @@ mod tests {
         ion.t1 = 1e7;
         ion.durations.measurement = 100.0;
         ion.durations.reset = 100.0;
-        let s_sc = b.score(&[Executor::new(sc).run(circuit, 2000, 9)]);
-        let s_ion = b.score(&[Executor::new(ion).run(circuit, 2000, 9)]);
+        let s_sc = b.score(&[Executor::new(sc).run(circuit, 2000, 9)]).unwrap();
+        let s_ion = b
+            .score(&[Executor::new(ion).run(circuit, 2000, 9)])
+            .unwrap();
         assert!(s_ion > s_sc, "ion {s_ion} vs sc {s_sc}");
         assert!(s_ion > 0.99);
     }

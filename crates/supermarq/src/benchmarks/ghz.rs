@@ -6,7 +6,7 @@ use supermarq_circuit::Circuit;
 use supermarq_classical::stats::hellinger_fidelity_maps;
 use supermarq_sim::Counts;
 
-use crate::benchmark::{clamp_score, Benchmark};
+use crate::benchmark::{clamp_score, expect_counts, CircuitFamily, ScoreError, ScoringStrategy};
 
 /// Prepares the `n`-qubit GHZ state with a Hadamard plus a CNOT ladder and
 /// scores the Hellinger fidelity against the ideal 50/50 distribution over
@@ -16,12 +16,12 @@ use crate::benchmark::{clamp_score, Benchmark};
 ///
 /// ```
 /// use supermarq::benchmarks::GhzBenchmark;
-/// use supermarq::Benchmark;
+/// use supermarq::{CircuitFamily, ScoringStrategy};
 /// use supermarq_sim::Executor;
 ///
 /// let b = GhzBenchmark::new(4);
 /// let counts = Executor::noiseless().run(&b.circuits()[0], 2000, 1);
-/// assert!(b.score(&[counts]) > 0.99);
+/// assert!(b.score(&[counts]).unwrap() > 0.99);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GhzBenchmark {
@@ -45,7 +45,7 @@ impl GhzBenchmark {
     }
 }
 
-impl Benchmark for GhzBenchmark {
+impl CircuitFamily for GhzBenchmark {
     fn name(&self) -> String {
         format!("GHZ-{}", self.n)
     }
@@ -63,9 +63,11 @@ impl Benchmark for GhzBenchmark {
         c.measure_all();
         vec![c]
     }
+}
 
-    fn score(&self, counts: &[Counts]) -> f64 {
-        assert_eq!(counts.len(), 1, "GHZ expects one histogram");
+impl ScoringStrategy for GhzBenchmark {
+    fn score(&self, counts: &[Counts]) -> Result<f64, ScoreError> {
+        expect_counts(counts, 1)?;
         let measured = counts[0].to_probabilities();
         clamp_score(hellinger_fidelity_maps(
             &measured,
@@ -84,7 +86,7 @@ mod tests {
         for n in 2..=6 {
             let b = GhzBenchmark::new(n);
             let counts = Executor::noiseless().run(&b.circuits()[0], 4000, 3);
-            let s = b.score(&[counts]);
+            let s = b.score(&[counts]).unwrap();
             assert!(s > 0.995, "n={n} score={s}");
         }
     }
@@ -93,11 +95,15 @@ mod tests {
     fn noise_decreases_score() {
         let b = GhzBenchmark::new(4);
         let circuit = &b.circuits()[0];
-        let clean = b.score(&[Executor::noiseless().run(circuit, 4000, 7)]);
-        let mild =
-            b.score(&[Executor::new(NoiseModel::uniform_depolarizing(0.02)).run(circuit, 4000, 7)]);
-        let heavy =
-            b.score(&[Executor::new(NoiseModel::uniform_depolarizing(0.15)).run(circuit, 4000, 7)]);
+        let clean = b
+            .score(&[Executor::noiseless().run(circuit, 4000, 7)])
+            .unwrap();
+        let mild = b
+            .score(&[Executor::new(NoiseModel::uniform_depolarizing(0.02)).run(circuit, 4000, 7)])
+            .unwrap();
+        let heavy = b
+            .score(&[Executor::new(NoiseModel::uniform_depolarizing(0.15)).run(circuit, 4000, 7)])
+            .unwrap();
         assert!(clean > mild, "clean={clean} mild={mild}");
         assert!(mild > heavy, "mild={mild} heavy={heavy}");
     }
@@ -107,9 +113,12 @@ mod tests {
         let noise = NoiseModel::uniform_depolarizing(0.03);
         let small = GhzBenchmark::new(3);
         let large = GhzBenchmark::new(7);
-        let s_small =
-            small.score(&[Executor::new(noise.clone()).run(&small.circuits()[0], 3000, 5)]);
-        let s_large = large.score(&[Executor::new(noise).run(&large.circuits()[0], 3000, 5)]);
+        let s_small = small
+            .score(&[Executor::new(noise.clone()).run(&small.circuits()[0], 3000, 5)])
+            .unwrap();
+        let s_large = large
+            .score(&[Executor::new(noise).run(&large.circuits()[0], 3000, 5)])
+            .unwrap();
         assert!(s_small > s_large, "small={s_small} large={s_large}");
     }
 

@@ -3,7 +3,7 @@
 use supermarq_circuit::Circuit;
 use supermarq_sim::{Counts, Executor};
 
-use crate::benchmark::{clamp_score, Benchmark};
+use crate::benchmark::{clamp_score, expect_counts, CircuitFamily, ScoreError, ScoringStrategy};
 
 /// Trotterized time evolution of the driven transverse-field Ising chain of
 /// paper Eq. 10:
@@ -121,7 +121,7 @@ impl HamiltonianSimBenchmark {
     }
 }
 
-impl Benchmark for HamiltonianSimBenchmark {
+impl CircuitFamily for HamiltonianSimBenchmark {
     fn name(&self) -> String {
         format!("HamSim-{}x{}", self.n, self.steps)
     }
@@ -135,9 +135,11 @@ impl Benchmark for HamiltonianSimBenchmark {
         c.measure_all();
         vec![c]
     }
+}
 
-    fn score(&self, counts: &[Counts]) -> f64 {
-        assert_eq!(counts.len(), 1, "HamSim expects one histogram");
+impl ScoringStrategy for HamiltonianSimBenchmark {
+    fn score(&self, counts: &[Counts]) -> Result<f64, ScoreError> {
+        expect_counts(counts, 1)?;
         let measured = self.measured_magnetization(&counts[0]);
         clamp_score(1.0 - (self.ideal_magnetization() - measured).abs() / 2.0)
     }
@@ -152,7 +154,7 @@ mod tests {
     fn noiseless_score_is_one() {
         let b = HamiltonianSimBenchmark::new(4, 4);
         let counts = Executor::noiseless().run(&b.circuits()[0], 20000, 3);
-        let s = b.score(&[counts]);
+        let s = b.score(&[counts]).unwrap();
         assert!(s > 0.99, "score={s}");
     }
 
@@ -209,9 +211,12 @@ mod tests {
     fn noise_lowers_score() {
         let b = HamiltonianSimBenchmark::new(4, 6);
         let circuit = &b.circuits()[0];
-        let clean = b.score(&[Executor::noiseless().run(circuit, 8000, 5)]);
-        let noisy =
-            b.score(&[Executor::new(NoiseModel::uniform_depolarizing(0.05)).run(circuit, 8000, 5)]);
+        let clean = b
+            .score(&[Executor::noiseless().run(circuit, 8000, 5)])
+            .unwrap();
+        let noisy = b
+            .score(&[Executor::new(NoiseModel::uniform_depolarizing(0.05)).run(circuit, 8000, 5)])
+            .unwrap();
         assert!(clean > noisy, "clean={clean} noisy={noisy}");
     }
 
@@ -220,9 +225,12 @@ mod tests {
         let noise = NoiseModel::uniform_depolarizing(0.02);
         let shallow = HamiltonianSimBenchmark::new(4, 2);
         let deep = HamiltonianSimBenchmark::new(4, 12);
-        let s_shallow =
-            shallow.score(&[Executor::new(noise.clone()).run(&shallow.circuits()[0], 6000, 7)]);
-        let s_deep = deep.score(&[Executor::new(noise).run(&deep.circuits()[0], 6000, 7)]);
+        let s_shallow = shallow
+            .score(&[Executor::new(noise.clone()).run(&shallow.circuits()[0], 6000, 7)])
+            .unwrap();
+        let s_deep = deep
+            .score(&[Executor::new(noise).run(&deep.circuits()[0], 6000, 7)])
+            .unwrap();
         assert!(s_shallow > s_deep, "shallow={s_shallow} deep={s_deep}");
     }
 

@@ -5,7 +5,7 @@ use supermarq_clifford::{diagonalize, Diagonalization};
 use supermarq_pauli::mermin_operator;
 use supermarq_sim::Counts;
 
-use crate::benchmark::{clamp_score, Benchmark};
+use crate::benchmark::{clamp_score, expect_counts, CircuitFamily, ScoreError, ScoringStrategy};
 
 /// Prepares the phased GHZ state `(|0...0> + i|1...1>)/sqrt(2)`, rotates
 /// into the shared eigenbasis of the Mermin operator (Eq. 7) with a
@@ -20,12 +20,12 @@ use crate::benchmark::{clamp_score, Benchmark};
 ///
 /// ```
 /// use supermarq::benchmarks::MerminBellBenchmark;
-/// use supermarq::Benchmark;
+/// use supermarq::{CircuitFamily, ScoringStrategy};
 /// use supermarq_sim::Executor;
 ///
 /// let b = MerminBellBenchmark::new(3);
 /// let counts = Executor::noiseless().run(&b.circuits()[0], 4000, 2);
-/// assert!(b.score(&[counts]) > 0.98);
+/// assert!(b.score(&[counts]).unwrap() > 0.98);
 /// ```
 #[derive(Debug, Clone)]
 pub struct MerminBellBenchmark {
@@ -75,7 +75,7 @@ impl MerminBellBenchmark {
     }
 }
 
-impl Benchmark for MerminBellBenchmark {
+impl CircuitFamily for MerminBellBenchmark {
     fn name(&self) -> String {
         format!("MerminBell-{}", self.n)
     }
@@ -98,9 +98,11 @@ impl Benchmark for MerminBellBenchmark {
         c.measure_all();
         vec![c]
     }
+}
 
-    fn score(&self, counts: &[Counts]) -> f64 {
-        assert_eq!(counts.len(), 1, "Mermin-Bell expects one histogram");
+impl ScoringStrategy for MerminBellBenchmark {
+    fn score(&self, counts: &[Counts]) -> Result<f64, ScoreError> {
+        expect_counts(counts, 1)?;
         let m = self.mermin_expectation(&counts[0]);
         let n = self.n as i32;
         clamp_score((m + 2f64.powi(n - 1)) / 2f64.powi(n))
@@ -137,7 +139,7 @@ mod tests {
         for n in 2..=5 {
             let b = MerminBellBenchmark::new(n);
             let counts = Executor::noiseless().run(&b.circuits()[0], 8000, 5);
-            let s = b.score(&[counts]);
+            let s = b.score(&[counts]).unwrap();
             assert!(s > 0.97, "n={n} score={s}");
         }
     }
@@ -167,9 +169,11 @@ mod tests {
         let b = MerminBellBenchmark::new(3);
         let circuit = &b.circuits()[0];
         let mild = b
-            .score(&[Executor::new(NoiseModel::uniform_depolarizing(0.005)).run(circuit, 8000, 3)]);
-        let heavy =
-            b.score(&[Executor::new(NoiseModel::uniform_depolarizing(0.2)).run(circuit, 8000, 3)]);
+            .score(&[Executor::new(NoiseModel::uniform_depolarizing(0.005)).run(circuit, 8000, 3)])
+            .unwrap();
+        let heavy = b
+            .score(&[Executor::new(NoiseModel::uniform_depolarizing(0.2)).run(circuit, 8000, 3)])
+            .unwrap();
         assert!(
             mild > b.classical_bound(),
             "mild={mild} bound={}",

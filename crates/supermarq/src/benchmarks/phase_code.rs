@@ -6,7 +6,7 @@ use supermarq_circuit::Circuit;
 use supermarq_classical::stats::hellinger_fidelity_maps;
 use supermarq_sim::Counts;
 
-use crate::benchmark::{clamp_score, Benchmark};
+use crate::benchmark::{clamp_score, expect_counts, CircuitFamily, ScoreError, ScoringStrategy};
 
 /// A phase-flip repetition code proxy: data qubits are prepared in
 /// `|+>`/`|->` states and `r` rounds of X-basis parity extraction run on
@@ -67,7 +67,7 @@ impl PhaseCodeBenchmark {
     }
 }
 
-impl Benchmark for PhaseCodeBenchmark {
+impl CircuitFamily for PhaseCodeBenchmark {
     fn name(&self) -> String {
         format!("PhaseCode-{}d{}r", self.data_qubits, self.rounds)
     }
@@ -114,9 +114,11 @@ impl Benchmark for PhaseCodeBenchmark {
         c.measure_all();
         vec![c]
     }
+}
 
-    fn score(&self, counts: &[Counts]) -> f64 {
-        assert_eq!(counts.len(), 1, "phase code expects one histogram");
+impl ScoringStrategy for PhaseCodeBenchmark {
+    fn score(&self, counts: &[Counts]) -> Result<f64, ScoreError> {
+        expect_counts(counts, 1)?;
         clamp_score(hellinger_fidelity_maps(
             &counts[0].to_probabilities(),
             &self.ideal_distribution(),
@@ -127,6 +129,7 @@ impl Benchmark for PhaseCodeBenchmark {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::benchmark::Benchmark;
     use supermarq_sim::{Executor, NoiseModel};
 
     #[test]
@@ -135,7 +138,7 @@ mod tests {
             let initial: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
             let b = PhaseCodeBenchmark::new(3, 2, &initial);
             let counts = Executor::noiseless().run(&b.circuits()[0], 6000, 4);
-            let s = b.score(&[counts]);
+            let s = b.score(&[counts]).unwrap();
             assert!(s > 0.99, "initial={initial:?} score={s}");
         }
     }
@@ -183,13 +186,17 @@ mod tests {
         // toward random values, which the Hellinger score detects.
         let b = PhaseCodeBenchmark::new(3, 2, &[true, true, false]);
         let circuit = &b.circuits()[0];
-        let clean = b.score(&[Executor::noiseless().run(circuit, 4000, 6)]);
+        let clean = b
+            .score(&[Executor::noiseless().run(circuit, 4000, 6)])
+            .unwrap();
         let mut noise = NoiseModel::ideal();
         noise.t1 = 15.0;
         noise.t2 = 30.0;
         noise.durations.measurement = 5.0;
         noise.durations.reset = 5.0;
-        let noisy = b.score(&[Executor::new(noise).run(circuit, 4000, 6)]);
+        let noisy = b
+            .score(&[Executor::new(noise).run(circuit, 4000, 6)])
+            .unwrap();
         assert!(clean > noisy + 0.02, "clean={clean} noisy={noisy}");
     }
 
@@ -212,7 +219,9 @@ mod tests {
             readout_error: 0.1,
             ..NoiseModel::ideal()
         };
-        let s = b.score(&[Executor::new(noise).run(circuit, 4000, 12)]);
+        let s = b
+            .score(&[Executor::new(noise).run(circuit, 4000, 12)])
+            .unwrap();
         assert!(s < 0.99, "score={s}");
         assert!(s > 0.5, "score={s}");
     }

@@ -5,7 +5,7 @@ use supermarq_classical::maxcut::sk_weights;
 use supermarq_classical::qaoa::qaoa_p1_optimize;
 use supermarq_sim::Counts;
 
-use crate::benchmark::Benchmark;
+use crate::benchmark::{expect_counts, CircuitFamily, ScoreError, ScoringStrategy};
 use crate::benchmarks::qaoa_vanilla::QaoaVanillaBenchmark;
 
 /// Level-1 QAOA on the same SK instances as
@@ -97,7 +97,7 @@ impl QaoaSwapBenchmark {
     }
 }
 
-impl Benchmark for QaoaSwapBenchmark {
+impl CircuitFamily for QaoaSwapBenchmark {
     fn name(&self) -> String {
         format!("QAOA-ZZSwap-{}s{}", self.n, self.seed)
     }
@@ -137,9 +137,11 @@ impl Benchmark for QaoaSwapBenchmark {
         c.measure_all();
         vec![c]
     }
+}
 
-    fn score(&self, counts: &[Counts]) -> f64 {
-        assert_eq!(counts.len(), 1, "QAOA expects one histogram");
+impl ScoringStrategy for QaoaSwapBenchmark {
+    fn score(&self, counts: &[Counts]) -> Result<f64, ScoreError> {
+        expect_counts(counts, 1)?;
         QaoaVanillaBenchmark::energy_score(self.ideal_energy, self.measured_energy(&counts[0]))
     }
 }
@@ -147,6 +149,7 @@ impl Benchmark for QaoaSwapBenchmark {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::benchmark::Benchmark;
     use crate::features::FeatureVector;
     use supermarq_sim::Executor;
 
@@ -194,7 +197,7 @@ mod tests {
     fn noiseless_score_near_one() {
         let b = QaoaSwapBenchmark::new(5, 42);
         let counts = Executor::noiseless().run(&b.circuits()[0], 20000, 9);
-        let s = b.score(&[counts]);
+        let s = b.score(&[counts]).unwrap();
         assert!(s > 0.95, "score={s}");
     }
 

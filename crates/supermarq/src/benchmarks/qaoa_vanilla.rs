@@ -5,7 +5,7 @@ use supermarq_classical::maxcut::sk_weights;
 use supermarq_classical::qaoa::qaoa_p1_optimize;
 use supermarq_sim::Counts;
 
-use crate::benchmark::{clamp_score, Benchmark};
+use crate::benchmark::{clamp_score, expect_counts, CircuitFamily, ScoreError, ScoringStrategy};
 
 /// Level-1 QAOA for MaxCut on a Sherrington–Kirkpatrick instance (complete
 /// graph, +-1 weights) using the *vanilla* ansatz, whose `rzz` layer
@@ -77,7 +77,7 @@ impl QaoaVanillaBenchmark {
     }
 
     /// The score given measured energy (shared with the ZZ-SWAP variant).
-    pub(crate) fn energy_score(ideal: f64, measured: f64) -> f64 {
+    pub(crate) fn energy_score(ideal: f64, measured: f64) -> Result<f64, ScoreError> {
         clamp_score(1.0 - ((ideal - measured) / (2.0 * ideal)).abs())
     }
 }
@@ -105,7 +105,7 @@ fn round_robin_pairs(n: usize) -> Vec<(usize, usize)> {
     pairs
 }
 
-impl Benchmark for QaoaVanillaBenchmark {
+impl CircuitFamily for QaoaVanillaBenchmark {
     fn name(&self) -> String {
         format!("QAOA-Vanilla-{}s{}", self.n, self.seed)
     }
@@ -135,9 +135,11 @@ impl Benchmark for QaoaVanillaBenchmark {
         c.measure_all();
         vec![c]
     }
+}
 
-    fn score(&self, counts: &[Counts]) -> f64 {
-        assert_eq!(counts.len(), 1, "QAOA expects one histogram");
+impl ScoringStrategy for QaoaVanillaBenchmark {
+    fn score(&self, counts: &[Counts]) -> Result<f64, ScoreError> {
+        expect_counts(counts, 1)?;
         Self::energy_score(self.ideal_energy, self.measured_energy(&counts[0]))
     }
 }
@@ -145,6 +147,7 @@ impl Benchmark for QaoaVanillaBenchmark {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::benchmark::Benchmark;
     use supermarq_classical::qaoa::qaoa_p1_energy;
     use supermarq_sim::{Executor, NoiseModel};
 
@@ -153,7 +156,7 @@ mod tests {
         for n in [3, 5] {
             let b = QaoaVanillaBenchmark::new(n, 42);
             let counts = Executor::noiseless().run(&b.circuits()[0], 20000, 2);
-            let s = b.score(&[counts]);
+            let s = b.score(&[counts]).unwrap();
             assert!(s > 0.95, "n={n} score={s}");
         }
     }
@@ -198,7 +201,7 @@ mod tests {
         let noisy = Executor::new(NoiseModel::uniform_depolarizing(0.3)).run(circuit, 8000, 4);
         let e = b.measured_energy(&noisy);
         assert!(e.abs() < b.ideal_energy().abs() * 0.7, "e={e}");
-        let s = b.score(&[noisy]);
+        let s = b.score(&[noisy]).unwrap();
         assert!(s < 0.9);
     }
 

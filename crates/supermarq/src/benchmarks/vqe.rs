@@ -5,7 +5,7 @@ use supermarq_classical::opt::{nelder_mead, NelderMeadOptions};
 use supermarq_pauli::tfim_hamiltonian;
 use supermarq_sim::{Counts, Executor};
 
-use crate::benchmark::{clamp_score, Benchmark};
+use crate::benchmark::{clamp_score, expect_counts, CircuitFamily, ScoreError, ScoringStrategy};
 
 /// A single-iteration VQE proxy for the 1-D transverse-field Ising model at
 /// the critical point (`J = h = 1`).
@@ -114,7 +114,7 @@ impl VqeBenchmark {
     }
 }
 
-impl Benchmark for VqeBenchmark {
+impl CircuitFamily for VqeBenchmark {
     fn name(&self) -> String {
         format!("VQE-{}L{}", self.n, self.layers)
     }
@@ -133,13 +133,11 @@ impl Benchmark for VqeBenchmark {
         x_basis.measure_all();
         vec![z_basis, x_basis]
     }
+}
 
-    fn score(&self, counts: &[Counts]) -> f64 {
-        assert_eq!(
-            counts.len(),
-            2,
-            "VQE expects Z-basis and X-basis histograms"
-        );
+impl ScoringStrategy for VqeBenchmark {
+    fn score(&self, counts: &[Counts]) -> Result<f64, ScoreError> {
+        expect_counts(counts, 2)?;
         let measured = self.measured_energy(&counts[0], &counts[1]);
         clamp_score(1.0 - ((self.ideal_energy - measured) / (2.0 * self.ideal_energy)).abs())
     }
@@ -174,7 +172,7 @@ mod tests {
         let circuits = b.circuits();
         let z = Executor::noiseless().run(&circuits[0], 20000, 3);
         let x = Executor::noiseless().run(&circuits[1], 20000, 3);
-        let s = b.score(&[z, x]);
+        let s = b.score(&[z, x]).unwrap();
         assert!(s > 0.95, "score={s}");
     }
 
@@ -199,10 +197,10 @@ mod tests {
         let noisy_exec = Executor::new(NoiseModel::uniform_depolarizing(0.08));
         let z = noisy_exec.run(&circuits[0], 8000, 5);
         let x = noisy_exec.run(&circuits[1], 8000, 5);
-        let noisy = b.score(&[z, x]);
+        let noisy = b.score(&[z, x]).unwrap();
         let clean_z = Executor::noiseless().run(&circuits[0], 8000, 5);
         let clean_x = Executor::noiseless().run(&circuits[1], 8000, 5);
-        let clean = b.score(&[clean_z, clean_x]);
+        let clean = b.score(&[clean_z, clean_x]).unwrap();
         assert!(clean > noisy, "clean={clean} noisy={noisy}");
     }
 

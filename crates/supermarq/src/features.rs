@@ -115,6 +115,30 @@ impl FeatureVector {
         }
     }
 
+    /// Component-wise mean of several feature vectors, used to describe a
+    /// multi-circuit benchmark by *all* of its circuits. Returns `None`
+    /// for an empty slice.
+    pub fn mean(vectors: &[FeatureVector]) -> Option<FeatureVector> {
+        if vectors.is_empty() {
+            return None;
+        }
+        let mut sum = [0.0; 6];
+        for v in vectors {
+            for (acc, x) in sum.iter_mut().zip(v.as_array()) {
+                *acc += x;
+            }
+        }
+        let n = vectors.len() as f64;
+        Some(FeatureVector {
+            program_communication: sum[0] / n,
+            critical_depth: sum[1] / n,
+            entanglement_ratio: sum[2] / n,
+            parallelism: sum[3] / n,
+            liveness: sum[4] / n,
+            measurement: sum[5] / n,
+        })
+    }
+
     /// The features as a fixed-order array (matching [`FEATURE_NAMES`]),
     /// for coverage geometry and regression.
     pub fn as_array(&self) -> [f64; 6] {
@@ -265,6 +289,18 @@ mod tests {
         assert!(props.is_cached::<CriticalPath>());
         assert!(props.is_cached::<GateCount>());
         assert!(props.is_cached::<TwoQubitGateCount>());
+    }
+
+    #[test]
+    fn mean_averages_componentwise() {
+        let a = FeatureVector::of(&ghz(3));
+        let b = FeatureVector::of(&Circuit::new(3));
+        let m = FeatureVector::mean(&[a, b]).unwrap();
+        for (avg, x) in m.as_array().iter().zip(a.as_array()) {
+            assert!((avg - x / 2.0).abs() < 1e-12);
+        }
+        assert_eq!(FeatureVector::mean(&[a]), Some(a));
+        assert_eq!(FeatureVector::mean(&[]), None);
     }
 
     #[test]

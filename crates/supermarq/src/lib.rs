@@ -9,9 +9,14 @@
 //!   Entanglement-Ratio, Parallelism, Liveness, Measurement);
 //! * [`Benchmark`] — the scalable benchmark abstraction: a circuit
 //!   generator plus an efficiently computable score function;
-//! * [`benchmarks`] — the eight applications of Sec. IV: GHZ, Mermin–Bell,
+//! * [`benchmarks`] — the eight applications of Sec. IV (GHZ, Mermin–Bell,
 //!   the bit/phase error-correction proxies, Vanilla and ZZ-SWAP QAOA,
-//!   VQE, and Hamiltonian simulation;
+//!   VQE, and Hamiltonian simulation) plus the scored Table-I corpus
+//!   (QFT, Bernstein–Vazirani, ripple-carry adder, Grover);
+//! * [`registry`] — the data-driven [`BenchmarkRegistry`] every spec and
+//!   CLI flag resolves through;
+//! * [`mirror`] — the [`Mirror`] wrapper: scalable verification by
+//!   appending the inverse circuit, CHP-accelerated when Clifford;
 //! * [`runner`] — the evaluation harness (transpile for a device, execute
 //!   under its noise model, score) behind Fig. 2;
 //! * [`coverage`] — the convex-hull feature-space coverage metric behind
@@ -25,7 +30,7 @@
 //!
 //! ```
 //! use supermarq::benchmarks::GhzBenchmark;
-//! use supermarq::{Benchmark, FeatureVector};
+//! use supermarq::{CircuitFamily, FeatureVector};
 //!
 //! let ghz = GhzBenchmark::new(4);
 //! let features = FeatureVector::of(&ghz.circuits()[0]);
@@ -38,14 +43,18 @@ pub mod benchmarks;
 pub mod correlation;
 pub mod coverage;
 pub mod features;
+pub mod mirror;
 pub mod mitigation;
+pub mod registry;
 pub mod runner;
 pub mod spec;
 
-pub use benchmark::Benchmark;
+pub use benchmark::{Benchmark, CircuitFamily, ScoreError, ScoringStrategy};
 pub use correlation::{correlation_table, CorrelationTable, ScoreRecord};
 pub use coverage::suite_coverage;
 pub use features::FeatureVector;
+pub use mirror::{Mirror, MirrorPath};
 pub use mitigation::ReadoutMitigator;
-pub use runner::{run_on_device, run_on_device_open, BenchmarkResult, RunConfig};
+pub use registry::{BenchmarkEntry, BenchmarkRegistry, ParamKind, ParamSpec};
+pub use runner::{run_on_device, run_on_device_open, BenchmarkResult, RunConfig, RunError};
 pub use spec::{benchmark_from_params, execute_spec, ExecError};

@@ -137,6 +137,7 @@ impl ReadoutMitigator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::benchmark::{CircuitFamily, ScoringStrategy};
     use supermarq_circuit::Circuit;
     use supermarq_sim::{Executor, NoiseModel};
 
@@ -194,7 +195,6 @@ mod tests {
     #[test]
     fn mitigated_ghz_score_recovers() {
         use crate::benchmarks::GhzBenchmark;
-        use crate::Benchmark;
         let b = GhzBenchmark::new(4);
         let circuit = &b.circuits()[0];
         let e = 0.05;
@@ -203,9 +203,9 @@ mod tests {
             ..NoiseModel::ideal()
         };
         let counts = Executor::new(noise).run(circuit, 8000, 5);
-        let raw_score = b.score(std::slice::from_ref(&counts));
+        let raw_score = b.score(std::slice::from_ref(&counts)).unwrap();
         let mitigated = ReadoutMitigator::uniform(4, e).mitigate(&counts);
-        let open_score = b.score(&[mitigated]);
+        let open_score = b.score(&[mitigated]).unwrap();
         assert!(
             open_score > raw_score + 0.05,
             "raw={raw_score} open={open_score}"

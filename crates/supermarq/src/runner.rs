@@ -14,7 +14,41 @@ use supermarq_obs::Span;
 use supermarq_sim::{Counts, Executor};
 use supermarq_transpile::{PipelineId, PlacementStrategy, TranspileError, Transpiler};
 
-use crate::benchmark::Benchmark;
+use crate::benchmark::{Benchmark, ScoreError};
+
+/// Why a harness run failed: either the circuit could not be compiled
+/// for the device, or the measurement data could not be scored.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// Transpilation failed (the `TooManyQubits` case is Fig. 2's black
+    /// X's — benchmark exceeds the device).
+    Transpile(TranspileError),
+    /// The benchmark's scoring function rejected the measurement data.
+    Score(ScoreError),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Transpile(e) => write!(f, "transpile failed: {e}"),
+            RunError::Score(e) => write!(f, "scoring failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<TranspileError> for RunError {
+    fn from(e: TranspileError) -> Self {
+        RunError::Transpile(e)
+    }
+}
+
+impl From<ScoreError> for RunError {
+    fn from(e: ScoreError) -> Self {
+        RunError::Score(e)
+    }
+}
 
 /// Execution configuration for a benchmark run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -77,13 +111,14 @@ impl BenchmarkResult {
 ///
 /// # Errors
 ///
-/// Returns [`TranspileError::TooManyQubits`] when the benchmark does not
-/// fit the device.
+/// [`RunError::Transpile`] when transpilation fails (`TooManyQubits`
+/// when the benchmark does not fit the device), [`RunError::Score`] when
+/// the measurement data cannot be scored.
 pub fn run_on_device(
     benchmark: &dyn Benchmark,
     device: &Device,
     config: &RunConfig,
-) -> Result<BenchmarkResult, TranspileError> {
+) -> Result<BenchmarkResult, RunError> {
     let mut run_span = Span::open("run.benchmark")
         .with("division", "closed")
         .with("shots", config.shots)
@@ -116,7 +151,7 @@ pub fn run_on_device(
     // Fan the (repetition × circuit) grid out over the rayon pool; every
     // job derives its seed from (config.seed, rep, circuit index) alone,
     // so the scores are deterministic regardless of thread count.
-    let scores: Vec<f64> = (0..config.repetitions)
+    let per_rep: Vec<Result<f64, ScoreError>> = (0..config.repetitions)
         .into_par_iter()
         .map(|rep| {
             let counts: Vec<Counts> = prepared
@@ -134,6 +169,9 @@ pub fn run_on_device(
             benchmark.score(&counts)
         })
         .collect();
+    let scores = per_rep
+        .into_iter()
+        .collect::<Result<Vec<f64>, ScoreError>>()?;
     Ok(BenchmarkResult {
         benchmark: benchmark.name(),
         device: device.name().to_string(),
@@ -151,13 +189,14 @@ pub fn run_on_device(
 ///
 /// # Errors
 ///
-/// Returns [`TranspileError::TooManyQubits`] when the benchmark does not
-/// fit the device.
+/// [`RunError::Transpile`] when transpilation fails (`TooManyQubits`
+/// when the benchmark does not fit the device), [`RunError::Score`] when
+/// the measurement data cannot be scored.
 pub fn run_on_device_open(
     benchmark: &dyn Benchmark,
     device: &Device,
     config: &RunConfig,
-) -> Result<BenchmarkResult, TranspileError> {
+) -> Result<BenchmarkResult, RunError> {
     use crate::mitigation::ReadoutMitigator;
     let mut run_span = Span::open("run.benchmark")
         .with("division", "open")
@@ -187,7 +226,7 @@ pub fn run_on_device_open(
     let executor = Executor::new(device.noise_model());
     let mitigator =
         ReadoutMitigator::uniform(benchmark.num_qubits(), device.calibration().err_meas);
-    let scores: Vec<f64> = (0..config.repetitions)
+    let per_rep: Vec<Result<f64, ScoreError>> = (0..config.repetitions)
         .into_par_iter()
         .map(|rep| {
             let counts: Vec<Counts> = prepared
@@ -205,6 +244,9 @@ pub fn run_on_device_open(
             benchmark.score(&counts)
         })
         .collect();
+    let scores = per_rep
+        .into_iter()
+        .collect::<Result<Vec<f64>, ScoreError>>()?;
     Ok(BenchmarkResult {
         benchmark: benchmark.name(),
         device: device.name().to_string(),
@@ -239,14 +281,14 @@ fn relabel(raw: &Counts, measured_dense: &[Option<usize>]) -> Counts {
 ///
 /// # Errors
 ///
-/// Returns [`TranspileError::TooManyQubits`] when the benchmark does not
-/// fit the device.
+/// [`RunError::Transpile`] when transpilation fails, [`RunError::Score`]
+/// when the measurement data cannot be scored.
 pub fn run_noiseless(
     benchmark: &dyn Benchmark,
     device: &Device,
     shots: usize,
     seed: u64,
-) -> Result<f64, TranspileError> {
+) -> Result<f64, RunError> {
     let transpiler = Transpiler::for_device(device);
     let executor = Executor::noiseless();
     let mut counts = Vec::new();
@@ -261,7 +303,7 @@ pub fn run_noiseless(
         let raw = executor.run(&compact, shots, seed + i as u64 * 7919);
         counts.push(relabel(&raw, &measured_dense));
     }
-    Ok(benchmark.score(&counts))
+    Ok(benchmark.score(&counts)?)
 }
 
 #[cfg(test)]
@@ -303,7 +345,10 @@ mod tests {
     fn oversized_benchmark_reports_too_many_qubits() {
         let b = GhzBenchmark::new(6);
         let err = run_on_device(&b, &Device::aqt(), &RunConfig::default()).unwrap_err();
-        assert!(matches!(err, TranspileError::TooManyQubits { .. }));
+        assert!(matches!(
+            err,
+            RunError::Transpile(TranspileError::TooManyQubits { .. })
+        ));
     }
 
     #[test]

@@ -3,23 +3,21 @@
 //!
 //! The store crate is executor-agnostic; this module gives its specs
 //! meaning. A spec's `(benchmark, params)` pair resolves through
-//! [`benchmark_from_params`] (strict: every expected parameter present,
-//! nothing else — so each logical run has exactly one canonical spec and
-//! therefore one cache key), the device by catalog name, and the
-//! transpile strings through [`run_config_from_spec`]. [`execute_spec`]
-//! runs the whole pipeline and produces the [`RunOutcome`] the store
-//! persists.
+//! [`benchmark_from_params`] — a thin wrapper over the
+//! [`BenchmarkRegistry`](crate::registry::BenchmarkRegistry), which
+//! validates strictly (every declared parameter present, nothing else —
+//! so each logical run has exactly one canonical spec and therefore one
+//! cache key) — the device by catalog name, and the transpile strings
+//! through [`run_config_from_spec`]. [`execute_spec`] runs the whole
+//! pipeline and produces the [`RunOutcome`] the store persists.
 
 use supermarq_device::Device;
 use supermarq_store::{RunOutcome, RunSpec, TranspileSpec};
 use supermarq_transpile::{PipelineId, PlacementStrategy, TranspileError};
 
 use crate::benchmark::Benchmark;
-use crate::benchmarks::{
-    BitCodeBenchmark, GhzBenchmark, HamiltonianSimBenchmark, MerminBellBenchmark,
-    PhaseCodeBenchmark, QaoaSwapBenchmark, QaoaVanillaBenchmark, VqeBenchmark,
-};
-use crate::runner::{run_on_device, run_on_device_open, RunConfig};
+use crate::registry::BenchmarkRegistry;
+use crate::runner::{run_on_device, run_on_device_open, RunConfig, RunError};
 
 /// Why a spec could not be executed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,45 +50,6 @@ impl std::fmt::Display for ExecError {
     }
 }
 
-/// Returns the value of `key` in `params`, or an error naming it.
-fn require<'p>(params: &'p [(String, String)], key: &str) -> Result<&'p str, ExecError> {
-    params
-        .iter()
-        .find(|(k, _)| k == key)
-        .map(|(_, v)| v.as_str())
-        .ok_or_else(|| ExecError::Invalid(format!("missing parameter '{key}'")))
-}
-
-fn parse_num<T: std::str::FromStr>(key: &str, raw: &str) -> Result<T, ExecError> {
-    raw.parse::<T>()
-        .map_err(|_| ExecError::Invalid(format!("invalid value '{raw}' for parameter '{key}'")))
-}
-
-/// Checks `params` carries exactly `expected` keys (sorted) — the
-/// strictness that makes cache keys canonical: there is no spec with a
-/// defaulted-but-omitted parameter aliasing a spec that spells it out.
-fn expect_keys(params: &[(String, String)], expected: &[&str]) -> Result<(), ExecError> {
-    let mut keys: Vec<&str> = params.iter().map(|(k, _)| k.as_str()).collect();
-    keys.sort_unstable();
-    if keys != expected {
-        return Err(ExecError::Invalid(format!(
-            "expected parameters {expected:?}, got {keys:?}"
-        )));
-    }
-    Ok(())
-}
-
-/// Parses an error-correction initial state: a `0`/`1` bitstring of
-/// length `size` (`1` = flipped / `|+⟩` depending on the code).
-fn parse_init(raw: &str, size: usize) -> Result<Vec<bool>, ExecError> {
-    if raw.len() != size || !raw.bytes().all(|b| b == b'0' || b == b'1') {
-        return Err(ExecError::Invalid(format!(
-            "parameter 'init' must be a {size}-character 0/1 string, got '{raw}'"
-        )));
-    }
-    Ok(raw.bytes().map(|b| b == b'1').collect())
-}
-
 /// The default initial state used across the harness when none is
 /// specified: alternating, starting flipped (`1010…`).
 pub fn default_init(size: usize) -> String {
@@ -99,7 +58,10 @@ pub fn default_init(size: usize) -> String {
         .collect()
 }
 
-/// Instantiates a benchmark from a spec's `(benchmark, params)` pair.
+/// Instantiates a benchmark from a spec's `(benchmark, params)` pair by
+/// resolving through the built-in
+/// [`BenchmarkRegistry`](crate::registry::BenchmarkRegistry), including
+/// `-mirror` variants.
 ///
 /// # Errors
 ///
@@ -109,82 +71,7 @@ pub fn benchmark_from_params(
     id: &str,
     params: &[(String, String)],
 ) -> Result<Box<dyn Benchmark>, ExecError> {
-    let size_of = |params: &[(String, String)]| -> Result<usize, ExecError> {
-        let size: usize = parse_num("size", require(params, "size")?)?;
-        if size < 2 {
-            return Err(ExecError::Invalid(format!(
-                "parameter 'size' must be at least 2, got {size}"
-            )));
-        }
-        Ok(size)
-    };
-    let bench: Box<dyn Benchmark> = match id {
-        "ghz" => {
-            expect_keys(params, &["size"])?;
-            Box::new(GhzBenchmark::new(size_of(params)?))
-        }
-        "mermin-bell" => {
-            expect_keys(params, &["size"])?;
-            let size = size_of(params)?;
-            if size > 16 {
-                return Err(ExecError::Invalid(format!(
-                    "mermin-bell size must be at most 16, got {size}"
-                )));
-            }
-            Box::new(MerminBellBenchmark::new(size))
-        }
-        "bit-code" | "phase-code" => {
-            expect_keys(params, &["init", "rounds", "size"])?;
-            let size = size_of(params)?;
-            let rounds: usize = parse_num("rounds", require(params, "rounds")?)?;
-            if rounds < 1 {
-                return Err(ExecError::Invalid("parameter 'rounds' must be >= 1".into()));
-            }
-            let init = parse_init(require(params, "init")?, size)?;
-            if id == "bit-code" {
-                Box::new(BitCodeBenchmark::new(size, rounds, &init))
-            } else {
-                Box::new(PhaseCodeBenchmark::new(size, rounds, &init))
-            }
-        }
-        "qaoa-vanilla" | "qaoa-swap" => {
-            expect_keys(params, &["seed", "size"])?;
-            let size = size_of(params)?;
-            let seed: u64 = parse_num("seed", require(params, "seed")?)?;
-            if id == "qaoa-vanilla" {
-                Box::new(QaoaVanillaBenchmark::new(size, seed))
-            } else {
-                Box::new(QaoaSwapBenchmark::new(size, seed))
-            }
-        }
-        "vqe" => {
-            expect_keys(params, &["layers", "size"])?;
-            let size = size_of(params)?;
-            if size > 12 {
-                return Err(ExecError::Invalid(format!(
-                    "vqe size must be at most 12, got {size}"
-                )));
-            }
-            let layers: usize = parse_num("layers", require(params, "layers")?)?;
-            if layers < 1 {
-                return Err(ExecError::Invalid("parameter 'layers' must be >= 1".into()));
-            }
-            Box::new(VqeBenchmark::new(size, layers))
-        }
-        "hamsim" => {
-            expect_keys(params, &["size", "steps"])?;
-            let size = size_of(params)?;
-            let steps: usize = parse_num("steps", require(params, "steps")?)?;
-            if steps < 1 {
-                return Err(ExecError::Invalid("parameter 'steps' must be >= 1".into()));
-            }
-            Box::new(HamiltonianSimBenchmark::new(size, steps))
-        }
-        other => {
-            return Err(ExecError::Invalid(format!("unknown benchmark '{other}'")));
-        }
-    };
-    Ok(bench)
+    BenchmarkRegistry::builtin().build(id, params)
 }
 
 /// Translates a spec's transpile strings (+ shots/reps/seed) into the
@@ -269,7 +156,7 @@ pub fn execute_spec(spec: &RunSpec) -> Result<RunOutcome, ExecError> {
             swap_count: r.swap_count as u64,
             two_qubit_gates: r.two_qubit_gates as u64,
         }),
-        Err(TranspileError::TooManyQubits { needed, available }) => {
+        Err(RunError::Transpile(TranspileError::TooManyQubits { needed, available })) => {
             Err(ExecError::DoesNotFit { needed, available })
         }
         Err(e) => Err(ExecError::Failed(e.to_string())),
@@ -279,6 +166,8 @@ pub fn execute_spec(spec: &RunSpec) -> Result<RunOutcome, ExecError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::benchmark::CircuitFamily;
+    use crate::benchmarks::GhzBenchmark;
 
     fn p(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
         pairs

@@ -9,7 +9,7 @@
 use supermarq_repro::core::benchmarks::{
     BitCodeBenchmark, GhzBenchmark, HamiltonianSimBenchmark, QaoaSwapBenchmark,
 };
-use supermarq_repro::core::Benchmark;
+use supermarq_repro::core::{Benchmark, CircuitFamily};
 use supermarq_repro::sim::{Executor, NoiseModel};
 
 fn score_under(bench: &dyn Benchmark, noise: NoiseModel, shots: usize) -> f64 {
@@ -20,7 +20,7 @@ fn score_under(bench: &dyn Benchmark, noise: NoiseModel, shots: usize) -> f64 {
         .enumerate()
         .map(|(i, c)| executor.run(c, shots, 17 + i as u64))
         .collect();
-    bench.score(&counts)
+    bench.score(&counts).expect("scorable counts")
 }
 
 fn main() {

@@ -7,7 +7,7 @@
 
 use supermarq_repro::core::benchmarks::GhzBenchmark;
 use supermarq_repro::core::runner::{run_on_device, RunConfig};
-use supermarq_repro::core::Benchmark;
+use supermarq_repro::core::{Benchmark, CircuitFamily};
 use supermarq_repro::device::Device;
 
 fn main() {

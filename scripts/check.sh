@@ -34,6 +34,9 @@ bash scripts/lint_smoke.sh
 echo "==> serve smoke (daemon warm hits, kill -9 resume, graceful shutdown)"
 bash scripts/serve_smoke.sh
 
+echo "==> mirror smoke (registry scores every benchmark; mirrors >= 0.99; wide Clifford via CHP)"
+bash scripts/mirror_smoke.sh
+
 echo "==> bench gate (serve latency groups vs committed baseline; informational)"
 bash scripts/bench_gate.sh
 

@@ -6,8 +6,8 @@ use supermarq_repro::core::benchmarks::{
     BitCodeBenchmark, GhzBenchmark, HamiltonianSimBenchmark, MerminBellBenchmark,
     PhaseCodeBenchmark, QaoaSwapBenchmark, QaoaVanillaBenchmark, VqeBenchmark,
 };
-use supermarq_repro::core::runner::{run_noiseless, run_on_device, RunConfig};
-use supermarq_repro::core::Benchmark;
+use supermarq_repro::core::runner::{run_noiseless, run_on_device, RunConfig, RunError};
+use supermarq_repro::core::{Benchmark, CircuitFamily};
 use supermarq_repro::device::Device;
 use supermarq_repro::transpile::TranspileError;
 
@@ -76,7 +76,7 @@ fn oversized_benchmarks_error_out() {
     let aqt = Device::aqt(); // 4 qubits
     let big = GhzBenchmark::new(6);
     match run_on_device(&big, &aqt, &RunConfig::default()) {
-        Err(TranspileError::TooManyQubits { needed, available }) => {
+        Err(RunError::Transpile(TranspileError::TooManyQubits { needed, available })) => {
             assert_eq!(needed, 6);
             assert_eq!(available, 4);
         }

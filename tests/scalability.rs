@@ -4,7 +4,7 @@
 use supermarq_repro::circuit::Circuit;
 use supermarq_repro::clifford::StabilizerExecutor;
 use supermarq_repro::core::benchmarks::{BitCodeBenchmark, GhzBenchmark, HamiltonianSimBenchmark};
-use supermarq_repro::core::{Benchmark, FeatureVector};
+use supermarq_repro::core::{Benchmark, CircuitFamily, FeatureVector};
 use supermarq_repro::sim::NoiseModel;
 
 /// Feature vectors are computable in milliseconds at 1000 qubits — the
